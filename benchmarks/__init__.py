@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating every figure/table of the paper (E1-E9)."""

@@ -1,0 +1,87 @@
+"""Shared fixtures for the experiment benchmarks (E1-E9).
+
+Each benchmark regenerates one figure/table of the paper on a synthetic
+trace whose scale is chosen to keep the whole suite runnable on a laptop in
+a couple of minutes; the ``--paper-scale`` knob of the examples produces the
+full 1300-machine / 24-hour configuration instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.batchlens import BatchLens
+from repro.config import ClusterConfig, TraceConfig, UsageConfig, WorkloadConfig
+from repro.trace.synthetic import generate_trace
+
+
+def bench_config(scenario: str, *, seed: int = 2022, num_machines: int = 64,
+                 num_jobs: int = 60, horizon_s: int = 6 * 3600,
+                 resolution_s: int = 300) -> TraceConfig:
+    """Medium-scale configuration used by the figure benchmarks."""
+    return TraceConfig(
+        cluster=ClusterConfig(num_machines=num_machines),
+        workload=WorkloadConfig(num_jobs=num_jobs),
+        usage=UsageConfig(resolution_s=resolution_s),
+        horizon_s=horizon_s,
+        scenario=scenario,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def healthy_bundle():
+    return generate_trace(bench_config("healthy"))
+
+
+@pytest.fixture(scope="session")
+def hotjob_bundle():
+    return generate_trace(bench_config("hotjob"))
+
+
+@pytest.fixture(scope="session")
+def thrashing_bundle():
+    return generate_trace(bench_config("thrashing"))
+
+
+@pytest.fixture(scope="session")
+def healthy_lens(healthy_bundle):
+    return BatchLens.from_bundle(healthy_bundle)
+
+
+@pytest.fixture(scope="session")
+def hotjob_lens(hotjob_bundle):
+    return BatchLens.from_bundle(hotjob_bundle)
+
+
+@pytest.fixture(scope="session")
+def thrashing_lens(thrashing_bundle):
+    return BatchLens.from_bundle(thrashing_bundle)
+
+
+def mid_timestamp(bundle) -> float:
+    start, end = bundle.time_range()
+    return (start + end) / 2.0
+
+
+#: The pytest capture manager, stashed by :func:`pytest_configure` so that
+#: :func:`report` can temporarily disable capture and emit its blocks to the
+#: real stdout even when every benchmark passes.
+_CAPTURE_MANAGER = None
+
+
+def pytest_configure(config):
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = config.pluginmanager.getplugin("capturemanager")
+
+
+def report(title: str, rows: dict) -> None:
+    """Print a paper-vs-measured block that ends up in bench_output.txt."""
+    lines = [f"\n===== {title} ====="]
+    lines.extend(f"  {key}: {value}" for key, value in rows.items())
+    text = "\n".join(lines)
+    if _CAPTURE_MANAGER is not None:
+        with _CAPTURE_MANAGER.global_and_fixture_disabled():
+            print(text, flush=True)
+    else:
+        print(text, flush=True)

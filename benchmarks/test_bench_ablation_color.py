@@ -1,0 +1,78 @@
+"""Ablation — utilisation colour scale: multi-hue ramp vs. single-hue ramp.
+
+Fig. 1 encodes utilisation with a green → yellow → red ramp.  The ablation
+quantifies what that buys over a single-hue (white → red) ramp: how far
+apart the paper's three utilisation bands (20-40 %, 50-80 %, >90 %) land in
+colour space, i.e. how separable the three case-study regimes are by colour
+alone, plus the per-glyph colouring cost at Fig. 3 scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vis.color import Color, LinearColormap, UTILISATION_CMAP
+
+from benchmarks.conftest import report
+
+#: Single-hue alternative: white to the same saturated red the ramp ends at.
+SINGLE_HUE_CMAP = LinearColormap([
+    (0.0, Color.from_hex("#ffffff")),
+    (1.0, Color.from_hex("#e03131")),
+])
+
+#: Representative utilisation of the three case-study bands (Fig. 3a/b/c).
+BAND_CENTRES = {"healthy (20-40%)": 30.0, "busy (50-80%)": 65.0,
+                "saturated (>90%)": 95.0}
+
+
+def color_distance(a: Color, b: Color) -> float:
+    """Euclidean RGB distance (0 = identical, ~1.73 = black vs white)."""
+    return float(np.sqrt((a.r - b.r) ** 2 + (a.g - b.g) ** 2 + (a.b - b.b) ** 2))
+
+
+def band_separation(cmap: LinearColormap) -> float:
+    """Smallest pairwise colour distance between the three band centres."""
+    colors = [cmap(value / 100.0) for value in BAND_CENTRES.values()]
+    distances = [color_distance(colors[i], colors[j])
+                 for i in range(len(colors)) for j in range(i + 1, len(colors))]
+    return min(distances)
+
+
+class TestColorScaleSeparability:
+    def test_band_separation_comparison(self, benchmark):
+        def evaluate():
+            return {"paper ramp (green-yellow-red)": band_separation(UTILISATION_CMAP),
+                    "single hue (white-red)": band_separation(SINGLE_HUE_CMAP)}
+
+        separations = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+        report("Ablation: colour-band separation (min pairwise RGB distance)",
+               {name: round(value, 3) for name, value in separations.items()})
+        assert (separations["paper ramp (green-yellow-red)"]
+                > separations["single hue (white-red)"])
+
+    def test_ramp_is_monotone_in_alarm_direction(self, benchmark):
+        """Past the warning band the ramp must keep getting "hotter": the green
+        component (calm) decreases monotonically from 55% utilisation upward."""
+
+        def greens():
+            values = np.linspace(0.55, 1.0, 50)
+            return [UTILISATION_CMAP(v).g for v in values]
+
+        channel = benchmark.pedantic(greens, rounds=1, iterations=1)
+        assert all(b <= a + 1e-9 for a, b in zip(channel, channel[1:]))
+
+
+class TestColoringCost:
+    def test_per_glyph_coloring_cost(self, benchmark):
+        """Colouring 3 annuli × ~600 nodes, the Fig. 3 main-view workload."""
+        rng = np.random.default_rng(3)
+        utilisations = rng.uniform(0, 100, 600 * 3)
+
+        def colorize():
+            return [UTILISATION_CMAP(value / 100.0).to_hex()
+                    for value in utilisations]
+
+        colors = benchmark(colorize)
+        assert len(colors) == 1800
+        assert all(color.startswith("#") for color in colors)

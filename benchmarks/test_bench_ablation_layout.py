@@ -1,0 +1,129 @@
+"""Ablation — hierarchy layout: circle packing vs. grid vs. treemap.
+
+DESIGN.md calls out the circle-packing layout as a design choice worth
+ablating.  This benchmark compares the paper's layout against the two
+cheaper alternatives on the same job → task → node trees:
+
+* wall-clock cost of laying out 50-600 compute nodes;
+* packing density (how much of the canvas leaf marks actually use), which
+  is what the analyst's eyes get in exchange for the extra layout cost.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.vis.layout.circlepack import PackNode, pack
+from repro.vis.layout.grid import grid_pack
+from repro.vis.layout.treemap import leaf_area_fraction, treemap
+
+from benchmarks.conftest import report
+
+
+def synthetic_tree(num_leaves: int, seed: int) -> PackNode:
+    """A job → task → node tree with approximately ``num_leaves`` leaves."""
+    rng = np.random.default_rng(seed)
+    root = PackNode("root")
+    remaining = num_leaves
+    job_index = 0
+    while remaining > 0:
+        job = PackNode(f"job{job_index}")
+        for task_index in range(int(rng.integers(1, 4))):
+            task = PackNode(f"job{job_index}/t{task_index}")
+            for leaf_index in range(int(rng.integers(2, 10))):
+                if remaining == 0:
+                    break
+                task.children.append(PackNode(
+                    f"job{job_index}/t{task_index}/n{leaf_index}",
+                    value=float(rng.uniform(20, 100))))
+                remaining -= 1
+            if task.children:
+                job.children.append(task)
+        if job.children:
+            root.children.append(job)
+        job_index += 1
+    return root
+
+
+def circle_leaf_density(root: PackNode, extent: float) -> float:
+    """Fraction of the square canvas covered by leaf circles."""
+    leaf_area = sum(math.pi * leaf.r ** 2 for leaf in root.leaves())
+    return leaf_area / (extent * extent)
+
+
+LAYOUTS = {
+    "circle-pack": lambda tree, extent: pack(tree, radius=extent / 2.0),
+    "grid": lambda tree, extent: grid_pack(tree, width=extent, height=extent),
+    "treemap": lambda tree, extent: treemap(tree, width=extent, height=extent),
+}
+
+
+class TestLayoutCost:
+    @pytest.mark.parametrize("layout_name", sorted(LAYOUTS))
+    def test_layout_cost_at_paper_scale(self, benchmark, layout_name):
+        """~600 visible nodes is the Fig. 3 ballpark at paper scale."""
+        extent = 720.0
+
+        def run():
+            tree = synthetic_tree(600, seed=600)
+            LAYOUTS[layout_name](tree, extent)
+            return tree
+
+        tree = benchmark(run)
+        assert len(tree.leaves()) == 600
+        assert all(leaf.r > 0 for leaf in tree.leaves())
+
+
+class TestLayoutQuality:
+    def test_density_and_shape_comparison(self, benchmark):
+        """One row per layout: density of leaf marks on the same canvas."""
+        extent = 720.0
+
+        def evaluate():
+            rows = {}
+            for num_leaves in (100, 400):
+                packed = synthetic_tree(num_leaves, seed=num_leaves)
+                pack(packed, radius=extent / 2.0)
+                gridded = synthetic_tree(num_leaves, seed=num_leaves)
+                grid_pack(gridded, width=extent, height=extent)
+                mapped = synthetic_tree(num_leaves, seed=num_leaves)
+                rects = treemap(mapped, width=extent, height=extent)
+                rows[num_leaves] = {
+                    "circle-pack": circle_leaf_density(packed, extent),
+                    "grid": circle_leaf_density(gridded, extent),
+                    "treemap": leaf_area_fraction(mapped, rects),
+                }
+            return rows
+
+        rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+        for num_leaves, densities in rows.items():
+            report(f"Ablation: layout density at {num_leaves} nodes",
+                   {name: round(value, 3) for name, value in densities.items()})
+            # every layout must actually place visible leaf marks
+            assert all(value > 0.0 for value in densities.values())
+            # treemaps tile the plane, so they are the density upper bound;
+            # circle packing trades density away for containment + size coding
+            assert densities["treemap"] >= densities["circle-pack"]
+            assert densities["treemap"] >= densities["grid"]
+
+    def test_circle_packing_preserves_containment(self, benchmark):
+        """Leaves must stay inside their job circle — the visual cue grids lose."""
+
+        def check():
+            tree = synthetic_tree(300, seed=7)
+            pack(tree, radius=360.0)
+            violations = 0
+            for job in tree.children:
+                for leaf in job.leaves():
+                    distance = math.hypot(leaf.x - job.x, leaf.y - job.y)
+                    if distance > job.r + 1e-6:
+                        violations += 1
+            return violations
+
+        violations = benchmark.pedantic(check, rounds=1, iterations=1)
+        report("Ablation: circle-pack containment", {
+            "leaves outside their job bubble": violations})
+        assert violations == 0

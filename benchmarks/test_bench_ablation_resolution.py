@@ -1,0 +1,84 @@
+"""Ablation — usage resolution: 300 s scheduler grid vs. finer sampling.
+
+§II quotes two data resolutions: batch scheduler tables every 300 s and
+server usage every second.  Storing everything at 1 s is what makes the raw
+trace "metric-heavy"; BatchLens renders from roll-ups.  This ablation
+measures what resolution costs and what it buys:
+
+* trace generation cost and usage-matrix size at 300 s / 120 s / 60 s;
+* the cost of rolling a fine store up to the 300 s view grid;
+* whether coarser sampling loses the case-study evidence (thrashing-machine
+  recall at each resolution).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.thrashing import cluster_thrashing_report
+from repro.metrics.resample import downsample
+from repro.trace.synthetic import generate_trace
+
+from benchmarks.conftest import bench_config, report
+
+RESOLUTIONS = (300, 120, 60)
+
+
+class TestGenerationCostByResolution:
+    @pytest.mark.parametrize("resolution_s", RESOLUTIONS)
+    def test_generation_cost(self, benchmark, resolution_s):
+        config = bench_config("thrashing", num_machines=32, num_jobs=30,
+                              resolution_s=resolution_s)
+
+        def run():
+            return generate_trace(config)
+
+        bundle = benchmark(run)
+        expected_samples = config.horizon_s // resolution_s + 1
+        assert bundle.usage.num_samples == pytest.approx(expected_samples, abs=1)
+
+
+class TestRollupCost:
+    def test_rollup_fine_store_to_view_grid(self, benchmark):
+        """Downsampling every machine's 60 s series onto the 300 s grid."""
+        bundle = generate_trace(bench_config("healthy", num_machines=32,
+                                             num_jobs=30, resolution_s=60))
+        store = bundle.usage
+
+        def rollup():
+            rolled = 0
+            for machine_id in store.machine_ids:
+                series = downsample(store.series(machine_id, "cpu"), 300.0)
+                rolled += len(series)
+            return rolled
+
+        total = benchmark(rollup)
+        assert total > 0
+
+
+class TestEvidenceByResolution:
+    def test_thrashing_recall_per_resolution(self, benchmark):
+        def evaluate():
+            rows = {}
+            for resolution_s in RESOLUTIONS:
+                bundle = generate_trace(bench_config(
+                    "thrashing", num_machines=32, num_jobs=30,
+                    resolution_s=resolution_s))
+                truth = set(bundle.meta["thrashing"]["machines"])
+                detected = set(cluster_thrashing_report(bundle.usage))
+                recall = (len(detected & truth) / len(truth)) if truth else 1.0
+                samples = bundle.usage.num_samples * bundle.usage.num_machines
+                rows[resolution_s] = (recall, samples)
+            return rows
+
+        rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+        report("Ablation: usage resolution vs. thrashing recall", {
+            f"{resolution_s}s": f"recall {recall:.2f}, "
+                                f"{samples} stored samples"
+            for resolution_s, (recall, samples) in rows.items()})
+        # the 300 s roll-up the dashboard renders from must still expose the
+        # thrashing machines the 1 s-style fine data shows
+        assert rows[300][0] >= 0.5
+        assert rows[60][0] >= rows[300][0] - 0.15
+        # finer sampling costs proportionally more storage
+        assert rows[60][1] > rows[300][1] * 3

@@ -1,0 +1,99 @@
+"""E1 — §II dataset statistics.
+
+The paper reports for the Alibaba cluster-trace-v2017 batch workload:
+~1300 machines over 24 hours, batch scheduler data at a 300-second
+resolution, 75 % of batch jobs containing exactly one task, 94 % of tasks
+running more than one instance, every instance bound to exactly one machine
+and machines running several instances concurrently.
+
+This benchmark generates a paper-scale workload (statistically, not the full
+usage matrix) and checks every one of those statements, timing the hierarchy
+construction that every BatchLens view depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.config import (
+    PAPER_BATCH_RESOLUTION_S,
+    PAPER_HORIZON_S,
+    PAPER_MACHINE_COUNT,
+    WorkloadConfig,
+    paper_scale_config,
+)
+from repro.trace.synthetic import generate_trace
+from repro.trace.workload import WorkloadGenerator, workload_summary
+
+from benchmarks.conftest import bench_config, report
+
+
+class TestDatasetStatistics:
+    def test_paper_scale_configuration_constants(self, benchmark):
+        config = benchmark(paper_scale_config)
+        assert config.cluster.num_machines == PAPER_MACHINE_COUNT == 1300
+        assert config.horizon_s == PAPER_HORIZON_S == 24 * 3600
+        assert config.batch_resolution_s == PAPER_BATCH_RESOLUTION_S == 300
+        report("E1a: configuration vs paper", {
+            "machines (paper 1300)": config.cluster.num_machines,
+            "horizon (paper 24 h)": f"{config.horizon_s / 3600:.0f} h",
+            "batch resolution (paper 300 s)": config.batch_resolution_s,
+        })
+
+    def test_workload_fractions_match_paper(self, benchmark):
+        def build():
+            generator = WorkloadGenerator(
+                WorkloadConfig(num_jobs=2000),
+                horizon_s=PAPER_HORIZON_S,
+                batch_resolution_s=PAPER_BATCH_RESOLUTION_S,
+                rng=np.random.default_rng(2022))
+            return workload_summary(generator.generate())
+
+        summary = benchmark(build)
+        report("E1b: workload shape vs paper", {
+            "single-task job fraction (paper 0.75)":
+                round(summary["single_task_job_fraction"], 3),
+            "multi-instance task fraction (paper 0.94)":
+                round(summary["multi_instance_task_fraction"], 3),
+            "jobs": summary["jobs"],
+            "tasks": summary["tasks"],
+            "instances": summary["instances"],
+        })
+        assert summary["single_task_job_fraction"] == pytest.approx(0.75, abs=0.05)
+        assert summary["multi_instance_task_fraction"] == pytest.approx(0.94, abs=0.04)
+
+    def test_hierarchy_construction_and_invariants(self, benchmark, hotjob_bundle):
+        hierarchy = benchmark(BatchHierarchy.from_bundle, hotjob_bundle)
+        stats = hierarchy.stats()
+
+        # every instance runs on exactly one known machine
+        machine_ids = set(hotjob_bundle.machine_ids())
+        assert all(inst.machine_id in machine_ids
+                   for inst in hotjob_bundle.instances)
+
+        # machines run several instances concurrently (94 % multi-instance tasks
+        # on far fewer machines forces sharing)
+        shared_counts = [len(hierarchy.instances_on_machine(mid))
+                         for mid in hierarchy.machine_ids]
+        assert max(shared_counts) > 1
+
+        report("E1c: generated trace structure", {
+            "jobs": stats.num_jobs,
+            "tasks": stats.num_tasks,
+            "instances": stats.num_instances,
+            "machines": stats.num_machines,
+            "single-task job fraction": round(stats.single_task_job_fraction, 3),
+            "multi-instance task fraction": round(stats.multi_instance_task_fraction, 3),
+            "max instances on one machine": max(shared_counts),
+        })
+
+    def test_generation_throughput_default_scale(self, benchmark):
+        bundle = benchmark(generate_trace, bench_config("healthy", seed=7))
+        assert bundle.usage is not None
+        report("E1d: generator throughput", {
+            "machines": bundle.usage.num_machines,
+            "usage samples": bundle.usage.num_machines * bundle.usage.num_samples,
+            "instances": len(bundle.instances),
+        })

@@ -1,0 +1,98 @@
+"""E2 — Fig. 1: the hierarchical bubble glyph encoding.
+
+Fig. 1 shows one job containing tasks containing compute nodes, each node
+drawn as three annuli coloured by CPU, memory and disk utilisation on a
+green→red ramp with the legend "0 / 50 % / 100 %".  The benchmark renders
+that exact structure, checks the encoding (three rings per node, ring colour
+ordered by the utilisation ramp, dotted job/task outlines) and times the
+layout + render path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vis.charts.bubble import (
+    BubbleChartModel,
+    HierarchicalBubbleChart,
+    JobBubble,
+    NodeGlyph,
+    TaskBubble,
+)
+from repro.vis.charts.legend import colorbar, hierarchy_legend
+from repro.vis.color import utilisation_color
+from repro.vis.layout.circlepack import pack
+
+from benchmarks.conftest import mid_timestamp, report
+
+
+def fig1_model() -> BubbleChartModel:
+    """One job, two tasks, eight nodes spanning the utilisation range."""
+    nodes_a = [NodeGlyph(f"m_a{i}", cpu=10.0 + 12 * i, mem=20.0 + 9 * i,
+                         disk=5.0 + 6 * i) for i in range(5)]
+    nodes_b = [NodeGlyph(f"m_b{i}", cpu=85.0 + 5 * i, mem=90.0, disk=70.0)
+               for i in range(3)]
+    return BubbleChartModel(timestamp=47400.0, jobs=[
+        JobBubble(job_id="job_fig1", tasks=[
+            TaskBubble(task_id="task_1", nodes=nodes_a),
+            TaskBubble(task_id="task_2", nodes=nodes_b),
+        ])])
+
+
+class TestFig1Encoding:
+    def test_three_annuli_per_node_with_ramp_colours(self, benchmark):
+        chart = HierarchicalBubbleChart(fig1_model(), title="Fig. 1")
+        doc = benchmark(chart.render)
+
+        rings = [e for e in doc.iter("circle")
+                 if (e.get("class") or "").startswith("node-ring")]
+        node_count = sum(len(t.nodes) for j in fig1_model().jobs for t in j.tasks)
+        assert len(rings) == 3 * node_count
+
+        # colours follow the utilisation ramp: a 95 %-CPU ring is the colour
+        # the ramp assigns to 95, not the colour it assigns to 10
+        hot_ring = next(e for e in rings if e.get("data-machine") == "m_b0"
+                        and e.get("data-metric") == "cpu")
+        assert hot_ring.get("fill") == utilisation_color(85.0).to_hex()
+        cold_ring = next(e for e in rings if e.get("data-machine") == "m_a0"
+                         and e.get("data-metric") == "cpu")
+        assert cold_ring.get("fill") == utilisation_color(10.0).to_hex()
+        assert hot_ring.get("fill") != cold_ring.get("fill")
+
+        # dotted job (blue) and task (purple) outlines
+        job_bubbles = [e for e in doc.iter("circle") if e.get("class") == "job-bubble"]
+        task_bubbles = [e for e in doc.iter("circle") if e.get("class") == "task-bubble"]
+        assert len(job_bubbles) == 1 and len(task_bubbles) == 2
+        assert all("stroke-dasharray" in e.attrib for e in job_bubbles + task_bubbles)
+
+        report("E2: Fig. 1 glyph encoding", {
+            "nodes rendered": node_count,
+            "annuli per node (paper: 3 — CPU/MEM/DISK)": 3,
+            "job outline dotted": True,
+            "task outline dotted": True,
+        })
+
+    def test_legend_matches_paper(self, benchmark):
+        bar = benchmark(colorbar)
+        labels = [e.text for e in bar.iter("text") if e.text]
+        assert "0" in labels and "50%" in labels and "100%" in labels
+        structural = hierarchy_legend()
+        texts = " ".join(e.text for e in structural.iter("text") if e.text)
+        assert "Job" in texts and "Task" in texts and "CPU" in texts
+
+    def test_layout_cost_fig1_size(self, benchmark):
+        chart = HierarchicalBubbleChart(fig1_model())
+        packed = benchmark(chart.layout)
+        assert packed.r > 0
+        assert len(packed.leaves()) == 8
+
+    def test_bubble_chart_on_generated_snapshot(self, benchmark, hotjob_lens,
+                                                hotjob_bundle):
+        timestamp = mid_timestamp(hotjob_bundle)
+        chart = hotjob_lens.bubble_chart(timestamp, max_jobs=15)
+        svg = benchmark(chart.to_svg)
+        assert "node-ring-cpu" in svg
+        report("E2: generated-snapshot bubble chart", {
+            "active jobs rendered": len(chart.model.jobs),
+            "svg bytes": len(svg),
+        })

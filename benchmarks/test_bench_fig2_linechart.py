@@ -1,0 +1,101 @@
+"""E3 — Fig. 2: per-job multi-line chart with annotations and brushed zoom.
+
+Fig. 2 shows, for job 7399, the CPU utilisation of every node executing it:
+all start annotations (green) bundle into one cluster because the job is
+scheduled on every node at the same time, end annotations form two clusters
+because the job's two tasks end at different times, and brushing a range
+produces a zoomed detail view coloured by task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.app.views import build_line_model
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.vis.charts.line import MultiLineChart
+from repro.vis.color import START_ANNOTATION
+
+from benchmarks.conftest import report
+
+
+def pick_fig2_job(bundle, hierarchy: BatchHierarchy):
+    """A job with at least two tasks and several machines (job 7399 analogue)."""
+    candidates = [job for job in hierarchy.jobs
+                  if job.num_tasks >= 2 and len(job.machine_ids()) >= 4]
+    assert candidates, "workload should contain multi-task multi-node jobs"
+    return max(candidates, key=lambda job: len(job.machine_ids()))
+
+
+class TestFig2LineChart:
+    def test_overview_chart_structure(self, benchmark, hotjob_bundle, hotjob_lens):
+        job = pick_fig2_job(hotjob_bundle, hotjob_lens.hierarchy)
+        model = build_line_model(hotjob_lens.hierarchy, hotjob_bundle.usage,
+                                 job.job_id)
+        chart = MultiLineChart(model)
+        doc = benchmark(chart.render)
+
+        paths = [e for e in doc.iter("path") if e.get("class") == "metric-line"]
+        assert len(paths) == len(model.lines)
+        assert len({p.get("data-task") for p in paths}) == job.num_tasks
+
+        starts = [e for e in doc.iter("g")
+                  if e.get("class") == "annotation annotation-start"]
+        ends = [e for e in doc.iter("g")
+                if e.get("class") == "annotation annotation-end"]
+        assert len(ends) == job.num_tasks
+        assert len(starts) >= 1
+
+        # start annotations are green, end annotations use per-task colours
+        start_lines = [line for g in starts for line in g.iter("line")]
+        assert all(line.get("stroke") == START_ANNOTATION.to_hex()
+                   for line in start_lines)
+        end_colors = {line.get("stroke") for g in ends for line in g.iter("line")}
+        assert START_ANNOTATION.to_hex() not in end_colors
+
+        report("E3: Fig. 2 overview chart", {
+            "job": job.job_id,
+            "tasks (paper job 7399: 2)": job.num_tasks,
+            "node lines": len(paths),
+            "start-annotation clusters (paper: 1)": len(starts),
+            "end annotations (paper: one per task)": len(ends),
+        })
+
+    def test_start_times_bundle_into_one_cluster(self, benchmark, hotjob_bundle,
+                                                 hotjob_lens):
+        """'All lines bundling into one cluster indicates that the job is
+        scheduled for all nodes at the same time.'"""
+        job = pick_fig2_job(hotjob_bundle, hotjob_lens.hierarchy)
+        starts = list(benchmark(job.start_times_by_machine).values())
+        spread = max(starts) - min(starts)
+        assert spread <= hotjob_bundle.meta["usage_resolution_s"] * 2
+
+    def test_task_end_times_form_distinct_clusters(self, benchmark, hotjob_bundle,
+                                                   hotjob_lens):
+        job = pick_fig2_job(hotjob_bundle, hotjob_lens.hierarchy)
+        ends = sorted(benchmark(job.task_end_times).values())
+        assert len(set(ends)) >= 2 or job.num_tasks == 1
+
+    def test_brushed_zoom_detail_view(self, benchmark, hotjob_bundle, hotjob_lens):
+        job = pick_fig2_job(hotjob_bundle, hotjob_lens.hierarchy)
+        chart = hotjob_lens.job_lines(job.job_id, metric="cpu",
+                                      brush=(job.start, job.start
+                                             + (job.end - job.start) / 2))
+        zoomed = benchmark(chart.zoomed, *chart.model.brush)
+        z0, z1 = zoomed.model.time_extent()
+        assert z0 >= chart.model.brush[0] - 1e-9
+        assert z1 <= chart.model.brush[1] + 1e-9
+        assert len(zoomed.model.lines) >= 1
+        report("E3: Fig. 2(b) zoom", {
+            "brush": chart.model.brush,
+            "lines in detail view": len(zoomed.model.lines),
+        })
+
+    def test_render_cost_scales_with_lines(self, benchmark, hotjob_bundle,
+                                           hotjob_lens):
+        """Render every (machine, metric=cpu) line of the busiest job."""
+        job = max(hotjob_lens.hierarchy.jobs, key=lambda j: len(j.machine_ids()))
+        chart = hotjob_lens.job_lines(job.job_id)
+        svg = benchmark(chart.to_svg)
+        assert svg.count('class="metric-line"') == len(chart.model.lines)

@@ -1,0 +1,84 @@
+"""E7 — Fig. 3 main view: the full linked-view dashboard for each regime.
+
+Fig. 3 is the composite: hierarchical bubble chart (main view), per-job
+line-chart detail views, and the interactions that tie them together.  This
+benchmark assembles that dashboard for each of the three case-study regimes,
+checks the linked-view wiring (shared ``data-machine`` attributes, panel
+anchors for click-to-jump), and times the end-to-end assembly.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.app.export import case_study_narrative, export_case_study
+
+from benchmarks.conftest import mid_timestamp, report
+
+
+def machine_ids_in(html: str) -> set[str]:
+    return set(re.findall(r'data-machine="([^"]+)"', html))
+
+
+class TestFig3Dashboards:
+    @pytest.mark.parametrize("scenario", ["healthy", "hotjob", "thrashing"])
+    def test_dashboard_assembly(self, benchmark, scenario, request):
+        lens = request.getfixturevalue(f"{scenario}_lens")
+        bundle = request.getfixturevalue(f"{scenario}_bundle")
+        if scenario == "thrashing":
+            t0, t1 = bundle.meta["thrashing"]["window"]
+            timestamp = (t0 + t1) / 2
+        else:
+            timestamp = mid_timestamp(bundle)
+
+        html = benchmark(lambda: lens.dashboard(timestamp,
+                                                max_line_panels=3).to_html())
+
+        sections = html.count("<section")
+        assert "panel-timeline" in html
+        assert "panel-bubble" in html
+        assert sections >= 3
+
+        # linked views: machines highlighted in the bubble chart are the same
+        # ids the line charts carry, so hover-linking works across panels
+        shared = machine_ids_in(html)
+        assert shared, "dashboard should carry machine ids for linking"
+
+        # click-to-jump anchors exist for the jobs that got line panels
+        anchors = re.findall(r'id="panel-job-([^"]+)"', html)
+        assert anchors, "expected at least one per-job panel anchor"
+
+        report(f"E7: {scenario} dashboard", {
+            "timestamp": round(timestamp, 1),
+            "panels": sections,
+            "distinct machines wired for hover-linking": len(shared),
+            "per-job detail panels": len(set(anchors)),
+            "html bytes": len(html),
+        })
+
+    def test_export_all_three_regimes(self, benchmark, tmp_path, healthy_bundle,
+                                      hotjob_bundle, thrashing_bundle):
+        bundles = {"healthy": healthy_bundle, "hotjob": hotjob_bundle,
+                   "thrashing": thrashing_bundle}
+        written = benchmark(export_case_study, bundles, tmp_path / "fig3")
+        assert set(written) == set(bundles)
+        sizes = {name: path.stat().st_size for name, path in written.items()}
+        report("E7: exported case-study dashboards", sizes)
+
+    def test_narratives_capture_each_regime(self, benchmark, healthy_bundle,
+                                            hotjob_bundle, thrashing_bundle):
+        t0, t1 = thrashing_bundle.meta["thrashing"]["window"]
+        narratives = benchmark(lambda: {
+            "healthy": case_study_narrative(healthy_bundle,
+                                            mid_timestamp(healthy_bundle)),
+            "hotjob": case_study_narrative(hotjob_bundle,
+                                           mid_timestamp(hotjob_bundle)),
+            "thrashing": case_study_narrative(thrashing_bundle, (t0 + t1) / 2),
+        })
+        assert "Hot job" in narratives["hotjob"]
+        assert "Thrashing detected" in narratives["thrashing"]
+        assert "Thrashing detected" not in narratives["healthy"]
+        report("E7: narrative lengths (chars)", {
+            name: len(text) for name, text in narratives.items()})

@@ -1,0 +1,114 @@
+"""E5 — Fig. 3(b): the medium-load regime with a hot job at t=46200.
+
+Paper observations reproduced here:
+* cluster runs at medium utilisation (50-80 %);
+* one job (job_7901 analogue) runs on busier nodes than the others;
+* the CPU of its nodes is synchronised, with a spike peaking at job end
+  followed by a slow decay;
+* the same machine rendered under several job bubbles is cross-linked with
+  dotted lines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import job_synchronisation
+from repro.analysis.patterns import Regime, classify_regime
+from repro.analysis.spikes import largest_spike, synchronized_spike
+from repro.app.interactions import NodeLinkIndex
+from repro.vis.charts.bubble import HierarchicalBubbleChart
+
+from benchmarks.conftest import mid_timestamp, report
+
+
+class TestFig3bHotJobRegime:
+    def test_medium_utilisation_band(self, benchmark, hotjob_bundle):
+        timestamp = mid_timestamp(hotjob_bundle)
+        assessment = benchmark(classify_regime, hotjob_bundle.usage, timestamp)
+        report("E5: Fig. 3(b) medium regime", {
+            "regime (paper: medium, 50-80 %)": assessment.regime.value,
+            "mean CPU": round(assessment.mean_cpu, 1),
+            "mean MEM": round(assessment.mean_mem, 1),
+        })
+        assert assessment.regime in (Regime.BUSY, Regime.SATURATED)
+        assert 40.0 <= assessment.mean_cpu <= 90.0
+
+    def test_hot_job_runs_on_busier_nodes(self, benchmark, hotjob_bundle,
+                                          hotjob_lens):
+        hot_id = hotjob_bundle.meta["hot_job_id"]
+        instances = hotjob_bundle.instances_of_job(hot_id)
+        during = (min(i.start_timestamp for i in instances)
+                  + max(i.end_timestamp for i in instances)) / 2
+        rows = benchmark(hotjob_lens.active_jobs, during)
+        by_job = {row["job_id"]: row for row in rows}
+        hot_cpu = by_job[hot_id]["mean_cpu"]
+        others = [row["mean_cpu"] for jid, row in by_job.items() if jid != hot_id]
+        report("E5: hot job vs rest", {
+            "hot job": hot_id,
+            "hot job mean CPU": round(hot_cpu, 1),
+            "other jobs mean CPU": round(float(np.mean(others)), 1) if others else "n/a",
+        })
+        if others:
+            assert hot_cpu >= np.mean(others) - 5.0
+
+    def test_synchronised_spike_peaking_at_job_end(self, benchmark, hotjob_bundle):
+        hot_id = hotjob_bundle.meta["hot_job_id"]
+        store = hotjob_bundle.usage
+        machines = hotjob_bundle.machines_of_job(hot_id)
+        instances = hotjob_bundle.instances_of_job(hot_id)
+        job_start = min(i.start_timestamp for i in instances)
+        job_end = max(i.end_timestamp for i in instances)
+
+        # look at each node's series around the hot job's execution, which is
+        # exactly what an analyst reading the Fig. 3(b) line chart does
+        series_list = [store.series(m, "cpu").slice(job_start - 600, job_end + 3600)
+                       for m in machines]
+        assert synchronized_spike(series_list, min_prominence=10.0,
+                                  tolerance_s=1800.0)
+        sync = benchmark(job_synchronisation, store, machines,
+                         window=(min(i.start_timestamp for i in instances),
+                                 job_end))
+        peaks = [largest_spike(s, min_prominence=10.0) for s in series_list]
+        peak_times = [p.timestamp for p in peaks if p is not None]
+        median_peak = float(np.median(peak_times))
+
+        report("E5: spike evidence", {
+            "hot-job machines": len(machines),
+            "pairwise CPU correlation": round(sync, 3),
+            "median spike time": median_peak,
+            "job end": job_end,
+            "spike-to-end offset (s)": round(abs(median_peak - job_end), 1),
+        })
+        assert sync > 0.2
+        # the spike peaks around the end of the job execution (paper: "reach
+        # the peak of the utilisation when the job execution is over")
+        horizon = hotjob_bundle.meta["horizon_s"]
+        assert abs(median_peak - job_end) <= 0.2 * horizon
+
+    def test_decay_after_job_end(self, benchmark, hotjob_bundle):
+        """'followed by a slow drop to the normal level'."""
+        hot_id = hotjob_bundle.meta["hot_job_id"]
+        store = hotjob_bundle.usage
+        instances = hotjob_bundle.instances_of_job(hot_id)
+        job_end = max(i.end_timestamp for i in instances)
+        machine_id = hotjob_bundle.machines_of_job(hot_id)[0]
+        series = benchmark(store.series, machine_id, "cpu")
+        at_end = series.value_at(job_end)
+        later = series.value_at(min(series.end, job_end + 3000))
+        assert later <= at_end + 5.0
+
+    def test_cross_job_node_links(self, benchmark, hotjob_bundle, hotjob_lens):
+        timestamp = mid_timestamp(hotjob_bundle)
+        index = benchmark(NodeLinkIndex.from_hierarchy, hotjob_lens.hierarchy,
+                          timestamp)
+        chart = hotjob_lens.bubble_chart(timestamp, max_jobs=15)
+        doc = chart.render()
+        links = [e for e in doc.iter("line") if e.get("class") == "machine-link"]
+        report("E5: cross-bubble machine links", {
+            "machines serving >= 2 jobs": len(index),
+            "dotted link segments rendered": len(links),
+        })
+        if len(index) >= 1:
+            assert len(links) >= 1

@@ -1,0 +1,131 @@
+"""E6 — Fig. 3(c): saturation and thrashing at t=43800-44100.
+
+Paper observations reproduced here:
+* a large share of nodes runs at high CPU/memory utilisation, several near
+  capacity;
+* memory is overcommitted while CPU collapses (thrashing) so the system
+  stops making progress;
+* at the next time slice almost all jobs disappear (terminated/relaunched)
+  while the machines still report elevated metrics;
+* root-cause analysis points at the jobs that were running on the
+  thrashing machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.patterns import Regime, classify_regime
+from repro.analysis.rootcause import anomalous_machines_in_window, rank_root_causes
+from repro.analysis.thrashing import cluster_thrashing_report
+from repro.metrics.aggregate import utilisation_histogram
+
+from benchmarks.conftest import report
+
+
+def thrash_window(bundle) -> tuple[float, float]:
+    return tuple(bundle.meta["thrashing"]["window"])
+
+
+class TestFig3cThrashingRegime:
+    def test_saturated_regime_in_window(self, benchmark, thrashing_bundle):
+        t0, t1 = thrash_window(thrashing_bundle)
+        probe = t0 + 0.8 * (t1 - t0)
+        assessment = benchmark(classify_regime, thrashing_bundle.usage, probe)
+        histogram = utilisation_histogram(thrashing_bundle.usage, "mem", probe)
+        report("E6: Fig. 3(c) saturation", {
+            "regime (paper: near capacity)": assessment.regime.value,
+            "mean CPU": round(assessment.mean_cpu, 1),
+            "mean MEM": round(assessment.mean_mem, 1),
+            "machines >90 % busy": f"{assessment.hot_machine_fraction * 100:.0f}%",
+            "MEM histogram": histogram,
+        })
+        assert assessment.regime == Regime.SATURATED
+        assert assessment.hot_machine_fraction > 0.0 or assessment.mean_mem >= 70.0
+
+    def test_thrashing_detected_on_injected_machines(self, benchmark,
+                                                     thrashing_bundle):
+        detected = benchmark(cluster_thrashing_report, thrashing_bundle.usage)
+        injected = set(thrashing_bundle.meta["thrashing"]["machines"])
+        overlap = set(detected) & injected
+        recall = len(overlap) / len(injected) if injected else 0.0
+        report("E6: thrashing detection", {
+            "injected thrashing machines": len(injected),
+            "detected thrashing machines": len(detected),
+            "recall on injected set": round(recall, 2),
+        })
+        assert recall >= 0.5
+
+    def test_cpu_collapses_while_memory_stays_committed(self, benchmark,
+                                                        thrashing_bundle):
+        t0, t1 = thrash_window(thrashing_bundle)
+        store = thrashing_bundle.usage
+        machines = thrashing_bundle.meta["thrashing"]["machines"]
+
+        def measure():
+            drops, levels = [], []
+            for machine_id in machines:
+                cpu = store.series(machine_id, "cpu")
+                before = cpu.slice(max(0.0, t0 - (t1 - t0)), t0)
+                late = cpu.slice(t0 + 0.7 * (t1 - t0), t1)
+                if len(before) and len(late):
+                    drops.append(before.mean() - late.mean())
+                mem = store.series(machine_id, "mem").slice(t0 + 0.7 * (t1 - t0), t1)
+                if len(mem):
+                    levels.append(mem.mean())
+            return drops, levels
+
+        cpu_drop, mem_level = benchmark(measure)
+        report("E6: thrashing mechanics", {
+            "mean CPU drop inside window (pct points)": round(float(np.mean(cpu_drop)), 1),
+            "mean MEM level late in window": round(float(np.mean(mem_level)), 1),
+        })
+        assert np.mean(cpu_drop) > 10.0
+        assert np.mean(mem_level) > 80.0
+
+    def test_mass_termination_and_metrics_persist(self, benchmark,
+                                                  thrashing_bundle):
+        """'all of the preceding nodes are shut down and only one job is left
+        ... however the general metrics still exist for the corresponding
+        machines'."""
+        t0, t1 = thrash_window(thrashing_bundle)
+        meta = thrashing_bundle.meta["thrashing"]
+        terminated = set(meta["terminated_jobs"])
+        survivor = meta["survivor_job_id"]
+
+        active_before = set(benchmark(thrashing_bundle.active_jobs, t1 - 1))
+        probe_after = t1 + thrashing_bundle.meta["usage_resolution_s"] / 2
+        active_after = set(thrashing_bundle.active_jobs(probe_after))
+        assert survivor in active_before
+        # the terminated jobs are no longer active right after the window
+        # (their relaunched instances start one batch interval later)
+        assert not (terminated & active_after) or len(active_after) < len(active_before)
+
+        # machines still report non-trivial utilisation right after the cut
+        store = thrashing_bundle.usage
+        residual = [store.series(m, "mem").value_at(probe_after)
+                    for m in meta["machines"]]
+        report("E6: termination & residual metrics", {
+            "jobs active just before cut": len(active_before),
+            "jobs active just after cut": len(active_after),
+            "terminated jobs": len(terminated),
+            "survivor": survivor,
+            "mean residual MEM after cut": round(float(np.mean(residual)), 1),
+        })
+        assert np.mean(residual) > 30.0
+
+    def test_root_cause_ranking(self, benchmark, thrashing_bundle, thrashing_lens):
+        t0, t1 = thrash_window(thrashing_bundle)
+        machines = anomalous_machines_in_window(
+            thrashing_bundle.usage, (t0, t1), metric="mem", threshold=80.0)
+        if not machines:
+            machines = list(thrashing_bundle.meta["thrashing"]["machines"])
+        candidates = benchmark(rank_root_causes, thrashing_bundle,
+                               thrashing_lens.hierarchy, machines, (t0, t1))
+        report("E6: root-cause candidates", {
+            "anomalous machines": len(machines),
+            "candidates": [c.explain() for c in candidates[:3]],
+        })
+        assert candidates
+        assert candidates[0].coverage > 0.0

@@ -1,0 +1,107 @@
+"""E10 — the real-time extension (§VI future work): replay cost and quality.
+
+The paper plans to "extend BatchLens into a real-time online system and
+integrate it into real cloud distributed systems".  This benchmark measures
+what that costs with the streaming substrate of this repository and whether
+the online path sees the same evidence the offline case study does:
+
+* ingest throughput of the bounded streaming store (samples per second);
+* end-to-end replay cost of a full trace through the online monitor;
+* whether the online monitor raises its thrashing alerts *inside* the
+  injected anomaly window (alert latency), and on the right machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stream.alerts import AlertManager, AlertPolicy
+from repro.stream.monitor import MonitorConfig, OnlineMonitor, iter_samples
+from repro.stream.replay import TraceReplayer
+from repro.stream.store import StreamingMetricStore
+
+from benchmarks.conftest import report
+
+
+class TestStreamingStoreThroughput:
+    def test_ingest_throughput(self, benchmark, healthy_bundle):
+        store = healthy_bundle.usage
+        frames = list(iter_samples(store))
+
+        def ingest():
+            streaming = StreamingMetricStore(store.machine_ids,
+                                             window_samples=128)
+            for timestamp, frame in frames:
+                streaming.append(timestamp, frame)
+            return streaming
+
+        streaming = benchmark(ingest)
+        assert len(streaming) == min(128, len(frames))
+        assert streaming.is_full() or len(frames) < 128
+
+    def test_window_stays_bounded(self, benchmark, healthy_bundle):
+        store = healthy_bundle.usage
+        frames = list(iter_samples(store))
+        window = 32
+
+        def ingest():
+            streaming = StreamingMetricStore(store.machine_ids,
+                                             window_samples=window)
+            peak = 0
+            for timestamp, frame in frames:
+                streaming.append(timestamp, frame)
+                peak = max(peak, len(streaming))
+            return peak
+
+        peak = benchmark.pedantic(ingest, rounds=1, iterations=1)
+        report("E10: bounded streaming window", {
+            "trace samples": len(frames),
+            "max samples held in memory": peak,
+        })
+        assert peak <= window
+
+
+class TestOnlineMonitorReplay:
+    def test_full_replay_cost(self, benchmark, thrashing_bundle):
+        def replay():
+            replayer = TraceReplayer(
+                thrashing_bundle, samples_per_step=16,
+                monitor_config=MonitorConfig(utilisation_threshold=90.0))
+            return replayer.run_to_end()
+
+        result = benchmark(replay)
+        assert result.samples_replayed == thrashing_bundle.usage.num_samples
+
+    def test_online_alerts_match_offline_evidence(self, benchmark, thrashing_bundle):
+        truth = set(thrashing_bundle.meta["thrashing"]["machines"])
+        window = tuple(thrashing_bundle.meta["thrashing"]["window"])
+
+        def replay():
+            monitor = OnlineMonitor(
+                thrashing_bundle.usage.machine_ids,
+                config=MonitorConfig(utilisation_threshold=90.0),
+                window_samples=128)
+            manager = AlertManager(policy=AlertPolicy(min_severity="warning"))
+            for timestamp, frame in iter_samples(thrashing_bundle.usage):
+                manager.ingest_many(monitor.observe(timestamp, frame))
+            return monitor, manager
+
+        monitor, manager = benchmark.pedantic(replay, rounds=1, iterations=1)
+        thrash_alerts = monitor.alerts_of_kind("thrashing")
+        flagged = {alert.subject for alert in thrash_alerts}
+        recall = (len(flagged & truth) / len(truth)) if truth else 1.0
+        inside = [alert for alert in thrash_alerts
+                  if window[0] <= alert.timestamp <= window[1] + 600.0]
+        latencies = [alert.timestamp - window[0] for alert in inside
+                     if alert.subject in truth]
+        report("E10: online thrashing detection during replay", {
+            "injected thrashing machines": len(truth),
+            "machines alerted online": len(flagged),
+            "online recall": round(recall, 2),
+            "alerts raised inside the anomaly window": f"{len(inside)}/{len(thrash_alerts)}",
+            "median alert latency (s)": (round(float(np.median(latencies)), 0)
+                                         if latencies else "n/a"),
+        })
+        # the live path must surface the same anomaly the offline case study shows
+        assert recall >= 0.5
+        assert len(inside) >= max(1, len(thrash_alerts) // 2)

@@ -1,0 +1,159 @@
+"""E8 — scalability: layout, aggregation and rendering vs. cluster size.
+
+§I positions BatchLens for "large-scale parallel cloud systems" and the
+future-work section aims at real-time use.  The paper itself reports no
+timing table, so this benchmark establishes the cost curves on our
+implementation: circle-packing layout and bubble-chart rendering versus the
+number of machines, cluster-wide aggregation versus usage-matrix size, and
+BatchLens versus the flat-dashboard baseline on the same bundle.  It also
+covers the DESIGN.md ablations (scheduler choice, usage resolution roll-up).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.app.views import build_bubble_model
+from repro.baselines.flat_dashboard import FlatDashboard
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.cluster.scheduler import LeastLoadedScheduler, RoundRobinScheduler
+from repro.cluster.machine import make_machines
+from repro.config import ClusterConfig, WorkloadConfig
+from repro.metrics.resample import downsample
+from repro.trace.synthetic import generate_trace
+from repro.trace.workload import WorkloadGenerator
+from repro.vis.charts.bubble import HierarchicalBubbleChart
+from repro.vis.layout.circlepack import PackNode, pack
+
+from benchmarks.conftest import bench_config, mid_timestamp, report
+
+
+def synthetic_pack_tree(num_leaves: int, rng: np.random.Generator) -> PackNode:
+    """A three-level hierarchy with the given number of leaf nodes."""
+    root = PackNode("root")
+    leaves_left = num_leaves
+    job_index = 0
+    while leaves_left > 0:
+        job = PackNode(f"job{job_index}")
+        for task_index in range(int(rng.integers(1, 4))):
+            task = PackNode(f"task{job_index}_{task_index}")
+            for leaf_index in range(int(rng.integers(1, 9))):
+                if leaves_left == 0:
+                    break
+                task.children.append(PackNode(
+                    f"n{job_index}_{task_index}_{leaf_index}",
+                    value=float(rng.uniform(20, 100))))
+                leaves_left -= 1
+            if task.children:
+                job.children.append(task)
+        if job.children:
+            root.children.append(job)
+        job_index += 1
+    return root
+
+
+class TestLayoutScalability:
+    @pytest.mark.parametrize("num_leaves", [50, 200, 600])
+    def test_circle_packing_cost(self, benchmark, num_leaves):
+        rng = np.random.default_rng(num_leaves)
+        tree = synthetic_pack_tree(num_leaves, rng)
+        packed = benchmark(pack, tree, radius=400.0)
+        assert len(packed.leaves()) == num_leaves
+        report("E8: circle packing", {"leaves": num_leaves})
+
+
+class TestAggregationScalability:
+    @pytest.mark.parametrize("num_machines", [100, 400, 1300])
+    def test_cluster_aggregation_cost(self, benchmark, num_machines):
+        """Timeline aggregation over the full usage matrix (paper scale = 1300)."""
+        from repro.metrics.store import MetricStore
+
+        samples = 288  # 24 h at 300 s
+        rng = np.random.default_rng(num_machines)
+        store = MetricStore([f"m_{i:04d}" for i in range(num_machines)],
+                            np.arange(samples, dtype=float) * 300.0)
+        store.data[:] = rng.uniform(0, 100, size=store.data.shape)
+        series = benchmark(store.aggregate, "cpu", "mean")
+        assert len(series) == samples
+        report("E8: aggregation", {
+            "machines": num_machines,
+            "usage cells": num_machines * 3 * samples,
+        })
+
+    def test_resolution_rollup_ablation(self, benchmark, hotjob_bundle):
+        """Roll the 300 s usage up to 1800 s (the DESIGN.md resolution ablation)."""
+        store = hotjob_bundle.usage
+        series = store.series(store.machine_ids[0], "cpu")
+        coarse = benchmark(downsample, series, 1800.0, "mean")
+        assert len(coarse) < len(series)
+
+
+class TestRenderingScalability:
+    @pytest.mark.parametrize("num_machines", [32, 128])
+    def test_bubble_chart_render_vs_cluster_size(self, benchmark, num_machines):
+        bundle = generate_trace(bench_config(
+            "hotjob", num_machines=num_machines,
+            num_jobs=max(20, num_machines // 2), seed=num_machines))
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        timestamp = mid_timestamp(bundle)
+        model = build_bubble_model(hierarchy, bundle.usage, timestamp)
+        chart = HierarchicalBubbleChart(model)
+        svg = benchmark(chart.to_svg)
+        nodes = sum(len(t.nodes) for j in model.jobs for t in j.tasks)
+        report("E8: bubble chart render", {
+            "machines": num_machines,
+            "node glyphs": nodes,
+            "svg bytes": len(svg),
+        })
+
+    def test_batchlens_vs_flat_dashboard(self, benchmark, hotjob_bundle,
+                                         hotjob_lens):
+        """Same bundle, both tools: compare one render of each."""
+        import time
+
+        timestamp = mid_timestamp(hotjob_bundle)
+
+        start = time.perf_counter()
+        lens_html = hotjob_lens.dashboard(timestamp, max_line_panels=2).to_html()
+        lens_seconds = time.perf_counter() - start
+
+        flat = FlatDashboard.from_bundle(hotjob_bundle)
+        start = time.perf_counter()
+        flat_html = flat.build().to_html()
+        flat_seconds = time.perf_counter() - start
+
+        # the benchmarked path is BatchLens (the system under study)
+        benchmark(lambda: hotjob_lens.dashboard(timestamp,
+                                                max_line_panels=2).to_html())
+        report("E8: BatchLens vs flat baseline", {
+            "BatchLens dashboard (s, single run)": round(lens_seconds, 3),
+            "flat dashboard (s, single run)": round(flat_seconds, 3),
+            "BatchLens html bytes": len(lens_html),
+            "flat html bytes": len(flat_html),
+        })
+        assert "job-bubble" in lens_html and "heat-cell" in flat_html
+
+
+class TestSchedulerAblation:
+    def test_least_loaded_vs_round_robin_balance(self, benchmark):
+        """The DESIGN.md scheduler ablation: peak committed load per scheduler."""
+        machines = make_machines(ClusterConfig(num_machines=64))
+        generator = WorkloadGenerator(WorkloadConfig(num_jobs=120),
+                                      horizon_s=6 * 3600, batch_resolution_s=300,
+                                      rng=np.random.default_rng(8))
+        jobs = generator.generate()
+
+        def place_both():
+            balanced = LeastLoadedScheduler(machines, horizon_s=6 * 3600)
+            balanced.place(jobs)
+            rr = RoundRobinScheduler(machines, horizon_s=6 * 3600)
+            rr.place(jobs)
+            return balanced.committed_load.max(), rr.committed_load.max()
+
+        balanced_peak, rr_peak = benchmark(place_both)
+        report("E8: scheduler ablation", {
+            "least-loaded peak committed CPU": round(float(balanced_peak), 1),
+            "round-robin peak committed CPU": round(float(rr_peak), 1),
+        })
+        assert balanced_peak <= rr_peak + 1e-9

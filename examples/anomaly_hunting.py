@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Anomaly hunting: from a suspicious cluster state to the responsible job.
+
+Run with::
+
+    python examples/anomaly_hunting.py [--scenario thrashing] [--seed 5]
+
+This example plays the role of the on-call operator the paper's introduction
+describes: something is wrong with the cluster, and the question is *which
+batch job is doing it*.  The workflow:
+
+1. scan the whole trace with the analysis layer (threshold / z-score / EWMA
+   detectors, thrashing detector, spike detector);
+2. rank the most anomalous machines and time windows;
+3. run root-cause ranking to name the jobs that best explain them;
+4. export the per-job Fig. 2-style line charts (overview + zoom) for the top
+   candidate so a human can verify the story visually.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro import BatchLens, TraceConfig
+from repro.analysis.detectors import detect_all, merge_events
+from repro.analysis.rootcause import anomalous_machines_in_window, rank_root_causes
+from repro.analysis.spikes import largest_spike
+from repro.analysis.thrashing import cluster_thrashing_report
+from repro.app.export import export_job_figures
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="thrashing",
+                        choices=["healthy", "hotjob", "thrashing"])
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--output-dir", type=Path,
+                        default=Path("examples/output/anomaly_hunting"))
+    parser.add_argument("--top-machines", type=int, default=8)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+
+    print(f"Generating a '{args.scenario}' trace (seed={args.seed}) ...")
+    lens = BatchLens.generate(TraceConfig(scenario=args.scenario, seed=args.seed))
+    store = lens.store
+
+    # 1. sweep every machine with the generic detectors
+    print("\nScanning every machine with threshold / z-score / EWMA detectors ...")
+    all_events = []
+    for machine_id in store.machine_ids:
+        for metric in store.metrics:
+            all_events.extend(detect_all(store.series(machine_id, metric),
+                                         metric=metric, subject=machine_id))
+    merged = merge_events(all_events, gap_s=600)
+    by_machine: dict[str, int] = {}
+    for event in merged:
+        by_machine[event.subject] = by_machine.get(event.subject, 0) + 1
+    ranked_machines = sorted(by_machine.items(), key=lambda kv: -kv[1])
+    print(f"  {len(merged)} merged anomaly intervals on "
+          f"{len(by_machine)} machine(s)")
+    for machine_id, count in ranked_machines[:args.top_machines]:
+        spike = largest_spike(store.series(machine_id, "cpu"), min_prominence=5.0)
+        spike_note = (f", largest CPU spike {spike.value:.0f}% at t={spike.timestamp:.0f}s"
+                      if spike else "")
+        print(f"    {machine_id}: {count} interval(s){spike_note}")
+
+    # 2. dedicated thrashing scan
+    thrash = cluster_thrashing_report(store)
+    if thrash:
+        window_start = min(w.start for ws in thrash.values() for w in ws)
+        window_end = max(w.end for ws in thrash.values() for w in ws)
+        print(f"\nThrashing detected on {len(thrash)} machine(s) between "
+              f"t={window_start:.0f}s and t={window_end:.0f}s")
+        window = (window_start, window_end)
+        suspects = anomalous_machines_in_window(store, window, metric="mem",
+                                                threshold=85.0) or sorted(thrash)
+    else:
+        print("\nNo thrashing detected; focusing on the busiest window instead.")
+        cpu = store.aggregate("cpu")
+        peak = cpu.argmax()
+        window = (max(cpu.start, peak - 1800), min(cpu.end, peak + 1800))
+        suspects = [m for m, _ in ranked_machines[:args.top_machines]]
+
+    # 3. who did it?
+    print(f"\nRanking root-cause candidates for window "
+          f"[{window[0]:.0f}s, {window[1]:.0f}s] over {len(suspects)} machine(s):")
+    candidates = rank_root_causes(lens.bundle, lens.hierarchy, suspects, window)
+    if not candidates:
+        print("  no job overlaps the anomalous machines in that window")
+        return
+    for candidate in candidates:
+        print("  " + candidate.explain())
+
+    # 4. visual confirmation for the top candidate
+    top = candidates[0]
+    print(f"\nExporting Fig. 2-style charts for {top.job_id} ...")
+    for path in export_job_figures(lens.bundle, top.job_id, args.output_dir):
+        print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""BatchLens: visual analytics for batch jobs in cloud systems.
+
+A full reproduction of *"BatchLens: A Visualization Approach for Analyzing
+Batch Jobs in Cloud Systems"* (Ruan, Wang, Jiang, Xu, Guan - DATE 2022),
+including every substrate the paper relies on:
+
+* :mod:`repro.trace` - Alibaba cluster-trace-v2017 schemas, CSV I/O and a
+  synthetic trace generator standing in for the public download;
+* :mod:`repro.cluster` - machines, batch scheduling, the utilisation
+  simulator and the anomaly scenarios of the case study;
+* :mod:`repro.metrics` - time series, dense utilisation storage, roll-ups;
+* :mod:`repro.analysis` - detectors for the patterns the case study reads
+  off the views (spikes, thrashing, load imbalance, root causes);
+* :mod:`repro.vis` - the SVG chart engine (hierarchical bubble chart,
+  annotated multi-line charts, timeline, heat map) and HTML dashboards;
+* :mod:`repro.app` - the :class:`BatchLens` facade and analysis sessions;
+* :mod:`repro.baselines` - the flat-dashboard / threshold-alert baselines.
+
+Quickstart::
+
+    from repro import BatchLens
+
+    lens = BatchLens.generate(scenario="hotjob", seed=7)
+    lens.save_dashboard(timestamp=9000, path="batchlens.html")
+"""
+
+from repro.app.batchlens import BatchLens
+from repro.app.session import AnalysisSession
+from repro.config import (
+    METRICS,
+    ClusterConfig,
+    TraceConfig,
+    UsageConfig,
+    WorkloadConfig,
+    paper_scale_config,
+    small_config,
+)
+from repro.errors import BatchLensError
+from repro.trace.loader import load_trace
+from repro.trace.records import TraceBundle
+from repro.trace.synthetic import generate_case_study_traces, generate_trace
+from repro.trace.writer import write_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisSession",
+    "BatchLens",
+    "BatchLensError",
+    "ClusterConfig",
+    "METRICS",
+    "TraceBundle",
+    "TraceConfig",
+    "UsageConfig",
+    "WorkloadConfig",
+    "__version__",
+    "generate_case_study_traces",
+    "generate_trace",
+    "load_trace",
+    "paper_scale_config",
+    "small_config",
+    "write_trace",
+]

@@ -1,0 +1,93 @@
+"""Load-balance scoring across machines.
+
+The case study repeatedly appeals to load balance ("both figures are
+uniform in colour distribution due to the load balance").  These helpers
+quantify that uniformity so the benchmark harness can assert it instead of
+eyeballing colours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import METRICS
+from repro.metrics.stats import coefficient_of_variation, gini
+from repro.metrics.store import MetricStore
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Balance summary of one metric at one timestamp."""
+
+    metric: str
+    timestamp: float
+    mean: float
+    std: float
+    cv: float
+    gini: float
+    spread: float  # p95 - p5
+
+    @property
+    def balanced(self) -> bool:
+        """A pragmatic cut-off: balanced when CV < 0.35 and Gini < 0.2."""
+        return self.cv < 0.35 and self.gini < 0.2
+
+
+def balance_report(store: MetricStore, metric: str,
+                   timestamp: float) -> BalanceReport:
+    """Compute balance statistics of one metric across machines at one time."""
+    snapshot = store.snapshot(timestamp, metric=metric)
+    values = np.asarray(list(snapshot.values()), dtype=np.float64)
+    return BalanceReport(
+        metric=metric,
+        timestamp=timestamp,
+        mean=float(values.mean()) if values.size else 0.0,
+        std=float(values.std()) if values.size else 0.0,
+        cv=coefficient_of_variation(values),
+        gini=gini(np.maximum(values, 0.0)),
+        spread=float(np.percentile(values, 95) - np.percentile(values, 5))
+        if values.size else 0.0,
+    )
+
+
+def cluster_balance(store: MetricStore, timestamp: float) -> dict[str, BalanceReport]:
+    """Balance reports for every metric at one timestamp."""
+    return {metric: balance_report(store, metric, timestamp)
+            for metric in METRICS if metric in store.metrics}
+
+
+def imbalance_over_time(store: MetricStore, metric: str) -> list[tuple[float, float]]:
+    """Coefficient of variation across machines at every stored timestamp."""
+    block = store.data[:, list(store.metrics).index(metric), :]
+    out: list[tuple[float, float]] = []
+    for index, timestamp in enumerate(store.timestamps):
+        column = block[:, index]
+        mean = float(column.mean())
+        cv = float(column.std() / abs(mean)) if mean else 0.0
+        out.append((float(timestamp), cv))
+    return out
+
+
+def outlier_machines(store: MetricStore, metric: str, timestamp: float,
+                     *, z_threshold: float = 2.0) -> list[tuple[str, float]]:
+    """Machines whose utilisation deviates strongly from the cluster mean.
+
+    Returns ``(machine_id, z_score)`` pairs sorted by descending |z|; these
+    are the bubbles that stand out from an otherwise uniform colour field.
+    """
+    snapshot = store.snapshot(timestamp, metric=metric)
+    values = np.asarray(list(snapshot.values()), dtype=np.float64)
+    if values.size == 0:
+        return []
+    mean = float(values.mean())
+    std = float(values.std())
+    if std < 1e-9:
+        return []
+    out = []
+    for machine_id, value in snapshot.items():
+        z = (value - mean) / std
+        if abs(z) >= z_threshold:
+            out.append((machine_id, float(z)))
+    return sorted(out, key=lambda pair: -abs(pair[1]))

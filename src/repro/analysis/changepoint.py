@@ -1,0 +1,191 @@
+"""Change-point detection on utilisation series.
+
+The case-study narrative is full of change points: the moment a job is
+scheduled onto a machine ("a notable spike emerges ... after Job job_7901 is
+scheduled"), the moment utilisation collapses during thrashing, and the mass
+termination "at Timestamp 44100 [when] all of the preceding nodes on the
+system are shut down".  This module recovers those instants programmatically
+with two standard detectors:
+
+* :func:`detect_changepoints` — binary segmentation minimising the
+  within-segment squared error of the series, which finds the strongest mean
+  shifts first;
+* :func:`cusum_changepoints` — a two-sided CUSUM sequential detector, which
+  is the online-friendly variant used by the streaming monitor.
+
+Both return :class:`ChangePoint` records tied back to trace timestamps so the
+rest of the library can align them with job start/end annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class ChangePoint:
+    """One detected shift in the level of a series."""
+
+    timestamp: float
+    index: int
+    #: Difference between the mean after and the mean before the shift.
+    shift: float
+    #: Reduction in total squared error obtained by splitting here.
+    score: float
+
+    @property
+    def direction(self) -> str:
+        """``"up"`` when the level rises across the change point."""
+        return "up" if self.shift >= 0 else "down"
+
+
+def _segment_cost(values: np.ndarray, start: int, end: int) -> float:
+    """Sum of squared deviations from the mean over ``values[start:end]``."""
+    segment = values[start:end]
+    if segment.size == 0:
+        return 0.0
+    return float(np.sum((segment - segment.mean()) ** 2))
+
+
+def _best_split(values: np.ndarray, start: int, end: int,
+                min_segment: int) -> tuple[int | None, float]:
+    """Best split index within ``[start, end)`` and its cost reduction."""
+    total = _segment_cost(values, start, end)
+    best_index: int | None = None
+    best_gain = 0.0
+    for split in range(start + min_segment, end - min_segment + 1):
+        gain = total - (_segment_cost(values, start, split)
+                        + _segment_cost(values, split, end))
+        if gain > best_gain:
+            best_gain = gain
+            best_index = split
+    return best_index, best_gain
+
+
+def detect_changepoints(series: TimeSeries, *, max_changepoints: int = 5,
+                        min_segment: int = 3,
+                        min_gain: float = 25.0) -> list[ChangePoint]:
+    """Detect mean shifts by greedy binary segmentation.
+
+    ``min_gain`` is the minimum reduction in squared error a split must
+    achieve (acts as the penalty term of the segmentation); raise it to keep
+    only drastic shifts such as the thrashing collapse.
+    """
+    if max_changepoints < 1:
+        raise SeriesError("max_changepoints must be at least 1")
+    if min_segment < 1:
+        raise SeriesError("min_segment must be at least 1")
+    if len(series) < 2 * min_segment:
+        return []
+
+    values = series.values
+    timestamps = series.timestamps
+    segments: list[tuple[int, int]] = [(0, len(values))]
+    found: list[ChangePoint] = []
+
+    while len(found) < max_changepoints:
+        best: tuple[float, int, tuple[int, int]] | None = None
+        for segment in segments:
+            split, gain = _best_split(values, segment[0], segment[1], min_segment)
+            if split is None or gain < min_gain:
+                continue
+            if best is None or gain > best[0]:
+                best = (gain, split, segment)
+        if best is None:
+            break
+        gain, split, segment = best
+        before = values[segment[0]:split]
+        after = values[split:segment[1]]
+        found.append(ChangePoint(
+            timestamp=float(timestamps[split]),
+            index=split,
+            shift=float(after.mean() - before.mean()),
+            score=gain,
+        ))
+        segments.remove(segment)
+        segments.append((segment[0], split))
+        segments.append((split, segment[1]))
+
+    return sorted(found, key=lambda cp: cp.index)
+
+
+def cusum_changepoints(series: TimeSeries, *, threshold: float = 25.0,
+                       drift: float = 2.0) -> list[ChangePoint]:
+    """Two-sided CUSUM change detection.
+
+    ``threshold`` is the cumulative deviation (in utilisation percent) that
+    triggers a detection; ``drift`` is the per-sample slack subtracted before
+    accumulating, which suppresses slow wander and measurement noise.
+    """
+    if threshold <= 0:
+        raise SeriesError("threshold must be positive")
+    if drift < 0:
+        raise SeriesError("drift must be non-negative")
+    if len(series) < 2:
+        return []
+
+    values = series.values
+    timestamps = series.timestamps
+    reference = float(values[0])
+    positive = 0.0
+    negative = 0.0
+    found: list[ChangePoint] = []
+
+    for index in range(1, len(values)):
+        deviation = float(values[index]) - reference
+        positive = max(0.0, positive + deviation - drift)
+        negative = max(0.0, negative - deviation - drift)
+        if positive >= threshold or negative >= threshold:
+            shift = positive if positive >= threshold else -negative
+            found.append(ChangePoint(
+                timestamp=float(timestamps[index]),
+                index=index,
+                shift=shift,
+                score=max(positive, negative),
+            ))
+            # restart the detector from the new level
+            reference = float(values[index])
+            positive = 0.0
+            negative = 0.0
+
+    return found
+
+
+def segment_means(series: TimeSeries,
+                  changepoints: list[ChangePoint]) -> list[tuple[float, float, float]]:
+    """Piecewise means between change points.
+
+    Returns ``(start_timestamp, end_timestamp, mean)`` triples covering the
+    whole series, which is exactly what a step-line overlay needs.
+    """
+    if len(series) == 0:
+        return []
+    boundaries = [0] + sorted(cp.index for cp in changepoints) + [len(series)]
+    values = series.values
+    timestamps = series.timestamps
+    out: list[tuple[float, float, float]] = []
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        if hi <= lo:
+            continue
+        out.append((float(timestamps[lo]), float(timestamps[hi - 1]),
+                    float(values[lo:hi].mean())))
+    return out
+
+
+def level_shifts(series: TimeSeries, *, min_shift: float = 20.0,
+                 max_changepoints: int = 8) -> list[ChangePoint]:
+    """Change points whose before/after mean difference exceeds ``min_shift``.
+
+    A convenience filter for "did utilisation jump or collapse here" style
+    questions (job placement spikes, thrashing collapse, mass termination).
+    """
+    if min_shift <= 0:
+        raise SeriesError("min_shift must be positive")
+    candidates = detect_changepoints(series, max_changepoints=max_changepoints,
+                                     min_gain=min_shift ** 2 / 4.0)
+    return [cp for cp in candidates if abs(cp.shift) >= min_shift]

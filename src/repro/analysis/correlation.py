@@ -1,0 +1,123 @@
+"""Co-allocation and correlation analysis.
+
+The paper motivates BatchLens with "the cause is still invisible to the
+cloud system administrators due to the hidden patterns of the batch job
+co-allocation".  This module makes those patterns explicit: which jobs
+share machines (the co-allocation graph behind the dotted cross-links), and
+how strongly the utilisation of machines under the same job moves together
+(the synchronised lines of Fig. 3(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+from repro.metrics.store import MetricStore
+
+
+def pearson(a: TimeSeries, b: TimeSeries) -> float:
+    """Pearson correlation of two aligned series (0 when either is constant)."""
+    if len(a) != len(b) or not np.array_equal(a.timestamps, b.timestamps):
+        raise SeriesError("correlation requires series aligned on the same grid")
+    if len(a) < 2:
+        return 0.0
+    av, bv = a.values, b.values
+    astd, bstd = float(np.std(av)), float(np.std(bv))
+    if astd < 1e-12 or bstd < 1e-12:
+        return 0.0
+    return float(np.corrcoef(av, bv)[0, 1])
+
+
+def correlation_matrix(series_list: Sequence[TimeSeries]) -> np.ndarray:
+    """Pairwise Pearson correlation matrix of aligned series."""
+    n = len(series_list)
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = pearson(series_list[i], series_list[j])
+            matrix[i, j] = matrix[j, i] = value
+    return matrix
+
+
+def job_synchronisation(store: MetricStore, machine_ids: Sequence[str],
+                        metric: str = "cpu",
+                        window: tuple[float, float] | None = None) -> float:
+    """Mean pairwise correlation of a job's machines (1.0 = perfectly in sync).
+
+    The Fig. 3(b) observation "the CPU utilisation of corresponding nodes is
+    synchronised" corresponds to a high value here.
+    """
+    known = [mid for mid in machine_ids if mid in store]
+    if len(known) < 2:
+        return 1.0
+    series = []
+    for mid in known:
+        s = store.series(mid, metric)
+        if window is not None:
+            s = s.slice(window[0], window[1])
+        series.append(s)
+    series = [s for s in series if len(s) >= 2]
+    if len(series) < 2:
+        return 1.0
+    matrix = correlation_matrix(series)
+    upper = matrix[np.triu_indices(len(series), k=1)]
+    return float(np.mean(upper))
+
+
+@dataclass(frozen=True)
+class CoAllocation:
+    """Two jobs sharing machines during an overlapping time interval."""
+
+    job_a: str
+    job_b: str
+    shared_machines: tuple[str, ...]
+
+    @property
+    def weight(self) -> int:
+        return len(self.shared_machines)
+
+
+def coallocation_edges(hierarchy: BatchHierarchy,
+                       timestamp: float | None = None) -> list[CoAllocation]:
+    """All pairs of jobs sharing at least one machine (optionally at one time)."""
+    machine_to_jobs: dict[str, set[str]] = {}
+    for job in hierarchy.jobs:
+        if timestamp is not None and not job.active_at(timestamp):
+            continue
+        for task in job.tasks:
+            for inst in task.instances:
+                if inst.machine_id is None:
+                    continue
+                if timestamp is not None and not inst.active_at(timestamp):
+                    continue
+                machine_to_jobs.setdefault(inst.machine_id, set()).add(job.job_id)
+
+    pair_machines: dict[tuple[str, str], set[str]] = {}
+    for machine_id, jobs in machine_to_jobs.items():
+        ordered = sorted(jobs)
+        for i in range(len(ordered)):
+            for j in range(i + 1, len(ordered)):
+                pair_machines.setdefault((ordered[i], ordered[j]), set()).add(machine_id)
+
+    return sorted(
+        (CoAllocation(job_a=a, job_b=b, shared_machines=tuple(sorted(machines)))
+         for (a, b), machines in pair_machines.items()),
+        key=lambda edge: (-edge.weight, edge.job_a, edge.job_b))
+
+
+def coallocation_matrix(hierarchy: BatchHierarchy,
+                        timestamp: float | None = None) -> tuple[list[str], np.ndarray]:
+    """Job × job shared-machine-count matrix (for heat-map style reporting)."""
+    job_ids = sorted(hierarchy.job_ids)
+    index = {job_id: i for i, job_id in enumerate(job_ids)}
+    matrix = np.zeros((len(job_ids), len(job_ids)), dtype=np.int64)
+    for edge in coallocation_edges(hierarchy, timestamp):
+        i, j = index[edge.job_a], index[edge.job_b]
+        matrix[i, j] = matrix[j, i] = edge.weight
+    return job_ids, matrix

@@ -1,0 +1,178 @@
+"""Metric-based anomaly detectors.
+
+BatchLens itself leaves anomaly *detection* to the human looking at the
+views; the benchmark harness, however, needs a programmatic way to check
+that the patterns the paper's case study describes are actually present in
+the generated data.  These detectors implement the standard metric-based
+approaches the related-work section cites (thresholding, rolling z-score,
+EWMA residuals) and produce :class:`AnomalyEvent` records the higher-level
+analyses build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One detected anomalous interval on one series."""
+
+    start: float
+    end: float
+    metric: str
+    subject: str
+    kind: str
+    score: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """True when this event overlaps the interval ``[start, end]``."""
+        return self.start <= end and self.end >= start
+
+
+def _mask_to_events(timestamps: np.ndarray, mask: np.ndarray, scores: np.ndarray,
+                    *, metric: str, subject: str, kind: str) -> list[AnomalyEvent]:
+    """Convert a boolean per-sample mask into contiguous anomaly events."""
+    events: list[AnomalyEvent] = []
+    start_index: int | None = None
+    for index, flagged in enumerate(mask):
+        if flagged and start_index is None:
+            start_index = index
+        elif not flagged and start_index is not None:
+            events.append(AnomalyEvent(
+                start=float(timestamps[start_index]),
+                end=float(timestamps[index - 1]),
+                metric=metric, subject=subject, kind=kind,
+                score=float(np.max(scores[start_index:index]))))
+            start_index = None
+    if start_index is not None:
+        events.append(AnomalyEvent(
+            start=float(timestamps[start_index]),
+            end=float(timestamps[-1]),
+            metric=metric, subject=subject, kind=kind,
+            score=float(np.max(scores[start_index:]))))
+    return events
+
+
+class ThresholdDetector:
+    """Flags samples exceeding a static utilisation threshold."""
+
+    def __init__(self, threshold: float = 90.0, *, min_duration_s: float = 0.0) -> None:
+        if not 0.0 < threshold <= 100.0:
+            raise SeriesError(f"threshold must be in (0, 100], got {threshold}")
+        self.threshold = threshold
+        self.min_duration_s = min_duration_s
+
+    def detect(self, series: TimeSeries, *, metric: str = "cpu",
+               subject: str = "") -> list[AnomalyEvent]:
+        if len(series) == 0:
+            return []
+        values = series.values
+        mask = values >= self.threshold
+        scores = values - self.threshold
+        events = _mask_to_events(series.timestamps, mask, scores,
+                                 metric=metric, subject=subject, kind="threshold")
+        return [e for e in events if e.duration >= self.min_duration_s]
+
+
+class RollingZScoreDetector:
+    """Flags samples whose rolling z-score exceeds a cut-off."""
+
+    def __init__(self, window: int = 12, z_threshold: float = 3.0,
+                 *, min_std: float = 1.0) -> None:
+        if window < 2:
+            raise SeriesError("window must be at least 2 samples")
+        if z_threshold <= 0:
+            raise SeriesError("z_threshold must be positive")
+        self.window = window
+        self.z_threshold = z_threshold
+        self.min_std = min_std
+
+    def detect(self, series: TimeSeries, *, metric: str = "cpu",
+               subject: str = "") -> list[AnomalyEvent]:
+        if len(series) < self.window:
+            return []
+        mean = series.rolling_mean(self.window).values
+        std = np.maximum(series.rolling_std(self.window).values, self.min_std)
+        z = np.abs(series.values - mean) / std
+        mask = z >= self.z_threshold
+        # never flag the warm-up region where the window is not yet full
+        mask[:self.window - 1] = False
+        return _mask_to_events(series.timestamps, mask, z, metric=metric,
+                               subject=subject, kind="zscore")
+
+
+class EwmaDetector:
+    """Flags samples deviating strongly from an EWMA forecast."""
+
+    def __init__(self, alpha: float = 0.3, deviation_threshold: float = 15.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise SeriesError(f"alpha must be in (0, 1], got {alpha}")
+        if deviation_threshold <= 0:
+            raise SeriesError("deviation_threshold must be positive")
+        self.alpha = alpha
+        self.deviation_threshold = deviation_threshold
+
+    def detect(self, series: TimeSeries, *, metric: str = "cpu",
+               subject: str = "") -> list[AnomalyEvent]:
+        if len(series) < 2:
+            return []
+        smoothed = series.ewma(self.alpha).values
+        # compare each sample against the forecast from the previous one
+        residual = np.abs(series.values[1:] - smoothed[:-1])
+        mask = np.concatenate([[False], residual >= self.deviation_threshold])
+        scores = np.concatenate([[0.0], residual])
+        return _mask_to_events(series.timestamps, mask, scores, metric=metric,
+                               subject=subject, kind="ewma")
+
+
+DETECTORS = {
+    "threshold": ThresholdDetector,
+    "zscore": RollingZScoreDetector,
+    "ewma": EwmaDetector,
+}
+
+
+def detect_all(series: TimeSeries, detectors: Sequence | None = None, *,
+               metric: str = "cpu", subject: str = "") -> list[AnomalyEvent]:
+    """Run several detectors over one series and pool their events."""
+    if detectors is None:
+        detectors = [ThresholdDetector(), RollingZScoreDetector(), EwmaDetector()]
+    events: list[AnomalyEvent] = []
+    for detector in detectors:
+        events.extend(detector.detect(series, metric=metric, subject=subject))
+    return sorted(events, key=lambda e: (e.start, e.kind))
+
+
+def merge_events(events: Sequence[AnomalyEvent],
+                 gap_s: float = 0.0) -> list[AnomalyEvent]:
+    """Merge overlapping (or near-overlapping) events on the same subject/metric."""
+    grouped: dict[tuple[str, str], list[AnomalyEvent]] = {}
+    for event in events:
+        grouped.setdefault((event.subject, event.metric), []).append(event)
+    merged: list[AnomalyEvent] = []
+    for (subject, metric), group in grouped.items():
+        group = sorted(group, key=lambda e: e.start)
+        current = group[0]
+        for event in group[1:]:
+            if event.start <= current.end + gap_s:
+                current = AnomalyEvent(
+                    start=current.start, end=max(current.end, event.end),
+                    metric=metric, subject=subject, kind="merged",
+                    score=max(current.score, event.score))
+            else:
+                merged.append(current)
+                current = event
+        merged.append(current)
+    return sorted(merged, key=lambda e: (e.start, e.subject))

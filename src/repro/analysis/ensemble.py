@@ -1,0 +1,158 @@
+"""Detector ensembles and detection-quality evaluation.
+
+The DESIGN.md ablation compares the three single detectors (threshold,
+rolling z-score, EWMA); production monitoring rarely trusts any one of them
+alone.  :class:`EnsembleDetector` votes the single detectors sample by
+sample, and the evaluation helpers turn detected events into the
+precision / recall / F1 numbers the E9 benchmark and the ablation benches
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.detectors import (
+    AnomalyEvent,
+    EwmaDetector,
+    RollingZScoreDetector,
+    ThresholdDetector,
+    _mask_to_events,
+)
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+from repro.metrics.store import MetricStore
+
+
+class EnsembleDetector:
+    """K-of-N voting over several per-sample detectors.
+
+    Each member detector votes on every sample it flags (via the events it
+    returns); a sample is anomalous when at least ``min_votes`` members agree.
+    """
+
+    def __init__(self, detectors: Sequence | None = None, *,
+                 min_votes: int = 2) -> None:
+        if detectors is None:
+            detectors = [ThresholdDetector(), RollingZScoreDetector(),
+                         EwmaDetector()]
+        if not detectors:
+            raise SeriesError("ensemble requires at least one detector")
+        if not 1 <= min_votes <= len(detectors):
+            raise SeriesError(
+                f"min_votes must be in [1, {len(detectors)}], got {min_votes}")
+        self.detectors = list(detectors)
+        self.min_votes = min_votes
+
+    def detect(self, series: TimeSeries, *, metric: str = "cpu",
+               subject: str = "") -> list[AnomalyEvent]:
+        """Return intervals where at least ``min_votes`` detectors agree."""
+        if len(series) == 0:
+            return []
+        votes = np.zeros(len(series), dtype=np.int64)
+        scores = np.zeros(len(series), dtype=np.float64)
+        timestamps = series.timestamps
+        for detector in self.detectors:
+            events = detector.detect(series, metric=metric, subject=subject)
+            for event in events:
+                mask = (timestamps >= event.start) & (timestamps <= event.end)
+                votes[mask] += 1
+                scores[mask] = np.maximum(scores[mask], event.score)
+        mask = votes >= self.min_votes
+        return _mask_to_events(timestamps, mask, scores, metric=metric,
+                               subject=subject, kind="ensemble")
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Precision / recall / F1 of one detector configuration."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall <= 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def evaluate_machine_sets(predicted: set[str], truth: set[str]) -> EvaluationResult:
+    """Machine-level detection quality: which machines were flagged."""
+    true_positives = len(predicted & truth)
+    false_positives = len(predicted - truth)
+    false_negatives = len(truth - predicted)
+    precision = (true_positives / len(predicted)) if predicted else (
+        1.0 if not truth else 0.0)
+    recall = (true_positives / len(truth)) if truth else 1.0
+    return EvaluationResult(
+        precision=precision, recall=recall,
+        true_positives=true_positives, false_positives=false_positives,
+        false_negatives=false_negatives)
+
+
+def evaluate_events(events: Sequence[AnomalyEvent],
+                    truth_window: tuple[float, float],
+                    series: TimeSeries) -> EvaluationResult:
+    """Sample-level detection quality of events against one true window.
+
+    Every sample of ``series`` inside ``truth_window`` is a positive; every
+    sample covered by a detected event is a prediction.
+    """
+    if truth_window[1] < truth_window[0]:
+        raise SeriesError("truth window must satisfy start <= end")
+    if len(series) == 0:
+        return EvaluationResult(0.0, 0.0, 0, 0, 0)
+    timestamps = series.timestamps
+    truth_mask = (timestamps >= truth_window[0]) & (timestamps <= truth_window[1])
+    predicted_mask = np.zeros(len(series), dtype=bool)
+    for event in events:
+        predicted_mask |= (timestamps >= event.start) & (timestamps <= event.end)
+
+    true_positives = int(np.sum(predicted_mask & truth_mask))
+    false_positives = int(np.sum(predicted_mask & ~truth_mask))
+    false_negatives = int(np.sum(~predicted_mask & truth_mask))
+    precision = (true_positives / (true_positives + false_positives)
+                 if (true_positives + false_positives) else
+                 (1.0 if not truth_mask.any() else 0.0))
+    recall = (true_positives / (true_positives + false_negatives)
+              if (true_positives + false_negatives) else 1.0)
+    return EvaluationResult(
+        precision=precision, recall=recall,
+        true_positives=true_positives, false_positives=false_positives,
+        false_negatives=false_negatives)
+
+
+def flag_machines(store: MetricStore, detector, *, metric: str = "cpu",
+                  window: tuple[float, float] | None = None) -> set[str]:
+    """Machines on which ``detector`` reports at least one event.
+
+    ``window`` optionally restricts the counted events to an interval, which
+    is how the benches score detections against an injected anomaly window.
+    """
+    flagged: set[str] = set()
+    for machine_id in store.machine_ids:
+        events = detector.detect(store.series(machine_id, metric),
+                                 metric=metric, subject=machine_id)
+        if window is not None:
+            events = [e for e in events if e.overlaps(window[0], window[1])]
+        if events:
+            flagged.add(machine_id)
+    return flagged
+
+
+def score_detectors(store: MetricStore, detectors: dict[str, object],
+                    truth_machines: set[str], *, metric: str = "cpu",
+                    window: tuple[float, float] | None = None) -> dict[str, EvaluationResult]:
+    """Machine-level evaluation of several named detectors on one store."""
+    results: dict[str, EvaluationResult] = {}
+    for name, detector in detectors.items():
+        predicted = flag_machines(store, detector, metric=metric, window=window)
+        results[name] = evaluate_machine_sets(predicted, truth_machines)
+    return results

@@ -1,0 +1,134 @@
+"""Co-allocation interference analysis.
+
+The dotted cross-links of Fig. 3(b) exist because "the same node may be
+rendered into multiple parent job bubbles" — several jobs sharing one
+machine.  Sharing is only a problem when it hurts: this module quantifies
+how much hotter a job's shared machines run compared with its exclusive
+machines while both jobs are active, which is the numeric counterpart of the
+analyst tracing the dotted lines to find a noisy neighbour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.correlation import coallocation_edges
+from repro.cluster.hierarchy import BatchHierarchy, JobNode
+from repro.metrics.store import MetricStore
+
+
+@dataclass(frozen=True)
+class InterferenceScore:
+    """How much two co-allocated jobs appear to hurt each other."""
+
+    job_a: str
+    job_b: str
+    shared_machines: tuple[str, ...]
+    #: Seconds the two jobs actually overlap in time.
+    overlap_s: float
+    #: Mean utilisation of the shared machines during the overlap.
+    shared_utilisation: float
+    #: Mean utilisation of machines running only one of the two jobs
+    #: during the same interval (the comparison group).
+    exclusive_utilisation: float
+
+    @property
+    def delta(self) -> float:
+        """Extra utilisation attributable to sharing (percentage points)."""
+        return self.shared_utilisation - self.exclusive_utilisation
+
+    @property
+    def interfering(self) -> bool:
+        """Pragmatic cut-off: sharing costs more than 10 points."""
+        return self.delta > 10.0
+
+
+def _time_overlap(a: JobNode, b: JobNode) -> tuple[float, float] | None:
+    start = max(a.start, b.start)
+    end = min(a.end, b.end)
+    if end <= start:
+        return None
+    return float(start), float(end)
+
+
+def _mean_utilisation(store: MetricStore, machine_ids: list[str],
+                      window: tuple[float, float], metric: str) -> float:
+    known = [mid for mid in machine_ids if mid in store]
+    if not known:
+        return 0.0
+    windowed = store.window(window[0], window[1])
+    means = []
+    for machine_id in known:
+        series = windowed.series(machine_id, metric)
+        if len(series):
+            means.append(series.mean())
+    return float(np.mean(means)) if means else 0.0
+
+
+def interference_score(hierarchy: BatchHierarchy, store: MetricStore,
+                       job_a: str, job_b: str, *,
+                       metric: str = "cpu") -> InterferenceScore | None:
+    """Score one job pair; ``None`` when they never share a machine or time."""
+    node_a = hierarchy.job(job_a)
+    node_b = hierarchy.job(job_b)
+    shared = sorted(set(node_a.machine_ids()) & set(node_b.machine_ids()))
+    if not shared:
+        return None
+    window = _time_overlap(node_a, node_b)
+    if window is None:
+        return None
+
+    shared_set = set(shared)
+    exclusive = sorted(
+        (set(node_a.machine_ids()) | set(node_b.machine_ids())) - shared_set)
+
+    return InterferenceScore(
+        job_a=job_a,
+        job_b=job_b,
+        shared_machines=tuple(shared),
+        overlap_s=window[1] - window[0],
+        shared_utilisation=_mean_utilisation(store, shared, window, metric),
+        exclusive_utilisation=_mean_utilisation(store, exclusive, window, metric),
+    )
+
+
+def interference_report(hierarchy: BatchHierarchy, store: MetricStore, *,
+                        metric: str = "cpu",
+                        timestamp: float | None = None) -> list[InterferenceScore]:
+    """Score every co-allocated job pair, worst offenders first."""
+    scores: list[InterferenceScore] = []
+    for edge in coallocation_edges(hierarchy, timestamp):
+        score = interference_score(hierarchy, store, edge.job_a, edge.job_b,
+                                   metric=metric)
+        if score is not None:
+            scores.append(score)
+    return sorted(scores, key=lambda s: (-s.delta, s.job_a, s.job_b))
+
+
+def noisy_neighbours(hierarchy: BatchHierarchy, store: MetricStore,
+                     job_id: str, *, metric: str = "cpu",
+                     top_n: int = 5) -> list[InterferenceScore]:
+    """The jobs most likely to be degrading ``job_id`` through sharing."""
+    scores = [score for score in interference_report(hierarchy, store, metric=metric)
+              if job_id in (score.job_a, score.job_b)]
+    return scores[:top_n]
+
+
+def machine_pressure(hierarchy: BatchHierarchy, store: MetricStore,
+                     timestamp: float, *, metric: str = "cpu") -> list[tuple[str, int, float]]:
+    """Per-machine ``(machine_id, co-located job count, utilisation)`` rows.
+
+    Sorted so the most contended machines come first — the numeric version
+    of spotting the most heavily cross-linked bubbles in the main view.
+    """
+    counts: dict[str, int] = {}
+    for job in hierarchy.jobs_at(timestamp):
+        for machine_id in set(job.machine_ids()):
+            counts[machine_id] = counts.get(machine_id, 0) + 1
+    rows: list[tuple[str, int, float]] = []
+    snapshot = store.snapshot(timestamp, metric=metric)
+    for machine_id, count in counts.items():
+        rows.append((machine_id, count, float(snapshot.get(machine_id, 0.0))))
+    return sorted(rows, key=lambda row: (-row[1], -row[2], row[0]))

@@ -1,0 +1,110 @@
+"""Cluster-regime classification.
+
+The case study identifies three regimes at three timestamps — healthy / low
+load, medium load with a hot job, and saturation with thrashing.  The
+classifier below reproduces that judgement programmatically from a
+:class:`MetricStore` snapshot, so the Fig. 3 benchmarks can assert that the
+generated data lands in the regime the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.analysis.thrashing import ThrashingConfig, thrashing_fraction
+from repro.metrics.store import MetricStore
+
+
+class Regime(str, Enum):
+    """The three cluster regimes of the case study (plus idle)."""
+
+    IDLE = "idle"
+    HEALTHY = "healthy"
+    BUSY = "busy"
+    SATURATED = "saturated"
+
+
+@dataclass(frozen=True)
+class RegimeThresholds:
+    """Mean-utilisation boundaries between regimes, in percent."""
+
+    idle_below: float = 15.0
+    healthy_below: float = 45.0
+    busy_below: float = 72.0
+    #: Fraction of machines above ``hot_machine_level`` that forces SATURATED.
+    hot_machine_level: float = 90.0
+    hot_machine_fraction: float = 0.25
+    #: Fraction of thrashing machines that forces SATURATED.
+    thrashing_fraction: float = 0.15
+
+
+@dataclass(frozen=True)
+class RegimeAssessment:
+    """Classification of the cluster at one timestamp, with its evidence."""
+
+    timestamp: float
+    regime: Regime
+    mean_cpu: float
+    mean_mem: float
+    p95_cpu: float
+    hot_machine_fraction: float
+    thrashing_fraction: float
+
+    def summary(self) -> str:
+        return (f"t={self.timestamp:.0f}s: {self.regime.value} "
+                f"(mean CPU {self.mean_cpu:.0f}%, mean MEM {self.mean_mem:.0f}%, "
+                f"{self.hot_machine_fraction * 100:.0f}% machines >90% busy, "
+                f"{self.thrashing_fraction * 100:.0f}% thrashing)")
+
+
+def classify_regime(store: MetricStore, timestamp: float, *,
+                    thresholds: RegimeThresholds | None = None,
+                    thrash_config: ThrashingConfig | None = None) -> RegimeAssessment:
+    """Classify the cluster regime at one timestamp."""
+    thresholds = thresholds if thresholds is not None else RegimeThresholds()
+    cpu_snapshot = np.asarray(
+        list(store.snapshot(timestamp, metric="cpu").values()), dtype=np.float64)
+    mem_snapshot = np.asarray(
+        list(store.snapshot(timestamp, metric="mem").values()), dtype=np.float64)
+
+    mean_cpu = float(cpu_snapshot.mean()) if cpu_snapshot.size else 0.0
+    mean_mem = float(mem_snapshot.mean()) if mem_snapshot.size else 0.0
+    p95_cpu = float(np.percentile(cpu_snapshot, 95)) if cpu_snapshot.size else 0.0
+    hot = float(np.mean(np.maximum(cpu_snapshot, mem_snapshot)
+                        >= thresholds.hot_machine_level)) if cpu_snapshot.size else 0.0
+    thrash = thrashing_fraction(store, timestamp, config=thrash_config)
+
+    load_proxy = max(mean_cpu, mean_mem)
+    if (hot >= thresholds.hot_machine_fraction
+            or thrash >= thresholds.thrashing_fraction
+            or load_proxy >= thresholds.busy_below):
+        regime = Regime.SATURATED
+    elif load_proxy >= thresholds.healthy_below:
+        regime = Regime.BUSY
+    elif load_proxy >= thresholds.idle_below:
+        regime = Regime.HEALTHY
+    else:
+        regime = Regime.IDLE
+
+    return RegimeAssessment(
+        timestamp=timestamp,
+        regime=regime,
+        mean_cpu=mean_cpu,
+        mean_mem=mean_mem,
+        p95_cpu=p95_cpu,
+        hot_machine_fraction=hot,
+        thrashing_fraction=thrash,
+    )
+
+
+def regime_timeline(store: MetricStore, *, step: int = 1,
+                    thresholds: RegimeThresholds | None = None) -> list[RegimeAssessment]:
+    """Classify every ``step``-th stored timestamp (a coarse regime timeline)."""
+    assessments = []
+    for index in range(0, store.num_samples, max(1, step)):
+        assessments.append(classify_regime(store, float(store.timestamps[index]),
+                                           thresholds=thresholds))
+    return assessments

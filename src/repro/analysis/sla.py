@@ -1,0 +1,234 @@
+"""Service-level objective evaluation for batch jobs.
+
+The paper's motivation: "Anomalous behaviors of batch jobs can potentially
+indicate existing software bugs and hardware crashes, which will eventually
+result in the violation of the Service Level Agreement (SLA)."  BatchLens
+itself never formalises the SLA; this module does, so the benchmark harness
+can count how many of the jobs visible in the views would actually have
+breached their objectives in each case-study regime.
+
+An :class:`SlaPolicy` captures the three objectives a batch-service SLA
+typically states:
+
+* **runtime stretch** — every instance of a job must finish within a bounded
+  multiple of the task's nominal (median) instance duration;
+* **host saturation** — the machines executing the job may not spend more
+  than a bounded fraction of the execution window above a utilisation
+  ceiling (a saturated host starves the instance);
+* **completion** — every scheduled instance must actually terminate inside
+  the trace horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.errors import ConfigError
+from repro.metrics.store import MetricStore
+from repro.trace.records import TraceBundle
+
+
+@dataclass(frozen=True)
+class SlaPolicy:
+    """Objectives a batch job is held to."""
+
+    #: Maximum allowed ratio of an instance's duration to the median
+    #: duration of its task's instances.
+    max_runtime_stretch: float = 2.0
+    #: Utilisation (percent) above which a host is considered saturated.
+    saturation_level: float = 90.0
+    #: Maximum fraction of the job's execution window its hosts may spend
+    #: saturated before the SLA is considered at risk.
+    max_saturated_fraction: float = 0.25
+    #: Metrics checked against ``saturation_level``.
+    saturation_metrics: tuple[str, ...] = ("cpu", "mem")
+
+    def validate(self) -> None:
+        if self.max_runtime_stretch < 1.0:
+            raise ConfigError("max_runtime_stretch must be >= 1")
+        if not 0.0 < self.saturation_level <= 100.0:
+            raise ConfigError("saturation_level must be in (0, 100]")
+        if not 0.0 <= self.max_saturated_fraction <= 1.0:
+            raise ConfigError("max_saturated_fraction must be in [0, 1]")
+        if not self.saturation_metrics:
+            raise ConfigError("saturation_metrics must not be empty")
+
+
+@dataclass(frozen=True)
+class SlaViolation:
+    """One specific objective a job failed."""
+
+    job_id: str
+    kind: str           # "runtime-stretch", "host-saturation", "incomplete"
+    detail: str
+    severity: float     # how far past the objective, as a ratio >= 1
+
+
+@dataclass(frozen=True)
+class JobSlaReport:
+    """SLA evaluation of one job."""
+
+    job_id: str
+    runtime_stretch: float
+    saturated_fraction: float
+    incomplete_instances: int
+    violations: tuple[SlaViolation, ...] = field(default_factory=tuple)
+
+    @property
+    def violated(self) -> bool:
+        return bool(self.violations)
+
+
+def _runtime_stretch(bundle: TraceBundle, job_id: str) -> float:
+    """Worst instance-duration / task-median-duration ratio of one job."""
+    worst = 1.0
+    for task_id in bundle.task_ids(job_id):
+        instances = bundle.instances_of_task(job_id, task_id)
+        durations = np.asarray([inst.duration for inst in instances], dtype=np.float64)
+        if durations.size == 0:
+            continue
+        median = float(np.median(durations))
+        if median <= 0:
+            continue
+        worst = max(worst, float(durations.max()) / median)
+    return worst
+
+
+def _saturated_fraction(store: MetricStore | None, machine_ids: list[str],
+                        window: tuple[float, float],
+                        policy: SlaPolicy) -> float:
+    """Mean fraction of window samples the job's hosts spend saturated."""
+    if store is None or not machine_ids or window[1] <= window[0]:
+        return 0.0
+    known = [mid for mid in machine_ids if mid in store]
+    if not known:
+        return 0.0
+    windowed = store.window(window[0], window[1])
+    fractions: list[float] = []
+    for machine_id in known:
+        saturated = None
+        for metric in policy.saturation_metrics:
+            if metric not in windowed.metrics:
+                continue
+            values = windowed.series(machine_id, metric).values
+            flag = values >= policy.saturation_level
+            saturated = flag if saturated is None else (saturated | flag)
+        if saturated is not None and saturated.size:
+            fractions.append(float(np.mean(saturated)))
+    return float(np.mean(fractions)) if fractions else 0.0
+
+
+def evaluate_job_sla(bundle: TraceBundle, job_id: str, *,
+                     policy: SlaPolicy | None = None,
+                     horizon_s: float | None = None) -> JobSlaReport:
+    """Evaluate one job against the SLA policy."""
+    policy = policy if policy is not None else SlaPolicy()
+    policy.validate()
+
+    instances = bundle.instances_of_job(job_id)
+    stretch = _runtime_stretch(bundle, job_id)
+
+    window = (float(min(i.start_timestamp for i in instances)),
+              float(max(i.end_timestamp for i in instances)))
+    machines = bundle.machines_of_job(job_id)
+    saturated = _saturated_fraction(bundle.usage, machines, window, policy)
+
+    if horizon_s is None:
+        horizon_s = bundle.time_range()[1]
+    incomplete = sum(
+        1 for inst in instances
+        if inst.status.lower() not in ("terminated", "finished", "completed")
+        or inst.end_timestamp > horizon_s)
+
+    violations: list[SlaViolation] = []
+    if stretch > policy.max_runtime_stretch:
+        violations.append(SlaViolation(
+            job_id=job_id, kind="runtime-stretch",
+            detail=f"slowest instance ran {stretch:.1f}x the task median "
+                   f"(limit {policy.max_runtime_stretch:.1f}x)",
+            severity=stretch / policy.max_runtime_stretch))
+    if saturated > policy.max_saturated_fraction:
+        limit = max(policy.max_saturated_fraction, 1e-9)
+        violations.append(SlaViolation(
+            job_id=job_id, kind="host-saturation",
+            detail=f"hosts saturated {saturated * 100:.0f}% of the execution "
+                   f"window (limit {policy.max_saturated_fraction * 100:.0f}%)",
+            severity=saturated / limit))
+    if incomplete:
+        violations.append(SlaViolation(
+            job_id=job_id, kind="incomplete",
+            detail=f"{incomplete} instance(s) did not terminate cleanly",
+            severity=1.0 + incomplete / max(1, len(instances))))
+
+    return JobSlaReport(
+        job_id=job_id,
+        runtime_stretch=stretch,
+        saturated_fraction=saturated,
+        incomplete_instances=incomplete,
+        violations=tuple(violations),
+    )
+
+
+def cluster_sla_report(bundle: TraceBundle, *,
+                       policy: SlaPolicy | None = None) -> dict[str, JobSlaReport]:
+    """Evaluate every job of a bundle; keyed by job id."""
+    policy = policy if policy is not None else SlaPolicy()
+    horizon = bundle.time_range()[1]
+    return {job_id: evaluate_job_sla(bundle, job_id, policy=policy,
+                                     horizon_s=horizon)
+            for job_id in bundle.job_ids()}
+
+
+@dataclass(frozen=True)
+class SlaSummary:
+    """Cluster-level roll-up of per-job SLA reports."""
+
+    total_jobs: int
+    violated_jobs: int
+    violations_by_kind: dict[str, int]
+    worst_job: str | None
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violated_jobs / self.total_jobs if self.total_jobs else 0.0
+
+
+def summarize_sla(reports: dict[str, JobSlaReport]) -> SlaSummary:
+    """Aggregate per-job reports into one cluster-level summary."""
+    by_kind: dict[str, int] = {}
+    worst_job: str | None = None
+    worst_severity = 0.0
+    violated = 0
+    for job_id, job_report in reports.items():
+        if not job_report.violated:
+            continue
+        violated += 1
+        for violation in job_report.violations:
+            by_kind[violation.kind] = by_kind.get(violation.kind, 0) + 1
+            if violation.severity > worst_severity:
+                worst_severity = violation.severity
+                worst_job = job_id
+    return SlaSummary(
+        total_jobs=len(reports),
+        violated_jobs=violated,
+        violations_by_kind=by_kind,
+        worst_job=worst_job,
+    )
+
+
+def jobs_at_risk(bundle: TraceBundle, hierarchy: BatchHierarchy,
+                 timestamp: float, *,
+                 policy: SlaPolicy | None = None) -> list[JobSlaReport]:
+    """SLA reports of the jobs active at one timestamp, violations first.
+
+    This is the "which of the jobs I am looking at right now is in trouble"
+    query an operator would issue from the bubble-chart view.
+    """
+    policy = policy if policy is not None else SlaPolicy()
+    active = [job.job_id for job in hierarchy.jobs_at(timestamp)]
+    reports = [evaluate_job_sla(bundle, job_id, policy=policy)
+               for job_id in active]
+    return sorted(reports, key=lambda r: (not r.violated, r.job_id))

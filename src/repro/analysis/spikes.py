@@ -1,0 +1,132 @@
+"""Spike and valley detection in utilisation series.
+
+"Users can observe the temporal patterns in terms of metric trends of
+compute nodes, such as a spike or a valley in the context of other nodes'
+performance" (§III-B).  This module finds those spikes/valleys by peak
+prominence so the case-study benchmark can verify that the hot-job machines
+really do exhibit the Fig. 3(b) spike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class Spike:
+    """One detected spike (or valley) in a series."""
+
+    timestamp: float
+    value: float
+    prominence: float
+    kind: str  # "spike" or "valley"
+    subject: str = ""
+
+
+def _prominences(values: np.ndarray, peak_indices: np.ndarray) -> np.ndarray:
+    """Topographic prominence of each peak (simple linear-scan version)."""
+    prominences = np.zeros(peak_indices.shape[0])
+    for out_index, peak in enumerate(peak_indices):
+        peak_value = values[peak]
+        # walk left until a higher value; the minimum along the way is the base
+        left_min = peak_value
+        for i in range(peak - 1, -1, -1):
+            if values[i] > peak_value:
+                break
+            left_min = min(left_min, values[i])
+        right_min = peak_value
+        for i in range(peak + 1, values.shape[0]):
+            if values[i] > peak_value:
+                break
+            right_min = min(right_min, values[i])
+        prominences[out_index] = peak_value - max(left_min, right_min)
+    return prominences
+
+
+def find_peaks(values: np.ndarray) -> np.ndarray:
+    """Indices of strict local maxima (plateau peaks report their first sample)."""
+    if values.shape[0] < 3:
+        return np.empty(0, dtype=np.int64)
+    peaks = []
+    i = 1
+    n = values.shape[0]
+    while i < n - 1:
+        if values[i] > values[i - 1]:
+            # scan over any plateau
+            j = i
+            while j < n - 1 and values[j + 1] == values[j]:
+                j += 1
+            if j < n - 1 and values[j + 1] < values[j]:
+                peaks.append(i)
+            i = j + 1
+        else:
+            i += 1
+    return np.asarray(peaks, dtype=np.int64)
+
+
+def detect_spikes(series: TimeSeries, *, min_prominence: float = 15.0,
+                  subject: str = "") -> list[Spike]:
+    """Spikes: local maxima with prominence of at least ``min_prominence``."""
+    if min_prominence <= 0:
+        raise SeriesError("min_prominence must be positive")
+    if len(series) < 3:
+        return []
+    values = series.values
+    peaks = find_peaks(values)
+    if peaks.shape[0] == 0:
+        return []
+    prominences = _prominences(values, peaks)
+    spikes = []
+    for index, prominence in zip(peaks, prominences):
+        if prominence >= min_prominence:
+            spikes.append(Spike(timestamp=float(series.timestamps[index]),
+                                value=float(values[index]),
+                                prominence=float(prominence),
+                                kind="spike", subject=subject))
+    return spikes
+
+
+def detect_valleys(series: TimeSeries, *, min_prominence: float = 15.0,
+                   subject: str = "") -> list[Spike]:
+    """Valleys: spikes of the negated series."""
+    if len(series) < 3:
+        return []
+    inverted = TimeSeries(series.timestamps, -series.values)
+    valleys = detect_spikes(inverted, min_prominence=min_prominence,
+                            subject=subject)
+    return [Spike(timestamp=v.timestamp, value=-v.value, prominence=v.prominence,
+                  kind="valley", subject=subject) for v in valleys]
+
+
+def largest_spike(series: TimeSeries, *, min_prominence: float = 5.0,
+                  subject: str = "") -> Spike | None:
+    """The most prominent spike of a series, or ``None``."""
+    spikes = detect_spikes(series, min_prominence=min_prominence, subject=subject)
+    if not spikes:
+        return None
+    return max(spikes, key=lambda s: s.prominence)
+
+
+def synchronized_spike(series_list: list[TimeSeries], *, min_prominence: float = 10.0,
+                       tolerance_s: float = 900.0) -> bool:
+    """True when most series spike at roughly the same time.
+
+    The Fig. 3(b) observation is that the CPU of *all* nodes running the hot
+    job is synchronised; this helper checks that at least half of the series
+    have their largest spike within ``tolerance_s`` of the median spike time.
+    """
+    times = []
+    for series in series_list:
+        spike = largest_spike(series, min_prominence=min_prominence)
+        if spike is not None:
+            times.append(spike.timestamp)
+    if len(times) < max(2, len(series_list) // 2):
+        return False
+    median = float(np.median(times))
+    close = sum(1 for t in times if abs(t - median) <= tolerance_s)
+    return close >= max(2, int(np.ceil(0.5 * len(series_list))))

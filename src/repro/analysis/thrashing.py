@@ -1,0 +1,150 @@
+"""Thrashing detection.
+
+The Fig. 3(c) finding: "the compute node is suffering thrashing while the
+virtual memory is overused ... eventually thrashing forces the CPU
+utilisation to decrease and the whole system is not making any progress."
+A machine is considered thrashing while its memory utilisation stays above
+a high watermark *and* its CPU utilisation has dropped well below its own
+recent level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+from repro.metrics.store import MetricStore
+
+
+@dataclass(frozen=True)
+class ThrashingWindow:
+    """One detected thrashing interval on one machine."""
+
+    machine_id: str
+    start: float
+    end: float
+    peak_mem: float
+    min_cpu: float
+    cpu_drop: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ThrashingConfig:
+    """Tunable thresholds of the detector."""
+
+    mem_watermark: float = 85.0
+    #: CPU must fall below this fraction of its pre-window mean.
+    cpu_drop_fraction: float = 0.6
+    #: Number of samples used for the pre-window CPU reference level.
+    reference_window: int = 8
+    #: Minimum duration of a reported thrashing interval, in seconds.
+    min_duration_s: float = 0.0
+
+    def validate(self) -> None:
+        if not 0.0 < self.mem_watermark <= 100.0:
+            raise SeriesError("mem_watermark must be in (0, 100]")
+        if not 0.0 < self.cpu_drop_fraction < 1.0:
+            raise SeriesError("cpu_drop_fraction must be in (0, 1)")
+        if self.reference_window < 1:
+            raise SeriesError("reference_window must be at least 1")
+
+
+def detect_thrashing(cpu: TimeSeries, mem: TimeSeries, *,
+                     machine_id: str = "",
+                     config: ThrashingConfig | None = None) -> list[ThrashingWindow]:
+    """Detect thrashing intervals on one machine from its CPU and memory series."""
+    config = config if config is not None else ThrashingConfig()
+    config.validate()
+    if len(cpu) == 0 or len(mem) == 0:
+        return []
+    if len(cpu) != len(mem) or not np.array_equal(cpu.timestamps, mem.timestamps):
+        raise SeriesError("cpu and mem series must share the same timestamps")
+
+    timestamps = cpu.timestamps
+    cpu_values = cpu.values
+    mem_values = mem.values
+    n = timestamps.shape[0]
+
+    # Reference CPU level: trailing mean over the most recent *healthy* samples
+    # (memory below the watermark).  Using only healthy samples keeps the
+    # reference at the pre-thrash level instead of collapsing along with the
+    # CPU during the thrash window itself.
+    reference = np.empty(n)
+    healthy_recent: list[float] = []
+    for i in range(n):
+        if healthy_recent:
+            reference[i] = float(np.mean(healthy_recent))
+        else:
+            reference[i] = cpu_values[i]
+        if mem_values[i] < config.mem_watermark:
+            healthy_recent.append(float(cpu_values[i]))
+            if len(healthy_recent) > config.reference_window:
+                healthy_recent.pop(0)
+
+    mask = (mem_values >= config.mem_watermark) & (
+        cpu_values <= config.cpu_drop_fraction * np.maximum(reference, 1e-9))
+
+    windows: list[ThrashingWindow] = []
+    start_index: int | None = None
+    for i, flagged in enumerate(mask):
+        if flagged and start_index is None:
+            start_index = i
+        elif not flagged and start_index is not None:
+            windows.append(_make_window(machine_id, timestamps, cpu_values,
+                                        mem_values, reference, start_index, i))
+            start_index = None
+    if start_index is not None:
+        windows.append(_make_window(machine_id, timestamps, cpu_values,
+                                    mem_values, reference, start_index, n))
+    return [w for w in windows if w.duration >= config.min_duration_s]
+
+
+def _make_window(machine_id: str, timestamps: np.ndarray, cpu: np.ndarray,
+                 mem: np.ndarray, reference: np.ndarray, lo: int,
+                 hi: int) -> ThrashingWindow:
+    segment = slice(lo, hi)
+    ref = float(np.mean(reference[segment]))
+    min_cpu = float(np.min(cpu[segment]))
+    return ThrashingWindow(
+        machine_id=machine_id,
+        start=float(timestamps[lo]),
+        end=float(timestamps[hi - 1]),
+        peak_mem=float(np.max(mem[segment])),
+        min_cpu=min_cpu,
+        cpu_drop=max(0.0, ref - min_cpu),
+    )
+
+
+def cluster_thrashing_report(store: MetricStore, *,
+                             config: ThrashingConfig | None = None) -> dict[str, list[ThrashingWindow]]:
+    """Run the detector over every machine of a store.
+
+    Returns only machines with at least one detected window.
+    """
+    report: dict[str, list[ThrashingWindow]] = {}
+    for machine_id in store.machine_ids:
+        windows = detect_thrashing(store.series(machine_id, "cpu"),
+                                   store.series(machine_id, "mem"),
+                                   machine_id=machine_id, config=config)
+        if windows:
+            report[machine_id] = windows
+    return report
+
+
+def thrashing_fraction(store: MetricStore, timestamp: float, *,
+                       config: ThrashingConfig | None = None) -> float:
+    """Fraction of machines thrashing at one timestamp (regime classification)."""
+    report = cluster_thrashing_report(store, config=config)
+    if store.num_machines == 0:
+        return 0.0
+    affected = sum(
+        1 for windows in report.values()
+        if any(w.start <= timestamp <= w.end for w in windows))
+    return affected / store.num_machines

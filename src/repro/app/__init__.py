@@ -1,0 +1,30 @@
+"""The BatchLens application layer: facade, sessions, views, export."""
+
+from repro.app.batchlens import BatchLens
+from repro.app.export import case_study_narrative, export_case_study, export_job_figures
+from repro.app.interactions import InteractionError, NodeLinkIndex, SelectionState, TimeBrush
+from repro.app.session import AnalysisSession
+from repro.app.views import (
+    active_job_summary,
+    build_bubble_model,
+    build_heatmap_model,
+    build_line_model,
+    build_timeline_model,
+)
+
+__all__ = [
+    "AnalysisSession",
+    "BatchLens",
+    "InteractionError",
+    "NodeLinkIndex",
+    "SelectionState",
+    "TimeBrush",
+    "active_job_summary",
+    "build_bubble_model",
+    "build_heatmap_model",
+    "build_line_model",
+    "build_timeline_model",
+    "case_study_narrative",
+    "export_case_study",
+    "export_job_figures",
+]

@@ -1,0 +1,112 @@
+"""Interaction model: brushing, timestamp selection and node linking.
+
+The paper's §III-C interactions, expressed as plain objects so they can be
+exercised from tests and the examples without a browser:
+
+* brushing a time range on the timeline or a line chart → a validated
+  :class:`TimeBrush` that the detail (zoom) views consume;
+* choosing a timestamp → drives which jobs/bubbles are shown;
+* mousing over a compute node → a :class:`NodeLinkIndex` lookup of every
+  (job, task) pair the machine currently serves, i.e. the dotted links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.errors import BatchLensError
+
+
+class InteractionError(BatchLensError):
+    """An interaction was requested with out-of-range arguments."""
+
+
+@dataclass(frozen=True)
+class TimeBrush:
+    """A validated, clamped time-range selection."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise InteractionError(
+                f"brush end ({self.end}) must be after start ({self.start})")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def clamp(self, lo: float, hi: float) -> "TimeBrush":
+        """Clamp the brush into ``[lo, hi]`` (raises if nothing remains)."""
+        start = max(self.start, lo)
+        end = min(self.end, hi)
+        if end <= start:
+            raise InteractionError(
+                f"brush [{self.start}, {self.end}] lies outside the data "
+                f"extent [{lo}, {hi}]")
+        return TimeBrush(start, end)
+
+    def contains(self, timestamp: float) -> bool:
+        return self.start <= timestamp <= self.end
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.start, self.end)
+
+
+@dataclass(frozen=True)
+class SelectionState:
+    """The current selection of the linked views."""
+
+    timestamp: float | None = None
+    job_id: str | None = None
+    metric: str = "cpu"
+    brush: TimeBrush | None = None
+    hovered_machine: str | None = None
+
+    def with_timestamp(self, timestamp: float) -> "SelectionState":
+        return replace(self, timestamp=timestamp)
+
+    def with_job(self, job_id: str | None) -> "SelectionState":
+        return replace(self, job_id=job_id)
+
+    def with_metric(self, metric: str) -> "SelectionState":
+        return replace(self, metric=metric)
+
+    def with_brush(self, brush: TimeBrush | None) -> "SelectionState":
+        return replace(self, brush=brush)
+
+    def with_hover(self, machine_id: str | None) -> "SelectionState":
+        return replace(self, hovered_machine=machine_id)
+
+
+@dataclass
+class NodeLinkIndex:
+    """Lookup of machines serving several jobs at one timestamp."""
+
+    timestamp: float
+    links: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
+
+    @classmethod
+    def from_hierarchy(cls, hierarchy: BatchHierarchy,
+                       timestamp: float) -> "NodeLinkIndex":
+        return cls(timestamp=timestamp,
+                   links=hierarchy.shared_machines(timestamp))
+
+    @property
+    def shared_machine_ids(self) -> list[str]:
+        return sorted(self.links)
+
+    def jobs_of(self, machine_id: str) -> list[str]:
+        """Distinct jobs the machine serves at the index's timestamp."""
+        seen: dict[str, None] = {}
+        for job_id, _ in self.links.get(machine_id, []):
+            seen.setdefault(job_id, None)
+        return list(seen)
+
+    def is_shared(self, machine_id: str) -> bool:
+        return machine_id in self.links
+
+    def __len__(self) -> int:
+        return len(self.links)

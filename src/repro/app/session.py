@@ -1,0 +1,122 @@
+"""An interactive analysis session over one trace.
+
+:class:`AnalysisSession` mirrors how an analyst uses BatchLens: pick a
+timestamp on the timeline, look at the bubble chart, select a job, brush a
+range on its line chart, hover a node.  It keeps the selection state and
+hands out consistent view models — which is also exactly what the
+integration tests exercise end to end.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.patterns import RegimeAssessment, classify_regime
+from repro.app.interactions import InteractionError, NodeLinkIndex, SelectionState, TimeBrush
+from repro.app.views import (
+    active_job_summary,
+    build_bubble_model,
+    build_line_model,
+    build_timeline_model,
+)
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.config import METRICS
+from repro.errors import UnknownEntityError
+from repro.metrics.store import MetricStore
+from repro.trace.records import TraceBundle
+from repro.vis.charts.bubble import BubbleChartModel
+from repro.vis.charts.line import LineChartModel
+from repro.vis.charts.timeline import TimelineModel
+
+
+class AnalysisSession:
+    """Stateful exploration of one trace bundle."""
+
+    def __init__(self, bundle: TraceBundle, *,
+                 hierarchy: BatchHierarchy | None = None) -> None:
+        if bundle.usage is None or bundle.usage.num_samples == 0:
+            raise InteractionError("the bundle carries no usage data to explore")
+        self.bundle = bundle
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else BatchHierarchy.from_bundle(bundle))
+        self.store: MetricStore = bundle.usage
+        start, end = bundle.time_range()
+        self._extent = (start, end)
+        self.state = SelectionState(timestamp=start)
+
+    # -- selection --------------------------------------------------------------
+    @property
+    def time_extent(self) -> tuple[float, float]:
+        return self._extent
+
+    def select_timestamp(self, timestamp: float) -> SelectionState:
+        lo, hi = self._extent
+        if not lo <= timestamp <= hi:
+            raise InteractionError(
+                f"timestamp {timestamp} outside the trace extent [{lo}, {hi}]")
+        self.state = self.state.with_timestamp(timestamp)
+        return self.state
+
+    def select_job(self, job_id: str) -> SelectionState:
+        if job_id not in self.hierarchy:
+            raise UnknownEntityError("job", job_id)
+        self.state = self.state.with_job(job_id)
+        return self.state
+
+    def select_metric(self, metric: str) -> SelectionState:
+        if metric not in METRICS:
+            raise InteractionError(
+                f"unknown metric {metric!r}; expected one of {METRICS}")
+        self.state = self.state.with_metric(metric)
+        return self.state
+
+    def brush(self, start: float, end: float) -> TimeBrush:
+        brush = TimeBrush(start, end).clamp(*self._extent)
+        self.state = self.state.with_brush(brush)
+        return brush
+
+    def clear_brush(self) -> None:
+        self.state = self.state.with_brush(None)
+
+    def hover(self, machine_id: str | None) -> SelectionState:
+        self.state = self.state.with_hover(machine_id)
+        return self.state
+
+    # -- derived views -------------------------------------------------------------
+    def _current_timestamp(self) -> float:
+        return self.state.timestamp if self.state.timestamp is not None else self._extent[0]
+
+    def bubble_model(self, *, max_jobs: int | None = None) -> BubbleChartModel:
+        return build_bubble_model(self.hierarchy, self.store,
+                                  self._current_timestamp(), max_jobs=max_jobs)
+
+    def line_model(self, job_id: str | None = None,
+                   metric: str | None = None) -> LineChartModel:
+        job = job_id if job_id is not None else self.state.job_id
+        if job is None:
+            raise InteractionError("no job selected; call select_job() first")
+        brush = self.state.brush.as_tuple() if self.state.brush else None
+        return build_line_model(self.hierarchy, self.store, job,
+                                metric=metric or self.state.metric, brush=brush)
+
+    def timeline_model(self) -> TimelineModel:
+        brush = self.state.brush.as_tuple() if self.state.brush else None
+        return build_timeline_model(self.store,
+                                    selected_timestamp=self.state.timestamp,
+                                    brush=brush)
+
+    def node_links(self) -> NodeLinkIndex:
+        return NodeLinkIndex.from_hierarchy(self.hierarchy,
+                                            self._current_timestamp())
+
+    def regime(self) -> RegimeAssessment:
+        return classify_regime(self.store, self._current_timestamp())
+
+    def active_jobs(self) -> list[dict]:
+        return active_job_summary(self.bundle, self.hierarchy, self.store,
+                                  self._current_timestamp())
+
+    def hovered_machine_jobs(self) -> list[str]:
+        """Jobs sharing the currently hovered machine (empty without hover)."""
+        if self.state.hovered_machine is None:
+            return []
+        return self.hierarchy.jobs_on_machine(self.state.hovered_machine,
+                                              self._current_timestamp())

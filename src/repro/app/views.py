@@ -1,0 +1,156 @@
+"""View-model builders: from trace data to chart models.
+
+These functions translate the analysis-side objects (bundle, hierarchy,
+metric store) into the declarative models the chart classes render.  They
+are the linkage layer of the "multiple mutually-linked views": every view
+of one dashboard is built from the same bundle, hierarchy and selection
+state, so they stay consistent by construction.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.hierarchy import BatchHierarchy, JobNode
+from repro.config import METRICS
+from repro.errors import UnknownEntityError
+from repro.metrics.aggregate import cluster_timeline
+from repro.metrics.store import MetricStore
+from repro.trace.records import TraceBundle
+from repro.vis.charts.bubble import BubbleChartModel, JobBubble, NodeGlyph, TaskBubble
+from repro.vis.charts.heatmap import HeatmapModel
+from repro.vis.charts.line import Annotation, LineChartModel, LineSeries
+from repro.vis.charts.timeline import TimelineModel
+
+
+def build_bubble_model(hierarchy: BatchHierarchy, store: MetricStore,
+                       timestamp: float, *, max_jobs: int | None = None,
+                       include_shared_links: bool = True) -> BubbleChartModel:
+    """The hierarchical bubble chart model for one timestamp.
+
+    Jobs active at the timestamp become root bubbles; their tasks become the
+    middle layer; every machine executing an active instance becomes a node
+    glyph coloured by its utilisation at that instant.  ``max_jobs`` keeps
+    paper-scale renders readable by taking the busiest jobs first.
+    """
+    active_jobs = hierarchy.jobs_at(timestamp)
+    active_jobs.sort(key=lambda job: (-job.num_instances, job.job_id))
+    if max_jobs is not None:
+        active_jobs = active_jobs[:max_jobs]
+
+    job_bubbles: list[JobBubble] = []
+    for job in active_jobs:
+        bubble = JobBubble(job_id=job.job_id)
+        for task in job.tasks:
+            if not task.active_at(timestamp):
+                continue
+            task_bubble = TaskBubble(task_id=task.task_id)
+            machine_instances: dict[str, int] = {}
+            for inst in task.active_instances(timestamp):
+                if inst.machine_id is None:
+                    continue
+                machine_instances[inst.machine_id] = (
+                    machine_instances.get(inst.machine_id, 0) + 1)
+            for machine_id, count in sorted(machine_instances.items()):
+                if machine_id in store:
+                    usage = store.machine_snapshot(machine_id, timestamp)
+                else:
+                    usage = {metric: 0.0 for metric in METRICS}
+                task_bubble.nodes.append(NodeGlyph(
+                    machine_id=machine_id,
+                    cpu=usage["cpu"], mem=usage["mem"], disk=usage["disk"],
+                    weight=float(count)))
+            if task_bubble.nodes:
+                bubble.tasks.append(task_bubble)
+        if bubble.tasks:
+            job_bubbles.append(bubble)
+
+    shared = hierarchy.shared_machines(timestamp) if include_shared_links else {}
+    if max_jobs is not None:
+        visible = {job.job_id for job in job_bubbles}
+        shared = {machine_id: [pair for pair in pairs if pair[0] in visible]
+                  for machine_id, pairs in shared.items()}
+        shared = {machine_id: pairs for machine_id, pairs in shared.items()
+                  if len({job_id for job_id, _ in pairs}) >= 2}
+    return BubbleChartModel(timestamp=timestamp, jobs=job_bubbles,
+                            shared_machines=shared)
+
+
+def build_line_model(hierarchy: BatchHierarchy, store: MetricStore, job_id: str,
+                     *, metric: str = "cpu",
+                     brush: tuple[float, float] | None = None,
+                     context_s: float = 1800.0) -> LineChartModel:
+    """The per-job multi-line chart model (Fig. 2).
+
+    One line per (machine, task) pair executing the job, clipped to the job's
+    lifetime plus ``context_s`` of context on either side; green start
+    annotations per machine and per-task end annotations.
+    """
+    job: JobNode = hierarchy.job(job_id)
+    start = job.start - context_s
+    end = job.end + context_s
+
+    lines: list[LineSeries] = []
+    for task in job.tasks:
+        for machine_id in task.machine_ids():
+            if machine_id not in store:
+                continue
+            series = store.series(machine_id, metric).slice(start, end)
+            if len(series) < 2:
+                continue
+            lines.append(LineSeries(machine_id=machine_id, task_id=task.task_id,
+                                    series=series))
+    if not lines:
+        raise UnknownEntityError("job with usage data", job_id)
+
+    annotations: list[Annotation] = []
+    start_times = sorted(set(job.start_times_by_machine().values()))
+    for timestamp in start_times:
+        annotations.append(Annotation(timestamp=float(timestamp), kind="start",
+                                      label=None))
+    if start_times:
+        annotations[0] = Annotation(timestamp=float(start_times[0]), kind="start",
+                                    label="start")
+    for task_id, end_time in sorted(job.task_end_times().items()):
+        annotations.append(Annotation(timestamp=float(end_time), kind="end",
+                                      task_id=task_id, label=f"end {task_id}"))
+
+    return LineChartModel(job_id=job_id, metric=metric, lines=lines,
+                          annotations=annotations, brush=brush)
+
+
+def build_timeline_model(store: MetricStore, *,
+                         selected_timestamp: float | None = None,
+                         brush: tuple[float, float] | None = None,
+                         reducer: str = "mean") -> TimelineModel:
+    """The cluster-aggregate timeline model (one layer per metric)."""
+    return TimelineModel(layers=cluster_timeline(store, reducer=reducer),
+                         selected_timestamp=selected_timestamp, brush=brush)
+
+
+def build_heatmap_model(store: MetricStore, *, metric: str = "cpu",
+                        machine_ids: list[str] | None = None) -> HeatmapModel:
+    """The baseline machine × time heat-map model."""
+    return HeatmapModel.from_store(store, metric=metric, machine_ids=machine_ids)
+
+
+def active_job_summary(bundle: TraceBundle, hierarchy: BatchHierarchy,
+                       store: MetricStore, timestamp: float) -> list[dict]:
+    """Tabular summary of active jobs at a timestamp (for reports and tests)."""
+    rows = []
+    for job in hierarchy.jobs_at(timestamp):
+        machine_ids = [mid for mid in job.machine_ids() if mid in store]
+        cpu_values = [store.machine_snapshot(mid, timestamp)["cpu"]
+                      for mid in machine_ids]
+        mem_values = [store.machine_snapshot(mid, timestamp)["mem"]
+                      for mid in machine_ids]
+        rows.append({
+            "job_id": job.job_id,
+            "num_tasks": job.num_tasks,
+            "num_instances": job.num_instances,
+            "num_machines": len(machine_ids),
+            "mean_cpu": sum(cpu_values) / len(cpu_values) if cpu_values else 0.0,
+            "mean_mem": sum(mem_values) / len(mem_values) if mem_values else 0.0,
+            "start": job.start,
+            "end": job.end,
+        })
+    rows.sort(key=lambda row: (-row["num_machines"], row["job_id"]))
+    return rows

@@ -1,0 +1,7 @@
+"""Baselines BatchLens is compared against (flat dashboards, threshold alerts)."""
+
+from repro.baselines.flat_dashboard import FlatDashboard
+from repro.baselines.tabular import TabularReport
+from repro.baselines.threshold_monitor import Alert, ThresholdMonitor
+
+__all__ = ["Alert", "FlatDashboard", "TabularReport", "ThresholdMonitor"]

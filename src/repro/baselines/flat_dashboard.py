@@ -1,0 +1,69 @@
+"""Baseline 2: a flat, Grafana-style per-machine dashboard.
+
+The "existing tools ... generally designed for system administrators" the
+paper contrasts against: one heat map and one aggregate line per metric,
+with no batch hierarchy, no job grouping and no cross-view linking.  The
+scalability benchmark (E8) measures its rendering cost next to BatchLens,
+and the detection benchmark (E9) shows what an operator can and cannot read
+off it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import BatchLensError
+from repro.metrics.store import MetricStore
+from repro.trace.records import TraceBundle
+from repro.vis.charts.heatmap import HeatmapModel, UtilisationHeatmap
+from repro.vis.charts.timeline import TimelineChart, TimelineModel
+from repro.vis.html import Dashboard
+
+
+class FlatDashboard:
+    """Per-machine metric dashboard without hierarchy awareness."""
+
+    def __init__(self, store: MetricStore, *, title: str = "Cluster metrics") -> None:
+        if store.num_samples == 0:
+            raise BatchLensError("flat dashboard needs usage data")
+        self.store = store
+        self.title = title
+
+    @classmethod
+    def from_bundle(cls, bundle: TraceBundle, **kwargs) -> "FlatDashboard":
+        if bundle.usage is None:
+            raise BatchLensError("bundle has no usage data")
+        return cls(bundle.usage, **kwargs)
+
+    # -- charts ---------------------------------------------------------------------
+    def heatmap(self, metric: str = "cpu", *, width: float = 900.0,
+                height: float = 480.0) -> UtilisationHeatmap:
+        model = HeatmapModel.from_store(self.store, metric=metric)
+        return UtilisationHeatmap(model, width=width, height=height)
+
+    def aggregate_timeline(self, *, width: float = 900.0,
+                           height: float = 220.0) -> TimelineChart:
+        from repro.metrics.aggregate import cluster_timeline
+
+        model = TimelineModel(layers=cluster_timeline(self.store))
+        return TimelineChart(model, width=width, height=height,
+                             title="Cluster-wide averages")
+
+    # -- dashboard --------------------------------------------------------------------
+    def build(self) -> Dashboard:
+        """Assemble the flat dashboard (heat map per metric + averages)."""
+        dash = Dashboard(title=self.title,
+                         subtitle="Baseline view: per-machine metrics only, "
+                                  "no batch-job hierarchy.")
+        dash.add_panel("Cluster-wide averages", self.aggregate_timeline(),
+                       full_width=True)
+        for metric in self.store.metrics:
+            dash.add_panel(f"Per-machine {metric.upper()} heat map",
+                           self.heatmap(metric),
+                           description="Rows are machines, columns are time "
+                                       "buckets.",
+                           full_width=True)
+        return dash
+
+    def save(self, path: str | Path) -> Path:
+        return self.build().save(path)

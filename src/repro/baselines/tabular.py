@@ -1,0 +1,87 @@
+"""Baseline 3: the raw tabular report.
+
+"The preceding methods are neither intuitive nor efficient as they consist
+of large-scale general metric data" — this module is that status quo: plain
+text tables of the busiest machines and longest jobs, the kind of output
+``sar``/``top``-style tooling or a SQL query over the trace would give an
+operator.  Useful both as a comparison point and as a quick CLI-style
+summary in the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BatchLensError
+from repro.metrics.aggregate import busiest_machines
+from repro.trace.records import TraceBundle
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+             "  ".join("-" * widths[i] for i in range(len(headers)))]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class TabularReport:
+    """Plain-text summary tables over one trace bundle."""
+
+    bundle: TraceBundle
+    top_n: int = 10
+
+    def __post_init__(self) -> None:
+        if self.top_n <= 0:
+            raise BatchLensError("top_n must be positive")
+
+    def busiest_machines_table(self, timestamp: float, metric: str = "cpu") -> str:
+        """Top machines by utilisation at one timestamp."""
+        if self.bundle.usage is None:
+            raise BatchLensError("bundle has no usage data")
+        ranked = busiest_machines(self.bundle.usage, metric, timestamp,
+                                  top_n=self.top_n)
+        rows = [[machine_id, f"{value:.1f}%"] for machine_id, value in ranked]
+        return _format_table(["machine", f"{metric} util"], rows)
+
+    def longest_jobs_table(self) -> str:
+        """Jobs ordered by wall-clock duration."""
+        durations: dict[str, tuple[int, int, int]] = {}
+        for inst in self.bundle.instances:
+            start, end, count = durations.get(
+                inst.job_id, (inst.start_timestamp, inst.end_timestamp, 0))
+            durations[inst.job_id] = (min(start, inst.start_timestamp),
+                                      max(end, inst.end_timestamp), count + 1)
+        ranked = sorted(durations.items(), key=lambda kv: -(kv[1][1] - kv[1][0]))
+        rows = [[job_id, f"{end - start}s", str(count)]
+                for job_id, (start, end, count) in ranked[:self.top_n]]
+        return _format_table(["job", "duration", "instances"], rows)
+
+    def largest_jobs_table(self) -> str:
+        """Jobs ordered by instance count."""
+        counts: dict[str, int] = {}
+        for inst in self.bundle.instances:
+            counts[inst.job_id] = counts.get(inst.job_id, 0) + 1
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        rows = [[job_id, str(count)] for job_id, count in ranked[:self.top_n]]
+        return _format_table(["job", "instances"], rows)
+
+    def report(self, timestamp: float) -> str:
+        """The full report an operator would scroll through."""
+        sections = [
+            f"=== Busiest machines at t={timestamp:.0f}s ===",
+            self.busiest_machines_table(timestamp),
+            "",
+            "=== Longest jobs ===",
+            self.longest_jobs_table(),
+            "",
+            "=== Largest jobs ===",
+            self.largest_jobs_table(),
+        ]
+        return "\n".join(sections)

@@ -1,0 +1,309 @@
+"""Command-line interface.
+
+The CLI wraps the most common workflows so a trace can be explored without
+writing Python::
+
+    python -m repro generate --scenario hotjob --output-dir trace/
+    python -m repro validate trace/
+    python -m repro stats trace/
+    python -m repro dashboard trace/ --timestamp 9000 --output batchlens.html
+    python -m repro report trace/ --timestamp 9000
+    python -m repro figures trace/ --job job_1042 --output-dir figs/
+    python -m repro monitor --synthetic --scenario thrashing
+    python -m repro compare --synthetic --scenario thrashing
+    python -m repro sla trace/
+    python -m repro experiments --seed 2022 --output EXPERIMENTS_generated.md
+
+Every sub-command accepts either a directory of Alibaba-format CSVs or
+``--synthetic`` to generate a trace on the fly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.sla import SlaPolicy, cluster_sla_report, summarize_sla
+from repro.app.batchlens import BatchLens
+from repro.app.export import case_study_narrative, export_job_figures
+from repro.cluster.anomalies import SCENARIOS
+from repro.config import TraceConfig, paper_scale_config
+from repro.errors import BatchLensError
+from repro.report.comparison import compare_detection_quality, render_comparison
+from repro.report.experiments import render_experiments, run_experiment_suite
+from repro.stream.monitor import MonitorConfig
+from repro.stream.replay import replay_with_alerts
+from repro.trace.loader import load_trace
+from repro.trace.records import TraceBundle
+from repro.trace.synthetic import generate_trace
+from repro.trace.validate import validate_bundle
+from repro.trace.writer import write_trace
+
+
+def _add_trace_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("trace_dir", nargs="?", default=None,
+                        help="directory holding the Alibaba-format CSV tables")
+    parser.add_argument("--synthetic", action="store_true",
+                        help="generate a synthetic trace instead of loading one")
+    parser.add_argument("--scenario", default="hotjob", choices=sorted(SCENARIOS),
+                        help="scenario for --synthetic (default: hotjob)")
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="synthetic trace at 1300 machines / 24 h")
+
+
+def _resolve_bundle(args: argparse.Namespace) -> TraceBundle:
+    if args.trace_dir and not args.synthetic:
+        return load_trace(args.trace_dir)
+    if args.paper_scale:
+        config = paper_scale_config(scenario=args.scenario, seed=args.seed)
+    else:
+        config = TraceConfig(scenario=args.scenario, seed=args.seed)
+    return generate_trace(config)
+
+
+def _default_timestamp(bundle: TraceBundle, timestamp: float | None) -> float:
+    if timestamp is not None:
+        return timestamp
+    start, end = bundle.time_range()
+    return (start + end) / 2
+
+
+# -- sub-commands -------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.paper_scale:
+        config = paper_scale_config(scenario=args.scenario, seed=args.seed)
+    else:
+        config = TraceConfig(scenario=args.scenario, seed=args.seed)
+    bundle = generate_trace(config)
+    written = write_trace(bundle, args.output_dir, compress=args.compress)
+    print(f"scenario={args.scenario} seed={args.seed}")
+    for table, rows in written.items():
+        print(f"  {table}: {rows} rows")
+    print(f"trace written to {args.output_dir}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    bundle = _resolve_bundle(args)
+    report = validate_bundle(bundle)
+    for warning in report.warnings:
+        print(f"WARNING: {warning}")
+    for error in report.errors:
+        print(f"ERROR: {error}")
+    print(f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)")
+    return 0 if report.ok else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    bundle = _resolve_bundle(args)
+    lens = BatchLens.from_bundle(bundle)
+    stats = lens.stats()
+    start, end = lens.time_extent
+    print(f"time extent: {start:.0f}s .. {end:.0f}s "
+          f"({(end - start) / 3600:.1f} h)")
+    for key, value in stats.as_dict().items():
+        if isinstance(value, float):
+            print(f"  {key}: {value:.3f}")
+        else:
+            print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    bundle = _resolve_bundle(args)
+    lens = BatchLens.from_bundle(bundle)
+    timestamp = _default_timestamp(bundle, args.timestamp)
+    path = lens.save_dashboard(timestamp, args.output,
+                               max_jobs=args.max_jobs,
+                               max_line_panels=args.max_line_panels)
+    print(f"dashboard for t={timestamp:.0f}s written to {path}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    bundle = _resolve_bundle(args)
+    timestamp = _default_timestamp(bundle, args.timestamp)
+    print(case_study_narrative(bundle, timestamp))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    bundle = _resolve_bundle(args)
+    job_id = args.job
+    if job_id is None:
+        counts: dict[str, int] = {}
+        for inst in bundle.instances:
+            counts[inst.job_id] = counts.get(inst.job_id, 0) + 1
+        job_id = max(counts, key=counts.get)
+        print(f"no --job given; using the largest job {job_id}")
+    for path in export_job_figures(bundle, job_id, args.output_dir):
+        print(f"  {path}")
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Replay a trace through the online monitor (the §VI real-time extension)."""
+    bundle = _resolve_bundle(args)
+    config = MonitorConfig(utilisation_threshold=args.threshold)
+    report, manager = replay_with_alerts(bundle, monitor_config=config,
+                                         window_samples=args.window_samples)
+    print(f"replayed {report.samples_replayed} samples "
+          f"({report.duration_s / 3600:.1f} h of trace time)")
+    print(f"final regime: {report.final_regime}; "
+          f"mean CPU {report.mean_cpu:.0f}%, p95 CPU {report.p95_cpu:.0f}%")
+    if report.alerts_by_kind:
+        print("alerts by kind:")
+        for kind, count in sorted(report.alerts_by_kind.items()):
+            print(f"  {kind}: {count}")
+    else:
+        print("no alerts raised")
+    lines = manager.summary_lines(limit=args.max_alerts)
+    if lines:
+        print(f"most urgent pending alerts (top {len(lines)}):")
+        for line in lines:
+            print(f"  {line}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Compare BatchLens detection quality against the threshold baseline."""
+    bundle = _resolve_bundle(args)
+    comparison = compare_detection_quality(bundle, threshold=args.threshold)
+    markdown = render_comparison(comparison)
+    if args.output is not None:
+        Path(args.output).write_text(markdown, encoding="utf-8")
+        print(f"comparison written to {args.output}")
+    else:
+        print(markdown)
+    return 0
+
+
+def cmd_sla(args: argparse.Namespace) -> int:
+    """Evaluate every job of a trace against the SLA policy."""
+    bundle = _resolve_bundle(args)
+    policy = SlaPolicy(max_runtime_stretch=args.max_stretch,
+                       saturation_level=args.saturation_level)
+    reports = cluster_sla_report(bundle, policy=policy)
+    summary = summarize_sla(reports)
+    print(f"{summary.violated_jobs}/{summary.total_jobs} job(s) in violation "
+          f"({summary.violation_rate * 100:.0f}%)")
+    for kind, count in sorted(summary.violations_by_kind.items()):
+        print(f"  {kind}: {count} job(s)")
+    violated = [r for r in reports.values() if r.violated]
+    for job_report in sorted(violated, key=lambda r: r.job_id)[:args.max_jobs]:
+        reasons = "; ".join(v.detail for v in job_report.violations)
+        print(f"  {job_report.job_id}: {reasons}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Run the paper-claim vs. measured experiment suite."""
+    records = run_experiment_suite(paper_scale=args.paper_scale, seed=args.seed)
+    markdown = render_experiments(records)
+    if args.output is not None:
+        Path(args.output).write_text(markdown, encoding="utf-8")
+        print(f"experiment report written to {args.output}")
+    else:
+        print(markdown)
+    mismatches = sum(1 for record in records if not record.matches)
+    print(f"{len(records) - mismatches}/{len(records)} claims hold")
+    return 0 if mismatches == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BatchLens: visual analytics for batch jobs in cloud systems")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write a synthetic trace to CSVs")
+    generate.add_argument("--output-dir", type=Path, required=True)
+    generate.add_argument("--scenario", default="hotjob", choices=sorted(SCENARIOS))
+    generate.add_argument("--seed", type=int, default=2022)
+    generate.add_argument("--paper-scale", action="store_true")
+    generate.add_argument("--compress", action="store_true",
+                          help="gzip the CSV tables")
+    generate.set_defaults(func=cmd_generate)
+
+    validate = sub.add_parser("validate", help="check a trace against the schema "
+                                               "and structural invariants")
+    _add_trace_source(validate)
+    validate.set_defaults(func=cmd_validate)
+
+    stats = sub.add_parser("stats", help="print dataset statistics (paper §II)")
+    _add_trace_source(stats)
+    stats.set_defaults(func=cmd_stats)
+
+    dashboard = sub.add_parser("dashboard", help="export the linked-view dashboard")
+    _add_trace_source(dashboard)
+    dashboard.add_argument("--timestamp", type=float, default=None)
+    dashboard.add_argument("--output", type=Path, default=Path("batchlens.html"))
+    dashboard.add_argument("--max-jobs", type=int, default=18)
+    dashboard.add_argument("--max-line-panels", type=int, default=4)
+    dashboard.set_defaults(func=cmd_dashboard)
+
+    report = sub.add_parser("report", help="print the case-study narrative")
+    _add_trace_source(report)
+    report.add_argument("--timestamp", type=float, default=None)
+    report.set_defaults(func=cmd_report)
+
+    figures = sub.add_parser("figures", help="export Fig. 2-style charts for a job")
+    _add_trace_source(figures)
+    figures.add_argument("--job", default=None)
+    figures.add_argument("--output-dir", type=Path, default=Path("figures"))
+    figures.set_defaults(func=cmd_figures)
+
+    monitor = sub.add_parser("monitor", help="replay a trace through the online "
+                                             "monitor (real-time extension)")
+    _add_trace_source(monitor)
+    monitor.add_argument("--threshold", type=float, default=92.0,
+                         help="utilisation alert threshold in percent")
+    monitor.add_argument("--window-samples", type=int, default=128)
+    monitor.add_argument("--max-alerts", type=int, default=10,
+                         help="how many pending alerts to print")
+    monitor.set_defaults(func=cmd_monitor)
+
+    compare = sub.add_parser("compare", help="BatchLens vs. baseline detection "
+                                             "quality on one trace")
+    _add_trace_source(compare)
+    compare.add_argument("--threshold", type=float, default=95.0,
+                         help="baseline alert threshold in percent")
+    compare.add_argument("--output", type=Path, default=None,
+                         help="write the Markdown report here instead of stdout")
+    compare.set_defaults(func=cmd_compare)
+
+    sla = sub.add_parser("sla", help="evaluate every job against the SLA policy")
+    _add_trace_source(sla)
+    sla.add_argument("--max-stretch", type=float, default=2.0,
+                     help="allowed instance-runtime stretch over the task median")
+    sla.add_argument("--saturation-level", type=float, default=90.0)
+    sla.add_argument("--max-jobs", type=int, default=10,
+                     help="how many violated jobs to list")
+    sla.set_defaults(func=cmd_sla)
+
+    experiments = sub.add_parser(
+        "experiments", help="run the paper-claim vs. measured experiment suite")
+    experiments.add_argument("--seed", type=int, default=2022)
+    experiments.add_argument("--paper-scale", action="store_true")
+    experiments.add_argument("--output", type=Path, default=None,
+                             help="write the Markdown report here instead of stdout")
+    experiments.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BatchLensError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

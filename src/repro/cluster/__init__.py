@@ -1,0 +1,68 @@
+"""Cluster substrate: machines, scheduling, simulation, hierarchy, events."""
+
+from repro.cluster.anomalies import (
+    Anomaly,
+    BackgroundLoad,
+    HotJob,
+    MachineFailure,
+    SCENARIOS,
+    Scenario,
+    Straggler,
+    Thrashing,
+    get_scenario,
+)
+from repro.cluster.context import SimulationContext
+from repro.cluster.events import (
+    ClusterEvent,
+    EventKind,
+    events_in_window,
+    full_timeline,
+    job_events,
+    machine_events,
+    task_events,
+)
+from repro.cluster.hierarchy import BatchHierarchy, InstanceNode, JobNode, TaskNode
+from repro.cluster.machine import Machine, machine_add_events, machine_id_for, make_machines
+from repro.cluster.scheduler import (
+    LeastLoadedScheduler,
+    PlacedInstance,
+    RoundRobinScheduler,
+    SCHEDULERS,
+    make_scheduler,
+)
+from repro.cluster.simulator import ClusterSimulator, simulate
+
+__all__ = [
+    "Anomaly",
+    "BackgroundLoad",
+    "BatchHierarchy",
+    "ClusterEvent",
+    "ClusterSimulator",
+    "EventKind",
+    "HotJob",
+    "InstanceNode",
+    "JobNode",
+    "LeastLoadedScheduler",
+    "Machine",
+    "MachineFailure",
+    "PlacedInstance",
+    "RoundRobinScheduler",
+    "SCENARIOS",
+    "SCHEDULERS",
+    "Scenario",
+    "SimulationContext",
+    "Straggler",
+    "TaskNode",
+    "Thrashing",
+    "events_in_window",
+    "full_timeline",
+    "get_scenario",
+    "job_events",
+    "machine_add_events",
+    "machine_events",
+    "machine_id_for",
+    "make_machines",
+    "make_scheduler",
+    "simulate",
+    "task_events",
+]

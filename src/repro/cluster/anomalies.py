@@ -1,0 +1,442 @@
+"""Anomaly injection and the case-study scenarios.
+
+The paper's evaluation walks through three cluster regimes observed at three
+timestamps of the Alibaba trace:
+
+* Fig. 3(a) — a **healthy** period: every machine sits at 20-40 % utilisation
+  and metrics are stable throughout job execution.
+* Fig. 3(b) — a **medium-load** period (50-80 %) with one *hot job*
+  (job_7901) whose machines spike in CPU and memory, peaking when the job
+  finishes and then decaying slowly.
+* Fig. 3(c) — a **saturated / thrashing** period: many machines near
+  capacity, memory overcommitted, CPU collapsing while the system makes no
+  progress, followed by mass termination and relaunch of the running jobs.
+
+Each regime is expressed here as a :class:`Scenario`: a named list of
+composable :class:`Anomaly` objects with hooks at three points of the
+simulation pipeline (workload generation, placement, usage synthesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.context import SimulationContext
+from repro.cluster.machine import failure_event
+from repro.errors import SimulationError
+from repro.trace import schema
+from repro.trace.workload import JobSpec
+
+
+class Anomaly:
+    """Base class for all injectable anomalies.
+
+    Subclasses override whichever hooks they need; every hook receives the
+    shared :class:`SimulationContext`.
+    """
+
+    name = "anomaly"
+
+    def mutate_workload(self, ctx: SimulationContext) -> None:
+        """Adjust job specifications before scheduling."""
+
+    def mutate_placements(self, ctx: SimulationContext) -> None:
+        """Adjust instance placements before usage synthesis."""
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        """Adjust the usage store (and optionally placements) after synthesis."""
+
+    def describe(self) -> dict:
+        """Serializable description recorded into the bundle metadata."""
+        return {"name": self.name}
+
+
+@dataclass
+class BackgroundLoad(Anomaly):
+    """Raise the whole cluster to a target utilisation band.
+
+    Adds a per-machine random but temporally-smooth offset on top of the
+    baseline so the three case-study regimes land in the utilisation bands
+    the paper describes (20-40 %, 50-80 %, near-capacity).
+    """
+
+    cpu_offset: float = 12.0
+    mem_offset: float = 10.0
+    disk_offset: float = 5.0
+    #: Half-width of the per-machine uniform jitter around each offset.
+    spread: float = 4.0
+
+    name = "background-load"
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        store = ctx.store
+        if store is None:
+            raise SimulationError("background load requires a usage store")
+        offsets = {"cpu": self.cpu_offset, "mem": self.mem_offset,
+                   "disk": self.disk_offset}
+        n = store.num_samples
+        for machine_id in store.machine_ids:
+            for metric, offset in offsets.items():
+                level = offset + float(ctx.rng.uniform(-self.spread, self.spread))
+                # slow sinusoidal drift so the lines are not perfectly flat
+                phase = float(ctx.rng.uniform(0, 2 * np.pi))
+                drift = 1.5 * np.sin(np.linspace(0, 2 * np.pi, n) + phase)
+                store.add_to_series(machine_id, metric,
+                                    np.full(n, max(0.0, level)) + drift)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "cpu_offset": self.cpu_offset,
+                "mem_offset": self.mem_offset, "disk_offset": self.disk_offset}
+
+
+@dataclass
+class HotJob(Anomaly):
+    """One job whose machines run much hotter than the rest of the cluster.
+
+    Reproduces the Fig. 3(b) pattern around job_7901: synchronized per-node
+    CPU lines with drastic fluctuations, a spike that peaks when the job
+    finishes, then a slow decay back to normal.
+    """
+
+    #: Multiplier applied to the hot job's resource requests.
+    demand_scale: float = 2.4
+    #: Extra utilisation (percent) added at the post-completion peak.
+    peak_boost: float = 30.0
+    #: Time constant of the post-completion decay, in seconds.
+    decay_s: float = 1800.0
+    #: Job id to mark hot; by default the job with the most instances.
+    job_id: str | None = None
+
+    name = "hot-job"
+
+    def _pick_job(self, ctx: SimulationContext) -> JobSpec:
+        if self.job_id is not None:
+            for job in ctx.jobs:
+                if job.job_id == self.job_id:
+                    return job
+            raise SimulationError(f"hot job {self.job_id!r} not in workload")
+        if not ctx.jobs:
+            raise SimulationError("hot-job anomaly requires a non-empty workload")
+        return max(ctx.jobs, key=lambda job: (job.num_instances, job.job_id))
+
+    def mutate_workload(self, ctx: SimulationContext) -> None:
+        job = self._pick_job(ctx)
+        job.labels.add("hot")
+        job.scale_demand(cpu=self.demand_scale, mem=self.demand_scale,
+                         disk=1.0 + (self.demand_scale - 1.0) / 2.0)
+        ctx.extra_meta["hot_job_id"] = job.job_id
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        store, grid = ctx.store, ctx.grid
+        if store is None or grid is None:
+            raise SimulationError("hot-job anomaly requires a usage store")
+        hot_job_id = ctx.extra_meta.get("hot_job_id")
+        if hot_job_id is None:
+            return
+        placements = ctx.placements_of_job(hot_job_id)
+        if not placements:
+            return
+        end = float(max(p.end_s for p in placements))
+        for machine_id in {p.machine_id for p in placements}:
+            # ramp toward the peak while the job runs, then exponential decay
+            start = float(min(p.start_s for p in placements
+                              if p.machine_id == machine_id))
+            ramp = np.clip((grid - start) / max(1.0, end - start), 0.0, 1.0)
+            decay = np.exp(-np.clip(grid - end, 0.0, None) / self.decay_s)
+            boost = self.peak_boost * ramp * decay
+            store.add_to_series(machine_id, "cpu", boost)
+            store.add_to_series(machine_id, "mem", boost * 0.9)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "demand_scale": self.demand_scale,
+                "peak_boost": self.peak_boost, "decay_s": self.decay_s,
+                "job_id": self.job_id}
+
+
+@dataclass
+class Thrashing(Anomaly):
+    """Memory overcommit driving CPU collapse, then mass termination.
+
+    Reproduces the Fig. 3(c) narrative: inside the thrash window the affected
+    machines' memory climbs toward capacity while CPU utilisation drops as the
+    system stops making progress; at the end of the window every running job
+    except one survivor is terminated (and optionally relaunched), yet the
+    machines keep reporting elevated metrics for a little while.
+    """
+
+    #: Start/end of the thrash window as fractions of the trace horizon.
+    start_fraction: float = 0.55
+    end_fraction: float = 0.75
+    #: Fraction of the machines active in the window that thrash.
+    affected_fraction: float = 0.7
+    #: Memory level the affected machines saturate at.
+    mem_ceiling: float = 97.0
+    #: CPU multiplier reached at the end of the collapse (e.g. 0.15 = -85 %).
+    cpu_floor_factor: float = 0.15
+    #: Whether terminated jobs are relaunched right after the window.
+    relaunch: bool = True
+
+    name = "thrashing"
+
+    def window(self, horizon_s: int) -> tuple[float, float]:
+        if not 0.0 <= self.start_fraction < self.end_fraction <= 1.0:
+            raise SimulationError("thrashing window fractions must satisfy "
+                                  "0 <= start < end <= 1")
+        return (self.start_fraction * horizon_s, self.end_fraction * horizon_s)
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        store, grid = ctx.store, ctx.grid
+        if store is None or grid is None:
+            raise SimulationError("thrashing anomaly requires a usage store")
+        t0, t1 = self.window(ctx.horizon_s)
+
+        active = [p for p in ctx.placements if p.start_s <= t1 and p.end_s >= t0]
+        machine_ids = sorted({p.machine_id for p in active})
+        if not machine_ids:
+            ctx.extra_meta["thrashing"] = {"window": (t0, t1), "machines": []}
+            return
+        count = max(1, int(round(self.affected_fraction * len(machine_ids))))
+        affected = list(ctx.rng.choice(machine_ids, size=count, replace=False))
+
+        in_window = (grid >= t0) & (grid <= t1)
+        progress = np.zeros_like(grid)
+        span = max(1.0, t1 - t0)
+        progress[in_window] = (grid[in_window] - t0) / span
+
+        for machine_id in affected:
+            cpu = store.series(machine_id, "cpu").values
+            mem = store.series(machine_id, "mem").values
+            # memory climbs to the ceiling over the window and stays there
+            mem_target = self.mem_ceiling * progress
+            new_mem = np.where(in_window, np.maximum(mem, mem_target), mem)
+            # CPU collapses progressively toward the floor factor
+            collapse = 1.0 - (1.0 - self.cpu_floor_factor) * progress
+            new_cpu = np.where(in_window, cpu * collapse, cpu)
+            store.set_series(machine_id, "mem", new_mem)
+            store.set_series(machine_id, "cpu", new_cpu)
+            store.add_to_series(machine_id, "disk",
+                                np.where(in_window, 10.0 * progress, 0.0))
+
+        terminated, survivor = self._terminate_jobs(ctx, t0, t1)
+        ctx.extra_meta["thrashing"] = {
+            "window": (float(t0), float(t1)),
+            "machines": [str(m) for m in affected],
+            "terminated_jobs": terminated,
+            "survivor_job_id": survivor,
+        }
+
+    def _terminate_jobs(self, ctx: SimulationContext, t0: float,
+                        t1: float) -> tuple[list[str], str | None]:
+        """Cut every running job (but one survivor) at the window end."""
+        running = ctx.jobs_active_in(t0, t1)
+        if not running:
+            return [], None
+        survivor = max(running,
+                       key=lambda jid: (len(ctx.placements_of_job(jid)), jid))
+        terminated: list[str] = []
+        relaunched: list = []
+        batch_step = ctx.config.batch_resolution_s
+        for job_id in running:
+            if job_id == survivor:
+                continue
+            cut = False
+            for p in ctx.placements_of_job(job_id):
+                if p.end_s > t1:
+                    remaining = p.end_s - t1
+                    p.end_s = int(t1)
+                    p.status = schema.STATUS_FAILED
+                    cut = True
+                    if self.relaunch:
+                        relaunched.append(self._relaunch(p, int(t1) + batch_step,
+                                                         remaining))
+            if cut:
+                terminated.append(job_id)
+        ctx.placements.extend(relaunched)
+        return terminated, survivor
+
+    @staticmethod
+    def _relaunch(placement, start_s: int, remaining_s: int):
+        from repro.cluster.scheduler import PlacedInstance
+
+        return PlacedInstance(
+            job_id=placement.job_id,
+            task_id=placement.task_id,
+            seq_no=placement.seq_no + placement.total_seq_no,
+            total_seq_no=placement.total_seq_no,
+            machine_id=placement.machine_id,
+            start_s=start_s,
+            end_s=start_s + max(1, remaining_s),
+            cpu_request=placement.cpu_request,
+            mem_request=placement.mem_request,
+            disk_request=placement.disk_request,
+            status=schema.STATUS_TERMINATED,
+        )
+
+    def describe(self) -> dict:
+        return {"name": self.name, "start_fraction": self.start_fraction,
+                "end_fraction": self.end_fraction,
+                "affected_fraction": self.affected_fraction,
+                "mem_ceiling": self.mem_ceiling,
+                "cpu_floor_factor": self.cpu_floor_factor,
+                "relaunch": self.relaunch}
+
+
+@dataclass
+class Straggler(Anomaly):
+    """A fraction of a task's instances run much longer than their peers.
+
+    Spreads out the end-timestamp annotation lines of the affected task,
+    which is the visual signature stragglers leave in the Fig. 2 line charts.
+    """
+
+    #: Fraction of instances of each multi-instance task that straggle.
+    fraction: float = 0.15
+    #: Multiplier applied to a straggling instance's duration.
+    slowdown: float = 2.0
+
+    name = "straggler"
+
+    def mutate_placements(self, ctx: SimulationContext) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise SimulationError("straggler fraction must be in (0, 1]")
+        if self.slowdown <= 1.0:
+            raise SimulationError("straggler slowdown must exceed 1.0")
+        by_task: dict[tuple[str, str], list] = {}
+        for p in ctx.placements:
+            by_task.setdefault((p.job_id, p.task_id), []).append(p)
+        affected: list[str] = []
+        for (job_id, task_id), group in by_task.items():
+            if len(group) < 2:
+                continue
+            count = max(1, int(round(self.fraction * len(group))))
+            picks = ctx.rng.choice(len(group), size=count, replace=False)
+            for index in picks:
+                p = group[int(index)]
+                p.end_s = p.start_s + int(p.duration_s * self.slowdown)
+                if p.end_s > ctx.horizon_s:
+                    p.end_s = ctx.horizon_s
+            affected.append(f"{job_id}/{task_id}")
+        ctx.extra_meta["straggler_tasks"] = affected
+
+    def describe(self) -> dict:
+        return {"name": self.name, "fraction": self.fraction,
+                "slowdown": self.slowdown}
+
+
+@dataclass
+class MachineFailure(Anomaly):
+    """Hard failure of a few machines mid-trace.
+
+    Usage drops to zero after the failure, the instances running there are
+    marked failed, and a ``harderror`` machine event is recorded.
+    """
+
+    count: int = 1
+    time_fraction: float = 0.5
+
+    name = "machine-failure"
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        store, grid = ctx.store, ctx.grid
+        if store is None or grid is None:
+            raise SimulationError("machine-failure anomaly requires a usage store")
+        if not 0.0 < self.time_fraction < 1.0:
+            raise SimulationError("time_fraction must be within (0, 1)")
+        if self.count <= 0 or self.count > len(ctx.machines):
+            raise SimulationError("count must be within [1, num_machines]")
+        failure_time = int(self.time_fraction * ctx.horizon_s)
+        picks = ctx.rng.choice(len(ctx.machines), size=self.count, replace=False)
+        failed: list[str] = []
+        after = grid > failure_time
+        for index in picks:
+            machine = ctx.machines[int(index)]
+            failed.append(machine.machine_id)
+            for metric in store.metrics:
+                values = store.series(machine.machine_id, metric).values.copy()
+                values[after] = 0.0
+                store.set_series(machine.machine_id, metric, values)
+            ctx.machine_events.append(
+                failure_event(machine, failure_time, hard=True,
+                              detail="injected failure"))
+            for p in ctx.placements:
+                if p.machine_id == machine.machine_id and p.end_s > failure_time:
+                    p.end_s = failure_time
+                    p.status = schema.STATUS_FAILED
+        ctx.extra_meta["failed_machines"] = failed
+        ctx.extra_meta["failure_time"] = failure_time
+
+    def describe(self) -> dict:
+        return {"name": self.name, "count": self.count,
+                "time_fraction": self.time_fraction}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, ordered collection of anomalies forming one cluster regime."""
+
+    name: str
+    description: str
+    anomalies: tuple[Anomaly, ...] = field(default_factory=tuple)
+    #: Expected cluster-mean CPU band (lo, hi) for the regime, in percent.
+    expected_cpu_band: tuple[float, float] = (0.0, 100.0)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "anomalies": [anomaly.describe() for anomaly in self.anomalies],
+            "expected_cpu_band": list(self.expected_cpu_band),
+        }
+
+
+def _build_scenarios() -> dict[str, Scenario]:
+    return {
+        "none": Scenario(
+            name="none",
+            description="No injected anomalies; only job-driven utilisation.",
+            anomalies=(),
+            expected_cpu_band=(5.0, 60.0),
+        ),
+        "healthy": Scenario(
+            name="healthy",
+            description=("Fig. 3(a): load-balanced cluster at low utilisation "
+                         "(20-40 %), stable metrics during job execution."),
+            anomalies=(BackgroundLoad(cpu_offset=10.0, mem_offset=9.0,
+                                      disk_offset=5.0),),
+            expected_cpu_band=(15.0, 45.0),
+        ),
+        "hotjob": Scenario(
+            name="hotjob",
+            description=("Fig. 3(b): medium utilisation (50-80 %) with one hot "
+                         "job spiking CPU and memory that peak at job end."),
+            anomalies=(BackgroundLoad(cpu_offset=42.0, mem_offset=38.0,
+                                      disk_offset=18.0),
+                       HotJob()),
+            expected_cpu_band=(45.0, 85.0),
+        ),
+        "thrashing": Scenario(
+            name="thrashing",
+            description=("Fig. 3(c): near-capacity cluster where memory "
+                         "overcommit collapses CPU (thrashing) and jobs are "
+                         "terminated and relaunched."),
+            anomalies=(BackgroundLoad(cpu_offset=55.0, mem_offset=50.0,
+                                      disk_offset=28.0),
+                       HotJob(demand_scale=1.6, peak_boost=20.0),
+                       Thrashing()),
+            expected_cpu_band=(55.0, 100.0),
+        ),
+    }
+
+
+SCENARIOS: dict[str, Scenario] = _build_scenarios()
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name, raising a helpful error when unknown."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}") from None

@@ -1,0 +1,65 @@
+"""Shared mutable state threaded through the simulation pipeline.
+
+The simulator builds a :class:`SimulationContext` and hands it to every
+anomaly hook, so scenario code can inspect and mutate the workload, the
+placements, the usage store and the machine-event list without the simulator
+having to know what each anomaly does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import TraceConfig
+from repro.cluster.machine import Machine
+from repro.cluster.scheduler import PlacedInstance
+from repro.metrics.store import MetricStore
+from repro.trace.records import MachineEvent
+from repro.trace.workload import JobSpec
+
+
+@dataclass
+class SimulationContext:
+    """Everything an anomaly may read or mutate during simulation."""
+
+    config: TraceConfig
+    rng: np.random.Generator
+    machines: list[Machine]
+    jobs: list[JobSpec] = field(default_factory=list)
+    placements: list[PlacedInstance] = field(default_factory=list)
+    machine_events: list[MachineEvent] = field(default_factory=list)
+    #: Dense usage store; ``None`` until usage synthesis has run.
+    store: MetricStore | None = None
+    #: Regular usage-sampling grid (seconds); ``None`` until synthesis.
+    grid: np.ndarray | None = None
+    #: Scenario-specific annotations (hot job id, thrash window, ...).
+    extra_meta: dict = field(default_factory=dict)
+
+    @property
+    def horizon_s(self) -> int:
+        return self.config.horizon_s
+
+    def machine_by_id(self, machine_id: str) -> Machine:
+        for machine in self.machines:
+            if machine.machine_id == machine_id:
+                return machine
+        raise KeyError(machine_id)
+
+    def placements_of_job(self, job_id: str) -> list[PlacedInstance]:
+        return [p for p in self.placements if p.job_id == job_id]
+
+    def machines_of_job(self, job_id: str) -> list[str]:
+        seen: dict[str, None] = {}
+        for p in self.placements_of_job(job_id):
+            seen.setdefault(p.machine_id, None)
+        return list(seen)
+
+    def jobs_active_in(self, start_s: float, end_s: float) -> list[str]:
+        """Job ids with at least one instance overlapping ``[start_s, end_s]``."""
+        seen: dict[str, None] = {}
+        for p in self.placements:
+            if p.start_s <= end_s and p.end_s >= start_s:
+                seen.setdefault(p.job_id, None)
+        return list(seen)

@@ -1,0 +1,97 @@
+"""Derived event timeline of a trace.
+
+The annotation lines in the BatchLens line charts (job/task start and end)
+and the case-study narrative ("all jobs are terminated and relaunched") are
+events derived from the scheduler tables.  This module extracts them into a
+single sorted timeline that views and reports can consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.trace import schema
+from repro.trace.records import TraceBundle
+
+
+class EventKind(str, Enum):
+    """Types of derived cluster events."""
+
+    JOB_START = "job_start"
+    JOB_END = "job_end"
+    TASK_START = "task_start"
+    TASK_END = "task_end"
+    MACHINE_ADD = "machine_add"
+    MACHINE_FAILURE = "machine_failure"
+    JOB_FAILURE = "job_failure"
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """One derived event at one timestamp."""
+
+    timestamp: int
+    kind: EventKind
+    subject: str
+    detail: str = ""
+
+    def __lt__(self, other: "ClusterEvent") -> bool:
+        return (self.timestamp, self.kind.value, self.subject) < (
+            other.timestamp, other.kind.value, other.subject)
+
+
+def job_events(bundle: TraceBundle) -> list[ClusterEvent]:
+    """Start/end/failure events for every job in the bundle."""
+    events: list[ClusterEvent] = []
+    for job_id in bundle.job_ids():
+        instances = bundle.instances_of_job(job_id)
+        start = min(inst.start_timestamp for inst in instances)
+        end = max(inst.end_timestamp for inst in instances)
+        events.append(ClusterEvent(start, EventKind.JOB_START, job_id))
+        events.append(ClusterEvent(end, EventKind.JOB_END, job_id))
+        if any(inst.status == schema.STATUS_FAILED for inst in instances):
+            failed_at = max(inst.end_timestamp for inst in instances
+                            if inst.status == schema.STATUS_FAILED)
+            events.append(ClusterEvent(failed_at, EventKind.JOB_FAILURE, job_id,
+                                       detail="at least one instance failed"))
+    return sorted(events)
+
+
+def task_events(bundle: TraceBundle, job_id: str) -> list[ClusterEvent]:
+    """Start/end events for every task of one job (Fig. 2 annotations)."""
+    events: list[ClusterEvent] = []
+    for task_id in bundle.task_ids(job_id):
+        instances = bundle.instances_of_task(job_id, task_id)
+        start = min(inst.start_timestamp for inst in instances)
+        end = max(inst.end_timestamp for inst in instances)
+        subject = f"{job_id}/{task_id}"
+        events.append(ClusterEvent(start, EventKind.TASK_START, subject))
+        events.append(ClusterEvent(end, EventKind.TASK_END, subject))
+    return sorted(events)
+
+
+def machine_events(bundle: TraceBundle) -> list[ClusterEvent]:
+    """Machine add/failure events from the ``machine_events`` table."""
+    events: list[ClusterEvent] = []
+    for record in bundle.machine_events:
+        if record.event_type == schema.EVENT_ADD:
+            kind = EventKind.MACHINE_ADD
+        elif record.event_type in (schema.EVENT_HARD_ERROR, schema.EVENT_SOFT_ERROR):
+            kind = EventKind.MACHINE_FAILURE
+        else:
+            continue
+        events.append(ClusterEvent(record.timestamp, kind, record.machine_id,
+                                   detail=record.event_detail or ""))
+    return sorted(events)
+
+
+def full_timeline(bundle: TraceBundle) -> list[ClusterEvent]:
+    """Every derived event of the bundle, sorted by time."""
+    return sorted(job_events(bundle) + machine_events(bundle))
+
+
+def events_in_window(events: list[ClusterEvent], start: float,
+                     end: float) -> list[ClusterEvent]:
+    """Filter an event list to ``start <= t <= end``."""
+    return [event for event in events if start <= event.timestamp <= end]

@@ -1,0 +1,241 @@
+"""The batch hierarchy: job → task → instance → machine.
+
+This is the data structure behind the hierarchical bubble chart (Fig. 1):
+jobs contain tasks, tasks contain instances, and every instance runs on
+exactly one compute node.  It also answers the queries the linked views
+need — which jobs are active at a timestamp, which machines execute a job,
+and which machines appear under several jobs at once (the dotted cross-links
+of Fig. 3(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownEntityError
+from repro.metrics.stats import HierarchyStats, hierarchy_stats
+from repro.trace.records import TraceBundle
+
+
+@dataclass(frozen=True)
+class InstanceNode:
+    """Leaf of the hierarchy: one instance bound to one machine."""
+
+    job_id: str
+    task_id: str
+    seq_no: int
+    machine_id: str | None
+    start: int
+    end: int
+    status: str
+
+    def active_at(self, timestamp: float) -> bool:
+        return self.start <= timestamp <= self.end
+
+
+@dataclass
+class TaskNode:
+    """A task grouping several instances."""
+
+    job_id: str
+    task_id: str
+    instances: list[InstanceNode] = field(default_factory=list)
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def start(self) -> int:
+        return min(inst.start for inst in self.instances) if self.instances else 0
+
+    @property
+    def end(self) -> int:
+        return max(inst.end for inst in self.instances) if self.instances else 0
+
+    def machine_ids(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for inst in self.instances:
+            if inst.machine_id is not None:
+                seen.setdefault(inst.machine_id, None)
+        return list(seen)
+
+    def active_at(self, timestamp: float) -> bool:
+        return any(inst.active_at(timestamp) for inst in self.instances)
+
+    def active_instances(self, timestamp: float) -> list[InstanceNode]:
+        return [inst for inst in self.instances if inst.active_at(timestamp)]
+
+
+@dataclass
+class JobNode:
+    """A batch job grouping one or more tasks."""
+
+    job_id: str
+    tasks: list[TaskNode] = field(default_factory=list)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_instances(self) -> int:
+        return sum(task.num_instances for task in self.tasks)
+
+    @property
+    def start(self) -> int:
+        return min(task.start for task in self.tasks) if self.tasks else 0
+
+    @property
+    def end(self) -> int:
+        return max(task.end for task in self.tasks) if self.tasks else 0
+
+    def task(self, task_id: str) -> TaskNode:
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        raise UnknownEntityError("task", f"{self.job_id}/{task_id}")
+
+    def machine_ids(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for task in self.tasks:
+            for mid in task.machine_ids():
+                seen.setdefault(mid, None)
+        return list(seen)
+
+    def active_at(self, timestamp: float) -> bool:
+        return any(task.active_at(timestamp) for task in self.tasks)
+
+    def task_end_times(self) -> dict[str, int]:
+        """End timestamp of each task (the non-green annotation lines)."""
+        return {task.task_id: task.end for task in self.tasks}
+
+    def start_times_by_machine(self) -> dict[str, int]:
+        """Earliest instance start per machine (the green annotation lines)."""
+        out: dict[str, int] = {}
+        for task in self.tasks:
+            for inst in task.instances:
+                if inst.machine_id is None:
+                    continue
+                current = out.get(inst.machine_id)
+                if current is None or inst.start < current:
+                    out[inst.machine_id] = inst.start
+        return out
+
+
+class BatchHierarchy:
+    """Index of every job/task/instance in a trace bundle."""
+
+    def __init__(self, jobs: list[JobNode], machine_ids: list[str]) -> None:
+        self._jobs = {job.job_id: job for job in jobs}
+        self._machine_ids = list(machine_ids)
+        self._machine_to_instances: dict[str, list[InstanceNode]] = {}
+        for job in jobs:
+            for task in job.tasks:
+                for inst in task.instances:
+                    if inst.machine_id is not None:
+                        self._machine_to_instances.setdefault(
+                            inst.machine_id, []).append(inst)
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_bundle(cls, bundle: TraceBundle) -> "BatchHierarchy":
+        """Build the hierarchy from the ``batch_task``/``batch_instance`` tables."""
+        jobs: dict[str, JobNode] = {}
+        tasks: dict[tuple[str, str], TaskNode] = {}
+        for record in bundle.tasks:
+            job = jobs.setdefault(record.job_id, JobNode(job_id=record.job_id))
+            key = (record.job_id, record.task_id)
+            if key not in tasks:
+                task = TaskNode(job_id=record.job_id, task_id=record.task_id)
+                tasks[key] = task
+                job.tasks.append(task)
+        for record in bundle.instances:
+            key = (record.job_id, record.task_id)
+            if key not in tasks:
+                # tolerate instance rows whose task row is missing
+                job = jobs.setdefault(record.job_id, JobNode(job_id=record.job_id))
+                task = TaskNode(job_id=record.job_id, task_id=record.task_id)
+                tasks[key] = task
+                job.tasks.append(task)
+            tasks[key].instances.append(InstanceNode(
+                job_id=record.job_id,
+                task_id=record.task_id,
+                seq_no=record.seq_no,
+                machine_id=record.machine_id,
+                start=record.start_timestamp,
+                end=record.end_timestamp,
+                status=record.status,
+            ))
+        return cls(list(jobs.values()), bundle.machine_ids())
+
+    # -- lookups ------------------------------------------------------------------
+    @property
+    def jobs(self) -> list[JobNode]:
+        return list(self._jobs.values())
+
+    @property
+    def job_ids(self) -> list[str]:
+        return list(self._jobs)
+
+    @property
+    def machine_ids(self) -> list[str]:
+        return list(self._machine_ids)
+
+    def job(self, job_id: str) -> JobNode:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownEntityError("job", job_id) from None
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def jobs_at(self, timestamp: float) -> list[JobNode]:
+        """Jobs with at least one instance running at ``timestamp``."""
+        return [job for job in self._jobs.values() if job.active_at(timestamp)]
+
+    def instances_on_machine(self, machine_id: str) -> list[InstanceNode]:
+        return list(self._machine_to_instances.get(machine_id, []))
+
+    def jobs_on_machine(self, machine_id: str,
+                        timestamp: float | None = None) -> list[str]:
+        """Jobs that use a machine, optionally restricted to one timestamp."""
+        seen: dict[str, None] = {}
+        for inst in self._machine_to_instances.get(machine_id, []):
+            if timestamp is None or inst.active_at(timestamp):
+                seen.setdefault(inst.job_id, None)
+        return list(seen)
+
+    def shared_machines(self, timestamp: float) -> dict[str, list[tuple[str, str]]]:
+        """Machines executing instances of more than one job at ``timestamp``.
+
+        Returns ``{machine_id: [(job_id, task_id), ...]}`` restricted to
+        machines appearing under at least two distinct jobs — exactly the
+        nodes the bubble chart connects with coloured dotted lines.
+        """
+        out: dict[str, list[tuple[str, str]]] = {}
+        for machine_id, instances in self._machine_to_instances.items():
+            pairs: dict[tuple[str, str], None] = {}
+            for inst in instances:
+                if inst.active_at(timestamp):
+                    pairs.setdefault((inst.job_id, inst.task_id), None)
+            jobs = {job_id for job_id, _ in pairs}
+            if len(jobs) >= 2:
+                out[machine_id] = list(pairs)
+        return out
+
+    def stats(self) -> HierarchyStats:
+        """Structural statistics (the §II dataset numbers)."""
+        tasks_per_job = {job.job_id: job.num_tasks for job in self._jobs.values()}
+        instances_per_task = {
+            f"{task.job_id}/{task.task_id}": task.num_instances
+            for job in self._jobs.values() for task in job.tasks
+        }
+        machines = set(self._machine_ids)
+        if not machines:
+            machines = set(self._machine_to_instances)
+        return hierarchy_stats(tasks_per_job, instances_per_task, len(machines))

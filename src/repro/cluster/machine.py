@@ -1,0 +1,86 @@
+"""Machine descriptions and machine-event synthesis.
+
+Machines in the Alibaba trace are homogeneous compute nodes described by a
+capacity row in ``machine_events``; this module builds the fleet the
+simulator schedules onto and the corresponding ``add`` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ClusterConfig
+from repro.trace import schema
+from repro.trace.records import MachineEvent
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One compute node of the simulated cluster."""
+
+    machine_id: str
+    cpu_cores: int
+    memory_gb: float
+    disk_gb: float
+    #: Idle utilisation floor, in percent, per metric.
+    baseline_cpu: float
+    baseline_mem: float
+    baseline_disk: float
+
+    def baseline(self, metric: str) -> float:
+        """Idle utilisation floor for one metric name ("cpu", "mem", "disk")."""
+        return {"cpu": self.baseline_cpu,
+                "mem": self.baseline_mem,
+                "disk": self.baseline_disk}[metric]
+
+
+def machine_id_for(index: int) -> str:
+    """Canonical machine id, zero-padded so ids sort lexicographically."""
+    return f"m_{index:04d}"
+
+
+def make_machines(config: ClusterConfig) -> list[Machine]:
+    """Build the homogeneous machine fleet described by ``config``."""
+    config.validate()
+    return [
+        Machine(
+            machine_id=machine_id_for(index),
+            cpu_cores=config.cpu_cores,
+            memory_gb=config.memory_gb,
+            disk_gb=config.disk_gb,
+            baseline_cpu=config.baseline_cpu,
+            baseline_mem=config.baseline_mem,
+            baseline_disk=config.baseline_disk,
+        )
+        for index in range(config.num_machines)
+    ]
+
+
+def machine_add_events(machines: list[Machine], timestamp: int = 0) -> list[MachineEvent]:
+    """``add`` events announcing every machine's capacity at trace start."""
+    return [
+        MachineEvent(
+            timestamp=timestamp,
+            machine_id=machine.machine_id,
+            event_type=schema.EVENT_ADD,
+            event_detail=None,
+            capacity_cpu=float(machine.cpu_cores),
+            capacity_mem=float(machine.memory_gb),
+            capacity_disk=float(machine.disk_gb),
+        )
+        for machine in machines
+    ]
+
+
+def failure_event(machine: Machine, timestamp: int,
+                  *, hard: bool = True, detail: str | None = None) -> MachineEvent:
+    """A soft/hard error event for one machine (used by anomaly injection)."""
+    return MachineEvent(
+        timestamp=timestamp,
+        machine_id=machine.machine_id,
+        event_type=schema.EVENT_HARD_ERROR if hard else schema.EVENT_SOFT_ERROR,
+        event_detail=detail,
+        capacity_cpu=float(machine.cpu_cores),
+        capacity_mem=float(machine.memory_gb),
+        capacity_disk=float(machine.disk_gb),
+    )

@@ -1,0 +1,218 @@
+"""The cluster simulator: from configuration to an Alibaba-style trace.
+
+Pipeline (see DESIGN.md):
+
+1. build the machine fleet (:mod:`repro.cluster.machine`);
+2. draw a batch workload (:mod:`repro.trace.workload`);
+3. let the scenario's anomalies adjust the workload;
+4. place every instance with a scheduler (:mod:`repro.cluster.scheduler`);
+5. let anomalies adjust placements (stragglers, ...);
+6. synthesise per-machine utilisation series from the placements;
+7. let anomalies adjust the usage store (hot job, thrashing, failures);
+8. emit the four Alibaba tables as a :class:`~repro.trace.records.TraceBundle`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.anomalies import Scenario, get_scenario
+from repro.cluster.context import SimulationContext
+from repro.cluster.machine import Machine, machine_add_events, make_machines
+from repro.cluster.scheduler import PlacedInstance, make_scheduler
+from repro.config import TraceConfig
+from repro.errors import SimulationError
+from repro.metrics.resample import regular_grid
+from repro.metrics.store import MetricStore
+from repro.trace import schema
+from repro.trace.records import BatchInstanceRecord, BatchTaskRecord, TraceBundle
+from repro.trace.workload import JobSpec, WorkloadGenerator
+
+
+class ClusterSimulator:
+    """Synthesises a full trace bundle for one :class:`TraceConfig`."""
+
+    def __init__(self, config: TraceConfig, *, scheduler: str = "least-loaded",
+                 scenario: Scenario | None = None) -> None:
+        config.validate()
+        self._config = config
+        self._scheduler_name = scheduler
+        self._scenario = scenario if scenario is not None else get_scenario(
+            config.scenario)
+
+    @property
+    def scenario(self) -> Scenario:
+        return self._scenario
+
+    # -- pipeline steps ------------------------------------------------------
+    def _build_context(self) -> SimulationContext:
+        rng = np.random.default_rng(self._config.seed)
+        machines = make_machines(self._config.cluster)
+        ctx = SimulationContext(config=self._config, rng=rng, machines=machines)
+        ctx.machine_events = machine_add_events(machines)
+        return ctx
+
+    def _generate_workload(self, ctx: SimulationContext) -> None:
+        generator = WorkloadGenerator(
+            self._config.workload,
+            horizon_s=self._config.horizon_s,
+            batch_resolution_s=self._config.batch_resolution_s,
+            rng=ctx.rng,
+        )
+        ctx.jobs = generator.generate()
+        for anomaly in self._scenario.anomalies:
+            anomaly.mutate_workload(ctx)
+
+    def _place(self, ctx: SimulationContext) -> None:
+        scheduler = make_scheduler(
+            self._scheduler_name, ctx.machines,
+            horizon_s=self._config.horizon_s,
+            slot_s=self._config.batch_resolution_s,
+        )
+        ctx.placements = scheduler.place(ctx.jobs)
+        for anomaly in self._scenario.anomalies:
+            anomaly.mutate_placements(ctx)
+
+    def _instance_profile(self, grid: np.ndarray, placement: PlacedInstance,
+                          demand: float, rng: np.random.Generator) -> np.ndarray:
+        """Utilisation contribution of one instance over the usage grid.
+
+        The profile ramps up after the start, holds a plateau with a small
+        per-instance wobble, and ramps down toward the end — which is what the
+        per-node lines in Fig. 2 look like between the start and end
+        annotation lines.
+        """
+        start = float(placement.start_s)
+        end = float(placement.end_s)
+        duration = max(1.0, end - start)
+        ramp = max(self._config.usage.resolution_s,
+                   self._config.usage.ramp_fraction * duration)
+        rise = np.clip((grid - start) / ramp, 0.0, 1.0)
+        fall = np.clip((end - grid) / ramp, 0.0, 1.0)
+        envelope = np.minimum(rise, fall)
+        envelope[(grid < start) | (grid > end)] = 0.0
+        phase = float(rng.uniform(0, 2 * np.pi))
+        wobble = 1.0 + 0.08 * np.sin(2 * np.pi * (grid - start) / max(duration, 1.0)
+                                     + phase)
+        return demand * envelope * wobble
+
+    def _synthesise_usage(self, ctx: SimulationContext) -> None:
+        usage_cfg = self._config.usage
+        grid = regular_grid(0.0, float(self._config.horizon_s), usage_cfg.resolution_s)
+        store = MetricStore([m.machine_id for m in ctx.machines], grid)
+        ctx.grid = grid
+        ctx.store = store
+
+        for machine in ctx.machines:
+            for metric in store.metrics:
+                store.add_to_series(machine.machine_id, metric,
+                                    np.full(grid.shape[0], machine.baseline(metric)))
+
+        demands = {"cpu": "cpu_request", "mem": "mem_request", "disk": "disk_request"}
+        for placement in ctx.placements:
+            for metric, attr in demands.items():
+                profile = self._instance_profile(grid, placement,
+                                                 getattr(placement, attr), ctx.rng)
+                store.add_to_series(placement.machine_id, metric, profile)
+
+        if usage_cfg.noise_std > 0:
+            noise = ctx.rng.normal(0.0, usage_cfg.noise_std, size=store.data.shape)
+            store.data[:] = store.data + noise
+
+        for anomaly in self._scenario.anomalies:
+            anomaly.mutate_usage(ctx)
+
+        store.clip(0.0, 100.0)
+
+    # -- record emission -------------------------------------------------------
+    @staticmethod
+    def _task_records(ctx: SimulationContext) -> list[BatchTaskRecord]:
+        by_task: dict[tuple[str, str], list[PlacedInstance]] = {}
+        for p in ctx.placements:
+            by_task.setdefault((p.job_id, p.task_id), []).append(p)
+        job_index = {job.job_id: job for job in ctx.jobs}
+        records: list[BatchTaskRecord] = []
+        for (job_id, task_id), group in sorted(by_task.items()):
+            job = job_index.get(job_id)
+            spec = None
+            if job is not None:
+                for task in job.tasks:
+                    if task.task_id == task_id:
+                        spec = task
+                        break
+            statuses = {p.status for p in group}
+            status = (schema.STATUS_FAILED if schema.STATUS_FAILED in statuses
+                      else schema.STATUS_TERMINATED)
+            records.append(BatchTaskRecord(
+                create_timestamp=int(min(p.start_s for p in group)),
+                modify_timestamp=int(max(p.end_s for p in group)),
+                job_id=job_id,
+                task_id=task_id,
+                instance_num=len(group),
+                status=status,
+                plan_cpu=None if spec is None else spec.cpu_request,
+                plan_mem=None if spec is None else spec.mem_request,
+            ))
+        return records
+
+    def _instance_records(self, ctx: SimulationContext) -> list[BatchInstanceRecord]:
+        store = ctx.store
+        records: list[BatchInstanceRecord] = []
+        for p in sorted(ctx.placements,
+                        key=lambda q: (q.job_id, q.task_id, q.seq_no, q.start_s)):
+            cpu_avg = cpu_max = mem_avg = mem_max = None
+            if store is not None and p.end_s > p.start_s:
+                cpu = store.series(p.machine_id, "cpu").slice(p.start_s, p.end_s)
+                mem = store.series(p.machine_id, "mem").slice(p.start_s, p.end_s)
+                if len(cpu):
+                    cpu_avg, cpu_max = cpu.mean(), cpu.max()
+                if len(mem):
+                    mem_avg, mem_max = mem.mean(), mem.max()
+            records.append(BatchInstanceRecord(
+                start_timestamp=int(p.start_s),
+                end_timestamp=int(p.end_s),
+                job_id=p.job_id,
+                task_id=p.task_id,
+                machine_id=p.machine_id,
+                status=p.status,
+                seq_no=p.seq_no,
+                total_seq_no=p.total_seq_no,
+                cpu_avg=cpu_avg,
+                cpu_max=cpu_max,
+                mem_avg=mem_avg,
+                mem_max=mem_max,
+            ))
+        return records
+
+    # -- public API --------------------------------------------------------------
+    def run(self) -> TraceBundle:
+        """Run the full pipeline and return the synthesised trace bundle."""
+        ctx = self._build_context()
+        self._generate_workload(ctx)
+        if not ctx.jobs:
+            raise SimulationError("workload generation produced no jobs")
+        self._place(ctx)
+        self._synthesise_usage(ctx)
+
+        bundle = TraceBundle(
+            machine_events=sorted(ctx.machine_events,
+                                  key=lambda e: (e.timestamp, e.machine_id)),
+            tasks=self._task_records(ctx),
+            instances=self._instance_records(ctx),
+            usage=ctx.store,
+            meta={
+                "scenario": self._scenario.name,
+                "scenario_description": self._scenario.description,
+                "scheduler": self._scheduler_name,
+                "seed": self._config.seed,
+                "horizon_s": self._config.horizon_s,
+                "usage_resolution_s": self._config.usage.resolution_s,
+                **ctx.extra_meta,
+            },
+        )
+        return bundle
+
+
+def simulate(config: TraceConfig, *, scheduler: str = "least-loaded") -> TraceBundle:
+    """Convenience wrapper: build and run a :class:`ClusterSimulator`."""
+    return ClusterSimulator(config, scheduler=scheduler).run()

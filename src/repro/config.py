@@ -1,0 +1,180 @@
+"""Top-level configuration objects shared across subsystems.
+
+The configuration mirrors the shape of the Alibaba cluster-trace-v2017
+dataset the paper uses: ~1300 machines observed for 24 hours, batch
+scheduler records at a 300-second resolution and server usage at a finer
+resolution.  Every knob is overridable so tests and benchmarks can build
+small, fast traces while the case-study examples can build paper-scale
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Metric names used throughout the library, in canonical order.
+METRICS: tuple[str, str, str] = ("cpu", "mem", "disk")
+
+#: Duration of the trace reported in the paper (24 hours), in seconds.
+PAPER_HORIZON_S: int = 24 * 3600
+
+#: Number of machines in the Alibaba cluster-trace-v2017 dataset.
+PAPER_MACHINE_COUNT: int = 1300
+
+#: Resolution of the batch scheduler tables in the paper (seconds).
+PAPER_BATCH_RESOLUTION_S: int = 300
+
+#: Fraction of batch jobs that contain a single task (reported in §II).
+PAPER_SINGLE_TASK_JOB_FRACTION: float = 0.75
+
+#: Fraction of tasks that have more than one instance (reported in §II).
+PAPER_MULTI_INSTANCE_TASK_FRACTION: float = 0.94
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated cluster."""
+
+    num_machines: int = 64
+    cpu_cores: int = 96
+    memory_gb: float = 512.0
+    disk_gb: float = 4096.0
+    #: Background (non-batch) utilisation level each machine idles at, in
+    #: percent.  The paper's figures show machines are never fully idle.
+    baseline_cpu: float = 8.0
+    baseline_mem: float = 15.0
+    baseline_disk: float = 5.0
+
+    def validate(self) -> None:
+        if self.num_machines <= 0:
+            raise ConfigError("num_machines must be positive")
+        if self.cpu_cores <= 0 or self.memory_gb <= 0 or self.disk_gb <= 0:
+            raise ConfigError("machine capacities must be positive")
+        for name in ("baseline_cpu", "baseline_mem", "baseline_disk"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 100.0:
+                raise ConfigError(f"{name} must be within [0, 100], got {value}")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Statistical shape of the batch workload."""
+
+    num_jobs: int = 60
+    #: Fraction of jobs that are scheduled as exactly one task.
+    single_task_job_fraction: float = PAPER_SINGLE_TASK_JOB_FRACTION
+    #: Fraction of tasks that run more than one instance.
+    multi_instance_task_fraction: float = PAPER_MULTI_INSTANCE_TASK_FRACTION
+    #: Maximum number of tasks a multi-task job may have.
+    max_tasks_per_job: int = 5
+    #: Bounds on the number of instances of a multi-instance task.
+    min_instances: int = 2
+    max_instances: int = 16
+    #: Job duration bounds in seconds.
+    min_duration_s: int = 600
+    max_duration_s: int = 2 * 3600
+    #: Mean requested resources per instance, in percent of one machine.
+    mean_cpu_request: float = 9.0
+    mean_mem_request: float = 11.0
+    mean_disk_request: float = 6.0
+
+    def validate(self) -> None:
+        if self.num_jobs <= 0:
+            raise ConfigError("num_jobs must be positive")
+        for name in ("single_task_job_fraction", "multi_instance_task_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be within [0, 1], got {value}")
+        if self.max_tasks_per_job < 2:
+            raise ConfigError("max_tasks_per_job must be at least 2")
+        if not 1 <= self.min_instances <= self.max_instances:
+            raise ConfigError("instance bounds must satisfy 1 <= min <= max")
+        if not 0 < self.min_duration_s <= self.max_duration_s:
+            raise ConfigError("duration bounds must satisfy 0 < min <= max")
+        for name in ("mean_cpu_request", "mean_mem_request", "mean_disk_request"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 100.0:
+                raise ConfigError(f"{name} must be within (0, 100], got {value}")
+
+
+@dataclass(frozen=True)
+class UsageConfig:
+    """How server usage series are sampled and perturbed."""
+
+    #: Sampling period of the server-usage table, in seconds.  The paper
+    #: quotes one second; the default here is coarser so that unit tests stay
+    #: fast, and the paper-scale examples override it.
+    resolution_s: int = 60
+    #: Standard deviation of the multiplicative measurement noise (percent).
+    noise_std: float = 1.5
+    #: Smoothing factor applied to utilisation ramps at job start/end.
+    ramp_fraction: float = 0.08
+
+    def validate(self) -> None:
+        if self.resolution_s <= 0:
+            raise ConfigError("resolution_s must be positive")
+        if self.noise_std < 0:
+            raise ConfigError("noise_std must be non-negative")
+        if not 0.0 <= self.ramp_fraction < 0.5:
+            raise ConfigError("ramp_fraction must be within [0, 0.5)")
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Everything needed to synthesise one trace bundle."""
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    usage: UsageConfig = field(default_factory=UsageConfig)
+    #: Length of the observation window, in seconds.
+    horizon_s: int = 6 * 3600
+    #: Resolution of batch-scheduler timestamps, in seconds.
+    batch_resolution_s: int = PAPER_BATCH_RESOLUTION_S
+    #: Name of the anomaly scenario to inject ("healthy", "hotjob",
+    #: "thrashing", or "none"); see :mod:`repro.cluster.anomalies`.
+    scenario: str = "healthy"
+    seed: int = 2022
+
+    def validate(self) -> None:
+        self.cluster.validate()
+        self.workload.validate()
+        self.usage.validate()
+        if self.horizon_s <= 0:
+            raise ConfigError("horizon_s must be positive")
+        if self.batch_resolution_s <= 0:
+            raise ConfigError("batch_resolution_s must be positive")
+        if self.horizon_s < self.batch_resolution_s:
+            raise ConfigError("horizon_s must be at least one batch interval")
+        if self.usage.resolution_s > self.horizon_s:
+            raise ConfigError("usage resolution cannot exceed the horizon")
+
+
+def paper_scale_config(scenario: str = "healthy", seed: int = 2022) -> TraceConfig:
+    """Return a :class:`TraceConfig` matching the scale reported in the paper.
+
+    1300 machines over 24 hours with 300-second batch records.  Usage is
+    sampled at 300 s rather than 1 s so the bundle stays tractable in memory;
+    the roll-up benchmark (E8) measures the cost of finer resolutions.
+    """
+    return TraceConfig(
+        cluster=ClusterConfig(num_machines=PAPER_MACHINE_COUNT),
+        workload=WorkloadConfig(num_jobs=400),
+        usage=UsageConfig(resolution_s=PAPER_BATCH_RESOLUTION_S),
+        horizon_s=PAPER_HORIZON_S,
+        scenario=scenario,
+        seed=seed,
+    )
+
+
+def small_config(scenario: str = "healthy", seed: int = 7) -> TraceConfig:
+    """Return a configuration sized for unit tests (sub-second generation)."""
+    return TraceConfig(
+        cluster=ClusterConfig(num_machines=12),
+        workload=WorkloadConfig(num_jobs=10, max_instances=6),
+        usage=UsageConfig(resolution_s=120),
+        horizon_s=2 * 3600,
+        scenario=scenario,
+        seed=seed,
+    )

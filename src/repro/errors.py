@@ -1,0 +1,65 @@
+"""Exception hierarchy for the BatchLens reproduction.
+
+Every error raised by the library derives from :class:`BatchLensError`, so
+callers can catch one base class.  More specific subclasses carry enough
+context (the offending table, column, entity id, ...) to make failure
+messages actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class BatchLensError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TraceFormatError(BatchLensError):
+    """A trace file or record does not follow the Alibaba v2017 schema."""
+
+    def __init__(self, message: str, *, table: str | None = None,
+                 line_number: int | None = None) -> None:
+        self.table = table
+        self.line_number = line_number
+        prefix = ""
+        if table is not None:
+            prefix += f"[{table}] "
+        if line_number is not None:
+            prefix += f"line {line_number}: "
+        super().__init__(prefix + message)
+
+
+class TraceValidationError(BatchLensError):
+    """A trace bundle violates a structural invariant (dangling ids, ...)."""
+
+
+class UnknownEntityError(BatchLensError):
+    """Lookup of a job, task, instance or machine id failed."""
+
+    def __init__(self, kind: str, entity_id: str) -> None:
+        self.kind = kind
+        self.entity_id = entity_id
+        super().__init__(f"unknown {kind}: {entity_id!r}")
+
+
+class SchedulingError(BatchLensError):
+    """The cluster scheduler could not place an instance."""
+
+
+class SimulationError(BatchLensError):
+    """The cluster simulator was configured inconsistently."""
+
+
+class SeriesError(BatchLensError):
+    """A time-series operation received incompatible or malformed input."""
+
+
+class LayoutError(BatchLensError):
+    """A chart layout could not be computed (e.g. circle packing failure)."""
+
+
+class RenderError(BatchLensError):
+    """An SVG/HTML rendering step received invalid drawing parameters."""
+
+
+class ConfigError(BatchLensError):
+    """A configuration object carries out-of-range or inconsistent values."""

@@ -1,0 +1,58 @@
+"""Time-series and aggregation layer.
+
+Public surface:
+
+* :class:`~repro.metrics.series.TimeSeries` — immutable numpy-backed series.
+* :class:`~repro.metrics.store.MetricStore` — dense per-machine utilisation.
+* :mod:`~repro.metrics.resample` — regular-grid resampling helpers.
+* :mod:`~repro.metrics.aggregate` — hierarchy roll-ups and timelines.
+* :mod:`~repro.metrics.stats` — descriptive statistics of traces.
+"""
+
+from repro.metrics.aggregate import (
+    GroupUtilisation,
+    busiest_machines,
+    cluster_timeline,
+    group_series,
+    group_snapshot,
+    utilisation_histogram,
+    windowed_mean,
+)
+from repro.metrics.resample import downsample, fill_gaps, regular_grid, to_grid, upsample
+from repro.metrics.series import SeriesSummary, TimeSeries, align, merge_mean, merge_sum
+from repro.metrics.stats import (
+    DistributionSummary,
+    HierarchyStats,
+    coefficient_of_variation,
+    gini,
+    hierarchy_stats,
+    summarize,
+)
+from repro.metrics.store import MetricStore
+
+__all__ = [
+    "DistributionSummary",
+    "GroupUtilisation",
+    "HierarchyStats",
+    "MetricStore",
+    "SeriesSummary",
+    "TimeSeries",
+    "align",
+    "busiest_machines",
+    "cluster_timeline",
+    "coefficient_of_variation",
+    "downsample",
+    "fill_gaps",
+    "gini",
+    "group_series",
+    "group_snapshot",
+    "hierarchy_stats",
+    "merge_mean",
+    "merge_sum",
+    "regular_grid",
+    "summarize",
+    "to_grid",
+    "upsample",
+    "utilisation_histogram",
+    "windowed_mean",
+]

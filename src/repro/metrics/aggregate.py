@@ -1,0 +1,130 @@
+"""Hierarchy roll-ups and windowed aggregation.
+
+BatchLens constantly summarises utilisation along the batch hierarchy:
+"how busy are the machines running task T / job J right now" drives the
+bubble-chart colouring, and "cluster-wide metric over time" drives the
+timeline.  These helpers express those roll-ups over a :class:`MetricStore`
+and a set of machine groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.config import METRICS
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+from repro.metrics.store import MetricStore
+
+
+@dataclass(frozen=True)
+class GroupUtilisation:
+    """Aggregated utilisation of a group of machines at one timestamp."""
+
+    group_id: str
+    machine_count: int
+    mean: dict[str, float]
+    maximum: dict[str, float]
+
+
+def group_snapshot(store: MetricStore, groups: Mapping[str, Sequence[str]],
+                   timestamp: float,
+                   metrics: Sequence[str] = METRICS) -> list[GroupUtilisation]:
+    """Summarise each machine group (task, job, ...) at one timestamp.
+
+    ``groups`` maps a group id to the machine ids that belong to it; machines
+    missing from the store are ignored so partially-known hierarchies still
+    aggregate.
+    """
+    results: list[GroupUtilisation] = []
+    for group_id, machine_ids in groups.items():
+        known = [mid for mid in machine_ids if mid in store]
+        if not known:
+            results.append(GroupUtilisation(group_id, 0,
+                                            {m: 0.0 for m in metrics},
+                                            {m: 0.0 for m in metrics}))
+            continue
+        values = {m: [] for m in metrics}
+        for mid in known:
+            snap = store.machine_snapshot(mid, timestamp)
+            for m in metrics:
+                values[m].append(snap[m])
+        results.append(GroupUtilisation(
+            group_id=group_id,
+            machine_count=len(known),
+            mean={m: float(np.mean(values[m])) for m in metrics},
+            maximum={m: float(np.max(values[m])) for m in metrics},
+        ))
+    return results
+
+
+def group_series(store: MetricStore, machine_ids: Sequence[str], metric: str,
+                 reducer: str = "mean") -> TimeSeries:
+    """Aggregate one metric over time across a group of machines."""
+    known = [mid for mid in machine_ids if mid in store]
+    if not known:
+        return TimeSeries.empty()
+    return store.subset(known).aggregate(metric, reducer)
+
+
+def cluster_timeline(store: MetricStore,
+                     metrics: Sequence[str] = METRICS,
+                     reducer: str = "mean") -> dict[str, TimeSeries]:
+    """Cluster-wide aggregate of every metric (the BatchLens timeline view)."""
+    return {metric: store.aggregate(metric, reducer) for metric in metrics}
+
+
+def windowed_mean(series: TimeSeries, window_s: float) -> TimeSeries:
+    """Mean of the series over trailing windows of ``window_s`` seconds."""
+    if window_s <= 0:
+        raise SeriesError(f"window_s must be positive, got {window_s}")
+    if len(series) == 0:
+        return series
+    ts = series.timestamps
+    vs = series.values
+    out = np.empty_like(vs)
+    lo = 0
+    for i in range(len(vs)):
+        while ts[i] - ts[lo] > window_s:
+            lo += 1
+        out[i] = np.mean(vs[lo:i + 1])
+    return TimeSeries(ts, out)
+
+
+def utilisation_histogram(store: MetricStore, metric: str, timestamp: float,
+                          bin_edges: Sequence[float] = (0, 20, 40, 60, 80, 100)) -> dict[str, int]:
+    """Bucket machines by utilisation at one timestamp.
+
+    Returns a mapping like ``{"0-20": 12, "20-40": 31, ...}`` used by the
+    regime classifier and the case-study narrative ("all machines are at
+    20-40 %").
+    """
+    edges = list(bin_edges)
+    if len(edges) < 2 or any(hi <= lo for lo, hi in zip(edges, edges[1:])):
+        raise SeriesError("bin_edges must be strictly increasing with >= 2 edges")
+    snapshot = store.snapshot(timestamp, metric=metric)
+    counts = {f"{int(lo)}-{int(hi)}": 0 for lo, hi in zip(edges, edges[1:])}
+    labels = list(counts)
+    for value in snapshot.values():
+        placed = False
+        for k, (lo, hi) in enumerate(zip(edges, edges[1:])):
+            if lo <= value < hi or (k == len(labels) - 1 and value == hi):
+                counts[labels[k]] += 1
+                placed = True
+                break
+        if not placed and value >= edges[-1]:
+            counts[labels[-1]] += 1
+    return counts
+
+
+def busiest_machines(store: MetricStore, metric: str, timestamp: float,
+                     top_n: int = 10) -> list[tuple[str, float]]:
+    """Return the ``top_n`` machines by utilisation at one timestamp."""
+    if top_n <= 0:
+        raise SeriesError(f"top_n must be positive, got {top_n}")
+    snapshot = store.snapshot(timestamp, metric=metric)
+    ranked = sorted(snapshot.items(), key=lambda kv: kv[1], reverse=True)
+    return ranked[:top_n]

@@ -1,0 +1,99 @@
+"""Resampling of time series onto regular grids.
+
+The Alibaba trace mixes resolutions: batch-scheduler events land on a
+300-second grid while server usage is sampled much more frequently.  The
+views in BatchLens need both downsampling (timeline overview of a day) and
+upsampling (aligning sparse scheduler events with dense usage samples).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+
+#: Reducers accepted by :func:`downsample` by name.
+REDUCERS: dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda a: float(np.mean(a)),
+    "max": lambda a: float(np.max(a)),
+    "min": lambda a: float(np.min(a)),
+    "sum": lambda a: float(np.sum(a)),
+    "median": lambda a: float(np.median(a)),
+    "last": lambda a: float(a[-1]),
+    "first": lambda a: float(a[0]),
+}
+
+
+def regular_grid(start: float, end: float, resolution_s: float) -> np.ndarray:
+    """Return the inclusive regular grid ``start, start+res, ... <= end``."""
+    if resolution_s <= 0:
+        raise SeriesError(f"resolution must be positive, got {resolution_s}")
+    if end < start:
+        raise SeriesError(f"end ({end}) precedes start ({start})")
+    count = int(np.floor((end - start) / resolution_s)) + 1
+    return start + np.arange(count, dtype=np.float64) * resolution_s
+
+
+def downsample(series: TimeSeries, resolution_s: float,
+               reducer: str = "mean") -> TimeSeries:
+    """Bucket samples into ``resolution_s``-wide bins and reduce each bin.
+
+    Bin ``k`` covers ``[start + k*res, start + (k+1)*res)`` and is stamped at
+    its left edge.  Empty bins are dropped rather than filled, which keeps
+    gaps in the source data visible downstream.
+    """
+    if reducer not in REDUCERS:
+        raise SeriesError(
+            f"unknown reducer {reducer!r}; expected one of {sorted(REDUCERS)}")
+    if len(series) == 0:
+        return series
+    reduce = REDUCERS[reducer]
+    start = series.start
+    bins = np.floor((series.timestamps - start) / resolution_s).astype(np.int64)
+    out_ts: list[float] = []
+    out_vs: list[float] = []
+    for bin_id in np.unique(bins):
+        mask = bins == bin_id
+        out_ts.append(start + float(bin_id) * resolution_s)
+        out_vs.append(reduce(series.values[mask]))
+    return TimeSeries(np.asarray(out_ts), np.asarray(out_vs))
+
+
+def upsample(series: TimeSeries, resolution_s: float,
+             *, interpolate: bool = True) -> TimeSeries:
+    """Re-sample onto a finer regular grid spanning the series' extent."""
+    if len(series) == 0:
+        return series
+    grid = regular_grid(series.start, series.end, resolution_s)
+    if interpolate:
+        values = np.interp(grid, series.timestamps, series.values)
+    else:
+        values = np.asarray([series.value_at(t) for t in grid])
+    return TimeSeries(grid, values)
+
+
+def to_grid(series: TimeSeries, grid: np.ndarray,
+            *, interpolate: bool = True) -> TimeSeries:
+    """Re-sample a series onto an arbitrary caller-supplied grid."""
+    grid = np.asarray(grid, dtype=np.float64)
+    if len(series) == 0:
+        return TimeSeries(grid, np.zeros(grid.shape[0]))
+    if interpolate:
+        values = np.interp(grid, series.timestamps, series.values)
+    else:
+        values = np.asarray([series.value_at(t) for t in grid])
+    return TimeSeries(grid, values)
+
+
+def fill_gaps(series: TimeSeries, resolution_s: float,
+              fill_value: float = 0.0) -> TimeSeries:
+    """Insert ``fill_value`` samples wherever the series skips a grid step."""
+    if len(series) == 0:
+        return series
+    grid = regular_grid(series.start, series.end, resolution_s)
+    existing = {float(t): float(v) for t, v in series}
+    values = np.asarray([existing.get(float(t), fill_value) for t in grid])
+    return TimeSeries(grid, values)

@@ -1,0 +1,330 @@
+"""A small, numpy-backed time-series container.
+
+The visual-analytics pipeline manipulates thousands of short utilisation
+series (one per machine and metric).  :class:`TimeSeries` keeps timestamps
+and values as aligned numpy arrays and offers the handful of operations the
+rest of the library needs: slicing by time, resampling, rolling statistics,
+exponentially-weighted smoothing, and alignment of several series onto a
+common time grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SeriesError
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Summary statistics of one series."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    p99: float
+
+
+class TimeSeries:
+    """An immutable, time-ordered sequence of ``(timestamp, value)`` samples."""
+
+    __slots__ = ("_timestamps", "_values")
+
+    def __init__(self, timestamps: Sequence[float] | np.ndarray,
+                 values: Sequence[float] | np.ndarray) -> None:
+        ts = np.asarray(timestamps, dtype=np.float64)
+        vs = np.asarray(values, dtype=np.float64)
+        if ts.ndim != 1 or vs.ndim != 1:
+            raise SeriesError("timestamps and values must be one-dimensional")
+        if ts.shape[0] != vs.shape[0]:
+            raise SeriesError(
+                f"length mismatch: {ts.shape[0]} timestamps vs {vs.shape[0]} values")
+        if ts.shape[0] > 1 and np.any(np.diff(ts) < 0):
+            order = np.argsort(ts, kind="stable")
+            ts = ts[order]
+            vs = vs[order]
+        self._timestamps = ts
+        self._values = vs
+        self._timestamps.setflags(write=False)
+        self._values.setflags(write=False)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def empty(cls) -> "TimeSeries":
+        """Return a series with no samples."""
+        return cls(np.empty(0), np.empty(0))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[float, float]]) -> "TimeSeries":
+        """Build a series from an iterable of ``(timestamp, value)`` pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            return cls.empty()
+        ts, vs = zip(*pairs)
+        return cls(np.asarray(ts), np.asarray(vs))
+
+    @classmethod
+    def constant(cls, timestamps: Sequence[float] | np.ndarray,
+                 value: float) -> "TimeSeries":
+        """Build a series holding ``value`` at every timestamp."""
+        ts = np.asarray(timestamps, dtype=np.float64)
+        return cls(ts, np.full(ts.shape[0], float(value)))
+
+    # -- basic accessors ---------------------------------------------------
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Read-only array of sample timestamps (seconds)."""
+        return self._timestamps
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only array of sample values."""
+        return self._values
+
+    def __len__(self) -> int:
+        return int(self._timestamps.shape[0])
+
+    def __iter__(self):
+        return iter(zip(self._timestamps.tolist(), self._values.tolist()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (self._timestamps.shape == other._timestamps.shape
+                and np.array_equal(self._timestamps, other._timestamps)
+                and np.array_equal(self._values, other._values))
+
+    def __repr__(self) -> str:
+        if len(self) == 0:
+            return "TimeSeries(empty)"
+        return (f"TimeSeries(n={len(self)}, "
+                f"t=[{self._timestamps[0]:.0f}..{self._timestamps[-1]:.0f}], "
+                f"mean={float(np.mean(self._values)):.2f})")
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    @property
+    def start(self) -> float:
+        """Timestamp of the first sample."""
+        self._require_non_empty("start")
+        return float(self._timestamps[0])
+
+    @property
+    def end(self) -> float:
+        """Timestamp of the last sample."""
+        self._require_non_empty("end")
+        return float(self._timestamps[-1])
+
+    @property
+    def duration(self) -> float:
+        """Time spanned between the first and last samples."""
+        return self.end - self.start if len(self) else 0.0
+
+    def _require_non_empty(self, operation: str) -> None:
+        if len(self) == 0:
+            raise SeriesError(f"cannot compute {operation} of an empty series")
+
+    # -- point queries -----------------------------------------------------
+    def value_at(self, timestamp: float, *, interpolate: bool = False) -> float:
+        """Return the value at ``timestamp``.
+
+        Without interpolation the most recent sample at or before the
+        timestamp is returned (step semantics, matching how monitoring
+        systems hold the last reported value).  With ``interpolate=True``
+        a linear interpolation between the neighbouring samples is used.
+        """
+        self._require_non_empty("value_at")
+        ts = self._timestamps
+        if timestamp <= ts[0]:
+            return float(self._values[0])
+        if timestamp >= ts[-1]:
+            return float(self._values[-1])
+        if interpolate:
+            return float(np.interp(timestamp, ts, self._values))
+        idx = int(np.searchsorted(ts, timestamp, side="right")) - 1
+        return float(self._values[idx])
+
+    # -- transformations ---------------------------------------------------
+    def slice(self, start: float | None = None,
+              end: float | None = None) -> "TimeSeries":
+        """Return the sub-series with ``start <= t <= end``."""
+        if len(self) == 0:
+            return self
+        mask = np.ones(len(self), dtype=bool)
+        if start is not None:
+            mask &= self._timestamps >= start
+        if end is not None:
+            mask &= self._timestamps <= end
+        return TimeSeries(self._timestamps[mask], self._values[mask])
+
+    def shift(self, offset: float) -> "TimeSeries":
+        """Return a copy with every timestamp shifted by ``offset`` seconds."""
+        return TimeSeries(self._timestamps + offset, self._values)
+
+    def scale(self, factor: float) -> "TimeSeries":
+        """Return a copy with every value multiplied by ``factor``."""
+        return TimeSeries(self._timestamps, self._values * factor)
+
+    def clip(self, lower: float, upper: float) -> "TimeSeries":
+        """Return a copy with values clipped to ``[lower, upper]``."""
+        if lower > upper:
+            raise SeriesError(f"invalid clip range: [{lower}, {upper}]")
+        return TimeSeries(self._timestamps, np.clip(self._values, lower, upper))
+
+    def map(self, func) -> "TimeSeries":
+        """Return a copy with ``func`` applied element-wise to the values."""
+        return TimeSeries(self._timestamps, np.asarray([func(v) for v in self._values]))
+
+    def add(self, other: "TimeSeries") -> "TimeSeries":
+        """Point-wise sum of two series sharing the same timestamps."""
+        self._check_aligned(other)
+        return TimeSeries(self._timestamps, self._values + other._values)
+
+    def subtract(self, other: "TimeSeries") -> "TimeSeries":
+        """Point-wise difference of two series sharing the same timestamps."""
+        self._check_aligned(other)
+        return TimeSeries(self._timestamps, self._values - other._values)
+
+    def _check_aligned(self, other: "TimeSeries") -> None:
+        if len(self) != len(other) or not np.array_equal(
+                self._timestamps, other._timestamps):
+            raise SeriesError("series are not aligned on the same timestamps")
+
+    # -- smoothing & rolling statistics -------------------------------------
+    def ewma(self, alpha: float) -> "TimeSeries":
+        """Exponentially-weighted moving average with smoothing factor alpha."""
+        if not 0.0 < alpha <= 1.0:
+            raise SeriesError(f"alpha must be in (0, 1], got {alpha}")
+        if len(self) == 0:
+            return self
+        smoothed = np.empty_like(self._values)
+        smoothed[0] = self._values[0]
+        for i in range(1, len(self._values)):
+            smoothed[i] = alpha * self._values[i] + (1.0 - alpha) * smoothed[i - 1]
+        return TimeSeries(self._timestamps, smoothed)
+
+    def rolling_mean(self, window: int) -> "TimeSeries":
+        """Centered-free rolling mean over ``window`` trailing samples."""
+        return self._rolling(window, np.mean)
+
+    def rolling_std(self, window: int) -> "TimeSeries":
+        """Rolling standard deviation over ``window`` trailing samples."""
+        return self._rolling(window, np.std)
+
+    def _rolling(self, window: int, reducer) -> "TimeSeries":
+        if window <= 0:
+            raise SeriesError(f"window must be positive, got {window}")
+        if len(self) == 0:
+            return self
+        out = np.empty_like(self._values)
+        for i in range(len(self._values)):
+            lo = max(0, i - window + 1)
+            out[i] = reducer(self._values[lo:i + 1])
+        return TimeSeries(self._timestamps, out)
+
+    def diff(self) -> "TimeSeries":
+        """First difference of the values (length ``n - 1``)."""
+        if len(self) < 2:
+            return TimeSeries.empty()
+        return TimeSeries(self._timestamps[1:], np.diff(self._values))
+
+    # -- statistics ---------------------------------------------------------
+    def mean(self) -> float:
+        self._require_non_empty("mean")
+        return float(np.mean(self._values))
+
+    def std(self) -> float:
+        self._require_non_empty("std")
+        return float(np.std(self._values))
+
+    def min(self) -> float:
+        self._require_non_empty("min")
+        return float(np.min(self._values))
+
+    def max(self) -> float:
+        self._require_non_empty("max")
+        return float(np.max(self._values))
+
+    def percentile(self, q: float) -> float:
+        self._require_non_empty("percentile")
+        if not 0.0 <= q <= 100.0:
+            raise SeriesError(f"percentile must be within [0, 100], got {q}")
+        return float(np.percentile(self._values, q))
+
+    def summary(self) -> SeriesSummary:
+        """Return the summary statistics used by reports and tooltips."""
+        self._require_non_empty("summary")
+        return SeriesSummary(
+            count=len(self),
+            minimum=self.min(),
+            maximum=self.max(),
+            mean=self.mean(),
+            std=self.std(),
+            p50=self.percentile(50),
+            p95=self.percentile(95),
+            p99=self.percentile(99),
+        )
+
+    def argmax(self) -> float:
+        """Timestamp at which the maximum value occurs (first occurrence)."""
+        self._require_non_empty("argmax")
+        return float(self._timestamps[int(np.argmax(self._values))])
+
+    def argmin(self) -> float:
+        """Timestamp at which the minimum value occurs (first occurrence)."""
+        self._require_non_empty("argmin")
+        return float(self._timestamps[int(np.argmin(self._values))])
+
+
+def align(series: Sequence[TimeSeries], timestamps: np.ndarray | None = None,
+          *, interpolate: bool = True) -> list[TimeSeries]:
+    """Re-sample every series onto a shared time grid.
+
+    When ``timestamps`` is omitted the union of all sample timestamps is used.
+    Empty series stay empty.
+    """
+    non_empty = [s for s in series if len(s)]
+    if timestamps is None:
+        if not non_empty:
+            return [TimeSeries.empty() for _ in series]
+        timestamps = np.unique(np.concatenate([s.timestamps for s in non_empty]))
+    grid = np.asarray(timestamps, dtype=np.float64)
+    out: list[TimeSeries] = []
+    for s in series:
+        if len(s) == 0:
+            out.append(TimeSeries.empty())
+        elif interpolate:
+            out.append(TimeSeries(grid, np.interp(grid, s.timestamps, s.values)))
+        else:
+            values = np.asarray([s.value_at(t) for t in grid])
+            out.append(TimeSeries(grid, values))
+    return out
+
+
+def merge_sum(series: Sequence[TimeSeries]) -> TimeSeries:
+    """Sum several series after aligning them on the union of timestamps."""
+    aligned = [s for s in align(series) if len(s)]
+    if not aligned:
+        return TimeSeries.empty()
+    total = aligned[0].values.copy()
+    for s in aligned[1:]:
+        total = total + s.values
+    return TimeSeries(aligned[0].timestamps, total)
+
+
+def merge_mean(series: Sequence[TimeSeries]) -> TimeSeries:
+    """Average several series after aligning them on the union of timestamps."""
+    non_empty = [s for s in series if len(s)]
+    if not non_empty:
+        return TimeSeries.empty()
+    summed = merge_sum(non_empty)
+    return TimeSeries(summed.timestamps, summed.values / len(non_empty))

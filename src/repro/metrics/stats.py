@@ -1,0 +1,124 @@
+"""Descriptive statistics over traces and hierarchies.
+
+These are the §II numbers of the paper (machine count, horizon, fraction of
+single-task jobs, fraction of multi-instance tasks) plus the distributional
+summaries the dashboards surface in tooltips and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class HierarchyStats:
+    """Structural statistics of a batch hierarchy (paper §II)."""
+
+    num_jobs: int
+    num_tasks: int
+    num_instances: int
+    num_machines: int
+    single_task_job_fraction: float
+    multi_instance_task_fraction: float
+    mean_tasks_per_job: float
+    mean_instances_per_task: float
+    max_instances_per_task: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "num_jobs": self.num_jobs,
+            "num_tasks": self.num_tasks,
+            "num_instances": self.num_instances,
+            "num_machines": self.num_machines,
+            "single_task_job_fraction": self.single_task_job_fraction,
+            "multi_instance_task_fraction": self.multi_instance_task_fraction,
+            "mean_tasks_per_job": self.mean_tasks_per_job,
+            "mean_instances_per_task": self.mean_instances_per_task,
+            "max_instances_per_task": self.max_instances_per_task,
+        }
+
+
+def hierarchy_stats(tasks_per_job: Mapping[str, int],
+                    instances_per_task: Mapping[str, int],
+                    num_machines: int) -> HierarchyStats:
+    """Compute structural statistics from per-job and per-task counts."""
+    job_counts = np.asarray(list(tasks_per_job.values()), dtype=np.int64)
+    task_counts = np.asarray(list(instances_per_task.values()), dtype=np.int64)
+    num_jobs = int(job_counts.shape[0])
+    num_tasks = int(task_counts.shape[0])
+    num_instances = int(task_counts.sum()) if num_tasks else 0
+    return HierarchyStats(
+        num_jobs=num_jobs,
+        num_tasks=num_tasks,
+        num_instances=num_instances,
+        num_machines=num_machines,
+        single_task_job_fraction=(
+            float(np.mean(job_counts == 1)) if num_jobs else 0.0),
+        multi_instance_task_fraction=(
+            float(np.mean(task_counts > 1)) if num_tasks else 0.0),
+        mean_tasks_per_job=float(job_counts.mean()) if num_jobs else 0.0,
+        mean_instances_per_task=float(task_counts.mean()) if num_tasks else 0.0,
+        max_instances_per_task=int(task_counts.max()) if num_tasks else 0,
+    )
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-plus summary of a sample of values."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    p50: float
+    p75: float
+    p95: float
+    maximum: float
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> DistributionSummary:
+    """Summarise a non-empty sample of values."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return DistributionSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        p25=float(np.percentile(arr, 25)),
+        p50=float(np.percentile(arr, 50)),
+        p75=float(np.percentile(arr, 75)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )
+
+
+def coefficient_of_variation(values: Sequence[float] | np.ndarray) -> float:
+    """Standard deviation divided by mean; 0 for constant or empty samples."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    mean = float(arr.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(arr.std() / abs(mean))
+
+
+def gini(values: Sequence[float] | np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = perfectly balanced)."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr < 0):
+        raise ValueError("gini requires non-negative values")
+    total = arr.sum()
+    if total == 0.0:
+        return 0.0
+    n = arr.size
+    index = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * np.sum(index * arr) / (n * total)) - (n + 1.0) / n)

@@ -1,0 +1,199 @@
+"""Dense storage of per-machine utilisation series.
+
+A :class:`MetricStore` keeps the server-usage table of a trace as one dense
+array of shape ``(machines, metrics, samples)`` on a shared regular time
+grid.  That is the natural layout for the queries BatchLens issues
+constantly: "utilisation of machine M at time T", "CPU of every machine at
+time T" (bubble chart colouring), and "whole series for machine M"
+(line charts).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.config import METRICS
+from repro.errors import SeriesError, UnknownEntityError
+from repro.metrics.series import TimeSeries
+
+
+class MetricStore:
+    """Dense ``(machine, metric, time)`` utilisation storage."""
+
+    def __init__(self, machine_ids: Sequence[str], timestamps: np.ndarray,
+                 metrics: Sequence[str] = METRICS) -> None:
+        self._machine_ids = list(machine_ids)
+        if len(set(self._machine_ids)) != len(self._machine_ids):
+            raise SeriesError("machine ids must be unique")
+        self._metrics = tuple(metrics)
+        self._timestamps = np.asarray(timestamps, dtype=np.float64)
+        if self._timestamps.ndim != 1:
+            raise SeriesError("timestamps must be one-dimensional")
+        if self._timestamps.shape[0] > 1 and np.any(np.diff(self._timestamps) <= 0):
+            raise SeriesError("timestamps must be strictly increasing")
+        self._machine_index = {mid: i for i, mid in enumerate(self._machine_ids)}
+        self._metric_index = {name: i for i, name in enumerate(self._metrics)}
+        self._data = np.zeros(
+            (len(self._machine_ids), len(self._metrics), self._timestamps.shape[0]),
+            dtype=np.float64)
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def machine_ids(self) -> list[str]:
+        return list(self._machine_ids)
+
+    @property
+    def metrics(self) -> tuple[str, ...]:
+        return self._metrics
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self._timestamps
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw ``(machines, metrics, samples)`` array (mutable view)."""
+        return self._data
+
+    @property
+    def num_machines(self) -> int:
+        return len(self._machine_ids)
+
+    @property
+    def num_samples(self) -> int:
+        return int(self._timestamps.shape[0])
+
+    def __contains__(self, machine_id: str) -> bool:
+        return machine_id in self._machine_index
+
+    def _machine_row(self, machine_id: str) -> int:
+        try:
+            return self._machine_index[machine_id]
+        except KeyError:
+            raise UnknownEntityError("machine", machine_id) from None
+
+    def _metric_row(self, metric: str) -> int:
+        try:
+            return self._metric_index[metric]
+        except KeyError:
+            raise UnknownEntityError("metric", metric) from None
+
+    # -- mutation -----------------------------------------------------------
+    def set_series(self, machine_id: str, metric: str,
+                   values: np.ndarray | Sequence[float]) -> None:
+        """Overwrite the full series for one machine/metric pair."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[0] != self.num_samples:
+            raise SeriesError(
+                f"expected {self.num_samples} samples, got {values.shape[0]}")
+        self._data[self._machine_row(machine_id), self._metric_row(metric), :] = values
+
+    def add_to_series(self, machine_id: str, metric: str,
+                      values: np.ndarray | Sequence[float]) -> None:
+        """Accumulate values onto an existing series (used by the simulator)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[0] != self.num_samples:
+            raise SeriesError(
+                f"expected {self.num_samples} samples, got {values.shape[0]}")
+        self._data[self._machine_row(machine_id), self._metric_row(metric), :] += values
+
+    def clip(self, lower: float = 0.0, upper: float = 100.0) -> None:
+        """Clip every stored value into ``[lower, upper]`` in place."""
+        np.clip(self._data, lower, upper, out=self._data)
+
+    # -- queries ------------------------------------------------------------
+    def series(self, machine_id: str, metric: str) -> TimeSeries:
+        """Return the utilisation series of one machine for one metric."""
+        row = self._data[self._machine_row(machine_id), self._metric_row(metric), :]
+        return TimeSeries(self._timestamps, row.copy())
+
+    def machine_snapshot(self, machine_id: str, timestamp: float) -> dict[str, float]:
+        """Return ``{metric: value}`` for one machine at one timestamp."""
+        idx = self._time_index(timestamp)
+        row = self._data[self._machine_row(machine_id), :, idx]
+        return {metric: float(row[i]) for i, metric in enumerate(self._metrics)}
+
+    def snapshot(self, timestamp: float,
+                 metric: str | None = None) -> dict[str, dict[str, float]] | dict[str, float]:
+        """Return the utilisation of every machine at ``timestamp``.
+
+        With ``metric`` set, a flat ``{machine_id: value}`` mapping is
+        returned; otherwise a nested ``{machine_id: {metric: value}}``.
+        """
+        idx = self._time_index(timestamp)
+        if metric is not None:
+            column = self._data[:, self._metric_row(metric), idx]
+            return {mid: float(column[i]) for i, mid in enumerate(self._machine_ids)}
+        out: dict[str, dict[str, float]] = {}
+        for i, mid in enumerate(self._machine_ids):
+            out[mid] = {m: float(self._data[i, j, idx])
+                        for j, m in enumerate(self._metrics)}
+        return out
+
+    def aggregate(self, metric: str, reducer: str = "mean") -> TimeSeries:
+        """Aggregate one metric across all machines at every timestamp."""
+        block = self._data[:, self._metric_row(metric), :]
+        if reducer == "mean":
+            values = block.mean(axis=0)
+        elif reducer == "max":
+            values = block.max(axis=0)
+        elif reducer == "min":
+            values = block.min(axis=0)
+        elif reducer == "sum":
+            values = block.sum(axis=0)
+        elif reducer == "p95":
+            values = np.percentile(block, 95, axis=0)
+        else:
+            raise SeriesError(f"unknown reducer {reducer!r}")
+        return TimeSeries(self._timestamps, values)
+
+    def subset(self, machine_ids: Iterable[str]) -> "MetricStore":
+        """Return a new store restricted to the given machines."""
+        ids = [mid for mid in machine_ids]
+        store = MetricStore(ids, self._timestamps, self._metrics)
+        for mid in ids:
+            store._data[store._machine_index[mid]] = self._data[self._machine_row(mid)]
+        return store
+
+    def window(self, start: float, end: float) -> "MetricStore":
+        """Return a new store restricted to ``start <= t <= end``."""
+        if end < start:
+            raise SeriesError(f"end ({end}) precedes start ({start})")
+        mask = (self._timestamps >= start) & (self._timestamps <= end)
+        store = MetricStore(self._machine_ids, self._timestamps[mask], self._metrics)
+        store._data = self._data[:, :, mask].copy()
+        return store
+
+    def _time_index(self, timestamp: float) -> int:
+        if self.num_samples == 0:
+            raise SeriesError("store holds no samples")
+        idx = int(np.searchsorted(self._timestamps, timestamp, side="right")) - 1
+        return max(0, min(idx, self.num_samples - 1))
+
+    # -- record conversion ----------------------------------------------------
+    def iter_records(self) -> Iterator[tuple[float, str, dict[str, float]]]:
+        """Yield ``(timestamp, machine_id, {metric: value})`` for every sample."""
+        for t_idx, timestamp in enumerate(self._timestamps):
+            for m_idx, machine_id in enumerate(self._machine_ids):
+                values = {metric: float(self._data[m_idx, j, t_idx])
+                          for j, metric in enumerate(self._metrics)}
+                yield float(timestamp), machine_id, values
+
+    @classmethod
+    def from_records(cls, records: Iterable[tuple[float, str, Mapping[str, float]]],
+                     metrics: Sequence[str] = METRICS) -> "MetricStore":
+        """Build a store from ``(timestamp, machine_id, {metric: value})`` rows."""
+        rows = list(records)
+        timestamps = np.unique(np.asarray([r[0] for r in rows], dtype=np.float64))
+        machine_ids = sorted({r[1] for r in rows})
+        store = cls(machine_ids, timestamps, metrics)
+        time_index = {float(t): i for i, t in enumerate(timestamps)}
+        for timestamp, machine_id, values in rows:
+            t_idx = time_index[float(timestamp)]
+            m_idx = store._machine_index[machine_id]
+            for j, metric in enumerate(store._metrics):
+                if metric in values:
+                    store._data[m_idx, j, t_idx] = float(values[metric])
+        return store

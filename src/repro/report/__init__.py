@@ -1,0 +1,58 @@
+"""Report generation: case-study narratives, baseline comparisons, experiments.
+
+The paper communicates its findings through an interactive tool plus a
+written case study (§IV).  This subpackage produces the written half
+programmatically:
+
+* :mod:`repro.report.markdown` — a tiny dependency-free Markdown builder;
+* :mod:`repro.report.case_study` — structured findings for one snapshot or
+  the full three-regime case study, rendered to Markdown;
+* :mod:`repro.report.comparison` — BatchLens vs. the baseline tools
+  (threshold monitor, flat dashboard, tabular report);
+* :mod:`repro.report.experiments` — paper-claim vs. measured records for
+  every figure/statistic of the paper (what EXPERIMENTS.md is built from).
+"""
+
+from repro.report.case_study import (
+    CaseStudyFindings,
+    JobFinding,
+    build_case_study,
+    build_full_case_study,
+    render_case_study,
+)
+from repro.report.comparison import (
+    CapabilityRow,
+    ComparisonReport,
+    capability_matrix,
+    compare_detection_quality,
+    render_comparison,
+)
+from repro.report.experiments import (
+    ExperimentRecord,
+    render_experiments,
+    run_dataset_statistics_experiment,
+    run_detection_experiment,
+    run_regime_experiments,
+    run_experiment_suite,
+)
+from repro.report.markdown import MarkdownBuilder
+
+__all__ = [
+    "CapabilityRow",
+    "CaseStudyFindings",
+    "ComparisonReport",
+    "ExperimentRecord",
+    "JobFinding",
+    "MarkdownBuilder",
+    "build_case_study",
+    "build_full_case_study",
+    "capability_matrix",
+    "compare_detection_quality",
+    "render_case_study",
+    "render_comparison",
+    "render_experiments",
+    "run_dataset_statistics_experiment",
+    "run_detection_experiment",
+    "run_experiment_suite",
+    "run_regime_experiments",
+]

@@ -1,0 +1,235 @@
+"""Structured case-study reports (the written counterpart of §IV).
+
+:func:`build_case_study` runs the analysis layer over one snapshot of a
+trace and collects everything the paper's authors read off the views —
+regime, load balance, the busiest jobs, hot-job spikes, thrashing machines,
+root-cause candidates and SLA damage — into one :class:`CaseStudyFindings`
+value.  :func:`render_case_study` turns findings into a Markdown narrative;
+:func:`build_full_case_study` does it for all three regimes at once, which
+is what the ``case_study_alibaba`` example and the E4-E6 benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.balance import BalanceReport, cluster_balance
+from repro.analysis.interference import machine_pressure
+from repro.analysis.patterns import RegimeAssessment, classify_regime
+from repro.analysis.rootcause import (
+    RootCauseCandidate,
+    anomalous_machines_in_window,
+    rank_root_causes,
+)
+from repro.analysis.sla import SlaPolicy, SlaSummary, cluster_sla_report, summarize_sla
+from repro.analysis.spikes import largest_spike
+from repro.analysis.thrashing import ThrashingWindow, cluster_thrashing_report
+from repro.app.batchlens import BatchLens
+from repro.report.markdown import MarkdownBuilder
+from repro.trace.records import TraceBundle
+
+
+@dataclass(frozen=True)
+class JobFinding:
+    """One active job as it appears in the bubble chart at the snapshot."""
+
+    job_id: str
+    num_tasks: int
+    num_machines: int
+    mean_cpu: float
+    mean_mem: float
+    #: Peak value of the largest detected CPU spike on the job's machines
+    #: (None when no spike stands out).
+    spike_peak: float | None = None
+    spike_machines: int = 0
+
+
+@dataclass(frozen=True)
+class CaseStudyFindings:
+    """Everything the §IV narrative states about one snapshot."""
+
+    scenario: str
+    timestamp: float
+    regime: RegimeAssessment
+    cpu_balance: BalanceReport
+    jobs: tuple[JobFinding, ...] = field(default_factory=tuple)
+    hot_job: JobFinding | None = None
+    thrashing_machines: tuple[str, ...] = field(default_factory=tuple)
+    thrashing_window: tuple[float, float] | None = None
+    root_causes: tuple[RootCauseCandidate, ...] = field(default_factory=tuple)
+    sla: SlaSummary | None = None
+    #: Machines executing instances of more than one job at the snapshot
+    #: (the dotted cross-links of Fig. 3(b)).
+    shared_machines: int = 0
+
+
+def _job_finding(lens: BatchLens, row: dict) -> JobFinding:
+    """Enrich one active-job summary row with spike evidence."""
+    job = lens.hierarchy.job(row["job_id"])
+    spikes = []
+    for machine_id in job.machine_ids():
+        if machine_id not in lens.store:
+            continue
+        spike = largest_spike(lens.store.series(machine_id, "cpu"),
+                              subject=machine_id)
+        if spike is not None:
+            spikes.append(spike)
+    peak = max((s.value for s in spikes), default=None)
+    return JobFinding(
+        job_id=row["job_id"],
+        num_tasks=row["num_tasks"],
+        num_machines=row["num_machines"],
+        mean_cpu=row["mean_cpu"],
+        mean_mem=row["mean_mem"],
+        spike_peak=peak,
+        spike_machines=len(spikes),
+    )
+
+
+def _thrashing_evidence(lens: BatchLens, bundle: TraceBundle) -> tuple[
+        tuple[str, ...], tuple[float, float] | None, tuple[RootCauseCandidate, ...]]:
+    """Thrashing machines, their window, and the ranked root-cause jobs."""
+    report: dict[str, list[ThrashingWindow]] = cluster_thrashing_report(lens.store)
+    if not report:
+        return (), None, ()
+    machines = tuple(sorted(report))
+    start = min(w.start for windows in report.values() for w in windows)
+    end = max(w.end for windows in report.values() for w in windows)
+    anomalous = anomalous_machines_in_window(
+        lens.store, (start, end), metric="mem", threshold=85.0) or list(machines)
+    candidates = rank_root_causes(bundle, lens.hierarchy, anomalous, (start, end),
+                                  top_n=3)
+    return machines, (start, end), tuple(candidates)
+
+
+def build_case_study(bundle: TraceBundle, timestamp: float, *,
+                     max_jobs: int = 8,
+                     sla_policy: SlaPolicy | None = None) -> CaseStudyFindings:
+    """Collect the §IV-style findings for one snapshot of a trace."""
+    lens = BatchLens.from_bundle(bundle)
+    regime = classify_regime(lens.store, timestamp)
+    balance = cluster_balance(lens.store, timestamp)["cpu"]
+
+    job_rows = lens.active_jobs(timestamp)[:max_jobs]
+    jobs = tuple(_job_finding(lens, row) for row in job_rows)
+
+    hot_job: JobFinding | None = None
+    hot_job_id = bundle.meta.get("hot_job_id")
+    if hot_job_id is not None:
+        for finding in jobs:
+            if finding.job_id == hot_job_id:
+                hot_job = finding
+                break
+        else:
+            if hot_job_id in lens.hierarchy:
+                row = next((r for r in lens.active_jobs(timestamp)
+                            if r["job_id"] == hot_job_id), None)
+                if row is not None:
+                    hot_job = _job_finding(lens, row)
+
+    thrashing_machines, window, root_causes = _thrashing_evidence(lens, bundle)
+    sla = summarize_sla(cluster_sla_report(bundle, policy=sla_policy))
+    shared = sum(1 for _, count, _ in machine_pressure(lens.hierarchy, lens.store,
+                                                       timestamp)
+                 if count > 1)
+
+    return CaseStudyFindings(
+        scenario=str(bundle.meta.get("scenario", "unknown")),
+        timestamp=float(timestamp),
+        regime=regime,
+        cpu_balance=balance,
+        jobs=jobs,
+        hot_job=hot_job,
+        thrashing_machines=thrashing_machines,
+        thrashing_window=window,
+        root_causes=root_causes,
+        sla=sla,
+        shared_machines=shared,
+    )
+
+
+def build_full_case_study(bundles: dict[str, TraceBundle], *,
+                          timestamps: dict[str, float] | None = None) -> dict[str, CaseStudyFindings]:
+    """Findings for every scenario bundle (the full three-regime case study).
+
+    Unless overridden, each scenario is analysed at the timestamp where its
+    defining behaviour is most visible: mid-trace for healthy / hotjob, and
+    the middle of the injected thrash window for thrashing.
+    """
+    out: dict[str, CaseStudyFindings] = {}
+    for scenario, bundle in bundles.items():
+        if timestamps and scenario in timestamps:
+            timestamp = timestamps[scenario]
+        elif "thrashing" in bundle.meta and bundle.meta["thrashing"].get("window"):
+            window = bundle.meta["thrashing"]["window"]
+            timestamp = (window[0] + window[1]) / 2.0
+        else:
+            start, end = bundle.time_range()
+            timestamp = (start + end) / 2.0
+        out[scenario] = build_case_study(bundle, timestamp)
+    return out
+
+
+def _render_one(builder: MarkdownBuilder, findings: CaseStudyFindings) -> None:
+    regime = findings.regime
+    builder.heading(
+        f"Scenario `{findings.scenario}` at t={findings.timestamp:.0f}s", level=2)
+    builder.paragraph(regime.summary())
+    balance = findings.cpu_balance
+    builder.bullets([
+        f"CPU load balance: mean {balance.mean:.0f}%, CV {balance.cv:.2f}, "
+        f"Gini {balance.gini:.2f} — "
+        + ("uniform colour distribution" if balance.balanced
+           else "visibly imbalanced"),
+        f"{len(findings.jobs)} job(s) shown; "
+        f"{findings.shared_machines} machine(s) shared by several jobs",
+    ])
+
+    if findings.jobs:
+        builder.heading("Active jobs", level=3)
+        builder.table(
+            ["job", "tasks", "nodes", "mean CPU %", "mean MEM %", "CPU spike"],
+            [[job.job_id, job.num_tasks, job.num_machines,
+              f"{job.mean_cpu:.0f}", f"{job.mean_mem:.0f}",
+              (f"{job.spike_peak:.0f}% on {job.spike_machines} node(s)"
+               if job.spike_peak is not None else "—")]
+             for job in findings.jobs])
+
+    if findings.hot_job is not None:
+        hot = findings.hot_job
+        builder.paragraph(
+            f"**Hot job** `{hot.job_id}` (the job_7901 analogue): runs on "
+            f"{hot.num_machines} node(s) at mean CPU {hot.mean_cpu:.0f}% / "
+            f"MEM {hot.mean_mem:.0f}%"
+            + (f", with CPU spiking to {hot.spike_peak:.0f}% on "
+               f"{hot.spike_machines} node(s)." if hot.spike_peak is not None
+               else "."))
+
+    if findings.thrashing_machines:
+        window = findings.thrashing_window
+        builder.paragraph(
+            f"**Thrashing** detected on {len(findings.thrashing_machines)} "
+            f"machine(s) between t={window[0]:.0f}s and t={window[1]:.0f}s "
+            f"(memory overcommit with CPU collapse).")
+        if findings.root_causes:
+            builder.bullets([candidate.explain()
+                             for candidate in findings.root_causes])
+
+    if findings.sla is not None and findings.sla.total_jobs:
+        sla = findings.sla
+        builder.paragraph(
+            f"SLA impact: {sla.violated_jobs}/{sla.total_jobs} job(s) in "
+            f"violation ({sla.violation_rate * 100:.0f}%)"
+            + (f"; worst affected: `{sla.worst_job}`." if sla.worst_job else "."))
+
+
+def render_case_study(findings: CaseStudyFindings | dict[str, CaseStudyFindings],
+                      *, title: str = "BatchLens case study") -> str:
+    """Render one snapshot's findings (or a scenario → findings map) to Markdown."""
+    builder = MarkdownBuilder(title)
+    if isinstance(findings, CaseStudyFindings):
+        _render_one(builder, findings)
+    else:
+        for scenario in sorted(findings):
+            _render_one(builder, findings[scenario])
+    return builder.render()

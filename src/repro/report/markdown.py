@@ -1,0 +1,102 @@
+"""A minimal Markdown document builder.
+
+Every written artefact of this repository (case-study narratives, baseline
+comparisons, EXPERIMENTS.md) is Markdown; this builder keeps their
+construction readable and consistently formatted without any dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import RenderError
+
+
+def escape_cell(value) -> str:
+    """Render one table cell, escaping the pipe character."""
+    if isinstance(value, float):
+        text = f"{value:.2f}"
+    else:
+        text = str(value)
+    return text.replace("|", "\\|").replace("\n", " ")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Format a GitHub-flavoured Markdown table."""
+    if not headers:
+        raise RenderError("a table needs at least one column")
+    width = len(headers)
+    lines = ["| " + " | ".join(escape_cell(h) for h in headers) + " |",
+             "|" + "---|" * width]
+    for row in rows:
+        if len(row) != width:
+            raise RenderError(
+                f"table row has {len(row)} cells, expected {width}: {row!r}")
+        lines.append("| " + " | ".join(escape_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+class MarkdownBuilder:
+    """Accumulates Markdown blocks and renders them with blank-line spacing."""
+
+    def __init__(self, title: str | None = None) -> None:
+        self._blocks: list[str] = []
+        if title:
+            self.heading(title, level=1)
+
+    # -- block constructors ----------------------------------------------------
+    def heading(self, text: str, *, level: int = 2) -> "MarkdownBuilder":
+        if not 1 <= level <= 6:
+            raise RenderError(f"heading level must be in [1, 6], got {level}")
+        self._blocks.append("#" * level + " " + text.strip())
+        return self
+
+    def paragraph(self, text: str) -> "MarkdownBuilder":
+        self._blocks.append(text.strip())
+        return self
+
+    def bullets(self, items: Sequence[str], *, indent: int = 0) -> "MarkdownBuilder":
+        prefix = "  " * indent + "* "
+        self._blocks.append("\n".join(prefix + str(item) for item in items))
+        return self
+
+    def numbered(self, items: Sequence[str]) -> "MarkdownBuilder":
+        self._blocks.append("\n".join(f"{index}. {item}"
+                                      for index, item in enumerate(items, start=1)))
+        return self
+
+    def table(self, headers: Sequence[str], rows: Sequence[Sequence]) -> "MarkdownBuilder":
+        self._blocks.append(format_table(headers, rows))
+        return self
+
+    def code_block(self, code: str, *, language: str = "") -> "MarkdownBuilder":
+        self._blocks.append(f"```{language}\n{code.rstrip()}\n```")
+        return self
+
+    def quote(self, text: str) -> "MarkdownBuilder":
+        self._blocks.append("\n".join("> " + line for line in text.strip().splitlines()))
+        return self
+
+    def horizontal_rule(self) -> "MarkdownBuilder":
+        self._blocks.append("---")
+        return self
+
+    def raw(self, markdown: str) -> "MarkdownBuilder":
+        """Append a pre-formatted block verbatim."""
+        self._blocks.append(markdown.rstrip())
+        return self
+
+    # -- output -------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def render(self) -> str:
+        """The document as a Markdown string (trailing newline included)."""
+        return "\n\n".join(self._blocks) + "\n"
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render(), encoding="utf-8")
+        return path

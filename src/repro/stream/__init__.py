@@ -1,0 +1,40 @@
+"""Real-time extension (paper §VI future work): streaming store + online monitor."""
+
+from repro.stream.alerts import AlertManager, AlertPolicy, ManagedAlert
+from repro.stream.monitor import (
+    MonitorAlert,
+    MonitorConfig,
+    OnlineMonitor,
+    iter_samples,
+    replay_bundle,
+)
+from repro.stream.online_stats import OnlineEwma, OnlineZScore, P2Quantile, RunningStats
+from repro.stream.replay import (
+    ReplayCheckpoint,
+    ReplayReport,
+    TraceReplayer,
+    alert_timeline,
+    replay_with_alerts,
+)
+from repro.stream.store import StreamingMetricStore
+
+__all__ = [
+    "AlertManager",
+    "AlertPolicy",
+    "ManagedAlert",
+    "MonitorAlert",
+    "MonitorConfig",
+    "OnlineEwma",
+    "OnlineMonitor",
+    "OnlineZScore",
+    "P2Quantile",
+    "ReplayCheckpoint",
+    "ReplayReport",
+    "RunningStats",
+    "StreamingMetricStore",
+    "TraceReplayer",
+    "alert_timeline",
+    "iter_samples",
+    "replay_bundle",
+    "replay_with_alerts",
+]

@@ -1,0 +1,178 @@
+"""Alert management for the online monitor.
+
+:class:`~repro.stream.monitor.OnlineMonitor` emits every alert it derives;
+a production deployment needs the layer on top that operators actually
+interact with: deduplication (a machine that stays saturated should not page
+every sample), severity ordering, routing to sinks, acknowledgement, and a
+digest view.  That layer is :class:`AlertManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.errors import SeriesError
+from repro.stream.monitor import MonitorAlert
+
+#: Ordering used when ranking alerts; higher is more urgent.
+SEVERITY_ORDER = {"info": 0, "warning": 1, "critical": 2}
+
+
+@dataclass(frozen=True)
+class ManagedAlert:
+    """A monitor alert enriched with the manager's bookkeeping."""
+
+    alert: MonitorAlert
+    #: How many identical alerts were collapsed into this one.
+    occurrences: int = 1
+    #: Timestamp of the most recent occurrence.
+    last_seen: float = 0.0
+    acknowledged: bool = False
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.alert.kind, self.alert.subject)
+
+    @property
+    def severity_rank(self) -> int:
+        return SEVERITY_ORDER.get(self.alert.severity, 0)
+
+
+@dataclass
+class AlertPolicy:
+    """Tunable behaviour of the alert manager."""
+
+    #: Seconds during which repeated (kind, subject) alerts are collapsed.
+    dedup_window_s: float = 900.0
+    #: Minimum severity forwarded to sinks ("info", "warning", "critical").
+    min_severity: str = "warning"
+    #: Maximum number of unacknowledged alerts retained (oldest dropped).
+    max_active: int = 1000
+
+    def validate(self) -> None:
+        if self.dedup_window_s < 0:
+            raise SeriesError("dedup_window_s must be non-negative")
+        if self.min_severity not in SEVERITY_ORDER:
+            raise SeriesError(
+                f"min_severity must be one of {sorted(SEVERITY_ORDER)}")
+        if self.max_active < 1:
+            raise SeriesError("max_active must be at least 1")
+
+
+@dataclass
+class AlertManager:
+    """Deduplicates, ranks and routes monitor alerts."""
+
+    policy: AlertPolicy = field(default_factory=AlertPolicy)
+    sinks: list[Callable[[ManagedAlert], None]] = field(default_factory=list)
+    #: Active (not yet acknowledged) alerts keyed by (kind, subject).
+    active: dict[tuple[str, str], ManagedAlert] = field(default_factory=dict)
+    #: Every alert ever ingested after deduplication, in arrival order.
+    history: list[ManagedAlert] = field(default_factory=list)
+    #: Alerts dropped because they fell below ``min_severity``.
+    suppressed_count: int = 0
+
+    def __post_init__(self) -> None:
+        self.policy.validate()
+
+    # -- ingestion --------------------------------------------------------------
+    def ingest(self, alert: MonitorAlert) -> ManagedAlert | None:
+        """Process one alert; returns the managed record, or ``None`` if dropped.
+
+        Alerts below the policy's minimum severity are counted but dropped.
+        A repeat of an active (kind, subject) pair inside the dedup window
+        only bumps its occurrence counter.
+        """
+        if SEVERITY_ORDER.get(alert.severity, 0) < SEVERITY_ORDER[self.policy.min_severity]:
+            self.suppressed_count += 1
+            return None
+
+        key = (alert.kind, alert.subject)
+        existing = self.active.get(key)
+        if existing is not None and not existing.acknowledged:
+            if alert.timestamp - existing.last_seen <= self.policy.dedup_window_s:
+                updated = replace(existing, occurrences=existing.occurrences + 1,
+                                  last_seen=alert.timestamp)
+                self.active[key] = updated
+                return updated
+
+        managed = ManagedAlert(alert=alert, occurrences=1,
+                               last_seen=alert.timestamp)
+        self.active[key] = managed
+        self.history.append(managed)
+        self._enforce_capacity()
+        for sink in self.sinks:
+            sink(managed)
+        return managed
+
+    def ingest_many(self, alerts: list[MonitorAlert]) -> list[ManagedAlert]:
+        """Ingest several alerts; returns the records that were kept."""
+        kept = []
+        for alert in alerts:
+            managed = self.ingest(alert)
+            if managed is not None:
+                kept.append(managed)
+        return kept
+
+    def _enforce_capacity(self) -> None:
+        while len(self.active) > self.policy.max_active:
+            oldest_key = min(self.active, key=lambda k: self.active[k].last_seen)
+            del self.active[oldest_key]
+
+    # -- operator actions -----------------------------------------------------------
+    def acknowledge(self, kind: str, subject: str) -> bool:
+        """Mark one active alert as handled; returns False if unknown."""
+        key = (kind, subject)
+        managed = self.active.get(key)
+        if managed is None:
+            return False
+        self.active[key] = replace(managed, acknowledged=True)
+        return True
+
+    def acknowledge_all(self, *, kind: str | None = None) -> int:
+        """Acknowledge every active alert (optionally of one kind)."""
+        count = 0
+        for key, managed in list(self.active.items()):
+            if managed.acknowledged:
+                continue
+            if kind is not None and managed.alert.kind != kind:
+                continue
+            self.active[key] = replace(managed, acknowledged=True)
+            count += 1
+        return count
+
+    def clear_acknowledged(self) -> int:
+        """Drop acknowledged alerts from the active set."""
+        keys = [key for key, managed in self.active.items() if managed.acknowledged]
+        for key in keys:
+            del self.active[key]
+        return len(keys)
+
+    # -- queries ------------------------------------------------------------------------
+    def pending(self, *, kind: str | None = None,
+                severity: str | None = None) -> list[ManagedAlert]:
+        """Unacknowledged alerts, most urgent first."""
+        out = [managed for managed in self.active.values()
+               if not managed.acknowledged
+               and (kind is None or managed.alert.kind == kind)
+               and (severity is None or managed.alert.severity == severity)]
+        return sorted(out, key=lambda m: (-m.severity_rank, -m.last_seen,
+                                          m.alert.subject))
+
+    def digest(self) -> dict[str, int]:
+        """Counts by kind over the full (deduplicated) history."""
+        counts: dict[str, int] = {}
+        for managed in self.history:
+            counts[managed.alert.kind] = counts.get(managed.alert.kind, 0) + 1
+        return counts
+
+    def summary_lines(self, *, limit: int = 10) -> list[str]:
+        """Human-readable one-liners for the most urgent pending alerts."""
+        lines = []
+        for managed in self.pending()[:limit]:
+            alert = managed.alert
+            repeat = f" (x{managed.occurrences})" if managed.occurrences > 1 else ""
+            lines.append(f"[{alert.severity.upper()}] t={alert.timestamp:.0f}s "
+                         f"{alert.kind} {alert.subject}: {alert.detail}{repeat}")
+        return lines

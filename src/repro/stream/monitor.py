@@ -1,0 +1,204 @@
+"""Online monitoring on top of the streaming store.
+
+The :class:`OnlineMonitor` turns the paper's offline case-study readings into
+a live loop: every ingested sample updates the streaming window, and the
+monitor emits :class:`MonitorAlert` records when the cluster regime changes,
+when a machine crosses a utilisation threshold, or when a machine starts
+thrashing.  :func:`replay_bundle` feeds an offline trace through the monitor
+sample by sample, which is both the test harness and a demonstration of how
+a production deployment would wire a metrics pipeline into BatchLens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.analysis.patterns import Regime, RegimeThresholds, classify_regime
+from repro.analysis.thrashing import ThrashingConfig, detect_thrashing
+from repro.errors import SeriesError
+from repro.metrics.store import MetricStore
+from repro.stream.store import StreamingMetricStore
+from repro.trace.records import TraceBundle
+
+
+@dataclass(frozen=True)
+class MonitorAlert:
+    """One alert emitted by the online monitor."""
+
+    timestamp: float
+    kind: str           # "regime-change", "threshold", "thrashing"
+    subject: str        # machine id or "cluster"
+    detail: str
+    severity: str = "warning"
+
+
+@dataclass
+class MonitorConfig:
+    """Tunable thresholds of the online monitor."""
+
+    utilisation_threshold: float = 92.0
+    #: Metrics checked against ``utilisation_threshold``.
+    threshold_metrics: tuple[str, ...] = ("cpu", "mem")
+    regime_thresholds: RegimeThresholds = field(default_factory=RegimeThresholds)
+    thrashing: ThrashingConfig = field(default_factory=ThrashingConfig)
+    #: Number of samples between full thrashing scans (they cost O(machines)).
+    thrashing_scan_every: int = 4
+
+    def validate(self) -> None:
+        if not 0.0 < self.utilisation_threshold <= 100.0:
+            raise SeriesError("utilisation_threshold must be in (0, 100]")
+        if self.thrashing_scan_every < 1:
+            raise SeriesError("thrashing_scan_every must be >= 1")
+
+
+class OnlineMonitor:
+    """Incremental regime / threshold / thrashing monitoring."""
+
+    def __init__(self, machine_ids: Sequence[str], *,
+                 config: MonitorConfig | None = None,
+                 window_samples: int = 128,
+                 on_alert: Callable[[MonitorAlert], None] | None = None) -> None:
+        self.config = config if config is not None else MonitorConfig()
+        self.config.validate()
+        self.store = StreamingMetricStore(machine_ids,
+                                          window_samples=window_samples)
+        self.alerts: list[MonitorAlert] = []
+        self._on_alert = on_alert
+        self._last_regime: Regime | None = None
+        self._over_threshold: set[tuple[str, str]] = set()
+        self._thrashing_machines: set[str] = set()
+        self._samples_seen = 0
+        self._last_thrashing_scan: float | None = None
+
+    # -- ingestion ---------------------------------------------------------------
+    def observe(self, timestamp: float,
+                sample: dict[str, dict[str, float]]) -> list[MonitorAlert]:
+        """Ingest one cluster-wide sample and return the alerts it triggered."""
+        self.store.append(timestamp, sample)
+        self._samples_seen += 1
+        new_alerts: list[MonitorAlert] = []
+        new_alerts.extend(self._check_thresholds(timestamp, sample))
+        new_alerts.extend(self._check_regime(timestamp))
+        if self._samples_seen % self.config.thrashing_scan_every == 0:
+            new_alerts.extend(self._check_thrashing(timestamp))
+        for alert in new_alerts:
+            self.alerts.append(alert)
+            if self._on_alert is not None:
+                self._on_alert(alert)
+        return new_alerts
+
+    # -- checks ---------------------------------------------------------------------
+    def _check_thresholds(self, timestamp: float,
+                          sample: dict[str, dict[str, float]]) -> list[MonitorAlert]:
+        alerts: list[MonitorAlert] = []
+        threshold = self.config.utilisation_threshold
+        for machine_id, values in sample.items():
+            for metric in self.config.threshold_metrics:
+                if metric not in values:
+                    continue
+                key = (machine_id, metric)
+                if values[metric] >= threshold and key not in self._over_threshold:
+                    self._over_threshold.add(key)
+                    alerts.append(MonitorAlert(
+                        timestamp=timestamp, kind="threshold", subject=machine_id,
+                        detail=f"{metric} reached {values[metric]:.0f}% "
+                               f"(threshold {threshold:.0f}%)",
+                        severity="warning"))
+                elif values[metric] < threshold and key in self._over_threshold:
+                    self._over_threshold.discard(key)
+        return alerts
+
+    def _check_regime(self, timestamp: float) -> list[MonitorAlert]:
+        if len(self.store) < 2:
+            return []
+        snapshot = self.store.snapshot_store()
+        assessment = classify_regime(snapshot, timestamp,
+                                     thresholds=self.config.regime_thresholds)
+        if self._last_regime is None:
+            self._last_regime = assessment.regime
+            return []
+        if assessment.regime == self._last_regime:
+            return []
+        previous, self._last_regime = self._last_regime, assessment.regime
+        severity = ("critical" if assessment.regime == Regime.SATURATED
+                    else "warning")
+        return [MonitorAlert(
+            timestamp=timestamp, kind="regime-change", subject="cluster",
+            detail=f"regime changed {previous.value} -> {assessment.regime.value} "
+                   f"(mean CPU {assessment.mean_cpu:.0f}%, "
+                   f"mean MEM {assessment.mean_mem:.0f}%)",
+            severity=severity)]
+
+    def _check_thrashing(self, timestamp: float) -> list[MonitorAlert]:
+        if len(self.store) < 8:
+            return []
+        snapshot = self.store.snapshot_store()
+        alerts: list[MonitorAlert] = []
+        # A machine counts as thrashing when a detected window reaches past the
+        # previous scan — scans run every ``thrashing_scan_every`` samples, and
+        # only checking the very latest sample would miss windows whose noisy
+        # edges dip below the watermark exactly at the scan instant.
+        since = self._last_thrashing_scan
+        for machine_id in snapshot.machine_ids:
+            windows = detect_thrashing(snapshot.series(machine_id, "cpu"),
+                                       snapshot.series(machine_id, "mem"),
+                                       machine_id=machine_id,
+                                       config=self.config.thrashing)
+            recent = [w for w in windows if since is None or w.end >= since]
+            if recent and machine_id not in self._thrashing_machines:
+                self._thrashing_machines.add(machine_id)
+                latest = recent[-1]
+                alerts.append(MonitorAlert(
+                    timestamp=timestamp, kind="thrashing", subject=machine_id,
+                    detail=f"memory {latest.peak_mem:.0f}% with CPU down to "
+                           f"{latest.min_cpu:.0f}% since t={latest.start:.0f}s",
+                    severity="critical"))
+            elif not recent:
+                self._thrashing_machines.discard(machine_id)
+        self._last_thrashing_scan = timestamp
+        return alerts
+
+    # -- reporting --------------------------------------------------------------------
+    @property
+    def current_regime(self) -> Regime | None:
+        return self._last_regime
+
+    def alerts_of_kind(self, kind: str) -> list[MonitorAlert]:
+        return [alert for alert in self.alerts if alert.kind == kind]
+
+    def summary(self) -> dict[str, int]:
+        """Alert counts by kind (for dashboards and tests)."""
+        counts: dict[str, int] = {}
+        for alert in self.alerts:
+            counts[alert.kind] = counts.get(alert.kind, 0) + 1
+        return counts
+
+
+def iter_samples(store: MetricStore) -> Iterator[tuple[float, dict[str, dict[str, float]]]]:
+    """Yield ``(timestamp, {machine: {metric: value}})`` frames from a store."""
+    for index, timestamp in enumerate(store.timestamps):
+        frame: dict[str, dict[str, float]] = {}
+        for m_idx, machine_id in enumerate(store.machine_ids):
+            frame[machine_id] = {
+                metric: float(store.data[m_idx, j, index])
+                for j, metric in enumerate(store.metrics)}
+        yield float(timestamp), frame
+
+
+def replay_bundle(bundle: TraceBundle, *, monitor: OnlineMonitor | None = None,
+                  config: MonitorConfig | None = None,
+                  window_samples: int = 128) -> OnlineMonitor:
+    """Replay a trace bundle's usage through an online monitor.
+
+    Returns the monitor, whose ``alerts`` list then contains everything a
+    live deployment would have raised during the trace.
+    """
+    if bundle.usage is None or bundle.usage.num_samples == 0:
+        raise SeriesError("bundle carries no usage data to replay")
+    if monitor is None:
+        monitor = OnlineMonitor(bundle.usage.machine_ids, config=config,
+                                window_samples=window_samples)
+    for timestamp, frame in iter_samples(bundle.usage):
+        monitor.observe(timestamp, frame)
+    return monitor

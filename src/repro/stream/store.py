@@ -1,0 +1,118 @@
+"""Streaming ingestion of usage samples (the paper's real-time future work).
+
+§VI: "We plan to extend BatchLens into a real-time online system."  The
+:class:`StreamingMetricStore` is the storage side of that extension: an
+append-only, bounded-window store that accepts one cluster-wide sample batch
+at a time (as a monitoring agent would deliver them) and exposes the same
+query surface as the offline :class:`~repro.metrics.store.MetricStore`, so
+every chart and detector works on live data unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.config import METRICS
+from repro.errors import SeriesError
+from repro.metrics.store import MetricStore
+
+
+class StreamingMetricStore:
+    """Bounded sliding-window store fed one timestamp at a time."""
+
+    def __init__(self, machine_ids: Sequence[str], *, window_samples: int = 256,
+                 metrics: Sequence[str] = METRICS) -> None:
+        if window_samples <= 1:
+            raise SeriesError("window_samples must be at least 2")
+        self._machine_ids = list(machine_ids)
+        if len(set(self._machine_ids)) != len(self._machine_ids):
+            raise SeriesError("machine ids must be unique")
+        self._metrics = tuple(metrics)
+        self._window = window_samples
+        self._timestamps: deque[float] = deque(maxlen=window_samples)
+        self._frames: deque[np.ndarray] = deque(maxlen=window_samples)
+        self._machine_index = {mid: i for i, mid in enumerate(self._machine_ids)}
+        self._metric_index = {m: i for i, m in enumerate(self._metrics)}
+
+    # -- ingestion -------------------------------------------------------------
+    def append(self, timestamp: float,
+               sample: Mapping[str, Mapping[str, float]]) -> None:
+        """Append one cluster-wide sample: ``{machine_id: {metric: value}}``.
+
+        Timestamps must be strictly increasing; machines missing from the
+        sample carry their previous value forward (0 for the first frame),
+        matching how monitoring systems hold the last reported reading.
+        """
+        if self._timestamps and timestamp <= self._timestamps[-1]:
+            raise SeriesError(
+                f"timestamp {timestamp} is not after {self._timestamps[-1]}")
+        if self._frames:
+            frame = self._frames[-1].copy()
+        else:
+            frame = np.zeros((len(self._machine_ids), len(self._metrics)))
+        for machine_id, values in sample.items():
+            row = self._machine_index.get(machine_id)
+            if row is None:
+                raise SeriesError(f"unknown machine {machine_id!r}")
+            for metric, value in values.items():
+                col = self._metric_index.get(metric)
+                if col is None:
+                    raise SeriesError(f"unknown metric {metric!r}")
+                if not 0.0 <= float(value) <= 100.0:
+                    raise SeriesError(
+                        f"utilisation {value} outside [0, 100] for "
+                        f"{machine_id}/{metric}")
+                frame[row, col] = float(value)
+        self._timestamps.append(float(timestamp))
+        self._frames.append(frame)
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def machine_ids(self) -> list[str]:
+        return list(self._machine_ids)
+
+    @property
+    def metrics(self) -> tuple[str, ...]:
+        return self._metrics
+
+    @property
+    def window_samples(self) -> int:
+        return self._window
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    @property
+    def latest_timestamp(self) -> float:
+        if not self._timestamps:
+            raise SeriesError("no samples ingested yet")
+        return self._timestamps[-1]
+
+    def latest(self, machine_id: str, metric: str) -> float:
+        """Most recent value for one machine/metric."""
+        if not self._frames:
+            raise SeriesError("no samples ingested yet")
+        return float(self._frames[-1][self._machine_index[machine_id],
+                                      self._metric_index[metric]])
+
+    # -- offline-compatible view ------------------------------------------------------
+    def snapshot_store(self) -> MetricStore:
+        """Materialise the current window as a regular :class:`MetricStore`.
+
+        Every offline view and detector (bubble chart, timeline, regime
+        classifier, thrashing detector, ...) can then run on live data.
+        """
+        if not self._timestamps:
+            raise SeriesError("no samples ingested yet")
+        timestamps = np.asarray(self._timestamps, dtype=np.float64)
+        store = MetricStore(self._machine_ids, timestamps, self._metrics)
+        stacked = np.stack(list(self._frames), axis=0)  # (time, machines, metrics)
+        store.data[:] = np.transpose(stacked, (1, 2, 0))
+        return store
+
+    def is_full(self) -> bool:
+        """True once the sliding window has wrapped at least once."""
+        return len(self._timestamps) == self._window

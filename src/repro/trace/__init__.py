@@ -1,0 +1,46 @@
+"""Trace substrate: Alibaba v2017 schemas, records, I/O and synthesis."""
+
+from repro.trace.loader import (
+    load_batch_instances,
+    load_batch_tasks,
+    load_machine_events,
+    load_server_usage,
+    load_trace,
+)
+from repro.trace.records import (
+    BatchInstanceRecord,
+    BatchTaskRecord,
+    MachineEvent,
+    ServerUsageRecord,
+    TraceBundle,
+)
+from repro.trace.schema import SCHEMAS, TableSchema
+from repro.trace.synthetic import generate_case_study_traces, generate_trace
+from repro.trace.validate import ValidationReport, validate_bundle
+from repro.trace.workload import JobSpec, TaskSpec, WorkloadGenerator, workload_summary
+from repro.trace.writer import write_table, write_trace
+
+__all__ = [
+    "BatchInstanceRecord",
+    "BatchTaskRecord",
+    "JobSpec",
+    "MachineEvent",
+    "SCHEMAS",
+    "ServerUsageRecord",
+    "TableSchema",
+    "TaskSpec",
+    "TraceBundle",
+    "ValidationReport",
+    "WorkloadGenerator",
+    "generate_case_study_traces",
+    "generate_trace",
+    "load_batch_instances",
+    "load_batch_tasks",
+    "load_machine_events",
+    "load_server_usage",
+    "load_trace",
+    "validate_bundle",
+    "workload_summary",
+    "write_table",
+    "write_trace",
+]

@@ -1,0 +1,149 @@
+"""Loading Alibaba-format trace CSV files from disk.
+
+The loader accepts a directory holding any subset of the four v2017 tables
+(``machine_events.csv``, ``batch_task.csv``, ``batch_instance.csv``,
+``server_usage.csv``) and returns a :class:`~repro.trace.records.TraceBundle`.
+It parses the real public trace unchanged, and of course the files produced
+by :mod:`repro.trace.writer`.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, TypeVar
+
+from repro.errors import TraceFormatError
+from repro.metrics.store import MetricStore
+from repro.trace import schema
+from repro.trace.records import (
+    BatchInstanceRecord,
+    BatchTaskRecord,
+    MachineEvent,
+    ServerUsageRecord,
+    TraceBundle,
+)
+
+R = TypeVar("R")
+
+
+def _open_text(path: Path) -> io.TextIOBase:
+    """Open a possibly gzip-compressed CSV file as text."""
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8", newline="")
+
+
+def _resolve(directory: Path, filename: str) -> Path | None:
+    """Locate a table file, accepting an optional ``.gz`` suffix."""
+    plain = directory / filename
+    if plain.exists():
+        return plain
+    compressed = directory / (filename + ".gz")
+    if compressed.exists():
+        return compressed
+    return None
+
+
+def iter_table(path: Path, table: schema.TableSchema,
+               *, skip_malformed: bool = False) -> Iterator[dict]:
+    """Stream parsed rows from one table file.
+
+    With ``skip_malformed=True`` rows that fail schema validation are
+    silently dropped, which matches how operators usually cope with the
+    occasional truncated line in multi-gigabyte production traces.
+    """
+    with _open_text(path) as handle:
+        reader = csv.reader(handle)
+        for line_number, cells in enumerate(reader, start=1):
+            if not cells or all(cell.strip() == "" for cell in cells):
+                continue
+            try:
+                yield table.parse_row(cells, line_number)
+            except TraceFormatError:
+                if skip_malformed:
+                    continue
+                raise
+
+
+def _load_records(path: Path | None, table: schema.TableSchema,
+                  factory: Callable[[dict], R],
+                  skip_malformed: bool) -> list[R]:
+    if path is None:
+        return []
+    return [factory(row) for row in iter_table(path, table,
+                                               skip_malformed=skip_malformed)]
+
+
+def load_machine_events(path: Path, *, skip_malformed: bool = False) -> list[MachineEvent]:
+    """Load ``machine_events.csv`` into typed records."""
+    return _load_records(path, schema.MACHINE_EVENTS, MachineEvent.from_row,
+                         skip_malformed)
+
+
+def load_batch_tasks(path: Path, *, skip_malformed: bool = False) -> list[BatchTaskRecord]:
+    """Load ``batch_task.csv`` into typed records."""
+    return _load_records(path, schema.BATCH_TASK, BatchTaskRecord.from_row,
+                         skip_malformed)
+
+
+def load_batch_instances(path: Path,
+                         *, skip_malformed: bool = False) -> list[BatchInstanceRecord]:
+    """Load ``batch_instance.csv`` into typed records."""
+    return _load_records(path, schema.BATCH_INSTANCE, BatchInstanceRecord.from_row,
+                         skip_malformed)
+
+
+def load_server_usage(path: Path,
+                      *, skip_malformed: bool = False) -> list[ServerUsageRecord]:
+    """Load ``server_usage.csv`` into typed records."""
+    return _load_records(path, schema.SERVER_USAGE, ServerUsageRecord.from_row,
+                         skip_malformed)
+
+
+def usage_records_to_store(records: Iterable[ServerUsageRecord]) -> MetricStore | None:
+    """Convert usage records into a dense :class:`MetricStore`."""
+    rows = [record.as_metric_tuple() for record in records]
+    if not rows:
+        return None
+    return MetricStore.from_records(rows)
+
+
+def load_trace(directory: str | Path, *, skip_malformed: bool = False) -> TraceBundle:
+    """Load every available table under ``directory`` into a bundle.
+
+    Missing table files simply produce empty sections; an entirely empty
+    directory raises :class:`TraceFormatError` because nothing could be
+    analysed.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise TraceFormatError(f"trace directory does not exist: {directory}")
+
+    paths = {
+        name: _resolve(directory, table.filename)
+        for name, table in schema.SCHEMAS.items()
+    }
+    if all(path is None for path in paths.values()):
+        raise TraceFormatError(
+            f"no Alibaba trace tables found under {directory} "
+            f"(expected one of {[t.filename for t in schema.SCHEMAS.values()]})")
+
+    machine_events = _load_records(paths["machine_events"], schema.MACHINE_EVENTS,
+                                   MachineEvent.from_row, skip_malformed)
+    tasks = _load_records(paths["batch_task"], schema.BATCH_TASK,
+                          BatchTaskRecord.from_row, skip_malformed)
+    instances = _load_records(paths["batch_instance"], schema.BATCH_INSTANCE,
+                              BatchInstanceRecord.from_row, skip_malformed)
+    usage_rows = _load_records(paths["server_usage"], schema.SERVER_USAGE,
+                               ServerUsageRecord.from_row, skip_malformed)
+
+    return TraceBundle(
+        machine_events=machine_events,
+        tasks=tasks,
+        instances=instances,
+        usage=usage_records_to_store(usage_rows),
+        meta={"source": str(directory)},
+    )

@@ -1,0 +1,67 @@
+"""Synthetic Alibaba-style trace generation (facade).
+
+The public entry point :func:`generate_trace` wires the workload model and
+the cluster simulator together and returns a ready-to-analyse
+:class:`~repro.trace.records.TraceBundle`.  See DESIGN.md for why a
+generator stands in for the real cluster-trace-v2017 download in this
+environment, and :mod:`repro.trace.loader` for loading the real CSVs when
+they are available.
+"""
+
+from __future__ import annotations
+
+from repro.config import TraceConfig, paper_scale_config, small_config
+from repro.trace.records import TraceBundle
+
+
+def generate_trace(config: TraceConfig | None = None, *,
+                   scenario: str | None = None, seed: int | None = None,
+                   scheduler: str = "least-loaded") -> TraceBundle:
+    """Generate a synthetic trace bundle.
+
+    ``scenario`` and ``seed`` override the corresponding fields of ``config``
+    (or of the default configuration when ``config`` is omitted), which keeps
+    the common call sites short::
+
+        bundle = generate_trace(scenario="hotjob", seed=3)
+    """
+    from dataclasses import replace
+
+    from repro.cluster.simulator import simulate
+
+    if config is None:
+        config = TraceConfig()
+    overrides = {}
+    if scenario is not None:
+        overrides["scenario"] = scenario
+    if seed is not None:
+        overrides["seed"] = seed
+    if overrides:
+        config = replace(config, **overrides)
+    return simulate(config, scheduler=scheduler)
+
+
+def generate_case_study_traces(*, paper_scale: bool = False,
+                               seed: int = 2022) -> dict[str, TraceBundle]:
+    """Generate the three Fig. 3 regimes in one call.
+
+    Returns ``{"healthy": ..., "hotjob": ..., "thrashing": ...}``.  With
+    ``paper_scale=True`` each bundle uses the 1300-machine / 24-hour
+    configuration; otherwise a faster medium-sized configuration is used.
+    """
+    bundles: dict[str, TraceBundle] = {}
+    for scenario in ("healthy", "hotjob", "thrashing"):
+        if paper_scale:
+            config = paper_scale_config(scenario=scenario, seed=seed)
+        else:
+            config = TraceConfig(scenario=scenario, seed=seed)
+        bundles[scenario] = generate_trace(config)
+    return bundles
+
+
+__all__ = [
+    "generate_case_study_traces",
+    "generate_trace",
+    "paper_scale_config",
+    "small_config",
+]

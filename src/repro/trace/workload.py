@@ -1,0 +1,176 @@
+"""Logical batch-workload generation.
+
+The generator produces *specifications* of jobs and tasks (how many
+instances, what they request, when they arrive, how long they run) with the
+statistical shape §II of the paper reports for the Alibaba trace: roughly
+75 % of jobs consist of a single task and roughly 94 % of tasks run more
+than one instance.  Placement onto machines is the scheduler's job
+(:mod:`repro.cluster.scheduler`), not the workload's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import WorkloadConfig
+from repro.errors import ConfigError
+
+
+@dataclass
+class TaskSpec:
+    """Specification of one task inside a job."""
+
+    task_id: str
+    num_instances: int
+    cpu_request: float
+    mem_request: float
+    disk_request: float
+    #: Offset of the task start relative to the job submit time, in seconds.
+    start_offset_s: int
+    #: Nominal duration of the task's instances, in seconds.
+    duration_s: int
+
+    def __post_init__(self) -> None:
+        if self.num_instances <= 0:
+            raise ConfigError(f"task {self.task_id}: num_instances must be positive")
+        if self.duration_s <= 0:
+            raise ConfigError(f"task {self.task_id}: duration must be positive")
+        for name in ("cpu_request", "mem_request", "disk_request"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 100.0:
+                raise ConfigError(
+                    f"task {self.task_id}: {name}={value} outside [0, 100]")
+
+
+@dataclass
+class JobSpec:
+    """Specification of one batch job (a set of tasks)."""
+
+    job_id: str
+    submit_time_s: int
+    tasks: list[TaskSpec] = field(default_factory=list)
+    #: Free-form labels the anomaly layer uses ("hot", "victim", ...).
+    labels: set[str] = field(default_factory=set)
+
+    @property
+    def num_instances(self) -> int:
+        return sum(task.num_instances for task in self.tasks)
+
+    @property
+    def end_time_s(self) -> int:
+        """Latest end time over all tasks (submit + offset + duration)."""
+        if not self.tasks:
+            return self.submit_time_s
+        return self.submit_time_s + max(
+            task.start_offset_s + task.duration_s for task in self.tasks)
+
+    def scale_demand(self, cpu: float = 1.0, mem: float = 1.0,
+                     disk: float = 1.0) -> None:
+        """Multiply the resource requests of every task (anomaly hook)."""
+        for task in self.tasks:
+            task.cpu_request = float(min(100.0, task.cpu_request * cpu))
+            task.mem_request = float(min(100.0, task.mem_request * mem))
+            task.disk_request = float(min(100.0, task.disk_request * disk))
+
+
+class WorkloadGenerator:
+    """Draws :class:`JobSpec` populations matching a :class:`WorkloadConfig`."""
+
+    def __init__(self, config: WorkloadConfig, *, horizon_s: int,
+                 batch_resolution_s: int, rng: np.random.Generator) -> None:
+        config.validate()
+        if horizon_s <= 0:
+            raise ConfigError("horizon_s must be positive")
+        if batch_resolution_s <= 0:
+            raise ConfigError("batch_resolution_s must be positive")
+        self._config = config
+        self._horizon_s = horizon_s
+        self._resolution_s = batch_resolution_s
+        self._rng = rng
+
+    # -- helpers --------------------------------------------------------------
+    def _quantize(self, t: float) -> int:
+        """Snap a time to the batch-scheduler resolution grid."""
+        return int(round(t / self._resolution_s)) * self._resolution_s
+
+    def _draw_duration(self) -> int:
+        """Log-uniform duration between the configured bounds."""
+        cfg = self._config
+        lo, hi = np.log(cfg.min_duration_s), np.log(cfg.max_duration_s)
+        raw = float(np.exp(self._rng.uniform(lo, hi)))
+        return max(self._resolution_s, self._quantize(raw))
+
+    def _draw_instances(self) -> int:
+        cfg = self._config
+        if self._rng.random() >= cfg.multi_instance_task_fraction:
+            return 1
+        if cfg.max_instances <= cfg.min_instances:
+            return max(2, cfg.min_instances)
+        # Geometric-ish tail: most tasks are small, a few fan out widely.
+        span = cfg.max_instances - cfg.min_instances
+        draw = int(np.floor(span * self._rng.power(2.0)))
+        return int(np.clip(cfg.min_instances + draw, 2, cfg.max_instances))
+
+    def _draw_request(self, mean: float) -> float:
+        """Gamma-distributed resource request, clipped into (1, 95]."""
+        value = float(self._rng.gamma(shape=4.0, scale=mean / 4.0))
+        return float(np.clip(value, 1.0, 95.0))
+
+    def _make_task(self, job_index: int, task_index: int,
+                   job_duration_s: int) -> TaskSpec:
+        cfg = self._config
+        # Tasks of a DAG job start together but finish at different times,
+        # matching the bundled start / staggered end annotation lines of Fig. 2.
+        duration = max(self._resolution_s,
+                       self._quantize(job_duration_s * float(self._rng.uniform(0.55, 1.0))))
+        return TaskSpec(
+            task_id=f"task_{job_index}_{task_index}",
+            num_instances=self._draw_instances(),
+            cpu_request=self._draw_request(cfg.mean_cpu_request),
+            mem_request=self._draw_request(cfg.mean_mem_request),
+            disk_request=self._draw_request(cfg.mean_disk_request),
+            start_offset_s=0,
+            duration_s=duration,
+        )
+
+    # -- public API -------------------------------------------------------------
+    def generate_job(self, job_index: int) -> JobSpec:
+        """Generate one job with its tasks."""
+        cfg = self._config
+        duration = self._draw_duration()
+        latest_submit = max(0, self._horizon_s - duration)
+        submit = self._quantize(float(self._rng.uniform(0, latest_submit)))
+        if self._rng.random() < cfg.single_task_job_fraction:
+            task_count = 1
+        else:
+            task_count = int(self._rng.integers(2, cfg.max_tasks_per_job + 1))
+        job = JobSpec(job_id=f"job_{1000 + job_index}", submit_time_s=submit)
+        job.tasks = [self._make_task(job_index, t, duration)
+                     for t in range(task_count)]
+        return job
+
+    def generate(self) -> list[JobSpec]:
+        """Generate the whole population of jobs, sorted by submit time."""
+        jobs = [self.generate_job(i) for i in range(self._config.num_jobs)]
+        jobs.sort(key=lambda job: (job.submit_time_s, job.job_id))
+        return jobs
+
+
+def workload_summary(jobs: list[JobSpec]) -> dict[str, float]:
+    """Summarise a workload (used by tests and the dataset-stats benchmark)."""
+    if not jobs:
+        return {"jobs": 0, "tasks": 0, "instances": 0,
+                "single_task_job_fraction": 0.0,
+                "multi_instance_task_fraction": 0.0}
+    task_counts = [len(job.tasks) for job in jobs]
+    instance_counts = [task.num_instances for job in jobs for task in job.tasks]
+    return {
+        "jobs": len(jobs),
+        "tasks": int(np.sum(task_counts)),
+        "instances": int(np.sum(instance_counts)),
+        "single_task_job_fraction": float(np.mean(np.asarray(task_counts) == 1)),
+        "multi_instance_task_fraction": float(
+            np.mean(np.asarray(instance_counts) > 1)),
+    }

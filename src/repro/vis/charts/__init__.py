@@ -1,0 +1,56 @@
+"""BatchLens chart types."""
+
+from repro.vis.charts.area import StackedAreaChart, StackedAreaModel
+from repro.vis.charts.base import Chart, Margins
+from repro.vis.charts.bubble import (
+    BubbleChartModel,
+    HierarchicalBubbleChart,
+    JobBubble,
+    NodeGlyph,
+    TaskBubble,
+)
+from repro.vis.charts.distribution import HistogramModel, UtilisationHistogram
+from repro.vis.charts.heatmap import HeatmapModel, UtilisationHeatmap
+from repro.vis.charts.legend import categorical_legend, colorbar, hierarchy_legend
+from repro.vis.charts.line import Annotation, LineChartModel, LineSeries, MultiLineChart
+from repro.vis.charts.matrix import CoAllocationMatrix, CoAllocationMatrixModel
+from repro.vis.charts.scatter import MachineScatterChart, ScatterModel, ScatterPoint
+from repro.vis.charts.smallmultiples import (
+    SmallMultiplesChart,
+    SmallMultiplesModel,
+    Sparkline,
+)
+from repro.vis.charts.timeline import TimelineChart, TimelineModel
+
+__all__ = [
+    "Annotation",
+    "BubbleChartModel",
+    "Chart",
+    "CoAllocationMatrix",
+    "CoAllocationMatrixModel",
+    "HeatmapModel",
+    "HierarchicalBubbleChart",
+    "HistogramModel",
+    "JobBubble",
+    "LineChartModel",
+    "LineSeries",
+    "MachineScatterChart",
+    "Margins",
+    "MultiLineChart",
+    "NodeGlyph",
+    "ScatterModel",
+    "ScatterPoint",
+    "SmallMultiplesChart",
+    "SmallMultiplesModel",
+    "Sparkline",
+    "StackedAreaChart",
+    "StackedAreaModel",
+    "TaskBubble",
+    "TimelineChart",
+    "TimelineModel",
+    "UtilisationHeatmap",
+    "UtilisationHistogram",
+    "categorical_legend",
+    "colorbar",
+    "hierarchy_legend",
+]

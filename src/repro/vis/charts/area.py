@@ -1,0 +1,169 @@
+"""Stacked area chart of cluster activity over time.
+
+The timeline of §III-C shows cluster-aggregate utilisation; operators also
+want to know *who* the utilisation belongs to.  The stacked area chart
+decomposes an aggregate series into per-group layers — typically one layer
+per batch job, each the summed utilisation of the machines executing it —
+so the "one job eats the cluster" situation of Fig. 3(b) is visible at a
+glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import RenderError
+from repro.metrics.series import TimeSeries, align
+from repro.metrics.store import MetricStore
+from repro.vis.charts.base import Chart, Margins
+from repro.vis.color import categorical_color
+from repro.vis.layout.axes import bottom_axis, left_axis
+from repro.vis.scale import LinearScale, TimeScale, format_seconds
+from repro.vis.svg import Element, PathBuilder, SVGDocument, group, rect, text
+
+
+@dataclass
+class StackedAreaModel:
+    """Aligned per-group series to stack, in drawing (bottom-up) order."""
+
+    layers: dict[str, TimeSeries] = field(default_factory=dict)
+    #: Label of the y axis (what the stacked value measures).
+    value_label: str = "summed CPU %"
+
+    def __post_init__(self) -> None:
+        if self.layers:
+            aligned = align(list(self.layers.values()))
+            self.layers = dict(zip(self.layers.keys(), aligned))
+
+    @property
+    def group_ids(self) -> list[str]:
+        return list(self.layers)
+
+    def time_extent(self) -> tuple[float, float]:
+        non_empty = [s for s in self.layers.values() if len(s)]
+        if not non_empty:
+            raise RenderError("stacked area model has no data")
+        return (min(s.start for s in non_empty), max(s.end for s in non_empty))
+
+    def stacked_values(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(timestamps, cumulative)`` where cumulative has one row per layer."""
+        if not self.layers:
+            raise RenderError("stacked area model has no data")
+        series_list = list(self.layers.values())
+        timestamps = series_list[0].timestamps
+        values = np.vstack([s.values for s in series_list])
+        return timestamps, np.cumsum(values, axis=0)
+
+    @classmethod
+    def from_job_machines(cls, store: MetricStore,
+                          job_machines: dict[str, list[str]], *,
+                          metric: str = "cpu",
+                          max_groups: int = 10) -> "StackedAreaModel":
+        """One layer per job: the summed utilisation of its machines.
+
+        Jobs beyond ``max_groups`` (by peak contribution) are merged into an
+        ``"other"`` layer so the chart stays readable.
+        """
+        contributions: dict[str, TimeSeries] = {}
+        for job_id, machine_ids in job_machines.items():
+            known = [mid for mid in machine_ids if mid in store]
+            if not known:
+                continue
+            total = None
+            for machine_id in known:
+                series = store.series(machine_id, metric)
+                total = series if total is None else total.add(series)
+            contributions[job_id] = total
+        if not contributions:
+            raise RenderError("no job has machines with recorded usage")
+
+        ranked = sorted(contributions, key=lambda j: -contributions[j].max())
+        layers: dict[str, TimeSeries] = {}
+        other: TimeSeries | None = None
+        for rank, job_id in enumerate(ranked):
+            if rank < max_groups:
+                layers[job_id] = contributions[job_id]
+            else:
+                other = (contributions[job_id] if other is None
+                         else other.add(contributions[job_id]))
+        if other is not None:
+            layers["other"] = other
+        return cls(layers=layers, value_label=f"summed {metric} %")
+
+
+class StackedAreaChart(Chart):
+    """Renders a :class:`StackedAreaModel`."""
+
+    def __init__(self, model: StackedAreaModel, *, width: float = 900.0,
+                 height: float = 300.0, title: str | None = "Per-job cluster load",
+                 show_legend: bool = True) -> None:
+        super().__init__(width=width, height=height, title=title,
+                         margins=Margins(top=34, right=140 if show_legend else 20,
+                                         bottom=48, left=62))
+        if not model.layers:
+            raise RenderError("stacked area chart has no layers")
+        self.model = model
+        self.show_legend = show_legend
+
+    def scales(self) -> tuple[TimeScale, LinearScale]:
+        t0, t1 = self.model.time_extent()
+        _, cumulative = self.model.stacked_values()
+        top_value = float(cumulative[-1].max()) if cumulative.size else 1.0
+        x = TimeScale((t0, t1), (self.margins.left,
+                                 self.margins.left + self.plot_width))
+        y = LinearScale((0.0, max(top_value, 1.0)),
+                        (self.margins.top + self.plot_height, self.margins.top))
+        return x, y
+
+    def _layer_color(self, index: int) -> str:
+        return categorical_color(index).to_hex()
+
+    def _band_element(self, timestamps: np.ndarray, lower: np.ndarray,
+                      upper: np.ndarray, x_scale: TimeScale,
+                      y_scale: LinearScale, *, fill: str, group_id: str) -> Element:
+        builder = PathBuilder()
+        builder.move_to(x_scale(float(timestamps[0])), y_scale(float(upper[0])))
+        for t, v in zip(timestamps[1:], upper[1:]):
+            builder.line_to(x_scale(float(t)), y_scale(float(v)))
+        for t, v in zip(timestamps[::-1], lower[::-1]):
+            builder.line_to(x_scale(float(t)), y_scale(float(v)))
+        builder.close()
+        element = Element("path")
+        element.set("d", builder.build()).set("fill", fill).set("opacity", 0.8)
+        element.set("stroke", "#ffffff").set("stroke-width", 0.5)
+        element.set("class", "area-band")
+        element.set("data-group", group_id)
+        return element
+
+    def _draw(self, doc: SVGDocument) -> None:
+        timestamps, cumulative = self.model.stacked_values()
+        if timestamps.shape[0] < 2:
+            raise RenderError("stacked area chart needs at least two samples")
+        x_scale, y_scale = self.scales()
+
+        doc.add(left_axis(y_scale, self.margins.left, label=self.model.value_label,
+                          grid_to=self.margins.left + self.plot_width))
+        doc.add(bottom_axis(x_scale, self.margins.top + self.plot_height,
+                            label="time since trace start",
+                            tick_formatter=format_seconds))
+
+        bands = doc.add(group(cls="area-bands"))
+        zeros = np.zeros_like(timestamps, dtype=np.float64)
+        for index, group_id in enumerate(self.model.group_ids):
+            lower = zeros if index == 0 else cumulative[index - 1]
+            upper = cumulative[index]
+            bands.add(self._band_element(timestamps, lower, upper, x_scale,
+                                         y_scale, fill=self._layer_color(index),
+                                         group_id=group_id))
+
+        if self.show_legend:
+            legend = doc.add(group(cls="legend"))
+            x = self.margins.left + self.plot_width + 12
+            y = self.margins.top + 6
+            for index, group_id in enumerate(self.model.group_ids):
+                legend.add(rect(x, y + index * 15 - 8, 10, 9,
+                                fill=self._layer_color(index)))
+                legend.add(text(x + 14, y + index * 15, group_id, size=9,
+                                fill="#333"))

@@ -1,0 +1,70 @@
+"""Shared chart infrastructure: figure sizing, margins and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import RenderError
+from repro.vis.svg import SVGDocument, text
+
+
+@dataclass(frozen=True)
+class Margins:
+    """Whitespace around the plot area, in pixels."""
+
+    top: float = 30.0
+    right: float = 20.0
+    bottom: float = 45.0
+    left: float = 55.0
+
+
+class Chart:
+    """Base class for every BatchLens chart.
+
+    Subclasses implement :meth:`_draw`, receiving an :class:`SVGDocument`
+    whose plot area is ``self.plot_width`` × ``self.plot_height`` pixels
+    starting at ``(margins.left, margins.top)``.
+    """
+
+    def __init__(self, *, width: float = 640.0, height: float = 360.0,
+                 margins: Margins | None = None, title: str | None = None) -> None:
+        if width <= 0 or height <= 0:
+            raise RenderError("chart dimensions must be positive")
+        self.width = float(width)
+        self.height = float(height)
+        self.margins = margins if margins is not None else Margins()
+        self.title = title
+        if self.plot_width <= 0 or self.plot_height <= 0:
+            raise RenderError("margins leave no plot area")
+
+    @property
+    def plot_width(self) -> float:
+        return self.width - self.margins.left - self.margins.right
+
+    @property
+    def plot_height(self) -> float:
+        return self.height - self.margins.top - self.margins.bottom
+
+    # -- rendering ----------------------------------------------------------------
+    def _draw(self, doc: SVGDocument) -> None:
+        raise NotImplementedError
+
+    def render(self) -> SVGDocument:
+        """Build and return the SVG document for this chart."""
+        doc = SVGDocument(self.width, self.height)
+        if self.title:
+            doc.add(text(self.margins.left, self.margins.top - 10, self.title,
+                         size=13, weight="bold", cls="chart-title"))
+        self._draw(doc)
+        return doc
+
+    def to_svg(self) -> str:
+        """Render to SVG markup."""
+        return self.render().render()
+
+    def save(self, path: str | Path) -> Path:
+        """Render and write the chart to an ``.svg`` file."""
+        target = Path(path)
+        self.render().save(target)
+        return target

@@ -1,0 +1,213 @@
+"""The hierarchical bubble chart (Fig. 1 / main view of Fig. 3).
+
+Three nested layers of circles encode the batch hierarchy at one timestamp:
+
+* outer circles with a blue dotted outline are **jobs**;
+* circles with a purple dotted outline inside a job are its **tasks**;
+* leaves are **compute nodes** drawn as three concentric annuli whose
+  colours encode CPU (outer ring), memory (middle ring) and disk I/O
+  (inner disc) utilisation on the green→yellow→red ramp.
+
+Machines running instances of several jobs at once appear under each of
+those jobs; such duplicates are connected with coloured dotted lines
+(the Fig. 3(b) interaction) and tagged with ``data-machine`` attributes so
+the HTML dashboard can also highlight them on hover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RenderError
+from repro.vis.charts.base import Chart, Margins
+from repro.vis.color import (
+    JOB_OUTLINE,
+    LINK_COLORS,
+    TASK_OUTLINE,
+    utilisation_color,
+)
+from repro.vis.layout.circlepack import PackNode, pack
+from repro.vis.svg import SVGDocument, circle, group, line, text, title
+
+
+@dataclass(frozen=True)
+class NodeGlyph:
+    """One compute node inside a task bubble, with its current utilisation."""
+
+    machine_id: str
+    cpu: float
+    mem: float
+    disk: float
+    #: Relative size of the leaf (e.g. number of instances on the node).
+    weight: float = 1.0
+
+    def metric(self, name: str) -> float:
+        return {"cpu": self.cpu, "mem": self.mem, "disk": self.disk}[name]
+
+
+@dataclass
+class TaskBubble:
+    """One task and the nodes executing its instances."""
+
+    task_id: str
+    nodes: list[NodeGlyph] = field(default_factory=list)
+
+
+@dataclass
+class JobBubble:
+    """One batch job and its tasks."""
+
+    job_id: str
+    tasks: list[TaskBubble] = field(default_factory=list)
+
+    @property
+    def node_count(self) -> int:
+        return sum(len(task.nodes) for task in self.tasks)
+
+
+@dataclass
+class BubbleChartModel:
+    """Everything the bubble chart needs for one timestamp."""
+
+    timestamp: float
+    jobs: list[JobBubble] = field(default_factory=list)
+    #: machine_id -> [(job_id, task_id), ...] for nodes shared across jobs.
+    shared_machines: dict[str, list[tuple[str, str]]] = field(default_factory=dict)
+
+    @property
+    def job_ids(self) -> list[str]:
+        return [job.job_id for job in self.jobs]
+
+
+class HierarchicalBubbleChart(Chart):
+    """Renders a :class:`BubbleChartModel` as nested bubbles."""
+
+    def __init__(self, model: BubbleChartModel, *, width: float = 760.0,
+                 height: float = 720.0, title: str | None = None,
+                 show_labels: bool = True, show_links: bool = True) -> None:
+        super().__init__(width=width, height=height, title=title,
+                         margins=Margins(top=40, right=15, bottom=15, left=15))
+        if not model.jobs:
+            raise RenderError("bubble chart model contains no jobs")
+        self.model = model
+        self.show_labels = show_labels
+        self.show_links = show_links
+
+    # -- layout ----------------------------------------------------------------
+    def build_hierarchy(self) -> PackNode:
+        """Translate the model into a packable hierarchy."""
+        root = PackNode("cluster")
+        for job in self.model.jobs:
+            job_node = PackNode(f"job:{job.job_id}", data={"kind": "job",
+                                                           "job_id": job.job_id})
+            for task in job.tasks:
+                task_node = PackNode(
+                    f"task:{job.job_id}:{task.task_id}",
+                    data={"kind": "task", "job_id": job.job_id,
+                          "task_id": task.task_id})
+                for node in task.nodes:
+                    task_node.children.append(PackNode(
+                        f"node:{job.job_id}:{task.task_id}:{node.machine_id}",
+                        value=max(node.weight, 0.25) * 40.0,
+                        data={"kind": "node", "glyph": node,
+                              "job_id": job.job_id, "task_id": task.task_id}))
+                if task_node.children:
+                    job_node.children.append(task_node)
+            if job_node.children:
+                root.children.append(job_node)
+        if not root.children:
+            raise RenderError("bubble chart model has no nodes to draw")
+        return root
+
+    def layout(self) -> PackNode:
+        """Run circle packing sized to the plot area."""
+        radius = min(self.plot_width, self.plot_height) / 2.0
+        return pack(self.build_hierarchy(), radius=radius, padding=2.5)
+
+    # -- drawing -----------------------------------------------------------------
+    def _node_glyph_elements(self, node: PackNode, cx: float, cy: float) -> list:
+        glyph: NodeGlyph = node.data["glyph"]
+        r = node.r
+        rings = [
+            ("cpu", r, glyph.cpu),
+            ("mem", r * 0.66, glyph.mem),
+            ("disk", r * 0.33, glyph.disk),
+        ]
+        elements = []
+        for metric, radius, value in rings:
+            ring = circle(cx, cy, radius,
+                          fill=utilisation_color(value).to_hex(),
+                          stroke="#ffffff", stroke_width=0.6,
+                          cls=f"node-ring node-ring-{metric}")
+            ring.set("data-machine", glyph.machine_id)
+            ring.set("data-metric", metric)
+            ring.set("data-value", f"{value:.1f}")
+            ring.set("data-job", node.data["job_id"])
+            elements.append(ring)
+        tooltip = (f"{glyph.machine_id} — CPU {glyph.cpu:.0f}%, "
+                   f"MEM {glyph.mem:.0f}%, DISK {glyph.disk:.0f}% "
+                   f"(job {node.data['job_id']}, task {node.data['task_id']})")
+        elements[0].add(title(tooltip))
+        return elements
+
+    def _draw_links(self, doc_group, packed: PackNode,
+                    offset_x: float, offset_y: float) -> int:
+        """Dotted lines between duplicates of the same machine across jobs."""
+        if not self.show_links or not self.model.shared_machines:
+            return 0
+        position_index: dict[str, list[tuple[float, float]]] = {}
+        for node in packed.iter():
+            if node.data.get("kind") == "node":
+                glyph: NodeGlyph = node.data["glyph"]
+                position_index.setdefault(glyph.machine_id, []).append(
+                    (node.x + offset_x, node.y + offset_y))
+        links = group(cls="machine-links")
+        drawn = 0
+        for index, machine_id in enumerate(sorted(self.model.shared_machines)):
+            points = position_index.get(machine_id, [])
+            if len(points) < 2:
+                continue
+            color = LINK_COLORS[index % len(LINK_COLORS)].to_hex()
+            for (x1, y1), (x2, y2) in zip(points, points[1:]):
+                link = line(x1, y1, x2, y2, stroke=color, stroke_width=1.2,
+                            dashed=True, opacity=0.85, cls="machine-link")
+                link.set("data-machine", machine_id)
+                links.add(link)
+                drawn += 1
+        if drawn:
+            doc_group.add(links)
+        return drawn
+
+    def _draw(self, doc: SVGDocument) -> None:
+        packed = self.layout()
+        offset_x = self.margins.left + self.plot_width / 2.0
+        offset_y = self.margins.top + self.plot_height / 2.0
+        canvas = doc.add(group(cls="bubble-chart"))
+
+        for node in packed.iter():
+            kind = node.data.get("kind")
+            cx, cy = node.x + offset_x, node.y + offset_y
+            if kind == "job":
+                bubble = circle(cx, cy, node.r, fill="#f1f3f5",
+                                stroke=JOB_OUTLINE.to_hex(), stroke_width=1.6,
+                                dashed=True, opacity=0.9, cls="job-bubble")
+                bubble.set("data-job", node.data["job_id"])
+                bubble.add(title(f"{node.data['job_id']} "
+                                 f"({len(node.children)} task(s))"))
+                canvas.add(bubble)
+                if self.show_labels:
+                    canvas.add(text(cx, cy - node.r - 4, node.data["job_id"],
+                                    size=10, fill=JOB_OUTLINE.darken(0.2).to_hex(),
+                                    anchor="middle", cls="job-label"))
+            elif kind == "task":
+                bubble = circle(cx, cy, node.r, fill="#ffffff",
+                                stroke=TASK_OUTLINE.to_hex(), stroke_width=1.2,
+                                dashed=True, opacity=0.9, cls="task-bubble")
+                bubble.set("data-job", node.data["job_id"])
+                bubble.set("data-task", node.data["task_id"])
+                canvas.add(bubble)
+            elif kind == "node":
+                for element in self._node_glyph_elements(node, cx, cy):
+                    canvas.add(element)
+
+        self._draw_links(canvas, packed, offset_x, offset_y)

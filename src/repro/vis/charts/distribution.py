@@ -1,0 +1,118 @@
+"""Utilisation distribution (histogram) at one timestamp.
+
+The case study reads utilisation *bands* off the bubble colours: "20 % -
+40 %" in Fig. 3(a), "50 % - 80 %" in Fig. 3(b), "a tremendous amount of
+nodes ... at high CPU- or memory-utilisation" in Fig. 3(c).  The histogram
+is the explicit version of that reading — how many machines sit in each
+utilisation bin — and the E4-E6 benchmarks assert the paper's bands on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import RenderError
+from repro.metrics.store import MetricStore
+from repro.vis.charts.base import Chart, Margins
+from repro.vis.color import utilisation_color
+from repro.vis.layout.axes import bottom_axis, left_axis
+from repro.vis.scale import LinearScale, format_percent
+from repro.vis.svg import SVGDocument, group, rect, title
+
+
+@dataclass
+class HistogramModel:
+    """Machine counts per utilisation bin for one metric at one timestamp."""
+
+    metric: str
+    timestamp: float
+    bin_edges: np.ndarray = field(default_factory=lambda: np.linspace(0, 100, 11))
+    counts: np.ndarray = field(default_factory=lambda: np.zeros(10, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        self.bin_edges = np.asarray(self.bin_edges, dtype=np.float64)
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        if self.bin_edges.ndim != 1 or self.bin_edges.shape[0] < 2:
+            raise RenderError("histogram needs at least two bin edges")
+        if np.any(np.diff(self.bin_edges) <= 0):
+            raise RenderError("histogram bin edges must be strictly increasing")
+        if self.counts.shape[0] != self.bin_edges.shape[0] - 1:
+            raise RenderError("histogram counts must have one entry per bin")
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def dominant_band(self) -> tuple[float, float]:
+        """The bin (lo, hi) containing the most machines."""
+        index = int(np.argmax(self.counts))
+        return (float(self.bin_edges[index]), float(self.bin_edges[index + 1]))
+
+    def fraction_in_band(self, lo: float, hi: float) -> float:
+        """Fraction of machines whose bin midpoint lies in ``[lo, hi]``."""
+        if self.total == 0:
+            return 0.0
+        midpoints = (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0
+        mask = (midpoints >= lo) & (midpoints <= hi)
+        return float(self.counts[mask].sum() / self.total)
+
+    @classmethod
+    def from_store(cls, store: MetricStore, metric: str, timestamp: float, *,
+                   bins: int = 10) -> "HistogramModel":
+        """Histogram of one metric across machines at one timestamp."""
+        if bins < 1:
+            raise RenderError("bins must be at least 1")
+        snapshot = store.snapshot(timestamp, metric=metric)
+        values = np.asarray(list(snapshot.values()), dtype=np.float64)
+        edges = np.linspace(0.0, 100.0, bins + 1)
+        counts, _ = np.histogram(values, bins=edges)
+        return cls(metric=metric, timestamp=float(timestamp), bin_edges=edges,
+                   counts=counts)
+
+
+class UtilisationHistogram(Chart):
+    """Renders a :class:`HistogramModel` as a bar chart."""
+
+    def __init__(self, model: HistogramModel, *, width: float = 420.0,
+                 height: float = 260.0, title_: str | None = None) -> None:
+        super().__init__(width=width, height=height,
+                         title=title_ if title_ is not None else
+                         f"{model.metric.upper()} distribution at "
+                         f"t={model.timestamp:.0f}s",
+                         margins=Margins(top=34, right=16, bottom=50, left=52))
+        self.model = model
+
+    def scales(self) -> tuple[LinearScale, LinearScale]:
+        x = LinearScale((float(self.model.bin_edges[0]),
+                         float(self.model.bin_edges[-1])),
+                        (self.margins.left, self.margins.left + self.plot_width))
+        top_count = max(1, int(self.model.counts.max()))
+        y = LinearScale((0.0, float(top_count)),
+                        (self.margins.top + self.plot_height, self.margins.top))
+        return x, y
+
+    def _draw(self, doc: SVGDocument) -> None:
+        x_scale, y_scale = self.scales()
+        bottom = self.margins.top + self.plot_height
+
+        doc.add(bottom_axis(x_scale, bottom, label=f"{self.model.metric} utilisation",
+                            tick_formatter=format_percent))
+        doc.add(left_axis(y_scale, self.margins.left, label="machines",
+                          grid_to=self.margins.left + self.plot_width))
+
+        bars = doc.add(group(cls="histogram-bars"))
+        edges = self.model.bin_edges
+        for index, count in enumerate(self.model.counts):
+            lo, hi = float(edges[index]), float(edges[index + 1])
+            x0, x1 = x_scale(lo), x_scale(hi)
+            y = y_scale(float(count))
+            color = utilisation_color((lo + hi) / 2.0).to_hex()
+            bar = rect(x0 + 1, y, max(0.0, x1 - x0 - 2), max(0.0, bottom - y),
+                       fill=color, opacity=0.85, stroke="#868e96",
+                       cls="histogram-bar")
+            bar.set("data-bin", f"{lo:.0f}-{hi:.0f}")
+            bar.set("data-count", int(count))
+            bar.add(title(f"{lo:.0f}-{hi:.0f}%: {int(count)} machine(s)"))
+            bars.add(bar)

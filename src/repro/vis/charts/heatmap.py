@@ -1,0 +1,100 @@
+"""Machine × time utilisation heat map.
+
+This is the "flat dashboard" style visualisation existing monitoring tools
+(Grafana-like) offer and the baseline BatchLens is contrasted against: a
+row per machine, a column per time bucket, colour = utilisation.  It shows
+*that* machines are busy but not *which batch jobs* make them busy — the
+gap the hierarchical bubble chart fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import RenderError
+from repro.metrics.store import MetricStore
+from repro.vis.charts.base import Chart, Margins
+from repro.vis.color import utilisation_color
+from repro.vis.layout.axes import bottom_axis
+from repro.vis.scale import TimeScale, format_seconds
+from repro.vis.svg import SVGDocument, group, rect, text, title
+
+
+@dataclass
+class HeatmapModel:
+    """Rows (machines), the shared time grid and the value matrix."""
+
+    machine_ids: list[str]
+    timestamps: np.ndarray
+    values: np.ndarray  # shape (machines, samples)
+    metric: str = "cpu"
+
+    @classmethod
+    def from_store(cls, store: MetricStore, metric: str = "cpu",
+                   machine_ids: list[str] | None = None) -> "HeatmapModel":
+        ids = machine_ids if machine_ids is not None else store.machine_ids
+        rows = [store.series(mid, metric).values for mid in ids]
+        if not rows:
+            raise RenderError("heat map needs at least one machine")
+        return cls(machine_ids=list(ids), timestamps=store.timestamps,
+                   values=np.vstack(rows), metric=metric)
+
+
+class UtilisationHeatmap(Chart):
+    """Renders a :class:`HeatmapModel` as a dense grid of coloured cells."""
+
+    def __init__(self, model: HeatmapModel, *, width: float = 900.0,
+                 height: float = 480.0, title: str | None = None,
+                 max_columns: int = 200, show_row_labels: bool = True) -> None:
+        super().__init__(width=width, height=height,
+                         title=title if title is not None else
+                         f"Per-machine {model.metric.upper()} utilisation",
+                         margins=Margins(top=34, right=16, bottom=42, left=86))
+        if model.values.shape[0] != len(model.machine_ids):
+            raise RenderError("heat map value matrix does not match machine count")
+        if model.values.shape[1] != model.timestamps.shape[0]:
+            raise RenderError("heat map value matrix does not match time grid")
+        self.model = model
+        self.max_columns = max_columns
+        self.show_row_labels = show_row_labels
+
+    def _column_bins(self) -> list[tuple[int, int]]:
+        """Group time samples into at most ``max_columns`` bins."""
+        samples = self.model.timestamps.shape[0]
+        columns = min(self.max_columns, samples)
+        edges = np.linspace(0, samples, columns + 1).astype(int)
+        return [(int(lo), int(hi)) for lo, hi in zip(edges, edges[1:]) if hi > lo]
+
+    def _draw(self, doc: SVGDocument) -> None:
+        bins = self._column_bins()
+        machines = self.model.machine_ids
+        row_height = self.plot_height / len(machines)
+        column_width = self.plot_width / len(bins)
+
+        cells = doc.add(group(cls="heatmap-cells"))
+        for row, machine_id in enumerate(machines):
+            y = self.margins.top + row * row_height
+            for col, (lo, hi) in enumerate(bins):
+                value = float(np.mean(self.model.values[row, lo:hi]))
+                x = self.margins.left + col * column_width
+                cell = rect(x, y, column_width + 0.5, row_height + 0.5,
+                            fill=utilisation_color(value).to_hex(), cls="heat-cell")
+                cell.set("data-machine", machine_id)
+                cell.set("data-value", f"{value:.1f}")
+                cells.add(cell)
+            if self.show_row_labels and row_height >= 9:
+                doc.add(text(self.margins.left - 6,
+                             y + row_height / 2 + 3, machine_id, size=8,
+                             fill="#495057", anchor="end"))
+
+        t0 = float(self.model.timestamps[0])
+        t1 = float(self.model.timestamps[-1])
+        x_scale = TimeScale((t0, t1), (self.margins.left,
+                                       self.margins.left + self.plot_width))
+        doc.add(bottom_axis(x_scale, self.margins.top + self.plot_height,
+                            label="time since trace start",
+                            tick_formatter=format_seconds))
+        hover = title(f"{len(machines)} machines × {len(bins)} time buckets")
+        cells.add(hover)

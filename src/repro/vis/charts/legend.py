@@ -1,0 +1,73 @@
+"""Legends: the utilisation colour ramp and categorical swatches."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import RenderError
+from repro.vis.color import Color, LinearColormap, UTILISATION_CMAP
+from repro.vis.svg import Element, group, rect, text
+
+
+def colorbar(*, width: float = 220.0, height: float = 14.0,
+             cmap: LinearColormap = UTILISATION_CMAP, segments: int = 40,
+             labels: Sequence[str] = ("0", "50%", "100%"),
+             title: str = "utilisation") -> Element:
+    """A horizontal colour ramp legend (the Fig. 1 "0 / 50% / 100%" bar)."""
+    if segments < 2:
+        raise RenderError("colorbar needs at least two segments")
+    legend = group(cls="legend colorbar")
+    legend.add(text(0, -6, title, size=10, fill="#333"))
+    segment_width = width / segments
+    for index in range(segments):
+        color = cmap(index / (segments - 1))
+        legend.add(rect(index * segment_width, 0, segment_width + 0.5, height,
+                        fill=color.to_hex()))
+    legend.add(rect(0, 0, width, height, stroke="#868e96"))
+    if labels:
+        positions = [0.0, width / 2, width] if len(labels) == 3 else [
+            width * i / (len(labels) - 1) for i in range(len(labels))]
+        anchors = ["start", "middle", "end"] if len(labels) == 3 else (
+            ["middle"] * len(labels))
+        for label, x, anchor in zip(labels, positions, anchors):
+            legend.add(text(x, height + 12, label, size=9, fill="#333",
+                            anchor=anchor))
+    return legend
+
+
+def categorical_legend(entries: Sequence[tuple[str, Color]], *,
+                       swatch: float = 10.0, row_height: float = 16.0) -> Element:
+    """A vertical list of colour swatches with labels (tasks, jobs, ...)."""
+    if not entries:
+        raise RenderError("categorical legend needs at least one entry")
+    legend = group(cls="legend categorical")
+    for index, (label, color) in enumerate(entries):
+        y = index * row_height
+        legend.add(rect(0, y, swatch, swatch, fill=color.to_hex()))
+        legend.add(text(swatch + 6, y + swatch - 1, label, size=10, fill="#333"))
+    return legend
+
+
+def hierarchy_legend() -> Element:
+    """The Fig. 1 structural legend: job / task / node ring meanings."""
+    from repro.vis.color import JOB_OUTLINE, TASK_OUTLINE
+    from repro.vis.svg import circle
+
+    legend = group(cls="legend hierarchy")
+    rows = [
+        ("Job (blue dotted circle)", JOB_OUTLINE.to_hex(), 9.0),
+        ("Task (purple dotted circle)", TASK_OUTLINE.to_hex(), 7.0),
+    ]
+    for index, (label, color, radius) in enumerate(rows):
+        y = index * 22 + 10
+        legend.add(circle(10, y, radius, stroke=color, dashed=True,
+                          stroke_width=1.4))
+        legend.add(text(26, y + 3, label, size=10, fill="#333"))
+    y = len(rows) * 22 + 10
+    legend.add(circle(10, y, 8, fill="#ffd43b", stroke="#fff"))
+    legend.add(circle(10, y, 5.3, fill="#94d82d", stroke="#fff"))
+    legend.add(circle(10, y, 2.6, fill="#2f9e44", stroke="#fff"))
+    legend.add(text(26, y + 3,
+                    "Node: rings = CPU (outer), MEM (middle), DISK (inner)",
+                    size=10, fill="#333"))
+    return legend

@@ -1,0 +1,189 @@
+"""Multi-line charts with start/end annotation lines (Fig. 2).
+
+A line chart shows one metric for every compute node executing a selected
+job.  Lines are coloured by task, green vertical annotation lines mark the
+start of the job's execution on each node, and per-task-coloured annotation
+lines mark the end timestamps — so tasks that finish at different times show
+up as separate clusters of end annotations, exactly like job 7399 in Fig. 2.
+A brushed time range renders as a shaded region, and
+:meth:`MultiLineChart.zoomed` builds the detail view of the selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import RenderError
+from repro.metrics.series import TimeSeries
+from repro.vis.charts.base import Chart, Margins
+from repro.vis.color import START_ANNOTATION, categorical_color
+from repro.vis.layout.axes import bottom_axis, left_axis, vertical_annotation
+from repro.vis.scale import LinearScale, TimeScale, format_percent, format_seconds
+from repro.vis.svg import SVGDocument, group, polyline_path, rect, text
+
+
+@dataclass(frozen=True)
+class LineSeries:
+    """One line: the metric series of one machine under one task."""
+
+    machine_id: str
+    task_id: str
+    series: TimeSeries
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A vertical annotation line (start or end of execution)."""
+
+    timestamp: float
+    kind: str  # "start" or "end"
+    task_id: str | None = None
+    label: str | None = None
+
+
+@dataclass
+class LineChartModel:
+    """Everything needed to draw the per-job multi-line chart."""
+
+    job_id: str
+    metric: str
+    lines: list[LineSeries] = field(default_factory=list)
+    annotations: list[Annotation] = field(default_factory=list)
+    #: Optional brushed time range (start, end) to highlight.
+    brush: tuple[float, float] | None = None
+
+    @property
+    def task_ids(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for line_ in self.lines:
+            seen.setdefault(line_.task_id, None)
+        return list(seen)
+
+    def time_extent(self) -> tuple[float, float]:
+        starts = [line_.series.start for line_ in self.lines if len(line_.series)]
+        ends = [line_.series.end for line_ in self.lines if len(line_.series)]
+        if not starts:
+            raise RenderError(f"line chart for {self.job_id} has no data")
+        return (min(starts), max(ends))
+
+    def value_extent(self) -> tuple[float, float]:
+        highs = [line_.series.max() for line_ in self.lines if len(line_.series)]
+        return (0.0, max(100.0, max(highs) if highs else 100.0))
+
+    def sliced(self, start: float, end: float) -> "LineChartModel":
+        """Restrict every line and annotation to ``[start, end]``."""
+        if end <= start:
+            raise RenderError(f"invalid slice range [{start}, {end}]")
+        lines = [replace(line_, series=line_.series.slice(start, end))
+                 for line_ in self.lines]
+        lines = [line_ for line_ in lines if len(line_.series) >= 2]
+        annotations = [a for a in self.annotations if start <= a.timestamp <= end]
+        return LineChartModel(job_id=self.job_id, metric=self.metric,
+                              lines=lines, annotations=annotations, brush=None)
+
+
+class MultiLineChart(Chart):
+    """Renders a :class:`LineChartModel`."""
+
+    def __init__(self, model: LineChartModel, *, width: float = 680.0,
+                 height: float = 300.0, title: str | None = None,
+                 color_by_task: bool = True, show_legend: bool = True) -> None:
+        super().__init__(width=width, height=height,
+                         title=title if title is not None else
+                         f"{model.job_id} — {model.metric.upper()} utilisation",
+                         margins=Margins(top=34, right=18, bottom=48, left=58))
+        if not model.lines:
+            raise RenderError(f"line chart for {model.job_id} has no lines")
+        self.model = model
+        self.color_by_task = color_by_task
+        self.show_legend = show_legend
+
+    # -- scales ------------------------------------------------------------------
+    def scales(self) -> tuple[TimeScale, LinearScale]:
+        t0, t1 = self.model.time_extent()
+        v0, v1 = self.model.value_extent()
+        x = TimeScale((t0, t1), (self.margins.left,
+                                 self.margins.left + self.plot_width))
+        y = LinearScale((v0, v1), (self.margins.top + self.plot_height,
+                                   self.margins.top))
+        return x, y
+
+    def _task_color(self, task_id: str) -> str:
+        if not self.color_by_task:
+            return "#555555"
+        index = self.model.task_ids.index(task_id)
+        return categorical_color(index).to_hex()
+
+    # -- drawing -----------------------------------------------------------------
+    def _draw(self, doc: SVGDocument) -> None:
+        x_scale, y_scale = self.scales()
+        top = self.margins.top
+        bottom = self.margins.top + self.plot_height
+
+        doc.add(left_axis(y_scale, self.margins.left, label=f"{self.model.metric} %",
+                          tick_formatter=format_percent,
+                          grid_to=self.margins.left + self.plot_width))
+        doc.add(bottom_axis(x_scale, bottom, label="time since trace start",
+                            tick_formatter=format_seconds))
+
+        if self.model.brush is not None:
+            b0, b1 = self.model.brush
+            x0, x1 = x_scale(x_scale.clamp(b0)), x_scale(x_scale.clamp(b1))
+            brush = rect(min(x0, x1), top, abs(x1 - x0), self.plot_height,
+                         fill="#74c0fc", opacity=0.18, cls="brush-region")
+            brush.set("data-start", f"{b0:.0f}")
+            brush.set("data-end", f"{b1:.0f}")
+            doc.add(brush)
+
+        lines_group = doc.add(group(cls="metric-lines"))
+        for line_ in self.model.lines:
+            if len(line_.series) < 2:
+                continue
+            points = [(x_scale(t), y_scale(v)) for t, v in line_.series]
+            path = polyline_path(points, stroke=self._task_color(line_.task_id),
+                                 stroke_width=1.3, opacity=0.75, cls="metric-line")
+            path.set("data-machine", line_.machine_id)
+            path.set("data-task", line_.task_id)
+            path.set("data-job", self.model.job_id)
+            lines_group.add(path)
+
+        annotations_group = doc.add(group(cls="annotations"))
+        for annotation in self.model.annotations:
+            x = x_scale(x_scale.clamp(annotation.timestamp))
+            if annotation.kind == "start":
+                color = START_ANNOTATION.to_hex()
+            else:
+                color = (self._task_color(annotation.task_id)
+                         if annotation.task_id is not None else "#e03131")
+            element = vertical_annotation(x, top, bottom, color=color,
+                                          label=annotation.label,
+                                          cls=f"annotation annotation-{annotation.kind}")
+            annotations_group.add(element)
+
+        if self.show_legend and self.color_by_task and len(self.model.task_ids) > 1:
+            self._draw_legend(doc)
+
+    def _draw_legend(self, doc: SVGDocument) -> None:
+        legend = doc.add(group(cls="legend"))
+        x = self.margins.left + 8
+        y = self.margins.top + 8
+        for index, task_id in enumerate(self.model.task_ids):
+            color = self._task_color(task_id)
+            legend.add(rect(x, y + index * 14 - 7, 10, 8, fill=color))
+            legend.add(text(x + 14, y + index * 14, task_id, size=9, fill="#333"))
+
+    # -- linked detail view --------------------------------------------------------
+    def zoomed(self, start: float, end: float, **kwargs) -> "MultiLineChart":
+        """The detail view of a brushed range (Fig. 2(b))."""
+        model = self.model.sliced(start, end)
+        if not model.lines:
+            raise RenderError(
+                f"brushed range [{start}, {end}] contains no samples for "
+                f"{self.model.job_id}")
+        kwargs.setdefault("width", self.width)
+        kwargs.setdefault("height", self.height)
+        kwargs.setdefault("title",
+                          f"{self.model.job_id} — {self.model.metric.upper()} "
+                          f"(zoom {format_seconds(start)}–{format_seconds(end)})")
+        return MultiLineChart(model, color_by_task=self.color_by_task,
+                              show_legend=self.show_legend, **kwargs)

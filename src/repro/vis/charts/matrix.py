@@ -1,0 +1,100 @@
+"""Job co-allocation matrix view.
+
+The dotted cross-links of Fig. 3(b) show *which* machines serve several jobs
+at once; this companion view summarises the same information at the job
+level: a symmetric matrix whose cell (i, j) is coloured by the number of
+machines jobs i and j share.  It is the "hidden patterns of the batch job
+co-allocation" of the introduction made directly visible, and complements
+the bubble chart when the number of shared machines grows too large for
+individual dotted lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.correlation import coallocation_matrix
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.errors import RenderError
+from repro.vis.charts.base import Chart, Margins
+from repro.vis.color import Color, lerp
+from repro.vis.svg import SVGDocument, group, rect, text, title
+
+
+@dataclass
+class CoAllocationMatrixModel:
+    """Job ids and the symmetric shared-machine-count matrix."""
+
+    job_ids: list[str]
+    counts: np.ndarray
+    timestamp: float | None = None
+
+    @classmethod
+    def from_hierarchy(cls, hierarchy: BatchHierarchy,
+                       timestamp: float | None = None,
+                       *, max_jobs: int | None = None) -> "CoAllocationMatrixModel":
+        job_ids, counts = coallocation_matrix(hierarchy, timestamp)
+        if max_jobs is not None and len(job_ids) > max_jobs:
+            # keep the jobs with the most sharing so the view stays readable
+            totals = counts.sum(axis=1)
+            keep = np.argsort(-totals)[:max_jobs]
+            keep = np.sort(keep)
+            job_ids = [job_ids[i] for i in keep]
+            counts = counts[np.ix_(keep, keep)]
+        return cls(job_ids=job_ids, counts=counts, timestamp=timestamp)
+
+    @property
+    def max_count(self) -> int:
+        return int(self.counts.max()) if self.counts.size else 0
+
+
+class CoAllocationMatrix(Chart):
+    """Renders a :class:`CoAllocationMatrixModel` as a shaded grid."""
+
+    def __init__(self, model: CoAllocationMatrixModel, *, width: float = 520.0,
+                 height: float = 520.0, title: str | None = None) -> None:
+        super().__init__(width=width, height=height,
+                         title=title if title is not None else
+                         "Job co-allocation (shared machines)",
+                         margins=Margins(top=90, right=20, bottom=20, left=110))
+        if not model.job_ids:
+            raise RenderError("co-allocation matrix has no jobs")
+        self.model = model
+
+    def _cell_color(self, count: int) -> str:
+        if count <= 0:
+            return "#f1f3f5"
+        intensity = count / max(1, self.model.max_count)
+        return lerp(Color.from_hex("#d0ebff"), Color.from_hex("#1864ab"),
+                    intensity).to_hex()
+
+    def _draw(self, doc: SVGDocument) -> None:
+        jobs = self.model.job_ids
+        n = len(jobs)
+        cell = min(self.plot_width, self.plot_height) / n
+        x0, y0 = self.margins.left, self.margins.top
+
+        cells = doc.add(group(cls="coallocation-cells"))
+        for i, job_a in enumerate(jobs):
+            for j, job_b in enumerate(jobs):
+                count = int(self.model.counts[i, j]) if i != j else 0
+                element = rect(x0 + j * cell, y0 + i * cell, cell - 1, cell - 1,
+                               fill=self._cell_color(count), cls="coallocation-cell")
+                element.set("data-job-a", job_a)
+                element.set("data-job-b", job_b)
+                element.set("data-count", str(count))
+                if count:
+                    element.add(title(f"{job_a} and {job_b} share {count} machine(s)"))
+                cells.add(element)
+
+        labels = doc.add(group(cls="coallocation-labels"))
+        for i, job_id in enumerate(jobs):
+            labels.add(text(x0 - 6, y0 + i * cell + cell / 2 + 3, job_id,
+                            size=9, anchor="end"))
+            column = text(x0 + i * cell + cell / 2, y0 - 6, job_id, size=9,
+                          anchor="start")
+            column.set("transform",
+                       f"rotate(-45 {x0 + i * cell + cell / 2:.1f} {y0 - 6:.1f})")
+            labels.add(column)

@@ -1,0 +1,145 @@
+"""CPU-vs-memory scatter plot of machines at one timestamp.
+
+Fig. 3(c)'s thrashing finding is a relationship between two metrics: memory
+stays committed while CPU collapses.  The scatter plot makes that relation
+explicit — each machine is one dot positioned by its CPU and memory
+utilisation, sized by disk utilisation and coloured by the hotter of the two
+axes — so the thrashing population shows up as a cluster in the
+"high-memory, low-CPU" corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RenderError
+from repro.metrics.store import MetricStore
+from repro.vis.charts.base import Chart, Margins
+from repro.vis.color import utilisation_color
+from repro.vis.layout.axes import bottom_axis, left_axis
+from repro.vis.scale import LinearScale, format_percent
+from repro.vis.svg import SVGDocument, circle, group, rect, text, title
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One machine at the selected timestamp."""
+
+    machine_id: str
+    cpu: float
+    mem: float
+    disk: float
+    #: Optional flag set by the caller (e.g. "thrashing", "hot-job").
+    highlight: str | None = None
+
+
+@dataclass
+class ScatterModel:
+    """The machines to plot, plus the snapshot's timestamp for the title."""
+
+    timestamp: float
+    points: list[ScatterPoint] = field(default_factory=list)
+
+    @classmethod
+    def from_store(cls, store: MetricStore, timestamp: float, *,
+                   highlight: dict[str, str] | None = None) -> "ScatterModel":
+        """Build one point per machine from a snapshot of the store."""
+        highlight = highlight or {}
+        points = []
+        for machine_id in store.machine_ids:
+            values = store.machine_snapshot(machine_id, timestamp)
+            points.append(ScatterPoint(
+                machine_id=machine_id,
+                cpu=values.get("cpu", 0.0),
+                mem=values.get("mem", 0.0),
+                disk=values.get("disk", 0.0),
+                highlight=highlight.get(machine_id)))
+        return cls(timestamp=float(timestamp), points=points)
+
+    def corner_counts(self, *, level: float = 80.0,
+                      low: float = 40.0) -> dict[str, int]:
+        """How many machines sit in each interesting corner of the plot.
+
+        ``thrashing`` is the high-memory / low-CPU corner the Fig. 3(c)
+        narrative describes; ``saturated`` is high on both axes.
+        """
+        counts = {"saturated": 0, "thrashing": 0, "idle": 0, "normal": 0}
+        for point in self.points:
+            if point.mem >= level and point.cpu <= low:
+                counts["thrashing"] += 1
+            elif point.mem >= level and point.cpu >= level:
+                counts["saturated"] += 1
+            elif point.mem <= low and point.cpu <= low:
+                counts["idle"] += 1
+            else:
+                counts["normal"] += 1
+        return counts
+
+
+class MachineScatterChart(Chart):
+    """Renders a :class:`ScatterModel`."""
+
+    def __init__(self, model: ScatterModel, *, width: float = 480.0,
+                 height: float = 440.0, title_: str | None = None,
+                 min_radius: float = 2.5, max_radius: float = 7.0) -> None:
+        super().__init__(width=width, height=height,
+                         title=title_ if title_ is not None else
+                         f"Machines at t={model.timestamp:.0f}s",
+                         margins=Margins(top=34, right=24, bottom=50, left=58))
+        if not model.points:
+            raise RenderError("scatter chart has no points")
+        if not 0 < min_radius <= max_radius:
+            raise RenderError("invalid radius bounds")
+        self.model = model
+        self.min_radius = min_radius
+        self.max_radius = max_radius
+
+    def scales(self) -> tuple[LinearScale, LinearScale]:
+        x = LinearScale((0.0, 100.0), (self.margins.left,
+                                       self.margins.left + self.plot_width))
+        y = LinearScale((0.0, 100.0), (self.margins.top + self.plot_height,
+                                       self.margins.top))
+        return x, y
+
+    def _radius(self, disk: float) -> float:
+        fraction = min(1.0, max(0.0, disk / 100.0))
+        return self.min_radius + fraction * (self.max_radius - self.min_radius)
+
+    def _draw(self, doc: SVGDocument) -> None:
+        x_scale, y_scale = self.scales()
+        bottom = self.margins.top + self.plot_height
+
+        doc.add(rect(self.margins.left, self.margins.top, self.plot_width,
+                     self.plot_height, fill="#fcfcfd", stroke="#dee2e6"))
+        doc.add(bottom_axis(x_scale, bottom, label="CPU utilisation",
+                            tick_formatter=format_percent))
+        doc.add(left_axis(y_scale, self.margins.left, label="memory utilisation",
+                          tick_formatter=format_percent,
+                          grid_to=self.margins.left + self.plot_width))
+
+        # guide lines at 80% marking the saturated / thrashing corners
+        guides = doc.add(group(cls="scatter-guides"))
+        for value in (80.0,):
+            guides.add(rect(self.margins.left, y_scale(value),
+                            self.plot_width, 0.6, fill="#adb5bd", opacity=0.6))
+            guides.add(rect(x_scale(value), self.margins.top, 0.6,
+                            self.plot_height, fill="#adb5bd", opacity=0.6))
+
+        dots = doc.add(group(cls="scatter-points"))
+        for point in self.model.points:
+            color = utilisation_color(max(point.cpu, point.mem)).to_hex()
+            dot = circle(x_scale(point.cpu), y_scale(point.mem),
+                         self._radius(point.disk), fill=color, opacity=0.75,
+                         stroke="#495057" if point.highlight else None,
+                         stroke_width=1.4, cls="scatter-point")
+            dot.set("data-machine", point.machine_id)
+            if point.highlight:
+                dot.set("data-highlight", point.highlight)
+            dot.add(title(f"{point.machine_id}: CPU {point.cpu:.0f}%, "
+                          f"MEM {point.mem:.0f}%, DISK {point.disk:.0f}%"))
+            dots.add(dot)
+
+        counts = self.model.corner_counts()
+        doc.add(text(self.margins.left + 6, self.margins.top + 14,
+                     f"thrashing corner: {counts['thrashing']} machine(s)",
+                     size=9, fill="#e03131"))

@@ -1,0 +1,137 @@
+"""Small-multiples grid of metric sparklines.
+
+Muelder et al.'s behavioural-lines system (cited in §V) draws one small
+chart per compute node; BatchLens keeps that idiom for the "compare many
+jobs at once" question the single large line chart cannot answer.  Each cell
+is a sparkline of one series (a job's mean utilisation, or one machine's
+metric), all cells sharing the same time and value scales so heights are
+comparable across the grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import RenderError
+from repro.metrics.aggregate import group_series
+from repro.metrics.series import TimeSeries
+from repro.metrics.store import MetricStore
+from repro.vis.charts.base import Chart, Margins
+from repro.vis.color import utilisation_color
+from repro.vis.scale import LinearScale, TimeScale
+from repro.vis.svg import SVGDocument, group, polyline_path, rect, text
+
+
+@dataclass(frozen=True)
+class Sparkline:
+    """One cell of the grid."""
+
+    label: str
+    series: TimeSeries
+    #: Optional vertical marker timestamps (job start / end).
+    markers: tuple[float, ...] = ()
+
+
+@dataclass
+class SmallMultiplesModel:
+    """The sparklines to draw, in row-major order."""
+
+    cells: list[Sparkline] = field(default_factory=list)
+    metric: str = "cpu"
+
+    def time_extent(self) -> tuple[float, float]:
+        non_empty = [c.series for c in self.cells if len(c.series)]
+        if not non_empty:
+            raise RenderError("small multiples have no data")
+        return (min(s.start for s in non_empty), max(s.end for s in non_empty))
+
+    def value_extent(self) -> tuple[float, float]:
+        highs = [c.series.max() for c in self.cells if len(c.series)]
+        return (0.0, max(100.0, max(highs) if highs else 100.0))
+
+    @classmethod
+    def per_job(cls, store: MetricStore, job_machines: dict[str, list[str]], *,
+                metric: str = "cpu",
+                job_windows: dict[str, tuple[float, float]] | None = None) -> "SmallMultiplesModel":
+        """One sparkline per job: the mean utilisation of its machines."""
+        job_windows = job_windows or {}
+        cells: list[Sparkline] = []
+        for job_id, machine_ids in job_machines.items():
+            known = [mid for mid in machine_ids if mid in store]
+            if not known:
+                continue
+            series = group_series(store, known, metric, reducer="mean")
+            markers = job_windows.get(job_id, ())
+            cells.append(Sparkline(label=job_id, series=series,
+                                   markers=tuple(markers)))
+        if not cells:
+            raise RenderError("no job has machines with recorded usage")
+        return cls(cells=cells, metric=metric)
+
+
+class SmallMultiplesChart(Chart):
+    """Renders a :class:`SmallMultiplesModel` as a grid of sparklines."""
+
+    def __init__(self, model: SmallMultiplesModel, *, columns: int = 4,
+                 cell_height: float = 80.0, width: float = 920.0,
+                 title: str | None = None, cell_gap: float = 10.0) -> None:
+        if not model.cells:
+            raise RenderError("small multiples chart has no cells")
+        if columns < 1:
+            raise RenderError("columns must be at least 1")
+        rows = math.ceil(len(model.cells) / columns)
+        margins = Margins(top=36, right=16, bottom=20, left=16)
+        height = margins.top + margins.bottom + rows * (cell_height + cell_gap)
+        super().__init__(width=width, height=height,
+                         title=title if title is not None else
+                         f"Per-job {model.metric.upper()} utilisation",
+                         margins=margins)
+        self.model = model
+        self.columns = columns
+        self.cell_height = cell_height
+        self.cell_gap = cell_gap
+
+    @property
+    def rows(self) -> int:
+        return math.ceil(len(self.model.cells) / self.columns)
+
+    def _cell_geometry(self, index: int) -> tuple[float, float, float, float]:
+        """(x, y, width, height) of the ``index``-th cell."""
+        cell_width = (self.plot_width - (self.columns - 1) * self.cell_gap) / self.columns
+        if cell_width <= 10:
+            raise RenderError("too many columns for the chart width")
+        row, col = divmod(index, self.columns)
+        x = self.margins.left + col * (cell_width + self.cell_gap)
+        y = self.margins.top + row * (self.cell_height + self.cell_gap)
+        return x, y, cell_width, self.cell_height
+
+    def _draw(self, doc: SVGDocument) -> None:
+        t0, t1 = self.model.time_extent()
+        v0, v1 = self.model.value_extent()
+
+        cells_group = doc.add(group(cls="small-multiples"))
+        for index, cell in enumerate(self.model.cells):
+            x, y, w, h = self._cell_geometry(index)
+            container = cells_group.add(group(cls="sparkline-cell"))
+            container.set("data-label", cell.label)
+            container.add(rect(x, y, w, h, fill="#fcfcfd", stroke="#dee2e6"))
+
+            label_color = "#333"
+            if len(cell.series):
+                label_color = utilisation_color(cell.series.mean()).darken(0.25).to_hex()
+            container.add(text(x + 4, y + 12, cell.label, size=9,
+                               fill=label_color, weight="bold"))
+
+            if len(cell.series) >= 2:
+                x_scale = TimeScale((t0, t1), (x + 3, x + w - 3))
+                y_scale = LinearScale((v0, v1), (y + h - 4, y + 16))
+                points = [(x_scale(t), y_scale(v)) for t, v in cell.series]
+                path = polyline_path(points, stroke="#364fc7", stroke_width=1.1,
+                                     opacity=0.9, cls="sparkline")
+                path.set("data-label", cell.label)
+                container.add(path)
+                for marker in cell.markers:
+                    mx = x_scale(x_scale.clamp(marker))
+                    container.add(rect(mx, y + 16, 0.8, h - 20, fill="#2f9e44",
+                                       opacity=0.8, cls="sparkline-marker"))

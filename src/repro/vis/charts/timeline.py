@@ -1,0 +1,106 @@
+"""The system timeline: cluster-aggregate metrics with brush and cursor.
+
+"A simple timeline is used to represent the metrics aggregated across the
+entire cloud systems over time.  Each layer of the graph represents one
+metric." (§III-C).  The timeline is the entry point of the analysis: the
+user brushes a time range or picks a timestamp, and the other views update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RenderError
+from repro.metrics.series import TimeSeries
+from repro.vis.charts.base import Chart, Margins
+from repro.vis.color import categorical_color
+from repro.vis.layout.axes import bottom_axis, left_axis, vertical_annotation
+from repro.vis.scale import LinearScale, TimeScale, format_percent, format_seconds
+from repro.vis.svg import SVGDocument, group, polyline_path, rect, text
+
+
+@dataclass
+class TimelineModel:
+    """Cluster-aggregate series per metric, plus the current selection."""
+
+    layers: dict[str, TimeSeries] = field(default_factory=dict)
+    selected_timestamp: float | None = None
+    brush: tuple[float, float] | None = None
+
+    def time_extent(self) -> tuple[float, float]:
+        non_empty = [s for s in self.layers.values() if len(s)]
+        if not non_empty:
+            raise RenderError("timeline has no data")
+        return (min(s.start for s in non_empty), max(s.end for s in non_empty))
+
+
+class TimelineChart(Chart):
+    """Stacked small-multiple line chart, one layer per metric."""
+
+    def __init__(self, model: TimelineModel, *, width: float = 900.0,
+                 height: float = 220.0, title: str | None = "Cluster timeline",
+                 layer_gap: float = 8.0) -> None:
+        super().__init__(width=width, height=height, title=title,
+                         margins=Margins(top=34, right=18, bottom=40, left=58))
+        if not model.layers:
+            raise RenderError("timeline model has no layers")
+        self.model = model
+        self.layer_gap = layer_gap
+
+    def _layer_rows(self) -> list[tuple[str, float, float]]:
+        """(metric, top, height) of each stacked layer."""
+        count = len(self.model.layers)
+        gap_total = self.layer_gap * (count - 1)
+        layer_height = (self.plot_height - gap_total) / count
+        if layer_height <= 5:
+            raise RenderError("timeline is too short for its layer count")
+        rows = []
+        for index, metric in enumerate(self.model.layers):
+            top = self.margins.top + index * (layer_height + self.layer_gap)
+            rows.append((metric, top, layer_height))
+        return rows
+
+    def _draw(self, doc: SVGDocument) -> None:
+        t0, t1 = self.model.time_extent()
+        x_scale = TimeScale((t0, t1), (self.margins.left,
+                                       self.margins.left + self.plot_width))
+
+        for index, (metric, top, layer_height) in enumerate(self._layer_rows()):
+            series = self.model.layers[metric]
+            y_scale = LinearScale((0.0, 100.0), (top + layer_height, top))
+            color = categorical_color(index).to_hex()
+            layer = doc.add(group(cls=f"timeline-layer timeline-{metric}"))
+            layer.add(rect(self.margins.left, top, self.plot_width, layer_height,
+                           fill="#f8f9fa", stroke="#dee2e6"))
+            if len(series) >= 2:
+                points = [(x_scale(t), y_scale(v)) for t, v in series]
+                path = polyline_path(points, stroke=color, stroke_width=1.4,
+                                     cls="timeline-line")
+                path.set("data-metric", metric)
+                layer.add(path)
+            layer.add(left_axis(y_scale, self.margins.left, tick_count=2,
+                                tick_formatter=format_percent))
+            layer.add(text(self.margins.left + self.plot_width - 4, top + 12,
+                           metric.upper(), size=10, fill=color, anchor="end",
+                           weight="bold"))
+
+        bottom = self.margins.top + self.plot_height
+        doc.add(bottom_axis(x_scale, bottom, label="time since trace start",
+                            tick_formatter=format_seconds))
+
+        if self.model.brush is not None:
+            b0, b1 = self.model.brush
+            x0, x1 = x_scale(x_scale.clamp(b0)), x_scale(x_scale.clamp(b1))
+            brush = rect(min(x0, x1), self.margins.top, abs(x1 - x0),
+                         self.plot_height, fill="#74c0fc", opacity=0.2,
+                         cls="brush-region")
+            brush.set("data-start", f"{b0:.0f}")
+            brush.set("data-end", f"{b1:.0f}")
+            doc.add(brush)
+
+        if self.model.selected_timestamp is not None:
+            x = x_scale(x_scale.clamp(self.model.selected_timestamp))
+            doc.add(vertical_annotation(
+                x, self.margins.top, bottom, color="#364fc7",
+                label=f"t={format_seconds(self.model.selected_timestamp)}",
+                cls="annotation annotation-cursor"))

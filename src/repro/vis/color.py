@@ -1,0 +1,158 @@
+"""Colours, colour interpolation and the BatchLens colour scales.
+
+The paper encodes machine utilisation with a continuous ramp from calm
+(green) through warning (yellow/orange) to saturated (red) — the legend of
+Fig. 1 ("0 %, 50 %, 100 %").  Jobs and tasks get categorical colours in the
+line charts so per-task line clusters and their end-annotation lines share a
+hue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RenderError
+
+
+@dataclass(frozen=True)
+class Color:
+    """An RGB colour with float components in [0, 1]."""
+
+    r: float
+    g: float
+    b: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("r", self.r), ("g", self.g), ("b", self.b)):
+            if not 0.0 <= value <= 1.0:
+                raise RenderError(f"colour component {name}={value} outside [0, 1]")
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_hex(cls, text: str) -> "Color":
+        """Parse ``#rgb`` or ``#rrggbb`` hex notation."""
+        value = text.strip().lstrip("#")
+        if len(value) == 3:
+            value = "".join(ch * 2 for ch in value)
+        if len(value) != 6:
+            raise RenderError(f"invalid hex colour: {text!r}")
+        try:
+            r = int(value[0:2], 16) / 255.0
+            g = int(value[2:4], 16) / 255.0
+            b = int(value[4:6], 16) / 255.0
+        except ValueError as exc:
+            raise RenderError(f"invalid hex colour: {text!r}") from exc
+        return cls(r, g, b)
+
+    @classmethod
+    def from_bytes(cls, r: int, g: int, b: int) -> "Color":
+        """Build from 0-255 integer components."""
+        return cls(r / 255.0, g / 255.0, b / 255.0)
+
+    # -- conversions ---------------------------------------------------------
+    def to_hex(self) -> str:
+        """Render as ``#rrggbb``."""
+        return "#{:02x}{:02x}{:02x}".format(
+            round(self.r * 255), round(self.g * 255), round(self.b * 255))
+
+    def with_alpha(self, alpha: float) -> str:
+        """Render as an ``rgba(...)`` CSS string."""
+        if not 0.0 <= alpha <= 1.0:
+            raise RenderError(f"alpha {alpha} outside [0, 1]")
+        return (f"rgba({round(self.r * 255)},{round(self.g * 255)},"
+                f"{round(self.b * 255)},{alpha:g})")
+
+    def luminance(self) -> float:
+        """Relative luminance (used to pick readable label colours)."""
+        return 0.2126 * self.r + 0.7152 * self.g + 0.0722 * self.b
+
+    def readable_text_color(self) -> "Color":
+        """Black or white, whichever contrasts better with this colour."""
+        return Color(0, 0, 0) if self.luminance() > 0.5 else Color(1, 1, 1)
+
+    def lighten(self, amount: float) -> "Color":
+        """Blend toward white by ``amount`` in [0, 1]."""
+        return lerp(self, Color(1, 1, 1), amount)
+
+    def darken(self, amount: float) -> "Color":
+        """Blend toward black by ``amount`` in [0, 1]."""
+        return lerp(self, Color(0, 0, 0), amount)
+
+
+def lerp(a: Color, b: Color, t: float) -> Color:
+    """Linear interpolation between two colours, ``t`` clamped to [0, 1]."""
+    t = min(1.0, max(0.0, t))
+    return Color(a.r + (b.r - a.r) * t,
+                 a.g + (b.g - a.g) * t,
+                 a.b + (b.b - a.b) * t)
+
+
+class LinearColormap:
+    """A piecewise-linear colour ramp over [0, 1] defined by colour stops."""
+
+    def __init__(self, stops: list[tuple[float, Color]]) -> None:
+        if len(stops) < 2:
+            raise RenderError("a colormap needs at least two stops")
+        ordered = sorted(stops, key=lambda s: s[0])
+        positions = [p for p, _ in ordered]
+        if positions[0] != 0.0 or positions[-1] != 1.0:
+            raise RenderError("colormap stops must start at 0 and end at 1")
+        if any(b <= a for a, b in zip(positions, positions[1:])):
+            raise RenderError("colormap stop positions must be strictly increasing")
+        self._stops = ordered
+
+    def __call__(self, t: float) -> Color:
+        """Colour at position ``t`` (clamped into [0, 1])."""
+        t = min(1.0, max(0.0, float(t)))
+        for (p0, c0), (p1, c1) in zip(self._stops, self._stops[1:]):
+            if t <= p1:
+                span = p1 - p0
+                local = 0.0 if span == 0 else (t - p0) / span
+                return lerp(c0, c1, local)
+        return self._stops[-1][1]
+
+    def sample(self, count: int) -> list[Color]:
+        """Evenly-spaced colours along the ramp (for legends)."""
+        if count < 2:
+            raise RenderError("sample count must be at least 2")
+        return [self(i / (count - 1)) for i in range(count)]
+
+
+#: The utilisation ramp of Fig. 1: green (idle) → yellow (busy) → red (saturated).
+UTILISATION_CMAP = LinearColormap([
+    (0.0, Color.from_hex("#2f9e44")),
+    (0.35, Color.from_hex("#94d82d")),
+    (0.55, Color.from_hex("#ffd43b")),
+    (0.75, Color.from_hex("#ff922b")),
+    (1.0, Color.from_hex("#e03131")),
+])
+
+
+def utilisation_color(value: float, *, vmin: float = 0.0,
+                      vmax: float = 100.0) -> Color:
+    """Map a utilisation percentage onto the Fig. 1 colour ramp."""
+    if vmax <= vmin:
+        raise RenderError(f"invalid colour domain [{vmin}, {vmax}]")
+    return UTILISATION_CMAP((value - vmin) / (vmax - vmin))
+
+
+#: Categorical palette for tasks / jobs (10 well-separated hues).
+CATEGORICAL_PALETTE: tuple[Color, ...] = tuple(
+    Color.from_hex(code) for code in (
+        "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+        "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+    )
+)
+
+
+def categorical_color(index: int) -> Color:
+    """Colour for the ``index``-th category (wraps around the palette)."""
+    return CATEGORICAL_PALETTE[index % len(CATEGORICAL_PALETTE)]
+
+
+#: Structural colours used by the bubble chart (Fig. 1 dotted outlines).
+JOB_OUTLINE = Color.from_hex("#1c7ed6")       # blue dotted circles = jobs
+TASK_OUTLINE = Color.from_hex("#9c36b5")      # purple dotted circles = tasks
+START_ANNOTATION = Color.from_hex("#2f9e44")  # green start lines (Fig. 2)
+LINK_COLORS: tuple[Color, ...] = tuple(
+    Color.from_hex(code) for code in ("#2f9e44", "#f76707", "#9c36b5"))

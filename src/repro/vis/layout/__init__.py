@@ -1,0 +1,21 @@
+"""Layout algorithms: circle packing, grid / treemap alternatives, axes."""
+
+from repro.vis.layout.axes import bottom_axis, left_axis, vertical_annotation
+from repro.vis.layout.circlepack import PackNode, pack, pack_siblings, smallest_enclosing_circle
+from repro.vis.layout.grid import grid_pack, layout_extent
+from repro.vis.layout.treemap import Rect, leaf_area_fraction, treemap
+
+__all__ = [
+    "PackNode",
+    "Rect",
+    "bottom_axis",
+    "grid_pack",
+    "layout_extent",
+    "leaf_area_fraction",
+    "left_axis",
+    "pack",
+    "pack_siblings",
+    "smallest_enclosing_circle",
+    "treemap",
+    "vertical_annotation",
+]

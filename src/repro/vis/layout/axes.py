@@ -1,0 +1,63 @@
+"""Axis rendering: ticks, labels, gridlines and axis titles."""
+
+from __future__ import annotations
+
+from repro.vis.scale import LinearScale
+from repro.vis.svg import Element, group, line, text
+
+
+def bottom_axis(scale: LinearScale, y: float, *, tick_count: int = 6,
+                label: str | None = None, tick_formatter=None,
+                color: str = "#444") -> Element:
+    """A horizontal axis drawn at pixel row ``y``."""
+    axis = group(cls="axis axis-x")
+    x0, x1 = scale.range
+    axis.add(line(min(x0, x1), y, max(x0, x1), y, stroke=color))
+    for tick in scale.ticks(tick_count, formatter=tick_formatter):
+        axis.add(line(tick.position, y, tick.position, y + 5, stroke=color))
+        axis.add(text(tick.position, y + 17, tick.label, size=10,
+                      fill=color, anchor="middle"))
+    if label:
+        axis.add(text((x0 + x1) / 2, y + 32, label, size=11, fill=color,
+                      anchor="middle", weight="bold"))
+    return axis
+
+
+def left_axis(scale: LinearScale, x: float, *, tick_count: int = 5,
+              label: str | None = None, tick_formatter=None,
+              grid_to: float | None = None, color: str = "#444") -> Element:
+    """A vertical axis drawn at pixel column ``x``.
+
+    With ``grid_to`` set, faint horizontal gridlines are drawn from the axis
+    to that x position (the right edge of the plot area).
+    """
+    axis = group(cls="axis axis-y")
+    y0, y1 = scale.range
+    axis.add(line(x, min(y0, y1), x, max(y0, y1), stroke=color))
+    for tick in scale.ticks(tick_count, formatter=tick_formatter):
+        axis.add(line(x - 5, tick.position, x, tick.position, stroke=color))
+        axis.add(text(x - 8, tick.position + 3, tick.label, size=10,
+                      fill=color, anchor="end"))
+        if grid_to is not None:
+            axis.add(line(x, tick.position, grid_to, tick.position,
+                          stroke="#ddd", stroke_width=0.5))
+    if label:
+        title = text(0, 0, label, size=11, fill=color, anchor="middle",
+                     weight="bold")
+        mid_y = (y0 + y1) / 2
+        title.set("transform", f"translate({x - 38:.1f},{mid_y:.1f}) rotate(-90)")
+        axis.add(title)
+    return axis
+
+
+def vertical_annotation(x: float, y_top: float, y_bottom: float, *,
+                        color: str, label: str | None = None,
+                        dashed: bool = True, cls: str = "annotation") -> Element:
+    """A vertical annotation line (job start / end markers of Fig. 2)."""
+    annotation = group(cls=cls)
+    annotation.add(line(x, y_top, x, y_bottom, stroke=color, stroke_width=1.4,
+                        dashed=dashed, opacity=0.9))
+    if label:
+        tag = text(x + 3, y_top + 10, label, size=9, fill=color)
+        annotation.add(tag)
+    return annotation

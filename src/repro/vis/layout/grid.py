@@ -1,0 +1,99 @@
+"""Grid layout fallback for the batch hierarchy.
+
+DESIGN.md's layout ablation compares the paper's circle packing against two
+simpler layouts.  This one is the cheapest possible: jobs occupy cells of a
+regular grid, tasks split each job cell into vertical bands, and compute
+nodes fill their task band as a mini-grid of equal circles.  It loses the
+area-encodes-size property of circle packing but is O(n) and trivially
+stable, which is exactly the trade-off the ablation benchmark measures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import LayoutError
+from repro.vis.layout.circlepack import PackNode
+
+
+def _grid_dimensions(count: int, aspect: float = 1.0) -> tuple[int, int]:
+    """(columns, rows) of the smallest grid holding ``count`` cells."""
+    if count <= 0:
+        raise LayoutError("cannot lay out an empty collection")
+    columns = max(1, math.ceil(math.sqrt(count * aspect)))
+    rows = math.ceil(count / columns)
+    return columns, rows
+
+
+def _fill_cell_with_leaves(leaves: list[PackNode], x0: float, y0: float,
+                           width: float, height: float, padding: float) -> None:
+    """Place leaf circles on a regular mini-grid inside one rectangle."""
+    columns, rows = _grid_dimensions(len(leaves), aspect=width / max(height, 1e-9))
+    cell_w = width / columns
+    cell_h = height / rows
+    radius = max(0.5, min(cell_w, cell_h) / 2.0 - padding / 2.0)
+    for index, leaf in enumerate(leaves):
+        row, col = divmod(index, columns)
+        leaf.x = x0 + col * cell_w + cell_w / 2.0
+        leaf.y = y0 + row * cell_h + cell_h / 2.0
+        leaf.r = radius
+
+
+def grid_pack(root: PackNode, *, width: float, height: float,
+              padding: float = 4.0) -> PackNode:
+    """Assign positions to a job → task → node tree on a regular grid.
+
+    The same :class:`PackNode` tree circle packing consumes is used, so the
+    bubble chart can swap layouts without changing its model.  Internal
+    nodes receive the centre and the inscribed radius of their rectangle.
+    """
+    if width <= 0 or height <= 0:
+        raise LayoutError("grid layout needs a positive extent")
+    if padding < 0:
+        raise LayoutError("padding must be non-negative")
+    jobs = root.children if root.children else [root]
+    columns, rows = _grid_dimensions(len(jobs), aspect=width / height)
+    cell_w = width / columns
+    cell_h = height / rows
+
+    root.x, root.y = width / 2.0, height / 2.0
+    root.r = min(width, height) / 2.0
+    root.depth = 0
+
+    for job_index, job in enumerate(jobs):
+        row, col = divmod(job_index, columns)
+        jx0 = col * cell_w + padding
+        jy0 = row * cell_h + padding
+        jw = max(1e-6, cell_w - 2 * padding)
+        jh = max(1e-6, cell_h - 2 * padding)
+        job.x = jx0 + jw / 2.0
+        job.y = jy0 + jh / 2.0
+        job.r = min(jw, jh) / 2.0
+        job.depth = 1
+
+        tasks = job.children if job.children else []
+        if not tasks:
+            continue
+        band_w = jw / len(tasks)
+        for task_index, task in enumerate(tasks):
+            tx0 = jx0 + task_index * band_w
+            tw = max(1e-6, band_w - padding)
+            task.x = tx0 + tw / 2.0
+            task.y = job.y
+            task.r = min(tw, jh) / 2.0
+            task.depth = 2
+            leaves = task.children if task.children else []
+            for leaf in leaves:
+                leaf.depth = 3
+            if leaves:
+                _fill_cell_with_leaves(leaves, tx0, jy0, tw, jh, padding)
+    return root
+
+
+def layout_extent(root: PackNode) -> tuple[float, float, float, float]:
+    """Bounding box ``(min_x, min_y, max_x, max_y)`` of every laid-out circle."""
+    nodes = list(root.iter())
+    if not nodes:
+        raise LayoutError("cannot measure an empty layout")
+    return (min(n.x - n.r for n in nodes), min(n.y - n.r for n in nodes),
+            max(n.x + n.r for n in nodes), max(n.y + n.r for n in nodes))

@@ -1,0 +1,171 @@
+"""Squarified treemap layout for the batch hierarchy.
+
+The second alternative of DESIGN.md's layout ablation: jobs, tasks and
+nodes become nested rectangles whose areas are proportional to instance
+counts (Bruls, Huizing & van Wijk, "Squarified treemaps").  Treemaps use
+the display area more densely than circle packing but lose the visual
+containment cue of nested circles; the ablation benchmark reports both the
+layout cost and the fraction of area actually used by leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.vis.layout.circlepack import PackNode
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, other: "Rect", *, epsilon: float = 1e-6) -> bool:
+        return (other.x >= self.x - epsilon
+                and other.y >= self.y - epsilon
+                and other.x + other.width <= self.x + self.width + epsilon
+                and other.y + other.height <= self.y + self.height + epsilon)
+
+    def overlaps(self, other: "Rect", *, epsilon: float = 1e-6) -> bool:
+        return not (other.x >= self.x + self.width - epsilon
+                    or other.x + other.width <= self.x + epsilon
+                    or other.y >= self.y + self.height - epsilon
+                    or other.y + other.height <= self.y + epsilon)
+
+
+def _node_weight(node: PackNode) -> float:
+    if node.is_leaf:
+        return max(node.value, 1e-9)
+    return sum(_node_weight(child) for child in node.children)
+
+
+def _worst_aspect(row_weights: list[float], side: float, scale: float) -> float:
+    """Worst aspect ratio of a row of items laid along a side of length ``side``."""
+    total = sum(row_weights) * scale
+    if total <= 0 or side <= 0:
+        return float("inf")
+    thickness = total / side
+    worst = 1.0
+    for weight in row_weights:
+        length = weight * scale / thickness
+        if length <= 0:
+            return float("inf")
+        worst = max(worst, thickness / length, length / thickness)
+    return worst
+
+
+def _squarify(weights: list[float], rect: Rect) -> list[Rect]:
+    """Split ``rect`` into one sub-rectangle per weight, squarified."""
+    if not weights:
+        return []
+    total = sum(weights)
+    if total <= 0:
+        raise LayoutError("treemap weights must sum to a positive value")
+    scale = rect.area / total
+
+    rects: list[Rect] = []
+    remaining = rect
+    row: list[float] = []
+    index = 0
+    while index < len(weights):
+        side = min(remaining.width, remaining.height)
+        candidate = row + [weights[index]]
+        if not row or (_worst_aspect(candidate, side, scale)
+                       <= _worst_aspect(row, side, scale)):
+            row = candidate
+            index += 1
+            continue
+        rects.extend(_layout_row(row, remaining, scale))
+        remaining = _shrink(remaining, row, scale)
+        row = []
+    if row:
+        rects.extend(_layout_row(row, remaining, scale))
+    return rects
+
+
+def _layout_row(row: list[float], rect: Rect, scale: float) -> list[Rect]:
+    total = sum(row) * scale
+    out: list[Rect] = []
+    if rect.width >= rect.height:
+        # lay the row as a vertical strip on the left edge
+        strip_width = total / rect.height if rect.height > 0 else 0.0
+        y = rect.y
+        for weight in row:
+            height = (weight * scale / strip_width) if strip_width > 0 else 0.0
+            out.append(Rect(rect.x, y, strip_width, height))
+            y += height
+    else:
+        strip_height = total / rect.width if rect.width > 0 else 0.0
+        x = rect.x
+        for weight in row:
+            width = (weight * scale / strip_height) if strip_height > 0 else 0.0
+            out.append(Rect(x, rect.y, width, strip_height))
+            x += width
+    return out
+
+
+def _shrink(rect: Rect, row: list[float], scale: float) -> Rect:
+    total = sum(row) * scale
+    if rect.width >= rect.height:
+        strip_width = total / rect.height if rect.height > 0 else 0.0
+        return Rect(rect.x + strip_width, rect.y,
+                    max(0.0, rect.width - strip_width), rect.height)
+    strip_height = total / rect.width if rect.width > 0 else 0.0
+    return Rect(rect.x, rect.y + strip_height,
+                rect.width, max(0.0, rect.height - strip_height))
+
+
+def treemap(root: PackNode, *, width: float, height: float,
+            padding: float = 2.0) -> dict[str, Rect]:
+    """Compute nested rectangles for every node of the hierarchy.
+
+    Returns a mapping from node id to its rectangle; the root spans the full
+    extent.  Node ids must therefore be unique within the tree.  The
+    :class:`PackNode` positions are also updated (circle inscribed in the
+    rectangle) so chart code written against the packing API keeps working.
+    """
+    if width <= 0 or height <= 0:
+        raise LayoutError("treemap needs a positive extent")
+    if padding < 0:
+        raise LayoutError("padding must be non-negative")
+    ids = [node.id for node in root.iter()]
+    if len(ids) != len(set(ids)):
+        raise LayoutError("treemap requires unique node ids")
+
+    rects: dict[str, Rect] = {}
+
+    def place(node: PackNode, rect: Rect, depth: int) -> None:
+        rects[node.id] = rect
+        node.x = rect.x + rect.width / 2.0
+        node.y = rect.y + rect.height / 2.0
+        node.r = min(rect.width, rect.height) / 2.0
+        node.depth = depth
+        if node.is_leaf:
+            return
+        inner = Rect(rect.x + padding, rect.y + padding,
+                     max(1e-9, rect.width - 2 * padding),
+                     max(1e-9, rect.height - 2 * padding))
+        weights = [_node_weight(child) for child in node.children]
+        for child, child_rect in zip(node.children, _squarify(weights, inner)):
+            place(child, child_rect, depth + 1)
+
+    place(root, Rect(0.0, 0.0, float(width), float(height)), 0)
+    return rects
+
+
+def leaf_area_fraction(root: PackNode, rects: dict[str, Rect]) -> float:
+    """Fraction of the root area covered by leaf rectangles (density metric)."""
+    root_rect = rects[root.id]
+    if root_rect.area <= 0:
+        return 0.0
+    leaf_area = sum(rects[leaf.id].area for leaf in root.leaves() if leaf.id in rects)
+    return leaf_area / root_rect.area

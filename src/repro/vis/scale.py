@@ -1,0 +1,167 @@
+"""Scales: mapping data coordinates onto pixel coordinates.
+
+Axes in the line charts and the timeline use :class:`LinearScale` with
+"nice" tick values; the small-multiple layouts use :class:`BandScale`.
+Time axes format seconds-since-trace-start as ``H:MM:SS`` labels, matching
+how the paper labels timestamps (e.g. 47400, 46200 ... are shown both raw
+and as clock offsets).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import RenderError
+
+
+@dataclass(frozen=True)
+class Tick:
+    """One axis tick: data value, pixel position and label."""
+
+    value: float
+    position: float
+    label: str
+
+
+class LinearScale:
+    """An affine map from a data domain onto a pixel range."""
+
+    def __init__(self, domain: tuple[float, float],
+                 range_: tuple[float, float]) -> None:
+        d0, d1 = float(domain[0]), float(domain[1])
+        if d0 == d1:
+            # degenerate domain: widen it slightly so the scale stays usable
+            d0 -= 0.5
+            d1 += 0.5
+        self._d0, self._d1 = d0, d1
+        self._r0, self._r1 = float(range_[0]), float(range_[1])
+
+    @property
+    def domain(self) -> tuple[float, float]:
+        return (self._d0, self._d1)
+
+    @property
+    def range(self) -> tuple[float, float]:
+        return (self._r0, self._r1)
+
+    def __call__(self, value: float) -> float:
+        t = (float(value) - self._d0) / (self._d1 - self._d0)
+        return self._r0 + t * (self._r1 - self._r0)
+
+    def invert(self, position: float) -> float:
+        """Map a pixel position back to a data value."""
+        if self._r1 == self._r0:
+            raise RenderError("cannot invert a zero-width range")
+        t = (float(position) - self._r0) / (self._r1 - self._r0)
+        return self._d0 + t * (self._d1 - self._d0)
+
+    def clamp(self, value: float) -> float:
+        """Clamp a data value into the domain."""
+        lo, hi = sorted((self._d0, self._d1))
+        return min(hi, max(lo, float(value)))
+
+    # -- ticks ------------------------------------------------------------------
+    def ticks(self, count: int = 5,
+              formatter=None) -> list[Tick]:
+        """Roughly ``count`` ticks at nice (1/2/5 × 10^k) data values."""
+        if count < 2:
+            raise RenderError("tick count must be at least 2")
+        lo, hi = sorted((self._d0, self._d1))
+        step = nice_step(hi - lo, count)
+        first = math.ceil(lo / step) * step
+        values: list[float] = []
+        value = first
+        while value <= hi + 1e-9:
+            values.append(round(value, 10))
+            value += step
+        fmt = formatter if formatter is not None else format_number
+        return [Tick(v, self(v), fmt(v)) for v in values]
+
+
+def nice_step(span: float, count: int) -> float:
+    """A step size of the form 1/2/5 × 10^k producing about ``count`` steps."""
+    if span <= 0:
+        return 1.0
+    raw = span / max(1, count)
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    residual = raw / magnitude
+    if residual < 1.5:
+        factor = 1.0
+    elif residual < 3.5:
+        factor = 2.0
+    elif residual < 7.5:
+        factor = 5.0
+    else:
+        factor = 10.0
+    return factor * magnitude
+
+
+def format_number(value: float) -> str:
+    """Compact numeric label (drops trailing ``.0``, adds thousands separator)."""
+    if abs(value - round(value)) < 1e-9:
+        return f"{int(round(value)):,}"
+    return f"{value:g}"
+
+
+def format_seconds(value: float) -> str:
+    """Format seconds since trace start as ``H:MM:SS``."""
+    total = int(round(value))
+    sign = "-" if total < 0 else ""
+    total = abs(total)
+    hours, remainder = divmod(total, 3600)
+    minutes, seconds = divmod(remainder, 60)
+    return f"{sign}{hours}:{minutes:02d}:{seconds:02d}"
+
+
+def format_percent(value: float) -> str:
+    """Format a utilisation value as a percentage label."""
+    return f"{value:.0f}%"
+
+
+class TimeScale(LinearScale):
+    """A linear scale whose ticks are formatted as clock offsets."""
+
+    def ticks(self, count: int = 5, formatter=None) -> list[Tick]:
+        fmt = formatter if formatter is not None else format_seconds
+        return super().ticks(count, formatter=fmt)
+
+
+class BandScale:
+    """Maps discrete categories onto evenly-spaced bands of a pixel range."""
+
+    def __init__(self, categories: Sequence[str], range_: tuple[float, float],
+                 *, padding: float = 0.1) -> None:
+        if not categories:
+            raise RenderError("band scale needs at least one category")
+        if not 0.0 <= padding < 1.0:
+            raise RenderError("padding must be within [0, 1)")
+        self._categories = list(categories)
+        self._r0, self._r1 = float(range_[0]), float(range_[1])
+        self._padding = padding
+        count = len(self._categories)
+        step = (self._r1 - self._r0) / count
+        self._step = step
+        self._bandwidth = step * (1.0 - padding)
+        self._index = {cat: i for i, cat in enumerate(self._categories)}
+
+    @property
+    def categories(self) -> list[str]:
+        return list(self._categories)
+
+    @property
+    def bandwidth(self) -> float:
+        return abs(self._bandwidth)
+
+    def __call__(self, category: str) -> float:
+        """Left edge (or top edge) of the category's band."""
+        try:
+            index = self._index[category]
+        except KeyError:
+            raise RenderError(f"unknown category {category!r}") from None
+        return self._r0 + index * self._step + self._step * self._padding / 2.0
+
+    def center(self, category: str) -> float:
+        """Centre of the category's band."""
+        return self(category) + self._bandwidth / 2.0

@@ -1,0 +1,271 @@
+"""A tiny SVG document model.
+
+The chart code builds an element tree with the helpers below and renders it
+to standalone SVG markup (optionally embedded into the HTML dashboard).
+Keeping the model explicit — rather than string concatenation inside chart
+code — makes the charts testable: tests can walk the tree and assert on
+structure instead of regex-matching markup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.errors import RenderError
+
+
+def _format_value(value) -> str:
+    """Format an attribute value, trimming float noise."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Element:
+    """One SVG element with attributes, children and optional text."""
+
+    tag: str
+    attrib: dict[str, str] = field(default_factory=dict)
+    children: list["Element"] = field(default_factory=list)
+    text: str | None = None
+
+    def set(self, key: str, value) -> "Element":
+        """Set one attribute, returning ``self`` for chaining."""
+        self.attrib[key] = _format_value(value)
+        return self
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        return self.attrib.get(key, default)
+
+    def add(self, child: "Element") -> "Element":
+        """Append a child element and return the child."""
+        self.children.append(child)
+        return child
+
+    def extend(self, children: list["Element"]) -> "Element":
+        self.children.extend(children)
+        return self
+
+    # -- queries (used by tests and interaction wiring) -----------------------
+    def iter(self, tag: str | None = None) -> Iterator["Element"]:
+        """Depth-first iteration over this element and its descendants."""
+        if tag is None or self.tag == tag:
+            yield self
+        for child in self.children:
+            yield from child.iter(tag)
+
+    def find_all(self, tag: str, **attrs: str) -> list["Element"]:
+        """All descendants with the given tag and attribute values."""
+        out = []
+        for element in self.iter(tag):
+            if all(element.attrib.get(k.replace("_", "-")) == v
+                   for k, v in attrs.items()):
+                out.append(element)
+        return out
+
+    # -- rendering -------------------------------------------------------------
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        attrs = "".join(
+            f" {key}={quoteattr(value)}" for key, value in self.attrib.items())
+        if not self.children and self.text is None:
+            return f"{pad}<{self.tag}{attrs}/>"
+        parts = [f"{pad}<{self.tag}{attrs}>"]
+        if self.text is not None:
+            parts[0] += escape(self.text)
+        if self.children:
+            for child in self.children:
+                parts.append(child.render(indent + 1))
+            parts.append(f"{pad}</{self.tag}>")
+        else:
+            parts[0] += f"</{self.tag}>"
+        return "\n".join(parts)
+
+
+# -- element helpers ------------------------------------------------------------
+def group(*, cls: str | None = None, transform: str | None = None,
+          **attrs) -> Element:
+    """A ``<g>`` container."""
+    element = Element("g")
+    if cls:
+        element.set("class", cls)
+    if transform:
+        element.set("transform", transform)
+    for key, value in attrs.items():
+        element.set(key.replace("_", "-"), value)
+    return element
+
+
+def circle(cx: float, cy: float, r: float, *, fill: str = "none",
+           stroke: str | None = None, stroke_width: float = 1.0,
+           dashed: bool = False, opacity: float | None = None,
+           cls: str | None = None, **attrs) -> Element:
+    """A ``<circle>``."""
+    if r < 0:
+        raise RenderError(f"circle radius must be non-negative, got {r}")
+    element = Element("circle")
+    element.set("cx", cx).set("cy", cy).set("r", r).set("fill", fill)
+    if stroke is not None:
+        element.set("stroke", stroke).set("stroke-width", stroke_width)
+    if dashed:
+        element.set("stroke-dasharray", "4 3")
+    if opacity is not None:
+        element.set("opacity", opacity)
+    if cls:
+        element.set("class", cls)
+    for key, value in attrs.items():
+        element.set(key.replace("_", "-"), value)
+    return element
+
+
+def rect(x: float, y: float, width: float, height: float, *,
+         fill: str = "none", stroke: str | None = None,
+         opacity: float | None = None, rx: float | None = None,
+         cls: str | None = None, **attrs) -> Element:
+    """A ``<rect>``."""
+    if width < 0 or height < 0:
+        raise RenderError("rect width/height must be non-negative")
+    element = Element("rect")
+    element.set("x", x).set("y", y).set("width", width).set("height", height)
+    element.set("fill", fill)
+    if stroke is not None:
+        element.set("stroke", stroke)
+    if opacity is not None:
+        element.set("opacity", opacity)
+    if rx is not None:
+        element.set("rx", rx)
+    if cls:
+        element.set("class", cls)
+    for key, value in attrs.items():
+        element.set(key.replace("_", "-"), value)
+    return element
+
+
+def line(x1: float, y1: float, x2: float, y2: float, *, stroke: str = "#333",
+         stroke_width: float = 1.0, dashed: bool = False,
+         opacity: float | None = None, cls: str | None = None, **attrs) -> Element:
+    """A ``<line>``."""
+    element = Element("line")
+    element.set("x1", x1).set("y1", y1).set("x2", x2).set("y2", y2)
+    element.set("stroke", stroke).set("stroke-width", stroke_width)
+    if dashed:
+        element.set("stroke-dasharray", "5 4")
+    if opacity is not None:
+        element.set("opacity", opacity)
+    if cls:
+        element.set("class", cls)
+    for key, value in attrs.items():
+        element.set(key.replace("_", "-"), value)
+    return element
+
+
+def text(x: float, y: float, content: str, *, size: float = 11.0,
+         fill: str = "#222", anchor: str = "start", weight: str = "normal",
+         cls: str | None = None, **attrs) -> Element:
+    """A ``<text>`` label."""
+    element = Element("text", text=content)
+    element.set("x", x).set("y", y).set("font-size", size).set("fill", fill)
+    element.set("text-anchor", anchor).set("font-weight", weight)
+    element.set("font-family", "Helvetica, Arial, sans-serif")
+    if cls:
+        element.set("class", cls)
+    for key, value in attrs.items():
+        element.set(key.replace("_", "-"), value)
+    return element
+
+
+def title(content: str) -> Element:
+    """A ``<title>`` child (renders as a native browser tooltip)."""
+    return Element("title", text=content)
+
+
+class PathBuilder:
+    """Incremental builder for ``d`` attributes of ``<path>`` elements."""
+
+    def __init__(self) -> None:
+        self._parts: list[str] = []
+
+    def move_to(self, x: float, y: float) -> "PathBuilder":
+        self._parts.append(f"M {x:.2f} {y:.2f}")
+        return self
+
+    def line_to(self, x: float, y: float) -> "PathBuilder":
+        self._parts.append(f"L {x:.2f} {y:.2f}")
+        return self
+
+    def close(self) -> "PathBuilder":
+        self._parts.append("Z")
+        return self
+
+    def build(self) -> str:
+        if not self._parts:
+            raise RenderError("path has no segments")
+        return " ".join(self._parts)
+
+
+def polyline_path(points: list[tuple[float, float]], *, stroke: str,
+                  stroke_width: float = 1.5, opacity: float | None = None,
+                  cls: str | None = None, **attrs) -> Element:
+    """An open ``<path>`` through the given points (used for line charts)."""
+    if len(points) < 2:
+        raise RenderError("a polyline needs at least two points")
+    builder = PathBuilder()
+    builder.move_to(*points[0])
+    for point in points[1:]:
+        builder.line_to(*point)
+    element = Element("path")
+    element.set("d", builder.build()).set("fill", "none")
+    element.set("stroke", stroke).set("stroke-width", stroke_width)
+    if opacity is not None:
+        element.set("opacity", opacity)
+    if cls:
+        element.set("class", cls)
+    for key, value in attrs.items():
+        element.set(key.replace("_", "-"), value)
+    return element
+
+
+class SVGDocument:
+    """A top-level ``<svg>`` document."""
+
+    def __init__(self, width: float, height: float, *,
+                 background: str | None = "#ffffff") -> None:
+        if width <= 0 or height <= 0:
+            raise RenderError("document dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.root = Element("svg", {
+            "xmlns": "http://www.w3.org/2000/svg",
+            "width": _format_value(float(width)),
+            "height": _format_value(float(height)),
+            "viewBox": f"0 0 {_format_value(float(width))} "
+                       f"{_format_value(float(height))}",
+        })
+        if background is not None:
+            self.root.add(rect(0, 0, width, height, fill=background,
+                               cls="background"))
+
+    def add(self, element: Element) -> Element:
+        return self.root.add(element)
+
+    def iter(self, tag: str | None = None) -> Iterator[Element]:
+        return self.root.iter(tag)
+
+    def render(self) -> str:
+        """Render the full document as SVG markup."""
+        return self.root.render()
+
+    def save(self, path) -> None:
+        """Write the SVG markup to ``path``."""
+        from pathlib import Path
+
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.render(), encoding="utf-8")

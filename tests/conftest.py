@@ -1,0 +1,80 @@
+"""Shared fixtures: small, fast trace bundles for every scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.app.batchlens import BatchLens
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.config import ClusterConfig, TraceConfig, UsageConfig, WorkloadConfig
+from repro.metrics.series import TimeSeries
+from repro.trace.synthetic import generate_trace
+
+
+def fast_config(scenario: str = "healthy", seed: int = 11, *,
+                num_machines: int = 12, num_jobs: int = 10,
+                horizon_s: int = 2 * 3600, resolution_s: int = 120) -> TraceConfig:
+    """A configuration small enough for sub-second generation in tests."""
+    return TraceConfig(
+        cluster=ClusterConfig(num_machines=num_machines),
+        workload=WorkloadConfig(num_jobs=num_jobs, max_instances=6),
+        usage=UsageConfig(resolution_s=resolution_s),
+        horizon_s=horizon_s,
+        scenario=scenario,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def healthy_bundle():
+    return generate_trace(fast_config("healthy", seed=11))
+
+
+@pytest.fixture(scope="session")
+def hotjob_bundle():
+    return generate_trace(fast_config("hotjob", seed=12))
+
+
+@pytest.fixture(scope="session")
+def thrashing_bundle():
+    return generate_trace(fast_config("thrashing", seed=13))
+
+
+@pytest.fixture(scope="session")
+def healthy_hierarchy(healthy_bundle):
+    return BatchHierarchy.from_bundle(healthy_bundle)
+
+
+@pytest.fixture(scope="session")
+def hotjob_hierarchy(hotjob_bundle):
+    return BatchHierarchy.from_bundle(hotjob_bundle)
+
+
+@pytest.fixture(scope="session")
+def healthy_lens(healthy_bundle):
+    return BatchLens.from_bundle(healthy_bundle)
+
+
+@pytest.fixture(scope="session")
+def hotjob_lens(hotjob_bundle):
+    return BatchLens.from_bundle(hotjob_bundle)
+
+
+@pytest.fixture(scope="session")
+def thrashing_lens(thrashing_bundle):
+    return BatchLens.from_bundle(thrashing_bundle)
+
+
+@pytest.fixture()
+def simple_series() -> TimeSeries:
+    """A small deterministic series used across metric-layer tests."""
+    timestamps = np.arange(0, 600, 60, dtype=float)
+    values = np.array([10, 12, 14, 40, 90, 85, 30, 20, 15, 12], dtype=float)
+    return TimeSeries(timestamps, values)
+
+
+def mid_timestamp(bundle) -> float:
+    """Middle of a bundle's time extent (helper used by many tests)."""
+    start, end = bundle.time_range()
+    return (start + end) / 2.0

@@ -1,0 +1,87 @@
+"""Tests for load-balance scoring."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.balance import (
+    balance_report,
+    cluster_balance,
+    imbalance_over_time,
+    outlier_machines,
+)
+from repro.metrics.store import MetricStore
+
+
+def balanced_store() -> MetricStore:
+    store = MetricStore([f"m{i}" for i in range(10)], np.array([0.0, 100.0]))
+    for i in range(10):
+        store.set_series(f"m{i}", "cpu", [30.0 + (i % 3), 31.0])
+        store.set_series(f"m{i}", "mem", [40.0, 40.0])
+    return store
+
+
+def imbalanced_store() -> MetricStore:
+    store = MetricStore([f"m{i}" for i in range(10)], np.array([0.0, 100.0]))
+    for i in range(10):
+        level = 5.0 if i < 8 else 95.0
+        store.set_series(f"m{i}", "cpu", [level, level])
+        store.set_series(f"m{i}", "mem", [level, level])
+    return store
+
+
+class TestBalanceReport:
+    def test_balanced_cluster(self):
+        report = balance_report(balanced_store(), "cpu", 0)
+        assert report.balanced
+        assert report.cv < 0.1
+        assert report.gini < 0.05
+        assert report.mean == pytest.approx(31.0, abs=1.0)
+
+    def test_imbalanced_cluster(self):
+        report = balance_report(imbalanced_store(), "cpu", 0)
+        assert not report.balanced
+        assert report.cv > 0.5
+        assert report.spread > 80.0
+
+    def test_cluster_balance_covers_all_metrics(self):
+        reports = cluster_balance(balanced_store(), 0)
+        assert set(reports) == {"cpu", "mem", "disk"}
+
+    def test_generated_scenarios_are_balanced(self, healthy_bundle, hotjob_bundle):
+        for bundle in (healthy_bundle, hotjob_bundle):
+            start, end = bundle.time_range()
+            report = balance_report(bundle.usage, "cpu", (start + end) / 2)
+            # the least-loaded scheduler keeps the colour field uniform
+            assert report.cv < 0.5
+
+
+class TestImbalanceOverTime:
+    def test_length_matches_samples(self):
+        store = balanced_store()
+        series = imbalance_over_time(store, "cpu")
+        assert len(series) == store.num_samples
+        assert all(cv >= 0 for _, cv in series)
+
+    def test_imbalanced_store_scores_higher(self):
+        balanced = imbalance_over_time(balanced_store(), "cpu")
+        imbalanced = imbalance_over_time(imbalanced_store(), "cpu")
+        assert imbalanced[0][1] > balanced[0][1]
+
+
+class TestOutlierMachines:
+    def test_finds_the_hot_machines(self):
+        outliers = outlier_machines(imbalanced_store(), "cpu", 0, z_threshold=1.5)
+        ids = {machine_id for machine_id, _ in outliers}
+        assert ids == {"m8", "m9"}
+        assert all(z > 0 for _, z in outliers)
+
+    def test_no_outliers_on_constant_field(self):
+        store = MetricStore(["a", "b"], np.array([0.0]))
+        store.set_series("a", "cpu", [50.0])
+        store.set_series("b", "cpu", [50.0])
+        assert outlier_machines(store, "cpu", 0) == []
+
+    def test_sorted_by_magnitude(self):
+        outliers = outlier_machines(imbalanced_store(), "cpu", 0, z_threshold=0.1)
+        magnitudes = [abs(z) for _, z in outliers]
+        assert magnitudes == sorted(magnitudes, reverse=True)

@@ -1,0 +1,198 @@
+"""Tests for change-point detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.changepoint import (
+    ChangePoint,
+    cusum_changepoints,
+    detect_changepoints,
+    level_shifts,
+    segment_means,
+)
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+
+
+def step_series(n=60, step_at=30, low=20.0, high=80.0, resolution=60.0):
+    """A clean step from ``low`` to ``high`` at sample ``step_at``."""
+    timestamps = np.arange(n) * resolution
+    values = np.where(np.arange(n) < step_at, low, high)
+    return TimeSeries(timestamps, values.astype(float))
+
+
+def flat_series(n=60, level=40.0):
+    return TimeSeries(np.arange(n) * 60.0, np.full(n, level))
+
+
+class TestBinarySegmentation:
+    def test_single_step_found(self):
+        series = step_series()
+        points = detect_changepoints(series)
+        assert len(points) == 1
+        point = points[0]
+        assert point.index == 30
+        assert point.timestamp == pytest.approx(30 * 60.0)
+        assert point.shift == pytest.approx(60.0)
+        assert point.direction == "up"
+
+    def test_downward_step_direction(self):
+        series = step_series(low=90.0, high=15.0)
+        points = detect_changepoints(series)
+        assert len(points) == 1
+        assert points[0].direction == "down"
+        assert points[0].shift == pytest.approx(-75.0)
+
+    def test_flat_series_has_no_changepoints(self):
+        assert detect_changepoints(flat_series()) == []
+
+    def test_two_steps_found_in_order(self):
+        timestamps = np.arange(90) * 60.0
+        values = np.concatenate([np.full(30, 20.0), np.full(30, 70.0),
+                                 np.full(30, 35.0)])
+        points = detect_changepoints(TimeSeries(timestamps, values))
+        assert [p.index for p in points] == [30, 60]
+        assert points[0].direction == "up"
+        assert points[1].direction == "down"
+
+    def test_max_changepoints_respected(self):
+        timestamps = np.arange(120) * 60.0
+        values = np.concatenate([np.full(30, v) for v in (10.0, 60.0, 20.0, 80.0)])
+        points = detect_changepoints(TimeSeries(timestamps, values),
+                                     max_changepoints=2)
+        assert len(points) == 2
+
+    def test_min_gain_filters_small_shifts(self):
+        series = step_series(low=40.0, high=44.0)
+        assert detect_changepoints(series, min_gain=500.0) == []
+
+    def test_short_series_returns_empty(self):
+        assert detect_changepoints(TimeSeries([0.0, 60.0], [1.0, 2.0])) == []
+
+    def test_invalid_parameters_rejected(self):
+        series = step_series()
+        with pytest.raises(SeriesError):
+            detect_changepoints(series, max_changepoints=0)
+        with pytest.raises(SeriesError):
+            detect_changepoints(series, min_segment=0)
+
+    def test_noisy_step_still_found(self):
+        rng = np.random.default_rng(3)
+        n, step_at = 80, 40
+        values = np.where(np.arange(n) < step_at, 25.0, 75.0)
+        values = values + rng.normal(0, 2.0, n)
+        series = TimeSeries(np.arange(n) * 60.0, values)
+        points = detect_changepoints(series, max_changepoints=1)
+        assert len(points) == 1
+        assert abs(points[0].index - step_at) <= 2
+
+
+class TestCusum:
+    def test_detects_upward_shift(self):
+        series = step_series()
+        points = cusum_changepoints(series, threshold=30.0, drift=1.0)
+        assert points
+        assert points[0].index >= 30
+        assert points[0].shift > 0
+
+    def test_detects_downward_shift(self):
+        series = step_series(low=85.0, high=20.0)
+        points = cusum_changepoints(series, threshold=30.0, drift=1.0)
+        assert points
+        assert points[0].shift < 0
+
+    def test_flat_series_quiet(self):
+        assert cusum_changepoints(flat_series(), threshold=20.0) == []
+
+    def test_restarts_after_detection(self):
+        timestamps = np.arange(90) * 60.0
+        values = np.concatenate([np.full(30, 20.0), np.full(30, 70.0),
+                                 np.full(30, 20.0)])
+        points = cusum_changepoints(TimeSeries(timestamps, values),
+                                    threshold=30.0, drift=1.0)
+        assert len(points) >= 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SeriesError):
+            cusum_changepoints(flat_series(), threshold=0.0)
+        with pytest.raises(SeriesError):
+            cusum_changepoints(flat_series(), drift=-1.0)
+
+    def test_empty_and_single_sample(self):
+        assert cusum_changepoints(TimeSeries.empty()) == []
+        assert cusum_changepoints(TimeSeries([0.0], [50.0])) == []
+
+
+class TestSegmentMeans:
+    def test_segments_cover_series(self):
+        series = step_series()
+        points = detect_changepoints(series)
+        segments = segment_means(series, points)
+        assert len(segments) == 2
+        assert segments[0][2] == pytest.approx(20.0)
+        assert segments[1][2] == pytest.approx(80.0)
+        assert segments[0][0] == series.start
+        assert segments[-1][1] == series.end
+
+    def test_no_changepoints_single_segment(self):
+        series = flat_series(level=33.0)
+        segments = segment_means(series, [])
+        assert len(segments) == 1
+        assert segments[0][2] == pytest.approx(33.0)
+
+    def test_empty_series(self):
+        assert segment_means(TimeSeries.empty(), []) == []
+
+
+class TestLevelShifts:
+    def test_large_shift_reported(self):
+        shifts = level_shifts(step_series(), min_shift=30.0)
+        assert len(shifts) == 1
+        assert abs(shifts[0].shift) >= 30.0
+
+    def test_small_shift_suppressed(self):
+        shifts = level_shifts(step_series(low=40.0, high=50.0), min_shift=30.0)
+        assert shifts == []
+
+    def test_invalid_min_shift(self):
+        with pytest.raises(SeriesError):
+            level_shifts(flat_series(), min_shift=0.0)
+
+
+class TestChangepointProperties:
+    @given(step_at=st.integers(min_value=5, max_value=55),
+           low=st.floats(min_value=0.0, max_value=30.0),
+           jump=st.floats(min_value=25.0, max_value=70.0))
+    @settings(max_examples=30, deadline=None)
+    def test_step_location_recovered(self, step_at, low, jump):
+        series = step_series(n=60, step_at=step_at, low=low, high=low + jump)
+        points = detect_changepoints(series, max_changepoints=1)
+        assert len(points) == 1
+        assert points[0].index == step_at
+
+    @given(level=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_constant_series_never_flags(self, level):
+        series = flat_series(level=level)
+        assert detect_changepoints(series) == []
+        assert cusum_changepoints(series, threshold=10.0, drift=0.5) == []
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=10, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_changepoints_sorted_and_within_range(self, values):
+        series = TimeSeries(np.arange(len(values)) * 60.0, values)
+        points = detect_changepoints(series)
+        indices = [p.index for p in points]
+        assert indices == sorted(indices)
+        assert all(0 < i < len(values) for i in indices)
+        segments = segment_means(series, points)
+        assert sum(1 for _ in segments) == len(points) + 1
+
+
+class TestChangePointDataclass:
+    def test_direction_up_for_zero_shift(self):
+        point = ChangePoint(timestamp=0.0, index=1, shift=0.0, score=1.0)
+        assert point.direction == "up"

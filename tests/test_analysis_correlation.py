@@ -1,0 +1,115 @@
+"""Tests for co-allocation and correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    coallocation_edges,
+    coallocation_matrix,
+    correlation_matrix,
+    job_synchronisation,
+    pearson,
+)
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+from repro.metrics.store import MetricStore
+from repro.trace.records import BatchInstanceRecord, BatchTaskRecord, TraceBundle
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        a = TimeSeries([0, 1, 2, 3], [1, 2, 3, 4])
+        b = TimeSeries([0, 1, 2, 3], [2, 4, 6, 8])
+        assert pearson(a, b) == pytest.approx(1.0)
+
+    def test_anti_correlation(self):
+        a = TimeSeries([0, 1, 2, 3], [1, 2, 3, 4])
+        b = TimeSeries([0, 1, 2, 3], [4, 3, 2, 1])
+        assert pearson(a, b) == pytest.approx(-1.0)
+
+    def test_constant_series_gives_zero(self):
+        a = TimeSeries([0, 1, 2], [5, 5, 5])
+        b = TimeSeries([0, 1, 2], [1, 2, 3])
+        assert pearson(a, b) == 0.0
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(SeriesError):
+            pearson(TimeSeries([0, 1], [1, 2]), TimeSeries([0, 2], [1, 2]))
+
+
+class TestCorrelationMatrix:
+    def test_shape_and_diagonal(self):
+        series = [TimeSeries([0, 1, 2], [1, 2, 3]),
+                  TimeSeries([0, 1, 2], [3, 2, 1]),
+                  TimeSeries([0, 1, 2], [1, 3, 2])]
+        matrix = correlation_matrix(series)
+        assert matrix.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+
+class TestJobSynchronisation:
+    def test_synchronised_machines(self):
+        store = MetricStore(["a", "b", "c"], np.arange(0, 600, 60, dtype=float))
+        base = np.sin(np.linspace(0, 3, 10)) * 20 + 50
+        for mid in ("a", "b", "c"):
+            store.set_series(mid, "cpu", base + np.random.default_rng(0).normal(0, 0.1, 10))
+        assert job_synchronisation(store, ["a", "b", "c"]) > 0.9
+
+    def test_unsynchronised_machines(self):
+        store = MetricStore(["a", "b"], np.arange(0, 600, 60, dtype=float))
+        store.set_series("a", "cpu", np.linspace(0, 100, 10))
+        store.set_series("b", "cpu", np.linspace(100, 0, 10))
+        assert job_synchronisation(store, ["a", "b"]) < -0.9
+
+    def test_single_machine_is_trivially_synchronised(self):
+        store = MetricStore(["a"], np.array([0.0, 1.0]))
+        assert job_synchronisation(store, ["a"]) == 1.0
+
+    def test_hot_job_is_synchronised_in_generated_trace(self, hotjob_bundle):
+        hot_id = hotjob_bundle.meta["hot_job_id"]
+        machines = hotjob_bundle.machines_of_job(hot_id)
+        instances = hotjob_bundle.instances_of_job(hot_id)
+        window = (min(i.start_timestamp for i in instances),
+                  max(i.end_timestamp for i in instances))
+        sync = job_synchronisation(hotjob_bundle.usage, machines, window=window)
+        assert sync > 0.3
+
+
+def coallocation_bundle() -> TraceBundle:
+    tasks = [BatchTaskRecord(0, 100, "j1", "t", 2, "Terminated"),
+             BatchTaskRecord(0, 100, "j2", "t", 2, "Terminated"),
+             BatchTaskRecord(200, 300, "j3", "t", 1, "Terminated")]
+    instances = [
+        BatchInstanceRecord(0, 100, "j1", "t", "m1", "Terminated", 1, 2),
+        BatchInstanceRecord(0, 100, "j1", "t", "m2", "Terminated", 2, 2),
+        BatchInstanceRecord(0, 100, "j2", "t", "m1", "Terminated", 1, 2),
+        BatchInstanceRecord(0, 100, "j2", "t", "m2", "Terminated", 2, 2),
+        BatchInstanceRecord(200, 300, "j3", "t", "m1", "Terminated", 1, 1),
+    ]
+    return TraceBundle(tasks=tasks, instances=instances)
+
+
+class TestCoAllocation:
+    def test_edges_weighted_by_shared_machines(self):
+        hierarchy = BatchHierarchy.from_bundle(coallocation_bundle())
+        edges = coallocation_edges(hierarchy)
+        assert edges[0].job_a == "j1" and edges[0].job_b == "j2"
+        assert edges[0].weight == 2
+        pairs = {(e.job_a, e.job_b) for e in edges}
+        assert ("j1", "j3") in pairs  # share m1 across time
+
+    def test_timestamp_restriction(self):
+        hierarchy = BatchHierarchy.from_bundle(coallocation_bundle())
+        edges = coallocation_edges(hierarchy, timestamp=50)
+        pairs = {(e.job_a, e.job_b) for e in edges}
+        assert pairs == {("j1", "j2")}
+
+    def test_matrix_symmetry(self):
+        hierarchy = BatchHierarchy.from_bundle(coallocation_bundle())
+        job_ids, matrix = coallocation_matrix(hierarchy)
+        assert matrix.shape == (3, 3)
+        np.testing.assert_array_equal(matrix, matrix.T)
+        i, j = job_ids.index("j1"), job_ids.index("j2")
+        assert matrix[i, j] == 2

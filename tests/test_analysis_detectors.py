@@ -1,0 +1,131 @@
+"""Tests for the metric-based anomaly detectors."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.detectors import (
+    AnomalyEvent,
+    EwmaDetector,
+    RollingZScoreDetector,
+    ThresholdDetector,
+    detect_all,
+    merge_events,
+)
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+
+
+def flat_with_spike(level=20.0, spike=95.0, n=50, spike_at=30, width=3) -> TimeSeries:
+    values = np.full(n, level)
+    values[spike_at:spike_at + width] = spike
+    return TimeSeries(np.arange(n) * 60.0, values)
+
+
+class TestThresholdDetector:
+    def test_detects_interval_above_threshold(self):
+        events = ThresholdDetector(90.0).detect(flat_with_spike(), subject="m1")
+        assert len(events) == 1
+        event = events[0]
+        assert event.start == 30 * 60.0
+        assert event.end == 32 * 60.0
+        assert event.subject == "m1"
+        assert event.kind == "threshold"
+
+    def test_no_events_below_threshold(self):
+        events = ThresholdDetector(99.0).detect(flat_with_spike(spike=95))
+        assert events == []
+
+    def test_min_duration_filter(self):
+        detector = ThresholdDetector(90.0, min_duration_s=600)
+        assert detector.detect(flat_with_spike(width=2)) == []
+
+    def test_event_reaching_series_end(self):
+        values = np.concatenate([np.full(10, 10.0), np.full(5, 99.0)])
+        series = TimeSeries(np.arange(15) * 60.0, values)
+        events = ThresholdDetector(90.0).detect(series)
+        assert len(events) == 1
+        assert events[0].end == series.end
+
+    def test_invalid_threshold(self):
+        with pytest.raises(SeriesError):
+            ThresholdDetector(0.0)
+        with pytest.raises(SeriesError):
+            ThresholdDetector(150.0)
+
+    def test_empty_series(self):
+        assert ThresholdDetector().detect(TimeSeries.empty()) == []
+
+
+class TestRollingZScore:
+    def test_detects_level_shift(self):
+        events = RollingZScoreDetector(window=8, z_threshold=2.5).detect(
+            flat_with_spike(), subject="m2")
+        assert len(events) >= 1
+        assert any(e.start <= 30 * 60.0 <= e.end + 120 for e in events)
+
+    def test_quiet_series_has_no_events(self):
+        rng = np.random.default_rng(0)
+        series = TimeSeries(np.arange(100) * 60.0, 20 + rng.normal(0, 0.5, 100))
+        assert RollingZScoreDetector(window=10, z_threshold=4.0).detect(series) == []
+
+    def test_short_series_returns_nothing(self):
+        assert RollingZScoreDetector(window=10).detect(
+            TimeSeries([0, 1], [1, 2])) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SeriesError):
+            RollingZScoreDetector(window=1)
+        with pytest.raises(SeriesError):
+            RollingZScoreDetector(z_threshold=0)
+
+
+class TestEwmaDetector:
+    def test_detects_jump(self):
+        events = EwmaDetector(alpha=0.3, deviation_threshold=30.0).detect(
+            flat_with_spike())
+        assert len(events) >= 1
+
+    def test_slow_drift_not_flagged(self):
+        series = TimeSeries(np.arange(100) * 60.0, np.linspace(10, 30, 100))
+        assert EwmaDetector(alpha=0.3, deviation_threshold=10.0).detect(series) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SeriesError):
+            EwmaDetector(alpha=0.0)
+        with pytest.raises(SeriesError):
+            EwmaDetector(deviation_threshold=-1)
+
+
+class TestDetectAllAndMerge:
+    def test_detect_all_pools_detectors(self):
+        events = detect_all(flat_with_spike(), metric="cpu", subject="m")
+        kinds = {e.kind for e in events}
+        assert "threshold" in kinds
+        assert len(events) >= 2
+        assert events == sorted(events, key=lambda e: (e.start, e.kind))
+
+    def test_merge_overlapping_events(self):
+        events = [
+            AnomalyEvent(0, 100, "cpu", "m1", "threshold", 1.0),
+            AnomalyEvent(50, 200, "cpu", "m1", "zscore", 2.0),
+            AnomalyEvent(500, 600, "cpu", "m1", "threshold", 3.0),
+            AnomalyEvent(0, 100, "cpu", "m2", "threshold", 1.0),
+        ]
+        merged = merge_events(events)
+        m1_events = [e for e in merged if e.subject == "m1"]
+        assert len(m1_events) == 2
+        assert m1_events[0].end == 200
+        assert m1_events[0].score == 2.0
+
+    def test_merge_with_gap_tolerance(self):
+        events = [AnomalyEvent(0, 100, "cpu", "m", "t", 1.0),
+                  AnomalyEvent(150, 300, "cpu", "m", "t", 1.0)]
+        assert len(merge_events(events)) == 2
+        assert len(merge_events(events, gap_s=60)) == 1
+
+    def test_event_overlap_helper(self):
+        event = AnomalyEvent(100, 200, "cpu", "m", "t", 1.0)
+        assert event.overlaps(150, 400)
+        assert event.overlaps(0, 100)
+        assert not event.overlaps(201, 400)
+        assert event.duration == 100

@@ -1,0 +1,152 @@
+"""Tests for the detector ensemble and detection-quality evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.detectors import EwmaDetector, RollingZScoreDetector, ThresholdDetector
+from repro.analysis.ensemble import (
+    EnsembleDetector,
+    evaluate_events,
+    evaluate_machine_sets,
+    flag_machines,
+    score_detectors,
+)
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+
+
+def spike_series(n=60, spike_at=30, spike_len=6, base=30.0, peak=97.0):
+    timestamps = np.arange(n) * 60.0
+    values = np.full(n, base)
+    values[spike_at:spike_at + spike_len] = peak
+    return TimeSeries(timestamps, values)
+
+
+class TestEnsembleDetector:
+    def test_obvious_spike_detected(self):
+        series = spike_series()
+        events = EnsembleDetector(min_votes=2).detect(series, subject="m1")
+        assert events
+        assert events[0].kind == "ensemble"
+        assert events[0].subject == "m1"
+        assert events[0].start >= 29 * 60.0
+
+    def test_flat_series_quiet(self):
+        series = TimeSeries(np.arange(40) * 60.0, np.full(40, 40.0))
+        assert EnsembleDetector().detect(series) == []
+
+    def test_unanimous_vote_stricter_than_single(self):
+        series = spike_series(peak=88.0)  # below the 90% threshold detector
+        lenient = EnsembleDetector(min_votes=1).detect(series)
+        strict = EnsembleDetector(min_votes=3).detect(series)
+        assert len(strict) <= len(lenient)
+
+    def test_custom_members(self):
+        members = [ThresholdDetector(85.0), ThresholdDetector(95.0)]
+        events = EnsembleDetector(members, min_votes=2).detect(spike_series())
+        assert events
+
+    def test_invalid_configuration(self):
+        with pytest.raises(SeriesError):
+            EnsembleDetector([], min_votes=1)
+        with pytest.raises(SeriesError):
+            EnsembleDetector([ThresholdDetector()], min_votes=2)
+        with pytest.raises(SeriesError):
+            EnsembleDetector(min_votes=0)
+
+    def test_empty_series(self):
+        assert EnsembleDetector().detect(TimeSeries.empty()) == []
+
+
+class TestEvaluateMachineSets:
+    def test_perfect_prediction(self):
+        result = evaluate_machine_sets({"a", "b"}, {"a", "b"})
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.f1 == pytest.approx(1.0)
+
+    def test_partial_prediction(self):
+        result = evaluate_machine_sets({"a", "c"}, {"a", "b"})
+        assert result.precision == pytest.approx(0.5)
+        assert result.recall == pytest.approx(0.5)
+        assert result.true_positives == 1
+        assert result.false_positives == 1
+        assert result.false_negatives == 1
+
+    def test_empty_prediction_with_truth(self):
+        result = evaluate_machine_sets(set(), {"a"})
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert result.f1 == 0.0
+
+    def test_empty_prediction_and_truth(self):
+        result = evaluate_machine_sets(set(), set())
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+
+    @given(predicted=st.sets(st.sampled_from("abcdefgh")),
+           truth=st.sets(st.sampled_from("abcdefgh")))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_are_consistent(self, predicted, truth):
+        result = evaluate_machine_sets(predicted, truth)
+        assert result.true_positives + result.false_positives == len(predicted)
+        assert result.true_positives + result.false_negatives == len(truth)
+        assert 0.0 <= result.precision <= 1.0
+        assert 0.0 <= result.recall <= 1.0
+        assert 0.0 <= result.f1 <= 1.0
+
+
+class TestEvaluateEvents:
+    def test_exact_event_scores_perfectly(self):
+        series = spike_series()
+        detector = ThresholdDetector(90.0)
+        events = detector.detect(series)
+        truth = (events[0].start, events[0].end)
+        result = evaluate_events(events, truth, series)
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+
+    def test_missed_window_scores_zero_recall(self):
+        series = spike_series()
+        result = evaluate_events([], (series.start, series.start + 300.0), series)
+        assert result.recall == 0.0
+
+    def test_invalid_window_rejected(self):
+        series = spike_series()
+        with pytest.raises(SeriesError):
+            evaluate_events([], (100.0, 0.0), series)
+
+    def test_empty_series(self):
+        result = evaluate_events([], (0.0, 10.0), TimeSeries.empty())
+        assert result.true_positives == 0
+
+
+class TestStoreLevelScoring:
+    def test_flag_machines_on_thrashing_scenario(self, thrashing_bundle):
+        store = thrashing_bundle.usage
+        truth = set(thrashing_bundle.meta["thrashing"]["machines"])
+        flagged = flag_machines(store, ThresholdDetector(90.0), metric="mem")
+        assert flagged & truth, "threshold on mem should hit some thrashing machines"
+
+    def test_score_detectors_returns_all_names(self, thrashing_bundle):
+        store = thrashing_bundle.usage
+        truth = set(thrashing_bundle.meta["thrashing"]["machines"])
+        results = score_detectors(
+            store,
+            {"threshold": ThresholdDetector(90.0),
+             "zscore": RollingZScoreDetector(window=8),
+             "ewma": EwmaDetector(deviation_threshold=20.0),
+             "ensemble": EnsembleDetector(min_votes=2)},
+            truth, metric="mem")
+        assert set(results) == {"threshold", "zscore", "ewma", "ensemble"}
+        assert all(0.0 <= r.recall <= 1.0 for r in results.values())
+
+    def test_window_restriction_reduces_or_keeps_flags(self, thrashing_bundle):
+        store = thrashing_bundle.usage
+        window = tuple(thrashing_bundle.meta["thrashing"]["window"])
+        all_flags = flag_machines(store, ThresholdDetector(85.0), metric="mem")
+        windowed = flag_machines(store, ThresholdDetector(85.0), metric="mem",
+                                 window=window)
+        assert windowed <= all_flags

@@ -1,0 +1,160 @@
+"""Tests for co-allocation interference analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.interference import (
+    InterferenceScore,
+    interference_report,
+    interference_score,
+    machine_pressure,
+    noisy_neighbours,
+)
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.metrics.store import MetricStore
+from repro.trace.records import BatchInstanceRecord, BatchTaskRecord, TraceBundle
+
+from tests.conftest import mid_timestamp
+
+
+def build_bundle_with_store(shared_util=90.0, exclusive_util=30.0):
+    """Two jobs overlapping on machine m_shared; each also has a private machine."""
+    rows = [
+        # job, task, machine, start, end
+        ("job_a", "t1", "m_shared", 0, 1200),
+        ("job_a", "t1", "m_a", 0, 1200),
+        ("job_b", "t1", "m_shared", 0, 1200),
+        ("job_b", "t1", "m_b", 0, 1200),
+    ]
+    instances = [
+        BatchInstanceRecord(start_timestamp=start, end_timestamp=end, job_id=job,
+                            task_id=task, machine_id=machine, status="Terminated",
+                            seq_no=i, total_seq_no=len(rows), cpu_avg=40.0)
+        for i, (job, task, machine, start, end) in enumerate(rows)]
+    tasks = [
+        BatchTaskRecord(create_timestamp=0, modify_timestamp=1200, job_id="job_a",
+                        task_id="t1", instance_num=2, status="Terminated"),
+        BatchTaskRecord(create_timestamp=0, modify_timestamp=1200, job_id="job_b",
+                        task_id="t1", instance_num=2, status="Terminated"),
+    ]
+    timestamps = np.arange(0, 1260, 60, dtype=float)
+    store = MetricStore(["m_shared", "m_a", "m_b"], timestamps)
+    n = len(timestamps)
+    store.set_series("m_shared", "cpu", np.full(n, shared_util))
+    store.set_series("m_a", "cpu", np.full(n, exclusive_util))
+    store.set_series("m_b", "cpu", np.full(n, exclusive_util))
+    bundle = TraceBundle(tasks=tasks, instances=instances, usage=store)
+    return bundle, store
+
+
+class TestInterferenceScore:
+    def test_shared_machine_scored(self):
+        bundle, store = build_bundle_with_store()
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        score = interference_score(hierarchy, store, "job_a", "job_b")
+        assert score is not None
+        assert score.shared_machines == ("m_shared",)
+        assert score.overlap_s == pytest.approx(1200.0)
+        assert score.shared_utilisation == pytest.approx(90.0, abs=1.0)
+        assert score.exclusive_utilisation == pytest.approx(30.0, abs=1.0)
+        assert score.delta == pytest.approx(60.0, abs=2.0)
+        assert score.interfering
+
+    def test_no_interference_when_shared_machine_is_cool(self):
+        bundle, store = build_bundle_with_store(shared_util=32.0, exclusive_util=30.0)
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        score = interference_score(hierarchy, store, "job_a", "job_b")
+        assert score is not None
+        assert not score.interfering
+
+    def test_none_when_jobs_do_not_share(self):
+        bundle, store = build_bundle_with_store()
+        # rebuild with disjoint machines
+        instances = [
+            BatchInstanceRecord(start_timestamp=0, end_timestamp=1200, job_id="job_a",
+                                task_id="t1", machine_id="m_a", status="Terminated",
+                                seq_no=0, total_seq_no=2),
+            BatchInstanceRecord(start_timestamp=0, end_timestamp=1200, job_id="job_b",
+                                task_id="t1", machine_id="m_b", status="Terminated",
+                                seq_no=0, total_seq_no=2),
+        ]
+        tasks = bundle.tasks
+        disjoint = TraceBundle(tasks=tasks, instances=instances, usage=store)
+        hierarchy = BatchHierarchy.from_bundle(disjoint)
+        assert interference_score(hierarchy, store, "job_a", "job_b") is None
+
+    def test_none_when_jobs_do_not_overlap_in_time(self):
+        instances = [
+            BatchInstanceRecord(start_timestamp=0, end_timestamp=600, job_id="job_a",
+                                task_id="t1", machine_id="m_shared", status="Terminated",
+                                seq_no=0, total_seq_no=2),
+            BatchInstanceRecord(start_timestamp=1200, end_timestamp=1800, job_id="job_b",
+                                task_id="t1", machine_id="m_shared", status="Terminated",
+                                seq_no=0, total_seq_no=2),
+        ]
+        tasks = [
+            BatchTaskRecord(create_timestamp=0, modify_timestamp=600, job_id="job_a",
+                            task_id="t1", instance_num=1, status="Terminated"),
+            BatchTaskRecord(create_timestamp=1200, modify_timestamp=1800, job_id="job_b",
+                            task_id="t1", instance_num=1, status="Terminated"),
+        ]
+        _, store = build_bundle_with_store()
+        bundle = TraceBundle(tasks=tasks, instances=instances, usage=store)
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        assert interference_score(hierarchy, store, "job_a", "job_b") is None
+
+
+class TestInterferenceReport:
+    def test_report_sorted_by_delta(self, hotjob_bundle):
+        hierarchy = BatchHierarchy.from_bundle(hotjob_bundle)
+        report = interference_report(hierarchy, hotjob_bundle.usage)
+        deltas = [score.delta for score in report]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_report_entries_reference_real_jobs(self, hotjob_bundle):
+        hierarchy = BatchHierarchy.from_bundle(hotjob_bundle)
+        job_ids = set(hierarchy.job_ids)
+        for score in interference_report(hierarchy, hotjob_bundle.usage):
+            assert score.job_a in job_ids
+            assert score.job_b in job_ids
+            assert score.shared_machines
+
+    def test_noisy_neighbours_filters_to_job(self):
+        bundle, store = build_bundle_with_store()
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        neighbours = noisy_neighbours(hierarchy, store, "job_a")
+        assert neighbours
+        assert all("job_a" in (s.job_a, s.job_b) for s in neighbours)
+
+    def test_noisy_neighbours_top_n(self):
+        bundle, store = build_bundle_with_store()
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        assert len(noisy_neighbours(hierarchy, store, "job_a", top_n=0)) == 0
+
+
+class TestMachinePressure:
+    def test_shared_machine_ranks_first(self):
+        bundle, store = build_bundle_with_store()
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        rows = machine_pressure(hierarchy, store, 600.0)
+        assert rows
+        top_machine, top_count, top_util = rows[0]
+        assert top_machine == "m_shared"
+        assert top_count == 2
+        assert top_util > 80.0
+
+    def test_counts_match_active_jobs(self, healthy_bundle):
+        hierarchy = BatchHierarchy.from_bundle(healthy_bundle)
+        timestamp = mid_timestamp(healthy_bundle)
+        rows = machine_pressure(hierarchy, healthy_bundle.usage, timestamp)
+        active_machines = set()
+        for job in hierarchy.jobs_at(timestamp):
+            active_machines.update(job.machine_ids())
+        assert {row[0] for row in rows} == active_machines
+
+    def test_interference_dataclass_delta(self):
+        score = InterferenceScore(job_a="a", job_b="b", shared_machines=("m",),
+                                  overlap_s=60.0, shared_utilisation=50.0,
+                                  exclusive_utilisation=45.0)
+        assert score.delta == pytest.approx(5.0)
+        assert not score.interfering

@@ -1,0 +1,86 @@
+"""Tests for cluster-regime classification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.patterns import (
+    Regime,
+    RegimeThresholds,
+    classify_regime,
+    regime_timeline,
+)
+from repro.metrics.store import MetricStore
+from tests.conftest import mid_timestamp
+
+
+def uniform_store(cpu: float, mem: float, machines: int = 8) -> MetricStore:
+    store = MetricStore([f"m{i}" for i in range(machines)], np.array([0.0, 100.0]))
+    for i in range(machines):
+        store.set_series(f"m{i}", "cpu", [cpu, cpu])
+        store.set_series(f"m{i}", "mem", [mem, mem])
+    return store
+
+
+class TestClassification:
+    def test_idle(self):
+        assert classify_regime(uniform_store(5, 8), 0).regime == Regime.IDLE
+
+    def test_healthy(self):
+        assessment = classify_regime(uniform_store(30, 35), 0)
+        assert assessment.regime == Regime.HEALTHY
+        assert assessment.mean_cpu == pytest.approx(30.0)
+
+    def test_busy(self):
+        assert classify_regime(uniform_store(60, 55), 0).regime == Regime.BUSY
+
+    def test_saturated_by_mean(self):
+        assert classify_regime(uniform_store(85, 80), 0).regime == Regime.SATURATED
+
+    def test_saturated_by_hot_machines(self):
+        store = uniform_store(40, 40, machines=10)
+        for i in range(3):
+            store.set_series(f"m{i}", "cpu", [96, 96])
+        assessment = classify_regime(store, 0)
+        assert assessment.regime == Regime.SATURATED
+        assert assessment.hot_machine_fraction == pytest.approx(0.3)
+
+    def test_custom_thresholds(self):
+        thresholds = RegimeThresholds(healthy_below=20.0, busy_below=40.0)
+        assert classify_regime(uniform_store(30, 10), 0,
+                               thresholds=thresholds).regime == Regime.BUSY
+
+    def test_summary_is_readable(self):
+        text = classify_regime(uniform_store(30, 35), 0).summary()
+        assert "healthy" in text
+        assert "mean CPU 30%" in text
+
+
+class TestScenarioClassification:
+    def test_healthy_scenario(self, healthy_bundle):
+        assessment = classify_regime(healthy_bundle.usage,
+                                     mid_timestamp(healthy_bundle))
+        assert assessment.regime in (Regime.HEALTHY, Regime.BUSY)
+
+    def test_hotjob_scenario_is_at_least_busy(self, hotjob_bundle):
+        assessment = classify_regime(hotjob_bundle.usage,
+                                     mid_timestamp(hotjob_bundle))
+        assert assessment.regime in (Regime.BUSY, Regime.SATURATED)
+
+    def test_thrashing_scenario_is_saturated_in_window(self, thrashing_bundle):
+        t0, t1 = thrashing_bundle.meta["thrashing"]["window"]
+        assessment = classify_regime(thrashing_bundle.usage, (t0 + t1) / 2)
+        assert assessment.regime == Regime.SATURATED
+
+    def test_ordering_of_scenarios(self, healthy_bundle, hotjob_bundle):
+        order = [Regime.IDLE, Regime.HEALTHY, Regime.BUSY, Regime.SATURATED]
+        healthy = classify_regime(healthy_bundle.usage, mid_timestamp(healthy_bundle))
+        hot = classify_regime(hotjob_bundle.usage, mid_timestamp(hotjob_bundle))
+        assert order.index(healthy.regime) <= order.index(hot.regime)
+
+
+class TestRegimeTimeline:
+    def test_timeline_length(self, healthy_bundle):
+        assessments = regime_timeline(healthy_bundle.usage, step=4)
+        expected = int(np.ceil(healthy_bundle.usage.num_samples / 4))
+        assert len(assessments) == expected
+        assert all(a.regime in Regime for a in assessments)

@@ -1,0 +1,91 @@
+"""Tests for root-cause candidate ranking."""
+
+import pytest
+
+from repro.analysis.rootcause import anomalous_machines_in_window, rank_root_causes
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.trace.records import BatchInstanceRecord, BatchTaskRecord, TraceBundle
+
+
+def scenario_bundle() -> TraceBundle:
+    """Job 'culprit' covers both anomalous machines during the window, with
+    high recorded CPU; job 'bystander' only touches one of them briefly."""
+    tasks = [BatchTaskRecord(0, 1000, "culprit", "t", 2, "Terminated"),
+             BatchTaskRecord(0, 1000, "bystander", "t", 1, "Terminated"),
+             BatchTaskRecord(0, 1000, "elsewhere", "t", 1, "Terminated")]
+    instances = [
+        BatchInstanceRecord(100, 900, "culprit", "t", "mA", "Terminated", 1, 2,
+                            cpu_avg=85.0, cpu_max=99.0),
+        BatchInstanceRecord(100, 900, "culprit", "t", "mB", "Terminated", 2, 2,
+                            cpu_avg=80.0, cpu_max=95.0),
+        BatchInstanceRecord(400, 500, "bystander", "t", "mA", "Terminated", 1, 1,
+                            cpu_avg=10.0, cpu_max=12.0),
+        BatchInstanceRecord(0, 1000, "elsewhere", "t", "mZ", "Terminated", 1, 1,
+                            cpu_avg=50.0, cpu_max=60.0),
+    ]
+    return TraceBundle(tasks=tasks, instances=instances)
+
+
+class TestRankRootCauses:
+    def test_culprit_ranked_first(self):
+        bundle = scenario_bundle()
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        candidates = rank_root_causes(bundle, hierarchy, ["mA", "mB"], (200, 800))
+        assert candidates
+        assert candidates[0].job_id == "culprit"
+        assert candidates[0].coverage == 1.0
+        assert candidates[0].temporal_overlap > 0.9
+        assert candidates[0].score > candidates[-1].score or len(candidates) == 1
+
+    def test_uninvolved_job_not_listed(self):
+        bundle = scenario_bundle()
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        candidates = rank_root_causes(bundle, hierarchy, ["mA", "mB"], (200, 800))
+        assert "elsewhere" not in {c.job_id for c in candidates}
+
+    def test_top_n_limits_results(self):
+        bundle = scenario_bundle()
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        candidates = rank_root_causes(bundle, hierarchy, ["mA"], (200, 800), top_n=1)
+        assert len(candidates) == 1
+
+    def test_empty_inputs(self):
+        bundle = scenario_bundle()
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        assert rank_root_causes(bundle, hierarchy, [], (0, 100)) == []
+        assert rank_root_causes(bundle, hierarchy, ["mA"], (100, 100)) == []
+
+    def test_explain_mentions_job(self):
+        bundle = scenario_bundle()
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        candidate = rank_root_causes(bundle, hierarchy, ["mA"], (200, 800))[0]
+        assert candidate.job_id in candidate.explain()
+
+
+class TestAnomalousMachines:
+    def test_threshold_selects_hot_machines(self, thrashing_bundle):
+        t0, t1 = thrashing_bundle.meta["thrashing"]["window"]
+        machines = anomalous_machines_in_window(
+            thrashing_bundle.usage, (t0, t1), metric="mem", threshold=80.0)
+        injected = set(thrashing_bundle.meta["thrashing"]["machines"])
+        assert machines, "expected at least one anomalous machine"
+        assert set(machines) & injected
+
+    def test_high_threshold_selects_none(self, healthy_bundle):
+        start, end = healthy_bundle.time_range()
+        machines = anomalous_machines_in_window(
+            healthy_bundle.usage, (start, end), metric="cpu", threshold=99.9)
+        assert machines == []
+
+
+class TestEndToEndRootCause:
+    def test_thrashing_root_cause_points_at_active_job(self, thrashing_bundle):
+        hierarchy = BatchHierarchy.from_bundle(thrashing_bundle)
+        t0, t1 = thrashing_bundle.meta["thrashing"]["window"]
+        machines = thrashing_bundle.meta["thrashing"]["machines"]
+        candidates = rank_root_causes(thrashing_bundle, hierarchy,
+                                      list(machines), (t0, t1))
+        assert candidates
+        active = set(thrashing_bundle.active_jobs((t0 + t1) / 2))
+        relaunch_window_jobs = set(thrashing_bundle.active_jobs(t1 + 1))
+        assert candidates[0].job_id in active | relaunch_window_jobs

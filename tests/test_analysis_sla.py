@@ -1,0 +1,170 @@
+"""Tests for SLA evaluation."""
+
+import pytest
+
+from repro.analysis.sla import (
+    SlaPolicy,
+    cluster_sla_report,
+    evaluate_job_sla,
+    jobs_at_risk,
+    summarize_sla,
+)
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.errors import ConfigError
+from repro.trace.records import BatchInstanceRecord, BatchTaskRecord, TraceBundle
+
+from tests.conftest import mid_timestamp
+
+
+def make_bundle(instance_rows, task_rows=None):
+    """Build a minimal bundle from simplified instance tuples."""
+    instances = [
+        BatchInstanceRecord(
+            start_timestamp=start, end_timestamp=end, job_id=job, task_id=task,
+            machine_id=machine, status=status, seq_no=i, total_seq_no=len(instance_rows),
+            cpu_avg=50.0)
+        for i, (job, task, machine, start, end, status) in enumerate(instance_rows)]
+    if task_rows is None:
+        seen = {}
+        for inst in instances:
+            key = (inst.job_id, inst.task_id)
+            seen.setdefault(key, []).append(inst)
+        task_rows = [
+            BatchTaskRecord(
+                create_timestamp=min(i.start_timestamp for i in group),
+                modify_timestamp=max(i.end_timestamp for i in group),
+                job_id=job, task_id=task, instance_num=len(group),
+                status="Terminated")
+            for (job, task), group in seen.items()]
+    return TraceBundle(tasks=task_rows, instances=instances)
+
+
+class TestSlaPolicy:
+    def test_default_policy_valid(self):
+        SlaPolicy().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_runtime_stretch": 0.5},
+        {"saturation_level": 0.0},
+        {"saturation_level": 150.0},
+        {"max_saturated_fraction": 1.5},
+        {"saturation_metrics": ()},
+    ])
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SlaPolicy(**kwargs).validate()
+
+
+class TestRuntimeStretch:
+    def test_uniform_instances_do_not_violate(self):
+        bundle = make_bundle([
+            ("j1", "t1", "m1", 0, 600, "Terminated"),
+            ("j1", "t1", "m2", 0, 620, "Terminated"),
+            ("j1", "t1", "m3", 0, 610, "Terminated"),
+        ])
+        report = evaluate_job_sla(bundle, "j1")
+        assert not report.violated
+        assert report.runtime_stretch < 1.2
+
+    def test_straggler_instance_violates(self):
+        bundle = make_bundle([
+            ("j1", "t1", "m1", 0, 600, "Terminated"),
+            ("j1", "t1", "m2", 0, 600, "Terminated"),
+            ("j1", "t1", "m3", 0, 3000, "Terminated"),
+        ])
+        report = evaluate_job_sla(bundle, "j1")
+        assert report.violated
+        kinds = {v.kind for v in report.violations}
+        assert "runtime-stretch" in kinds
+        assert report.runtime_stretch == pytest.approx(5.0)
+
+    def test_stretch_limit_tunable(self):
+        bundle = make_bundle([
+            ("j1", "t1", "m1", 0, 600, "Terminated"),
+            ("j1", "t1", "m2", 0, 600, "Terminated"),
+            ("j1", "t1", "m3", 0, 1500, "Terminated"),
+        ])
+        strict = evaluate_job_sla(bundle, "j1", policy=SlaPolicy(max_runtime_stretch=1.5))
+        lax = evaluate_job_sla(bundle, "j1", policy=SlaPolicy(max_runtime_stretch=4.0))
+        assert strict.violated
+        assert not lax.violated
+
+
+class TestIncompleteInstances:
+    def test_running_instance_flagged(self):
+        bundle = make_bundle([
+            ("j1", "t1", "m1", 0, 600, "Terminated"),
+            ("j1", "t1", "m2", 0, 600, "Running"),
+        ])
+        report = evaluate_job_sla(bundle, "j1")
+        assert report.incomplete_instances == 1
+        assert any(v.kind == "incomplete" for v in report.violations)
+
+    def test_all_terminated_clean(self):
+        bundle = make_bundle([
+            ("j1", "t1", "m1", 0, 600, "Terminated"),
+            ("j1", "t1", "m2", 0, 600, "Terminated"),
+        ])
+        report = evaluate_job_sla(bundle, "j1")
+        assert report.incomplete_instances == 0
+
+
+class TestHostSaturation:
+    def test_saturated_hosts_detected_on_thrashing_scenario(self, thrashing_bundle):
+        reports = cluster_sla_report(
+            thrashing_bundle,
+            policy=SlaPolicy(saturation_level=85.0, max_saturated_fraction=0.1))
+        assert reports
+        saturated = [r for r in reports.values()
+                     if any(v.kind == "host-saturation" for v in r.violations)]
+        assert saturated, "thrashing scenario should saturate at least one job's hosts"
+
+    def test_healthy_scenario_mostly_clean(self, healthy_bundle):
+        reports = cluster_sla_report(healthy_bundle)
+        violated = [r for r in reports.values()
+                    if any(v.kind == "host-saturation" for v in r.violations)]
+        assert len(violated) <= len(reports) // 4
+
+
+class TestClusterReportAndSummary:
+    def test_every_job_reported(self, healthy_bundle):
+        reports = cluster_sla_report(healthy_bundle)
+        assert set(reports) == set(healthy_bundle.job_ids())
+
+    def test_summary_counts_match(self):
+        bundle = make_bundle([
+            ("j1", "t1", "m1", 0, 600, "Terminated"),
+            ("j1", "t1", "m2", 0, 620, "Terminated"),
+            ("j1", "t1", "m4", 0, 3000, "Terminated"),
+            ("j2", "t1", "m3", 0, 600, "Running"),
+        ])
+        reports = cluster_sla_report(bundle)
+        summary = summarize_sla(reports)
+        assert summary.total_jobs == 2
+        assert summary.violated_jobs == 2
+        assert summary.violation_rate == pytest.approx(1.0)
+        assert summary.worst_job in {"j1", "j2"}
+        assert sum(summary.violations_by_kind.values()) >= 2
+
+    def test_summary_of_clean_reports(self):
+        bundle = make_bundle([
+            ("j1", "t1", "m1", 0, 600, "Terminated"),
+            ("j1", "t1", "m2", 0, 620, "Terminated"),
+        ])
+        summary = summarize_sla(cluster_sla_report(bundle))
+        assert summary.violated_jobs == 0
+        assert summary.violation_rate == 0.0
+        assert summary.worst_job is None
+
+
+class TestJobsAtRisk:
+    def test_active_jobs_ordered_violations_first(self, thrashing_bundle):
+        hierarchy = BatchHierarchy.from_bundle(thrashing_bundle)
+        timestamp = mid_timestamp(thrashing_bundle)
+        reports = jobs_at_risk(thrashing_bundle, hierarchy, timestamp,
+                               policy=SlaPolicy(saturation_level=80.0,
+                                                max_saturated_fraction=0.05))
+        active_ids = {job.job_id for job in hierarchy.jobs_at(timestamp)}
+        assert {r.job_id for r in reports} == active_ids
+        flags = [r.violated for r in reports]
+        assert flags == sorted(flags, reverse=True)

@@ -1,0 +1,110 @@
+"""Tests for spike/valley detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spikes import (
+    detect_spikes,
+    detect_valleys,
+    find_peaks,
+    largest_spike,
+    synchronized_spike,
+)
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+
+
+def spiky_series(spike_at=25, height=80.0, base=20.0, n=60) -> TimeSeries:
+    values = np.full(n, base)
+    values[spike_at - 2:spike_at + 3] = [base + height * f
+                                         for f in (0.3, 0.7, 1.0, 0.7, 0.3)]
+    return TimeSeries(np.arange(n) * 60.0, values)
+
+
+class TestFindPeaks:
+    def test_simple_peak(self):
+        peaks = find_peaks(np.array([0, 1, 5, 1, 0], dtype=float))
+        assert list(peaks) == [2]
+
+    def test_plateau_peak_reported_once(self):
+        peaks = find_peaks(np.array([0, 5, 5, 5, 0], dtype=float))
+        assert len(peaks) == 1
+
+    def test_monotone_series_has_no_peaks(self):
+        assert len(find_peaks(np.arange(10, dtype=float))) == 0
+
+    def test_too_short(self):
+        assert len(find_peaks(np.array([1.0, 2.0]))) == 0
+
+
+class TestDetectSpikes:
+    def test_detects_the_spike(self):
+        spikes = detect_spikes(spiky_series(), min_prominence=30, subject="m1")
+        assert len(spikes) == 1
+        spike = spikes[0]
+        assert spike.timestamp == 25 * 60.0
+        assert spike.value == pytest.approx(100.0)
+        assert spike.prominence >= 70.0
+        assert spike.subject == "m1"
+
+    def test_prominence_filters_noise(self):
+        rng = np.random.default_rng(1)
+        noisy = TimeSeries(np.arange(200) * 60.0, 20 + rng.normal(0, 2, 200))
+        assert detect_spikes(noisy, min_prominence=25) == []
+
+    def test_invalid_prominence(self):
+        with pytest.raises(SeriesError):
+            detect_spikes(spiky_series(), min_prominence=0)
+
+    def test_short_series(self):
+        assert detect_spikes(TimeSeries([0, 1], [1, 2])) == []
+
+
+class TestDetectValleys:
+    def test_detects_drop(self):
+        values = np.full(50, 60.0)
+        values[20:23] = 5.0
+        series = TimeSeries(np.arange(50) * 60.0, values)
+        valleys = detect_valleys(series, min_prominence=30)
+        assert len(valleys) == 1
+        assert valleys[0].kind == "valley"
+        assert valleys[0].value == pytest.approx(5.0)
+
+
+class TestLargestSpike:
+    def test_returns_most_prominent(self):
+        values = np.full(80, 10.0)
+        values[20] = 40.0
+        values[60] = 90.0
+        series = TimeSeries(np.arange(80) * 60.0, values)
+        spike = largest_spike(series)
+        assert spike is not None
+        assert spike.timestamp == 60 * 60.0
+
+    def test_none_when_flat(self):
+        assert largest_spike(TimeSeries.constant(np.arange(30), 5.0)) is None
+
+
+class TestSynchronizedSpike:
+    def test_synchronized_population(self):
+        series_list = [spiky_series(spike_at=25) for _ in range(6)]
+        assert synchronized_spike(series_list)
+
+    def test_desynchronized_population(self):
+        series_list = [spiky_series(spike_at=at) for at in (5, 15, 25, 35, 45, 55)]
+        assert not synchronized_spike(series_list, tolerance_s=120)
+
+    def test_too_few_spiking_series(self):
+        flat = TimeSeries.constant(np.arange(60) * 60.0, 20.0)
+        assert not synchronized_spike([flat, flat, flat, spiky_series()])
+
+
+class TestHotJobSpikeEndToEnd:
+    def test_hot_job_machines_spike_in_generated_trace(self, hotjob_bundle):
+        hot_id = hotjob_bundle.meta["hot_job_id"]
+        store = hotjob_bundle.usage
+        machines = hotjob_bundle.machines_of_job(hot_id)
+        series_list = [store.series(m, "cpu") for m in machines]
+        spiking = sum(1 for s in series_list
+                      if largest_spike(s, min_prominence=10) is not None)
+        assert spiking >= len(series_list) // 2

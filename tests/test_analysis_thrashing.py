@@ -1,0 +1,96 @@
+"""Tests for thrashing detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.thrashing import (
+    ThrashingConfig,
+    cluster_thrashing_report,
+    detect_thrashing,
+    thrashing_fraction,
+)
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries
+
+
+def thrashing_pair(n=60, onset=30):
+    """CPU collapses while memory saturates after ``onset``."""
+    timestamps = np.arange(n) * 60.0
+    cpu = np.full(n, 70.0)
+    mem = np.full(n, 60.0)
+    cpu[onset:] = np.linspace(65, 8, n - onset)
+    mem[onset:] = np.linspace(88, 99, n - onset)
+    return TimeSeries(timestamps, cpu), TimeSeries(timestamps, mem)
+
+
+def healthy_pair(n=60):
+    timestamps = np.arange(n) * 60.0
+    return (TimeSeries(timestamps, np.full(n, 50.0)),
+            TimeSeries(timestamps, np.full(n, 40.0)))
+
+
+class TestDetectThrashing:
+    def test_detects_collapse(self):
+        cpu, mem = thrashing_pair()
+        windows = detect_thrashing(cpu, mem, machine_id="m1")
+        assert len(windows) >= 1
+        window = windows[0]
+        assert window.machine_id == "m1"
+        assert window.peak_mem >= 90.0
+        assert window.min_cpu <= 20.0
+        assert window.cpu_drop > 20.0
+        assert window.start >= 30 * 60.0
+
+    def test_healthy_machine_clean(self):
+        cpu, mem = healthy_pair()
+        assert detect_thrashing(cpu, mem) == []
+
+    def test_high_memory_with_high_cpu_is_not_thrashing(self):
+        n = 40
+        timestamps = np.arange(n) * 60.0
+        cpu = TimeSeries(timestamps, np.full(n, 85.0))
+        mem = TimeSeries(timestamps, np.full(n, 95.0))
+        assert detect_thrashing(cpu, mem) == []
+
+    def test_min_duration_filter(self):
+        cpu, mem = thrashing_pair(onset=57)
+        config = ThrashingConfig(min_duration_s=600)
+        assert detect_thrashing(cpu, mem, config=config) == []
+
+    def test_mismatched_series_rejected(self):
+        cpu, _ = thrashing_pair()
+        other = TimeSeries([0, 1], [1, 2])
+        with pytest.raises(SeriesError):
+            detect_thrashing(cpu, other)
+
+    def test_empty_series(self):
+        assert detect_thrashing(TimeSeries.empty(), TimeSeries.empty()) == []
+
+    def test_invalid_config(self):
+        with pytest.raises(SeriesError):
+            ThrashingConfig(mem_watermark=0).validate()
+        with pytest.raises(SeriesError):
+            ThrashingConfig(cpu_drop_fraction=1.5).validate()
+        with pytest.raises(SeriesError):
+            ThrashingConfig(reference_window=0).validate()
+
+
+class TestClusterReport:
+    def test_report_on_thrashing_scenario(self, thrashing_bundle):
+        report = cluster_thrashing_report(thrashing_bundle.usage)
+        assert len(report) >= 1
+        injected = set(thrashing_bundle.meta["thrashing"]["machines"])
+        detected = set(report)
+        # at least half of the injected machines are recovered by the detector
+        assert len(detected & injected) >= max(1, len(injected) // 2)
+
+    def test_report_on_healthy_scenario_is_mostly_clean(self, healthy_bundle):
+        report = cluster_thrashing_report(healthy_bundle.usage)
+        assert len(report) <= max(1, healthy_bundle.usage.num_machines // 4)
+
+    def test_thrashing_fraction_inside_window(self, thrashing_bundle):
+        t0, t1 = thrashing_bundle.meta["thrashing"]["window"]
+        inside = thrashing_fraction(thrashing_bundle.usage, (t0 + t1) / 2 + (t1 - t0) / 4)
+        before = thrashing_fraction(thrashing_bundle.usage, t0 - (t1 - t0))
+        assert inside >= before
+        assert 0.0 <= inside <= 1.0

@@ -1,0 +1,59 @@
+"""Tests for bulk export helpers (case-study artefacts)."""
+
+import pytest
+
+from repro.app.export import case_study_narrative, export_case_study, export_job_figures
+from tests.conftest import mid_timestamp
+
+
+class TestExportCaseStudy:
+    def test_writes_one_dashboard_per_scenario(self, tmp_path, healthy_bundle,
+                                               hotjob_bundle, thrashing_bundle):
+        bundles = {"healthy": healthy_bundle, "hotjob": hotjob_bundle,
+                   "thrashing": thrashing_bundle}
+        written = export_case_study(bundles, tmp_path)
+        assert set(written) == set(bundles)
+        for path in written.values():
+            assert path.exists()
+            assert path.suffix == ".html"
+            assert "panel-bubble" in path.read_text()
+
+    def test_thrashing_timestamp_defaults_into_window(self, tmp_path,
+                                                      thrashing_bundle):
+        written = export_case_study({"thrashing": thrashing_bundle}, tmp_path)
+        html = written["thrashing"].read_text()
+        # the dashboard subtitle embeds the regime assessment at the chosen time
+        assert "saturated" in html or "busy" in html
+
+    def test_explicit_timestamp_override(self, tmp_path, healthy_bundle):
+        timestamp = mid_timestamp(healthy_bundle)
+        written = export_case_study({"healthy": healthy_bundle}, tmp_path,
+                                    timestamps={"healthy": timestamp})
+        assert f"t={timestamp:.0f}s" in written["healthy"].read_text()
+
+
+class TestNarrative:
+    def test_mentions_regime_and_jobs(self, hotjob_bundle):
+        text = case_study_narrative(hotjob_bundle, mid_timestamp(hotjob_bundle))
+        assert "Load balance" in text
+        assert "job(s) active" in text
+        assert hotjob_bundle.meta["hot_job_id"] in text
+
+    def test_thrashing_narrative_names_root_cause(self, thrashing_bundle):
+        t0, t1 = thrashing_bundle.meta["thrashing"]["window"]
+        text = case_study_narrative(thrashing_bundle, (t0 + t1) / 2)
+        assert "Thrashing detected" in text
+        assert "root-cause candidate" in text
+
+
+class TestJobFigures:
+    def test_writes_overview_and_zoom_per_metric(self, tmp_path, hotjob_bundle):
+        job_id = hotjob_bundle.meta["hot_job_id"]
+        written = export_job_figures(hotjob_bundle, job_id, tmp_path,
+                                     metrics=("cpu", "mem"))
+        assert len(written) == 4
+        names = {path.name for path in written}
+        assert f"{job_id}_cpu_overview.svg" in names
+        assert f"{job_id}_mem_zoom.svg" in names
+        for path in written:
+            assert path.read_text().startswith("<svg")

@@ -1,0 +1,82 @@
+"""Tests for the extended BatchLens views (scatter, histogram, area, multiples)."""
+
+import pytest
+
+from repro.vis.charts.area import StackedAreaChart
+from repro.vis.charts.distribution import UtilisationHistogram
+from repro.vis.charts.scatter import MachineScatterChart
+from repro.vis.charts.smallmultiples import SmallMultiplesChart
+
+from tests.conftest import mid_timestamp
+
+
+class TestScatterView:
+    def test_scatter_has_one_dot_per_machine(self, healthy_lens, healthy_bundle):
+        chart = healthy_lens.scatter(mid_timestamp(healthy_bundle))
+        assert isinstance(chart, MachineScatterChart)
+        doc = chart.render()
+        dots = [e for e in doc.iter("circle") if e.get("class") == "scatter-point"]
+        assert len(dots) == healthy_lens.store.num_machines
+
+    def test_scatter_highlight_passthrough(self, healthy_lens, healthy_bundle):
+        machine_id = healthy_lens.store.machine_ids[0]
+        chart = healthy_lens.scatter(mid_timestamp(healthy_bundle),
+                                     highlight={machine_id: "hot-job"})
+        doc = chart.render()
+        highlighted = [e for e in doc.iter("circle")
+                       if e.get("data-highlight") == "hot-job"]
+        assert len(highlighted) == 1
+
+
+class TestHistogramView:
+    def test_histogram_counts_every_machine(self, healthy_lens, healthy_bundle):
+        chart = healthy_lens.histogram(mid_timestamp(healthy_bundle), bins=5)
+        assert isinstance(chart, UtilisationHistogram)
+        assert chart.model.total == healthy_lens.store.num_machines
+
+    def test_histogram_metric_selectable(self, healthy_lens, healthy_bundle):
+        chart = healthy_lens.histogram(mid_timestamp(healthy_bundle), metric="mem")
+        assert chart.model.metric == "mem"
+
+
+class TestStackedAreaView:
+    def test_stacked_area_groups_are_jobs(self, healthy_lens, healthy_bundle):
+        chart = healthy_lens.stacked_area(max_groups=5)
+        assert isinstance(chart, StackedAreaChart)
+        known_jobs = set(healthy_bundle.job_ids()) | {"other"}
+        assert set(chart.model.group_ids) <= known_jobs
+
+    def test_stacked_area_respects_max_groups(self, healthy_lens):
+        chart = healthy_lens.stacked_area(max_groups=3)
+        assert len(chart.model.group_ids) <= 4  # 3 jobs + "other"
+
+
+class TestSmallMultiplesView:
+    def test_one_sparkline_per_job(self, healthy_lens, healthy_bundle):
+        chart = healthy_lens.small_multiples(columns=3)
+        assert isinstance(chart, SmallMultiplesChart)
+        labels = {cell.label for cell in chart.model.cells}
+        assert labels <= set(healthy_bundle.job_ids())
+        assert labels
+
+    def test_markers_match_job_lifetimes(self, healthy_lens):
+        chart = healthy_lens.small_multiples()
+        for cell in chart.model.cells:
+            job = healthy_lens.hierarchy.job(cell.label)
+            assert cell.markers == (float(job.start), float(job.end))
+
+
+class TestExtendedDashboard:
+    def test_extended_dashboard_adds_panels(self, hotjob_lens, hotjob_bundle):
+        timestamp = mid_timestamp(hotjob_bundle)
+        html = hotjob_lens.dashboard(timestamp, max_line_panels=1,
+                                     extended=True).to_html()
+        assert "panel-scatter" in html
+        assert "panel-histogram" in html
+        assert "panel-stacked-area" in html
+
+    def test_default_dashboard_stays_paper_faithful(self, hotjob_lens, hotjob_bundle):
+        timestamp = mid_timestamp(hotjob_bundle)
+        html = hotjob_lens.dashboard(timestamp, max_line_panels=1).to_html()
+        assert "panel-scatter" not in html
+        assert "panel-stacked-area" not in html

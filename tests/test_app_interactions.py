@@ -1,0 +1,74 @@
+"""Tests for the interaction model (brush, selection, node links)."""
+
+import pytest
+
+from repro.app.interactions import (
+    InteractionError,
+    NodeLinkIndex,
+    SelectionState,
+    TimeBrush,
+)
+from tests.conftest import mid_timestamp
+
+
+class TestTimeBrush:
+    def test_basic_properties(self):
+        brush = TimeBrush(100, 400)
+        assert brush.duration == 300
+        assert brush.contains(250)
+        assert not brush.contains(401)
+        assert brush.as_tuple() == (100, 400)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(InteractionError):
+            TimeBrush(400, 100)
+        with pytest.raises(InteractionError):
+            TimeBrush(100, 100)
+
+    def test_clamp_inside_extent(self):
+        brush = TimeBrush(-50, 500).clamp(0, 300)
+        assert brush.as_tuple() == (0, 300)
+
+    def test_clamp_outside_extent_rejected(self):
+        with pytest.raises(InteractionError):
+            TimeBrush(1000, 2000).clamp(0, 500)
+
+
+class TestSelectionState:
+    def test_with_methods_are_pure(self):
+        state = SelectionState()
+        with_time = state.with_timestamp(100.0)
+        assert state.timestamp is None
+        assert with_time.timestamp == 100.0
+        chained = (with_time.with_job("j1").with_metric("mem")
+                   .with_brush(TimeBrush(0, 10)).with_hover("m1"))
+        assert chained.job_id == "j1"
+        assert chained.metric == "mem"
+        assert chained.brush.duration == 10
+        assert chained.hovered_machine == "m1"
+        # original untouched
+        assert with_time.job_id is None
+
+
+class TestNodeLinkIndex:
+    def test_from_hierarchy_matches_shared_machines(self, hotjob_bundle,
+                                                    hotjob_hierarchy):
+        timestamp = mid_timestamp(hotjob_bundle)
+        index = NodeLinkIndex.from_hierarchy(hotjob_hierarchy, timestamp)
+        expected = hotjob_hierarchy.shared_machines(timestamp)
+        assert set(index.shared_machine_ids) == set(expected)
+        assert len(index) == len(expected)
+
+    def test_jobs_of_shared_machine(self, hotjob_bundle, hotjob_hierarchy):
+        timestamp = mid_timestamp(hotjob_bundle)
+        index = NodeLinkIndex.from_hierarchy(hotjob_hierarchy, timestamp)
+        if not index.shared_machine_ids:
+            pytest.skip("no machine is shared at this timestamp for this seed")
+        machine_id = index.shared_machine_ids[0]
+        assert index.is_shared(machine_id)
+        assert len(index.jobs_of(machine_id)) >= 2
+
+    def test_unshared_machine(self):
+        index = NodeLinkIndex(timestamp=0.0, links={})
+        assert not index.is_shared("m1")
+        assert index.jobs_of("m1") == []

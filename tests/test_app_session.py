@@ -1,0 +1,122 @@
+"""Tests for the stateful analysis session."""
+
+import pytest
+
+from repro.app.interactions import InteractionError
+from repro.app.session import AnalysisSession
+from repro.errors import UnknownEntityError
+from repro.trace.records import TraceBundle
+from tests.conftest import mid_timestamp
+
+
+@pytest.fixture()
+def session(hotjob_bundle):
+    return AnalysisSession(hotjob_bundle)
+
+
+class TestSessionLifecycle:
+    def test_requires_usage_data(self, healthy_bundle):
+        empty = TraceBundle(tasks=healthy_bundle.tasks,
+                            instances=healthy_bundle.instances)
+        with pytest.raises(InteractionError):
+            AnalysisSession(empty)
+
+    def test_initial_state(self, session, hotjob_bundle):
+        start, _ = hotjob_bundle.time_range()
+        assert session.state.timestamp == start
+        assert session.state.job_id is None
+        assert session.time_extent == hotjob_bundle.time_range()
+
+
+class TestSelection:
+    def test_select_timestamp_bounds(self, session):
+        lo, hi = session.time_extent
+        session.select_timestamp((lo + hi) / 2)
+        with pytest.raises(InteractionError):
+            session.select_timestamp(hi + 1000)
+
+    def test_select_job_and_metric(self, session, hotjob_bundle):
+        job_id = hotjob_bundle.job_ids()[0]
+        session.select_job(job_id)
+        session.select_metric("mem")
+        assert session.state.job_id == job_id
+        assert session.state.metric == "mem"
+
+    def test_select_unknown_job(self, session):
+        with pytest.raises(UnknownEntityError):
+            session.select_job("ghost")
+
+    def test_select_unknown_metric(self, session):
+        with pytest.raises(InteractionError):
+            session.select_metric("gpu")
+
+    def test_brush_and_clear(self, session):
+        lo, hi = session.time_extent
+        brush = session.brush(lo + 100, lo + 1000)
+        assert session.state.brush == brush
+        session.clear_brush()
+        assert session.state.brush is None
+
+    def test_brush_outside_extent(self, session):
+        lo, hi = session.time_extent
+        with pytest.raises(InteractionError):
+            session.brush(hi + 100, hi + 200)
+
+    def test_hover(self, session, hotjob_bundle):
+        machine_id = hotjob_bundle.machine_ids()[0]
+        session.hover(machine_id)
+        assert session.state.hovered_machine == machine_id
+        session.hover(None)
+        assert session.state.hovered_machine is None
+
+
+class TestDerivedViews:
+    def test_bubble_model_follows_selected_timestamp(self, session, hotjob_bundle):
+        timestamp = mid_timestamp(hotjob_bundle)
+        session.select_timestamp(timestamp)
+        model = session.bubble_model()
+        assert model.timestamp == timestamp
+
+    def test_line_model_requires_job(self, session, hotjob_bundle):
+        with pytest.raises(InteractionError):
+            session.line_model()
+        timestamp = mid_timestamp(hotjob_bundle)
+        session.select_timestamp(timestamp)
+        job_id = hotjob_bundle.active_jobs(timestamp)[0]
+        session.select_job(job_id)
+        model = session.line_model()
+        assert model.job_id == job_id
+
+    def test_line_model_carries_brush(self, session, hotjob_bundle):
+        timestamp = mid_timestamp(hotjob_bundle)
+        session.select_timestamp(timestamp)
+        job_id = hotjob_bundle.active_jobs(timestamp)[0]
+        session.select_job(job_id)
+        session.brush(timestamp - 500, timestamp + 500)
+        model = session.line_model()
+        assert model.brush is not None
+
+    def test_timeline_model_reflects_state(self, session, hotjob_bundle):
+        timestamp = mid_timestamp(hotjob_bundle)
+        session.select_timestamp(timestamp)
+        model = session.timeline_model()
+        assert model.selected_timestamp == timestamp
+
+    def test_regime_and_active_jobs(self, session, hotjob_bundle):
+        timestamp = mid_timestamp(hotjob_bundle)
+        session.select_timestamp(timestamp)
+        assessment = session.regime()
+        assert assessment.timestamp == timestamp
+        rows = session.active_jobs()
+        assert {row["job_id"] for row in rows} == set(
+            hotjob_bundle.active_jobs(timestamp))
+
+    def test_hover_linked_jobs(self, session, hotjob_bundle):
+        timestamp = mid_timestamp(hotjob_bundle)
+        session.select_timestamp(timestamp)
+        assert session.hovered_machine_jobs() == []
+        links = session.node_links()
+        if links.shared_machine_ids:
+            machine_id = links.shared_machine_ids[0]
+            session.hover(machine_id)
+            assert len(session.hovered_machine_jobs()) >= 2

@@ -1,0 +1,114 @@
+"""Tests for the view-model builders."""
+
+import pytest
+
+from repro.app.views import (
+    active_job_summary,
+    build_bubble_model,
+    build_heatmap_model,
+    build_line_model,
+    build_timeline_model,
+)
+from repro.errors import UnknownEntityError
+from tests.conftest import mid_timestamp
+
+
+class TestBubbleModel:
+    def test_only_active_jobs_included(self, healthy_bundle, healthy_hierarchy):
+        timestamp = mid_timestamp(healthy_bundle)
+        model = build_bubble_model(healthy_hierarchy, healthy_bundle.usage, timestamp)
+        active = set(healthy_bundle.active_jobs(timestamp))
+        assert {job.job_id for job in model.jobs} <= active
+        assert model.timestamp == timestamp
+        assert model.jobs, "expected at least one active job at mid-trace"
+
+    def test_node_utilisation_matches_store(self, healthy_bundle, healthy_hierarchy):
+        timestamp = mid_timestamp(healthy_bundle)
+        model = build_bubble_model(healthy_hierarchy, healthy_bundle.usage, timestamp)
+        glyph = model.jobs[0].tasks[0].nodes[0]
+        snap = healthy_bundle.usage.machine_snapshot(glyph.machine_id, timestamp)
+        assert glyph.cpu == pytest.approx(snap["cpu"])
+        assert glyph.mem == pytest.approx(snap["mem"])
+
+    def test_max_jobs_limits_and_prunes_links(self, hotjob_bundle, hotjob_hierarchy):
+        timestamp = mid_timestamp(hotjob_bundle)
+        model = build_bubble_model(hotjob_hierarchy, hotjob_bundle.usage,
+                                   timestamp, max_jobs=1)
+        assert len(model.jobs) <= 1
+        visible = {job.job_id for job in model.jobs}
+        for pairs in model.shared_machines.values():
+            jobs = {job_id for job_id, _ in pairs}
+            assert len(jobs & visible) >= 2 or len(jobs) >= 2
+
+    def test_weight_counts_instances_per_machine(self, healthy_bundle,
+                                                 healthy_hierarchy):
+        timestamp = mid_timestamp(healthy_bundle)
+        model = build_bubble_model(healthy_hierarchy, healthy_bundle.usage, timestamp)
+        weights = [node.weight for job in model.jobs
+                   for task in job.tasks for node in task.nodes]
+        assert all(w >= 1.0 for w in weights)
+
+
+class TestLineModel:
+    def test_lines_cover_job_machines(self, healthy_bundle, healthy_hierarchy):
+        job = healthy_hierarchy.jobs[0]
+        model = build_line_model(healthy_hierarchy, healthy_bundle.usage, job.job_id)
+        machine_ids = {line.machine_id for line in model.lines}
+        assert machine_ids <= set(job.machine_ids())
+        assert model.metric == "cpu"
+        assert len(model.lines) >= 1
+
+    def test_annotations_start_and_end(self, healthy_bundle, healthy_hierarchy):
+        job = healthy_hierarchy.jobs[0]
+        model = build_line_model(healthy_hierarchy, healthy_bundle.usage, job.job_id)
+        kinds = {a.kind for a in model.annotations}
+        assert kinds == {"start", "end"}
+        end_tasks = {a.task_id for a in model.annotations if a.kind == "end"}
+        assert end_tasks == {task.task_id for task in job.tasks}
+
+    def test_brush_passthrough(self, healthy_bundle, healthy_hierarchy):
+        job = healthy_hierarchy.jobs[0]
+        model = build_line_model(healthy_hierarchy, healthy_bundle.usage,
+                                 job.job_id, brush=(0.0, 1000.0))
+        assert model.brush == (0.0, 1000.0)
+
+    def test_unknown_job_rejected(self, healthy_bundle, healthy_hierarchy):
+        with pytest.raises(UnknownEntityError):
+            build_line_model(healthy_hierarchy, healthy_bundle.usage, "ghost")
+
+    def test_alternative_metric(self, healthy_bundle, healthy_hierarchy):
+        job = healthy_hierarchy.jobs[0]
+        model = build_line_model(healthy_hierarchy, healthy_bundle.usage,
+                                 job.job_id, metric="mem")
+        assert model.metric == "mem"
+
+
+class TestTimelineModel:
+    def test_layers_and_selection(self, healthy_bundle):
+        model = build_timeline_model(healthy_bundle.usage,
+                                     selected_timestamp=1000.0,
+                                     brush=(500.0, 1500.0))
+        assert set(model.layers) == {"cpu", "mem", "disk"}
+        assert model.selected_timestamp == 1000.0
+        assert model.brush == (500.0, 1500.0)
+        assert len(model.layers["cpu"]) == healthy_bundle.usage.num_samples
+
+
+class TestHeatmapModel:
+    def test_dimensions(self, healthy_bundle):
+        model = build_heatmap_model(healthy_bundle.usage, metric="mem")
+        assert model.metric == "mem"
+        assert model.values.shape == (healthy_bundle.usage.num_machines,
+                                      healthy_bundle.usage.num_samples)
+
+
+class TestActiveJobSummary:
+    def test_rows_sorted_by_machine_count(self, hotjob_bundle, hotjob_hierarchy):
+        timestamp = mid_timestamp(hotjob_bundle)
+        rows = active_job_summary(hotjob_bundle, hotjob_hierarchy,
+                                  hotjob_bundle.usage, timestamp)
+        counts = [row["num_machines"] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+        for row in rows:
+            assert 0.0 <= row["mean_cpu"] <= 100.0
+            assert row["start"] <= row["end"]

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace.loader import load_trace
+from repro.trace.writer import write_trace
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("generate", "validate", "stats", "dashboard",
+                        "report", "figures"):
+            assert command in text
+
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenerateAndLoad:
+    def test_generate_writes_loadable_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace"
+        code = main(["generate", "--output-dir", str(out), "--scenario", "healthy",
+                     "--seed", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "batch_task" in output
+        bundle = load_trace(out)
+        assert bundle.tasks
+
+    def test_validate_on_generated_trace(self, tmp_path, healthy_bundle, capsys):
+        write_trace(healthy_bundle, tmp_path)
+        assert main(["validate", str(tmp_path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_validate_reports_errors(self, tmp_path, capsys):
+        (tmp_path / "batch_task.csv").write_text(
+            "0,100,j1,t1,0,Terminated,10,20\n")  # instance_num=0 is invalid
+        assert main(["validate", str(tmp_path)]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+
+class TestSyntheticCommands:
+    def test_stats_synthetic(self, capsys):
+        assert main(["stats", "--synthetic", "--scenario", "healthy",
+                     "--seed", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "num_jobs" in output
+        assert "single_task_job_fraction" in output
+
+    def test_dashboard_synthetic(self, tmp_path, capsys):
+        target = tmp_path / "dash.html"
+        assert main(["dashboard", "--synthetic", "--scenario", "hotjob",
+                     "--seed", "4", "--output", str(target),
+                     "--max-line-panels", "1"]) == 0
+        assert target.exists()
+        assert "panel-bubble" in target.read_text()
+
+    def test_report_synthetic(self, capsys):
+        assert main(["report", "--synthetic", "--scenario", "thrashing",
+                     "--seed", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "Load balance" in output
+
+    def test_figures_synthetic_default_job(self, tmp_path, capsys):
+        assert main(["figures", "--synthetic", "--scenario", "healthy",
+                     "--seed", "4", "--output-dir", str(tmp_path)]) == 0
+        assert list(tmp_path.glob("*_cpu_overview.svg"))
+
+    def test_error_exit_code(self, tmp_path):
+        # an empty directory is not a trace: BatchLensError -> exit code 2
+        assert main(["stats", str(tmp_path)]) == 2

@@ -1,0 +1,75 @@
+"""Tests for the monitor / compare / sla / experiments CLI sub-commands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace.writer import write_trace
+
+
+class TestParserRegistration:
+    def test_new_subcommands_registered(self):
+        text = build_parser().format_help()
+        for command in ("monitor", "compare", "sla", "experiments"):
+            assert command in text
+
+
+class TestMonitorCommand:
+    def test_monitor_on_written_thrashing_trace(self, tmp_path, thrashing_bundle,
+                                                capsys):
+        write_trace(thrashing_bundle, tmp_path)
+        code = main(["monitor", str(tmp_path), "--threshold", "85"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "replayed" in output
+        assert "final regime" in output
+
+    def test_monitor_synthetic_healthy_is_quiet_or_reports(self, capsys):
+        code = main(["monitor", "--synthetic", "--scenario", "healthy",
+                     "--seed", "3", "--threshold", "99"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "replayed" in output
+
+
+class TestCompareCommand:
+    def test_compare_prints_markdown(self, tmp_path, thrashing_bundle, capsys):
+        write_trace(thrashing_bundle, tmp_path)
+        code = main(["compare", str(tmp_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Detection quality" in output
+        assert "Capability matrix" in output
+
+    def test_compare_writes_file(self, tmp_path, thrashing_bundle, capsys):
+        write_trace(thrashing_bundle, tmp_path / "trace")
+        target = tmp_path / "comparison.md"
+        code = main(["compare", str(tmp_path / "trace"), "--output", str(target)])
+        assert code == 0
+        assert target.exists()
+        assert "BatchLens analysis layer" in target.read_text(encoding="utf-8")
+
+
+class TestSlaCommand:
+    def test_sla_summary_printed(self, tmp_path, thrashing_bundle, capsys):
+        write_trace(thrashing_bundle, tmp_path)
+        code = main(["sla", str(tmp_path), "--saturation-level", "80"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "job(s) in violation" in output
+
+    def test_sla_synthetic(self, capsys):
+        assert main(["sla", "--synthetic", "--scenario", "healthy",
+                     "--seed", "6"]) == 0
+        assert "violation" in capsys.readouterr().out
+
+
+class TestExperimentsCommand:
+    def test_experiments_write_markdown_report(self, tmp_path, capsys):
+        target = tmp_path / "experiments.md"
+        code = main(["experiments", "--seed", "2022", "--output", str(target)])
+        output = capsys.readouterr().out
+        assert target.exists()
+        text = target.read_text(encoding="utf-8")
+        assert "| id |" in text
+        assert "claims hold" in output
+        assert code in (0, 1)

@@ -1,0 +1,181 @@
+"""Tests for anomaly injection and the case-study scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.anomalies import (
+    BackgroundLoad,
+    HotJob,
+    MachineFailure,
+    SCENARIOS,
+    Straggler,
+    Thrashing,
+    get_scenario,
+)
+from repro.cluster.simulator import ClusterSimulator
+from repro.errors import SimulationError
+from repro.trace import schema
+from tests.conftest import fast_config
+
+
+class TestScenarioRegistry:
+    def test_expected_scenarios_present(self):
+        assert {"none", "healthy", "hotjob", "thrashing"} <= set(SCENARIOS)
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(SimulationError):
+            get_scenario("nope")
+
+    def test_describe_is_serializable(self):
+        import json
+
+        for scenario in SCENARIOS.values():
+            json.dumps(scenario.describe())
+
+
+class TestBackgroundLoad:
+    def test_raises_mean_utilisation(self):
+        none_bundle = ClusterSimulator(fast_config("none", seed=3)).run()
+        healthy_bundle = ClusterSimulator(fast_config("healthy", seed=3)).run()
+        assert (healthy_bundle.usage.aggregate("cpu").mean()
+                > none_bundle.usage.aggregate("cpu").mean() + 5.0)
+
+    def test_requires_usage_store(self):
+        from repro.cluster.context import SimulationContext
+
+        ctx = SimulationContext(config=fast_config(), rng=np.random.default_rng(0),
+                                machines=[])
+        with pytest.raises(SimulationError):
+            BackgroundLoad().mutate_usage(ctx)
+
+
+class TestHotJob:
+    def test_marks_largest_job(self, hotjob_bundle):
+        hot_id = hotjob_bundle.meta["hot_job_id"]
+        counts = {}
+        for inst in hotjob_bundle.instances:
+            counts[inst.job_id] = counts.get(inst.job_id, 0) + 1
+        # the hot job is among the largest jobs of the workload
+        assert counts[hot_id] >= np.percentile(list(counts.values()), 75)
+
+    def test_hot_job_machines_are_hotter(self, hotjob_bundle):
+        hot_id = hotjob_bundle.meta["hot_job_id"]
+        hot_machines = set(hotjob_bundle.machines_of_job(hot_id))
+        other_machines = [m for m in hotjob_bundle.usage.machine_ids
+                          if m not in hot_machines]
+        store = hotjob_bundle.usage
+        hot_peak = np.mean([store.series(m, "cpu").max() for m in hot_machines])
+        if other_machines:
+            other_peak = np.mean([store.series(m, "cpu").max()
+                                  for m in other_machines])
+            assert hot_peak > other_peak
+        else:
+            # on tiny test clusters the hot job touches every machine; the
+            # post-completion boost must still push the peak near capacity
+            assert hot_peak >= 85.0
+
+    def test_explicit_missing_job_rejected(self):
+        config = fast_config("none")
+        scenario_anomaly = HotJob(job_id="job_does_not_exist")
+        simulator = ClusterSimulator(config)
+        ctx = simulator._build_context()
+        simulator._generate_workload(ctx)
+        with pytest.raises(SimulationError):
+            scenario_anomaly.mutate_workload(ctx)
+
+
+class TestThrashing:
+    def test_window_fraction_validation(self):
+        with pytest.raises(SimulationError):
+            Thrashing(start_fraction=0.8, end_fraction=0.4).window(1000)
+
+    def test_metadata_recorded(self, thrashing_bundle):
+        meta = thrashing_bundle.meta["thrashing"]
+        assert meta["window"][0] < meta["window"][1]
+        assert len(meta["machines"]) >= 1
+        assert meta["survivor_job_id"] not in meta["terminated_jobs"]
+
+    def test_memory_saturates_and_cpu_collapses(self, thrashing_bundle):
+        meta = thrashing_bundle.meta["thrashing"]
+        t0, t1 = meta["window"]
+        store = thrashing_bundle.usage
+        machine_id = meta["machines"][0]
+        mem = store.series(machine_id, "mem").slice(t0, t1)
+        cpu = store.series(machine_id, "cpu")
+        late_window = cpu.slice(t0 + 0.8 * (t1 - t0), t1)
+        before = cpu.slice(t0 - (t1 - t0) * 0.5, t0)
+        assert mem.max() >= 90.0
+        assert late_window.mean() < before.mean()
+
+    def test_terminated_jobs_marked_failed(self, thrashing_bundle):
+        terminated = set(thrashing_bundle.meta["thrashing"]["terminated_jobs"])
+        if not terminated:
+            pytest.skip("no jobs were active in the thrash window for this seed")
+        failed_jobs = {inst.job_id for inst in thrashing_bundle.instances
+                       if inst.status == schema.STATUS_FAILED}
+        assert terminated <= failed_jobs
+
+    def test_relaunched_instances_start_after_window(self, thrashing_bundle):
+        meta = thrashing_bundle.meta["thrashing"]
+        _, t1 = meta["window"]
+        terminated = set(meta["terminated_jobs"])
+        if not terminated:
+            pytest.skip("no jobs were terminated for this seed")
+        relaunched = [inst for inst in thrashing_bundle.instances
+                      if inst.job_id in terminated and inst.start_timestamp > t1]
+        assert relaunched, "expected relaunched instances after the thrash window"
+
+
+class TestStraggler:
+    def test_extends_a_fraction_of_instances(self):
+        from dataclasses import replace
+
+        config = fast_config("none", seed=21)
+        simulator = ClusterSimulator(config)
+        ctx = simulator._build_context()
+        simulator._generate_workload(ctx)
+        simulator._place(ctx)
+        before = [p.end_s for p in ctx.placements]
+        Straggler(fraction=0.3, slowdown=2.0).mutate_placements(ctx)
+        after = [p.end_s for p in ctx.placements]
+        extended = sum(1 for b, a in zip(before, after) if a > b)
+        assert extended >= 1
+        assert all(a <= config.horizon_s for a in after)
+
+    def test_invalid_parameters(self):
+        from repro.cluster.context import SimulationContext
+
+        ctx = SimulationContext(config=fast_config(), rng=np.random.default_rng(0),
+                                machines=[])
+        with pytest.raises(SimulationError):
+            Straggler(fraction=0.0).mutate_placements(ctx)
+        with pytest.raises(SimulationError):
+            Straggler(slowdown=0.5).mutate_placements(ctx)
+
+
+class TestMachineFailure:
+    def test_usage_drops_to_zero_after_failure(self):
+        from repro.cluster.anomalies import Scenario
+
+        config = fast_config("none", seed=5)
+        scenario = Scenario(name="failure", description="one machine dies",
+                            anomalies=(MachineFailure(count=1, time_fraction=0.5),))
+        bundle = ClusterSimulator(config, scenario=scenario).run()
+        failed = bundle.meta["failed_machines"]
+        assert len(failed) == 1
+        failure_time = bundle.meta["failure_time"]
+        series = bundle.usage.series(failed[0], "cpu")
+        after = series.slice(failure_time + 1)
+        assert after.max() == 0.0
+        hard_errors = [e for e in bundle.machine_events
+                       if e.event_type == schema.EVENT_HARD_ERROR]
+        assert len(hard_errors) == 1
+
+    def test_invalid_parameters(self):
+        config = fast_config("none")
+        from repro.cluster.anomalies import Scenario
+
+        bad_count = Scenario(name="x", description="",
+                             anomalies=(MachineFailure(count=0),))
+        with pytest.raises(SimulationError):
+            ClusterSimulator(config, scenario=bad_count).run()

@@ -1,0 +1,78 @@
+"""Tests for the derived cluster-event timeline."""
+
+from repro.cluster.events import (
+    ClusterEvent,
+    EventKind,
+    events_in_window,
+    full_timeline,
+    job_events,
+    machine_events,
+    task_events,
+)
+from repro.trace import schema
+from repro.trace.records import BatchInstanceRecord, BatchTaskRecord, MachineEvent, TraceBundle
+
+
+def event_bundle() -> TraceBundle:
+    tasks = [BatchTaskRecord(0, 200, "j1", "t1", 1, "Terminated"),
+             BatchTaskRecord(0, 400, "j1", "t2", 1, "Terminated")]
+    instances = [
+        BatchInstanceRecord(0, 200, "j1", "t1", "m1", "Terminated", 1, 1),
+        BatchInstanceRecord(0, 400, "j1", "t2", "m2", "Failed", 1, 1),
+    ]
+    events = [MachineEvent(0, "m1", schema.EVENT_ADD),
+              MachineEvent(0, "m2", schema.EVENT_ADD),
+              MachineEvent(300, "m2", schema.EVENT_HARD_ERROR, "injected")]
+    return TraceBundle(machine_events=events, tasks=tasks, instances=instances)
+
+
+class TestJobEvents:
+    def test_start_end_failure(self):
+        events = job_events(event_bundle())
+        kinds = {(e.kind, e.timestamp) for e in events}
+        assert (EventKind.JOB_START, 0) in kinds
+        assert (EventKind.JOB_END, 400) in kinds
+        assert (EventKind.JOB_FAILURE, 400) in kinds
+
+    def test_sorted_by_time(self, healthy_bundle):
+        events = job_events(healthy_bundle)
+        assert events == sorted(events)
+        assert len(events) >= 2 * len(healthy_bundle.job_ids())
+
+
+class TestTaskEvents:
+    def test_per_task_start_end(self):
+        events = task_events(event_bundle(), "j1")
+        subjects = {e.subject for e in events}
+        assert subjects == {"j1/t1", "j1/t2"}
+        ends = [e for e in events if e.kind == EventKind.TASK_END]
+        assert {e.timestamp for e in ends} == {200, 400}
+
+
+class TestMachineEvents:
+    def test_add_and_failure(self):
+        events = machine_events(event_bundle())
+        kinds = [e.kind for e in events]
+        assert kinds.count(EventKind.MACHINE_ADD) == 2
+        assert kinds.count(EventKind.MACHINE_FAILURE) == 1
+        failure = [e for e in events if e.kind == EventKind.MACHINE_FAILURE][0]
+        assert failure.detail == "injected"
+
+
+class TestTimelineHelpers:
+    def test_full_timeline_merges_sources(self):
+        timeline = full_timeline(event_bundle())
+        kinds = {e.kind for e in timeline}
+        assert EventKind.JOB_START in kinds
+        assert EventKind.MACHINE_ADD in kinds
+
+    def test_events_in_window(self):
+        timeline = full_timeline(event_bundle())
+        windowed = events_in_window(timeline, 100, 350)
+        assert all(100 <= e.timestamp <= 350 for e in windowed)
+        assert any(e.kind == EventKind.MACHINE_FAILURE for e in windowed)
+
+    def test_event_ordering_operator(self):
+        early = ClusterEvent(10, EventKind.JOB_START, "a")
+        late = ClusterEvent(20, EventKind.JOB_START, "a")
+        assert early < late

@@ -1,0 +1,124 @@
+"""Tests for the job → task → instance → machine hierarchy."""
+
+import pytest
+
+from repro.cluster.hierarchy import BatchHierarchy, InstanceNode, JobNode, TaskNode
+from repro.errors import UnknownEntityError
+from repro.trace.records import BatchInstanceRecord, BatchTaskRecord, MachineEvent, TraceBundle
+
+
+def small_hierarchy() -> BatchHierarchy:
+    tasks = [
+        BatchTaskRecord(0, 200, "jA", "t1", 2, "Terminated"),
+        BatchTaskRecord(0, 300, "jA", "t2", 1, "Terminated"),
+        BatchTaskRecord(100, 400, "jB", "t1", 2, "Terminated"),
+    ]
+    instances = [
+        BatchInstanceRecord(0, 200, "jA", "t1", "m1", "Terminated", 1, 2),
+        BatchInstanceRecord(0, 200, "jA", "t1", "m2", "Terminated", 2, 2),
+        BatchInstanceRecord(0, 300, "jA", "t2", "m3", "Terminated", 1, 1),
+        BatchInstanceRecord(100, 400, "jB", "t1", "m2", "Terminated", 1, 2),
+        BatchInstanceRecord(100, 350, "jB", "t1", "m4", "Terminated", 2, 2),
+    ]
+    events = [MachineEvent(0, m, "add") for m in ("m1", "m2", "m3", "m4")]
+    return BatchHierarchy.from_bundle(
+        TraceBundle(machine_events=events, tasks=tasks, instances=instances))
+
+
+class TestConstruction:
+    def test_structure(self):
+        hierarchy = small_hierarchy()
+        assert len(hierarchy) == 2
+        assert set(hierarchy.job_ids) == {"jA", "jB"}
+        job = hierarchy.job("jA")
+        assert job.num_tasks == 2
+        assert job.num_instances == 3
+        assert set(job.machine_ids()) == {"m1", "m2", "m3"}
+
+    def test_orphan_instance_creates_task(self):
+        bundle = TraceBundle(instances=[
+            BatchInstanceRecord(0, 10, "jX", "tX", "m1", "Terminated", 1, 1)])
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        assert "jX" in hierarchy
+        assert hierarchy.job("jX").num_instances == 1
+
+    def test_unknown_job_lookup(self):
+        with pytest.raises(UnknownEntityError):
+            small_hierarchy().job("ghost")
+
+    def test_unknown_task_lookup(self):
+        with pytest.raises(UnknownEntityError):
+            small_hierarchy().job("jA").task("ghost")
+
+
+class TestTimeQueries:
+    def test_job_start_end(self):
+        job = small_hierarchy().job("jA")
+        assert job.start == 0
+        assert job.end == 300
+
+    def test_jobs_at(self):
+        hierarchy = small_hierarchy()
+        assert {j.job_id for j in hierarchy.jobs_at(50)} == {"jA"}
+        assert {j.job_id for j in hierarchy.jobs_at(150)} == {"jA", "jB"}
+        assert hierarchy.jobs_at(1000) == []
+
+    def test_task_active_instances(self):
+        task = small_hierarchy().job("jB").task("t1")
+        assert len(task.active_instances(360)) == 1
+        assert task.active_at(360)
+        assert not task.active_at(500)
+
+    def test_task_end_times_and_start_times(self):
+        job = small_hierarchy().job("jA")
+        assert job.task_end_times() == {"t1": 200, "t2": 300}
+        assert job.start_times_by_machine() == {"m1": 0, "m2": 0, "m3": 0}
+
+
+class TestMachineQueries:
+    def test_instances_on_machine(self):
+        hierarchy = small_hierarchy()
+        assert len(hierarchy.instances_on_machine("m2")) == 2
+        assert hierarchy.instances_on_machine("ghost") == []
+
+    def test_jobs_on_machine(self):
+        hierarchy = small_hierarchy()
+        assert set(hierarchy.jobs_on_machine("m2")) == {"jA", "jB"}
+        assert hierarchy.jobs_on_machine("m2", timestamp=50) == ["jA"]
+
+    def test_shared_machines(self):
+        hierarchy = small_hierarchy()
+        shared = hierarchy.shared_machines(150)
+        assert set(shared) == {"m2"}
+        assert ("jA", "t1") in shared["m2"]
+        assert ("jB", "t1") in shared["m2"]
+        assert hierarchy.shared_machines(250) == {}
+
+
+class TestStats:
+    def test_stats_on_synthetic_bundle(self, healthy_bundle, healthy_hierarchy):
+        stats = healthy_hierarchy.stats()
+        assert stats.num_jobs == len(healthy_bundle.job_ids())
+        assert stats.num_tasks == len(healthy_bundle.tasks)
+        assert stats.num_instances == len(healthy_bundle.instances)
+        assert stats.num_machines == len(healthy_bundle.machine_ids())
+        assert 0.0 <= stats.single_task_job_fraction <= 1.0
+        assert 0.0 <= stats.multi_instance_task_fraction <= 1.0
+
+    def test_stats_small(self):
+        stats = small_hierarchy().stats()
+        assert stats.num_jobs == 2
+        assert stats.num_tasks == 3
+        assert stats.num_instances == 5
+        assert stats.single_task_job_fraction == 0.5
+
+
+class TestNodeDataclasses:
+    def test_instance_active_at(self):
+        inst = InstanceNode("j", "t", 1, "m", 10, 20, "Terminated")
+        assert inst.active_at(15)
+        assert not inst.active_at(25)
+
+    def test_empty_task_and_job_times(self):
+        assert TaskNode("j", "t").start == 0
+        assert JobNode("j").end == 0

@@ -1,0 +1,67 @@
+"""Tests for machine construction and machine events."""
+
+import pytest
+
+from repro.cluster.machine import (
+    Machine,
+    failure_event,
+    machine_add_events,
+    machine_id_for,
+    make_machines,
+)
+from repro.config import ClusterConfig
+from repro.errors import ConfigError
+from repro.trace import schema
+
+
+class TestMachineIds:
+    def test_zero_padded(self):
+        assert machine_id_for(0) == "m_0000"
+        assert machine_id_for(1299) == "m_1299"
+
+    def test_lexicographic_order_matches_numeric(self):
+        ids = [machine_id_for(i) for i in range(250)]
+        assert ids == sorted(ids)
+
+
+class TestMakeMachines:
+    def test_count_and_uniqueness(self):
+        machines = make_machines(ClusterConfig(num_machines=25))
+        assert len(machines) == 25
+        assert len({m.machine_id for m in machines}) == 25
+
+    def test_capacities_copied_from_config(self):
+        config = ClusterConfig(num_machines=2, cpu_cores=32, memory_gb=128.0)
+        machines = make_machines(config)
+        assert machines[0].cpu_cores == 32
+        assert machines[0].memory_gb == 128.0
+
+    def test_baseline_lookup(self):
+        machine = make_machines(ClusterConfig(num_machines=1))[0]
+        assert machine.baseline("cpu") == ClusterConfig().baseline_cpu
+        assert machine.baseline("mem") == ClusterConfig().baseline_mem
+        assert machine.baseline("disk") == ClusterConfig().baseline_disk
+        with pytest.raises(KeyError):
+            machine.baseline("gpu")
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            make_machines(ClusterConfig(num_machines=0))
+
+
+class TestMachineEvents:
+    def test_add_events(self):
+        machines = make_machines(ClusterConfig(num_machines=3))
+        events = machine_add_events(machines, timestamp=0)
+        assert len(events) == 3
+        assert all(e.event_type == schema.EVENT_ADD for e in events)
+        assert events[0].capacity_cpu == float(machines[0].cpu_cores)
+
+    def test_failure_event_kinds(self):
+        machine = make_machines(ClusterConfig(num_machines=1))[0]
+        hard = failure_event(machine, 100, hard=True, detail="disk died")
+        soft = failure_event(machine, 100, hard=False)
+        assert hard.event_type == schema.EVENT_HARD_ERROR
+        assert soft.event_type == schema.EVENT_SOFT_ERROR
+        assert hard.event_detail == "disk died"
+        assert hard.timestamp == 100

@@ -1,0 +1,118 @@
+"""Tests for instance placement (least-loaded and round-robin schedulers)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import make_machines
+from repro.cluster.scheduler import (
+    LeastLoadedScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from repro.config import ClusterConfig
+from repro.errors import SchedulingError
+from repro.trace.workload import JobSpec, TaskSpec
+
+
+def make_job(job_id="j1", submit=0, instances=8, cpu=20.0, duration=1200) -> JobSpec:
+    return JobSpec(job_id, submit, tasks=[
+        TaskSpec("t1", instances, cpu, cpu, 5.0, 0, duration)])
+
+
+@pytest.fixture()
+def machines():
+    return make_machines(ClusterConfig(num_machines=4))
+
+
+class TestLeastLoaded:
+    def test_every_instance_placed_exactly_once(self, machines):
+        scheduler = LeastLoadedScheduler(machines, horizon_s=7200)
+        placements = scheduler.place([make_job(instances=10)])
+        assert len(placements) == 10
+        assert all(p.machine_id in {m.machine_id for m in machines}
+                   for p in placements)
+        assert [p.seq_no for p in placements] == list(range(1, 11))
+        assert all(p.total_seq_no == 10 for p in placements)
+
+    def test_balances_across_machines(self, machines):
+        scheduler = LeastLoadedScheduler(machines, horizon_s=7200)
+        placements = scheduler.place([make_job(instances=8)])
+        counts = {}
+        for p in placements:
+            counts[p.machine_id] = counts.get(p.machine_id, 0) + 1
+        assert set(counts.values()) == {2}
+
+    def test_non_overlapping_jobs_reuse_machines(self, machines):
+        scheduler = LeastLoadedScheduler(machines, horizon_s=7200)
+        early = make_job("j1", submit=0, instances=4, duration=600)
+        late = make_job("j2", submit=3600, instances=4, duration=600)
+        placements = scheduler.place([early, late])
+        late_machines = {p.machine_id for p in placements if p.job_id == "j2"}
+        assert len(late_machines) == 4  # spread again, no stacking needed
+
+    def test_interval_times_recorded(self, machines):
+        scheduler = LeastLoadedScheduler(machines, horizon_s=7200)
+        job = JobSpec("j", 600, tasks=[TaskSpec("t", 2, 10, 10, 10, 300, 900)])
+        placements = scheduler.place([job])
+        assert all(p.start_s == 900 and p.end_s == 1800 for p in placements)
+        assert placements[0].duration_s == 900
+        assert placements[0].overlaps(1000)
+        assert not placements[0].overlaps(100)
+
+    def test_committed_load_accumulates(self, machines):
+        scheduler = LeastLoadedScheduler(machines, horizon_s=7200)
+        scheduler.place([make_job(instances=4, cpu=25.0)])
+        assert scheduler.committed_load.max() == pytest.approx(25.0)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(SchedulingError):
+            LeastLoadedScheduler([], horizon_s=100)
+
+    def test_invalid_horizon_rejected(self, machines):
+        with pytest.raises(SchedulingError):
+            LeastLoadedScheduler(machines, horizon_s=0)
+
+
+class TestRoundRobin:
+    def test_strict_rotation(self, machines):
+        scheduler = RoundRobinScheduler(machines, horizon_s=7200)
+        placements = scheduler.place([make_job(instances=8)])
+        ids = [p.machine_id for p in placements]
+        expected = [m.machine_id for m in machines] * 2
+        assert ids == expected
+
+    def test_ignores_load(self, machines):
+        scheduler = RoundRobinScheduler(machines, horizon_s=7200)
+        heavy = make_job("j1", instances=1, cpu=90.0)
+        light = make_job("j2", instances=1, cpu=1.0)
+        placements = scheduler.place([heavy, light])
+        # round-robin stacks the second instance on the next machine regardless
+        assert placements[0].machine_id != placements[1].machine_id
+
+
+class TestRegistry:
+    def test_make_scheduler(self, machines):
+        assert isinstance(make_scheduler("least-loaded", machines, horizon_s=100),
+                          LeastLoadedScheduler)
+        assert isinstance(make_scheduler("round-robin", machines, horizon_s=100),
+                          RoundRobinScheduler)
+
+    def test_unknown_scheduler(self, machines):
+        with pytest.raises(SchedulingError):
+            make_scheduler("magic", machines, horizon_s=100)
+
+
+class TestLoadBalanceQuality:
+    def test_least_loaded_beats_round_robin_on_peak(self):
+        machines = make_machines(ClusterConfig(num_machines=6))
+        jobs = []
+        rng = np.random.default_rng(0)
+        for index in range(12):
+            jobs.append(JobSpec(f"j{index}", int(rng.integers(0, 3600)), tasks=[
+                TaskSpec("t", int(rng.integers(1, 6)),
+                         float(rng.uniform(5, 30)), 10.0, 5.0, 0, 1800)]))
+        balanced = LeastLoadedScheduler(machines, horizon_s=7200)
+        balanced.place(jobs)
+        rr = RoundRobinScheduler(machines, horizon_s=7200)
+        rr.place(jobs)
+        assert balanced.committed_load.max() <= rr.committed_load.max() + 1e-9

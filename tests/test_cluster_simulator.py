@@ -1,0 +1,121 @@
+"""Tests for the cluster simulator pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulator import ClusterSimulator, simulate
+from repro.config import ClusterConfig, TraceConfig, UsageConfig, WorkloadConfig
+from repro.errors import ConfigError
+from repro.trace import schema
+from repro.trace.validate import validate_bundle
+from tests.conftest import fast_config
+
+
+class TestPipelineOutputs:
+    def test_bundle_sections_populated(self, healthy_bundle):
+        assert healthy_bundle.machine_events
+        assert healthy_bundle.tasks
+        assert healthy_bundle.instances
+        assert healthy_bundle.usage is not None
+        assert healthy_bundle.usage.num_samples > 0
+
+    def test_machine_count_matches_config(self):
+        config = fast_config(num_machines=7)
+        bundle = simulate(config)
+        assert len(bundle.machine_ids()) == 7
+        assert bundle.usage.num_machines == 7
+
+    def test_usage_grid_matches_resolution_and_horizon(self):
+        config = fast_config(resolution_s=300, horizon_s=3600)
+        bundle = simulate(config)
+        timestamps = bundle.usage.timestamps
+        assert timestamps[0] == 0.0
+        assert timestamps[-1] == 3600.0
+        assert np.all(np.diff(timestamps) == 300.0)
+
+    def test_usage_bounded(self, thrashing_bundle):
+        assert thrashing_bundle.usage.data.min() >= 0.0
+        assert thrashing_bundle.usage.data.max() <= 100.0
+
+    def test_instances_reference_known_entities(self, healthy_bundle):
+        machine_ids = set(healthy_bundle.machine_ids())
+        task_keys = {(t.job_id, t.task_id) for t in healthy_bundle.tasks}
+        for inst in healthy_bundle.instances:
+            assert inst.machine_id in machine_ids
+            assert (inst.job_id, inst.task_id) in task_keys
+
+    def test_task_instance_counts_match(self, healthy_bundle):
+        counts = {}
+        for inst in healthy_bundle.instances:
+            counts[(inst.job_id, inst.task_id)] = counts.get(
+                (inst.job_id, inst.task_id), 0) + 1
+        for task in healthy_bundle.tasks:
+            assert counts[(task.job_id, task.task_id)] == task.instance_num
+
+    def test_instance_usage_summaries_populated(self, healthy_bundle):
+        with_stats = [inst for inst in healthy_bundle.instances
+                      if inst.cpu_avg is not None]
+        assert len(with_stats) > 0
+        for inst in with_stats[:20]:
+            assert 0.0 <= inst.cpu_avg <= inst.cpu_max <= 100.0
+
+    def test_meta_records_provenance(self, hotjob_bundle):
+        meta = hotjob_bundle.meta
+        assert meta["scenario"] == "hotjob"
+        assert meta["scheduler"] == "least-loaded"
+        assert "seed" in meta and "horizon_s" in meta
+
+    def test_generated_bundle_passes_validation(self):
+        report = validate_bundle(simulate(fast_config("hotjob", seed=77)))
+        assert report.ok, report.errors
+
+
+class TestDeterminismAndVariation:
+    def test_same_seed_same_usage(self):
+        a = simulate(fast_config(seed=9))
+        b = simulate(fast_config(seed=9))
+        np.testing.assert_array_equal(a.usage.data, b.usage.data)
+
+    def test_different_seed_different_usage(self):
+        a = simulate(fast_config(seed=9))
+        b = simulate(fast_config(seed=10))
+        assert not np.array_equal(a.usage.data, b.usage.data)
+
+
+class TestScenarios:
+    def test_band_ordering_across_scenarios(self):
+        means = {}
+        for scenario in ("healthy", "hotjob", "thrashing"):
+            bundle = simulate(fast_config(scenario, seed=31))
+            means[scenario] = bundle.usage.aggregate("cpu").mean()
+        assert means["healthy"] < means["hotjob"] <= means["thrashing"] + 5.0
+
+    def test_healthy_band_roughly_matches_paper(self):
+        bundle = simulate(TraceConfig(scenario="healthy", seed=2022))
+        mean_cpu = bundle.usage.aggregate("cpu").mean()
+        assert 15.0 <= mean_cpu <= 45.0
+
+    def test_round_robin_scheduler_option(self):
+        bundle = simulate(fast_config(seed=3), scheduler="round-robin")
+        assert bundle.meta["scheduler"] == "round-robin"
+
+
+class TestErrorHandling:
+    def test_invalid_config_rejected_at_construction(self):
+        with pytest.raises(ConfigError):
+            ClusterSimulator(TraceConfig(horizon_s=-1))
+
+    def test_zero_noise_supported(self):
+        config = TraceConfig(
+            cluster=ClusterConfig(num_machines=4),
+            workload=WorkloadConfig(num_jobs=3, max_instances=4),
+            usage=UsageConfig(resolution_s=300, noise_std=0.0),
+            horizon_s=3600, scenario="none", seed=1)
+        bundle = simulate(config)
+        assert bundle.usage.data.max() <= 100.0
+
+    def test_statuses_are_valid(self, thrashing_bundle):
+        for inst in thrashing_bundle.instances:
+            assert inst.status in schema.VALID_STATUSES
+        for task in thrashing_bundle.tasks:
+            assert task.status in schema.VALID_STATUSES

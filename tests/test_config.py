@@ -1,0 +1,130 @@
+"""Tests for the configuration objects and their validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    METRICS,
+    PAPER_HORIZON_S,
+    PAPER_MACHINE_COUNT,
+    ClusterConfig,
+    TraceConfig,
+    UsageConfig,
+    WorkloadConfig,
+    paper_scale_config,
+    small_config,
+)
+from repro.errors import ConfigError
+
+
+class TestClusterConfig:
+    def test_defaults_validate(self):
+        ClusterConfig().validate()
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(num_machines=0).validate()
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(memory_gb=-1).validate()
+
+    def test_rejects_baseline_above_100(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(baseline_cpu=120.0).validate()
+
+
+class TestWorkloadConfig:
+    def test_defaults_validate(self):
+        WorkloadConfig().validate()
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(num_jobs=0).validate()
+
+    def test_rejects_fraction_above_one(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(single_task_job_fraction=1.5).validate()
+
+    def test_rejects_inverted_instance_bounds(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(min_instances=10, max_instances=2).validate()
+
+    def test_rejects_inverted_duration_bounds(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(min_duration_s=5000, max_duration_s=100).validate()
+
+    def test_rejects_zero_resource_request(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(mean_cpu_request=0.0).validate()
+
+    def test_rejects_single_task_max(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(max_tasks_per_job=1).validate()
+
+
+class TestUsageConfig:
+    def test_defaults_validate(self):
+        UsageConfig().validate()
+
+    def test_rejects_zero_resolution(self):
+        with pytest.raises(ConfigError):
+            UsageConfig(resolution_s=0).validate()
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigError):
+            UsageConfig(noise_std=-1).validate()
+
+    def test_rejects_huge_ramp(self):
+        with pytest.raises(ConfigError):
+            UsageConfig(ramp_fraction=0.6).validate()
+
+
+class TestTraceConfig:
+    def test_defaults_validate(self):
+        TraceConfig().validate()
+
+    def test_rejects_zero_horizon(self):
+        with pytest.raises(ConfigError):
+            TraceConfig(horizon_s=0).validate()
+
+    def test_rejects_horizon_below_batch_resolution(self):
+        with pytest.raises(ConfigError):
+            TraceConfig(horizon_s=100, batch_resolution_s=300).validate()
+
+    def test_rejects_usage_resolution_above_horizon(self):
+        with pytest.raises(ConfigError):
+            TraceConfig(horizon_s=600,
+                        usage=UsageConfig(resolution_s=1200)).validate()
+
+    def test_is_frozen(self):
+        config = TraceConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.horizon_s = 1  # type: ignore[misc]
+
+    def test_nested_validation_propagates(self):
+        config = TraceConfig(workload=WorkloadConfig(num_jobs=-5))
+        with pytest.raises(ConfigError):
+            config.validate()
+
+
+class TestPresets:
+    def test_metric_names(self):
+        assert METRICS == ("cpu", "mem", "disk")
+
+    def test_paper_scale_matches_paper(self):
+        config = paper_scale_config()
+        config.validate()
+        assert config.cluster.num_machines == PAPER_MACHINE_COUNT == 1300
+        assert config.horizon_s == PAPER_HORIZON_S == 86400
+        assert config.batch_resolution_s == 300
+
+    def test_paper_scale_scenario_override(self):
+        assert paper_scale_config(scenario="thrashing").scenario == "thrashing"
+
+    def test_small_config_is_small_and_valid(self):
+        config = small_config()
+        config.validate()
+        assert config.cluster.num_machines <= 20
+        assert config.horizon_s <= 4 * 3600

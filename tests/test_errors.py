@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BatchLensError,
+    ConfigError,
+    LayoutError,
+    RenderError,
+    SchedulingError,
+    SeriesError,
+    SimulationError,
+    TraceFormatError,
+    TraceValidationError,
+    UnknownEntityError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        ConfigError, LayoutError, RenderError, SchedulingError, SeriesError,
+        SimulationError, TraceFormatError, TraceValidationError,
+        UnknownEntityError,
+    ])
+    def test_every_error_derives_from_batchlens_error(self, exc_type):
+        assert issubclass(exc_type, BatchLensError)
+
+    def test_catching_base_class_catches_specific(self):
+        with pytest.raises(BatchLensError):
+            raise SeriesError("broken series")
+
+
+class TestTraceFormatError:
+    def test_plain_message(self):
+        error = TraceFormatError("bad column count")
+        assert str(error) == "bad column count"
+        assert error.table is None
+        assert error.line_number is None
+
+    def test_table_prefix(self):
+        error = TraceFormatError("bad value", table="batch_task")
+        assert str(error) == "[batch_task] bad value"
+        assert error.table == "batch_task"
+
+    def test_table_and_line_prefix(self):
+        error = TraceFormatError("bad value", table="server_usage", line_number=42)
+        assert str(error) == "[server_usage] line 42: bad value"
+        assert error.line_number == 42
+
+
+class TestUnknownEntityError:
+    def test_message_carries_kind_and_id(self):
+        error = UnknownEntityError("job", "job_7901")
+        assert error.kind == "job"
+        assert error.entity_id == "job_7901"
+        assert "job" in str(error)
+        assert "job_7901" in str(error)

@@ -1,0 +1,112 @@
+"""Tests for hierarchy roll-ups and windowed aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SeriesError
+from repro.metrics.aggregate import (
+    busiest_machines,
+    cluster_timeline,
+    group_series,
+    group_snapshot,
+    utilisation_histogram,
+    windowed_mean,
+)
+from repro.metrics.series import TimeSeries
+from repro.metrics.store import MetricStore
+
+
+@pytest.fixture()
+def store() -> MetricStore:
+    s = MetricStore(["a", "b", "c", "d"], np.array([0.0, 100.0, 200.0]))
+    s.set_series("a", "cpu", [10, 10, 10])
+    s.set_series("b", "cpu", [30, 30, 30])
+    s.set_series("c", "cpu", [50, 60, 70])
+    s.set_series("d", "cpu", [90, 95, 99])
+    for mid, level in (("a", 20), ("b", 20), ("c", 40), ("d", 80)):
+        s.set_series(mid, "mem", [level] * 3)
+    return s
+
+
+class TestGroupSnapshot:
+    def test_mean_and_max(self, store):
+        groups = {"job1": ["a", "b"], "job2": ["c", "d"]}
+        results = {g.group_id: g for g in group_snapshot(store, groups, 0)}
+        assert results["job1"].mean["cpu"] == pytest.approx(20.0)
+        assert results["job2"].maximum["cpu"] == 90.0
+        assert results["job1"].machine_count == 2
+
+    def test_unknown_machines_ignored(self, store):
+        results = group_snapshot(store, {"j": ["a", "ghost"]}, 0)
+        assert results[0].machine_count == 1
+
+    def test_fully_unknown_group_is_zero(self, store):
+        results = group_snapshot(store, {"j": ["ghost"]}, 0)
+        assert results[0].machine_count == 0
+        assert results[0].mean["cpu"] == 0.0
+
+
+class TestGroupSeries:
+    def test_mean_over_time(self, store):
+        series = group_series(store, ["a", "b"], "cpu")
+        assert list(series.values) == [20, 20, 20]
+
+    def test_max_reducer(self, store):
+        series = group_series(store, ["c", "d"], "cpu", reducer="max")
+        assert list(series.values) == [90, 95, 99]
+
+    def test_empty_group(self, store):
+        assert group_series(store, [], "cpu").is_empty
+
+
+class TestClusterTimeline:
+    def test_one_layer_per_metric(self, store):
+        layers = cluster_timeline(store)
+        assert set(layers) == {"cpu", "mem", "disk"}
+        assert layers["cpu"].values[0] == pytest.approx(45.0)
+
+
+class TestWindowedMean:
+    def test_smooths_by_window(self):
+        series = TimeSeries([0, 10, 20, 30], [0, 10, 20, 30])
+        smoothed = windowed_mean(series, 10)
+        assert smoothed.values[1] == pytest.approx(5.0)
+        assert smoothed.values[3] == pytest.approx(25.0)
+
+    def test_invalid_window(self, simple_series):
+        with pytest.raises(SeriesError):
+            windowed_mean(simple_series, 0)
+
+    def test_empty_passthrough(self):
+        assert windowed_mean(TimeSeries.empty(), 10).is_empty
+
+
+class TestHistogram:
+    def test_bucket_counts(self, store):
+        counts = utilisation_histogram(store, "cpu", 0)
+        assert counts["0-20"] == 1
+        assert counts["20-40"] == 1
+        assert counts["40-60"] == 1
+        assert counts["80-100"] == 1
+
+    def test_value_exactly_at_top_edge_included(self):
+        s = MetricStore(["x"], np.array([0.0]))
+        s.set_series("x", "cpu", [100.0])
+        counts = utilisation_histogram(s, "cpu", 0)
+        assert counts["80-100"] == 1
+
+    def test_invalid_bins(self, store):
+        with pytest.raises(SeriesError):
+            utilisation_histogram(store, "cpu", 0, bin_edges=(0,))
+        with pytest.raises(SeriesError):
+            utilisation_histogram(store, "cpu", 0, bin_edges=(0, 50, 40))
+
+
+class TestBusiestMachines:
+    def test_ordering(self, store):
+        top = busiest_machines(store, "cpu", 200, top_n=2)
+        assert [mid for mid, _ in top] == ["d", "c"]
+
+    def test_invalid_top_n(self, store):
+        with pytest.raises(SeriesError):
+            busiest_machines(store, "cpu", 0, top_n=0)

@@ -1,0 +1,91 @@
+"""Tests for regular-grid resampling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SeriesError
+from repro.metrics.resample import downsample, fill_gaps, regular_grid, to_grid, upsample
+from repro.metrics.series import TimeSeries
+
+
+class TestRegularGrid:
+    def test_inclusive_endpoints(self):
+        grid = regular_grid(0, 600, 300)
+        assert list(grid) == [0, 300, 600]
+
+    def test_non_divisible_span(self):
+        grid = regular_grid(0, 500, 300)
+        assert list(grid) == [0, 300]
+
+    def test_zero_span(self):
+        assert list(regular_grid(100, 100, 60)) == [100]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SeriesError):
+            regular_grid(0, 100, 0)
+        with pytest.raises(SeriesError):
+            regular_grid(100, 0, 10)
+
+
+class TestDownsample:
+    def test_mean_reducer(self, simple_series):
+        coarse = downsample(simple_series, 120, "mean")
+        assert len(coarse) == 5
+        assert coarse.values[0] == pytest.approx(11.0)
+
+    def test_max_reducer(self, simple_series):
+        coarse = downsample(simple_series, 300, "max")
+        assert coarse.values[0] == 90.0
+
+    def test_all_named_reducers_run(self, simple_series):
+        for name in ("mean", "max", "min", "sum", "median", "last", "first"):
+            assert len(downsample(simple_series, 180, name)) > 0
+
+    def test_unknown_reducer(self, simple_series):
+        with pytest.raises(SeriesError):
+            downsample(simple_series, 120, "mode")
+
+    def test_empty_passthrough(self):
+        assert downsample(TimeSeries.empty(), 60).is_empty
+
+    def test_bins_stamped_at_left_edge(self, simple_series):
+        coarse = downsample(simple_series, 120)
+        assert list(coarse.timestamps) == [0, 120, 240, 360, 480]
+
+
+class TestUpsample:
+    def test_doubles_resolution(self, simple_series):
+        fine = upsample(simple_series, 30)
+        assert len(fine) == 19
+        assert fine.value_at(30) == pytest.approx(11.0)
+
+    def test_step_mode(self, simple_series):
+        fine = upsample(simple_series, 30, interpolate=False)
+        assert fine.value_at(30) == 10.0
+
+    def test_empty_passthrough(self):
+        assert upsample(TimeSeries.empty(), 10).is_empty
+
+
+class TestToGrid:
+    def test_projects_onto_grid(self, simple_series):
+        grid = np.array([0.0, 90.0, 540.0])
+        projected = to_grid(simple_series, grid)
+        assert list(projected.timestamps) == [0, 90, 540]
+        assert projected.values[1] == pytest.approx(13.0)
+
+    def test_empty_series_gives_zeros(self):
+        projected = to_grid(TimeSeries.empty(), np.array([0.0, 1.0]))
+        assert list(projected.values) == [0.0, 0.0]
+
+
+class TestFillGaps:
+    def test_fills_missing_steps(self):
+        series = TimeSeries([0, 60, 180], [1, 2, 4])
+        filled = fill_gaps(series, 60, fill_value=-1)
+        assert list(filled.timestamps) == [0, 60, 120, 180]
+        assert filled.value_at(120) == -1.0
+
+    def test_no_gaps_is_identity_shape(self, simple_series):
+        filled = fill_gaps(simple_series, 60)
+        assert len(filled) == len(simple_series)

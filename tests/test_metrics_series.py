@@ -1,0 +1,209 @@
+"""Tests for the TimeSeries container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SeriesError
+from repro.metrics.series import TimeSeries, align, merge_mean, merge_sum
+
+
+class TestConstruction:
+    def test_basic_lengths(self, simple_series):
+        assert len(simple_series) == 10
+        assert simple_series.start == 0.0
+        assert simple_series.end == 540.0
+        assert simple_series.duration == 540.0
+
+    def test_empty(self):
+        series = TimeSeries.empty()
+        assert len(series) == 0
+        assert series.is_empty
+        assert series.duration == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SeriesError):
+            TimeSeries([1, 2, 3], [1, 2])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(SeriesError):
+            TimeSeries(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_unsorted_input_is_sorted(self):
+        series = TimeSeries([30, 10, 20], [3, 1, 2])
+        assert list(series.timestamps) == [10, 20, 30]
+        assert list(series.values) == [1, 2, 3]
+
+    def test_from_pairs(self):
+        series = TimeSeries.from_pairs([(0, 1.0), (60, 2.0)])
+        assert len(series) == 2
+        assert series.value_at(60) == 2.0
+
+    def test_from_pairs_empty(self):
+        assert TimeSeries.from_pairs([]).is_empty
+
+    def test_constant(self):
+        series = TimeSeries.constant([0, 10, 20], 5.0)
+        assert set(series.values.tolist()) == {5.0}
+
+    def test_immutable_arrays(self, simple_series):
+        with pytest.raises(ValueError):
+            simple_series.values[0] = 99.0
+
+    def test_equality(self):
+        a = TimeSeries([0, 1], [1, 2])
+        b = TimeSeries([0, 1], [1, 2])
+        c = TimeSeries([0, 1], [1, 3])
+        assert a == b
+        assert a != c
+
+    def test_repr_mentions_length(self, simple_series):
+        assert "n=10" in repr(simple_series)
+        assert "empty" in repr(TimeSeries.empty())
+
+
+class TestPointQueries:
+    def test_value_at_step_semantics(self, simple_series):
+        assert simple_series.value_at(65) == 12.0
+
+    def test_value_at_interpolated(self, simple_series):
+        assert simple_series.value_at(30, interpolate=True) == pytest.approx(11.0)
+
+    def test_value_at_clamps_to_ends(self, simple_series):
+        assert simple_series.value_at(-100) == 10.0
+        assert simple_series.value_at(10_000) == 12.0
+
+    def test_value_at_empty_raises(self):
+        with pytest.raises(SeriesError):
+            TimeSeries.empty().value_at(0)
+
+
+class TestTransforms:
+    def test_slice(self, simple_series):
+        part = simple_series.slice(120, 300)
+        assert part.start == 120.0
+        assert part.end == 300.0
+        assert len(part) == 4
+
+    def test_slice_open_ended(self, simple_series):
+        assert simple_series.slice(start=480).end == 540.0
+        assert simple_series.slice(end=60).start == 0.0
+
+    def test_shift_and_scale(self, simple_series):
+        shifted = simple_series.shift(100)
+        assert shifted.start == 100.0
+        scaled = simple_series.scale(2.0)
+        assert scaled.max() == simple_series.max() * 2
+
+    def test_clip(self, simple_series):
+        clipped = simple_series.clip(0, 50)
+        assert clipped.max() == 50.0
+        with pytest.raises(SeriesError):
+            simple_series.clip(10, 5)
+
+    def test_map(self, simple_series):
+        doubled = simple_series.map(lambda v: v * 2)
+        assert doubled.values[0] == 20.0
+
+    def test_add_subtract_aligned(self, simple_series):
+        total = simple_series.add(simple_series)
+        assert total.values[3] == 80.0
+        zero = simple_series.subtract(simple_series)
+        assert zero.max() == 0.0
+
+    def test_add_unaligned_rejected(self, simple_series):
+        other = TimeSeries([0, 1], [1, 2])
+        with pytest.raises(SeriesError):
+            simple_series.add(other)
+
+    def test_diff(self, simple_series):
+        diff = simple_series.diff()
+        assert len(diff) == len(simple_series) - 1
+        assert diff.values[0] == 2.0
+
+    def test_diff_of_short_series(self):
+        assert TimeSeries([0], [1]).diff().is_empty
+
+
+class TestSmoothing:
+    def test_ewma_bounds(self, simple_series):
+        smooth = simple_series.ewma(0.3)
+        assert len(smooth) == len(simple_series)
+        assert smooth.values[0] == simple_series.values[0]
+        assert smooth.max() <= simple_series.max()
+
+    def test_ewma_alpha_one_is_identity(self, simple_series):
+        assert simple_series.ewma(1.0) == simple_series
+
+    def test_ewma_invalid_alpha(self, simple_series):
+        with pytest.raises(SeriesError):
+            simple_series.ewma(0.0)
+        with pytest.raises(SeriesError):
+            simple_series.ewma(1.5)
+
+    def test_rolling_mean_window_one_is_identity(self, simple_series):
+        assert simple_series.rolling_mean(1) == simple_series
+
+    def test_rolling_mean_values(self):
+        series = TimeSeries([0, 1, 2, 3], [2, 4, 6, 8])
+        rolled = series.rolling_mean(2)
+        assert list(rolled.values) == [2.0, 3.0, 5.0, 7.0]
+
+    def test_rolling_std_constant_is_zero(self):
+        series = TimeSeries.constant([0, 1, 2, 3], 7.0)
+        assert series.rolling_std(3).max() == 0.0
+
+    def test_rolling_invalid_window(self, simple_series):
+        with pytest.raises(SeriesError):
+            simple_series.rolling_mean(0)
+
+
+class TestStatistics:
+    def test_summary_consistency(self, simple_series):
+        summary = simple_series.summary()
+        assert summary.count == 10
+        assert summary.minimum == simple_series.min()
+        assert summary.maximum == simple_series.max()
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+
+    def test_percentile_range_check(self, simple_series):
+        with pytest.raises(SeriesError):
+            simple_series.percentile(120)
+
+    def test_argmax_argmin(self, simple_series):
+        assert simple_series.argmax() == 240.0
+        assert simple_series.argmin() == 0.0
+
+    def test_empty_statistics_raise(self):
+        empty = TimeSeries.empty()
+        for method in ("mean", "std", "min", "max", "summary"):
+            with pytest.raises(SeriesError):
+                getattr(empty, method)()
+
+
+class TestAlignMerge:
+    def test_align_on_union(self):
+        a = TimeSeries([0, 10], [0, 10])
+        b = TimeSeries([5, 15], [5, 15])
+        aligned = align([a, b])
+        assert list(aligned[0].timestamps) == [0, 5, 10, 15]
+        assert aligned[0].value_at(5) == pytest.approx(5.0)
+
+    def test_align_keeps_empty_series_empty(self):
+        aligned = align([TimeSeries.empty(), TimeSeries([0, 1], [1, 2])])
+        assert aligned[0].is_empty
+        assert len(aligned[1]) == 2
+
+    def test_align_step_mode(self):
+        a = TimeSeries([0, 10], [0, 10])
+        aligned = align([a], timestamps=np.array([0, 5, 10]), interpolate=False)
+        assert list(aligned[0].values) == [0, 0, 10]
+
+    def test_merge_sum_and_mean(self):
+        a = TimeSeries([0, 10], [1, 3])
+        b = TimeSeries([0, 10], [3, 5])
+        assert list(merge_sum([a, b]).values) == [4, 8]
+        assert list(merge_mean([a, b]).values) == [2, 4]
+
+    def test_merge_empty_inputs(self):
+        assert merge_sum([]).is_empty
+        assert merge_mean([TimeSeries.empty()]).is_empty

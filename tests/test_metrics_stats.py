@@ -1,0 +1,85 @@
+"""Tests for descriptive statistics (hierarchy stats, CV, Gini)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    coefficient_of_variation,
+    gini,
+    hierarchy_stats,
+    summarize,
+)
+
+
+class TestHierarchyStats:
+    def test_paper_style_fractions(self):
+        tasks_per_job = {"j1": 1, "j2": 1, "j3": 1, "j4": 2}
+        instances_per_task = {"t1": 1, "t2": 4, "t3": 8, "t4": 2, "t5": 6}
+        stats = hierarchy_stats(tasks_per_job, instances_per_task, num_machines=10)
+        assert stats.num_jobs == 4
+        assert stats.num_tasks == 5
+        assert stats.num_instances == 21
+        assert stats.single_task_job_fraction == pytest.approx(0.75)
+        assert stats.multi_instance_task_fraction == pytest.approx(0.8)
+        assert stats.mean_tasks_per_job == pytest.approx(1.25)
+        assert stats.max_instances_per_task == 8
+
+    def test_empty_hierarchy(self):
+        stats = hierarchy_stats({}, {}, 0)
+        assert stats.num_jobs == 0
+        assert stats.single_task_job_fraction == 0.0
+
+    def test_as_dict_keys(self):
+        stats = hierarchy_stats({"j": 1}, {"t": 3}, 2)
+        d = stats.as_dict()
+        assert d["num_machines"] == 2
+        assert set(d) >= {"num_jobs", "num_tasks", "num_instances"}
+
+
+class TestSummarize:
+    def test_quantile_ordering(self):
+        summary = summarize(np.arange(100))
+        assert summary.minimum <= summary.p25 <= summary.p50
+        assert summary.p50 <= summary.p75 <= summary.p95 <= summary.maximum
+        assert summary.count == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestCoefficientOfVariation:
+    def test_constant_sample(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_zero_mean(self):
+        assert coefficient_of_variation([-1, 1]) == 0.0
+
+    def test_empty(self):
+        assert coefficient_of_variation([]) == 0.0
+
+    def test_known_value(self):
+        values = [10.0, 20.0]
+        assert coefficient_of_variation(values) == pytest.approx(5.0 / 15.0)
+
+
+class TestGini:
+    def test_perfect_balance(self):
+        assert gini([10, 10, 10, 10]) == pytest.approx(0.0)
+
+    def test_total_concentration_approaches_one(self):
+        value = gini([0] * 99 + [100])
+        assert value > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0, 0]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini([-1, 2, 3])
+
+    def test_scale_invariant(self):
+        a = gini([1, 2, 3, 4])
+        b = gini([10, 20, 30, 40])
+        assert a == pytest.approx(b)

@@ -1,0 +1,130 @@
+"""Tests for the dense MetricStore."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SeriesError, UnknownEntityError
+from repro.metrics.store import MetricStore
+
+
+@pytest.fixture()
+def store() -> MetricStore:
+    s = MetricStore(["m1", "m2", "m3"], np.array([0.0, 60.0, 120.0, 180.0]))
+    s.set_series("m1", "cpu", [10, 20, 30, 40])
+    s.set_series("m2", "cpu", [50, 50, 50, 50])
+    s.set_series("m3", "cpu", [90, 80, 70, 60])
+    s.set_series("m1", "mem", [5, 5, 5, 5])
+    return s
+
+
+class TestConstruction:
+    def test_shape(self, store):
+        assert store.num_machines == 3
+        assert store.num_samples == 4
+        assert store.metrics == ("cpu", "mem", "disk")
+        assert store.data.shape == (3, 3, 4)
+
+    def test_duplicate_machine_ids_rejected(self):
+        with pytest.raises(SeriesError):
+            MetricStore(["a", "a"], np.array([0.0]))
+
+    def test_non_increasing_timestamps_rejected(self):
+        with pytest.raises(SeriesError):
+            MetricStore(["a"], np.array([0.0, 0.0]))
+
+    def test_contains(self, store):
+        assert "m1" in store
+        assert "zz" not in store
+
+
+class TestMutation:
+    def test_set_series_wrong_length(self, store):
+        with pytest.raises(SeriesError):
+            store.set_series("m1", "cpu", [1, 2])
+
+    def test_unknown_machine(self, store):
+        with pytest.raises(UnknownEntityError):
+            store.set_series("nope", "cpu", [0, 0, 0, 0])
+
+    def test_unknown_metric(self, store):
+        with pytest.raises(UnknownEntityError):
+            store.series("m1", "gpu")
+
+    def test_add_to_series_accumulates(self, store):
+        store.add_to_series("m1", "cpu", [1, 1, 1, 1])
+        assert store.series("m1", "cpu").values[0] == 11.0
+
+    def test_clip(self, store):
+        store.add_to_series("m3", "cpu", [50, 50, 50, 50])
+        store.clip(0, 100)
+        assert store.series("m3", "cpu").max() <= 100.0
+
+
+class TestQueries:
+    def test_series_roundtrip(self, store):
+        series = store.series("m1", "cpu")
+        assert list(series.values) == [10, 20, 30, 40]
+        assert list(series.timestamps) == [0, 60, 120, 180]
+
+    def test_series_is_a_copy(self, store):
+        series = store.series("m1", "cpu")
+        arr = np.array(series.values)  # copy to mutate
+        arr[0] = 999
+        assert store.series("m1", "cpu").values[0] == 10.0
+
+    def test_machine_snapshot(self, store):
+        snap = store.machine_snapshot("m1", 60)
+        assert snap == {"cpu": 20.0, "mem": 5.0, "disk": 0.0}
+
+    def test_snapshot_step_semantics(self, store):
+        assert store.machine_snapshot("m1", 65)["cpu"] == 20.0
+        assert store.machine_snapshot("m1", -5)["cpu"] == 10.0
+        assert store.machine_snapshot("m1", 999)["cpu"] == 40.0
+
+    def test_snapshot_per_metric(self, store):
+        snap = store.snapshot(0, metric="cpu")
+        assert snap == {"m1": 10.0, "m2": 50.0, "m3": 90.0}
+
+    def test_snapshot_nested(self, store):
+        snap = store.snapshot(0)
+        assert snap["m2"]["cpu"] == 50.0
+
+    def test_aggregate_reducers(self, store):
+        assert store.aggregate("cpu", "mean").values[0] == pytest.approx(50.0)
+        assert store.aggregate("cpu", "max").values[0] == 90.0
+        assert store.aggregate("cpu", "min").values[3] == 40.0
+        assert store.aggregate("cpu", "sum").values[0] == 150.0
+        assert len(store.aggregate("cpu", "p95")) == 4
+
+    def test_aggregate_unknown_reducer(self, store):
+        with pytest.raises(SeriesError):
+            store.aggregate("cpu", "mode")
+
+    def test_subset(self, store):
+        sub = store.subset(["m1", "m3"])
+        assert sub.num_machines == 2
+        assert sub.series("m3", "cpu").values[0] == 90.0
+
+    def test_window(self, store):
+        windowed = store.window(60, 120)
+        assert windowed.num_samples == 2
+        assert list(windowed.series("m1", "cpu").values) == [20, 30]
+
+    def test_window_invalid(self, store):
+        with pytest.raises(SeriesError):
+            store.window(100, 50)
+
+
+class TestRecordsRoundTrip:
+    def test_iter_records_count(self, store):
+        records = list(store.iter_records())
+        assert len(records) == 3 * 4
+
+    def test_from_records_roundtrip(self, store):
+        rebuilt = MetricStore.from_records(store.iter_records())
+        assert rebuilt.num_machines == store.num_machines
+        assert rebuilt.num_samples == store.num_samples
+        np.testing.assert_allclose(
+            rebuilt.series("m1", "cpu").values, store.series("m1", "cpu").values)
+        np.testing.assert_allclose(
+            rebuilt.series("m3", "cpu").values, store.series("m3", "cpu").values)

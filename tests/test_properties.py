@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.resample import downsample, regular_grid
+from repro.metrics.series import TimeSeries, merge_sum
+from repro.metrics.stats import coefficient_of_variation, gini
+from repro.trace import schema
+from repro.vis.color import Color, UTILISATION_CMAP, lerp, utilisation_color
+from repro.vis.layout.circlepack import pack_siblings, smallest_enclosing_circle, _Circle
+from repro.vis.scale import LinearScale, format_seconds, nice_step
+
+
+# -- strategy helpers ---------------------------------------------------------------
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+utilisations = st.floats(min_value=0.0, max_value=100.0,
+                         allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def series_strategy(draw, min_size=1, max_size=40):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    start = draw(st.floats(min_value=0, max_value=1e5, allow_nan=False))
+    steps = draw(st.lists(st.floats(min_value=0.5, max_value=600),
+                          min_size=n, max_size=n))
+    timestamps = np.cumsum(np.asarray(steps)) + start
+    values = np.asarray(draw(st.lists(utilisations, min_size=n, max_size=n)))
+    return TimeSeries(timestamps, values)
+
+
+class TestTimeSeriesProperties:
+    @given(series_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_timestamps_always_sorted(self, series):
+        assert np.all(np.diff(series.timestamps) >= 0)
+
+    @given(series_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_slice_is_subset(self, series):
+        lo = series.start + series.duration * 0.25
+        hi = series.start + series.duration * 0.75
+        part = series.slice(lo, hi)
+        assert len(part) <= len(series)
+        if len(part):
+            assert part.start >= lo - 1e-9
+            assert part.end <= hi + 1e-9
+
+    @given(series_strategy(), st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_ewma_stays_within_value_range(self, series, alpha):
+        smoothed = series.ewma(alpha)
+        assert smoothed.min() >= series.min() - 1e-9
+        assert smoothed.max() <= series.max() + 1e-9
+
+    @given(series_strategy(min_size=2))
+    @settings(max_examples=60, deadline=None)
+    def test_rolling_mean_bounded_by_extremes(self, series):
+        rolled = series.rolling_mean(5)
+        assert rolled.min() >= series.min() - 1e-9
+        assert rolled.max() <= series.max() + 1e-9
+
+    @given(series_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_value_at_returns_existing_value_between_samples(self, series):
+        probe = (series.start + series.end) / 2
+        value = series.value_at(probe)
+        assert series.min() - 1e-9 <= value <= series.max() + 1e-9
+
+    @given(series_strategy(), series_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_merge_sum_length_is_union(self, a, b):
+        merged = merge_sum([a, b])
+        union = np.union1d(a.timestamps, b.timestamps)
+        assert len(merged) == union.shape[0]
+
+    @given(series_strategy(min_size=3),
+           st.floats(min_value=30, max_value=3600))
+    @settings(max_examples=60, deadline=None)
+    def test_downsample_never_longer(self, series, resolution):
+        coarse = downsample(series, resolution)
+        assert 1 <= len(coarse) <= len(series)
+        assert coarse.min() >= series.min() - 1e-9
+        assert coarse.max() <= series.max() + 1e-9
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                    min_size=1, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_gini_bounded(self, values):
+        g = gini(values)
+        assert -1e-9 <= g <= 1.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_gini_scale_invariant(self, values, factor):
+        assert gini(values) == np.testing.assert_allclose(
+            gini(values), gini([v * factor for v in values]), atol=1e-9) or True
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                    min_size=1, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_cv_non_negative(self, values):
+        assert coefficient_of_variation(values) >= 0.0
+
+
+class TestColorProperties:
+    @given(utilisations)
+    @settings(max_examples=80, deadline=None)
+    def test_utilisation_color_components_valid(self, value):
+        color = utilisation_color(value)
+        for component in (color.r, color.g, color.b):
+            assert 0.0 <= component <= 1.0
+
+    @given(st.floats(min_value=0, max_value=1, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_colormap_hex_roundtrip(self, t):
+        color = UTILISATION_CMAP(t)
+        assert Color.from_hex(color.to_hex()).to_hex() == color.to_hex()
+
+    @given(st.floats(min_value=0, max_value=1, allow_nan=False),
+           st.floats(min_value=0, max_value=1, allow_nan=False),
+           st.floats(min_value=0, max_value=1, allow_nan=False),
+           st.floats(min_value=0, max_value=1, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_lerp_stays_within_component_bounds(self, r, g, b, t):
+        a = Color(r, g, b)
+        result = lerp(a, Color(1, 1, 1), t)
+        assert a.r - 1e-12 <= result.r <= 1.0 + 1e-12
+
+
+class TestScaleProperties:
+    @given(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+           st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
+           st.floats(min_value=0, max_value=1, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_scale_invert_roundtrip(self, lo, span, t):
+        scale = LinearScale((lo, lo + span), (0, 777))
+        value = lo + span * t
+        assert scale.invert(scale(value)) == np.testing.assert_allclose(
+            scale.invert(scale(value)), value, rtol=1e-6, atol=1e-6) or True
+
+    @given(st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+           st.integers(min_value=2, max_value=12))
+    @settings(max_examples=80, deadline=None)
+    def test_nice_step_is_nice(self, span, count):
+        step = nice_step(span, count)
+        mantissa = step / (10 ** math.floor(math.log10(step)))
+        assert round(mantissa, 6) in (1.0, 2.0, 5.0, 10.0)
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=80, deadline=None)
+    def test_format_seconds_parses_back(self, value):
+        text = format_seconds(value)
+        hours, minutes, seconds = text.split(":")
+        assert int(hours) * 3600 + int(minutes) * 60 + int(seconds) == value
+
+
+class TestCirclePackingProperties:
+    @given(st.lists(st.floats(min_value=0.5, max_value=30, allow_nan=False),
+                    min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_siblings_never_overlap(self, radii):
+        centers = pack_siblings(radii)
+        assert len(centers) == len(radii)
+        for i in range(len(radii)):
+            for j in range(i + 1, len(radii)):
+                distance = math.hypot(centers[i][0] - centers[j][0],
+                                      centers[i][1] - centers[j][1])
+                assert distance + 1e-6 >= radii[i] + radii[j]
+
+    @given(st.lists(st.tuples(finite_floats, finite_floats,
+                              st.floats(min_value=0.1, max_value=100)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_enclosing_circle_encloses(self, circles):
+        circles = [_Circle(x, y, r) for x, y, r in circles]
+        enclosing = smallest_enclosing_circle(circles)
+        for circle in circles:
+            distance = math.hypot(circle.x - enclosing.x, circle.y - enclosing.y)
+            assert distance + circle.r <= enclosing.r + max(1.0, enclosing.r) * 1e-6
+
+
+class TestSchemaProperties:
+    @given(st.integers(min_value=0, max_value=10 ** 9), st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="_"),
+        min_size=1, max_size=12),
+        utilisations, utilisations, utilisations)
+    @settings(max_examples=60, deadline=None)
+    def test_server_usage_row_roundtrip(self, timestamp, machine_id, cpu, mem, disk):
+        table = schema.SERVER_USAGE
+        row = {"timestamp": timestamp, "machine_id": machine_id,
+               "cpu_util": cpu, "mem_util": mem, "disk_util": disk}
+        cells = table.format_row(row)
+        parsed = table.parse_row(cells)
+        assert parsed["timestamp"] == timestamp
+        assert parsed["machine_id"] == machine_id
+        assert abs(parsed["cpu_util"] - cpu) < 0.01
+
+
+class TestResampleProperties:
+    @given(st.floats(min_value=0, max_value=1e5, allow_nan=False),
+           st.floats(min_value=1, max_value=1e5, allow_nan=False),
+           st.floats(min_value=1, max_value=5000, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_regular_grid_spacing_and_bounds(self, start, span, resolution):
+        grid = regular_grid(start, start + span, resolution)
+        assert grid[0] == start
+        assert grid[-1] <= start + span + 1e-9
+        if grid.shape[0] > 1:
+            np.testing.assert_allclose(np.diff(grid), resolution)

@@ -1,0 +1,115 @@
+"""Tests for the structured case-study reports."""
+
+import pytest
+
+from repro.report.case_study import (
+    CaseStudyFindings,
+    build_case_study,
+    build_full_case_study,
+    render_case_study,
+)
+
+from tests.conftest import mid_timestamp
+
+
+@pytest.fixture(scope="module")
+def healthy_findings(healthy_bundle):
+    return build_case_study(healthy_bundle, mid_timestamp(healthy_bundle))
+
+
+@pytest.fixture(scope="module")
+def hotjob_findings(hotjob_bundle):
+    return build_case_study(hotjob_bundle, mid_timestamp(hotjob_bundle))
+
+
+@pytest.fixture(scope="module")
+def thrashing_findings(thrashing_bundle):
+    window = thrashing_bundle.meta["thrashing"]["window"]
+    return build_case_study(thrashing_bundle, (window[0] + window[1]) / 2.0)
+
+
+class TestBuildCaseStudy:
+    def test_scenario_and_timestamp_recorded(self, healthy_findings, healthy_bundle):
+        assert healthy_findings.scenario == "healthy"
+        assert healthy_findings.timestamp == pytest.approx(mid_timestamp(healthy_bundle))
+
+    def test_jobs_are_active_jobs(self, healthy_findings, healthy_bundle):
+        active = set(healthy_bundle.active_jobs(healthy_findings.timestamp))
+        assert {job.job_id for job in healthy_findings.jobs} <= active
+
+    def test_max_jobs_respected(self, healthy_bundle):
+        findings = build_case_study(healthy_bundle, mid_timestamp(healthy_bundle),
+                                    max_jobs=2)
+        assert len(findings.jobs) <= 2
+
+    def test_hot_job_identified(self, hotjob_findings, hotjob_bundle):
+        assert hotjob_findings.hot_job is not None
+        assert hotjob_findings.hot_job.job_id == hotjob_bundle.meta["hot_job_id"]
+
+    def test_healthy_scenario_has_no_hot_job(self, healthy_findings):
+        assert healthy_findings.hot_job is None
+
+    def test_thrashing_evidence_present(self, thrashing_findings):
+        assert thrashing_findings.thrashing_machines
+        assert thrashing_findings.thrashing_window is not None
+        start, end = thrashing_findings.thrashing_window
+        assert end > start
+
+    def test_healthy_scenario_mostly_clean(self, healthy_findings,
+                                            thrashing_findings):
+        assert (len(healthy_findings.thrashing_machines)
+                <= len(thrashing_findings.thrashing_machines))
+
+    def test_sla_summary_covers_all_jobs(self, healthy_findings, healthy_bundle):
+        assert healthy_findings.sla is not None
+        assert healthy_findings.sla.total_jobs == len(healthy_bundle.job_ids())
+
+    def test_regime_matches_scenario_shape(self, healthy_findings,
+                                           thrashing_findings):
+        assert healthy_findings.regime.mean_cpu <= thrashing_findings.regime.mean_cpu
+
+
+class TestBuildFullCaseStudy:
+    def test_all_scenarios_covered(self, healthy_bundle, hotjob_bundle,
+                                   thrashing_bundle):
+        bundles = {"healthy": healthy_bundle, "hotjob": hotjob_bundle,
+                   "thrashing": thrashing_bundle}
+        findings = build_full_case_study(bundles)
+        assert set(findings) == set(bundles)
+        assert all(isinstance(f, CaseStudyFindings) for f in findings.values())
+
+    def test_explicit_timestamps_honoured(self, healthy_bundle):
+        timestamp = mid_timestamp(healthy_bundle)
+        findings = build_full_case_study({"healthy": healthy_bundle},
+                                         timestamps={"healthy": timestamp})
+        assert findings["healthy"].timestamp == pytest.approx(timestamp)
+
+    def test_thrashing_defaults_to_injected_window(self, thrashing_bundle):
+        findings = build_full_case_study({"thrashing": thrashing_bundle})
+        window = thrashing_bundle.meta["thrashing"]["window"]
+        assert window[0] <= findings["thrashing"].timestamp <= window[1]
+
+
+class TestRenderCaseStudy:
+    def test_single_findings_render(self, healthy_findings):
+        text = render_case_study(healthy_findings)
+        assert text.startswith("# BatchLens case study")
+        assert "healthy" in text
+        assert "| job |" in text or "0 job(s) shown" in text
+
+    def test_multi_scenario_render_contains_all(self, healthy_bundle,
+                                                thrashing_bundle):
+        findings = build_full_case_study({"healthy": healthy_bundle,
+                                          "thrashing": thrashing_bundle})
+        text = render_case_study(findings, title="Full case study")
+        assert text.startswith("# Full case study")
+        assert "`healthy`" in text
+        assert "`thrashing`" in text
+
+    def test_thrashing_render_mentions_thrashing(self, thrashing_findings):
+        text = render_case_study(thrashing_findings)
+        assert "Thrashing" in text
+
+    def test_hot_job_render_mentions_hot_job(self, hotjob_findings):
+        text = render_case_study(hotjob_findings)
+        assert "Hot job" in text

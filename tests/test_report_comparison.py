@@ -1,0 +1,77 @@
+"""Tests for the baseline comparison report."""
+
+import pytest
+
+from repro.report.comparison import (
+    capability_matrix,
+    compare_detection_quality,
+    render_comparison,
+)
+
+
+class TestCapabilityMatrix:
+    def test_every_row_has_all_tools(self):
+        rows = capability_matrix()
+        assert rows
+        for row in rows:
+            assert isinstance(row.batchlens, bool)
+            assert isinstance(row.flat_dashboard, bool)
+            assert isinstance(row.threshold_monitor, bool)
+            assert isinstance(row.tabular_report, bool)
+
+    def test_batchlens_covers_most_capabilities(self):
+        rows = capability_matrix()
+        batchlens_count = sum(row.batchlens for row in rows)
+        for attribute in ("flat_dashboard", "threshold_monitor", "tabular_report"):
+            assert batchlens_count > sum(getattr(row, attribute) for row in rows)
+
+    def test_hierarchy_capability_is_unique_to_batchlens(self):
+        row = next(r for r in capability_matrix() if "hierarchy" in r.capability)
+        assert row.batchlens
+        assert not (row.flat_dashboard or row.threshold_monitor or row.tabular_report)
+
+
+class TestCompareDetectionQuality:
+    def test_thrashing_scenario_uses_injected_truth(self, thrashing_bundle):
+        report = compare_detection_quality(thrashing_bundle)
+        truth = set(thrashing_bundle.meta["thrashing"]["machines"])
+        assert set(report.truth_machines) == truth
+        assert report.scenario == "thrashing"
+        assert 0.0 <= report.batchlens.recall <= 1.0
+        assert 0.0 <= report.threshold_monitor.recall <= 1.0
+
+    def test_batchlens_recovers_thrashing_machines(self, thrashing_bundle):
+        report = compare_detection_quality(thrashing_bundle)
+        assert report.batchlens.recall >= 0.5
+
+    def test_hotjob_scenario_attributes_job(self, hotjob_bundle):
+        report = compare_detection_quality(hotjob_bundle)
+        assert report.responsible_job == hotjob_bundle.meta["hot_job_id"]
+        assert report.batchlens_names_job is not None
+
+    def test_explicit_truth_overrides_metadata(self, thrashing_bundle):
+        machines = thrashing_bundle.usage.machine_ids[:2]
+        report = compare_detection_quality(thrashing_bundle,
+                                           truth_machines=set(machines))
+        assert set(report.truth_machines) == set(machines)
+
+    def test_healthy_scenario_has_no_responsible_job(self, healthy_bundle):
+        report = compare_detection_quality(healthy_bundle)
+        assert report.responsible_job is None
+        assert report.batchlens_names_job is None
+
+
+class TestRenderComparison:
+    def test_render_contains_tables_and_scores(self, thrashing_bundle):
+        report = compare_detection_quality(thrashing_bundle)
+        text = render_comparison(report)
+        assert "Detection quality" in text
+        assert "Capability matrix" in text
+        assert "BatchLens analysis layer" in text
+        assert f"{report.batchlens.recall:.2f}" in text
+
+    def test_render_mentions_attribution_for_hotjob(self, hotjob_bundle):
+        report = compare_detection_quality(hotjob_bundle)
+        text = render_comparison(report)
+        assert "Root-cause attribution" in text
+        assert report.responsible_job in text

@@ -1,0 +1,85 @@
+"""Tests for the paper-claim vs. measured experiment records."""
+
+import pytest
+
+from repro.report.experiments import (
+    ExperimentRecord,
+    render_experiments,
+    run_dataset_statistics_experiment,
+    run_detection_experiment,
+    run_regime_experiments,
+    run_experiment_suite,
+)
+
+
+class TestDatasetStatisticsExperiment:
+    def test_returns_three_records(self):
+        records = run_dataset_statistics_experiment(seed=3)
+        assert len(records) == 3
+        assert all(r.experiment_id == "E1" for r in records)
+
+    def test_hierarchy_fractions_match_paper(self):
+        records = run_dataset_statistics_experiment(seed=3)
+        by_claim = {r.claim: r for r in records}
+        single_task = next(r for c, r in by_claim.items() if "one task" in c)
+        multi_instance = next(r for c, r in by_claim.items() if "multiple instances" in c)
+        assert single_task.matches
+        assert multi_instance.matches
+
+
+class TestRegimeExperiments:
+    def test_uses_prebuilt_bundles(self, healthy_bundle, hotjob_bundle,
+                                   thrashing_bundle):
+        records = run_regime_experiments({"healthy": healthy_bundle,
+                                          "hotjob": hotjob_bundle,
+                                          "thrashing": thrashing_bundle})
+        assert len(records) == 3
+        assert {r.experiment_id for r in records} == {"E4", "E5", "E6"}
+
+    def test_missing_scenario_skipped(self, healthy_bundle):
+        records = run_regime_experiments({"healthy": healthy_bundle})
+        assert len(records) == 1
+        assert records[0].artefact == "Fig. 3(a)"
+
+    def test_generated_bundles_reproduce_regime_shapes(self):
+        records = run_regime_experiments(seed=5)
+        assert len(records) == 3
+        matched = sum(r.matches for r in records)
+        assert matched >= 2, [r.measured for r in records]
+
+
+class TestDetectionExperiment:
+    def test_two_records_with_expected_ids(self):
+        records = run_detection_experiment(seed=4)
+        assert len(records) == 2
+        assert all(r.experiment_id == "E9" for r in records)
+
+    def test_thrashing_detectability_claim_holds(self):
+        records = run_detection_experiment(seed=4)
+        thrashing = next(r for r in records if "thrashing" in r.artefact)
+        assert thrashing.matches
+
+
+class TestSuiteAndRendering:
+    def test_suite_combines_all_experiments(self, monkeypatch):
+        records = run_experiment_suite(seed=6)
+        ids = {r.experiment_id for r in records}
+        assert {"E1", "E4", "E5", "E6", "E9"} <= ids
+        assert len(records) >= 8
+
+    def test_render_produces_table(self):
+        records = [
+            ExperimentRecord("E1", "artefact", "claim", "measured", True),
+            ExperimentRecord("E2", "artefact2", "claim2", "measured2", False,
+                             detail="needs paper scale"),
+        ]
+        text = render_experiments(records, title="Repro")
+        assert text.startswith("# Repro")
+        assert "| id |" in text
+        assert "E1" in text and "E2" in text
+        assert "Mismatches" in text
+        assert "needs paper scale" in text
+
+    def test_render_without_mismatches_has_no_section(self):
+        records = [ExperimentRecord("E1", "a", "c", "m", True)]
+        assert "Mismatches" not in render_experiments(records)

@@ -1,0 +1,110 @@
+"""Tests for the Markdown builder."""
+
+import pytest
+
+from repro.errors import RenderError
+from repro.report.markdown import MarkdownBuilder, escape_cell, format_table
+
+
+class TestEscapeCell:
+    def test_pipe_escaped(self):
+        assert escape_cell("a|b") == "a\\|b"
+
+    def test_newline_flattened(self):
+        assert escape_cell("a\nb") == "a b"
+
+    def test_float_formatting(self):
+        assert escape_cell(0.12345) == "0.12"
+
+    def test_int_passthrough(self):
+        assert escape_cell(7) == "7"
+
+
+class TestFormatTable:
+    def test_simple_table(self):
+        table = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(RenderError):
+            format_table([], [])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(RenderError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_rows_allowed(self):
+        assert format_table(["a"], []).count("\n") == 1
+
+
+class TestMarkdownBuilder:
+    def test_title_becomes_h1(self):
+        text = MarkdownBuilder("Report").render()
+        assert text.startswith("# Report\n")
+
+    def test_blocks_separated_by_blank_lines(self):
+        builder = MarkdownBuilder()
+        builder.paragraph("one").paragraph("two")
+        assert builder.render() == "one\n\ntwo\n"
+
+    def test_heading_levels(self):
+        builder = MarkdownBuilder()
+        builder.heading("Sub", level=3)
+        assert builder.render().startswith("### Sub")
+        with pytest.raises(RenderError):
+            builder.heading("bad", level=0)
+        with pytest.raises(RenderError):
+            builder.heading("bad", level=7)
+
+    def test_bullets_and_numbered(self):
+        builder = MarkdownBuilder()
+        builder.bullets(["a", "b"]).numbered(["x", "y"])
+        text = builder.render()
+        assert "* a" in text
+        assert "1. x" in text
+        assert "2. y" in text
+
+    def test_indented_bullets(self):
+        builder = MarkdownBuilder()
+        builder.bullets(["child"], indent=1)
+        assert "  * child" in builder.render()
+
+    def test_code_block_with_language(self):
+        builder = MarkdownBuilder()
+        builder.code_block("print('hi')", language="python")
+        text = builder.render()
+        assert text.startswith("```python\n")
+        assert text.rstrip().endswith("```")
+
+    def test_quote_prefixes_every_line(self):
+        builder = MarkdownBuilder()
+        builder.quote("line1\nline2")
+        assert builder.render() == "> line1\n> line2\n"
+
+    def test_table_and_rule_and_raw(self):
+        builder = MarkdownBuilder()
+        builder.table(["h"], [["v"]]).horizontal_rule().raw("**raw**")
+        text = builder.render()
+        assert "| h |" in text
+        assert "---" in text
+        assert text.rstrip().endswith("**raw**")
+
+    def test_len_counts_blocks(self):
+        builder = MarkdownBuilder("t")
+        builder.paragraph("p")
+        assert len(builder) == 2
+
+    def test_save_writes_file(self, tmp_path):
+        builder = MarkdownBuilder("Saved")
+        path = builder.save(tmp_path / "sub" / "report.md")
+        assert path.exists()
+        assert path.read_text(encoding="utf-8").startswith("# Saved")
+
+    def test_chaining_returns_builder(self):
+        builder = MarkdownBuilder()
+        assert builder.paragraph("x") is builder
+        assert builder.heading("y") is builder

@@ -1,0 +1,151 @@
+"""Tests for the alert manager."""
+
+import pytest
+
+from repro.errors import SeriesError
+from repro.stream.alerts import AlertManager, AlertPolicy, ManagedAlert
+from repro.stream.monitor import MonitorAlert
+
+
+def make_alert(timestamp=0.0, kind="threshold", subject="m_0001",
+               severity="warning", detail="cpu high"):
+    return MonitorAlert(timestamp=timestamp, kind=kind, subject=subject,
+                        detail=detail, severity=severity)
+
+
+class TestAlertPolicy:
+    def test_default_valid(self):
+        AlertPolicy().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"dedup_window_s": -1.0},
+        {"min_severity": "panic"},
+        {"max_active": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(SeriesError):
+            AlertPolicy(**kwargs).validate()
+
+
+class TestIngestion:
+    def test_new_alert_is_kept_and_routed(self):
+        received = []
+        manager = AlertManager(sinks=[received.append])
+        managed = manager.ingest(make_alert())
+        assert isinstance(managed, ManagedAlert)
+        assert manager.pending()
+        assert received and received[0].alert.subject == "m_0001"
+
+    def test_duplicates_collapse_within_window(self):
+        manager = AlertManager(policy=AlertPolicy(dedup_window_s=600.0))
+        manager.ingest(make_alert(timestamp=0.0))
+        managed = manager.ingest(make_alert(timestamp=300.0))
+        assert managed.occurrences == 2
+        assert len(manager.history) == 1
+        assert len(manager.pending()) == 1
+
+    def test_duplicates_after_window_create_new_alert(self):
+        manager = AlertManager(policy=AlertPolicy(dedup_window_s=100.0))
+        manager.ingest(make_alert(timestamp=0.0))
+        manager.ingest(make_alert(timestamp=500.0))
+        assert len(manager.history) == 2
+
+    def test_low_severity_suppressed(self):
+        manager = AlertManager(policy=AlertPolicy(min_severity="critical"))
+        assert manager.ingest(make_alert(severity="warning")) is None
+        assert manager.suppressed_count == 1
+        assert manager.pending() == []
+
+    def test_different_subjects_not_deduplicated(self):
+        manager = AlertManager()
+        manager.ingest(make_alert(subject="m_0001"))
+        manager.ingest(make_alert(subject="m_0002"))
+        assert len(manager.pending()) == 2
+
+    def test_capacity_enforced(self):
+        manager = AlertManager(policy=AlertPolicy(max_active=3))
+        for index in range(6):
+            manager.ingest(make_alert(timestamp=float(index),
+                                      subject=f"m_{index:04d}"))
+        assert len(manager.active) <= 3
+
+    def test_ingest_many_returns_kept(self):
+        manager = AlertManager(policy=AlertPolicy(min_severity="critical"))
+        kept = manager.ingest_many([
+            make_alert(severity="critical", subject="a"),
+            make_alert(severity="warning", subject="b"),
+        ])
+        assert len(kept) == 1
+
+
+class TestOperatorActions:
+    def test_acknowledge_removes_from_pending(self):
+        manager = AlertManager()
+        manager.ingest(make_alert())
+        assert manager.acknowledge("threshold", "m_0001")
+        assert manager.pending() == []
+
+    def test_acknowledge_unknown_returns_false(self):
+        assert not AlertManager().acknowledge("threshold", "nope")
+
+    def test_acknowledge_all_by_kind(self):
+        manager = AlertManager()
+        manager.ingest(make_alert(kind="threshold", subject="a"))
+        manager.ingest(make_alert(kind="thrashing", subject="b", severity="critical"))
+        assert manager.acknowledge_all(kind="threshold") == 1
+        kinds = {m.alert.kind for m in manager.pending()}
+        assert kinds == {"thrashing"}
+
+    def test_clear_acknowledged(self):
+        manager = AlertManager()
+        manager.ingest(make_alert())
+        manager.acknowledge("threshold", "m_0001")
+        assert manager.clear_acknowledged() == 1
+        assert manager.active == {}
+
+    def test_reacknowledged_subject_can_fire_again(self):
+        manager = AlertManager(policy=AlertPolicy(dedup_window_s=1e9))
+        manager.ingest(make_alert(timestamp=0.0))
+        manager.acknowledge("threshold", "m_0001")
+        managed = manager.ingest(make_alert(timestamp=10.0))
+        assert managed.occurrences == 1
+        assert len(manager.history) == 2
+
+
+class TestQueries:
+    def test_pending_sorted_by_severity(self):
+        manager = AlertManager()
+        manager.ingest(make_alert(kind="threshold", subject="warn", severity="warning"))
+        manager.ingest(make_alert(kind="thrashing", subject="crit", severity="critical"))
+        pending = manager.pending()
+        assert pending[0].alert.severity == "critical"
+
+    def test_pending_filters(self):
+        manager = AlertManager()
+        manager.ingest(make_alert(kind="threshold", subject="a"))
+        manager.ingest(make_alert(kind="regime-change", subject="cluster",
+                                  severity="critical"))
+        assert len(manager.pending(kind="threshold")) == 1
+        assert len(manager.pending(severity="critical")) == 1
+
+    def test_digest_counts_history(self):
+        manager = AlertManager()
+        manager.ingest(make_alert(kind="threshold", subject="a"))
+        manager.ingest(make_alert(kind="threshold", subject="b"))
+        manager.ingest(make_alert(kind="thrashing", subject="c", severity="critical"))
+        assert manager.digest() == {"threshold": 2, "thrashing": 1}
+
+    def test_summary_lines_mention_occurrences(self):
+        manager = AlertManager(policy=AlertPolicy(dedup_window_s=600.0))
+        manager.ingest(make_alert(timestamp=0.0))
+        manager.ingest(make_alert(timestamp=60.0))
+        lines = manager.summary_lines()
+        assert len(lines) == 1
+        assert "x2" in lines[0]
+        assert "m_0001" in lines[0]
+
+    def test_summary_lines_limit(self):
+        manager = AlertManager()
+        for index in range(5):
+            manager.ingest(make_alert(subject=f"m_{index:04d}"))
+        assert len(manager.summary_lines(limit=3)) == 3

@@ -1,0 +1,117 @@
+"""Tests for CSV loading/writing round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace import schema
+from repro.trace.loader import (
+    iter_table,
+    load_batch_instances,
+    load_batch_tasks,
+    load_machine_events,
+    load_server_usage,
+    load_trace,
+    usage_records_to_store,
+)
+from repro.trace.records import ServerUsageRecord
+from repro.trace.writer import write_table, write_trace
+
+
+class TestRoundTrip:
+    def test_full_bundle_roundtrip(self, tmp_path, healthy_bundle):
+        written = write_trace(healthy_bundle, tmp_path)
+        assert set(written) == {"machine_events", "batch_task",
+                                "batch_instance", "server_usage"}
+        loaded = load_trace(tmp_path)
+        assert loaded.job_ids() == healthy_bundle.job_ids()
+        assert len(loaded.tasks) == len(healthy_bundle.tasks)
+        assert len(loaded.instances) == len(healthy_bundle.instances)
+        assert set(loaded.machine_ids()) == set(healthy_bundle.machine_ids())
+        assert loaded.usage.num_samples == healthy_bundle.usage.num_samples
+        # utilisation survives the round trip within CSV formatting precision
+        original = healthy_bundle.usage.series(healthy_bundle.usage.machine_ids[0], "cpu")
+        reloaded = loaded.usage.series(healthy_bundle.usage.machine_ids[0], "cpu")
+        np.testing.assert_allclose(reloaded.values, original.values, atol=0.01)
+
+    def test_compressed_roundtrip(self, tmp_path, healthy_bundle):
+        write_trace(healthy_bundle, tmp_path, compress=True)
+        assert (tmp_path / "batch_task.csv.gz").exists()
+        loaded = load_trace(tmp_path)
+        assert len(loaded.tasks) == len(healthy_bundle.tasks)
+
+    def test_write_skips_empty_sections(self, tmp_path):
+        from repro.trace.records import TraceBundle
+
+        written = write_trace(TraceBundle(), tmp_path)
+        assert written == {}
+        assert not any(tmp_path.iterdir())
+
+
+class TestLoaderErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_trace(tmp_path / "does-not-exist")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_trace(tmp_path)
+
+    def test_malformed_row_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "server_usage.csv"
+        path.write_text("0,m_1,10,20,30\nbroken-line\n")
+        with pytest.raises(TraceFormatError) as err:
+            load_server_usage(path)
+        assert "line 2" in str(err.value)
+
+    def test_skip_malformed_drops_bad_rows(self, tmp_path):
+        path = tmp_path / "server_usage.csv"
+        path.write_text("0,m_1,10,20,30\nbroken-line\n60,m_1,11,21,31\n")
+        records = load_server_usage(path, skip_malformed=True)
+        assert len(records) == 2
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "machine_events.csv"
+        path.write_text("0,m_1,add,,96,512,4096\n\n   \n")
+        events = load_machine_events(path)
+        assert len(events) == 1
+        assert events[0].capacity_cpu == 96.0
+
+
+class TestPartialTables:
+    def test_only_usage_table(self, tmp_path):
+        path = tmp_path / "server_usage.csv"
+        path.write_text("0,m_1,10,20,30\n0,m_2,40,50,60\n")
+        bundle = load_trace(tmp_path)
+        assert bundle.tasks == []
+        assert bundle.usage.num_machines == 2
+
+    def test_only_batch_tables(self, tmp_path):
+        (tmp_path / "batch_task.csv").write_text("0,100,j1,t1,1,Terminated,10,20\n")
+        (tmp_path / "batch_instance.csv").write_text(
+            "0,100,j1,t1,m_1,Terminated,1,1,10,20,30,40\n")
+        bundle = load_trace(tmp_path)
+        assert bundle.usage is None
+        assert len(load_batch_tasks(tmp_path / "batch_task.csv")) == 1
+        assert len(load_batch_instances(tmp_path / "batch_instance.csv")) == 1
+
+
+class TestHelpers:
+    def test_usage_records_to_store(self):
+        records = [ServerUsageRecord(0, "m1", 1, 2, 3),
+                   ServerUsageRecord(60, "m1", 4, 5, 6)]
+        store = usage_records_to_store(records)
+        assert store.num_samples == 2
+        assert store.series("m1", "disk").values[1] == 6.0
+
+    def test_usage_records_to_store_empty(self):
+        assert usage_records_to_store([]) is None
+
+    def test_write_table_and_iter_table(self, tmp_path):
+        path = tmp_path / "server_usage.csv"
+        rows = [{"timestamp": 0, "machine_id": "m1", "cpu_util": 1.0,
+                 "mem_util": 2.0, "disk_util": 3.0}]
+        count = write_table(path, schema.SERVER_USAGE, rows)
+        assert count == 1
+        parsed = list(iter_table(path, schema.SERVER_USAGE))
+        assert parsed[0]["machine_id"] == "m1"

@@ -1,0 +1,130 @@
+"""Tests for typed trace records and the TraceBundle container."""
+
+import pytest
+
+from repro.errors import UnknownEntityError
+from repro.trace.records import (
+    BatchInstanceRecord,
+    BatchTaskRecord,
+    MachineEvent,
+    ServerUsageRecord,
+    TraceBundle,
+)
+
+
+def make_instance(job="j1", task="t1", machine="m1", start=0, end=100,
+                  seq=1, total=1, status="Terminated") -> BatchInstanceRecord:
+    return BatchInstanceRecord(start_timestamp=start, end_timestamp=end,
+                               job_id=job, task_id=task, machine_id=machine,
+                               status=status, seq_no=seq, total_seq_no=total)
+
+
+@pytest.fixture()
+def bundle() -> TraceBundle:
+    tasks = [
+        BatchTaskRecord(0, 100, "j1", "t1", 2, "Terminated"),
+        BatchTaskRecord(0, 200, "j1", "t2", 1, "Terminated"),
+        BatchTaskRecord(50, 300, "j2", "t1", 1, "Terminated"),
+    ]
+    instances = [
+        make_instance("j1", "t1", "m1", 0, 100, 1, 2),
+        make_instance("j1", "t1", "m2", 0, 100, 2, 2),
+        make_instance("j1", "t2", "m1", 0, 200),
+        make_instance("j2", "t1", "m3", 50, 300),
+    ]
+    events = [MachineEvent(0, m, "add") for m in ("m1", "m2", "m3")]
+    return TraceBundle(machine_events=events, tasks=tasks, instances=instances)
+
+
+class TestRecordRoundTrips:
+    def test_machine_event(self):
+        event = MachineEvent(5, "m1", "add", None, 96.0, 512.0, 4096.0)
+        assert MachineEvent.from_row(event.to_row()) == event
+
+    def test_task_record(self):
+        task = BatchTaskRecord(0, 10, "j", "t", 3, "Running", 10.0, None)
+        assert BatchTaskRecord.from_row(task.to_row()) == task
+
+    def test_instance_record(self):
+        inst = make_instance()
+        assert BatchInstanceRecord.from_row(inst.to_row()) == inst
+        assert inst.duration == 100
+
+    def test_instance_duration_never_negative(self):
+        inst = make_instance(start=100, end=50)
+        assert inst.duration == 0
+
+    def test_usage_record_metric_tuple(self):
+        usage = ServerUsageRecord(60, "m1", 10.0, 20.0, 30.0)
+        timestamp, machine_id, values = usage.as_metric_tuple()
+        assert timestamp == 60.0
+        assert machine_id == "m1"
+        assert values == {"cpu": 10.0, "mem": 20.0, "disk": 30.0}
+
+
+class TestBundleQueries:
+    def test_job_ids_order_and_uniqueness(self, bundle):
+        assert bundle.job_ids() == ["j1", "j2"]
+
+    def test_task_ids(self, bundle):
+        assert bundle.task_ids("j1") == ["t1", "t2"]
+        assert len(bundle.task_ids()) == 3
+
+    def test_machine_ids_from_events(self, bundle):
+        assert bundle.machine_ids() == ["m1", "m2", "m3"]
+
+    def test_tasks_of_job(self, bundle):
+        assert len(bundle.tasks_of_job("j1")) == 2
+        with pytest.raises(UnknownEntityError):
+            bundle.tasks_of_job("ghost")
+
+    def test_instances_of_task(self, bundle):
+        assert len(bundle.instances_of_task("j1", "t1")) == 2
+        with pytest.raises(UnknownEntityError):
+            bundle.instances_of_task("j1", "ghost")
+
+    def test_instances_of_job(self, bundle):
+        assert len(bundle.instances_of_job("j1")) == 3
+        with pytest.raises(UnknownEntityError):
+            bundle.instances_of_job("ghost")
+
+    def test_instances_on_machine(self, bundle):
+        assert len(bundle.instances_on_machine("m1")) == 2
+        assert bundle.instances_on_machine("unknown") == []
+
+    def test_machines_of_job(self, bundle):
+        assert bundle.machines_of_job("j1") == ["m1", "m2"]
+
+    def test_time_range(self, bundle):
+        assert bundle.time_range() == (0.0, 300.0)
+
+    def test_time_range_empty_bundle(self):
+        assert TraceBundle().time_range() == (0.0, 0.0)
+
+    def test_active_jobs(self, bundle):
+        assert set(bundle.active_jobs(75)) == {"j1", "j2"}
+        assert bundle.active_jobs(250) == ["j2"]
+        assert bundle.active_jobs(1000) == []
+
+    def test_summary_keys(self, bundle):
+        summary = bundle.summary()
+        assert summary["jobs"] == 2
+        assert summary["instances"] == 4
+        assert summary["machines"] == 3
+        assert summary["usage_samples"] == 0
+
+    def test_usage_records_empty_without_store(self, bundle):
+        assert list(bundle.usage_records()) == []
+
+
+class TestBundleWithUsage:
+    def test_machine_ids_fallback_to_usage(self, healthy_bundle):
+        stripped = TraceBundle(machine_events=[], tasks=healthy_bundle.tasks,
+                               instances=healthy_bundle.instances,
+                               usage=healthy_bundle.usage)
+        assert set(stripped.machine_ids()) == set(healthy_bundle.usage.machine_ids)
+
+    def test_usage_records_roundtrip_count(self, healthy_bundle):
+        count = sum(1 for _ in healthy_bundle.usage_records())
+        assert count == (healthy_bundle.usage.num_machines
+                         * healthy_bundle.usage.num_samples)

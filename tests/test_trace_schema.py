@@ -1,0 +1,87 @@
+"""Tests for the Alibaba v2017 table schemas."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace import schema
+
+
+class TestColumnSpec:
+    def test_parse_int(self):
+        col = schema.ColumnSpec("ts", "int")
+        assert col.parse("42") == 42
+        assert col.parse("42.0") == 42
+
+    def test_parse_float(self):
+        col = schema.ColumnSpec("util", "float")
+        assert col.parse("3.5") == 3.5
+
+    def test_parse_str_strips(self):
+        col = schema.ColumnSpec("id", "str")
+        assert col.parse("  m_1 ") == "m_1"
+
+    def test_nullable_empty(self):
+        col = schema.ColumnSpec("opt", "float", nullable=True)
+        assert col.parse("") is None
+        assert col.format(None) == ""
+
+    def test_non_nullable_empty_rejected(self):
+        col = schema.ColumnSpec("req", "int")
+        with pytest.raises(TraceFormatError):
+            col.parse("")
+        with pytest.raises(TraceFormatError):
+            col.format(None)
+
+    def test_parse_garbage_rejected(self):
+        col = schema.ColumnSpec("ts", "int")
+        with pytest.raises(TraceFormatError):
+            col.parse("abc")
+
+    def test_format_float_precision(self):
+        col = schema.ColumnSpec("util", "float")
+        assert col.format(3.14159) == "3.14"
+
+
+class TestTableSchema:
+    def test_registry_contents(self):
+        assert set(schema.SCHEMAS) == {
+            "machine_events", "batch_task", "batch_instance", "server_usage"}
+        for table in schema.SCHEMAS.values():
+            assert table.filename.endswith(".csv")
+            assert len(table.columns) >= 5
+
+    def test_parse_row_roundtrip(self):
+        table = schema.SERVER_USAGE
+        row = table.parse_row(["300", "m_1", "55.5", "60.1", "10.0"])
+        assert row["timestamp"] == 300
+        assert row["cpu_util"] == 55.5
+        cells = table.format_row(row)
+        assert cells[0] == "300"
+        assert cells[1] == "m_1"
+
+    def test_parse_row_wrong_arity(self):
+        with pytest.raises(TraceFormatError) as err:
+            schema.SERVER_USAGE.parse_row(["300", "m_1"], line_number=7)
+        assert "line 7" in str(err.value)
+        assert "server_usage" in str(err.value)
+
+    def test_parse_row_bad_cell_reports_table(self):
+        with pytest.raises(TraceFormatError) as err:
+            schema.SERVER_USAGE.parse_row(["xx", "m_1", "1", "2", "3"])
+        assert "server_usage" in str(err.value)
+
+    def test_batch_instance_nullable_machine(self):
+        table = schema.BATCH_INSTANCE
+        cells = ["0", "10", "j", "t", "", "Waiting", "1", "1", "", "", "", ""]
+        row = table.parse_row(cells)
+        assert row["machine_id"] is None
+        assert row["cpu_avg"] is None
+
+    def test_column_names_unique(self):
+        for table in schema.SCHEMAS.values():
+            names = table.column_names
+            assert len(names) == len(set(names))
+
+    def test_status_and_event_constants(self):
+        assert schema.STATUS_TERMINATED in schema.VALID_STATUSES
+        assert schema.EVENT_ADD in schema.VALID_EVENT_TYPES

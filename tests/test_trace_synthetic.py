@@ -1,0 +1,58 @@
+"""Tests for the synthetic-trace facade."""
+
+import pytest
+
+from repro.config import TraceConfig
+from repro.errors import SimulationError
+from repro.trace.synthetic import generate_case_study_traces, generate_trace
+from tests.conftest import fast_config
+
+
+class TestGenerateTrace:
+    def test_default_configuration(self):
+        bundle = generate_trace(fast_config())
+        assert bundle.usage is not None
+        assert len(bundle.job_ids()) > 0
+        assert bundle.meta["scenario"] == "healthy"
+
+    def test_scenario_override(self):
+        bundle = generate_trace(fast_config("healthy"), scenario="hotjob")
+        assert bundle.meta["scenario"] == "hotjob"
+        assert "hot_job_id" in bundle.meta
+
+    def test_seed_override_changes_output(self):
+        a = generate_trace(fast_config(seed=1))
+        b = generate_trace(fast_config(seed=1), seed=2)
+        assert a.meta["seed"] == 1
+        assert b.meta["seed"] == 2
+        assert ([t.create_timestamp for t in a.tasks]
+                != [t.create_timestamp for t in b.tasks])
+
+    def test_determinism(self):
+        a = generate_trace(fast_config(seed=5))
+        b = generate_trace(fast_config(seed=5))
+        assert [t.to_row() for t in a.tasks] == [t.to_row() for t in b.tasks]
+        assert [i.to_row() for i in a.instances] == [i.to_row() for i in b.instances]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SimulationError):
+            generate_trace(fast_config(), scenario="chaos-monkey")
+
+    def test_none_config_uses_defaults(self):
+        bundle = generate_trace(None, scenario="none", seed=3)
+        assert bundle.meta["scenario"] == "none"
+        config = TraceConfig()
+        assert len(bundle.machine_ids()) == config.cluster.num_machines
+
+
+class TestCaseStudyTraces:
+    def test_three_regimes_generated(self):
+        bundles = generate_case_study_traces(seed=4)
+        assert set(bundles) == {"healthy", "hotjob", "thrashing"}
+        assert "hot_job_id" in bundles["hotjob"].meta
+        assert "thrashing" in bundles["thrashing"].meta
+
+    def test_scenarios_share_scale(self):
+        bundles = generate_case_study_traces(seed=4)
+        machine_counts = {len(b.machine_ids()) for b in bundles.values()}
+        assert len(machine_counts) == 1

@@ -1,0 +1,133 @@
+"""Tests for the logical workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.errors import ConfigError
+from repro.trace.workload import JobSpec, TaskSpec, WorkloadGenerator, workload_summary
+
+
+def make_generator(config=None, *, horizon_s=6 * 3600, resolution_s=300, seed=3):
+    config = config if config is not None else WorkloadConfig(num_jobs=200)
+    return WorkloadGenerator(config, horizon_s=horizon_s,
+                             batch_resolution_s=resolution_s,
+                             rng=np.random.default_rng(seed))
+
+
+class TestTaskSpec:
+    def test_rejects_zero_instances(self):
+        with pytest.raises(ConfigError):
+            TaskSpec("t", 0, 10, 10, 10, 0, 600)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ConfigError):
+            TaskSpec("t", 1, 10, 10, 10, 0, 0)
+
+    def test_rejects_out_of_range_request(self):
+        with pytest.raises(ConfigError):
+            TaskSpec("t", 1, 150, 10, 10, 0, 600)
+
+
+class TestJobSpec:
+    def test_counts_and_end_time(self):
+        job = JobSpec("j", 600, tasks=[
+            TaskSpec("t1", 3, 10, 10, 10, 0, 1200),
+            TaskSpec("t2", 2, 10, 10, 10, 0, 2400),
+        ])
+        assert job.num_instances == 5
+        assert job.end_time_s == 600 + 2400
+
+    def test_empty_job_end_time(self):
+        assert JobSpec("j", 100).end_time_s == 100
+
+    def test_scale_demand_clips_at_100(self):
+        job = JobSpec("j", 0, tasks=[TaskSpec("t", 1, 60, 80, 10, 0, 600)])
+        job.scale_demand(cpu=3.0, mem=3.0)
+        assert job.tasks[0].cpu_request == 100.0
+        assert job.tasks[0].mem_request == 100.0
+        assert job.tasks[0].disk_request == 10.0
+
+
+class TestGenerator:
+    def test_job_count(self):
+        jobs = make_generator().generate()
+        assert len(jobs) == 200
+
+    def test_sorted_by_submit_time(self):
+        jobs = make_generator().generate()
+        submits = [job.submit_time_s for job in jobs]
+        assert submits == sorted(submits)
+
+    def test_submit_times_on_batch_grid(self):
+        jobs = make_generator().generate()
+        assert all(job.submit_time_s % 300 == 0 for job in jobs)
+
+    def test_durations_on_batch_grid_and_within_horizon(self):
+        jobs = make_generator().generate()
+        for job in jobs:
+            for task in job.tasks:
+                assert task.duration_s % 300 == 0
+                assert task.duration_s >= 300
+            assert job.end_time_s <= 6 * 3600 + 300  # quantisation slack
+
+    def test_single_task_fraction_matches_paper(self):
+        jobs = make_generator(seed=1).generate()
+        summary = workload_summary(jobs)
+        assert summary["single_task_job_fraction"] == pytest.approx(0.75, abs=0.08)
+
+    def test_multi_instance_fraction_matches_paper(self):
+        jobs = make_generator(seed=1).generate()
+        summary = workload_summary(jobs)
+        assert summary["multi_instance_task_fraction"] == pytest.approx(0.94, abs=0.06)
+
+    def test_requests_within_range(self):
+        jobs = make_generator().generate()
+        for job in jobs:
+            for task in job.tasks:
+                assert 1.0 <= task.cpu_request <= 95.0
+                assert 1.0 <= task.mem_request <= 95.0
+                assert 1.0 <= task.disk_request <= 95.0
+
+    def test_instance_counts_respect_bounds(self):
+        config = WorkloadConfig(num_jobs=100, min_instances=2, max_instances=8)
+        jobs = make_generator(config).generate()
+        for job in jobs:
+            for task in job.tasks:
+                assert 1 <= task.num_instances <= 8
+
+    def test_deterministic_given_seed(self):
+        a = make_generator(seed=9).generate()
+        b = make_generator(seed=9).generate()
+        assert [job.job_id for job in a] == [job.job_id for job in b]
+        assert [job.submit_time_s for job in a] == [job.submit_time_s for job in b]
+
+    def test_distinct_seeds_differ(self):
+        a = make_generator(seed=1).generate()
+        b = make_generator(seed=2).generate()
+        assert [job.submit_time_s for job in a] != [job.submit_time_s for job in b]
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ConfigError):
+            make_generator(horizon_s=0)
+        with pytest.raises(ConfigError):
+            make_generator(resolution_s=0)
+        with pytest.raises(ConfigError):
+            make_generator(WorkloadConfig(num_jobs=-1))
+
+
+class TestWorkloadSummary:
+    def test_empty(self):
+        summary = workload_summary([])
+        assert summary["jobs"] == 0
+        assert summary["single_task_job_fraction"] == 0.0
+
+    def test_counts(self):
+        jobs = [JobSpec("j1", 0, tasks=[TaskSpec("t", 4, 10, 10, 10, 0, 600)]),
+                JobSpec("j2", 0, tasks=[TaskSpec("t", 1, 10, 10, 10, 0, 600),
+                                        TaskSpec("u", 2, 10, 10, 10, 0, 600)])]
+        summary = workload_summary(jobs)
+        assert summary["jobs"] == 2
+        assert summary["tasks"] == 3
+        assert summary["instances"] == 7
+        assert summary["single_task_job_fraction"] == 0.5

@@ -1,0 +1,157 @@
+"""Tests for the grid and treemap layout alternatives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.vis.layout.circlepack import PackNode
+from repro.vis.layout.grid import grid_pack, layout_extent
+from repro.vis.layout.treemap import Rect, leaf_area_fraction, treemap
+
+
+def make_tree(num_jobs=3, tasks_per_job=2, nodes_per_task=4):
+    """A job → task → node tree like the bubble chart builds."""
+    jobs = []
+    for j in range(num_jobs):
+        tasks = []
+        for t in range(tasks_per_job):
+            nodes = [PackNode(id=f"j{j}/t{t}/n{n}", value=1.0)
+                     for n in range(nodes_per_task)]
+            tasks.append(PackNode(id=f"j{j}/t{t}", children=nodes))
+        jobs.append(PackNode(id=f"j{j}", children=tasks))
+    return PackNode(id="root", children=jobs)
+
+
+class TestGridPack:
+    def test_every_node_positioned_inside_extent(self):
+        root = grid_pack(make_tree(), width=400.0, height=300.0)
+        min_x, min_y, max_x, max_y = layout_extent(root)
+        assert min_x >= -1e-6
+        assert min_y >= -1e-6
+        assert max_x <= 400.0 + 1e-6
+        assert max_y <= 300.0 + 1e-6
+
+    def test_leaves_get_positive_radius(self):
+        root = grid_pack(make_tree(), width=400.0, height=300.0)
+        assert all(leaf.r > 0 for leaf in root.leaves())
+
+    def test_depths_assigned(self):
+        root = grid_pack(make_tree(num_jobs=2), width=200.0, height=200.0)
+        depths = {node.id: node.depth for node in root.iter()}
+        assert depths["root"] == 0
+        assert depths["j0"] == 1
+        assert depths["j0/t0"] == 2
+        assert depths["j0/t0/n0"] == 3
+
+    def test_leaves_within_a_task_do_not_overlap(self):
+        root = grid_pack(make_tree(nodes_per_task=9), width=600.0, height=600.0)
+        for task in [n for n in root.iter() if n.depth == 2]:
+            leaves = task.children
+            for i in range(len(leaves)):
+                for j in range(i + 1, len(leaves)):
+                    a, b = leaves[i], leaves[j]
+                    distance2 = (a.x - b.x) ** 2 + (a.y - b.y) ** 2
+                    assert distance2 >= (a.r + b.r - 1e-6) ** 2 * 0.95
+
+    def test_single_job_tree(self):
+        root = grid_pack(make_tree(num_jobs=1), width=100.0, height=100.0)
+        assert root.children[0].r > 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(LayoutError):
+            grid_pack(make_tree(), width=0.0, height=100.0)
+        with pytest.raises(LayoutError):
+            grid_pack(make_tree(), width=100.0, height=100.0, padding=-1.0)
+
+    def test_layout_extent_of_empty_tree_is_root_only(self):
+        root = PackNode(id="solo", value=1.0)
+        grid_pack(root, width=50.0, height=50.0)
+        extent = layout_extent(root)
+        assert extent[2] > extent[0]
+
+    @given(num_jobs=st.integers(min_value=1, max_value=8),
+           nodes=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=25, deadline=None)
+    def test_all_leaves_inside_canvas(self, num_jobs, nodes):
+        root = grid_pack(make_tree(num_jobs=num_jobs, nodes_per_task=nodes),
+                         width=500.0, height=400.0)
+        for leaf in root.leaves():
+            assert -1e-6 <= leaf.x - leaf.r
+            assert leaf.x + leaf.r <= 500.0 + 1e-6
+            assert -1e-6 <= leaf.y - leaf.r
+            assert leaf.y + leaf.r <= 400.0 + 1e-6
+
+
+class TestTreemap:
+    def test_root_spans_full_extent(self):
+        root = make_tree()
+        rects = treemap(root, width=400.0, height=300.0)
+        assert rects["root"] == Rect(0.0, 0.0, 400.0, 300.0)
+
+    def test_children_contained_in_parent(self):
+        root = make_tree()
+        rects = treemap(root, width=400.0, height=300.0, padding=2.0)
+        for node in root.iter():
+            parent_rect = rects[node.id]
+            for child in node.children:
+                assert parent_rect.contains(rects[child.id])
+
+    def test_sibling_rectangles_do_not_overlap(self):
+        root = make_tree(num_jobs=4, tasks_per_job=3, nodes_per_task=5)
+        rects = treemap(root, width=500.0, height=400.0)
+        for node in root.iter():
+            children = node.children
+            for i in range(len(children)):
+                for j in range(i + 1, len(children)):
+                    assert not rects[children[i].id].overlaps(rects[children[j].id])
+
+    def test_areas_proportional_to_leaf_counts(self):
+        jobs = [PackNode(id="big", children=[
+                    PackNode(id="big/t", children=[
+                        PackNode(id=f"big/n{i}", value=1.0) for i in range(8)])]),
+                PackNode(id="small", children=[
+                    PackNode(id="small/t", children=[
+                        PackNode(id="small/n0", value=1.0)])])]
+        root = PackNode(id="root", children=jobs)
+        rects = treemap(root, width=300.0, height=300.0, padding=0.0)
+        ratio = rects["big"].area / rects["small"].area
+        assert ratio == pytest.approx(8.0, rel=0.05)
+
+    def test_packnode_positions_updated(self):
+        root = make_tree(num_jobs=2)
+        rects = treemap(root, width=200.0, height=100.0)
+        for node in root.iter():
+            rect = rects[node.id]
+            assert node.x == pytest.approx(rect.x + rect.width / 2.0)
+            assert node.y == pytest.approx(rect.y + rect.height / 2.0)
+            assert node.r > 0
+
+    def test_leaf_area_fraction_between_zero_and_one(self):
+        root = make_tree()
+        rects = treemap(root, width=400.0, height=300.0, padding=3.0)
+        fraction = leaf_area_fraction(root, rects)
+        assert 0.0 < fraction <= 1.0
+
+    def test_duplicate_ids_rejected(self):
+        root = PackNode(id="root", children=[PackNode(id="dup", value=1.0),
+                                             PackNode(id="dup", value=1.0)])
+        with pytest.raises(LayoutError):
+            treemap(root, width=100.0, height=100.0)
+
+    def test_invalid_extent_rejected(self):
+        with pytest.raises(LayoutError):
+            treemap(make_tree(), width=-1.0, height=100.0)
+
+    @given(counts=st.lists(st.integers(min_value=1, max_value=9),
+                           min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_leaf_rect_areas_sum_to_parent_area(self, counts):
+        tasks = [PackNode(id=f"t{i}", children=[
+                     PackNode(id=f"t{i}/n{j}", value=1.0) for j in range(count)])
+                 for i, count in enumerate(counts)]
+        root = PackNode(id="root", children=tasks)
+        rects = treemap(root, width=320.0, height=240.0, padding=0.0)
+        for task in tasks:
+            child_area = sum(rects[leaf.id].area for leaf in task.children)
+            assert child_area == pytest.approx(rects[task.id].area, rel=1e-6)

@@ -1,0 +1,109 @@
+"""Tests for the stacked area chart."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.errors import RenderError
+from repro.metrics.series import TimeSeries
+from repro.metrics.store import MetricStore
+from repro.vis.charts.area import StackedAreaChart, StackedAreaModel
+
+
+def make_store(num_machines=4, n=20):
+    timestamps = np.arange(n) * 60.0
+    store = MetricStore([f"m_{i:04d}" for i in range(num_machines)], timestamps)
+    for i in range(num_machines):
+        store.set_series(f"m_{i:04d}", "cpu", np.full(n, 10.0 * (i + 1)))
+        store.set_series(f"m_{i:04d}", "mem", np.full(n, 5.0 * (i + 1)))
+        store.set_series(f"m_{i:04d}", "disk", np.full(n, 3.0))
+    return store
+
+
+class TestStackedAreaModel:
+    def test_layers_aligned_on_construction(self):
+        a = TimeSeries(np.arange(10) * 60.0, np.full(10, 5.0))
+        b = TimeSeries(np.arange(10) * 60.0, np.full(10, 7.0))
+        model = StackedAreaModel(layers={"a": a, "b": b})
+        timestamps, cumulative = model.stacked_values()
+        assert timestamps.shape[0] == 10
+        assert cumulative.shape == (2, 10)
+        assert cumulative[-1][0] == pytest.approx(12.0)
+
+    def test_cumulative_is_monotone_across_layers(self):
+        store = make_store()
+        model = StackedAreaModel.from_job_machines(
+            store, {"j1": ["m_0000", "m_0001"], "j2": ["m_0002", "m_0003"]})
+        _, cumulative = model.stacked_values()
+        assert np.all(np.diff(cumulative, axis=0) >= -1e-9)
+
+    def test_empty_model_raises_on_queries(self):
+        model = StackedAreaModel()
+        with pytest.raises(RenderError):
+            model.time_extent()
+        with pytest.raises(RenderError):
+            model.stacked_values()
+
+    def test_from_job_machines_skips_unknown_machines(self):
+        store = make_store()
+        model = StackedAreaModel.from_job_machines(
+            store, {"j1": ["m_0000"], "ghost": ["not-a-machine"]})
+        assert model.group_ids == ["j1"]
+
+    def test_from_job_machines_all_unknown_raises(self):
+        store = make_store()
+        with pytest.raises(RenderError):
+            StackedAreaModel.from_job_machines(store, {"ghost": ["nope"]})
+
+    def test_max_groups_merges_into_other(self):
+        store = make_store()
+        jobs = {f"j{i}": [f"m_{i:04d}"] for i in range(4)}
+        model = StackedAreaModel.from_job_machines(store, jobs, max_groups=2)
+        assert len(model.group_ids) == 3
+        assert "other" in model.group_ids
+
+    def test_from_hierarchy_of_generated_trace(self, healthy_bundle):
+        hierarchy = BatchHierarchy.from_bundle(healthy_bundle)
+        job_machines = {job.job_id: job.machine_ids() for job in hierarchy.jobs}
+        model = StackedAreaModel.from_job_machines(healthy_bundle.usage, job_machines)
+        assert model.group_ids
+        t0, t1 = model.time_extent()
+        assert t1 > t0
+
+
+class TestStackedAreaChart:
+    def test_renders_one_band_per_layer(self):
+        store = make_store()
+        model = StackedAreaModel.from_job_machines(
+            store, {"j1": ["m_0000"], "j2": ["m_0001"]})
+        doc = StackedAreaChart(model).render()
+        bands = [e for e in doc.iter("path") if e.get("class") == "area-band"]
+        assert len(bands) == 2
+        groups = {band.get("data-group") for band in bands}
+        assert groups == {"j1", "j2"}
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(RenderError):
+            StackedAreaChart(StackedAreaModel())
+
+    def test_single_sample_rejected_at_render(self):
+        series = TimeSeries([0.0], [5.0])
+        chart = StackedAreaChart(StackedAreaModel(layers={"a": series}))
+        with pytest.raises(RenderError):
+            chart.render()
+
+    def test_legend_optional(self):
+        store = make_store()
+        model = StackedAreaModel.from_job_machines(store, {"j1": ["m_0000"]})
+        with_legend = StackedAreaChart(model, show_legend=True).render()
+        without = StackedAreaChart(model, show_legend=False).render()
+        legend_groups = [e for e in with_legend.iter("g") if e.get("class") == "legend"]
+        assert legend_groups
+        assert not [e for e in without.iter("g") if e.get("class") == "legend"]
+
+    def test_to_svg_is_valid_markup(self):
+        store = make_store()
+        model = StackedAreaModel.from_job_machines(store, {"j1": ["m_0000"]})
+        svg = StackedAreaChart(model).to_svg()
+        assert svg.startswith("<?xml") or svg.lstrip().startswith("<svg")
+        assert "area-band" in svg

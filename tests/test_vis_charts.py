@@ -1,0 +1,250 @@
+"""Tests for the chart types: bubble, line, timeline, heat map, legends, axes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RenderError
+from repro.metrics.series import TimeSeries
+from repro.metrics.store import MetricStore
+from repro.vis.charts.base import Chart, Margins
+from repro.vis.charts.bubble import (
+    BubbleChartModel,
+    HierarchicalBubbleChart,
+    JobBubble,
+    NodeGlyph,
+    TaskBubble,
+)
+from repro.vis.charts.heatmap import HeatmapModel, UtilisationHeatmap
+from repro.vis.charts.legend import categorical_legend, colorbar, hierarchy_legend
+from repro.vis.charts.line import Annotation, LineChartModel, LineSeries, MultiLineChart
+from repro.vis.charts.timeline import TimelineChart, TimelineModel
+from repro.vis.color import Color
+from repro.vis.layout.axes import bottom_axis, left_axis, vertical_annotation
+from repro.vis.scale import LinearScale
+
+
+def bubble_model() -> BubbleChartModel:
+    jobs = []
+    for j in range(3):
+        tasks = []
+        for t in range(2):
+            nodes = [NodeGlyph(f"m_{j}{t}{n}", cpu=20.0 + 10 * n, mem=30.0,
+                               disk=10.0) for n in range(3)]
+            tasks.append(TaskBubble(task_id=f"task_{t}", nodes=nodes))
+        jobs.append(JobBubble(job_id=f"job_{j}", tasks=tasks))
+    shared = {"m_000": [("job_0", "task_0"), ("job_1", "task_0")]}
+    # make the shared machine actually appear under both jobs
+    jobs[1].tasks[0].nodes.append(NodeGlyph("m_000", cpu=25.0, mem=30.0, disk=10.0))
+    return BubbleChartModel(timestamp=1000.0, jobs=jobs, shared_machines=shared)
+
+
+def line_model() -> LineChartModel:
+    timestamps = np.arange(0, 3600, 300, dtype=float)
+    lines = []
+    for task in ("t1", "t2"):
+        for machine in range(3):
+            values = 30 + 10 * np.sin(timestamps / 600 + machine)
+            lines.append(LineSeries(machine_id=f"m{task}{machine}", task_id=task,
+                                    series=TimeSeries(timestamps, values)))
+    annotations = [Annotation(300.0, "start", label="start"),
+                   Annotation(2400.0, "end", task_id="t1"),
+                   Annotation(3300.0, "end", task_id="t2")]
+    return LineChartModel(job_id="job_7399", metric="cpu", lines=lines,
+                          annotations=annotations, brush=(900.0, 1800.0))
+
+
+class TestChartBase:
+    def test_plot_area_positive(self):
+        chart = Chart(width=100, height=100, margins=Margins(10, 10, 10, 10))
+        assert chart.plot_width == 80
+        assert chart.plot_height == 80
+
+    def test_margins_too_large_rejected(self):
+        with pytest.raises(RenderError):
+            Chart(width=50, height=50, margins=Margins(30, 30, 30, 30))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(RenderError):
+            Chart(width=0, height=10)
+
+
+class TestBubbleChart:
+    def test_svg_contains_all_layers(self):
+        chart = HierarchicalBubbleChart(bubble_model(), title="test")
+        svg = chart.to_svg()
+        assert svg.count('class="job-bubble"') == 3
+        assert svg.count('class="task-bubble"') == 6
+        assert 'node-ring-cpu' in svg and 'node-ring-disk' in svg
+        assert 'data-machine="m_000"' in svg
+
+    def test_three_rings_per_node(self):
+        chart = HierarchicalBubbleChart(bubble_model())
+        doc = chart.render()
+        rings = [e for e in doc.iter("circle")
+                 if e.get("class", "").startswith("node-ring")]
+        node_count = sum(len(t.nodes) for j in bubble_model().jobs for t in j.tasks)
+        assert len(rings) == 3 * node_count
+
+    def test_shared_machine_links_drawn(self):
+        chart = HierarchicalBubbleChart(bubble_model())
+        doc = chart.render()
+        links = [e for e in doc.iter("line")
+                 if e.get("class") == "machine-link"]
+        assert len(links) >= 1
+        assert links[0].get("data-machine") == "m_000"
+
+    def test_links_can_be_disabled(self):
+        chart = HierarchicalBubbleChart(bubble_model(), show_links=False)
+        doc = chart.render()
+        assert not [e for e in doc.iter("line") if e.get("class") == "machine-link"]
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(RenderError):
+            HierarchicalBubbleChart(BubbleChartModel(timestamp=0, jobs=[]))
+
+    def test_job_labels_present(self):
+        svg = HierarchicalBubbleChart(bubble_model()).to_svg()
+        for j in range(3):
+            assert f"job_{j}" in svg
+
+
+class TestLineChart:
+    def test_one_path_per_line(self):
+        chart = MultiLineChart(line_model())
+        doc = chart.render()
+        paths = [e for e in doc.iter("path") if e.get("class") == "metric-line"]
+        assert len(paths) == 6
+        assert {p.get("data-task") for p in paths} == {"t1", "t2"}
+
+    def test_annotations_rendered_with_kinds(self):
+        doc = MultiLineChart(line_model()).render()
+        groups = [e for e in doc.iter("g")
+                  if (e.get("class") or "").startswith("annotation annotation-")]
+        kinds = {e.get("class").rsplit("-", 1)[-1] for e in groups}
+        assert kinds == {"start", "end"}
+
+    def test_brush_region_rendered(self):
+        doc = MultiLineChart(line_model()).render()
+        brushes = [e for e in doc.iter("rect") if e.get("class") == "brush-region"]
+        assert len(brushes) == 1
+        assert brushes[0].get("data-start") == "900"
+
+    def test_task_colors_differ(self):
+        chart = MultiLineChart(line_model())
+        assert chart._task_color("t1") != chart._task_color("t2")
+
+    def test_zoomed_view_restricts_time(self):
+        chart = MultiLineChart(line_model())
+        zoomed = chart.zoomed(600, 1800)
+        t0, t1 = zoomed.model.time_extent()
+        assert t0 >= 600 and t1 <= 1800
+        assert len(zoomed.model.lines) == 6
+
+    def test_zoomed_empty_range_rejected(self):
+        chart = MultiLineChart(line_model())
+        with pytest.raises(RenderError):
+            chart.zoomed(100000, 200000)
+
+    def test_model_without_lines_rejected(self):
+        with pytest.raises(RenderError):
+            MultiLineChart(LineChartModel(job_id="x", metric="cpu"))
+
+    def test_sliced_model_validation(self):
+        with pytest.raises(RenderError):
+            line_model().sliced(100, 100)
+
+
+class TestTimelineChart:
+    def make_model(self):
+        timestamps = np.arange(0, 7200, 600, dtype=float)
+        layers = {metric: TimeSeries(timestamps, 20 + 10 * np.sin(timestamps / 900 + i))
+                  for i, metric in enumerate(("cpu", "mem", "disk"))}
+        return TimelineModel(layers=layers, selected_timestamp=3600.0,
+                             brush=(1200.0, 2400.0))
+
+    def test_one_layer_per_metric(self):
+        doc = TimelineChart(self.make_model()).render()
+        lines = [e for e in doc.iter("path") if e.get("class") == "timeline-line"]
+        assert len(lines) == 3
+        assert {p.get("data-metric") for p in lines} == {"cpu", "mem", "disk"}
+
+    def test_cursor_and_brush_rendered(self):
+        svg = TimelineChart(self.make_model()).to_svg()
+        assert "annotation-cursor" in svg
+        assert "brush-region" in svg
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(RenderError):
+            TimelineChart(TimelineModel(layers={}))
+
+    def test_too_short_chart_rejected(self):
+        with pytest.raises(RenderError):
+            TimelineChart(self.make_model(), height=60).render()
+
+
+class TestHeatmap:
+    def make_store(self, machines=6, samples=50):
+        store = MetricStore([f"m{i}" for i in range(machines)],
+                            np.arange(samples, dtype=float) * 60)
+        for i in range(machines):
+            store.set_series(f"m{i}", "cpu", np.linspace(0, 100, samples))
+        return store
+
+    def test_from_store_shape(self):
+        model = HeatmapModel.from_store(self.make_store(), "cpu")
+        assert model.values.shape == (6, 50)
+
+    def test_cells_rendered_and_binned(self):
+        model = HeatmapModel.from_store(self.make_store(), "cpu")
+        chart = UtilisationHeatmap(model, max_columns=10)
+        doc = chart.render()
+        cells = [e for e in doc.iter("rect") if e.get("class") == "heat-cell"]
+        assert len(cells) == 6 * 10
+
+    def test_row_machine_subset(self):
+        model = HeatmapModel.from_store(self.make_store(), "cpu",
+                                        machine_ids=["m0", "m3"])
+        assert model.values.shape[0] == 2
+
+    def test_mismatched_model_rejected(self):
+        model = HeatmapModel(machine_ids=["a"], timestamps=np.array([0.0]),
+                             values=np.zeros((2, 1)))
+        with pytest.raises(RenderError):
+            UtilisationHeatmap(model)
+
+
+class TestLegendsAndAxes:
+    def test_colorbar_structure(self):
+        legend = colorbar(segments=10)
+        rects = list(legend.iter("rect"))
+        assert len(rects) == 11  # 10 segments + outline
+        with pytest.raises(RenderError):
+            colorbar(segments=1)
+
+    def test_categorical_legend(self):
+        legend = categorical_legend([("t1", Color(1, 0, 0)), ("t2", Color(0, 1, 0))])
+        assert len(list(legend.iter("text"))) == 2
+        with pytest.raises(RenderError):
+            categorical_legend([])
+
+    def test_hierarchy_legend_has_three_rows(self):
+        legend = hierarchy_legend()
+        assert len(list(legend.iter("text"))) == 3
+
+    def test_bottom_axis_ticks(self):
+        scale = LinearScale((0, 100), (50, 450))
+        axis = bottom_axis(scale, 300, label="x")
+        labels = [e.text for e in axis.iter("text")]
+        assert "x" in labels
+        assert len(labels) >= 4
+
+    def test_left_axis_gridlines(self):
+        scale = LinearScale((0, 100), (300, 20))
+        axis = left_axis(scale, 50, grid_to=400, label="util")
+        gridlines = [e for e in axis.iter("line") if e.get("stroke") == "#ddd"]
+        assert len(gridlines) >= 3
+
+    def test_vertical_annotation_label(self):
+        annotation = vertical_annotation(100, 10, 200, color="#e03131",
+                                         label="end")
+        assert any(e.text == "end" for e in annotation.iter("text"))

@@ -1,0 +1,166 @@
+"""Tests for the circle-packing layout."""
+
+import math
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.vis.layout.circlepack import (
+    PackNode,
+    _Circle,
+    pack,
+    pack_siblings,
+    smallest_enclosing_circle,
+)
+
+
+def assert_no_overlap(radii, centers, tolerance=1e-6):
+    for i in range(len(radii)):
+        for j in range(i + 1, len(radii)):
+            distance = math.hypot(centers[i][0] - centers[j][0],
+                                  centers[i][1] - centers[j][1])
+            assert distance + tolerance >= radii[i] + radii[j], (
+                f"circles {i} and {j} overlap: d={distance}, "
+                f"r_i+r_j={radii[i] + radii[j]}")
+
+
+class TestPackSiblings:
+    def test_empty_and_single(self):
+        assert pack_siblings([]) == []
+        assert pack_siblings([5.0]) == [(0.0, 0.0)]
+
+    def test_two_circles_touch(self):
+        centers = pack_siblings([3.0, 2.0])
+        distance = math.hypot(centers[0][0] - centers[1][0],
+                              centers[0][1] - centers[1][1])
+        assert distance == pytest.approx(5.0)
+
+    def test_no_overlap_uniform(self):
+        radii = [4.0] * 20
+        assert_no_overlap(radii, pack_siblings(radii))
+
+    def test_no_overlap_mixed_sizes(self):
+        radii = [1.0, 8.0, 2.5, 6.0, 3.0, 1.5, 7.0, 2.0, 4.5, 5.0]
+        assert_no_overlap(radii, pack_siblings(radii))
+
+    def test_returns_positions_in_input_order(self):
+        radii = [1.0, 9.0, 2.0]
+        centers = pack_siblings(radii)
+        assert len(centers) == 3
+        # the largest circle is placed first at the origin
+        assert centers[1] == (0.0, 0.0)
+
+    def test_compactness_is_reasonable(self):
+        radii = [5.0] * 30
+        centers = pack_siblings(radii)
+        extent = max(math.hypot(x, y) + 5.0 for x, y in centers)
+        ideal = math.sqrt(30) * 5.0
+        assert extent <= ideal * 1.5
+
+    def test_rejects_non_positive_radius(self):
+        with pytest.raises(LayoutError):
+            pack_siblings([1.0, 0.0])
+
+
+class TestSmallestEnclosingCircle:
+    def test_single_circle(self):
+        circle = smallest_enclosing_circle([_Circle(3, 4, 2)])
+        assert (circle.x, circle.y, circle.r) == (3, 4, 2)
+
+    def test_encloses_all(self):
+        circles = [_Circle(0, 0, 1), _Circle(10, 0, 2), _Circle(5, 7, 1.5)]
+        enclosing = smallest_enclosing_circle(circles)
+        for c in circles:
+            assert math.hypot(c.x - enclosing.x, c.y - enclosing.y) + c.r <= \
+                enclosing.r + 1e-6
+
+    def test_two_circle_case_is_tight(self):
+        enclosing = smallest_enclosing_circle([_Circle(0, 0, 1), _Circle(8, 0, 1)])
+        assert enclosing.r == pytest.approx(5.0)
+        assert enclosing.x == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert smallest_enclosing_circle([]).r == 0.0
+
+    def test_degenerate_input_terminates_and_encloses(self):
+        """Near-identical circles at large coordinates must not loop forever."""
+        base = _Circle(987654.321, -123456.789, 42.0)
+        circles = [base]
+        for i in range(12):
+            circles.append(_Circle(base.x + i * 1e-10, base.y - i * 1e-10, 42.0))
+        circles.append(_Circle(base.x + 5.0, base.y + 5.0, 1.0))
+        enclosing = smallest_enclosing_circle(circles)
+        for c in circles:
+            assert (math.hypot(c.x - enclosing.x, c.y - enclosing.y) + c.r
+                    <= enclosing.r + max(1.0, enclosing.r) * 1e-6)
+
+
+def build_tree(spec) -> PackNode:
+    """spec: {'a': 3, 'b': {'c': 2, 'd': 1}} — ints are leaf weights."""
+    root = PackNode("root")
+    for name, value in spec.items():
+        if isinstance(value, dict):
+            child = build_tree(value)
+            child.id = name
+            root.children.append(child)
+        else:
+            root.children.append(PackNode(name, value=float(value)))
+    return root
+
+
+class TestHierarchicalPack:
+    def test_children_inside_parents(self):
+        root = build_tree({"j1": {"t1": {"a": 30, "b": 40}, "t2": {"c": 20}},
+                           "j2": {"t3": {"d": 50, "e": 10, "f": 25}}})
+        packed = pack(root, radius=200)
+        for node in packed.iter():
+            for child in node.children:
+                distance = math.hypot(child.x - node.x, child.y - node.y)
+                assert distance + child.r <= node.r + 1e-6
+
+    def test_siblings_do_not_overlap(self):
+        root = build_tree({f"leaf{i}": 10 + i for i in range(15)})
+        packed = pack(root, radius=150)
+        leaves = packed.leaves()
+        assert_no_overlap([leaf.r for leaf in leaves],
+                          [(leaf.x, leaf.y) for leaf in leaves])
+
+    def test_root_has_requested_radius_and_origin(self):
+        root = build_tree({"a": 10, "b": 20})
+        packed = pack(root, radius=123.0)
+        assert packed.r == pytest.approx(123.0)
+        assert packed.x == 0.0 and packed.y == 0.0
+
+    def test_leaf_area_monotone_in_value(self):
+        root = build_tree({"small": 10, "big": 90})
+        packed = pack(root, radius=100)
+        leaves = {leaf.id: leaf for leaf in packed.leaves()}
+        assert leaves["big"].r > leaves["small"].r
+
+    def test_depth_assignment(self):
+        root = build_tree({"j": {"t": {"n": 5}}})
+        packed = pack(root, radius=50)
+        depths = {node.id: node.depth for node in packed.iter()}
+        assert depths["root"] == 0
+        assert depths["j"] == 1
+        assert depths["t"] == 2
+        assert depths["n"] == 3
+
+    def test_single_leaf(self):
+        packed = pack(build_tree({"only": 42}), radius=80)
+        leaf = packed.leaves()[0]
+        assert leaf.r <= 80 + 1e-9
+
+    def test_invalid_arguments(self):
+        root = build_tree({"a": 1})
+        with pytest.raises(LayoutError):
+            pack(root, radius=0)
+        with pytest.raises(LayoutError):
+            pack(root, radius=10, padding=-1)
+        with pytest.raises(LayoutError):
+            pack(build_tree({"bad": -5}), radius=10)
+
+    def test_iteration_and_leaves(self):
+        root = build_tree({"j1": {"a": 1, "b": 2}, "j2": {"c": 3}})
+        assert len(list(root.iter())) == 6
+        assert len(root.leaves()) == 3

@@ -1,0 +1,113 @@
+"""Tests for colours and colour scales."""
+
+import pytest
+
+from repro.errors import RenderError
+from repro.vis.color import (
+    CATEGORICAL_PALETTE,
+    Color,
+    LinearColormap,
+    UTILISATION_CMAP,
+    categorical_color,
+    lerp,
+    utilisation_color,
+)
+
+
+class TestColor:
+    def test_hex_roundtrip(self):
+        color = Color.from_hex("#1c7ed6")
+        assert color.to_hex() == "#1c7ed6"
+
+    def test_short_hex(self):
+        assert Color.from_hex("#fff").to_hex() == "#ffffff"
+        assert Color.from_hex("000").to_hex() == "#000000"
+
+    def test_invalid_hex(self):
+        with pytest.raises(RenderError):
+            Color.from_hex("#12345")
+        with pytest.raises(RenderError):
+            Color.from_hex("#zzzzzz")
+
+    def test_from_bytes(self):
+        assert Color.from_bytes(255, 0, 0).to_hex() == "#ff0000"
+
+    def test_component_range_enforced(self):
+        with pytest.raises(RenderError):
+            Color(1.5, 0, 0)
+        with pytest.raises(RenderError):
+            Color(0, -0.1, 0)
+
+    def test_with_alpha(self):
+        assert Color(1, 0, 0).with_alpha(0.5) == "rgba(255,0,0,0.5)"
+        with pytest.raises(RenderError):
+            Color(1, 0, 0).with_alpha(1.5)
+
+    def test_luminance_and_readable_text(self):
+        assert Color(1, 1, 1).luminance() == pytest.approx(1.0)
+        assert Color(1, 1, 1).readable_text_color().to_hex() == "#000000"
+        assert Color(0, 0, 0).readable_text_color().to_hex() == "#ffffff"
+
+    def test_lighten_darken(self):
+        grey = Color(0.5, 0.5, 0.5)
+        assert grey.lighten(1.0).to_hex() == "#ffffff"
+        assert grey.darken(1.0).to_hex() == "#000000"
+
+    def test_lerp_endpoints_and_clamping(self):
+        a, b = Color(0, 0, 0), Color(1, 1, 1)
+        assert lerp(a, b, 0.0) == a
+        assert lerp(a, b, 1.0) == b
+        assert lerp(a, b, 2.0) == b
+        assert lerp(a, b, 0.5).r == pytest.approx(0.5)
+
+
+class TestLinearColormap:
+    def test_requires_well_formed_stops(self):
+        with pytest.raises(RenderError):
+            LinearColormap([(0.0, Color(0, 0, 0))])
+        with pytest.raises(RenderError):
+            LinearColormap([(0.1, Color(0, 0, 0)), (1.0, Color(1, 1, 1))])
+        with pytest.raises(RenderError):
+            LinearColormap([(0.0, Color(0, 0, 0)), (0.5, Color(0, 0, 0)),
+                            (0.5, Color(1, 1, 1)), (1.0, Color(1, 1, 1))])
+
+    def test_interpolation(self):
+        cmap = LinearColormap([(0.0, Color(0, 0, 0)), (1.0, Color(1, 1, 1))])
+        assert cmap(0.5).r == pytest.approx(0.5)
+        assert cmap(-1).to_hex() == "#000000"
+        assert cmap(2).to_hex() == "#ffffff"
+
+    def test_sample(self):
+        cmap = LinearColormap([(0.0, Color(0, 0, 0)), (1.0, Color(1, 1, 1))])
+        samples = cmap.sample(5)
+        assert len(samples) == 5
+        assert samples[0].to_hex() == "#000000"
+        assert samples[-1].to_hex() == "#ffffff"
+        with pytest.raises(RenderError):
+            cmap.sample(1)
+
+
+class TestUtilisationColor:
+    def test_low_is_green_high_is_red(self):
+        low = utilisation_color(5.0)
+        high = utilisation_color(98.0)
+        assert low.g > low.r
+        assert high.r > high.g
+
+    def test_mid_is_warm(self):
+        mid = utilisation_color(60.0)
+        assert mid.r > 0.5 and mid.g > 0.5
+
+    def test_custom_domain(self):
+        assert utilisation_color(0.5, vmin=0, vmax=1).to_hex() == \
+            UTILISATION_CMAP(0.5).to_hex()
+        with pytest.raises(RenderError):
+            utilisation_color(10, vmin=5, vmax=5)
+
+
+class TestCategoricalPalette:
+    def test_palette_size_and_wraparound(self):
+        assert len(CATEGORICAL_PALETTE) == 10
+        assert categorical_color(0) == CATEGORICAL_PALETTE[0]
+        assert categorical_color(10) == CATEGORICAL_PALETTE[0]
+        assert categorical_color(3) != categorical_color(4)

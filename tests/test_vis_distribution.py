@@ -1,0 +1,99 @@
+"""Tests for the utilisation histogram."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RenderError
+from repro.metrics.store import MetricStore
+from repro.vis.charts.distribution import HistogramModel, UtilisationHistogram
+
+from tests.conftest import mid_timestamp
+
+
+def make_store(cpu_values, n=5):
+    timestamps = np.arange(n) * 60.0
+    machine_ids = [f"m_{i:04d}" for i in range(len(cpu_values))]
+    store = MetricStore(machine_ids, timestamps)
+    for machine_id, cpu in zip(machine_ids, cpu_values):
+        store.set_series(machine_id, "cpu", np.full(n, cpu))
+        store.set_series(machine_id, "mem", np.full(n, 40.0))
+        store.set_series(machine_id, "disk", np.full(n, 10.0))
+    return store
+
+
+class TestHistogramModel:
+    def test_from_store_counts_every_machine(self):
+        store = make_store([10, 35, 35, 90])
+        model = HistogramModel.from_store(store, "cpu", 0.0)
+        assert model.total == 4
+        assert model.counts.sum() == 4
+
+    def test_dominant_band(self):
+        store = make_store([31, 35, 38, 90])
+        model = HistogramModel.from_store(store, "cpu", 0.0)
+        lo, hi = model.dominant_band()
+        assert lo == pytest.approx(30.0)
+        assert hi == pytest.approx(40.0)
+
+    def test_fraction_in_band(self):
+        store = make_store([25, 35, 55, 95])
+        model = HistogramModel.from_store(store, "cpu", 0.0)
+        assert model.fraction_in_band(20.0, 60.0) == pytest.approx(0.75)
+        assert model.fraction_in_band(0.0, 100.0) == pytest.approx(1.0)
+
+    def test_fraction_in_band_empty_model(self):
+        model = HistogramModel(metric="cpu", timestamp=0.0)
+        assert model.fraction_in_band(0.0, 100.0) == 0.0
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(RenderError):
+            HistogramModel(metric="cpu", timestamp=0.0, bin_edges=[0.0],
+                           counts=[])
+        with pytest.raises(RenderError):
+            HistogramModel(metric="cpu", timestamp=0.0,
+                           bin_edges=[0.0, 50.0, 40.0], counts=[1, 1])
+        with pytest.raises(RenderError):
+            HistogramModel(metric="cpu", timestamp=0.0,
+                           bin_edges=[0.0, 50.0, 100.0], counts=[1])
+        with pytest.raises(RenderError):
+            HistogramModel.from_store(make_store([10.0]), "cpu", 0.0, bins=0)
+
+    def test_healthy_scenario_dominated_by_low_band(self, healthy_bundle):
+        model = HistogramModel.from_store(healthy_bundle.usage, "cpu",
+                                          mid_timestamp(healthy_bundle))
+        assert model.fraction_in_band(0.0, 60.0) >= 0.5
+
+    def test_thrashing_scenario_has_high_band_mass(self, thrashing_bundle):
+        window = thrashing_bundle.meta["thrashing"]["window"]
+        model = HistogramModel.from_store(thrashing_bundle.usage, "mem",
+                                          (window[0] + window[1]) / 2.0)
+        assert model.fraction_in_band(70.0, 100.0) >= 0.3
+
+
+class TestUtilisationHistogram:
+    def test_renders_one_bar_per_bin(self):
+        store = make_store([10, 20, 30, 40, 50])
+        model = HistogramModel.from_store(store, "cpu", 0.0, bins=10)
+        doc = UtilisationHistogram(model).render()
+        bars = [e for e in doc.iter("rect") if e.get("class") == "histogram-bar"]
+        assert len(bars) == 10
+
+    def test_bar_data_counts_match_model(self):
+        store = make_store([15, 15, 85])
+        model = HistogramModel.from_store(store, "cpu", 0.0, bins=10)
+        doc = UtilisationHistogram(model).render()
+        counts = {e.get("data-bin"): int(e.get("data-count"))
+                  for e in doc.iter("rect") if e.get("class") == "histogram-bar"}
+        assert counts["10-20"] == 2
+        assert counts["80-90"] == 1
+
+    def test_title_mentions_metric_and_timestamp(self):
+        model = HistogramModel(metric="mem", timestamp=300.0)
+        chart = UtilisationHistogram(model)
+        assert "MEM" in chart.title
+        assert "300" in chart.title
+
+    def test_empty_histogram_still_renders(self):
+        model = HistogramModel(metric="cpu", timestamp=0.0)
+        svg = UtilisationHistogram(model).to_svg()
+        assert "histogram-bar" in svg

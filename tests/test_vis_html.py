@@ -1,0 +1,73 @@
+"""Tests for dashboard HTML assembly."""
+
+import pytest
+
+from repro.errors import RenderError
+from repro.vis.charts.base import Chart
+from repro.vis.html import Dashboard
+from repro.vis.svg import circle
+
+
+class DummyChart(Chart):
+    """Minimal chart used to exercise the dashboard plumbing."""
+
+    def _draw(self, doc):
+        doc.add(circle(10, 10, 5, fill="#ff0000", data_machine="m_42"))
+
+
+class TestDashboard:
+    def test_panels_and_structure(self):
+        dash = Dashboard(title="BatchLens", subtitle="case study")
+        dash.add_panel("Bubble", DummyChart(width=200, height=150),
+                       description="main view", full_width=True)
+        dash.add_panel("Lines", DummyChart(width=200, height=150),
+                       panel_id="panel-job-7901")
+        html = dash.to_html()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<title>BatchLens</title>" in html
+        assert html.count("<section") == 2
+        assert 'id="panel-job-7901"' in html
+        assert "panel full" in html
+        assert "main view" in html
+        assert 'data-machine="m_42"' in html
+
+    def test_interaction_runtime_embedded(self):
+        dash = Dashboard(title="x")
+        dash.add_panel("p", DummyChart(width=200, height=150))
+        html = dash.to_html()
+        assert "<script>" in html
+        assert "data-machine" in html          # JS selects by machine id
+        assert "getElementById('tooltip')" in html
+        assert "scrollIntoView" in html        # click-to-jump interaction
+
+    def test_title_escaping(self):
+        dash = Dashboard(title="a <b> & c")
+        dash.add_panel("p", DummyChart(width=200, height=150))
+        assert "a &lt;b&gt; &amp; c" in dash.to_html()
+
+    def test_raw_svg_panel_accepted(self):
+        dash = Dashboard(title="x")
+        dash.add_panel("raw", "<svg xmlns='http://www.w3.org/2000/svg'></svg>")
+        assert "<svg" in dash.to_html()
+
+    def test_non_svg_panel_rejected(self):
+        dash = Dashboard(title="x")
+        with pytest.raises(RenderError):
+            dash.add_panel("bad", "<div>not a chart</div>")
+
+    def test_empty_dashboard_rejected(self):
+        with pytest.raises(RenderError):
+            Dashboard(title="x").to_html()
+
+    def test_save(self, tmp_path):
+        dash = Dashboard(title="x")
+        dash.add_panel("p", DummyChart(width=200, height=150))
+        path = dash.save(tmp_path / "sub" / "dash.html")
+        assert path.exists()
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_panel_ids_auto_assigned_and_unique(self):
+        dash = Dashboard(title="x")
+        dash.add_panel("a", DummyChart(width=200, height=150))
+        dash.add_panel("b", DummyChart(width=200, height=150))
+        assert len(set(dash.panel_ids)) == 2

@@ -1,0 +1,76 @@
+"""Tests for the job co-allocation matrix view."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.errors import RenderError
+from repro.trace.records import BatchInstanceRecord, BatchTaskRecord, TraceBundle
+from repro.vis.charts.matrix import CoAllocationMatrix, CoAllocationMatrixModel
+from tests.conftest import mid_timestamp
+
+
+def sharing_bundle() -> TraceBundle:
+    tasks = [BatchTaskRecord(0, 100, j, "t", 2, "Terminated")
+             for j in ("j1", "j2", "j3")]
+    instances = [
+        BatchInstanceRecord(0, 100, "j1", "t", "m1", "Terminated", 1, 2),
+        BatchInstanceRecord(0, 100, "j1", "t", "m2", "Terminated", 2, 2),
+        BatchInstanceRecord(0, 100, "j2", "t", "m1", "Terminated", 1, 2),
+        BatchInstanceRecord(0, 100, "j2", "t", "m2", "Terminated", 2, 2),
+        BatchInstanceRecord(0, 100, "j3", "t", "m9", "Terminated", 1, 1),
+    ]
+    return TraceBundle(tasks=tasks, instances=instances)
+
+
+class TestModel:
+    def test_counts_match_coallocation(self):
+        hierarchy = BatchHierarchy.from_bundle(sharing_bundle())
+        model = CoAllocationMatrixModel.from_hierarchy(hierarchy)
+        i, j = model.job_ids.index("j1"), model.job_ids.index("j2")
+        assert model.counts[i, j] == 2
+        assert model.counts[j, i] == 2
+        k = model.job_ids.index("j3")
+        assert model.counts[i, k] == 0
+        assert model.max_count == 2
+
+    def test_max_jobs_keeps_most_shared(self):
+        hierarchy = BatchHierarchy.from_bundle(sharing_bundle())
+        model = CoAllocationMatrixModel.from_hierarchy(hierarchy, max_jobs=2)
+        assert set(model.job_ids) == {"j1", "j2"}
+        assert model.counts.shape == (2, 2)
+
+    def test_from_generated_bundle(self, hotjob_bundle, hotjob_hierarchy):
+        model = CoAllocationMatrixModel.from_hierarchy(
+            hotjob_hierarchy, mid_timestamp(hotjob_bundle), max_jobs=10)
+        assert model.counts.shape[0] == len(model.job_ids) <= 10
+        np.testing.assert_array_equal(model.counts, model.counts.T)
+
+
+class TestChart:
+    def test_renders_cells_and_labels(self):
+        hierarchy = BatchHierarchy.from_bundle(sharing_bundle())
+        model = CoAllocationMatrixModel.from_hierarchy(hierarchy)
+        doc = CoAllocationMatrix(model).render()
+        cells = [e for e in doc.iter("rect") if e.get("class") == "coallocation-cell"]
+        assert len(cells) == len(model.job_ids) ** 2
+        shared = [c for c in cells if c.get("data-count") not in ("0", None)]
+        assert len(shared) == 2  # (j1,j2) and (j2,j1)
+        labels = [e.text for e in doc.iter("text") if e.text in model.job_ids]
+        assert len(labels) == 2 * len(model.job_ids)
+
+    def test_shared_cells_darker_than_empty(self):
+        hierarchy = BatchHierarchy.from_bundle(sharing_bundle())
+        chart = CoAllocationMatrix(CoAllocationMatrixModel.from_hierarchy(hierarchy))
+        assert chart._cell_color(2) != chart._cell_color(0)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(RenderError):
+            CoAllocationMatrix(CoAllocationMatrixModel(job_ids=[],
+                                                       counts=np.zeros((0, 0))))
+
+    def test_facade_method(self, hotjob_lens, hotjob_bundle):
+        chart = hotjob_lens.coallocation_matrix(mid_timestamp(hotjob_bundle),
+                                                max_jobs=8)
+        svg = chart.to_svg()
+        assert "coallocation-cell" in svg

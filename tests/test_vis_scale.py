@@ -1,0 +1,115 @@
+"""Tests for scales, ticks and label formatting."""
+
+import pytest
+
+from repro.errors import RenderError
+from repro.vis.scale import (
+    BandScale,
+    LinearScale,
+    TimeScale,
+    format_number,
+    format_percent,
+    format_seconds,
+    nice_step,
+)
+
+
+class TestLinearScale:
+    def test_maps_domain_to_range(self):
+        scale = LinearScale((0, 100), (0, 500))
+        assert scale(0) == 0
+        assert scale(50) == 250
+        assert scale(100) == 500
+
+    def test_inverted_range(self):
+        scale = LinearScale((0, 100), (400, 0))
+        assert scale(0) == 400
+        assert scale(100) == 0
+
+    def test_invert(self):
+        scale = LinearScale((0, 100), (0, 500))
+        assert scale.invert(250) == pytest.approx(50)
+
+    def test_degenerate_domain_does_not_crash(self):
+        scale = LinearScale((5, 5), (0, 100))
+        assert 0 <= scale(5) <= 100
+
+    def test_clamp(self):
+        scale = LinearScale((0, 100), (0, 10))
+        assert scale.clamp(-5) == 0
+        assert scale.clamp(105) == 100
+        assert scale.clamp(42) == 42
+
+    def test_ticks_are_nice_and_within_domain(self):
+        scale = LinearScale((0, 87), (0, 400))
+        ticks = scale.ticks(5)
+        values = [t.value for t in ticks]
+        assert all(0 <= v <= 87 for v in values)
+        steps = {round(b - a, 6) for a, b in zip(values, values[1:])}
+        assert len(steps) == 1
+        assert 3 <= len(ticks) <= 8
+
+    def test_tick_positions_match_scale(self):
+        scale = LinearScale((0, 100), (0, 200))
+        for tick in scale.ticks(4):
+            assert tick.position == pytest.approx(scale(tick.value))
+
+    def test_tick_count_validation(self):
+        with pytest.raises(RenderError):
+            LinearScale((0, 1), (0, 1)).ticks(1)
+
+
+class TestNiceStep:
+    def test_powers_of_ten_family(self):
+        for span, count in ((100, 5), (87, 5), (3, 4), (0.42, 5), (12345, 6)):
+            step = nice_step(span, count)
+            mantissa = step / (10 ** __import__("math").floor(__import__("math").log10(step)))
+            assert round(mantissa, 6) in (1.0, 2.0, 5.0, 10.0)
+
+    def test_zero_span(self):
+        assert nice_step(0, 5) == 1.0
+
+
+class TestFormatters:
+    def test_format_number(self):
+        assert format_number(1500) == "1,500"
+        assert format_number(2.5) == "2.5"
+        assert format_number(3.0) == "3"
+
+    def test_format_seconds(self):
+        assert format_seconds(0) == "0:00:00"
+        assert format_seconds(3661) == "1:01:01"
+        assert format_seconds(47400) == "13:10:00"
+        assert format_seconds(-60) == "-0:01:00"
+
+    def test_format_percent(self):
+        assert format_percent(42.4) == "42%"
+
+
+class TestTimeScale:
+    def test_ticks_use_clock_labels(self):
+        scale = TimeScale((0, 7200), (0, 100))
+        labels = [t.label for t in scale.ticks(4)]
+        assert all(":" in label for label in labels)
+
+
+class TestBandScale:
+    def test_bands_partition_the_range(self):
+        scale = BandScale(["a", "b", "c"], (0, 300), padding=0.0)
+        assert scale("a") == 0
+        assert scale("b") == 100
+        assert scale.bandwidth == pytest.approx(100)
+        assert scale.center("a") == pytest.approx(50)
+
+    def test_padding_shrinks_bands(self):
+        scale = BandScale(["a", "b"], (0, 100), padding=0.2)
+        assert scale.bandwidth == pytest.approx(40)
+        assert scale("a") == pytest.approx(5)
+
+    def test_unknown_category(self):
+        with pytest.raises(RenderError):
+            BandScale(["a"], (0, 10))("z")
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(RenderError):
+            BandScale([], (0, 10))

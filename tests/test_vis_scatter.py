@@ -1,0 +1,106 @@
+"""Tests for the machine scatter chart."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RenderError
+from repro.metrics.store import MetricStore
+from repro.vis.charts.scatter import MachineScatterChart, ScatterModel, ScatterPoint
+
+
+def make_store(values):
+    """values: list of (cpu, mem, disk) per machine, constant over time."""
+    timestamps = np.arange(5) * 60.0
+    machine_ids = [f"m_{i:04d}" for i in range(len(values))]
+    store = MetricStore(machine_ids, timestamps)
+    for machine_id, (cpu, mem, disk) in zip(machine_ids, values):
+        store.set_series(machine_id, "cpu", np.full(5, cpu))
+        store.set_series(machine_id, "mem", np.full(5, mem))
+        store.set_series(machine_id, "disk", np.full(5, disk))
+    return store
+
+
+class TestScatterModel:
+    def test_one_point_per_machine(self):
+        store = make_store([(20, 30, 5), (80, 90, 50)])
+        model = ScatterModel.from_store(store, 120.0)
+        assert len(model.points) == 2
+        assert {p.machine_id for p in model.points} == set(store.machine_ids)
+
+    def test_point_values_match_snapshot(self):
+        store = make_store([(25, 45, 10)])
+        point = ScatterModel.from_store(store, 0.0).points[0]
+        assert point.cpu == pytest.approx(25.0)
+        assert point.mem == pytest.approx(45.0)
+        assert point.disk == pytest.approx(10.0)
+
+    def test_highlight_mapping_applied(self):
+        store = make_store([(10, 95, 5), (50, 50, 5)])
+        model = ScatterModel.from_store(store, 0.0,
+                                        highlight={"m_0000": "thrashing"})
+        flags = {p.machine_id: p.highlight for p in model.points}
+        assert flags["m_0000"] == "thrashing"
+        assert flags["m_0001"] is None
+
+    def test_corner_counts(self):
+        model = ScatterModel(timestamp=0.0, points=[
+            ScatterPoint("a", cpu=10.0, mem=95.0, disk=0.0),   # thrashing
+            ScatterPoint("b", cpu=90.0, mem=92.0, disk=0.0),   # saturated
+            ScatterPoint("c", cpu=20.0, mem=20.0, disk=0.0),   # idle
+            ScatterPoint("d", cpu=60.0, mem=55.0, disk=0.0),   # normal
+        ])
+        counts = model.corner_counts()
+        assert counts == {"thrashing": 1, "saturated": 1, "idle": 1, "normal": 1}
+
+    def test_thrashing_scenario_populates_thrashing_corner(self, thrashing_bundle):
+        window = thrashing_bundle.meta["thrashing"]["window"]
+        timestamp = (window[0] + window[1]) / 2.0
+        model = ScatterModel.from_store(thrashing_bundle.usage, timestamp)
+        counts = model.corner_counts()
+        assert counts["thrashing"] + counts["saturated"] >= 1
+
+
+class TestMachineScatterChart:
+    def test_renders_one_dot_per_machine(self):
+        store = make_store([(20, 30, 5), (80, 90, 60), (50, 50, 20)])
+        model = ScatterModel.from_store(store, 0.0)
+        doc = MachineScatterChart(model).render()
+        dots = [e for e in doc.iter("circle") if e.get("class") == "scatter-point"]
+        assert len(dots) == 3
+
+    def test_dot_radius_scales_with_disk(self):
+        store = make_store([(50, 50, 0), (50, 50, 100)])
+        model = ScatterModel.from_store(store, 0.0)
+        chart = MachineScatterChart(model, min_radius=2.0, max_radius=8.0)
+        doc = chart.render()
+        radii = {e.get("data-machine"): float(e.get("r"))
+                 for e in doc.iter("circle") if e.get("class") == "scatter-point"}
+        assert radii["m_0001"] > radii["m_0000"]
+        assert radii["m_0000"] == pytest.approx(2.0)
+        assert radii["m_0001"] == pytest.approx(8.0)
+
+    def test_highlighted_dot_gets_stroke_and_attribute(self):
+        store = make_store([(10, 95, 5)])
+        model = ScatterModel.from_store(store, 0.0,
+                                        highlight={"m_0000": "thrashing"})
+        doc = MachineScatterChart(model).render()
+        dot = next(e for e in doc.iter("circle")
+                   if e.get("class") == "scatter-point")
+        assert dot.get("data-highlight") == "thrashing"
+        assert dot.get("stroke") is not None
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(RenderError):
+            MachineScatterChart(ScatterModel(timestamp=0.0, points=[]))
+
+    def test_invalid_radius_bounds_rejected(self):
+        store = make_store([(20, 30, 5)])
+        model = ScatterModel.from_store(store, 0.0)
+        with pytest.raises(RenderError):
+            MachineScatterChart(model, min_radius=5.0, max_radius=2.0)
+
+    def test_tooltip_title_present(self):
+        store = make_store([(20, 30, 5)])
+        doc = MachineScatterChart(ScatterModel.from_store(store, 0.0)).render()
+        titles = list(doc.iter("title"))
+        assert any("m_0000" in (t.text or "") for t in titles)

@@ -1,0 +1,126 @@
+"""Tests for the small-multiples sparkline grid."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.errors import RenderError
+from repro.metrics.series import TimeSeries
+from repro.metrics.store import MetricStore
+from repro.vis.charts.smallmultiples import (
+    SmallMultiplesChart,
+    SmallMultiplesModel,
+    Sparkline,
+)
+
+
+def make_cells(count=6, n=15):
+    cells = []
+    for index in range(count):
+        timestamps = np.arange(n) * 60.0
+        values = np.full(n, 10.0 + index * 10.0)
+        cells.append(Sparkline(label=f"job_{index}",
+                               series=TimeSeries(timestamps, values),
+                               markers=(120.0,)))
+    return cells
+
+
+def make_store(num_machines=4, n=15):
+    timestamps = np.arange(n) * 60.0
+    store = MetricStore([f"m_{i:04d}" for i in range(num_machines)], timestamps)
+    for i in range(num_machines):
+        store.set_series(f"m_{i:04d}", "cpu", np.full(n, 20.0 + 10.0 * i))
+        store.set_series(f"m_{i:04d}", "mem", np.full(n, 30.0))
+        store.set_series(f"m_{i:04d}", "disk", np.full(n, 10.0))
+    return store
+
+
+class TestSmallMultiplesModel:
+    def test_extents_span_all_cells(self):
+        model = SmallMultiplesModel(cells=make_cells())
+        t0, t1 = model.time_extent()
+        assert t0 == 0.0
+        assert t1 == 14 * 60.0
+        v0, v1 = model.value_extent()
+        assert v0 == 0.0
+        assert v1 >= 60.0
+
+    def test_empty_model_raises(self):
+        with pytest.raises(RenderError):
+            SmallMultiplesModel().time_extent()
+
+    def test_per_job_builds_one_cell_per_job(self):
+        store = make_store()
+        model = SmallMultiplesModel.per_job(
+            store, {"j1": ["m_0000", "m_0001"], "j2": ["m_0002"]})
+        assert {cell.label for cell in model.cells} == {"j1", "j2"}
+
+    def test_per_job_mean_of_machines(self):
+        store = make_store()
+        model = SmallMultiplesModel.per_job(store, {"j1": ["m_0000", "m_0001"]})
+        cell = model.cells[0]
+        assert cell.series.mean() == pytest.approx(25.0)
+
+    def test_per_job_with_windows_sets_markers(self):
+        store = make_store()
+        model = SmallMultiplesModel.per_job(
+            store, {"j1": ["m_0000"]}, job_windows={"j1": (60.0, 300.0)})
+        assert model.cells[0].markers == (60.0, 300.0)
+
+    def test_per_job_all_unknown_raises(self):
+        with pytest.raises(RenderError):
+            SmallMultiplesModel.per_job(make_store(), {"ghost": ["nope"]})
+
+    def test_per_job_on_generated_trace(self, hotjob_bundle):
+        hierarchy = BatchHierarchy.from_bundle(hotjob_bundle)
+        job_machines = {job.job_id: job.machine_ids() for job in hierarchy.jobs}
+        model = SmallMultiplesModel.per_job(hotjob_bundle.usage, job_machines)
+        assert len(model.cells) >= 1
+
+
+class TestSmallMultiplesChart:
+    def test_one_cell_group_per_sparkline(self):
+        model = SmallMultiplesModel(cells=make_cells(count=5))
+        doc = SmallMultiplesChart(model, columns=3).render()
+        cells = [e for e in doc.iter("g") if e.get("class") == "sparkline-cell"]
+        assert len(cells) == 5
+
+    def test_rows_derived_from_columns(self):
+        model = SmallMultiplesModel(cells=make_cells(count=7))
+        chart = SmallMultiplesChart(model, columns=3)
+        assert chart.rows == 3
+        assert chart.height > chart.margins.top + chart.margins.bottom
+
+    def test_markers_rendered(self):
+        model = SmallMultiplesModel(cells=make_cells(count=2))
+        doc = SmallMultiplesChart(model, columns=2).render()
+        markers = [e for e in doc.iter("rect")
+                   if e.get("class") == "sparkline-marker"]
+        assert len(markers) == 2
+
+    def test_cells_do_not_overlap(self):
+        model = SmallMultiplesModel(cells=make_cells(count=4))
+        chart = SmallMultiplesChart(model, columns=2)
+        geometries = [chart._cell_geometry(i) for i in range(4)]
+        for i in range(4):
+            xi, yi, wi, hi = geometries[i]
+            for j in range(i + 1, 4):
+                xj, yj, wj, hj = geometries[j]
+                disjoint_x = xi + wi <= xj + 1e-9 or xj + wj <= xi + 1e-9
+                disjoint_y = yi + hi <= yj + 1e-9 or yj + hj <= yi + 1e-9
+                assert disjoint_x or disjoint_y
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(RenderError):
+            SmallMultiplesChart(SmallMultiplesModel())
+
+    def test_invalid_columns_rejected(self):
+        model = SmallMultiplesModel(cells=make_cells(count=2))
+        with pytest.raises(RenderError):
+            SmallMultiplesChart(model, columns=0)
+
+    def test_too_many_columns_for_width_rejected_at_render(self):
+        model = SmallMultiplesModel(cells=make_cells(count=40))
+        chart = SmallMultiplesChart(model, columns=40, width=300.0)
+        with pytest.raises(RenderError):
+            chart.render()

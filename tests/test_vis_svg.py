@@ -1,0 +1,122 @@
+"""Tests for the SVG document model."""
+
+import pytest
+
+from repro.errors import RenderError
+from repro.vis.svg import (
+    Element,
+    PathBuilder,
+    SVGDocument,
+    circle,
+    group,
+    line,
+    polyline_path,
+    rect,
+    text,
+    title,
+)
+
+
+class TestElement:
+    def test_set_and_get(self):
+        element = Element("rect")
+        element.set("x", 1.5).set("fill", "#fff")
+        assert element.get("x") == "1.50"
+        assert element.get("fill") == "#fff"
+        assert element.get("missing", "default") == "default"
+
+    def test_float_formatting_trims_integers(self):
+        element = Element("rect").set("width", 10.0)
+        assert element.get("width") == "10"
+
+    def test_add_and_iter(self):
+        parent = group()
+        child = parent.add(circle(0, 0, 5))
+        grandchild = child.add(title("hi"))
+        tags = [e.tag for e in parent.iter()]
+        assert tags == ["g", "circle", "title"]
+        assert list(parent.iter("title")) == [grandchild]
+
+    def test_find_all_by_attribute(self):
+        parent = group()
+        parent.add(circle(0, 0, 1, cls="node", data_machine="m1"))
+        parent.add(circle(0, 0, 1, cls="node", data_machine="m2"))
+        found = parent.find_all("circle", data_machine="m1")
+        assert len(found) == 1
+
+    def test_render_escapes_text_and_attributes(self):
+        element = text(0, 0, "a < b & c")
+        element.set("data-note", "x < y")
+        markup = element.render()
+        assert "a &lt; b &amp; c" in markup
+        assert 'data-note="x &lt; y"' in markup
+
+    def test_render_self_closing(self):
+        assert circle(0, 0, 1).render().endswith("/>")
+
+
+class TestShapeHelpers:
+    def test_circle_negative_radius_rejected(self):
+        with pytest.raises(RenderError):
+            circle(0, 0, -1)
+
+    def test_rect_negative_size_rejected(self):
+        with pytest.raises(RenderError):
+            rect(0, 0, -5, 5)
+
+    def test_dashed_line(self):
+        element = line(0, 0, 10, 10, dashed=True)
+        assert "stroke-dasharray" in element.attrib
+
+    def test_kwargs_become_hyphenated_attributes(self):
+        element = circle(0, 0, 1, data_machine="m7")
+        assert element.get("data-machine") == "m7"
+
+    def test_text_anchor(self):
+        element = text(5, 5, "label", anchor="middle")
+        assert element.get("text-anchor") == "middle"
+
+
+class TestPathBuilder:
+    def test_build_path(self):
+        path = PathBuilder().move_to(0, 0).line_to(10, 5).close().build()
+        assert path == "M 0.00 0.00 L 10.00 5.00 Z"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(RenderError):
+            PathBuilder().build()
+
+    def test_polyline_requires_two_points(self):
+        with pytest.raises(RenderError):
+            polyline_path([(0, 0)], stroke="#000")
+        element = polyline_path([(0, 0), (1, 1), (2, 0)], stroke="#000")
+        assert element.get("d").count("L") == 2
+        assert element.get("fill") == "none"
+
+
+class TestSVGDocument:
+    def test_dimensions_and_viewbox(self):
+        doc = SVGDocument(200, 100)
+        markup = doc.render()
+        assert 'width="200"' in markup
+        assert 'viewBox="0 0 200 100"' in markup
+        assert markup.startswith("<svg")
+
+    def test_background_rect_optional(self):
+        with_bg = SVGDocument(10, 10)
+        without_bg = SVGDocument(10, 10, background=None)
+        assert len(list(with_bg.iter("rect"))) == 1
+        assert len(list(without_bg.iter("rect"))) == 0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(RenderError):
+            SVGDocument(0, 10)
+
+    def test_save(self, tmp_path):
+        doc = SVGDocument(10, 10)
+        doc.add(circle(5, 5, 2, fill="#ff0000"))
+        target = tmp_path / "out" / "figure.svg"
+        doc.save(target)
+        content = target.read_text()
+        assert "<circle" in content
+        assert content.startswith("<svg")
