@@ -75,6 +75,12 @@ def pytest_configure(config):
     _CAPTURE_MANAGER = config.pluginmanager.getplugin("capturemanager")
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``slow`` so tier-1 stays tests/-only."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 def report(title: str, rows: dict) -> None:
     """Print a paper-vs-measured block that ends up in bench_output.txt."""
     lines = [f"\n===== {title} ====="]

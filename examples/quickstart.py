@@ -4,12 +4,17 @@
 Run with::
 
     python examples/quickstart.py [--output-dir examples/output] [--seed 7]
+    python examples/quickstart.py --scenario "diurnal(amplitude=40)+network-storm"
 
 This walks through the basic public API in under a minute:
 
-1. generate a synthetic Alibaba-style trace (the ``hotjob`` scenario);
+1. generate a synthetic Alibaba-style trace — ``--scenario`` accepts the
+   paper's regimes (``healthy``/``hotjob``/``thrashing``), any registered
+   fault injector, or a composed spec stacking several injectors
+   (``python -m repro scenarios`` lists them);
 2. look at the §II-style dataset statistics;
-3. classify the cluster regime at one timestamp;
+3. classify the cluster regime at one timestamp and print the injected
+   ground truth (which machines/jobs/windows are anomalous);
 4. render the hierarchical bubble chart, a per-job line chart and the
    timeline;
 5. assemble everything into a self-contained interactive HTML dashboard.
@@ -18,9 +23,10 @@ This walks through the basic public API in under a minute:
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 
-from repro import BatchLens, TraceConfig
+from repro import BatchLens, BatchLensError, TraceConfig
 
 
 def parse_args() -> argparse.Namespace:
@@ -30,7 +36,10 @@ def parse_args() -> argparse.Namespace:
                         help="where to write the SVG/HTML artefacts")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--scenario", default="hotjob",
-                        choices=["none", "healthy", "hotjob", "thrashing"])
+                        help="registered scenario name, fault-injector name, "
+                             "or composed spec such as "
+                             "'diurnal(amplitude=40)+network-storm' "
+                             "(see `python -m repro scenarios`)")
     return parser.parse_args()
 
 
@@ -40,7 +49,8 @@ def main() -> None:
 
     print(f"Generating a synthetic trace (scenario={args.scenario}, "
           f"seed={args.seed}) ...")
-    lens = BatchLens.generate(TraceConfig(scenario=args.scenario, seed=args.seed))
+    lens = BatchLens.generate(TraceConfig(seed=args.seed),
+                              scenario=args.scenario)
 
     stats = lens.stats()
     print("\nDataset statistics (compare with §II of the paper):")
@@ -55,6 +65,17 @@ def main() -> None:
     timestamp = (start + end) / 2
     assessment = lens.snapshot(timestamp)
     print(f"\nCluster snapshot: {assessment.summary()}")
+
+    manifest = lens.ground_truth()
+    if manifest:
+        print("\nInjected ground truth (scenario engine manifest):")
+        for entry in manifest:
+            where = (f"{len(entry.machines)} machine(s)" if entry.machines
+                     else f"{len(entry.jobs)} job(s)")
+            window = ("whole trace" if entry.window is None else
+                      f"t={entry.window[0]:.0f}..{entry.window[1]:.0f}s")
+            print(f"  {entry.kind}: {where}, {window}; expected detector: "
+                  f"{', '.join(entry.detectors)}")
 
     jobs = lens.active_jobs(timestamp)
     print(f"\n{len(jobs)} job(s) active at t={timestamp:.0f}s; the busiest:")
@@ -83,4 +104,8 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    try:
+        main()
+    except BatchLensError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)

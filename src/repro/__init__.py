@@ -8,6 +8,9 @@ including every substrate the paper relies on:
   synthetic trace generator standing in for the public download;
 * :mod:`repro.cluster` - machines, batch scheduling, the utilisation
   simulator and the anomaly scenarios of the case study;
+* :mod:`repro.scenarios` - the composable fault-injection engine: a
+  registry of seedable injectors with machine-readable ground-truth
+  manifests, plus precision/recall scoring of every detector against them;
 * :mod:`repro.metrics` - time series, dense utilisation storage, roll-ups;
 * :mod:`repro.analysis` - detectors for the patterns the case study reads
   off the views (spikes, thrashing, load imbalance, root causes);
@@ -22,8 +25,21 @@ Quickstart::
 
     lens = BatchLens.generate(scenario="hotjob", seed=7)
     lens.save_dashboard(timestamp=9000, path="batchlens.html")
+
+Scenarios beyond the paper's three regimes are composed from registered
+fault injectors — ``background``, ``hot-job``, ``memory-thrash``,
+``straggler``, ``machine-failure``, ``diurnal``, ``network-storm``,
+``cascading-failure``, ``maintenance-drain`` and ``load-imbalance``
+(``python -m repro scenarios`` lists them) — and every generated bundle
+carries the injected ground truth::
+
+    lens = BatchLens.generate(
+        scenario="diurnal(amplitude=40)+network-storm", seed=7)
+    manifest = lens.ground_truth()         # who is anomalous, where, when
+    scores = lens.detection_scorecard()    # precision/recall per anomaly
 """
 
+from repro import scenarios
 from repro.app.batchlens import BatchLens
 from repro.app.session import AnalysisSession
 from repro.config import (
@@ -58,6 +74,7 @@ __all__ = [
     "generate_trace",
     "load_trace",
     "paper_scale_config",
+    "scenarios",
     "small_config",
     "write_trace",
 ]

@@ -137,10 +137,47 @@ class EwmaDetector:
                                subject=subject, kind="ewma")
 
 
+class FlatlineDetector:
+    """Flags stretches where a series sits at (effectively) zero.
+
+    A healthy machine always reports at least its background baseline, so a
+    sustained flatline at zero is the signature of a dead or failed machine
+    (the :mod:`repro.scenarios` failure injectors zero the series of failed
+    machines).
+    """
+
+    def __init__(self, epsilon: float = 0.5, *, min_samples: int = 3) -> None:
+        if epsilon < 0:
+            raise SeriesError("epsilon must be non-negative")
+        if min_samples < 1:
+            raise SeriesError("min_samples must be at least 1")
+        self.epsilon = epsilon
+        self.min_samples = min_samples
+
+    def detect(self, series: TimeSeries, *, metric: str = "cpu",
+               subject: str = "") -> list[AnomalyEvent]:
+        if len(series) == 0:
+            return []
+        values = series.values
+        timestamps = series.timestamps
+        mask = values <= self.epsilon
+        scores = self.epsilon - values
+        events = _mask_to_events(timestamps, mask, scores, metric=metric,
+                                 subject=subject, kind="flatline")
+        kept = []
+        for event in events:
+            samples = int(np.sum((timestamps >= event.start)
+                                 & (timestamps <= event.end)))
+            if samples >= self.min_samples:
+                kept.append(event)
+        return kept
+
+
 DETECTORS = {
     "threshold": ThresholdDetector,
     "zscore": RollingZScoreDetector,
     "ewma": EwmaDetector,
+    "flatline": FlatlineDetector,
 }
 
 

@@ -73,8 +73,17 @@ class BatchLens:
 
     @classmethod
     def generate(cls, config: TraceConfig | None = None, *,
-                 scenario: str | None = None, seed: int | None = None) -> "BatchLens":
-        """Generate a synthetic trace (see :func:`repro.trace.generate_trace`)."""
+                 scenario=None, seed: int | None = None) -> "BatchLens":
+        """Generate a synthetic trace (see :func:`repro.trace.generate_trace`).
+
+        ``scenario`` accepts a legacy alias (``"healthy"``, ``"hotjob"``,
+        ``"thrashing"``), any registered fault-injector name, or a composed
+        spec stacking several injectors::
+
+            lens = BatchLens.generate(
+                scenario="diurnal(amplitude=40)+network-storm", seed=7)
+            manifest = lens.ground_truth()      # what was injected where
+        """
         from repro.trace.synthetic import generate_trace
 
         return cls(generate_trace(config, scenario=scenario, seed=seed))
@@ -99,6 +108,21 @@ class BatchLens:
     def session(self) -> AnalysisSession:
         """Start a stateful exploration session (brushing, selection, hover)."""
         return AnalysisSession(self.bundle, hierarchy=self.hierarchy)
+
+    def ground_truth(self):
+        """Ground-truth manifest of the injected anomalies (may be empty)."""
+        return self.bundle.ground_truth()
+
+    def detection_scorecard(self) -> dict:
+        """Precision/recall of the declared detectors per injected anomaly.
+
+        Scores every entry of the ground-truth manifest with the detector it
+        names (see :mod:`repro.scenarios.scoring`); empty for bundles without
+        a manifest.
+        """
+        from repro.scenarios.scoring import scorecard
+
+        return scorecard(self.bundle)
 
     # -- charts -------------------------------------------------------------------------
     def bubble_chart(self, timestamp: float, *, max_jobs: int | None = None,

@@ -9,7 +9,9 @@ writing Python::
     python -m repro dashboard trace/ --timestamp 9000 --output batchlens.html
     python -m repro report trace/ --timestamp 9000
     python -m repro figures trace/ --job job_1042 --output-dir figs/
+    python -m repro scenarios
     python -m repro monitor --synthetic --scenario thrashing
+    python -m repro monitor --synthetic --scenario "diurnal+network-storm"
     python -m repro compare --synthetic --scenario thrashing
     python -m repro sla trace/
     python -m repro experiments --seed 2022 --output EXPERIMENTS_generated.md
@@ -27,7 +29,6 @@ from pathlib import Path
 from repro.analysis.sla import SlaPolicy, cluster_sla_report, summarize_sla
 from repro.app.batchlens import BatchLens
 from repro.app.export import case_study_narrative, export_job_figures
-from repro.cluster.anomalies import SCENARIOS
 from repro.config import TraceConfig, paper_scale_config
 from repro.errors import BatchLensError
 from repro.report.comparison import compare_detection_quality, render_comparison
@@ -46,8 +47,10 @@ def _add_trace_source(parser: argparse.ArgumentParser) -> None:
                         help="directory holding the Alibaba-format CSV tables")
     parser.add_argument("--synthetic", action="store_true",
                         help="generate a synthetic trace instead of loading one")
-    parser.add_argument("--scenario", default="hotjob", choices=sorted(SCENARIOS),
-                        help="scenario for --synthetic (default: hotjob)")
+    parser.add_argument("--scenario", default="hotjob",
+                        help="scenario for --synthetic: a registered name or a "
+                             "composed spec such as 'diurnal+network-storm' "
+                             "(see `repro scenarios`; default: hotjob)")
     parser.add_argument("--seed", type=int, default=2022)
     parser.add_argument("--paper-scale", action="store_true",
                         help="synthetic trace at 1300 machines / 24 h")
@@ -198,6 +201,26 @@ def cmd_sla(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List registered scenarios, fault injectors and composition syntax."""
+    from repro.scenarios import SCENARIO_ALIASES, list_injectors
+
+    print("scenario aliases (paper case-study regimes):")
+    for name in sorted(SCENARIO_ALIASES):
+        scenario = SCENARIO_ALIASES[name]
+        print(f"  {name}: {scenario.description}")
+    print("\nregistered fault injectors (composable with '+'):")
+    for info in list_injectors():
+        extra = ""
+        if info.detectors:
+            extra = f" [detector: {', '.join(info.detectors)}]"
+        print(f"  {info.name}: {info.summary}{extra}")
+    print("\ncompose injectors into one scenario, with optional parameters:")
+    print("  --scenario 'diurnal(amplitude=40)+network-storm'")
+    print("  --scenario 'background(cpu_offset=35)+maintenance-drain'")
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     """Run the paper-claim vs. measured experiment suite."""
     records = run_experiment_suite(paper_scale=args.paper_scale, seed=args.seed)
@@ -220,7 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     generate = sub.add_parser("generate", help="write a synthetic trace to CSVs")
     generate.add_argument("--output-dir", type=Path, required=True)
-    generate.add_argument("--scenario", default="hotjob", choices=sorted(SCENARIOS))
+    generate.add_argument("--scenario", default="hotjob",
+                          help="registered scenario name or composed spec "
+                               "(see `repro scenarios`)")
     generate.add_argument("--seed", type=int, default=2022)
     generate.add_argument("--paper-scale", action="store_true")
     generate.add_argument("--compress", action="store_true",
@@ -282,6 +307,10 @@ def build_parser() -> argparse.ArgumentParser:
     sla.add_argument("--max-jobs", type=int, default=10,
                      help="how many violated jobs to list")
     sla.set_defaults(func=cmd_sla)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list registered scenarios and fault injectors")
+    scenarios.set_defaults(func=cmd_scenarios)
 
     experiments = sub.add_parser(
         "experiments", help="run the paper-claim vs. measured experiment suite")

@@ -362,7 +362,9 @@ class MachineFailure(Anomaly):
                               detail="injected failure"))
             for p in ctx.placements:
                 if p.machine_id == machine.machine_id and p.end_s > failure_time:
-                    p.end_s = failure_time
+                    # clamp to the start so instances scheduled after the
+                    # failure never report a negative duration
+                    p.end_s = max(p.start_s, failure_time)
                     p.status = schema.STATUS_FAILED
         ctx.extra_meta["failed_machines"] = failed
         ctx.extra_meta["failure_time"] = failure_time
@@ -434,9 +436,13 @@ SCENARIOS: dict[str, Scenario] = _build_scenarios()
 
 
 def get_scenario(name: str) -> Scenario:
-    """Look up a scenario by name, raising a helpful error when unknown."""
-    try:
-        return SCENARIOS[name]
-    except KeyError:
-        raise SimulationError(
-            f"unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}") from None
+    """Resolve a scenario name or composed spec into a :class:`Scenario`.
+
+    Resolution is delegated to :mod:`repro.scenarios.registry`, which keeps
+    the names in :data:`SCENARIOS` as aliases (identical injected data, now
+    with ground-truth manifests) and additionally accepts every registered
+    fault injector and composed specs such as ``"diurnal+network-storm"``.
+    """
+    from repro.scenarios.registry import resolve_scenario
+
+    return resolve_scenario(name)

@@ -207,12 +207,21 @@ class ClusterSimulator:
                 "seed": self._config.seed,
                 "horizon_s": self._config.horizon_s,
                 "usage_resolution_s": self._config.usage.resolution_s,
+                # ground-truth manifest rows recorded by fault injectors;
+                # always present so consumers can rely on the key
+                "ground_truth": [],
                 **ctx.extra_meta,
             },
         )
         return bundle
 
 
-def simulate(config: TraceConfig, *, scheduler: str = "least-loaded") -> TraceBundle:
-    """Convenience wrapper: build and run a :class:`ClusterSimulator`."""
-    return ClusterSimulator(config, scheduler=scheduler).run()
+def simulate(config: TraceConfig, *, scheduler: str = "least-loaded",
+             scenario: Scenario | None = None) -> TraceBundle:
+    """Convenience wrapper: build and run a :class:`ClusterSimulator`.
+
+    ``scenario`` overrides ``config.scenario`` with an already-resolved
+    :class:`Scenario` object (e.g. one composed programmatically from fault
+    injectors via :func:`repro.scenarios.compose`).
+    """
+    return ClusterSimulator(config, scheduler=scheduler, scenario=scenario).run()

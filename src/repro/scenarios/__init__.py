@@ -1,0 +1,117 @@
+"""Composable scenario / fault-injection engine with ground-truth manifests.
+
+The paper validates BatchLens on exactly three regimes (healthy, hot job,
+thrashing).  This subsystem generalises them into a registry of composable,
+seedable **fault injectors** that mutate a baseline trace and declare a
+machine-readable **ground-truth manifest** — which machines, jobs and time
+windows are anomalous, and which detector should flag them.  Manifests make
+every detector in :mod:`repro.analysis` scoreable with precision/recall
+against known injected anomalies instead of eyeballed assertions.
+
+Registered injectors (see :func:`list_injectors` /
+``python -m repro scenarios``):
+
+================== ==========================================================
+``background``       raise the cluster to a utilisation band (not a fault)
+``hot-job``          one job runs far hotter, peaking at completion
+``memory-thrash``    memory overcommit collapses CPU, jobs mass-terminated
+``straggler``        some task instances run much longer than their peers
+``machine-failure``  hard failure of a few machines mid-trace
+``diurnal``          smooth day/night load cycle across the cluster
+``network-storm``    correlated bursty I/O storm on a machine subset
+``cascading-failure`` machine failures spreading in widening waves
+``maintenance-drain`` machines drained for maintenance, then refilled
+``load-imbalance``   a few machines persistently far hotter than the fleet
+================== ==========================================================
+
+Any registered name — or a composed spec stacking several injectors — is
+accepted everywhere a scenario is: :meth:`repro.BatchLens.generate`,
+:func:`repro.trace.synthetic.generate_trace`, the streaming replayer and
+the CLI ``--scenario`` flag.  The legacy names ``"healthy"``, ``"hotjob"``,
+``"thrashing"`` and ``"none"`` remain aliases with unchanged behaviour::
+
+    from repro import BatchLens
+    from repro.scenarios import score_bundle
+
+    lens = BatchLens.generate(
+        scenario="diurnal(amplitude=40)+network-storm", seed=7)
+    for scored in score_bundle(lens.bundle):
+        print(scored.entry.kind, scored.result.precision, scored.result.recall)
+"""
+
+from repro.scenarios.groundtruth import (
+    GROUND_TRUTH_KEY,
+    GroundTruthEntry,
+    GroundTruthManifest,
+    manifest_from_meta,
+    record_entry,
+)
+from repro.scenarios.injectors import (
+    CascadingFailureInjector,
+    DiurnalLoadInjector,
+    FaultInjector,
+    HotJobInjector,
+    LoadImbalanceInjector,
+    MachineFailureInjector,
+    MaintenanceDrainInjector,
+    NetworkStormInjector,
+    StragglerInjector,
+    ThrashingInjector,
+)
+from repro.scenarios.registry import (
+    SCENARIO_ALIASES,
+    InjectorInfo,
+    commutative_injector_names,
+    compose,
+    get_injector,
+    injector_names,
+    list_injectors,
+    register_injector,
+    resolve_scenario,
+    scenario_names,
+)
+from repro.scenarios.scoring import (
+    ScoredEntry,
+    register_runner,
+    runner_names,
+    score_bundle,
+    score_entry,
+    scorecard,
+)
+from repro.scenarios.spec import ScenarioPart, parse_scenario_spec
+
+__all__ = [
+    "GROUND_TRUTH_KEY",
+    "CascadingFailureInjector",
+    "DiurnalLoadInjector",
+    "FaultInjector",
+    "GroundTruthEntry",
+    "GroundTruthManifest",
+    "HotJobInjector",
+    "InjectorInfo",
+    "LoadImbalanceInjector",
+    "MachineFailureInjector",
+    "MaintenanceDrainInjector",
+    "NetworkStormInjector",
+    "SCENARIO_ALIASES",
+    "ScenarioPart",
+    "ScoredEntry",
+    "StragglerInjector",
+    "ThrashingInjector",
+    "commutative_injector_names",
+    "compose",
+    "get_injector",
+    "injector_names",
+    "list_injectors",
+    "manifest_from_meta",
+    "parse_scenario_spec",
+    "record_entry",
+    "register_injector",
+    "register_runner",
+    "resolve_scenario",
+    "runner_names",
+    "scenario_names",
+    "score_bundle",
+    "score_entry",
+    "scorecard",
+]

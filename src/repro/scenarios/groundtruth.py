@@ -1,0 +1,137 @@
+"""Machine-readable ground truth for injected faults.
+
+Every fault injector declares *what it actually injected* — which machines,
+jobs and time windows are anomalous, and which detector of
+:mod:`repro.analysis` is expected to flag them.  The declarations are plain
+data (``GroundTruthEntry``) collected into a ``GroundTruthManifest`` that
+travels inside :attr:`repro.trace.records.TraceBundle.meta` under the
+:data:`GROUND_TRUTH_KEY` key.
+
+The manifest is the substrate detection-quality work measures itself
+against: tests and benchmarks score every detector with precision/recall
+against known injected anomalies instead of eyeballed assertions (see
+:mod:`repro.scenarios.scoring`).
+
+This module deliberately imports nothing from :mod:`repro.cluster` or
+:mod:`repro.analysis`, so both layers can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+#: Key under which the manifest rows live in ``TraceBundle.meta`` (and in
+#: ``SimulationContext.extra_meta`` while the simulation is still running).
+GROUND_TRUTH_KEY = "ground_truth"
+
+
+@dataclass(frozen=True)
+class GroundTruthEntry:
+    """One injected anomaly: where it is and who should catch it."""
+
+    #: Injector kind, e.g. ``"hot-job"`` or ``"network-storm"``.
+    kind: str
+    #: Machines whose series carry the anomaly (empty for job-level faults).
+    machines: tuple[str, ...] = ()
+    #: Jobs affected by the anomaly (empty for machine-level faults).
+    jobs: tuple[str, ...] = ()
+    #: ``(start_s, end_s)`` trace window of the anomaly, or ``None`` when it
+    #: spans the whole trace.
+    window: tuple[float, float] | None = None
+    #: Names of the detectors expected to flag this entry (keys understood by
+    #: :mod:`repro.scenarios.scoring`).
+    detectors: tuple[str, ...] = ()
+    #: Injector-specific calibration values (boost levels, thresholds, ...).
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "machines": list(self.machines),
+            "jobs": list(self.jobs),
+            "window": None if self.window is None else
+            [float(self.window[0]), float(self.window[1])],
+            "detectors": list(self.detectors),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping) -> "GroundTruthEntry":
+        window = row.get("window")
+        return cls(
+            kind=str(row["kind"]),
+            machines=tuple(row.get("machines", ())),
+            jobs=tuple(row.get("jobs", ())),
+            window=None if window is None else (float(window[0]), float(window[1])),
+            detectors=tuple(row.get("detectors", ())),
+            params=dict(row.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class GroundTruthManifest:
+    """All ground-truth entries of one generated trace."""
+
+    entries: tuple[GroundTruthEntry, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[GroundTruthEntry]:
+        return iter(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def of_kind(self, kind: str) -> list[GroundTruthEntry]:
+        return [entry for entry in self.entries if entry.kind == kind]
+
+    def kinds(self) -> list[str]:
+        """Distinct entry kinds in declaration order."""
+        seen: dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry.kind, None)
+        return list(seen)
+
+    def machines(self, kind: str | None = None) -> set[str]:
+        """Union of anomalous machines (optionally of one kind)."""
+        out: set[str] = set()
+        for entry in self.entries:
+            if kind is None or entry.kind == kind:
+                out.update(entry.machines)
+        return out
+
+    def jobs(self, kind: str | None = None) -> set[str]:
+        """Union of anomalous jobs (optionally of one kind)."""
+        out: set[str] = set()
+        for entry in self.entries:
+            if kind is None or entry.kind == kind:
+                out.update(entry.jobs)
+        return out
+
+    def to_dict_list(self) -> list[dict]:
+        return [entry.to_dict() for entry in self.entries]
+
+    @classmethod
+    def from_dict_list(cls, rows: Iterable[Mapping]) -> "GroundTruthManifest":
+        return cls(entries=tuple(GroundTruthEntry.from_dict(row) for row in rows))
+
+
+def record_entry(extra_meta: dict, entry: GroundTruthEntry) -> None:
+    """Append one entry to a simulation context's ``extra_meta`` dict."""
+    extra_meta.setdefault(GROUND_TRUTH_KEY, []).append(entry.to_dict())
+
+
+def manifest_from_meta(meta: Mapping) -> GroundTruthManifest:
+    """Read the manifest out of a bundle's (or context's) metadata."""
+    return GroundTruthManifest.from_dict_list(meta.get(GROUND_TRUTH_KEY, []))
+
+
+__all__ = [
+    "GROUND_TRUTH_KEY",
+    "GroundTruthEntry",
+    "GroundTruthManifest",
+    "manifest_from_meta",
+    "record_entry",
+]

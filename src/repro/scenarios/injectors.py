@@ -1,0 +1,569 @@
+"""Composable, seedable fault injectors with ground-truth manifests.
+
+Every injector is an :class:`~repro.cluster.anomalies.Anomaly` (so it plugs
+straight into the :class:`~repro.cluster.simulator.ClusterSimulator`
+pipeline) that additionally *declares what it injected* as
+:class:`~repro.scenarios.groundtruth.GroundTruthEntry` rows.  The entries
+are derived deterministically from the simulation context — recording them
+never consumes random numbers — so upgrading a legacy scenario to its
+injector equivalent produces byte-identical traces plus a manifest.
+
+Injectors that draw their own random choices do so from a private generator
+seeded by ``(config.seed, injector name)`` rather than the shared pipeline
+RNG.  That makes every injector independently seedable and makes the
+injectors marked :attr:`FaultInjector.commutative` genuinely
+order-independent when composed (see :mod:`repro.scenarios.spec`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.anomalies import (
+    Anomaly,
+    BackgroundLoad,
+    HotJob,
+    MachineFailure,
+    Straggler,
+    Thrashing,
+)
+from repro.cluster.context import SimulationContext
+from repro.cluster.machine import failure_event
+from repro.errors import SimulationError
+from repro.scenarios.groundtruth import GroundTruthEntry, record_entry
+from repro.trace import schema
+
+
+class FaultInjector(Anomaly):
+    """Base class for anomalies that emit a ground-truth manifest.
+
+    Subclasses set :attr:`kind` (the manifest entry kind), :attr:`detectors`
+    (which :mod:`repro.scenarios.scoring` runners should flag the entry) and
+    :attr:`commutative` (whether composing this injector with another
+    commutative injector is order-independent).
+    """
+
+    kind = "fault"
+    detectors: tuple[str, ...] = ()
+    #: True when the injector only makes additive, self-seeded mutations, so
+    #: stacking it with other commutative injectors in any order yields the
+    #: same trace (up to floating-point addition order).
+    commutative = False
+    #: Distinguishes the RNG streams of several instances of the *same*
+    #: injector inside one composition; :func:`repro.scenarios.compose`
+    #: assigns 1, 2, ... to the duplicates beyond the first.
+    rng_salt = 0
+
+    def injector_rng(self, ctx: SimulationContext) -> np.random.Generator:
+        """Private RNG seeded by ``(trace seed, injector name[, salt])``.
+
+        Independent of the shared pipeline RNG, so the random choices of one
+        injector never shift those of another — the property that makes
+        commutative injectors order-independent.
+        """
+        name_hash = zlib.crc32(self.name.encode("utf-8"))
+        entropy = [abs(int(ctx.config.seed)), name_hash]
+        if self.rng_salt:
+            entropy.append(int(self.rng_salt))
+        return np.random.default_rng(entropy)
+
+    def record(self, ctx: SimulationContext, entry: GroundTruthEntry) -> None:
+        """Append one ground-truth entry to the simulation metadata."""
+        record_entry(ctx.extra_meta, entry)
+
+
+def _clip_window(start: float, end: float, horizon_s: float) -> tuple[float, float]:
+    return (max(0.0, float(start)), min(float(horizon_s), float(end)))
+
+
+# -- upgraded legacy anomalies -------------------------------------------------
+@dataclass
+class HotJobInjector(HotJob, FaultInjector):
+    """:class:`~repro.cluster.anomalies.HotJob` plus a ground-truth manifest.
+
+    The entry lists the hot job, its machines and the spike window (job
+    execution plus the post-completion decay), to be caught by the spike
+    detector.
+    """
+
+    name = "hot-job"
+    kind = "hot-job"
+    detectors = ("spike",)
+    commutative = True
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        super().mutate_usage(ctx)
+        hot_job_id = ctx.extra_meta.get("hot_job_id")
+        if hot_job_id is None:
+            return
+        placements = ctx.placements_of_job(hot_job_id)
+        if not placements:
+            return
+        start = float(min(p.start_s for p in placements))
+        end = float(max(p.end_s for p in placements))
+        window = _clip_window(start, end + 2.0 * self.decay_s, ctx.horizon_s)
+        machines = tuple(sorted({p.machine_id for p in placements}))
+        self.record(ctx, GroundTruthEntry(
+            kind=self.kind,
+            machines=machines,
+            jobs=(hot_job_id,),
+            window=window,
+            detectors=self.detectors,
+            params={"peak_boost": self.peak_boost,
+                    "demand_scale": self.demand_scale},
+        ))
+
+
+@dataclass
+class ThrashingInjector(Thrashing, FaultInjector):
+    """:class:`~repro.cluster.anomalies.Thrashing` plus a manifest entry."""
+
+    name = "memory-thrash"
+    kind = "memory-thrash"
+    detectors = ("thrashing",)
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        super().mutate_usage(ctx)
+        info = ctx.extra_meta.get("thrashing", {})
+        machines = tuple(sorted(info.get("machines", ())))
+        if not machines:
+            return
+        window = info.get("window")
+        self.record(ctx, GroundTruthEntry(
+            kind=self.kind,
+            machines=machines,
+            jobs=tuple(sorted(info.get("terminated_jobs", ()))),
+            window=None if window is None else (float(window[0]), float(window[1])),
+            detectors=self.detectors,
+            params={"mem_ceiling": self.mem_ceiling,
+                    "cpu_floor_factor": self.cpu_floor_factor},
+        ))
+
+
+@dataclass
+class StragglerInjector(Straggler, FaultInjector):
+    """:class:`~repro.cluster.anomalies.Straggler` plus a manifest entry.
+
+    Ground truth holds the jobs whose *achieved* runtime stretch (after the
+    horizon cap) reaches :attr:`min_effect_stretch`; lesser slowdowns are not
+    recorded because no runtime-based detector could separate them from the
+    task median.
+    """
+
+    #: A job enters the manifest only when one of its tasks ends up with a
+    #: max/median instance-duration ratio of at least this much.
+    min_effect_stretch: float = 1.25
+
+    name = "straggler"
+    kind = "straggler"
+    detectors = ("runtime-stretch",)
+
+    def mutate_placements(self, ctx: SimulationContext) -> None:
+        super().mutate_placements(ctx)
+        by_task: dict[tuple[str, str], list[float]] = {}
+        for p in ctx.placements:
+            by_task.setdefault((p.job_id, p.task_id), []).append(float(p.duration_s))
+        affected_jobs: dict[str, float] = {}
+        for (job_id, task_id), durations in by_task.items():
+            if len(durations) < 2:
+                continue
+            median = float(np.median(durations))
+            if median <= 0:
+                continue
+            stretch = float(max(durations)) / median
+            if stretch >= self.min_effect_stretch:
+                affected_jobs[job_id] = max(affected_jobs.get(job_id, 0.0), stretch)
+        if not affected_jobs:
+            return
+        self.record(ctx, GroundTruthEntry(
+            kind=self.kind,
+            jobs=tuple(sorted(affected_jobs)),
+            detectors=self.detectors,
+            params={"slowdown": self.slowdown,
+                    "min_effect_stretch": self.min_effect_stretch},
+        ))
+
+
+@dataclass
+class MachineFailureInjector(MachineFailure, FaultInjector):
+    """:class:`~repro.cluster.anomalies.MachineFailure` plus a manifest entry."""
+
+    name = "machine-failure"
+    kind = "machine-failure"
+    detectors = ("flatline",)
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        super().mutate_usage(ctx)
+        failed = tuple(sorted(ctx.extra_meta.get("failed_machines", ())))
+        if not failed:
+            return
+        failure_time = float(ctx.extra_meta.get("failure_time", 0.0))
+        self.record(ctx, GroundTruthEntry(
+            kind=self.kind,
+            machines=failed,
+            window=(failure_time, float(ctx.horizon_s)),
+            detectors=self.detectors,
+            params={"count": self.count},
+        ))
+
+
+# -- new injectors ------------------------------------------------------------
+@dataclass
+class DiurnalLoadInjector(FaultInjector):
+    """Smooth day/night load cycle across the whole cluster.
+
+    Adds ``amplitude`` percent of extra utilisation at the daily peak and
+    nothing in the trough, with a small per-machine phase jitter.  The
+    manifest declares the peak window (where the cycle exceeds half of its
+    amplitude) so aggregate-level detectors can be scored against it.
+    """
+
+    #: Peak extra utilisation, in percent.
+    amplitude: float = 30.0
+    #: Number of full day cycles over the trace horizon.
+    cycles: float = 1.0
+    #: Fraction of the horizon at which the (first) peak sits.
+    peak_fraction: float = 0.5
+    #: Half-width of the per-machine uniform phase jitter, in radians.
+    phase_jitter: float = 0.15
+    #: Fraction of ``amplitude`` applied to memory (disk gets half of it).
+    mem_fraction: float = 0.8
+
+    name = "diurnal"
+    kind = "diurnal"
+    detectors = ("aggregate-threshold",)
+    commutative = True
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        store, grid = ctx.store, ctx.grid
+        if store is None or grid is None:
+            raise SimulationError("diurnal load requires a usage store")
+        if self.amplitude <= 0:
+            raise SimulationError("diurnal amplitude must be positive")
+        if self.cycles <= 0:
+            raise SimulationError("diurnal cycles must be positive")
+        rng = self.injector_rng(ctx)
+        horizon = float(ctx.horizon_s)
+        base_phase = 2.0 * np.pi * self.cycles * (grid / horizon - self.peak_fraction)
+        for machine_id in store.machine_ids:
+            jitter = float(rng.uniform(-self.phase_jitter, self.phase_jitter))
+            cycle = 0.5 * (1.0 + np.cos(base_phase + jitter))  # 1 at peak, 0 in trough
+            store.add_to_series(machine_id, "cpu", self.amplitude * cycle)
+            store.add_to_series(machine_id, "mem",
+                                self.amplitude * self.mem_fraction * cycle)
+            store.add_to_series(machine_id, "disk",
+                                0.5 * self.amplitude * cycle)
+
+        # Peak windows: where the (jitter-free) cycle exceeds half its
+        # height.  With multiple cycles each peak is a separate contiguous
+        # run — one manifest entry per peak, never a window spanning troughs.
+        above = 0.5 * (1.0 + np.cos(base_phase)) >= 0.5
+        indices = np.flatnonzero(above)
+        if indices.size == 0:
+            return
+        breaks = np.flatnonzero(np.diff(indices) > 1)
+        starts = np.concatenate([[0], breaks + 1])
+        ends = np.concatenate([breaks, [indices.size - 1]])
+        for lo, hi in zip(starts, ends):
+            window = _clip_window(grid[indices[lo]], grid[indices[hi]], horizon)
+            self.record(ctx, GroundTruthEntry(
+                kind=self.kind,
+                machines=tuple(store.machine_ids),
+                window=window,
+                detectors=self.detectors,
+                params={"amplitude": self.amplitude, "cycles": self.cycles},
+            ))
+
+
+@dataclass
+class NetworkStormInjector(FaultInjector):
+    """Correlated bursty I/O storm on a subset of machines.
+
+    During the storm window the affected machines' disk utilisation bursts
+    violently (with a smaller CPU echo), which is the signature a rolling
+    z-score detector on the disk metric should flag.
+    """
+
+    start_fraction: float = 0.4
+    duration_fraction: float = 0.2
+    affected_fraction: float = 0.3
+    #: Mean extra disk utilisation during the storm, in percent.
+    disk_boost: float = 45.0
+    #: Extra CPU from interrupt/retransmit handling, in percent.
+    cpu_boost: float = 12.0
+    #: Number of bursts packed into the storm window.
+    bursts: float = 6.0
+
+    name = "network-storm"
+    kind = "network-storm"
+    detectors = ("disk-burst",)
+    commutative = True
+
+    def window(self, horizon_s: float) -> tuple[float, float]:
+        if not 0.0 <= self.start_fraction < 1.0:
+            raise SimulationError("storm start_fraction must be in [0, 1)")
+        if not 0.0 < self.duration_fraction <= 1.0 - self.start_fraction:
+            raise SimulationError("storm must fit inside the horizon")
+        t0 = self.start_fraction * horizon_s
+        return (t0, t0 + self.duration_fraction * horizon_s)
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        store, grid = ctx.store, ctx.grid
+        if store is None or grid is None:
+            raise SimulationError("network storm requires a usage store")
+        if not 0.0 < self.affected_fraction <= 1.0:
+            raise SimulationError("storm affected_fraction must be in (0, 1]")
+        rng = self.injector_rng(ctx)
+        t0, t1 = self.window(float(ctx.horizon_s))
+        machine_ids = sorted(store.machine_ids)
+        count = max(1, int(round(self.affected_fraction * len(machine_ids))))
+        affected = sorted(str(m) for m in
+                          rng.choice(machine_ids, size=count, replace=False))
+
+        in_window = (grid >= t0) & (grid <= t1)
+        span = max(1.0, t1 - t0)
+        for machine_id in affected:
+            phase = float(rng.uniform(0, 2 * np.pi))
+            carrier = 0.65 + 0.35 * np.sin(
+                2 * np.pi * self.bursts * (grid - t0) / span + phase)
+            noise = rng.uniform(0.7, 1.3, size=grid.shape[0])
+            burst = np.where(in_window, carrier * noise, 0.0)
+            store.add_to_series(machine_id, "disk", self.disk_boost * burst)
+            store.add_to_series(machine_id, "cpu", self.cpu_boost * burst)
+
+        self.record(ctx, GroundTruthEntry(
+            kind=self.kind,
+            machines=tuple(affected),
+            window=(t0, t1),
+            detectors=self.detectors,
+            params={"disk_boost": self.disk_boost, "bursts": self.bursts},
+        ))
+
+
+@dataclass
+class CascadingFailureInjector(FaultInjector):
+    """Machine failures spreading in widening waves.
+
+    Wave ``w`` (``w = 0, 1, ...``) fails ``initial_count * spread_factor**w``
+    machines at ``start + w * wave_gap``; a failed machine reports zero on
+    every metric for the rest of the trace, its instances are marked failed
+    and a ``harderror`` machine event is recorded.  Flatline detection should
+    flag exactly the failed machines.
+    """
+
+    initial_count: int = 1
+    waves: int = 3
+    spread_factor: int = 2
+    start_fraction: float = 0.45
+    #: Gap between waves as a fraction of the horizon.
+    wave_gap_fraction: float = 0.08
+    #: Cap on the total fraction of the fleet allowed to fail.
+    max_failed_fraction: float = 0.5
+
+    name = "cascading-failure"
+    kind = "cascading-failure"
+    detectors = ("flatline",)
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        store, grid = ctx.store, ctx.grid
+        if store is None or grid is None:
+            raise SimulationError("cascading failure requires a usage store")
+        if self.initial_count < 1 or self.waves < 1 or self.spread_factor < 1:
+            raise SimulationError("cascade counts must be positive")
+        if not 0.0 < self.start_fraction < 1.0:
+            raise SimulationError("cascade start_fraction must be in (0, 1)")
+        rng = self.injector_rng(ctx)
+        horizon = float(ctx.horizon_s)
+        budget = max(1, int(self.max_failed_fraction * len(ctx.machines)))
+        candidates = sorted(m.machine_id for m in ctx.machines)
+        rng.shuffle(candidates)
+
+        failures: list[tuple[str, float]] = []
+        cursor = 0
+        for wave in range(self.waves):
+            when = (self.start_fraction + wave * self.wave_gap_fraction) * horizon
+            if when >= horizon or cursor >= budget:
+                break
+            count = min(self.initial_count * self.spread_factor ** wave,
+                        budget - cursor, len(candidates) - cursor)
+            if count <= 0:
+                break
+            for machine_id in candidates[cursor:cursor + count]:
+                failures.append((machine_id, when))
+            cursor += count
+
+        for machine_id, when in failures:
+            after = grid > when
+            for metric in store.metrics:
+                values = store.series(machine_id, metric).values.copy()
+                values[after] = 0.0
+                store.set_series(machine_id, metric, values)
+            ctx.machine_events.append(failure_event(
+                ctx.machine_by_id(machine_id), int(when), hard=True,
+                detail="cascading failure"))
+            for p in ctx.placements:
+                if p.machine_id == machine_id and p.end_s > when:
+                    # instances scheduled after the failure never run at all
+                    p.end_s = int(max(p.start_s, when))
+                    p.status = schema.STATUS_FAILED
+
+        if not failures:
+            return
+        ctx.extra_meta["cascade_failures"] = [
+            {"machine_id": mid, "failed_at": when} for mid, when in failures]
+        first = min(when for _, when in failures)
+        self.record(ctx, GroundTruthEntry(
+            kind=self.kind,
+            machines=tuple(sorted(mid for mid, _ in failures)),
+            window=(first, horizon),
+            detectors=self.detectors,
+            params={"waves": self.waves, "spread_factor": self.spread_factor},
+        ))
+
+
+@dataclass
+class MaintenanceDrainInjector(FaultInjector):
+    """A batch of machines drained for maintenance, then refilled.
+
+    During the drain window the affected machines keep only ``residual`` of
+    their load (with smooth edges), dropping their memory far below the
+    fleet's background floor — the signature the drain scorer detects.
+    """
+
+    affected_fraction: float = 0.25
+    start_fraction: float = 0.35
+    duration_fraction: float = 0.3
+    #: Fraction of the original load kept while drained.
+    residual: float = 0.1
+    #: Edge ramp length as a fraction of the drain window.
+    ramp_fraction: float = 0.15
+
+    name = "maintenance-drain"
+    kind = "maintenance-drain"
+    detectors = ("drain",)
+
+    def window(self, horizon_s: float) -> tuple[float, float]:
+        if not 0.0 <= self.start_fraction < 1.0:
+            raise SimulationError("drain start_fraction must be in [0, 1)")
+        if not 0.0 < self.duration_fraction <= 1.0 - self.start_fraction:
+            raise SimulationError("drain must fit inside the horizon")
+        t0 = self.start_fraction * horizon_s
+        return (t0, t0 + self.duration_fraction * horizon_s)
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        store, grid = ctx.store, ctx.grid
+        if store is None or grid is None:
+            raise SimulationError("maintenance drain requires a usage store")
+        if not 0.0 < self.affected_fraction <= 1.0:
+            raise SimulationError("drain affected_fraction must be in (0, 1]")
+        if not 0.0 <= self.residual < 1.0:
+            raise SimulationError("drain residual must be in [0, 1)")
+        rng = self.injector_rng(ctx)
+        t0, t1 = self.window(float(ctx.horizon_s))
+        machine_ids = sorted(store.machine_ids)
+        count = max(1, int(round(self.affected_fraction * len(machine_ids))))
+        drained = sorted(str(m) for m in
+                         rng.choice(machine_ids, size=count, replace=False))
+
+        ramp = max(1.0, self.ramp_fraction * (t1 - t0))
+        down = np.clip((grid - t0) / ramp, 0.0, 1.0)
+        up = np.clip((t1 - grid) / ramp, 0.0, 1.0)
+        depth = np.minimum(down, up)  # 0 outside, 1 in the drained plateau
+        depth[(grid < t0) | (grid > t1)] = 0.0
+        scale = 1.0 - (1.0 - self.residual) * depth
+        plateau = depth >= 0.999  # fully-drained samples
+        mem_levels: list[float] = []
+        for machine_id in drained:
+            for metric in store.metrics:
+                values = store.series(machine_id, metric).values
+                drained_values = values * scale
+                if metric == "mem" and np.any(plateau):
+                    mem_levels.append(float(np.mean(drained_values[plateau])))
+                store.set_series(machine_id, metric, drained_values)
+
+        self.record(ctx, GroundTruthEntry(
+            kind=self.kind,
+            machines=tuple(drained),
+            window=(t0, t1),
+            detectors=self.detectors,
+            params={"residual": self.residual,
+                    "drained_mem_level":
+                    float(np.mean(mem_levels)) if mem_levels else 3.0},
+        ))
+
+
+@dataclass
+class LoadImbalanceInjector(FaultInjector):
+    """Persistent skew: a few machines run far hotter than the fleet.
+
+    From ``start_fraction`` onward the chosen machines carry ``skew`` extra
+    percent of CPU (and most of it in memory), turning an otherwise balanced
+    colour field into one with clear outliers — the balance/outlier analysis
+    should single them out.
+    """
+
+    affected_fraction: float = 0.2
+    #: Extra CPU utilisation on the overloaded machines, in percent.
+    skew: float = 30.0
+    start_fraction: float = 0.15
+    #: Ramp length as a fraction of the horizon.
+    ramp_fraction: float = 0.05
+    mem_fraction: float = 0.8
+
+    name = "load-imbalance"
+    kind = "load-imbalance"
+    detectors = ("outlier",)
+    commutative = True
+
+    def mutate_usage(self, ctx: SimulationContext) -> None:
+        store, grid = ctx.store, ctx.grid
+        if store is None or grid is None:
+            raise SimulationError("load imbalance requires a usage store")
+        if not 0.0 < self.affected_fraction < 1.0:
+            raise SimulationError("imbalance affected_fraction must be in (0, 1)")
+        if self.skew <= 0:
+            raise SimulationError("imbalance skew must be positive")
+        rng = self.injector_rng(ctx)
+        horizon = float(ctx.horizon_s)
+        t0 = self.start_fraction * horizon
+        machine_ids = sorted(store.machine_ids)
+        count = max(1, int(round(self.affected_fraction * len(machine_ids))))
+        overloaded = sorted(str(m) for m in
+                            rng.choice(machine_ids, size=count, replace=False))
+
+        ramp = max(1.0, self.ramp_fraction * horizon)
+        rise = np.clip((grid - t0) / ramp, 0.0, 1.0)
+        for machine_id in overloaded:
+            wobble = 1.0 + 0.05 * np.sin(
+                2 * np.pi * grid / max(horizon, 1.0)
+                + float(rng.uniform(0, 2 * np.pi)))
+            store.add_to_series(machine_id, "cpu", self.skew * rise * wobble)
+            store.add_to_series(machine_id, "mem",
+                                self.skew * self.mem_fraction * rise * wobble)
+
+        self.record(ctx, GroundTruthEntry(
+            kind=self.kind,
+            machines=tuple(overloaded),
+            window=(t0, horizon),
+            detectors=self.detectors,
+            params={"skew": self.skew},
+        ))
+
+
+__all__ = [
+    "Anomaly",
+    "BackgroundLoad",
+    "CascadingFailureInjector",
+    "DiurnalLoadInjector",
+    "FaultInjector",
+    "HotJobInjector",
+    "LoadImbalanceInjector",
+    "MachineFailureInjector",
+    "MaintenanceDrainInjector",
+    "NetworkStormInjector",
+    "StragglerInjector",
+    "ThrashingInjector",
+]

@@ -1,0 +1,270 @@
+"""The scenario registry: named injectors, aliases, and spec resolution.
+
+Two name spaces live here:
+
+* **injectors** — registered fault-injector classes (``"network-storm"``,
+  ``"hot-job"``, ...) that can be instantiated, parameterised and stacked
+  through composed specs (:mod:`repro.scenarios.spec`);
+* **scenario aliases** — the named regimes (``"healthy"``, ``"hotjob"``,
+  ``"thrashing"``, ``"none"``) whose numeric behaviour matches the legacy
+  :data:`repro.cluster.anomalies.SCENARIOS` table exactly, upgraded to emit
+  ground-truth manifests where an injector equivalent exists.
+
+:func:`resolve_scenario` is the single entry point the simulator, the trace
+generator, the streaming replayer and the CLI all use.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.cluster.anomalies import (
+    SCENARIOS,
+    Anomaly,
+    BackgroundLoad,
+    HotJob,
+    MachineFailure,
+    Scenario,
+    Straggler,
+    Thrashing,
+)
+from repro.errors import SimulationError
+from repro.scenarios.injectors import (
+    CascadingFailureInjector,
+    DiurnalLoadInjector,
+    FaultInjector,
+    HotJobInjector,
+    LoadImbalanceInjector,
+    MachineFailureInjector,
+    MaintenanceDrainInjector,
+    NetworkStormInjector,
+    StragglerInjector,
+    ThrashingInjector,
+)
+from repro.scenarios.spec import ScenarioPart, parse_scenario_spec
+
+
+@dataclass(frozen=True)
+class InjectorInfo:
+    """Registry row for one injector."""
+
+    name: str
+    factory: Callable[..., Anomaly]
+    summary: str
+
+    @property
+    def commutative(self) -> bool:
+        return bool(getattr(self.factory, "commutative", False))
+
+    @property
+    def detectors(self) -> tuple[str, ...]:
+        return tuple(getattr(self.factory, "detectors", ()))
+
+
+_INJECTORS: dict[str, InjectorInfo] = {}
+
+
+def register_injector(name: str, factory: Callable[..., Anomaly],
+                      summary: str) -> None:
+    """Register (or replace) an injector under ``name``."""
+    if not name or "+" in name or "(" in name:
+        raise SimulationError(f"invalid injector name {name!r}")
+    _INJECTORS[name] = InjectorInfo(name=name, factory=factory, summary=summary)
+
+
+def injector_names() -> list[str]:
+    """Registered injector names, sorted."""
+    return sorted(_INJECTORS)
+
+
+def list_injectors() -> list[InjectorInfo]:
+    """Registry rows of every injector, sorted by name."""
+    return [_INJECTORS[name] for name in injector_names()]
+
+
+def get_injector(name: str, **kwargs) -> Anomaly:
+    """Instantiate one registered injector."""
+    try:
+        info = _INJECTORS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown injector {name!r}; registered: {injector_names()}") from None
+    try:
+        return info.factory(**kwargs)
+    except TypeError as exc:
+        raise SimulationError(
+            f"injector {name!r} rejected parameters {kwargs!r}: {exc}") from None
+
+
+register_injector(
+    "background", BackgroundLoad,
+    "raise the whole cluster to a target utilisation band (not a fault)")
+register_injector(
+    "hot-job", HotJobInjector,
+    "one job runs far hotter than the rest, peaking at completion")
+register_injector(
+    "memory-thrash", ThrashingInjector,
+    "memory overcommit collapses CPU, then jobs are mass-terminated")
+register_injector(
+    "straggler", StragglerInjector,
+    "a fraction of each task's instances run much longer than their peers")
+register_injector(
+    "machine-failure", MachineFailureInjector,
+    "hard failure of a few machines mid-trace")
+register_injector(
+    "diurnal", DiurnalLoadInjector,
+    "smooth day/night load cycle across the whole cluster")
+register_injector(
+    "network-storm", NetworkStormInjector,
+    "correlated bursty I/O storm on a subset of machines")
+register_injector(
+    "cascading-failure", CascadingFailureInjector,
+    "machine failures spreading in widening waves")
+register_injector(
+    "maintenance-drain", MaintenanceDrainInjector,
+    "a batch of machines drained for maintenance, then refilled")
+register_injector(
+    "load-imbalance", LoadImbalanceInjector,
+    "a few machines persistently run far hotter than the fleet")
+
+
+#: Legacy anomaly classes upgraded to their manifest-emitting injector
+#: subclasses when a scenario alias is built.
+_INJECTOR_UPGRADES: dict[type, type] = {
+    HotJob: HotJobInjector,
+    Thrashing: ThrashingInjector,
+    Straggler: StragglerInjector,
+    MachineFailure: MachineFailureInjector,
+}
+
+
+def _upgrade_anomaly(anomaly: Anomaly) -> Anomaly:
+    upgraded = _INJECTOR_UPGRADES.get(type(anomaly))
+    if upgraded is None:
+        return anomaly
+    kwargs = {f.name: getattr(anomaly, f.name)
+              for f in dataclasses.fields(anomaly)}
+    return upgraded(**kwargs)
+
+
+def _build_aliases() -> dict[str, Scenario]:
+    """The named regimes, built from the legacy :data:`SCENARIOS` table.
+
+    The table in :mod:`repro.cluster.anomalies` stays the single source of
+    truth for descriptions and tuning; only the anomaly classes are swapped
+    for their injector subclasses, so the aliases now also emit ground-truth
+    manifests.  The injected data is byte-identical because manifest
+    recording consumes no randomness.
+    """
+    return {
+        name: dataclasses.replace(
+            scenario,
+            anomalies=tuple(_upgrade_anomaly(a) for a in scenario.anomalies))
+        for name, scenario in SCENARIOS.items()
+    }
+
+
+SCENARIO_ALIASES: dict[str, Scenario] = _build_aliases()
+
+
+def scenario_names() -> list[str]:
+    """Alias and injector names a ``--scenario`` argument accepts directly."""
+    return sorted(set(SCENARIO_ALIASES) | set(_INJECTORS))
+
+
+def _anomalies_of_part(part: ScenarioPart) -> tuple[Anomaly, ...]:
+    if part.name in SCENARIO_ALIASES:
+        if part.kwargs:
+            raise SimulationError(
+                f"scenario alias {part.name!r} takes no parameters; "
+                f"compose injectors instead")
+        return SCENARIO_ALIASES[part.name].anomalies
+    if part.name in _INJECTORS:
+        return (get_injector(part.name, **part.kwargs),)
+    raise SimulationError(
+        f"unknown scenario part {part.name!r}; expected one of "
+        f"{scenario_names()}")
+
+
+def compose(parts: Sequence[Anomaly], *, name: str = "composed",
+            description: str | None = None) -> Scenario:
+    """Wrap a stack of anomaly instances into one :class:`Scenario`.
+
+    Duplicate fault injectors (same injector name appearing twice) are
+    given distinct ``rng_salt`` values on copies, so each instance draws an
+    independent random stream — two stacked storms hit different machines
+    instead of doubling down on the same ones.
+    """
+    seen_names: dict[str, int] = {}
+    salted: list[Anomaly] = []
+    for anomaly in parts:
+        if not isinstance(anomaly, Anomaly):
+            raise SimulationError(
+                f"scenario parts must be Anomaly instances, got {anomaly!r}")
+        if isinstance(anomaly, FaultInjector):
+            occurrence = seen_names.get(anomaly.name, 0)
+            seen_names[anomaly.name] = occurrence + 1
+            if occurrence:
+                anomaly = copy.copy(anomaly)
+                anomaly.rng_salt = occurrence
+        salted.append(anomaly)
+    anomalies = tuple(salted)
+    if description is None:
+        description = ("composed scenario: "
+                       + " + ".join(a.name for a in anomalies) if anomalies
+                       else "empty composed scenario")
+    return Scenario(name=name, description=description, anomalies=anomalies)
+
+
+def resolve_scenario(spec: "str | Scenario | Anomaly | Iterable[Anomaly]") -> Scenario:
+    """Turn any accepted scenario form into a :class:`Scenario`.
+
+    Accepts a :class:`Scenario`, a single :class:`Anomaly`, a sequence of
+    anomalies, a registered alias name, or a composed spec string (see
+    :mod:`repro.scenarios.spec`).
+    """
+    if isinstance(spec, Scenario):
+        return spec
+    if isinstance(spec, Anomaly):
+        return compose([spec], name=spec.name)
+    if isinstance(spec, str):
+        if spec in SCENARIO_ALIASES:
+            return SCENARIO_ALIASES[spec]
+        parts = parse_scenario_spec(spec)
+        anomalies: list[Anomaly] = []
+        for part in parts:
+            anomalies.extend(_anomalies_of_part(part))
+        return compose(anomalies, name=spec)
+    try:
+        items = list(spec)
+    except TypeError:
+        raise SimulationError(
+            f"cannot resolve scenario from {spec!r}") from None
+    return compose(items)
+
+
+def commutative_injector_names() -> list[str]:
+    """Names of injectors declared safe to reorder (property-test surface)."""
+    return [info.name for info in list_injectors() if info.commutative
+            and issubclass_safe(info.factory, FaultInjector)]
+
+
+def issubclass_safe(factory, base) -> bool:
+    return isinstance(factory, type) and issubclass(factory, base)
+
+
+__all__ = [
+    "InjectorInfo",
+    "SCENARIO_ALIASES",
+    "commutative_injector_names",
+    "compose",
+    "get_injector",
+    "injector_names",
+    "list_injectors",
+    "register_injector",
+    "resolve_scenario",
+    "scenario_names",
+]

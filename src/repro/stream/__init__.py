@@ -14,6 +14,7 @@ from repro.stream.replay import (
     ReplayReport,
     TraceReplayer,
     alert_timeline,
+    replay_scenario,
     replay_with_alerts,
 )
 from repro.stream.store import StreamingMetricStore
@@ -36,5 +37,6 @@ __all__ = [
     "alert_timeline",
     "iter_samples",
     "replay_bundle",
+    "replay_scenario",
     "replay_with_alerts",
 ]

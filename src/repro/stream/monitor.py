@@ -44,12 +44,18 @@ class MonitorConfig:
     thrashing: ThrashingConfig = field(default_factory=ThrashingConfig)
     #: Number of samples between full thrashing scans (they cost O(machines)).
     thrashing_scan_every: int = 4
+    #: Consecutive clear scans before a machine's thrashing episode is
+    #: considered over.  Noisy windows flap around the detection boundary;
+    #: without this cooldown every flap re-emits the same alert.
+    thrashing_clear_scans: int = 3
 
     def validate(self) -> None:
         if not 0.0 < self.utilisation_threshold <= 100.0:
             raise SeriesError("utilisation_threshold must be in (0, 100]")
         if self.thrashing_scan_every < 1:
             raise SeriesError("thrashing_scan_every must be >= 1")
+        if self.thrashing_clear_scans < 1:
+            raise SeriesError("thrashing_clear_scans must be >= 1")
 
 
 class OnlineMonitor:
@@ -68,6 +74,8 @@ class OnlineMonitor:
         self._last_regime: Regime | None = None
         self._over_threshold: set[tuple[str, str]] = set()
         self._thrashing_machines: set[str] = set()
+        #: Consecutive clear scans per machine, for episode cool-down.
+        self._thrashing_clear: dict[str, int] = {}
         self._samples_seen = 0
         self._last_thrashing_scan: float | None = None
 
@@ -146,16 +154,28 @@ class OnlineMonitor:
                                        machine_id=machine_id,
                                        config=self.config.thrashing)
             recent = [w for w in windows if since is None or w.end >= since]
-            if recent and machine_id not in self._thrashing_machines:
-                self._thrashing_machines.add(machine_id)
-                latest = recent[-1]
-                alerts.append(MonitorAlert(
-                    timestamp=timestamp, kind="thrashing", subject=machine_id,
-                    detail=f"memory {latest.peak_mem:.0f}% with CPU down to "
-                           f"{latest.min_cpu:.0f}% since t={latest.start:.0f}s",
-                    severity="critical"))
-            elif not recent:
-                self._thrashing_machines.discard(machine_id)
+            if recent:
+                # Still (or again) inside an episode: reset the cool-down and
+                # alert only if no episode is currently open for the machine
+                # — one alert per (machine, kind) episode, not per scan.
+                self._thrashing_clear[machine_id] = 0
+                if machine_id not in self._thrashing_machines:
+                    self._thrashing_machines.add(machine_id)
+                    latest = recent[-1]
+                    alerts.append(MonitorAlert(
+                        timestamp=timestamp, kind="thrashing", subject=machine_id,
+                        detail=f"memory {latest.peak_mem:.0f}% with CPU down to "
+                               f"{latest.min_cpu:.0f}% since t={latest.start:.0f}s",
+                        severity="critical"))
+            elif machine_id in self._thrashing_machines:
+                # A window flapping around the detection boundary clears for
+                # a scan or two mid-episode; only close the episode after
+                # ``thrashing_clear_scans`` consecutive clear scans.
+                clear = self._thrashing_clear.get(machine_id, 0) + 1
+                self._thrashing_clear[machine_id] = clear
+                if clear >= self.config.thrashing_clear_scans:
+                    self._thrashing_machines.discard(machine_id)
+                    self._thrashing_clear.pop(machine_id, None)
         self._last_thrashing_scan = timestamp
         return alerts
 

@@ -192,6 +192,29 @@ def replay_with_alerts(bundle: TraceBundle, *,
     return replayer.report(), replayer.alerts
 
 
+def replay_scenario(scenario, *, config=None, seed: int | None = None,
+                    monitor_config: MonitorConfig | None = None,
+                    checkpoints_at: list[float] | None = None,
+                    window_samples: int = 128):
+    """Generate a scenario and replay it through the monitoring stack.
+
+    ``scenario`` accepts everything the scenario registry resolves: a legacy
+    alias, a registered fault-injector name, a composed spec string such as
+    ``"diurnal+network-storm"``, or an already-built scenario object (see
+    :mod:`repro.scenarios`).  Returns ``(report, alert_manager, bundle)`` —
+    the bundle's ground-truth manifest
+    (``bundle.ground_truth()``) tells callers which machines the alerts
+    *should* have fired on.
+    """
+    from repro.trace.synthetic import generate_trace
+
+    bundle = generate_trace(config, scenario=scenario, seed=seed)
+    report, manager = replay_with_alerts(bundle, monitor_config=monitor_config,
+                                         checkpoints_at=checkpoints_at,
+                                         window_samples=window_samples)
+    return report, manager, bundle
+
+
 def alert_timeline(manager: AlertManager) -> list[tuple[float, str, str]]:
     """Flatten a manager's history into ``(timestamp, kind, subject)`` rows."""
     rows = [(managed.alert.timestamp, managed.alert.kind, managed.alert.subject)
@@ -205,5 +228,6 @@ __all__ = [
     "ReplayReport",
     "TraceReplayer",
     "alert_timeline",
+    "replay_scenario",
     "replay_with_alerts",
 ]

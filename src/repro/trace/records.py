@@ -256,6 +256,16 @@ class TraceBundle:
                 disk_util=values["disk"],
             )
 
+    def ground_truth(self):
+        """The ground-truth manifest recorded by the scenario engine.
+
+        Returns a :class:`~repro.scenarios.groundtruth.GroundTruthManifest`
+        (empty for loaded traces and scenarios without fault injectors).
+        """
+        from repro.scenarios.groundtruth import manifest_from_meta
+
+        return manifest_from_meta(self.meta)
+
     def summary(self) -> dict:
         """Small human-readable description of the bundle."""
         start, end = self.time_range()

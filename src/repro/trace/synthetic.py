@@ -15,7 +15,7 @@ from repro.trace.records import TraceBundle
 
 
 def generate_trace(config: TraceConfig | None = None, *,
-                   scenario: str | None = None, seed: int | None = None,
+                   scenario=None, seed: int | None = None,
                    scheduler: str = "least-loaded") -> TraceBundle:
     """Generate a synthetic trace bundle.
 
@@ -24,6 +24,14 @@ def generate_trace(config: TraceConfig | None = None, *,
     the common call sites short::
 
         bundle = generate_trace(scenario="hotjob", seed=3)
+
+    ``scenario`` accepts any form the scenario registry understands: a legacy
+    alias (``"healthy"``, ``"hotjob"``, ``"thrashing"``, ``"none"``), a
+    registered fault-injector name, a composed spec string such as
+    ``"diurnal(amplitude=40)+network-storm"``, or an already-built
+    :class:`~repro.cluster.anomalies.Scenario` / injector stack (see
+    :mod:`repro.scenarios`).  Scenarios built from fault injectors record a
+    ground-truth manifest into ``bundle.meta["ground_truth"]``.
     """
     from dataclasses import replace
 
@@ -32,13 +40,20 @@ def generate_trace(config: TraceConfig | None = None, *,
     if config is None:
         config = TraceConfig()
     overrides = {}
+    resolved = None
     if scenario is not None:
-        overrides["scenario"] = scenario
+        if isinstance(scenario, str):
+            overrides["scenario"] = scenario
+        else:
+            from repro.scenarios.registry import resolve_scenario
+
+            resolved = resolve_scenario(scenario)
+            overrides["scenario"] = resolved.name
     if seed is not None:
         overrides["seed"] = seed
     if overrides:
         config = replace(config, **overrides)
-    return simulate(config, scheduler=scheduler)
+    return simulate(config, scheduler=scheduler, scenario=resolved)
 
 
 def generate_case_study_traces(*, paper_scale: bool = False,

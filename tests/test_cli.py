@@ -43,6 +43,35 @@ class TestGenerateAndLoad:
         assert "ERROR" in capsys.readouterr().out
 
 
+class TestScenarioSpecs:
+    def test_scenarios_subcommand_lists_injectors(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in ("network-storm", "cascading-failure", "maintenance-drain",
+                     "load-imbalance", "diurnal", "memory-thrash"):
+            assert name in output
+
+    def test_generate_accepts_composed_spec(self, tmp_path, capsys):
+        out = tmp_path / "trace"
+        code = main(["generate", "--output-dir", str(out),
+                     "--scenario", "diurnal(amplitude=35)+network-storm",
+                     "--seed", "3"])
+        assert code == 0
+        assert "server_usage" in capsys.readouterr().out
+        assert load_trace(out).tasks
+
+    def test_stats_accepts_injector_scenario(self, capsys):
+        assert main(["stats", "--synthetic",
+                     "--scenario", "load-imbalance"]) == 0
+        assert "jobs" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["generate", "--output-dir", str(tmp_path / "x"),
+                     "--scenario", "wormhole"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSyntheticCommands:
     def test_stats_synthetic(self, capsys):
         assert main(["stats", "--synthetic", "--scenario", "healthy",

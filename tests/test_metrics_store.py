@@ -115,6 +115,57 @@ class TestQueries:
             store.window(100, 50)
 
 
+class TestEdgeCases:
+    def test_single_timestamp_store(self):
+        store = MetricStore(["m1", "m2"], np.array([42.0]))
+        store.set_series("m1", "cpu", [55.0])
+        assert store.num_samples == 1
+        assert store.machine_snapshot("m1", 42.0)["cpu"] == 55.0
+        # step semantics clamp probes on either side of the lone sample
+        assert store.machine_snapshot("m1", -1.0)["cpu"] == 55.0
+        assert store.machine_snapshot("m1", 1e9)["cpu"] == 55.0
+        series = store.series("m1", "cpu")
+        assert len(series) == 1 and series.values[0] == 55.0
+        assert store.aggregate("cpu", "mean").values[0] == pytest.approx(27.5)
+
+    def test_single_timestamp_window_and_subset(self):
+        store = MetricStore(["m1"], np.array([42.0]))
+        windowed = store.window(0.0, 100.0)
+        assert windowed.num_samples == 1
+        assert store.subset(["m1"]).num_machines == 1
+
+    def test_empty_machine_list(self):
+        store = MetricStore([], np.array([0.0, 60.0]))
+        assert store.num_machines == 0
+        assert store.machine_ids == []
+        assert store.data.shape == (0, 3, 2)
+        assert store.snapshot(0.0, metric="cpu") == {}
+        assert store.snapshot(0.0) == {}
+        assert list(store.iter_records()) == []
+        assert store.subset([]).num_machines == 0
+
+    def test_empty_machine_list_unknown_lookup(self):
+        store = MetricStore([], np.array([0.0]))
+        with pytest.raises(UnknownEntityError):
+            store.series("ghost", "cpu")
+
+    def test_unknown_metric_raises_everywhere(self, store):
+        with pytest.raises(UnknownEntityError):
+            store.set_series("m1", "gpu", [0, 0, 0, 0])
+        with pytest.raises(UnknownEntityError):
+            store.add_to_series("m1", "gpu", [0, 0, 0, 0])
+        with pytest.raises(UnknownEntityError):
+            store.aggregate("gpu", "mean")
+        with pytest.raises(UnknownEntityError):
+            store.snapshot(0.0, metric="gpu")
+
+    def test_snapshot_on_empty_sample_store_rejected(self):
+        store = MetricStore(["m1"], np.array([]))
+        assert store.num_samples == 0
+        with pytest.raises(SeriesError):
+            store.machine_snapshot("m1", 0.0)
+
+
 class TestRecordsRoundTrip:
     def test_iter_records_count(self, store):
         records = list(store.iter_records())

@@ -6,7 +6,10 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.config import ClusterConfig, TraceConfig, UsageConfig, WorkloadConfig
 from repro.metrics.resample import downsample, regular_grid
+from repro.scenarios import commutative_injector_names, injector_names
+from repro.trace.synthetic import generate_trace
 from repro.metrics.series import TimeSeries, merge_sum
 from repro.metrics.stats import coefficient_of_variation, gini
 from repro.trace import schema
@@ -203,6 +206,78 @@ class TestSchemaProperties:
         assert parsed["timestamp"] == timestamp
         assert parsed["machine_id"] == machine_id
         assert abs(parsed["cpu_util"] - cpu) < 0.01
+
+
+def _tiny_config(seed: int) -> TraceConfig:
+    """Smallest configuration that still exercises every injector hook."""
+    return TraceConfig(
+        cluster=ClusterConfig(num_machines=8),
+        workload=WorkloadConfig(num_jobs=6, max_instances=4),
+        usage=UsageConfig(resolution_s=300),
+        horizon_s=2 * 3600,
+        scenario="healthy",
+        seed=seed,
+    )
+
+
+_FAULT_INJECTORS = sorted(n for n in injector_names() if n != "background")
+_COMMUTATIVE = sorted(commutative_injector_names())
+
+
+class TestScenarioEngineProperties:
+    """Randomized-seed invariants of the fault-injection engine."""
+
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.lists(st.sampled_from(_FAULT_INJECTORS), min_size=1, max_size=3,
+                    unique=True))
+    @settings(max_examples=12, deadline=None)
+    def test_injected_usage_stays_within_utilisation_bounds(self, seed, names):
+        bundle = generate_trace(_tiny_config(seed), scenario="+".join(names))
+        data = bundle.usage.data
+        assert np.all(np.isfinite(data))
+        assert data.min() >= 0.0
+        assert data.max() <= 100.0
+
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.lists(st.sampled_from(_FAULT_INJECTORS), min_size=1, max_size=3,
+                    unique=True))
+    @settings(max_examples=12, deadline=None)
+    def test_injectors_preserve_store_timestamp_invariant(self, seed, names):
+        bundle = generate_trace(_tiny_config(seed), scenario="+".join(names))
+        timestamps = bundle.usage.timestamps
+        assert np.all(np.diff(timestamps) > 0)
+
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.lists(st.sampled_from(_FAULT_INJECTORS), min_size=1, max_size=3,
+                    unique=True))
+    @settings(max_examples=10, deadline=None)
+    def test_manifests_reference_real_entities_and_windows(self, seed, names):
+        bundle = generate_trace(_tiny_config(seed), scenario="+".join(names))
+        machine_ids = set(bundle.usage.machine_ids)
+        job_ids = set(bundle.job_ids())
+        horizon = float(bundle.meta["horizon_s"])
+        for entry in bundle.ground_truth():
+            assert set(entry.machines) <= machine_ids
+            assert set(entry.jobs) <= job_ids
+            assert entry.detectors
+            if entry.window is not None:
+                lo, hi = entry.window
+                assert 0.0 <= lo <= hi <= horizon + 1e-9
+
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.lists(st.sampled_from(_COMMUTATIVE), min_size=2, max_size=2,
+                    unique=True))
+    @settings(max_examples=10, deadline=None)
+    def test_commutative_injectors_are_order_independent(self, seed, pair):
+        forward = generate_trace(_tiny_config(seed), scenario="+".join(pair))
+        backward = generate_trace(_tiny_config(seed),
+                                  scenario="+".join(reversed(pair)))
+        np.testing.assert_allclose(forward.usage.data, backward.usage.data,
+                                   atol=1e-9)
+        fwd, bwd = forward.ground_truth(), backward.ground_truth()
+        assert sorted(fwd.kinds()) == sorted(bwd.kinds())
+        for kind in fwd.kinds():
+            assert fwd.machines(kind) == bwd.machines(kind)
 
 
 class TestResampleProperties:

@@ -124,6 +124,37 @@ class TestOnlineMonitor:
         assert monitor.alerts_of_kind("thrashing")
         assert monitor.summary().get("thrashing", 0) >= 1
 
+    @staticmethod
+    def _feed(monitor, start_s: float, count: int, *, cpu: float,
+              mem: float) -> float:
+        t = start_s
+        for _ in range(count):
+            monitor.observe(t, {"m1": {"cpu": cpu, "mem": mem, "disk": 5.0}})
+            t += 60.0
+        return t
+
+    def test_thrashing_episode_alerts_once_despite_flapping(self):
+        """A detection-boundary dip mid-episode must not re-emit the alert."""
+        monitor = OnlineMonitor(["m1"], config=MonitorConfig())
+        t = self._feed(monitor, 0.0, 12, cpu=50, mem=30)      # healthy
+        t = self._feed(monitor, t, 16, cpu=5, mem=95)          # episode starts
+        t = self._feed(monitor, t, 8, cpu=50, mem=30)          # brief clearance
+        self._feed(monitor, t, 16, cpu=5, mem=95)              # episode resumes
+        assert len(monitor.alerts_of_kind("thrashing")) == 1
+
+    def test_thrashing_new_episode_alerts_again_after_cooldown(self):
+        """A genuinely new episode (long clearance) still raises a new alert."""
+        monitor = OnlineMonitor(["m1"], config=MonitorConfig())
+        t = self._feed(monitor, 0.0, 12, cpu=50, mem=30)
+        t = self._feed(monitor, t, 16, cpu=5, mem=95)          # first episode
+        t = self._feed(monitor, t, 16, cpu=50, mem=30)         # real recovery
+        self._feed(monitor, t, 16, cpu=5, mem=95)              # second episode
+        assert len(monitor.alerts_of_kind("thrashing")) == 2
+
+    def test_thrashing_clear_scans_validated(self):
+        with pytest.raises(SeriesError):
+            MonitorConfig(thrashing_clear_scans=0).validate()
+
 
 class TestReplay:
     def test_iter_samples_covers_every_timestamp(self, healthy_bundle):
