@@ -13,7 +13,9 @@ including every substrate the paper relies on:
   manifests, plus precision/recall scoring of every detector against them;
 * :mod:`repro.metrics` - time series, dense utilisation storage, roll-ups;
 * :mod:`repro.analysis` - detectors for the patterns the case study reads
-  off the views (spikes, thrashing, load imbalance, root causes);
+  off the views (spikes, thrashing, load imbalance, root causes) and the
+  vectorized :class:`~repro.analysis.engine.DetectionEngine` that sweeps a
+  whole cluster per detector in one NumPy pass;
 * :mod:`repro.vis` - the SVG chart engine (hierarchical bubble chart,
   annotated multi-line charts, timeline, heat map) and HTML dashboards;
 * :mod:`repro.app` - the :class:`BatchLens` facade and analysis sessions;

@@ -7,6 +7,18 @@ the generated data.  These detectors implement the standard metric-based
 approaches the related-work section cites (thresholding, rolling z-score,
 EWMA residuals) and produce :class:`AnomalyEvent` records the higher-level
 analyses build on.
+
+Every detector exposes two equivalent surfaces:
+
+* :meth:`~BlockDetector.detect` — the classic per-series call, returning
+  events for one :class:`~repro.metrics.series.TimeSeries`;
+* :meth:`~BlockDetector.detect_block` — the array-level call taking a
+  ``(rows, samples)`` value block and judging every row in one NumPy pass.
+  :class:`~repro.analysis.engine.DetectionEngine` uses it to sweep a whole
+  :class:`~repro.metrics.store.MetricStore` without ever copying a series.
+
+Both paths share the same numerical kernels, so their events are
+bit-identical; the per-series form is simply a one-row block.
 """
 
 from __future__ import annotations
@@ -15,6 +27,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import SeriesError
 from repro.metrics.series import TimeSeries
@@ -41,32 +54,240 @@ class AnomalyEvent:
         return self.start <= end and self.end >= start
 
 
-def _mask_to_events(timestamps: np.ndarray, mask: np.ndarray, scores: np.ndarray,
-                    *, metric: str, subject: str, kind: str) -> list[AnomalyEvent]:
+# -- vectorized run-length encoding ------------------------------------------
+def mask_runs(mask: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run-length encode a boolean ``(rows, samples)`` mask in one pass.
+
+    Returns ``(rows, starts, ends)`` arrays, one entry per contiguous run of
+    ``True`` samples: the row it lies on, its first sample index, and its
+    exclusive end index.  Runs never span rows.  Runs are emitted in
+    row-major order (all runs of row 0 first, left to right), which is also
+    the order of the ``True`` samples in ``mask.ravel()``.
+    """
+    if mask.ndim != 2:
+        raise SeriesError("mask_runs expects a 2-D (rows, samples) mask")
+    num_rows, num_samples = mask.shape
+    empty = np.empty(0, dtype=np.intp)
+    if num_rows == 0 or num_samples == 0 or not mask.any():
+        return empty, empty, empty
+    # Pad each row with False on both sides so runs cannot leak across rows
+    # when the matrix is flattened, then find the rising/falling edges.
+    padded = np.zeros((num_rows, num_samples + 2), dtype=bool)
+    padded[:, 1:-1] = mask
+    edges = np.diff(padded.ravel().view(np.int8))
+    starts_flat = np.flatnonzero(edges == 1) + 1
+    ends_flat = np.flatnonzero(edges == -1) + 1
+    width = num_samples + 2
+    rows = starts_flat // width
+    starts = starts_flat % width - 1
+    ends = ends_flat % width - 1
+    return rows.astype(np.intp), starts.astype(np.intp), ends.astype(np.intp)
+
+
+def _run_max(scores: np.ndarray, rows: np.ndarray, starts: np.ndarray,
+             ends: np.ndarray) -> np.ndarray:
+    """Maximum score inside each run, for every run at once."""
+    if rows.size == 0:
+        return np.empty(0, dtype=np.float64)
+    num_samples = scores.shape[1]
+    flat = scores.reshape(-1)
+    base = rows * num_samples
+    bounds = np.column_stack([base + starts, base + ends]).reshape(-1)
+    if bounds[-1] == flat.shape[0]:
+        bounds = bounds[:-1]
+    return np.maximum.reduceat(flat, bounds)[::2]
+
+
+@dataclass(frozen=True)
+class BlockDetection:
+    """One detector's verdict on a ``(rows, samples)`` value block.
+
+    Holds both the per-sample view (``mask``/``scores``) and the run-level
+    view (``rows``/``starts``/``ends``/``run_scores``), already filtered by
+    the detector's event-level criteria (minimum duration / sample count).
+    """
+
+    timestamps: np.ndarray
+    #: Post-filter boolean flags, shape ``(rows, samples)``.
+    mask: np.ndarray
+    #: Raw per-sample anomaly scores, shape ``(rows, samples)``.
+    scores: np.ndarray
+    #: Row index of each surviving run.
+    rows: np.ndarray
+    #: First sample index of each run.
+    starts: np.ndarray
+    #: Exclusive end sample index of each run.
+    ends: np.ndarray
+    #: Maximum score inside each run.
+    run_scores: np.ndarray
+
+    @property
+    def num_runs(self) -> int:
+        return int(self.rows.shape[0])
+
+    @classmethod
+    def from_mask(cls, timestamps: np.ndarray, mask: np.ndarray,
+                  scores: np.ndarray) -> "BlockDetection":
+        """Assemble a block verdict from a per-sample mask/score pair.
+
+        Runs the vectorized run-length encoding and per-run score reduction
+        — the single place the run-level view is derived from the
+        per-sample view.
+        """
+        rows, starts, ends = mask_runs(mask)
+        return cls(timestamps=timestamps, mask=mask, scores=scores,
+                   rows=rows, starts=starts, ends=ends,
+                   run_scores=_run_max(scores, rows, starts, ends))
+
+    def events(self, *, subjects: Sequence[str], metric: str,
+               kind: str) -> list[AnomalyEvent]:
+        """Materialise the runs as :class:`AnomalyEvent` records."""
+        timestamps = self.timestamps
+        return [
+            AnomalyEvent(start=float(timestamps[lo]),
+                         end=float(timestamps[hi - 1]),
+                         metric=metric, subject=subjects[row], kind=kind,
+                         score=float(score))
+            for row, lo, hi, score in zip(self.rows.tolist(),
+                                          self.starts.tolist(),
+                                          self.ends.tolist(),
+                                          self.run_scores.tolist())
+        ]
+
+    def vote_scores(self) -> np.ndarray:
+        """Per-sample scores with each run's maximum broadcast over the run.
+
+        This is the sample-level score surface ensemble voting combines:
+        every sample of a run carries the run's peak score (matching how an
+        event's score covers its whole interval), everything else is zero.
+        """
+        out = np.zeros_like(self.scores)
+        if self.rows.size:
+            lengths = self.ends - self.starts
+            flat = out.reshape(-1)
+            flat[np.flatnonzero(self.mask.reshape(-1))] = np.repeat(
+                self.run_scores, lengths)
+        return out
+
+    def flagged_rows(self, window: tuple[float, float] | None = None) -> np.ndarray:
+        """Unique row indices with at least one run (overlapping ``window``)."""
+        rows = self.rows
+        if window is not None and rows.size:
+            run_start = self.timestamps[self.starts]
+            run_end = self.timestamps[self.ends - 1]
+            rows = rows[(run_start <= window[1]) & (run_end >= window[0])]
+        return np.unique(rows)
+
+
+def _as_block(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise SeriesError(
+            f"detect_block expects a (rows, samples) block, got shape "
+            f"{values.shape}")
+    return values
+
+
+class BlockDetector:
+    """Base class wiring the per-sample kernels into both detector surfaces.
+
+    Subclasses implement :meth:`_block_mask` (per-sample flags and scores
+    over a 2-D block) and optionally :meth:`_keep_runs` (event-level
+    filtering such as a minimum duration); :meth:`detect` and
+    :meth:`detect_block` then share the identical numerical path.
+    """
+
+    #: ``AnomalyEvent.kind`` value this detector emits.
+    kind: str = "anomaly"
+
+    def _block_mask(self, timestamps: np.ndarray,
+                    values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def _keep_runs(self, timestamps: np.ndarray, rows: np.ndarray,
+                   starts: np.ndarray, ends: np.ndarray) -> np.ndarray | None:
+        """Boolean keep-flag per run, or ``None`` to keep every run."""
+        return None
+
+    def detect_block(self, timestamps: np.ndarray,
+                     values: np.ndarray) -> BlockDetection:
+        """Judge every row of a ``(rows, samples)`` block in one pass."""
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        values = _as_block(values)
+        if timestamps.shape[0] != values.shape[1]:
+            raise SeriesError(
+                f"block has {values.shape[1]} samples but {timestamps.shape[0]} "
+                f"timestamps")
+        mask, scores = self._block_mask(timestamps, values)
+        rows, starts, ends = mask_runs(mask)
+        keep = self._keep_runs(timestamps, rows, starts, ends)
+        if keep is not None and not np.all(keep):
+            # Clear the dropped runs out of the per-sample mask: the True
+            # samples of ``mask.ravel()`` are exactly the runs concatenated
+            # in (row, start) order, so a per-run keep-flag repeats into a
+            # per-flagged-sample keep-flag.
+            if not mask.flags.writeable or not mask.flags.owndata:
+                mask = mask.copy()
+            flat = mask.reshape(-1)
+            flat[np.flatnonzero(flat)] = np.repeat(keep, ends - starts)
+            rows, starts, ends = rows[keep], starts[keep], ends[keep]
+        run_scores = _run_max(scores, rows, starts, ends)
+        return BlockDetection(timestamps=timestamps, mask=mask, scores=scores,
+                              rows=rows, starts=starts, ends=ends,
+                              run_scores=run_scores)
+
+    def detect(self, series: TimeSeries, *, metric: str = "cpu",
+               subject: str = "") -> list[AnomalyEvent]:
+        """Detect events on one series (a one-row block)."""
+        if len(series) == 0:
+            return []
+        block = self.detect_block(series.timestamps,
+                                  series.values[np.newaxis, :])
+        return block.events(subjects=(subject,), metric=metric, kind=self.kind)
+
+
+def events_to_block(timestamps: np.ndarray, num_rows: int,
+                    events_of_row) -> BlockDetection:
+    """Paint per-row event lists back into a :class:`BlockDetection`.
+
+    This is the shared fallback for per-series-only detectors (third-party
+    implementations without ``detect_block``): ``events_of_row(row)`` must
+    return the row's :class:`AnomalyEvent` list, whose intervals are painted
+    into a mask/score block and re-run-length-encoded.  Overlapping or
+    touching events merge into one run, preserving the
+    :class:`BlockDetection` invariant that the flagged samples of ``mask``
+    are exactly the runs concatenated.
+    """
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    mask = np.zeros((num_rows, timestamps.shape[0]), dtype=bool)
+    scores = np.zeros((num_rows, timestamps.shape[0]), dtype=np.float64)
+    for row in range(num_rows):
+        for event in events_of_row(row):
+            lo = int(np.searchsorted(timestamps, event.start, side="left"))
+            hi = int(np.searchsorted(timestamps, event.end, side="right"))
+            mask[row, lo:hi] = True
+            scores[row, lo:hi] = np.maximum(scores[row, lo:hi], event.score)
+    return BlockDetection.from_mask(timestamps, mask, scores)
+
+
+def mask_to_events(timestamps: np.ndarray, mask: np.ndarray, scores: np.ndarray,
+                   *, metric: str, subject: str, kind: str) -> list[AnomalyEvent]:
     """Convert a boolean per-sample mask into contiguous anomaly events."""
-    events: list[AnomalyEvent] = []
-    start_index: int | None = None
-    for index, flagged in enumerate(mask):
-        if flagged and start_index is None:
-            start_index = index
-        elif not flagged and start_index is not None:
-            events.append(AnomalyEvent(
-                start=float(timestamps[start_index]),
-                end=float(timestamps[index - 1]),
-                metric=metric, subject=subject, kind=kind,
-                score=float(np.max(scores[start_index:index]))))
-            start_index = None
-    if start_index is not None:
-        events.append(AnomalyEvent(
-            start=float(timestamps[start_index]),
-            end=float(timestamps[-1]),
-            metric=metric, subject=subject, kind=kind,
-            score=float(np.max(scores[start_index:]))))
-    return events
+    block = BlockDetection.from_mask(
+        np.asarray(timestamps, dtype=np.float64),
+        np.asarray(mask, dtype=bool)[np.newaxis, :],
+        np.asarray(scores, dtype=np.float64)[np.newaxis, :])
+    return block.events(subjects=(subject,), metric=metric, kind=kind)
 
 
-class ThresholdDetector:
+#: Backwards-compatible alias (pre-engine internal name).
+_mask_to_events = mask_to_events
+
+
+class ThresholdDetector(BlockDetector):
     """Flags samples exceeding a static utilisation threshold."""
+
+    kind = "threshold"
 
     def __init__(self, threshold: float = 90.0, *, min_duration_s: float = 0.0) -> None:
         if not 0.0 < threshold <= 100.0:
@@ -74,20 +295,22 @@ class ThresholdDetector:
         self.threshold = threshold
         self.min_duration_s = min_duration_s
 
-    def detect(self, series: TimeSeries, *, metric: str = "cpu",
-               subject: str = "") -> list[AnomalyEvent]:
-        if len(series) == 0:
-            return []
-        values = series.values
-        mask = values >= self.threshold
-        scores = values - self.threshold
-        events = _mask_to_events(series.timestamps, mask, scores,
-                                 metric=metric, subject=subject, kind="threshold")
-        return [e for e in events if e.duration >= self.min_duration_s]
+    def _block_mask(self, timestamps: np.ndarray,
+                    values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return values >= self.threshold, values - self.threshold
+
+    def _keep_runs(self, timestamps: np.ndarray, rows: np.ndarray,
+                   starts: np.ndarray, ends: np.ndarray) -> np.ndarray | None:
+        if self.min_duration_s <= 0.0 or rows.size == 0:
+            return None
+        duration = timestamps[ends - 1] - timestamps[starts]
+        return duration >= self.min_duration_s
 
 
-class RollingZScoreDetector:
+class RollingZScoreDetector(BlockDetector):
     """Flags samples whose rolling z-score exceeds a cut-off."""
+
+    kind = "zscore"
 
     def __init__(self, window: int = 12, z_threshold: float = 3.0,
                  *, min_std: float = 1.0) -> None:
@@ -99,22 +322,34 @@ class RollingZScoreDetector:
         self.z_threshold = z_threshold
         self.min_std = min_std
 
-    def detect(self, series: TimeSeries, *, metric: str = "cpu",
-               subject: str = "") -> list[AnomalyEvent]:
-        if len(series) < self.window:
-            return []
-        mean = series.rolling_mean(self.window).values
-        std = np.maximum(series.rolling_std(self.window).values, self.min_std)
-        z = np.abs(series.values - mean) / std
+    def _block_mask(self, timestamps: np.ndarray,
+                    values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        num_rows, num_samples = values.shape
+        if num_samples < self.window:
+            return (np.zeros((num_rows, num_samples), dtype=bool),
+                    np.zeros((num_rows, num_samples), dtype=np.float64))
+        mean = np.empty_like(values)
+        std = np.empty_like(values)
+        windows = sliding_window_view(values, self.window, axis=1)
+        mean[:, self.window - 1:] = windows.mean(axis=2)
+        std[:, self.window - 1:] = windows.std(axis=2)
+        # The warm-up region is never flagged; its statistics only exist so
+        # the score array is fully defined.
+        for i in range(self.window - 1):
+            head = values[:, :i + 1]
+            mean[:, i] = head.mean(axis=1)
+            std[:, i] = head.std(axis=1)
+        std = np.maximum(std, self.min_std)
+        z = np.abs(values - mean) / std
         mask = z >= self.z_threshold
-        # never flag the warm-up region where the window is not yet full
-        mask[:self.window - 1] = False
-        return _mask_to_events(series.timestamps, mask, z, metric=metric,
-                               subject=subject, kind="zscore")
+        mask[:, :self.window - 1] = False
+        return mask, z
 
 
-class EwmaDetector:
+class EwmaDetector(BlockDetector):
     """Flags samples deviating strongly from an EWMA forecast."""
+
+    kind = "ewma"
 
     def __init__(self, alpha: float = 0.3, deviation_threshold: float = 15.0) -> None:
         if not 0.0 < alpha <= 1.0:
@@ -124,20 +359,27 @@ class EwmaDetector:
         self.alpha = alpha
         self.deviation_threshold = deviation_threshold
 
-    def detect(self, series: TimeSeries, *, metric: str = "cpu",
-               subject: str = "") -> list[AnomalyEvent]:
-        if len(series) < 2:
-            return []
-        smoothed = series.ewma(self.alpha).values
+    def _block_mask(self, timestamps: np.ndarray,
+                    values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        num_rows, num_samples = values.shape
+        mask = np.zeros((num_rows, num_samples), dtype=bool)
+        scores = np.zeros((num_rows, num_samples), dtype=np.float64)
+        if num_samples < 2:
+            return mask, scores
+        smoothed = np.empty_like(values)
+        smoothed[:, 0] = values[:, 0]
+        alpha = self.alpha
+        decay = 1.0 - alpha
+        for i in range(1, num_samples):
+            smoothed[:, i] = alpha * values[:, i] + decay * smoothed[:, i - 1]
         # compare each sample against the forecast from the previous one
-        residual = np.abs(series.values[1:] - smoothed[:-1])
-        mask = np.concatenate([[False], residual >= self.deviation_threshold])
-        scores = np.concatenate([[0.0], residual])
-        return _mask_to_events(series.timestamps, mask, scores, metric=metric,
-                               subject=subject, kind="ewma")
+        residual = np.abs(values[:, 1:] - smoothed[:, :-1])
+        mask[:, 1:] = residual >= self.deviation_threshold
+        scores[:, 1:] = residual
+        return mask, scores
 
 
-class FlatlineDetector:
+class FlatlineDetector(BlockDetector):
     """Flags stretches where a series sits at (effectively) zero.
 
     A healthy machine always reports at least its background baseline, so a
@@ -145,6 +387,8 @@ class FlatlineDetector:
     (the :mod:`repro.scenarios` failure injectors zero the series of failed
     machines).
     """
+
+    kind = "flatline"
 
     def __init__(self, epsilon: float = 0.5, *, min_samples: int = 3) -> None:
         if epsilon < 0:
@@ -154,23 +398,17 @@ class FlatlineDetector:
         self.epsilon = epsilon
         self.min_samples = min_samples
 
-    def detect(self, series: TimeSeries, *, metric: str = "cpu",
-               subject: str = "") -> list[AnomalyEvent]:
-        if len(series) == 0:
-            return []
-        values = series.values
-        timestamps = series.timestamps
-        mask = values <= self.epsilon
-        scores = self.epsilon - values
-        events = _mask_to_events(timestamps, mask, scores, metric=metric,
-                                 subject=subject, kind="flatline")
-        kept = []
-        for event in events:
-            samples = int(np.sum((timestamps >= event.start)
-                                 & (timestamps <= event.end)))
-            if samples >= self.min_samples:
-                kept.append(event)
-        return kept
+    def _block_mask(self, timestamps: np.ndarray,
+                    values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return values <= self.epsilon, self.epsilon - values
+
+    def _keep_runs(self, timestamps: np.ndarray, rows: np.ndarray,
+                   starts: np.ndarray, ends: np.ndarray) -> np.ndarray | None:
+        if self.min_samples <= 1 or rows.size == 0:
+            return None
+        # Run length IS the sample count — no need to re-scan the timestamp
+        # array per event.
+        return (ends - starts) >= self.min_samples
 
 
 DETECTORS = {
@@ -192,9 +430,23 @@ def detect_all(series: TimeSeries, detectors: Sequence | None = None, *,
     return sorted(events, key=lambda e: (e.start, e.kind))
 
 
+def _merge_detail(kinds: list[str]) -> str:
+    """Provenance of a merged event: the distinct contributing kinds."""
+    seen: dict[str, None] = {}
+    for kind in kinds:
+        seen.setdefault(kind, None)
+    return "kinds=" + "+".join(seen)
+
+
 def merge_events(events: Sequence[AnomalyEvent],
                  gap_s: float = 0.0) -> list[AnomalyEvent]:
-    """Merge overlapping (or near-overlapping) events on the same subject/metric."""
+    """Merge overlapping (or near-overlapping) events on the same subject/metric.
+
+    Merged events carry ``kind="merged"`` and record the contributing
+    detector kinds in ``detail`` (``"kinds=threshold+zscore"``), so the
+    provenance survives the merge.  Events that absorb nothing are returned
+    unchanged.
+    """
     grouped: dict[tuple[str, str], list[AnomalyEvent]] = {}
     for event in events:
         grouped.setdefault((event.subject, event.metric), []).append(event)
@@ -202,14 +454,18 @@ def merge_events(events: Sequence[AnomalyEvent],
     for (subject, metric), group in grouped.items():
         group = sorted(group, key=lambda e: e.start)
         current = group[0]
+        current_kinds = [current.kind]
         for event in group[1:]:
             if event.start <= current.end + gap_s:
+                current_kinds.append(event.kind)
                 current = AnomalyEvent(
                     start=current.start, end=max(current.end, event.end),
                     metric=metric, subject=subject, kind="merged",
-                    score=max(current.score, event.score))
+                    score=max(current.score, event.score),
+                    detail=_merge_detail(current_kinds))
             else:
                 merged.append(current)
                 current = event
+                current_kinds = [event.kind]
         merged.append(current)
     return sorted(merged, key=lambda e: (e.start, e.subject))

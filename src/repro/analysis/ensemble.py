@@ -3,7 +3,8 @@
 The DESIGN.md ablation compares the three single detectors (threshold,
 rolling z-score, EWMA); production monitoring rarely trusts any one of them
 alone.  :class:`EnsembleDetector` votes the single detectors sample by
-sample, and the evaluation helpers turn detected events into the
+sample — stacking the members' boolean block masks instead of replaying
+their events — and the evaluation helpers turn detected events into the
 precision / recall / F1 numbers the E9 benchmark and the ablation benches
 report.
 """
@@ -17,22 +18,30 @@ import numpy as np
 
 from repro.analysis.detectors import (
     AnomalyEvent,
+    BlockDetection,
+    BlockDetector,
     EwmaDetector,
     RollingZScoreDetector,
     ThresholdDetector,
-    _mask_to_events,
+    events_to_block,
 )
 from repro.errors import SeriesError
 from repro.metrics.series import TimeSeries
 from repro.metrics.store import MetricStore
 
 
-class EnsembleDetector:
+class EnsembleDetector(BlockDetector):
     """K-of-N voting over several per-sample detectors.
 
-    Each member detector votes on every sample it flags (via the events it
-    returns); a sample is anomalous when at least ``min_votes`` members agree.
+    Each member detector votes on every sample it flags; a sample is
+    anomalous when at least ``min_votes`` members agree.  Voting stacks the
+    members' boolean block masks (every member judges the whole block in
+    one array pass), so the ensemble itself is a
+    :class:`~repro.analysis.detectors.BlockDetector` and runs cluster-wide
+    through the :class:`~repro.analysis.engine.DetectionEngine` unchanged.
     """
+
+    kind = "ensemble"
 
     def __init__(self, detectors: Sequence | None = None, *,
                  min_votes: int = 2) -> None:
@@ -47,23 +56,35 @@ class EnsembleDetector:
         self.detectors = list(detectors)
         self.min_votes = min_votes
 
-    def detect(self, series: TimeSeries, *, metric: str = "cpu",
-               subject: str = "") -> list[AnomalyEvent]:
-        """Return intervals where at least ``min_votes`` detectors agree."""
-        if len(series) == 0:
-            return []
-        votes = np.zeros(len(series), dtype=np.int64)
-        scores = np.zeros(len(series), dtype=np.float64)
-        timestamps = series.timestamps
+    def _member_block(self, detector, timestamps: np.ndarray,
+                      values: np.ndarray) -> BlockDetection:
+        """A member's block verdict, with a per-series fallback for
+        third-party detectors that only implement ``detect``.
+
+        The block surface is metric-agnostic, so fallback members are called
+        without ``metric``/``subject`` context.
+        """
+        if hasattr(detector, "detect_block"):
+            return detector.detect_block(timestamps, values)
+        return events_to_block(
+            timestamps, values.shape[0],
+            lambda row: detector.detect(TimeSeries(timestamps, values[row])))
+
+    def detect_block(self, timestamps: np.ndarray,
+                     values: np.ndarray) -> BlockDetection:
+        """Vote every member's block mask; keep samples with enough votes."""
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise SeriesError("detect_block expects a (rows, samples) block")
+        votes = np.zeros(values.shape, dtype=np.int64)
+        scores = np.zeros(values.shape, dtype=np.float64)
         for detector in self.detectors:
-            events = detector.detect(series, metric=metric, subject=subject)
-            for event in events:
-                mask = (timestamps >= event.start) & (timestamps <= event.end)
-                votes[mask] += 1
-                scores[mask] = np.maximum(scores[mask], event.score)
-        mask = votes >= self.min_votes
-        return _mask_to_events(timestamps, mask, scores, metric=metric,
-                               subject=subject, kind="ensemble")
+            member = self._member_block(detector, timestamps, values)
+            votes += member.mask
+            np.maximum(scores, member.vote_scores(), out=scores)
+        return BlockDetection.from_mask(timestamps, votes >= self.min_votes,
+                                        scores)
 
 
 @dataclass(frozen=True)
@@ -135,16 +156,14 @@ def flag_machines(store: MetricStore, detector, *, metric: str = "cpu",
 
     ``window`` optionally restricts the counted events to an interval, which
     is how the benches score detections against an injected anomaly window.
+    The sweep runs through the cluster-wide
+    :class:`~repro.analysis.engine.DetectionEngine` (one array pass instead
+    of a per-machine series loop).
     """
-    flagged: set[str] = set()
-    for machine_id in store.machine_ids:
-        events = detector.detect(store.series(machine_id, metric),
-                                 metric=metric, subject=machine_id)
-        if window is not None:
-            events = [e for e in events if e.overlaps(window[0], window[1])]
-        if events:
-            flagged.add(machine_id)
-    return flagged
+    from repro.analysis.engine import default_engine
+
+    return default_engine().flag_machines(store, detector, metric=metric,
+                                          window=window)
 
 
 def score_detectors(store: MetricStore, detectors: dict[str, object],

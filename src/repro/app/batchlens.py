@@ -118,11 +118,34 @@ class BatchLens:
 
         Scores every entry of the ground-truth manifest with the detector it
         names (see :mod:`repro.scenarios.scoring`); empty for bundles without
-        a manifest.
+        a manifest.  The mask-based runners sweep the whole cluster through
+        the vectorized :class:`~repro.analysis.engine.DetectionEngine`.
         """
         from repro.scenarios.scoring import scorecard
 
         return scorecard(self.bundle)
+
+    def detect(self, detector="threshold", *, metric: str = "cpu",
+               window: tuple[float, float] | None = None) -> list:
+        """Cluster-wide anomaly events of one detector, in a single pass.
+
+        ``detector`` is a registered name (``threshold``, ``zscore``,
+        ``ewma``, ``flatline``) or any detector instance; the sweep runs
+        through the :class:`~repro.analysis.engine.DetectionEngine` over the
+        zero-copy metric block, never copying per-machine series.  The full
+        trace is always swept; ``window`` filters the *returned events* by
+        overlap (the same semantics the ground-truth scoring uses), so
+        stateful detectors keep their full warm-up history::
+
+            events = lens.detect("zscore", metric="mem")
+        """
+        from repro.analysis.engine import default_engine
+
+        events = default_engine().run(self.store, detector,
+                                      metric=metric).events()
+        if window is not None:
+            events = [e for e in events if e.overlaps(window[0], window[1])]
+        return events
 
     # -- charts -------------------------------------------------------------------------
     def bubble_chart(self, timestamp: float, *, max_jobs: int | None = None,

@@ -4,6 +4,10 @@ This is the "metrics-based approach" of the related work: per-machine static
 thresholds firing alerts, with no notion of the batch hierarchy.  The E9
 benchmark compares its alert quality against the BatchLens analysis layer
 (which knows which job caused what) on traces with injected anomalies.
+
+The scan sweeps every metric of the whole cluster through the vectorized
+:class:`~repro.analysis.engine.DetectionEngine` — one array pass per metric
+instead of a per-machine, per-metric series loop.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.detectors import AnomalyEvent, ThresholdDetector
+from repro.analysis.engine import DetectionEngine
 from repro.metrics.store import MetricStore
 
 
@@ -44,19 +49,21 @@ class ThresholdMonitor:
                 "disk": self.disk_threshold}[metric]
 
     def scan(self, store: MetricStore) -> list[Alert]:
-        """Scan every machine/metric series and collect alerts."""
+        """Scan every machine/metric block and collect alerts.
+
+        One engine pass per metric judges the whole cluster at once.
+        """
         self.alerts = []
-        for machine_id in store.machine_ids:
-            for metric in store.metrics:
-                detector = ThresholdDetector(self._threshold_for(metric),
-                                             min_duration_s=self.min_duration_s)
-                events = detector.detect(store.series(machine_id, metric),
-                                         metric=metric, subject=machine_id)
-                for event in events:
-                    self.alerts.append(Alert(
-                        machine_id=machine_id, metric=metric,
-                        start=event.start, end=event.end,
-                        peak=event.score + self._threshold_for(metric)))
+        engine = DetectionEngine()
+        for metric in store.metrics:
+            threshold = self._threshold_for(metric)
+            detector = ThresholdDetector(threshold,
+                                         min_duration_s=self.min_duration_s)
+            for event in engine.run(store, detector, metric=metric).events():
+                self.alerts.append(Alert(
+                    machine_id=event.subject, metric=metric,
+                    start=event.start, end=event.end,
+                    peak=event.score + threshold))
         self.alerts.sort(key=lambda a: (a.start, a.machine_id, a.metric))
         return self.alerts
 

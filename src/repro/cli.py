@@ -10,6 +10,7 @@ writing Python::
     python -m repro report trace/ --timestamp 9000
     python -m repro figures trace/ --job job_1042 --output-dir figs/
     python -m repro scenarios
+    python -m repro detect --synthetic --scenario "memory-thrash+network-storm"
     python -m repro monitor --synthetic --scenario thrashing
     python -m repro monitor --synthetic --scenario "diurnal+network-storm"
     python -m repro compare --synthetic --scenario thrashing
@@ -201,6 +202,53 @@ def cmd_sla(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_detect(args: argparse.Namespace) -> int:
+    """Sweep the cluster with the detection engine and score the manifest.
+
+    The sweep judges every machine at once per detector (one vectorized
+    array pass, see :mod:`repro.analysis.engine`); when the trace carries a
+    ground-truth manifest, every entry is then scored with the detector it
+    declares and printed as a precision/recall table.
+    """
+    from repro.analysis.engine import DetectionEngine
+    from repro.scenarios.scoring import score_bundle
+
+    bundle = _resolve_bundle(args)
+    store = bundle.usage
+    if store is None or store.num_samples == 0:
+        raise BatchLensError("trace carries no server-usage data to sweep")
+    engine = DetectionEngine()
+    print(f"engine sweep on {args.metric!r}: {store.num_machines} machine(s), "
+          f"{store.num_samples} sample(s)")
+    for name in sorted(engine.detectors):
+        result = engine.run(store, name, metric=args.metric)
+        flagged = result.flagged_machines()
+        print(f"  {name}: {result.num_events} event(s) on "
+              f"{len(flagged)} machine(s)")
+
+    scored = score_bundle(bundle)
+    if not scored:
+        print("\nno ground-truth manifest to score (generate with --synthetic "
+              "and a composed --scenario)")
+        return 0
+    print("\nper-detector precision/recall vs. injected ground truth:")
+    header = (f"  {'anomaly':<20} {'detector':<20} {'prec':>6} {'recall':>6} "
+              f"{'f1':>6} {'tp':>4} {'fp':>4} {'fn':>4}")
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    worst_f1 = 1.0
+    for entry in scored:
+        result = entry.result
+        worst_f1 = min(worst_f1, result.f1)
+        print(f"  {entry.entry.kind:<20} {entry.detector:<20} "
+              f"{result.precision:>6.2f} {result.recall:>6.2f} "
+              f"{result.f1:>6.2f} {result.true_positives:>4} "
+              f"{result.false_positives:>4} {result.false_negatives:>4}")
+    print(f"\n{len(scored)} entr{'y' if len(scored) == 1 else 'ies'} scored; "
+          f"worst F1 {worst_f1:.2f}")
+    return 0
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     """List registered scenarios, fault injectors and composition syntax."""
     from repro.scenarios import SCENARIO_ALIASES, list_injectors
@@ -307,6 +355,14 @@ def build_parser() -> argparse.ArgumentParser:
     sla.add_argument("--max-jobs", type=int, default=10,
                      help="how many violated jobs to list")
     sla.set_defaults(func=cmd_sla)
+
+    detect = sub.add_parser(
+        "detect", help="vectorized cluster-wide detection sweep and "
+                       "ground-truth precision/recall table")
+    _add_trace_source(detect)
+    detect.add_argument("--metric", default="cpu",
+                        help="metric the engine sweep judges (default: cpu)")
+    detect.set_defaults(func=cmd_detect)
 
     scenarios = sub.add_parser(
         "scenarios", help="list registered scenarios and fault injectors")

@@ -6,6 +6,13 @@ grid.  That is the natural layout for the queries BatchLens issues
 constantly: "utilisation of machine M at time T", "CPU of every machine at
 time T" (bubble chart colouring), and "whole series for machine M"
 (line charts).
+
+It is also the layout the cluster-wide detection engine
+(:mod:`repro.analysis.engine`) sweeps in one NumPy pass:
+:meth:`MetricStore.metric_block` hands out a zero-copy ``(machines,
+samples)`` view of one metric, and :meth:`MetricStore.window` /
+:meth:`MetricStore.subset` produce zero-copy views wherever basic slicing
+allows, so engine queries never duplicate the usage matrix.
 """
 
 from __future__ import annotations
@@ -38,6 +45,24 @@ class MetricStore:
         self._data = np.zeros(
             (len(self._machine_ids), len(self._metrics), self._timestamps.shape[0]),
             dtype=np.float64)
+
+    @classmethod
+    def _view(cls, machine_ids: Sequence[str], timestamps: np.ndarray,
+              metrics: Sequence[str], data: np.ndarray) -> "MetricStore":
+        """Wrap existing arrays without copying (or re-validating) them.
+
+        Used by :meth:`window` and :meth:`subset` to build zero-copy views:
+        the inputs come from an already-validated store, so the constructor
+        checks (and its zero-fill allocation) are skipped.
+        """
+        store = cls.__new__(cls)
+        store._machine_ids = list(machine_ids)
+        store._metrics = tuple(metrics)
+        store._timestamps = timestamps
+        store._machine_index = {mid: i for i, mid in enumerate(store._machine_ids)}
+        store._metric_index = {name: i for i, name in enumerate(store._metrics)}
+        store._data = data
+        return store
 
     # -- accessors ----------------------------------------------------------
     @property
@@ -132,6 +157,15 @@ class MetricStore:
                         for j, m in enumerate(self._metrics)}
         return out
 
+    def metric_block(self, metric: str) -> np.ndarray:
+        """Zero-copy ``(machines, samples)`` view of one metric.
+
+        This is the array the cluster-wide detection engine sweeps: row ``i``
+        is the full series of ``machine_ids[i]``.  Mutating the view mutates
+        the store.
+        """
+        return self._data[:, self._metric_row(metric), :]
+
     def aggregate(self, metric: str, reducer: str = "mean") -> TimeSeries:
         """Aggregate one metric across all machines at every timestamp."""
         block = self._data[:, self._metric_row(metric), :]
@@ -150,21 +184,39 @@ class MetricStore:
         return TimeSeries(self._timestamps, values)
 
     def subset(self, machine_ids: Iterable[str]) -> "MetricStore":
-        """Return a new store restricted to the given machines."""
+        """Return a read-only store restricted to the given machines.
+
+        When the requested machines form a contiguous ascending block of
+        this store's rows (including the identity subset), the result is a
+        zero-copy view sharing this store's data; otherwise the selected
+        rows are gathered into a fresh array.  Either way the subset's data
+        is marked read-only, so the mutation contract does not depend on
+        which machines were picked.
+        """
         ids = [mid for mid in machine_ids]
-        store = MetricStore(ids, self._timestamps, self._metrics)
-        for mid in ids:
-            store._data[store._machine_index[mid]] = self._data[self._machine_row(mid)]
-        return store
+        if len(set(ids)) != len(ids):
+            raise SeriesError("machine ids must be unique")
+        rows = np.asarray([self._machine_row(mid) for mid in ids], dtype=np.intp)
+        if rows.size and np.array_equal(
+                rows, np.arange(rows[0], rows[0] + rows.size)):
+            data = self._data[rows[0]:rows[0] + rows.size]
+        else:
+            data = self._data[rows]
+        data.setflags(write=False)
+        return MetricStore._view(ids, self._timestamps, self._metrics, data)
 
     def window(self, start: float, end: float) -> "MetricStore":
-        """Return a new store restricted to ``start <= t <= end``."""
+        """Return a zero-copy view restricted to ``start <= t <= end``.
+
+        Timestamps are sorted, so the window is always a contiguous slice;
+        the returned store shares this store's data (mutations propagate).
+        """
         if end < start:
             raise SeriesError(f"end ({end}) precedes start ({start})")
-        mask = (self._timestamps >= start) & (self._timestamps <= end)
-        store = MetricStore(self._machine_ids, self._timestamps[mask], self._metrics)
-        store._data = self._data[:, :, mask].copy()
-        return store
+        lo = int(np.searchsorted(self._timestamps, start, side="left"))
+        hi = int(np.searchsorted(self._timestamps, end, side="right"))
+        return MetricStore._view(self._machine_ids, self._timestamps[lo:hi],
+                                 self._metrics, self._data[:, :, lo:hi])
 
     def _time_index(self, timestamp: float) -> int:
         if self.num_samples == 0:
@@ -184,16 +236,33 @@ class MetricStore:
     @classmethod
     def from_records(cls, records: Iterable[tuple[float, str, Mapping[str, float]]],
                      metrics: Sequence[str] = METRICS) -> "MetricStore":
-        """Build a store from ``(timestamp, machine_id, {metric: value})`` rows."""
+        """Build a store from ``(timestamp, machine_id, {metric: value})`` rows.
+
+        Rows may arrive in any order, share timestamps across machines, and
+        omit metrics (missing metrics stay 0).  When the same
+        ``(timestamp, machine, metric)`` cell appears more than once, the
+        last row wins.  Cell placement is one bulk ``searchsorted``
+        scatter-assignment per metric instead of a per-row Python loop.
+        """
         rows = list(records)
-        timestamps = np.unique(np.asarray([r[0] for r in rows], dtype=np.float64))
+        raw_ts = np.asarray([r[0] for r in rows], dtype=np.float64)
+        timestamps = np.unique(raw_ts)
         machine_ids = sorted({r[1] for r in rows})
         store = cls(machine_ids, timestamps, metrics)
-        time_index = {float(t): i for i, t in enumerate(timestamps)}
-        for timestamp, machine_id, values in rows:
-            t_idx = time_index[float(timestamp)]
-            m_idx = store._machine_index[machine_id]
-            for j, metric in enumerate(store._metrics):
-                if metric in values:
-                    store._data[m_idx, j, t_idx] = float(values[metric])
+        if not rows:
+            return store
+        num_rows = len(rows)
+        t_idx = np.searchsorted(timestamps, raw_ts)
+        m_idx = np.fromiter((store._machine_index[r[1]] for r in rows),
+                            dtype=np.intp, count=num_rows)
+        for j, metric in enumerate(store._metrics):
+            present = np.fromiter((metric in r[2] for r in rows),
+                                  dtype=bool, count=num_rows)
+            if not present.any():
+                continue
+            values = np.fromiter(
+                (float(r[2][metric]) if ok else 0.0
+                 for ok, r in zip(present.tolist(), rows)),
+                dtype=np.float64, count=num_rows)
+            store._data[m_idx[present], j, t_idx[present]] = values[present]
         return store

@@ -10,6 +10,12 @@ and the number says which.
 
 Detector runners are looked up by the entry's first ``detectors`` name; new
 injectors can ship their own runner via :func:`register_runner`.
+
+Mask-based runners (flatline, disk-burst, drain) sweep the whole cluster
+through the vectorized :class:`~repro.analysis.engine.DetectionEngine`
+instead of looping ``store.series`` machine by machine; the flagged-machine
+sets are identical to the legacy loop (both surfaces share one numerical
+path).
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from typing import Callable
 import numpy as np
 
 from repro.analysis.detectors import EwmaDetector, FlatlineDetector, ThresholdDetector
+from repro.analysis.engine import default_engine
 from repro.analysis.ensemble import EvaluationResult, evaluate_events, evaluate_machine_sets
 from repro.analysis.sla import SlaPolicy, cluster_sla_report
 from repro.analysis.spikes import detect_spikes
@@ -106,15 +113,10 @@ def _run_runtime_stretch(bundle: TraceBundle,
 
 def _run_flatline(bundle: TraceBundle, entry: GroundTruthEntry) -> ScoredEntry:
     """Machines flatlining at zero inside the truth window."""
-    store = bundle.usage
     t0, t1 = _window_of(entry, bundle)
     detector = FlatlineDetector(epsilon=0.5, min_samples=3)
-    predicted: set[str] = set()
-    for machine_id in store.machine_ids:
-        events = detector.detect(store.series(machine_id, "cpu"),
-                                 metric="cpu", subject=machine_id)
-        if any(event.overlaps(t0, t1) for event in events):
-            predicted.add(machine_id)
+    predicted = default_engine().flag_machines(bundle.usage, detector,
+                                               metric="cpu", window=(t0, t1))
     return _score_machines(entry, predicted, "flatline")
 
 
@@ -125,16 +127,11 @@ def _run_disk_burst(bundle: TraceBundle, entry: GroundTruthEntry) -> ScoredEntry
     the storm itself); the EWMA forecast residual keeps firing on every
     burst, so that is the detector scored here.
     """
-    store = bundle.usage
     t0, t1 = _window_of(entry, bundle)
     threshold = max(10.0, 0.5 * float(entry.params.get("disk_boost", 45.0)))
     detector = EwmaDetector(alpha=0.3, deviation_threshold=threshold)
-    predicted: set[str] = set()
-    for machine_id in store.machine_ids:
-        events = detector.detect(store.series(machine_id, "disk"),
-                                 metric="disk", subject=machine_id)
-        if any(event.overlaps(t0, t1) for event in events):
-            predicted.add(machine_id)
+    predicted = default_engine().flag_machines(bundle.usage, detector,
+                                               metric="disk", window=(t0, t1))
     return _score_machines(entry, predicted, "disk-burst")
 
 
@@ -147,16 +144,11 @@ def _run_drain(bundle: TraceBundle, entry: GroundTruthEntry) -> ScoredEntry:
     drained machine falls to ``residual`` of it — far below the fleet floor.
     The flatline detector with a calibrated epsilon captures exactly that.
     """
-    store = bundle.usage
     t0, t1 = _window_of(entry, bundle)
     level = float(entry.params.get("drained_mem_level", 3.0))
     detector = FlatlineDetector(epsilon=max(1.0, 2.0 * level), min_samples=2)
-    predicted: set[str] = set()
-    for machine_id in store.machine_ids:
-        events = detector.detect(store.series(machine_id, "mem"),
-                                 metric="mem", subject=machine_id)
-        if any(event.overlaps(t0, t1) for event in events):
-            predicted.add(machine_id)
+    predicted = default_engine().flag_machines(bundle.usage, detector,
+                                               metric="mem", window=(t0, t1))
     return _score_machines(entry, predicted, "drain")
 
 
@@ -171,14 +163,17 @@ def _run_outlier(bundle: TraceBundle, entry: GroundTruthEntry) -> ScoredEntry:
     store = bundle.usage
     t0, t1 = _window_of(entry, bundle)
     windowed = store.window(t0 + 0.1 * (t1 - t0), t1)
-    means = {machine_id: float(windowed.series(machine_id, "cpu").mean())
-             for machine_id in windowed.machine_ids}
-    values = np.asarray(list(means.values()), dtype=np.float64)
+    if windowed.num_samples == 0:
+        raise SimulationError("outlier scoring window holds no samples")
+    # zero-copy (machines, samples) view — one reduction instead of a
+    # per-machine series-copy loop
+    values = windowed.metric_block("cpu").mean(axis=1)
     mu = float(values.mean()) if values.size else 0.0
     sd = float(values.std()) if values.size else 0.0
     predicted: set[str] = set()
     if sd > 1e-9:
-        predicted = {machine_id for machine_id, value in means.items()
+        predicted = {machine_id
+                     for machine_id, value in zip(windowed.machine_ids, values)
                      if (value - mu) / sd >= 1.5}
     return _score_machines(entry, predicted, "outlier")
 

@@ -69,6 +69,42 @@ class StreamingMetricStore:
         self._timestamps.append(float(timestamp))
         self._frames.append(frame)
 
+    def append_block(self, timestamps: np.ndarray,
+                     block: np.ndarray) -> None:
+        """Bulk-append many fully-specified samples in one call.
+
+        ``block`` has shape ``(machines, metrics, samples)`` in this store's
+        machine/metric order (the :class:`~repro.metrics.store.MetricStore`
+        layout), so an offline store's data array can be fed directly.
+        Unlike :meth:`append`, every cell must be present — bulk catch-up
+        has no per-machine carry-forward.
+        """
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        block = np.asarray(block, dtype=np.float64)
+        expected = (len(self._machine_ids), len(self._metrics),
+                    timestamps.shape[0])
+        if block.shape != expected:
+            raise SeriesError(
+                f"block shape {block.shape} does not match {expected}")
+        if timestamps.shape[0] == 0:
+            return
+        if timestamps.shape[0] > 1 and np.any(np.diff(timestamps) <= 0):
+            raise SeriesError("block timestamps must be strictly increasing")
+        if self._timestamps and timestamps[0] <= self._timestamps[-1]:
+            raise SeriesError(
+                f"timestamp {timestamps[0]} is not after {self._timestamps[-1]}")
+        if block.size and (block.min() < 0.0 or block.max() > 100.0):
+            raise SeriesError("utilisation values outside [0, 100] in block")
+        # Only the trailing window can survive the bounded deque, so slice
+        # before copying: the kept frames are views into one contiguous base
+        # no larger than the window itself (a full-block base would pin the
+        # whole catch-up history in memory).
+        keep = min(self._window, timestamps.shape[0])
+        # (machines, metrics, samples) -> one (machines, metrics) frame per sample
+        frames = np.ascontiguousarray(np.moveaxis(block[:, :, -keep:], 2, 0))
+        self._timestamps.extend(timestamps.tolist())
+        self._frames.extend(frames)
+
     # -- accessors ----------------------------------------------------------------
     @property
     def machine_ids(self) -> list[str]:

@@ -1,4 +1,5 @@
-"""Tests for the monitor / compare / sla / experiments CLI sub-commands."""
+"""Tests for the monitor / compare / sla / detect / experiments CLI
+sub-commands."""
 
 import pytest
 
@@ -9,8 +10,48 @@ from repro.trace.writer import write_trace
 class TestParserRegistration:
     def test_new_subcommands_registered(self):
         text = build_parser().format_help()
-        for command in ("monitor", "compare", "sla", "experiments"):
+        for command in ("monitor", "compare", "sla", "experiments", "detect"):
             assert command in text
+
+
+class TestDetectCommand:
+    def test_detect_scores_composed_scenario(self, capsys):
+        code = main(["detect", "--synthetic", "--scenario",
+                     "machine-failure+network-storm", "--seed", "5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "engine sweep on 'cpu'" in output
+        # one sweep line per registered detector
+        for name in ("threshold", "zscore", "ewma", "flatline"):
+            assert f"  {name}:" in output
+        # the manifest table names the declared detectors
+        assert "precision/recall" in output
+        assert "machine-failure" in output
+        assert "network-storm" in output
+        assert "worst F1" in output
+
+    def test_detect_alternate_metric(self, tmp_path, thrashing_bundle, capsys):
+        write_trace(thrashing_bundle, tmp_path)
+        code = main(["detect", str(tmp_path), "--metric", "mem"])
+        assert code == 0
+        assert "engine sweep on 'mem'" in capsys.readouterr().out
+
+    def test_detect_without_usage_exits_cleanly(self, tmp_path, healthy_bundle,
+                                                capsys):
+        write_trace(healthy_bundle, tmp_path)
+        (tmp_path / "server_usage.csv").unlink()
+        code = main(["detect", str(tmp_path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_detect_without_manifest(self, tmp_path, healthy_bundle, capsys):
+        # a trace loaded from disk after being written by the legacy writer
+        # may carry no manifest entries; the sweep must still print
+        write_trace(healthy_bundle, tmp_path)
+        code = main(["detect", str(tmp_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "engine sweep" in output
 
 
 class TestMonitorCommand:

@@ -1,0 +1,154 @@
+"""Golden equivalence: the engine must reproduce the per-series loop exactly.
+
+The vectorized :class:`~repro.analysis.engine.DetectionEngine` replaced
+every hand-written ``for machine_id in store.machine_ids`` detection loop in
+the repository.  These tests pin the contract that made the rewiring safe:
+
+* for every registered detector, the engine's cluster-wide events are
+  *identical* (same intervals, same scores, same order per machine) to
+  looping ``detector.detect(store.series(...))`` over every machine, across
+  every registered scenario and several seeds;
+* the engine-backed scoring runners of :mod:`repro.scenarios.scoring`
+  produce bit-identical precision/recall to the legacy per-series loops
+  they replaced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.detectors import (
+    EwmaDetector,
+    FlatlineDetector,
+    RollingZScoreDetector,
+    ThresholdDetector,
+)
+from repro.analysis.engine import DetectionEngine
+from repro.analysis.ensemble import evaluate_machine_sets
+from repro.scenarios import scenario_names
+from repro.scenarios.groundtruth import manifest_from_meta
+from repro.scenarios.scoring import score_bundle
+from repro.trace.synthetic import generate_trace
+
+from tests.conftest import fast_config
+
+SEEDS = (101, 202, 303)
+
+#: One default-ish instance per registered detector, tuned low enough that
+#: most scenarios actually produce events (an all-empty comparison would be
+#: vacuous).
+GOLDEN_DETECTORS = {
+    "threshold": ThresholdDetector(80.0),
+    "zscore": RollingZScoreDetector(window=8, z_threshold=2.5),
+    "ewma": EwmaDetector(alpha=0.3, deviation_threshold=10.0),
+    "flatline": FlatlineDetector(epsilon=1.0, min_samples=2),
+}
+
+
+def legacy_loop(store, detector, metric):
+    """The pre-engine consumer pattern: one ``detect`` call per machine."""
+    events = []
+    for machine_id in store.machine_ids:
+        events.extend(detector.detect(store.series(machine_id, metric),
+                                      metric=metric, subject=machine_id))
+    return events
+
+
+def by_machine(events):
+    return sorted(events, key=lambda e: (e.subject, e.start, e.kind))
+
+
+@pytest.mark.parametrize("scenario", scenario_names())
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engine_events_identical_to_series_loop(scenario, seed):
+    bundle = generate_trace(fast_config(scenario, seed=seed))
+    store = bundle.usage
+    engine = DetectionEngine()
+    total = 0
+    for name, detector in GOLDEN_DETECTORS.items():
+        for metric in store.metrics:
+            engine_events = engine.run(store, detector, metric=metric).events()
+            loop_events = legacy_loop(store, detector, metric)
+            assert by_machine(engine_events) == by_machine(loop_events), (
+                f"{scenario}/{seed}: {name} on {metric} diverged")
+            total += len(engine_events)
+    # the sweep across all detectors/metrics must not be vacuous
+    assert total > 0, f"{scenario}/{seed}: no detector produced any event"
+
+
+# -- score_bundle stays bit-identical -----------------------------------------
+def _legacy_flag(store, detector, metric, window):
+    flagged = set()
+    for machine_id in store.machine_ids:
+        events = detector.detect(store.series(machine_id, metric),
+                                 metric=metric, subject=machine_id)
+        if any(event.overlaps(window[0], window[1]) for event in events):
+            flagged.add(machine_id)
+    return flagged
+
+
+def _legacy_predicted(bundle, entry):
+    """The pre-engine bodies of the rewired scoring runners."""
+    store = bundle.usage
+    if entry.window is not None:
+        t0, t1 = entry.window
+    else:
+        t0, t1 = (float(t) for t in bundle.time_range())
+    name = entry.detectors[0]
+    if name == "flatline":
+        return _legacy_flag(store, FlatlineDetector(epsilon=0.5, min_samples=3),
+                            "cpu", (t0, t1))
+    if name == "disk-burst":
+        threshold = max(10.0, 0.5 * float(entry.params.get("disk_boost", 45.0)))
+        return _legacy_flag(store, EwmaDetector(alpha=0.3,
+                                                deviation_threshold=threshold),
+                            "disk", (t0, t1))
+    if name == "drain":
+        level = float(entry.params.get("drained_mem_level", 3.0))
+        return _legacy_flag(store,
+                            FlatlineDetector(epsilon=max(1.0, 2.0 * level),
+                                             min_samples=2),
+                            "mem", (t0, t1))
+    if name == "outlier":
+        windowed = store.window(t0 + 0.1 * (t1 - t0), t1)
+        means = {machine_id: float(windowed.series(machine_id, "cpu").mean())
+                 for machine_id in windowed.machine_ids}
+        values = np.asarray(list(means.values()), dtype=np.float64)
+        mu = float(values.mean()) if values.size else 0.0
+        sd = float(values.std()) if values.size else 0.0
+        if sd <= 1e-9:
+            return set()
+        return {machine_id for machine_id, value in means.items()
+                if (value - mu) / sd >= 1.5}
+    return None  # runner not rewired in this refactor
+
+
+SCORED_SCENARIOS = (
+    "machine-failure",
+    "network-storm",
+    "maintenance-drain",
+    "load-imbalance",
+    "machine-failure+network-storm+load-imbalance",
+)
+
+
+@pytest.mark.parametrize("scenario", SCORED_SCENARIOS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_score_bundle_identical_to_legacy_runners(scenario, seed):
+    bundle = generate_trace(fast_config(scenario, seed=seed))
+    manifest = manifest_from_meta(bundle.meta)
+    assert manifest, f"{scenario} produced no ground-truth manifest"
+    scored = score_bundle(bundle)
+    assert len(scored) == len(manifest)
+    compared = 0
+    for entry_score in scored:
+        legacy = _legacy_predicted(bundle, entry_score.entry)
+        if legacy is None:
+            continue
+        compared += 1
+        assert set(entry_score.predicted) == legacy, (
+            f"{scenario}/{seed}: {entry_score.detector} flagged differently")
+        expected = evaluate_machine_sets(legacy, set(entry_score.entry.machines))
+        assert entry_score.result == expected
+    assert compared > 0

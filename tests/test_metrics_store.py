@@ -179,3 +179,52 @@ class TestRecordsRoundTrip:
             rebuilt.series("m1", "cpu").values, store.series("m1", "cpu").values)
         np.testing.assert_allclose(
             rebuilt.series("m3", "cpu").values, store.series("m3", "cpu").values)
+
+    def test_from_records_duplicate_timestamps_across_machines(self):
+        # several machines reporting at the same instant share one grid slot
+        records = [
+            (0.0, "a", {"cpu": 10.0}),
+            (0.0, "b", {"cpu": 20.0}),
+            (60.0, "a", {"cpu": 11.0}),
+            (60.0, "b", {"cpu": 21.0}),
+        ]
+        store = MetricStore.from_records(records)
+        assert store.num_samples == 2
+        assert list(store.series("a", "cpu").values) == [10.0, 11.0]
+        assert list(store.series("b", "cpu").values) == [20.0, 21.0]
+
+    def test_from_records_duplicate_cell_last_wins(self):
+        records = [
+            (0.0, "a", {"cpu": 10.0}),
+            (0.0, "a", {"cpu": 99.0}),
+        ]
+        store = MetricStore.from_records(records)
+        assert store.series("a", "cpu").values[0] == 99.0
+
+    def test_from_records_missing_metrics_stay_zero(self):
+        records = [
+            (0.0, "a", {"cpu": 10.0}),
+            (60.0, "a", {"mem": 30.0}),
+            (120.0, "a", {}),
+        ]
+        store = MetricStore.from_records(records)
+        assert list(store.series("a", "cpu").values) == [10.0, 0.0, 0.0]
+        assert list(store.series("a", "mem").values) == [0.0, 30.0, 0.0]
+        assert list(store.series("a", "disk").values) == [0.0, 0.0, 0.0]
+
+    def test_from_records_unordered_rows(self):
+        records = [
+            (120.0, "b", {"cpu": 5.0}),
+            (0.0, "a", {"cpu": 1.0}),
+            (60.0, "b", {"cpu": 3.0}),
+            (0.0, "b", {"cpu": 2.0}),
+        ]
+        store = MetricStore.from_records(records)
+        assert list(store.timestamps) == [0.0, 60.0, 120.0]
+        assert store.machine_ids == ["a", "b"]
+        assert list(store.series("b", "cpu").values) == [2.0, 3.0, 5.0]
+
+    def test_from_records_empty(self):
+        store = MetricStore.from_records([])
+        assert store.num_machines == 0
+        assert store.num_samples == 0
