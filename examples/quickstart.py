@@ -15,12 +15,18 @@ This walks through the basic public API in under a minute:
 2. look at the §II-style dataset statistics;
 3. classify the cluster regime at one timestamp and print the injected
    ground truth (which machines/jobs/windows are anomalous);
-4. sweep every machine with the vectorized detection engine (one array
-   pass per detector instead of a per-machine loop) and print the
-   precision/recall scorecard against the injected ground truth;
-5. render the hierarchical bubble chart, a per-job line chart and the
-   timeline;
-6. assemble everything into a self-contained interactive HTML dashboard.
+4. run the declarative detection pipeline (:mod:`repro.pipeline`): one
+   ``Pipeline`` names its source, its detector stack (a composed spec such
+   as ``"threshold+flatline"``, exactly like scenario specs) and its
+   sinks, then executes every detector as one vectorized engine pass and
+   scores the verdict against the injected ground truth — new detection
+   work is a config change, not new glue code;
+5. show that the very same run is reachable from pure data via
+   ``Pipeline.from_spec`` (what ``python -m repro pipeline spec.json``
+   executes);
+6. render the hierarchical bubble chart, a per-job line chart and the
+   timeline, and assemble everything into a self-contained interactive
+   HTML dashboard.
 """
 
 from __future__ import annotations
@@ -80,20 +86,36 @@ def main() -> None:
             print(f"  {entry.kind}: {where}, {window}; expected detector: "
                   f"{', '.join(entry.detectors)}")
 
-    print("\nCluster-wide detection sweep (vectorized engine, one array "
-          "pass per detector):")
-    from repro.analysis.engine import DetectionEngine
+    print("\nDeclarative detection pipeline (source -> detectors -> sinks; "
+          "one vectorized engine pass per detector):")
+    run = lens.pipeline(detectors="ewma+flatline+threshold+zscore",
+                        sinks=("score",)).run()
+    for detection in run.detections:
+        flagged = detection.result.flagged_machines()
+        print(f"  {detection.label}: {detection.result.num_events} event(s) "
+              f"on {len(flagged)} machine(s)")
+    if run.scores:
+        print("Ground-truth scores (precision/recall per injected anomaly):")
+        for scored in run.scores:
+            print(f"  {scored.entry.kind}: "
+                  f"precision {scored.result.precision:.2f}, "
+                  f"recall {scored.result.recall:.2f}")
 
-    engine = DetectionEngine()
-    for name, result in sorted(engine.run_all(lens.store, metric="cpu").items()):
-        flagged = result.flagged_machines()
-        print(f"  {name}: {result.num_events} event(s) on "
-              f"{len(flagged)} machine(s)")
-    if manifest:
-        print("Detection scorecard (precision/recall per injected anomaly):")
-        for kind, result in lens.detection_scorecard().items():
-            print(f"  {kind}: precision {result.precision:.2f}, "
-                  f"recall {result.recall:.2f}")
+    # The same run as pure data — this dict could live in a JSON file and
+    # run via `python -m repro pipeline spec.json` (add "mode": "streaming"
+    # to fold the trace through the online monitor's catch-up instead).
+    from repro import Pipeline
+
+    spec = {
+        "source": {"kind": "synthetic", "scenario": args.scenario,
+                   "seed": args.seed},
+        "detectors": "ewma+flatline+threshold+zscore",
+        "sinks": ["score", "report"],
+    }
+    report = Pipeline.from_spec(spec).run().outputs["report"]
+    report_path = args.output_dir / "pipeline_report.md"
+    report_path.write_text(report, encoding="utf-8")
+    print(f"\nSpec-driven pipeline report written to {report_path}")
 
     jobs = lens.active_jobs(timestamp)
     print(f"\n{len(jobs)} job(s) active at t={timestamp:.0f}s; the busiest:")

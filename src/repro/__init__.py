@@ -44,6 +44,7 @@ carries the injected ground truth::
 from repro import scenarios
 from repro.app.batchlens import BatchLens
 from repro.app.session import AnalysisSession
+from repro.pipeline import Pipeline, RunResult
 from repro.config import (
     METRICS,
     ClusterConfig,
@@ -67,6 +68,8 @@ __all__ = [
     "BatchLensError",
     "ClusterConfig",
     "METRICS",
+    "Pipeline",
+    "RunResult",
     "TraceBundle",
     "TraceConfig",
     "UsageConfig",

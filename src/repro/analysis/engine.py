@@ -59,7 +59,12 @@ def _resolve_detector(detector) -> object:
     return detector
 
 
-def _detector_kind(detector) -> str:
+def detector_kind(detector) -> str:
+    """The ``AnomalyEvent.kind`` a detector emits (class-name fallback).
+
+    The one shared derivation — the pipeline adapters reuse it so a plan
+    label always matches the event kind the engine stamps.
+    """
     return str(getattr(detector, "kind", type(detector).__name__.lower()))
 
 
@@ -147,6 +152,10 @@ class DetectionEngine:
         full history and merely *filter* the resulting events by a window
         (the scoring semantics), use :meth:`flag_machines` or
         ``run(...).flagged_machines(window)`` instead.
+
+        An empty or single-sample store is a valid input: the sweep simply
+        returns an event-less result (never an error), which is what the
+        pipeline's empty-``RunResult`` contract builds on.
         """
         if isinstance(detector, str) and detector in self.detectors:
             detector = self.detectors[detector]
@@ -154,11 +163,20 @@ class DetectionEngine:
         if window is not None:
             store = store.window(window[0], window[1])
         block_values = store.metric_block(metric)
-        if hasattr(detector, "detect_block"):
+        if block_values.size == 0:
+            # An empty or machine-less store is a valid degenerate sweep:
+            # the verdict is simply "no events anywhere".  Short-circuiting
+            # here keeps the contract independent of whether a (possibly
+            # third-party) detector tolerates zero-length input.
+            block = BlockDetection.from_mask(
+                store.timestamps,
+                np.zeros(block_values.shape, dtype=bool),
+                np.zeros(block_values.shape, dtype=np.float64))
+        elif hasattr(detector, "detect_block"):
             block = detector.detect_block(store.timestamps, block_values)
         else:
             block = self._per_series_block(detector, store, metric)
-        return EngineResult(detector=_detector_kind(detector), metric=metric,
+        return EngineResult(detector=detector_kind(detector), metric=metric,
                             machine_ids=tuple(store.machine_ids), block=block)
 
     def run_all(self, store: MetricStore, *,
@@ -222,4 +240,5 @@ __all__ = [
     "EngineResult",
     "default_engine",
     "detect_cluster",
+    "detector_kind",
 ]

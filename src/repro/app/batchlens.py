@@ -11,12 +11,25 @@ Typical use::
     lines = lens.job_lines("job_1042", metric="cpu")
     detail = lines.zoomed(8000, 12000)                      # Fig. 2(b)
 
-Every chart is also available as a plain *model* (``*_model`` methods via
-:class:`~repro.app.session.AnalysisSession`) for programmatic analysis.
+Detection goes through the declarative pipeline
+(:mod:`repro.pipeline`) — :meth:`BatchLens.pipeline` wraps the lens's
+bundle as a pipeline source, so a detector sweep plus ground-truth scoring
+is one spec away::
+
+    result = lens.pipeline(detectors="threshold(threshold=85)+flatline",
+                           sinks=("score",)).run()
+    result.flagged_machines()
+    result.scores                       # precision/recall per anomaly
+
+(The older :meth:`BatchLens.detect` survives as a deprecation-warned shim
+over the same pipeline.)  Every chart is also available as a plain *model*
+(``*_model`` methods via :class:`~repro.app.session.AnalysisSession`) for
+programmatic analysis.
 """
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 
 from repro.analysis.patterns import RegimeAssessment, classify_regime
@@ -125,9 +138,28 @@ class BatchLens:
 
         return scorecard(self.bundle)
 
+    def pipeline(self, **kwargs):
+        """A :class:`~repro.pipeline.Pipeline` over this lens's bundle.
+
+        Keyword arguments are the pipeline's (``detectors``, ``metrics``,
+        ``mode``, ``sinks``, ``streaming``)::
+
+            result = lens.pipeline(detectors="zscore(window=8)+flatline",
+                                   sinks=("score",)).run()
+        """
+        from repro.pipeline import Pipeline
+
+        return Pipeline.from_bundle(self.bundle, **kwargs)
+
     def detect(self, detector="threshold", *, metric: str = "cpu",
                window: tuple[float, float] | None = None) -> list:
         """Cluster-wide anomaly events of one detector, in a single pass.
+
+        .. deprecated::
+            Thin shim over :meth:`pipeline`; new code should run
+            ``lens.pipeline(detectors=..., sinks=()).run()`` and read
+            events / flagged machines / scores off the
+            :class:`~repro.pipeline.RunResult`.
 
         ``detector`` is a registered name (``threshold``, ``zscore``,
         ``ewma``, ``flatline``) or any detector instance; the sweep runs
@@ -139,10 +171,21 @@ class BatchLens:
 
             events = lens.detect("zscore", metric="mem")
         """
-        from repro.analysis.engine import default_engine
+        warnings.warn(
+            "BatchLens.detect is deprecated; use "
+            "lens.pipeline(detectors=..., sinks=()).run() instead",
+            DeprecationWarning, stacklevel=2)
+        if isinstance(detector, str):
+            from repro.pipeline import get_detector
 
-        events = default_engine().run(self.store, detector,
-                                      metric=metric).events()
+            name, instance = detector, get_detector(detector)
+        else:
+            from repro.analysis.engine import detector_kind
+
+            name, instance = detector_kind(detector), detector
+        result = self.pipeline(detectors={name: instance}, metrics=(metric,),
+                               sinks=()).run()
+        events = result.events()
         if window is not None:
             events = [e for e in events if e.overlaps(window[0], window[1])]
         return events

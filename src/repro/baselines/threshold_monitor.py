@@ -5,17 +5,19 @@ thresholds firing alerts, with no notion of the batch hierarchy.  The E9
 benchmark compares its alert quality against the BatchLens analysis layer
 (which knows which job caused what) on traces with injected anomalies.
 
-The scan sweeps every metric of the whole cluster through the vectorized
+The scan is a thin adapter over the declarative pipeline
+(:mod:`repro.pipeline`): one :class:`~repro.pipeline.Pipeline` batch run
+sweeps every metric of the whole cluster through the vectorized
 :class:`~repro.analysis.engine.DetectionEngine` — one array pass per metric
 instead of a per-machine, per-metric series loop.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.analysis.detectors import AnomalyEvent, ThresholdDetector
-from repro.analysis.engine import DetectionEngine
 from repro.metrics.store import MetricStore
 
 
@@ -51,17 +53,44 @@ class ThresholdMonitor:
     def scan(self, store: MetricStore) -> list[Alert]:
         """Scan every machine/metric block and collect alerts.
 
-        One engine pass per metric judges the whole cluster at once.
+        .. deprecated::
+            Thin shim over :class:`~repro.pipeline.Pipeline`; new code
+            should build the pipeline directly (see :meth:`scan_pipeline`)
+            and read alerts off the :class:`~repro.pipeline.RunResult`.
         """
+        warnings.warn(
+            "ThresholdMonitor.scan is deprecated; run "
+            "ThresholdMonitor.scan_pipeline(store).run() (or build a "
+            "repro.pipeline.Pipeline directly)", DeprecationWarning,
+            stacklevel=2)
+        result = self.scan_pipeline(store).run()
+        return self.ingest(result)
+
+    def scan_pipeline(self, store: MetricStore):
+        """The pipeline equivalent of one scan: one plan per metric.
+
+        One batch :class:`~repro.pipeline.Pipeline` run judges the whole
+        cluster — one vectorized engine pass per metric.
+        """
+        from repro.pipeline import DetectorPlan, Pipeline
+
+        plans = tuple(
+            DetectorPlan(
+                label=f"threshold@{metric}", name="threshold", metric=metric,
+                detector=ThresholdDetector(self._threshold_for(metric),
+                                           min_duration_s=self.min_duration_s))
+            for metric in store.metrics)
+        return Pipeline.from_store(store, plans=plans,
+                                   metrics=tuple(store.metrics), sinks=())
+
+    def ingest(self, result) -> list[Alert]:
+        """Fold a pipeline :class:`~repro.pipeline.RunResult` into alerts."""
         self.alerts = []
-        engine = DetectionEngine()
-        for metric in store.metrics:
-            threshold = self._threshold_for(metric)
-            detector = ThresholdDetector(threshold,
-                                         min_duration_s=self.min_duration_s)
-            for event in engine.run(store, detector, metric=metric).events():
+        for run in result.detections:
+            threshold = self._threshold_for(run.metric)
+            for event in run.result.events():
                 self.alerts.append(Alert(
-                    machine_id=event.subject, metric=metric,
+                    machine_id=event.subject, metric=run.metric,
                     start=event.start, end=event.end,
                     peak=event.score + threshold))
         self.alerts.sort(key=lambda a: (a.start, a.machine_id, a.metric))

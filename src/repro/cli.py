@@ -11,19 +11,26 @@ writing Python::
     python -m repro figures trace/ --job job_1042 --output-dir figs/
     python -m repro scenarios
     python -m repro detect --synthetic --scenario "memory-thrash+network-storm"
+    python -m repro detect --synthetic --scenario hotjob --json
+    python -m repro detect trace/ --detectors "threshold(threshold=85)+flatline"
     python -m repro monitor --synthetic --scenario thrashing
     python -m repro monitor --synthetic --scenario "diurnal+network-storm"
     python -m repro compare --synthetic --scenario thrashing
+    python -m repro pipeline spec.json
     python -m repro sla trace/
     python -m repro experiments --seed 2022 --output EXPERIMENTS_generated.md
 
 Every sub-command accepts either a directory of Alibaba-format CSVs or
-``--synthetic`` to generate a trace on the fly.
+``--synthetic`` to generate a trace on the fly.  The detection
+sub-commands (``detect``, ``monitor``, ``compare``) are thin adapters over
+the declarative pipeline (:mod:`repro.pipeline`); ``pipeline`` runs a full
+spec — a JSON file or inline JSON — end to end.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -32,10 +39,8 @@ from repro.app.batchlens import BatchLens
 from repro.app.export import case_study_narrative, export_job_figures
 from repro.config import TraceConfig, paper_scale_config
 from repro.errors import BatchLensError
-from repro.report.comparison import compare_detection_quality, render_comparison
+from repro.report.comparison import comparison_to_dict
 from repro.report.experiments import render_experiments, run_experiment_suite
-from repro.stream.monitor import MonitorConfig
-from repro.stream.replay import replay_with_alerts
 from repro.trace.loader import load_trace
 from repro.trace.records import TraceBundle
 from repro.trace.synthetic import generate_trace
@@ -148,11 +153,24 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 
 def cmd_monitor(args: argparse.Namespace) -> int:
-    """Replay a trace through the online monitor (the §VI real-time extension)."""
+    """Replay a trace through the online monitor (the §VI real-time extension).
+
+    A thin adapter over a streaming-mode :class:`~repro.pipeline.Pipeline`
+    with sample cadence — alert-for-alert identical to the pre-pipeline
+    replay loop.
+    """
+    from repro.pipeline import Pipeline, StreamingOptions
+
     bundle = _resolve_bundle(args)
-    config = MonitorConfig(utilisation_threshold=args.threshold)
-    report, manager = replay_with_alerts(bundle, monitor_config=config,
-                                         window_samples=args.window_samples)
+    result = Pipeline.from_bundle(
+        bundle, mode="streaming", plans=(), sinks=(),
+        streaming=StreamingOptions(threshold=args.threshold,
+                                   window_samples=args.window_samples,
+                                   cadence="sample")).run()
+    report, manager = result.replay, result.alert_manager
+    if report is None:
+        print("trace carries no samples to replay")
+        return 0
     print(f"replayed {report.samples_replayed} samples "
           f"({report.duration_s / 3600:.1f} h of trace time)")
     print(f"final regime: {report.final_regime}; "
@@ -172,15 +190,26 @@ def cmd_monitor(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    """Compare BatchLens detection quality against the threshold baseline."""
+    """Compare BatchLens detection quality against the threshold baseline.
+
+    A thin adapter over a :class:`~repro.pipeline.Pipeline` whose
+    ``comparison`` sink produces the report; ``--json`` emits the
+    machine-readable form for CI.
+    """
+    from repro.pipeline import Pipeline
+
     bundle = _resolve_bundle(args)
-    comparison = compare_detection_quality(bundle, threshold=args.threshold)
-    markdown = render_comparison(comparison)
+    result = Pipeline.from_bundle(
+        bundle, plans=(),
+        sinks=({"kind": "comparison", "threshold": args.threshold},)).run()
+    comparison = result.outputs["comparison"]
+    text = (json.dumps(comparison_to_dict(comparison), indent=2) if args.json
+            else result.outputs["comparison_markdown"])
     if args.output is not None:
-        Path(args.output).write_text(markdown, encoding="utf-8")
+        Path(args.output).write_text(text, encoding="utf-8")
         print(f"comparison written to {args.output}")
     else:
-        print(markdown)
+        print(text)
     return 0
 
 
@@ -205,28 +234,35 @@ def cmd_sla(args: argparse.Namespace) -> int:
 def cmd_detect(args: argparse.Namespace) -> int:
     """Sweep the cluster with the detection engine and score the manifest.
 
-    The sweep judges every machine at once per detector (one vectorized
-    array pass, see :mod:`repro.analysis.engine`); when the trace carries a
-    ground-truth manifest, every entry is then scored with the detector it
-    declares and printed as a precision/recall table.
+    A thin adapter over a batch :class:`~repro.pipeline.Pipeline`: every
+    detector of ``--detectors`` (default: all registered) judges every
+    machine in one vectorized array pass, and when the trace carries a
+    ground-truth manifest the ``score`` sink turns every entry into a
+    precision/recall row.  ``--json`` emits the machine-readable run
+    summary instead of the pretty-printed tables.
     """
-    from repro.analysis.engine import DetectionEngine
-    from repro.scenarios.scoring import score_bundle
+    from repro.pipeline import Pipeline
 
     bundle = _resolve_bundle(args)
     store = bundle.usage
     if store is None or store.num_samples == 0:
         raise BatchLensError("trace carries no server-usage data to sweep")
-    engine = DetectionEngine()
+    run = Pipeline.from_bundle(bundle, detectors=args.detectors,
+                               metrics=(args.metric,),
+                               sinks=({"kind": "score"},)).run()
+    if args.json:
+        payload = run.to_dict()
+        payload["scenario"] = str(bundle.meta.get("scenario", "unknown"))
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"engine sweep on {args.metric!r}: {store.num_machines} machine(s), "
           f"{store.num_samples} sample(s)")
-    for name in sorted(engine.detectors):
-        result = engine.run(store, name, metric=args.metric)
-        flagged = result.flagged_machines()
-        print(f"  {name}: {result.num_events} event(s) on "
+    for detection in run.detections:
+        flagged = detection.result.flagged_machines()
+        print(f"  {detection.label}: {detection.result.num_events} event(s) on "
               f"{len(flagged)} machine(s)")
 
-    scored = score_bundle(bundle)
+    scored = run.scores
     if not scored:
         print("\nno ground-truth manifest to score (generate with --synthetic "
               "and a composed --scenario)")
@@ -249,6 +285,31 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    """Run a full declarative pipeline spec end to end.
+
+    ``spec`` is a path to a JSON spec file, inline JSON, or a shorthand
+    (an existing trace directory, or a scenario spec for a synthetic
+    source).  Prints the Markdown run report, or the JSON summary with
+    ``--json``.
+    """
+    from repro.pipeline import Pipeline
+    from repro.report.pipeline import render_run_markdown
+
+    text = args.spec
+    path = Path(text)
+    if path.is_file():
+        text = path.read_text(encoding="utf-8")
+    result = Pipeline.from_spec(text).run()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    elif "report" in result.outputs:
+        print(result.outputs["report"])
+    else:
+        print(render_run_markdown(result))
+    return 0
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     """List registered scenarios, fault injectors and composition syntax."""
     from repro.scenarios import SCENARIO_ALIASES, list_injectors
@@ -266,6 +327,15 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     print("\ncompose injectors into one scenario, with optional parameters:")
     print("  --scenario 'diurnal(amplitude=40)+network-storm'")
     print("  --scenario 'background(cpu_offset=35)+maintenance-drain'")
+
+    from repro.pipeline import list_detectors, sink_names
+
+    print("\nregistered detectors (composable with '+', see `repro detect "
+          "--detectors`):")
+    for info in list_detectors():
+        print(f"  {info.name}: {info.summary}")
+    print("\nregistered pipeline sinks (for `repro pipeline` specs):")
+    print(f"  {', '.join(sink_names())}")
     return 0
 
 
@@ -345,6 +415,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="baseline alert threshold in percent")
     compare.add_argument("--output", type=Path, default=None,
                          help="write the Markdown report here instead of stdout")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the machine-readable comparison for CI")
     compare.set_defaults(func=cmd_compare)
 
     sla = sub.add_parser("sla", help="evaluate every job against the SLA policy")
@@ -362,7 +434,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_source(detect)
     detect.add_argument("--metric", default="cpu",
                         help="metric the engine sweep judges (default: cpu)")
+    detect.add_argument("--detectors", default=None,
+                        help="composed detector spec such as "
+                             "'threshold(threshold=85)+flatline' "
+                             "(default: every registered detector)")
+    detect.add_argument("--json", action="store_true",
+                        help="emit the machine-readable run summary for CI")
     detect.set_defaults(func=cmd_detect)
+
+    pipeline = sub.add_parser(
+        "pipeline", help="run a declarative pipeline spec "
+                         "(JSON file, inline JSON, or shorthand) end to end")
+    pipeline.add_argument("spec",
+                          help="path to a JSON spec file, inline JSON, an "
+                               "existing trace directory, or a scenario spec "
+                               "for a synthetic source")
+    pipeline.add_argument("--json", action="store_true",
+                          help="emit the machine-readable run summary for CI")
+    pipeline.set_defaults(func=cmd_pipeline)
 
     scenarios = sub.add_parser(
         "scenarios", help="list registered scenarios and fault injectors")

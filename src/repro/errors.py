@@ -63,3 +63,13 @@ class RenderError(BatchLensError):
 
 class ConfigError(BatchLensError):
     """A configuration object carries out-of-range or inconsistent values."""
+
+
+class PipelineError(BatchLensError):
+    """A pipeline spec is malformed or names unknown components.
+
+    Raised by :mod:`repro.pipeline` when a declarative spec cannot be
+    resolved (unknown detector, sink or source kind, missing required
+    fields); the message always lists the registered names, so a typo is a
+    one-line fix instead of a traceback hunt.
+    """

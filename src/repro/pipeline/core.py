@@ -1,0 +1,453 @@
+"""The unified declarative pipeline: source → detectors → sinks.
+
+One :class:`Pipeline` object captures an entire detection workflow the way
+one scenario spec captures an entire workload: a **source** (trace
+directory, synthetic scenario spec, or an in-memory bundle/store), a
+**detector stack** (a composed spec string such as
+``"threshold(threshold=85)+flatline"`` resolved by the detector registry),
+an execution **mode**, and **sinks** consuming the verdict.  Batch mode
+executes every detector × metric through the vectorized
+:class:`~repro.analysis.engine.DetectionEngine` in one array pass each;
+streaming mode folds the source through
+:meth:`~repro.stream.monitor.OnlineMonitor.catch_up` (or a sample-by-sample
+replay).  Either way :meth:`Pipeline.run` returns one :class:`RunResult`.
+
+Typical use::
+
+    from repro.pipeline import Pipeline
+
+    # declarative — everything is data
+    result = Pipeline.from_spec({
+        "source": {"kind": "synthetic",
+                   "scenario": "machine-failure+network-storm", "seed": 5},
+        "detectors": "threshold+flatline",
+        "sinks": ["score", "report"],
+    }).run()
+    result.flagged_machines()          # who was flagged
+    result.scores                      # precision/recall vs. ground truth
+    result.outputs["report"]           # rendered Markdown
+
+    # programmatic — wrap data you already hold
+    result = Pipeline.from_bundle(bundle, detectors="ewma").run()
+
+Every detection consumer in the repository — ``BatchLens.detect``, the
+threshold-monitor baseline, the manifest scoring runners and the ``repro
+detect`` / ``repro monitor`` / ``repro compare`` sub-commands — is a thin
+adapter over this class; new consumers (and future sharded or multi-backend
+executors) should slot in behind :meth:`Pipeline.run` instead of re-plumbing
+source→store→detector→report by hand.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import PipelineError
+from repro.pipeline.detectors import (
+    canonical_detector_spec,
+    detector_names,
+    resolve_detectors,
+)
+from repro.pipeline.spec import (
+    MODES,
+    DetectorPlan,
+    SourceSpec,
+    StreamingOptions,
+    normalise_sinks,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.detectors import AnomalyEvent
+    from repro.analysis.engine import EngineResult
+    from repro.metrics.store import MetricStore
+    from repro.trace.records import TraceBundle
+
+
+@dataclass(frozen=True)
+class DetectorRun:
+    """One detector's cluster-wide verdict inside a pipeline run."""
+
+    label: str
+    name: str
+    metric: str
+    result: "EngineResult"
+
+
+@dataclass
+class RunResult:
+    """Everything one :meth:`Pipeline.run` produced.
+
+    An empty source (no usage data, zero samples) yields an empty
+    ``RunResult`` — no detections, no events, no alerts — never an error.
+    Events are materialised lazily from the underlying
+    :class:`~repro.analysis.engine.EngineResult` blocks, so a caller that
+    only wants flagged machines or scores never pays for event objects.
+    """
+
+    mode: str
+    metrics: tuple[str, ...] = ()
+    machine_ids: tuple[str, ...] = ()
+    num_samples: int = 0
+    detections: tuple[DetectorRun, ...] = ()
+    scores: tuple = ()                      # ScoredEntry rows (score sink)
+    alerts: tuple = ()                      # MonitorAlert rows (streaming)
+    monitor: object | None = None           # OnlineMonitor (streaming)
+    replay: object | None = None            # ReplayReport (sample cadence)
+    alert_manager: object | None = None     # AlertManager (sample cadence)
+    outputs: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return self.num_samples == 0
+
+    @property
+    def num_events(self) -> int:
+        return sum(run.result.num_events for run in self.detections)
+
+    def events(self) -> "list[AnomalyEvent]":
+        """All detections' events, in plan order then (machine, start)."""
+        out: list = []
+        for run in self.detections:
+            out.extend(run.result.events())
+        return out
+
+    def detection(self, label: str) -> DetectorRun:
+        for run in self.detections:
+            if run.label == label:
+                return run
+        raise PipelineError(
+            f"no detection labelled {label!r}; ran: "
+            f"{[run.label for run in self.detections]}")
+
+    def flagged_machines(self, label: str | None = None, *,
+                         window: tuple[float, float] | None = None) -> set[str]:
+        """Machines flagged by one detection (or any, when ``label`` is None).
+
+        ``window`` filters the counted events by overlap — the same
+        semantics the ground-truth scoring runners use.
+        """
+        runs = (self.detections if label is None
+                else (self.detection(label),))
+        flagged: set[str] = set()
+        for run in runs:
+            flagged |= run.result.flagged_machines(window)
+        if label is None and self.alerts:
+            flagged |= {alert.subject for alert in self.alerts
+                        if alert.subject != "cluster"}
+        return flagged
+
+    def alerts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for alert in self.alerts:
+            counts[alert.kind] = counts.get(alert.kind, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (the ``--json`` CLI surface)."""
+        from repro.report.pipeline import run_result_to_dict
+
+        return run_result_to_dict(self)
+
+
+class Pipeline:
+    """One spec-driven detection workflow: source → detectors → sinks."""
+
+    def __init__(self, source: SourceSpec, *,
+                 detectors: "str | Mapping[str, object] | None" = None,
+                 plans: "tuple[DetectorPlan, ...] | None" = None,
+                 metrics: "tuple[str, ...] | str" = ("cpu",),
+                 mode: str = "batch",
+                 sinks=("score",),
+                 streaming: StreamingOptions | None = None) -> None:
+        if not isinstance(source, SourceSpec):
+            raise PipelineError(
+                f"source must be a SourceSpec, got {source!r}; use "
+                f"Pipeline.from_spec / from_bundle / from_store")
+        if mode not in MODES:
+            raise PipelineError(
+                f"unknown pipeline mode {mode!r}; expected one of {list(MODES)}")
+        if isinstance(metrics, str):
+            metrics = (metrics,)
+        self.source = source
+        self.mode = mode
+        self.metrics = tuple(metrics)
+        self.streaming = streaming if streaming is not None else StreamingOptions()
+        self.sinks = normalise_sinks(sinks)
+        from repro.pipeline.sinks import validate_sinks
+
+        validate_sinks(self.sinks)
+        self._detector_spec: str | None = None
+        if plans is not None:
+            if detectors is not None:
+                raise PipelineError("pass either 'detectors' or 'plans', not both")
+            self.plans = tuple(plans)
+        else:
+            self.plans = self._compile(detectors)
+
+    # -- construction ---------------------------------------------------------
+    def _compile(self, detectors) -> tuple[DetectorPlan, ...]:
+        """Cross detector stack × metrics into concrete plans."""
+        if detectors is None:
+            detectors = "+".join(detector_names())
+        if isinstance(detectors, str):
+            self._detector_spec = canonical_detector_spec(detectors)
+            stack = resolve_detectors(self._detector_spec)
+        elif isinstance(detectors, Mapping):
+            stack = list(detectors.items())
+        else:
+            raise PipelineError(
+                f"detectors must be a composed spec string or a "
+                f"{{name: instance}} mapping, got {detectors!r}")
+        plans: list[DetectorPlan] = []
+        seen: dict[str, int] = {}
+        for name, instance in stack:
+            occurrence = seen.get(name, 0)
+            seen[name] = occurrence + 1
+            for metric in self.metrics:
+                label = name if occurrence == 0 else f"{name}#{occurrence + 1}"
+                if len(self.metrics) > 1:
+                    label = f"{label}@{metric}"
+                plans.append(DetectorPlan(label=label, name=name,
+                                          metric=metric, detector=instance))
+        return tuple(plans)
+
+    @classmethod
+    def from_spec(cls, spec: "dict | str") -> "Pipeline":
+        """Build a pipeline declaratively from a dict (or string) spec.
+
+        A string spec is either JSON text (when it starts with ``{``), an
+        existing trace directory, or a scenario spec for a synthetic
+        source — ``Pipeline.from_spec("diurnal+network-storm")`` is the
+        one-line scored-batch form.
+        """
+        if isinstance(spec, str):
+            text = spec.strip()
+            if text.startswith("{"):
+                try:
+                    spec = json.loads(text)
+                except json.JSONDecodeError as exc:
+                    raise PipelineError(
+                        f"pipeline spec is not valid JSON: {exc}") from None
+            else:
+                spec = {"source": SourceSpec.from_shorthand(text).to_dict()}
+        if not isinstance(spec, Mapping):
+            raise PipelineError(
+                f"pipeline spec must be a mapping or string, got {spec!r}")
+        known = {"source", "mode", "detectors", "metrics", "sinks", "streaming"}
+        unknown = set(spec) - known
+        if unknown:
+            raise PipelineError(
+                f"unknown pipeline spec key(s) {sorted(unknown)}; expected "
+                f"{sorted(known)}")
+        if "source" not in spec:
+            raise PipelineError("pipeline spec needs a 'source'")
+        source = spec["source"]
+        if isinstance(source, str):
+            source = SourceSpec.from_shorthand(source)
+        else:
+            source = SourceSpec.from_dict(source)
+        detectors = spec.get("detectors")
+        if isinstance(detectors, (list, tuple)):
+            detectors = "+".join(detectors)
+        metrics = spec.get("metrics", ("cpu",))
+        if isinstance(metrics, str):
+            metrics = (metrics,)
+        streaming = spec.get("streaming")
+        return cls(source,
+                   detectors=detectors,
+                   metrics=tuple(metrics),
+                   mode=str(spec.get("mode", "batch")),
+                   sinks=spec.get("sinks", ("score",)),
+                   streaming=(StreamingOptions.from_dict(streaming)
+                              if streaming is not None else None))
+
+    @classmethod
+    def from_bundle(cls, bundle: "TraceBundle", **kwargs) -> "Pipeline":
+        """Wrap an already-loaded or freshly-generated bundle."""
+        return cls(SourceSpec(kind="bundle", bundle=bundle), **kwargs)
+
+    @classmethod
+    def from_store(cls, store: "MetricStore", **kwargs) -> "Pipeline":
+        """Wrap a bare metric store (no batch hierarchy, no manifest)."""
+        return cls(SourceSpec(kind="store", store=store), **kwargs)
+
+    # -- spec round-trip ------------------------------------------------------
+    def to_spec(self) -> dict:
+        """The canonical dict spec (``Pipeline.from_spec(p.to_spec()) == p``).
+
+        Only spec-buildable pipelines serialise: the source must be
+        ``trace-dir`` or ``synthetic`` and the detectors must have come from
+        a composed spec string (explicit instances and hand-built plans
+        carry live objects a dict cannot express).
+        """
+        if self._detector_spec is None:
+            raise PipelineError(
+                "this pipeline was built from detector instances; only "
+                "spec-string detectors serialise to a spec")
+        spec: dict = {
+            "source": self.source.to_dict(),
+            "mode": self.mode,
+            "detectors": self._detector_spec,
+            "metrics": list(self.metrics),
+            "sinks": [dict(sink) for sink in self.sinks],
+        }
+        if self.mode == "streaming":
+            spec["streaming"] = self.streaming.to_dict()
+        return spec
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pipeline):
+            return NotImplemented
+        try:
+            return self.to_spec() == other.to_spec()
+        except PipelineError:
+            return self is other
+
+    __hash__ = None  # mutable-ish; equality is by spec
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Pipeline(mode={self.mode!r}, source={self.source.kind!r}, "
+                f"plans={[plan.label for plan in self.plans]}, "
+                f"sinks={[sink['kind'] for sink in self.sinks]})")
+
+    # -- source resolution ----------------------------------------------------
+    def _resolve_source(self) -> "tuple[TraceBundle | None, MetricStore | None]":
+        """Materialise the source into ``(bundle, store)``.
+
+        ``bundle`` is ``None`` for bare-store sources (scoring and report
+        sinks that need the batch hierarchy or manifest will say so).
+        """
+        source = self.source
+        if source.kind == "bundle":
+            return source.bundle, source.bundle.usage
+        if source.kind == "store":
+            return None, source.store
+        if source.kind == "trace-dir":
+            from repro.trace.loader import load_trace
+
+            bundle = load_trace(source.path)
+            return bundle, bundle.usage
+        # synthetic
+        from repro.trace.synthetic import generate_trace
+
+        config = self._synthetic_config()
+        bundle = generate_trace(config, scenario=source.scenario,
+                                seed=source.seed)
+        return bundle, bundle.usage
+
+    def _synthetic_config(self):
+        from repro.config import (
+            ClusterConfig,
+            TraceConfig,
+            UsageConfig,
+            WorkloadConfig,
+            paper_scale_config,
+        )
+
+        source = self.source
+        if source.paper_scale:
+            return paper_scale_config()
+        overrides = dict(source.config)
+        kwargs = {}
+        if "num_machines" in overrides:
+            kwargs["cluster"] = ClusterConfig(
+                num_machines=overrides["num_machines"])
+        if "num_jobs" in overrides:
+            kwargs["workload"] = WorkloadConfig(num_jobs=overrides["num_jobs"])
+        if "resolution_s" in overrides:
+            kwargs["usage"] = UsageConfig(
+                resolution_s=overrides["resolution_s"])
+        if "horizon_s" in overrides:
+            kwargs["horizon_s"] = overrides["horizon_s"]
+        return TraceConfig(**kwargs)
+
+    # -- execution ------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the pipeline end to end and return one :class:`RunResult`.
+
+        An empty source (no usage table, or zero samples) yields an empty
+        result — callers never special-case "trace too small".  Sinks run
+        either way, so every spec-requested output is produced.
+        """
+        started = time.perf_counter()
+        bundle, store = self._resolve_source()
+        source_s = time.perf_counter() - started
+        if store is None or store.num_samples == 0:
+            # Degenerate source: no detections/alerts, but the sinks still
+            # run so spec-requested outputs (report, json, ...) are always
+            # produced — sinks that genuinely need samples say so.
+            result = RunResult(mode=self.mode,
+                               metrics=self.metrics,
+                               machine_ids=(tuple(store.machine_ids)
+                                            if store is not None else ()))
+        elif self.mode == "batch":
+            result = self._run_batch(store)
+        else:
+            result = self._run_streaming(bundle, store)
+        detect_s = time.perf_counter() - started - source_s
+        result.timings.update({"source_s": source_s, "detect_s": detect_s})
+        sink_started = time.perf_counter()
+        self._run_sinks(result, bundle, store)
+        result.timings["sinks_s"] = time.perf_counter() - sink_started
+        result.timings["total_s"] = time.perf_counter() - started
+        return result
+
+    def _run_batch(self, store: "MetricStore") -> RunResult:
+        from repro.analysis.engine import DetectionEngine
+
+        engine = DetectionEngine(detectors={})
+        detections = tuple(
+            DetectorRun(label=plan.label, name=plan.name, metric=plan.metric,
+                        result=engine.run(store, plan.detector,
+                                          metric=plan.metric))
+            for plan in self.plans)
+        return RunResult(mode="batch", metrics=self.metrics,
+                         machine_ids=tuple(store.machine_ids),
+                         num_samples=store.num_samples,
+                         detections=detections)
+
+    def _run_streaming(self, bundle, store: "MetricStore") -> RunResult:
+        from repro.stream.monitor import MonitorConfig, OnlineMonitor
+
+        options = self.streaming
+        config = MonitorConfig(utilisation_threshold=options.threshold)
+        if options.cadence == "sample":
+            if bundle is None:
+                raise PipelineError(
+                    "sample-cadence streaming replays a full trace bundle; "
+                    "a bare metric store only supports cadence='catch-up'")
+            from repro.stream.replay import TraceReplayer
+
+            replayer = TraceReplayer(bundle, monitor_config=config,
+                                     window_samples=options.window_samples)
+            report = replayer.run_to_end()
+            return RunResult(mode="streaming", metrics=self.metrics,
+                             machine_ids=tuple(store.machine_ids),
+                             num_samples=store.num_samples,
+                             alerts=tuple(replayer.monitor.alerts),
+                             replay=report, alert_manager=replayer.alerts,
+                             monitor=replayer.monitor)
+        monitor = OnlineMonitor(store.machine_ids, config=config,
+                                window_samples=options.window_samples)
+        alerts = monitor.catch_up(store)
+        return RunResult(mode="streaming", metrics=self.metrics,
+                         machine_ids=tuple(store.machine_ids),
+                         num_samples=store.num_samples,
+                         alerts=tuple(alerts), monitor=monitor)
+
+    def _run_sinks(self, result: RunResult, bundle, store) -> None:
+        from repro.pipeline.sinks import run_sink
+
+        for sink in self.sinks:
+            run_sink(sink, result, bundle=bundle, store=store, pipeline=self)
+
+
+__all__ = [
+    "DetectorRun",
+    "Pipeline",
+    "RunResult",
+]

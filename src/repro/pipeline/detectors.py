@@ -1,0 +1,149 @@
+"""The detector registry: string specs resolving to detector factories.
+
+Exactly parallel to the scenario registry (:mod:`repro.scenarios.registry`):
+where a workload is named by a composed spec such as
+``"diurnal+network-storm"``, a detector stack is named by a composed spec
+such as::
+
+    "threshold(threshold=85)+flatline"
+    "ewma(alpha=0.3,deviation_threshold=12)+zscore(window=8)"
+
+Grammar and parameter parsing are shared with the scenario spec parser
+(:func:`repro.scenarios.spec.parse_scenario_spec`): ``name(key=value,...)``
+parts joined with ``+``.  Part names resolve against a registry seeded with
+every detector class of :data:`repro.analysis.detectors.DETECTORS`
+(``threshold``, ``zscore``, ``ewma``, ``flatline``); third-party detectors
+join via :func:`register_detector` and immediately become addressable from
+pipeline specs and the CLI.
+
+Unknown names raise :class:`~repro.errors.PipelineError` listing the
+registered names — a typo is a one-line message, never a traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.detectors import DETECTORS
+from repro.errors import BatchLensError, PipelineError
+from repro.scenarios.spec import parse_scenario_spec
+
+
+@dataclass(frozen=True)
+class DetectorInfo:
+    """Registry row for one detector factory."""
+
+    name: str
+    factory: Callable[..., object]
+    summary: str
+
+
+_DETECTORS: dict[str, DetectorInfo] = {}
+
+
+def register_detector(name: str, factory: Callable[..., object],
+                      summary: str = "") -> None:
+    """Register (or replace) a detector factory under ``name``.
+
+    ``factory(**kwargs)`` must return a detector exposing ``detect`` /
+    ``detect_block`` (subclassing
+    :class:`~repro.analysis.detectors.BlockDetector` gives both for free).
+    """
+    if not name or "+" in name or "(" in name:
+        raise PipelineError(f"invalid detector name {name!r}")
+    _DETECTORS[name] = DetectorInfo(name=name, factory=factory, summary=summary)
+
+
+def detector_names() -> list[str]:
+    """Registered detector names, sorted."""
+    return sorted(_DETECTORS)
+
+
+def list_detectors() -> list[DetectorInfo]:
+    """Registry rows of every detector, sorted by name."""
+    return [_DETECTORS[name] for name in detector_names()]
+
+
+def get_detector(name: str, **kwargs) -> object:
+    """Instantiate one registered detector."""
+    try:
+        info = _DETECTORS[name]
+    except KeyError:
+        raise PipelineError(
+            f"unknown detector {name!r}; registered: "
+            f"{detector_names()}") from None
+    try:
+        return info.factory(**kwargs)
+    except TypeError as exc:
+        raise PipelineError(
+            f"detector {name!r} rejected parameters {kwargs!r}: {exc}") from None
+
+
+register_detector(
+    "threshold", DETECTORS["threshold"],
+    "samples exceeding a static utilisation threshold")
+register_detector(
+    "zscore", DETECTORS["zscore"],
+    "samples whose rolling z-score exceeds a cut-off")
+register_detector(
+    "ewma", DETECTORS["ewma"],
+    "samples deviating strongly from an EWMA forecast")
+register_detector(
+    "flatline", DETECTORS["flatline"],
+    "sustained stretches at (effectively) zero — dead machines")
+
+
+def parse_detector_spec(spec: str) -> list[tuple[str, dict]]:
+    """Parse a composed detector spec into ``(name, kwargs)`` parts.
+
+    Names are validated against the registry here (unlike the scenario
+    parser, which defers resolution), so a malformed or unknown spec fails
+    with one actionable message before any data is touched.
+    """
+    try:
+        parts = parse_scenario_spec(spec)
+    except BatchLensError as exc:
+        raise PipelineError(f"malformed detector spec {spec!r}: {exc}") from None
+    out: list[tuple[str, dict]] = []
+    for part in parts:
+        if part.name not in _DETECTORS:
+            raise PipelineError(
+                f"unknown detector {part.name!r} in spec {spec!r}; "
+                f"registered: {detector_names()}")
+        out.append((part.name, dict(part.kwargs)))
+    return out
+
+
+def resolve_detectors(spec: str) -> list[tuple[str, object]]:
+    """Instantiate every part of a composed detector spec, in order.
+
+    Returns ``(name, detector_instance)`` pairs; duplicate names are allowed
+    (two thresholds at different levels) and keep their spec order.
+    """
+    return [(name, get_detector(name, **kwargs))
+            for name, kwargs in parse_detector_spec(spec)]
+
+
+def canonical_detector_spec(spec: str) -> str:
+    """Normalise a detector spec string (validates, strips whitespace)."""
+    parts = []
+    for name, kwargs in parse_detector_spec(spec):
+        if kwargs:
+            inner = ",".join(f"{k}={v}" for k, v in kwargs.items())
+            parts.append(f"{name}({inner})")
+        else:
+            parts.append(name)
+    return "+".join(parts)
+
+
+__all__ = [
+    "DetectorInfo",
+    "canonical_detector_spec",
+    "detector_names",
+    "get_detector",
+    "list_detectors",
+    "parse_detector_spec",
+    "register_detector",
+    "resolve_detectors",
+]

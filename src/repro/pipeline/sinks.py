@@ -1,0 +1,172 @@
+"""The sink registry: what happens to a pipeline's verdict.
+
+Sinks are the third leg of the declarative pipeline (source → detectors →
+**sinks**), registered by name exactly like injectors and detectors, so a
+spec can say ``"sinks": ["score", "report"]`` and a new destination is one
+:func:`register_sink` call away.  Built-ins:
+
+``score``
+    precision/recall of every ground-truth manifest entry, via the
+    :mod:`repro.scenarios.scoring` runners → ``result.scores`` (quietly
+    empty on bare stores and manifest-less bundles);
+``report``
+    human-readable Markdown of the whole run → ``result.outputs["report"]``
+    (optionally written to ``{"kind": "report", "path": ...}``);
+``json``
+    the machine-readable run summary → ``result.outputs["json"]`` (dict;
+    with ``path``, also written as JSON text);
+``comparison``
+    BatchLens vs. threshold-baseline detection quality
+    (:mod:`repro.report.comparison`) → ``result.outputs["comparison"]`` and
+    the rendered ``result.outputs["comparison_markdown"]``;
+``alerts``
+    streaming alert counts by kind → ``result.outputs["alerts"]``;
+``dashboard``
+    the linked-view HTML dashboard written to ``path`` →
+    ``result.outputs["dashboard"]``.
+
+Every sink receives the finished :class:`~repro.pipeline.core.RunResult`
+plus the resolved bundle/store, and stores what it produced under its kind
+in ``result.outputs``.  Sinks needing the batch hierarchy
+(``comparison``, ``dashboard``) raise
+:class:`~repro.errors.PipelineError` on bare-store sources.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import PipelineError
+
+#: ``{name: sink(result, bundle, store, options)}``
+_SINKS: dict[str, Callable] = {}
+
+
+def register_sink(name: str, sink: Callable) -> None:
+    """Register (or replace) a sink under ``name``.
+
+    ``sink(result, bundle, store, options)`` must store anything it
+    produces in ``result.outputs``; ``options`` is the sink's spec entry
+    minus the ``kind`` key.
+    """
+    if not name:
+        raise PipelineError("sink name must be non-empty")
+    _SINKS[name] = sink
+
+
+def sink_names() -> list[str]:
+    """Registered sink names, sorted."""
+    return sorted(_SINKS)
+
+
+def validate_sinks(sinks: tuple[dict, ...]) -> None:
+    """Fail fast on unknown sink kinds (before any data is touched)."""
+    for sink in sinks:
+        if sink["kind"] not in _SINKS:
+            raise PipelineError(
+                f"unknown sink {sink['kind']!r}; registered: {sink_names()}")
+
+
+def run_sink(sink_spec: dict, result, *, bundle, store, pipeline) -> None:
+    """Execute one normalised sink spec against a finished result."""
+    options = {k: v for k, v in sink_spec.items() if k != "kind"}
+    _SINKS[sink_spec["kind"]](result, bundle=bundle, store=store,
+                              options=options)
+
+
+def _need_bundle(bundle, sink: str):
+    if bundle is None:
+        raise PipelineError(
+            f"the {sink!r} sink needs a full trace bundle (batch hierarchy "
+            f"/ ground-truth manifest); this pipeline runs on a bare metric "
+            f"store")
+    return bundle
+
+
+# -- built-ins ----------------------------------------------------------------
+def _score_sink(result, *, bundle, store, options) -> None:
+    """Precision/recall of every manifest entry.
+
+    Quietly empty when the source is a bare store, carries no samples, or
+    the bundle has no ground-truth manifest — scoring is opportunistic,
+    not a precondition.
+    """
+    from repro.scenarios.scoring import score_bundle
+
+    result.scores = (() if bundle is None or result.empty
+                     else tuple(score_bundle(bundle)))
+    result.outputs["score"] = result.scores
+
+
+def _report_sink(result, *, bundle, store, options) -> None:
+    from repro.report.pipeline import render_run_markdown
+
+    markdown = render_run_markdown(
+        result, scenario=None if bundle is None else
+        str(bundle.meta.get("scenario", "unknown")))
+    result.outputs["report"] = markdown
+    path = options.get("path")
+    if path is not None:
+        Path(path).write_text(markdown, encoding="utf-8")
+
+
+def _json_sink(result, *, bundle, store, options) -> None:
+    from repro.report.pipeline import run_result_to_dict
+
+    payload = run_result_to_dict(result)
+    result.outputs["json"] = payload
+    path = options.get("path")
+    if path is not None:
+        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def _comparison_sink(result, *, bundle, store, options) -> None:
+    from repro.report.comparison import (
+        compare_detection_quality,
+        render_comparison,
+    )
+
+    if result.empty:
+        raise PipelineError(
+            "the 'comparison' sink needs usage samples; the source is empty")
+    report = compare_detection_quality(
+        _need_bundle(bundle, "comparison"),
+        threshold=float(options.get("threshold", 95.0)))
+    result.outputs["comparison"] = report
+    result.outputs["comparison_markdown"] = render_comparison(report)
+
+
+def _alerts_sink(result, *, bundle, store, options) -> None:
+    result.outputs["alerts"] = result.alerts_by_kind()
+
+
+def _dashboard_sink(result, *, bundle, store, options) -> None:
+    from repro.app.batchlens import BatchLens
+
+    path = options.get("path")
+    if path is None:
+        raise PipelineError("the 'dashboard' sink needs a 'path' option")
+    lens = BatchLens.from_bundle(_need_bundle(bundle, "dashboard"))
+    timestamp = options.get("timestamp")
+    if timestamp is None:
+        start, end = lens.time_extent
+        timestamp = (start + end) / 2
+    result.outputs["dashboard"] = lens.save_dashboard(float(timestamp), path)
+
+
+register_sink("score", _score_sink)
+register_sink("report", _report_sink)
+register_sink("json", _json_sink)
+register_sink("comparison", _comparison_sink)
+register_sink("alerts", _alerts_sink)
+register_sink("dashboard", _dashboard_sink)
+
+
+__all__ = [
+    "register_sink",
+    "run_sink",
+    "sink_names",
+    "validate_sinks",
+]

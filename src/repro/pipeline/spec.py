@@ -1,0 +1,256 @@
+"""Declarative pipeline specifications.
+
+A *pipeline spec* is the data form of one end-to-end detection run: where
+the trace comes from (**source**), which detectors judge it (**detectors**,
+a composed spec string resolved by :mod:`repro.pipeline.detectors`), how it
+executes (**mode**: one vectorized batch pass or a streaming catch-up), and
+what happens to the verdict (**sinks**).  The canonical shape::
+
+    {
+        "source": {"kind": "synthetic",
+                   "scenario": "memory-thrash+network-storm", "seed": 7},
+        "mode": "batch",                      # or "streaming"
+        "detectors": "threshold(threshold=85)+flatline",
+        "metrics": ["cpu"],
+        "sinks": [{"kind": "score"}, {"kind": "report"}],
+    }
+
+Sources
+-------
+``{"kind": "trace-dir", "path": ...}``
+    load the Alibaba-format CSV tables under ``path``;
+``{"kind": "synthetic", "scenario": ..., "seed": ..., "paper_scale": ...,
+"config": {...}}``
+    generate a trace on the fly — ``scenario`` accepts everything the
+    scenario registry resolves, and the optional ``config`` block
+    (``num_machines`` / ``num_jobs`` / ``horizon_s`` / ``resolution_s``)
+    sizes the cluster;
+``bundle`` / ``store``
+    programmatic sources carrying an in-memory
+    :class:`~repro.trace.records.TraceBundle` or
+    :class:`~repro.metrics.store.MetricStore`; these cannot appear in a
+    serialised spec (they are what :meth:`Pipeline.from_bundle` /
+    :meth:`Pipeline.from_store` build).
+
+Streaming options
+-----------------
+``{"threshold": 92.0, "window_samples": 128, "cadence": "catch-up"}`` —
+``cadence="catch-up"`` folds the whole source through
+:meth:`~repro.stream.monitor.OnlineMonitor.catch_up` in one vectorized
+pass; ``cadence="sample"`` replays sample by sample through the
+:class:`~repro.stream.replay.TraceReplayer` (alert-for-alert identical to a
+live feed, used by ``repro monitor``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import PipelineError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.metrics.store import MetricStore
+    from repro.trace.records import TraceBundle
+
+SOURCE_KINDS = ("trace-dir", "synthetic", "bundle", "store")
+MODES = ("batch", "streaming")
+CADENCES = ("catch-up", "sample")
+
+
+def _as_int(value, field_name: str) -> int:
+    """Spec-value coercion with a one-line error (never a raw ValueError)."""
+    if isinstance(value, bool) or (isinstance(value, float)
+                                   and not value.is_integer()):
+        raise PipelineError(f"{field_name} must be an integer, got {value!r}")
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise PipelineError(
+            f"{field_name} must be an integer, got {value!r}") from None
+
+
+def _as_float(value, field_name: str) -> float:
+    if isinstance(value, bool):
+        raise PipelineError(f"{field_name} must be a number, got {value!r}")
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise PipelineError(
+            f"{field_name} must be a number, got {value!r}") from None
+
+#: ``config`` keys a synthetic source accepts, mapped onto
+#: :class:`~repro.config.TraceConfig` when the trace is generated.
+SYNTHETIC_CONFIG_KEYS = ("num_machines", "num_jobs", "horizon_s", "resolution_s")
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """Where a pipeline's trace comes from."""
+
+    kind: str
+    path: str | None = None
+    scenario: str | None = None
+    seed: int | None = None
+    paper_scale: bool = False
+    config: tuple[tuple[str, int], ...] = ()
+    #: In-memory sources (not spec-serialisable).
+    bundle: "TraceBundle | None" = field(default=None, compare=False)
+    store: "MetricStore | None" = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SOURCE_KINDS:
+            raise PipelineError(
+                f"unknown source kind {self.kind!r}; expected one of "
+                f"{list(SOURCE_KINDS)}")
+        if self.kind == "trace-dir" and not self.path:
+            raise PipelineError("trace-dir source needs a 'path'")
+        if self.kind == "bundle" and self.bundle is None:
+            raise PipelineError("bundle source needs a TraceBundle")
+        if self.kind == "store" and self.store is None:
+            raise PipelineError("store source needs a MetricStore")
+        for key, _ in self.config:
+            if key not in SYNTHETIC_CONFIG_KEYS:
+                raise PipelineError(
+                    f"unknown synthetic config key {key!r}; expected one of "
+                    f"{list(SYNTHETIC_CONFIG_KEYS)}")
+
+    @property
+    def serialisable(self) -> bool:
+        return self.kind in ("trace-dir", "synthetic")
+
+    def to_dict(self) -> dict:
+        if not self.serialisable:
+            raise PipelineError(
+                f"a {self.kind!r} source holds in-memory data and cannot be "
+                f"serialised to a spec")
+        if self.kind == "trace-dir":
+            return {"kind": "trace-dir", "path": str(self.path)}
+        out: dict = {"kind": "synthetic",
+                     "scenario": self.scenario or "healthy"}
+        if self.seed is not None:
+            out["seed"] = self.seed
+        if self.paper_scale:
+            out["paper_scale"] = True
+        if self.config:
+            out["config"] = dict(self.config)
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "SourceSpec":
+        if not isinstance(raw, Mapping):
+            raise PipelineError(f"source spec must be a mapping, got {raw!r}")
+        kind = raw.get("kind")
+        if kind == "trace-dir":
+            return cls(kind="trace-dir", path=str(raw.get("path", "")) or None)
+        if kind == "synthetic":
+            config = raw.get("config", {})
+            if not isinstance(config, Mapping):
+                raise PipelineError(
+                    f"synthetic source 'config' must be a mapping, got "
+                    f"{config!r}")
+            seed = raw.get("seed")
+            return cls(kind="synthetic",
+                       scenario=raw.get("scenario"),
+                       seed=None if seed is None else _as_int(seed, "seed"),
+                       paper_scale=bool(raw.get("paper_scale", False)),
+                       config=tuple(sorted(
+                           (str(k), _as_int(v, f"config.{k}"))
+                           for k, v in config.items())))
+        raise PipelineError(
+            f"unknown source kind {kind!r}; a spec accepts one of "
+            f"['trace-dir', 'synthetic']")
+
+    @classmethod
+    def from_shorthand(cls, text: str) -> "SourceSpec":
+        """An existing directory is a trace dir; anything else a scenario."""
+        if Path(text).is_dir():
+            return cls(kind="trace-dir", path=text)
+        return cls(kind="synthetic", scenario=text)
+
+
+@dataclass(frozen=True)
+class StreamingOptions:
+    """Tunables of a streaming-mode run."""
+
+    threshold: float = 92.0
+    window_samples: int = 128
+    cadence: str = "catch-up"
+
+    def __post_init__(self) -> None:
+        if self.cadence not in CADENCES:
+            raise PipelineError(
+                f"unknown streaming cadence {self.cadence!r}; expected one "
+                f"of {list(CADENCES)}")
+        if self.window_samples < 1:
+            raise PipelineError("window_samples must be at least 1")
+
+    def to_dict(self) -> dict:
+        return {"threshold": self.threshold,
+                "window_samples": self.window_samples,
+                "cadence": self.cadence}
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "StreamingOptions":
+        if not isinstance(raw, Mapping):
+            raise PipelineError(
+                f"streaming options must be a mapping, got {raw!r}")
+        known = {"threshold", "window_samples", "cadence"}
+        unknown = set(raw) - known
+        if unknown:
+            raise PipelineError(
+                f"unknown streaming option(s) {sorted(unknown)}; expected "
+                f"{sorted(known)}")
+        return cls(threshold=_as_float(raw.get("threshold", 92.0),
+                                       "streaming.threshold"),
+                   window_samples=_as_int(raw.get("window_samples", 128),
+                                          "streaming.window_samples"),
+                   cadence=str(raw.get("cadence", "catch-up")))
+
+
+@dataclass(frozen=True)
+class DetectorPlan:
+    """One resolved unit of batch work: a detector judging one metric."""
+
+    label: str
+    name: str
+    metric: str
+    detector: object = field(compare=False)
+
+
+def normalise_sinks(sinks) -> tuple[dict, ...]:
+    """Normalise a sink list (strings or mappings) to ``{"kind": ...}`` dicts.
+
+    Validation against the sink registry happens in
+    :mod:`repro.pipeline.sinks` when the pipeline is built; this only fixes
+    the shape so specs round-trip canonically.  A bare string is one sink
+    name (``"sinks": "report"``), mirroring how ``detectors`` accepts a
+    bare spec string.
+    """
+    if isinstance(sinks, str):
+        sinks = (sinks,)
+    out: list[dict] = []
+    for sink in sinks:
+        if isinstance(sink, str):
+            out.append({"kind": sink})
+        elif isinstance(sink, Mapping):
+            if "kind" not in sink:
+                raise PipelineError(f"sink spec {dict(sink)!r} has no 'kind'")
+            out.append({str(k): v for k, v in sink.items()})
+        else:
+            raise PipelineError(
+                f"sink spec must be a name or mapping, got {sink!r}")
+    return tuple(out)
+
+
+__all__ = [
+    "CADENCES",
+    "MODES",
+    "SOURCE_KINDS",
+    "SYNTHETIC_CONFIG_KEYS",
+    "DetectorPlan",
+    "SourceSpec",
+    "StreamingOptions",
+    "normalise_sinks",
+]

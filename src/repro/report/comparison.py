@@ -119,7 +119,7 @@ def compare_detection_quality(bundle: TraceBundle, *,
 
     monitor = ThresholdMonitor(cpu_threshold=threshold, mem_threshold=threshold,
                                disk_threshold=threshold)
-    monitor.scan(bundle.usage)
+    monitor.ingest(monitor.scan_pipeline(bundle.usage).run())
     baseline_flagged = monitor.alerted_machines(window)
     baseline_result = evaluate_machine_sets(baseline_flagged, truth_machines)
 
@@ -143,6 +143,39 @@ def compare_detection_quality(bundle: TraceBundle, *,
         responsible_job=responsible,
         batchlens_names_job=names_job,
     )
+
+
+def _evaluation_to_dict(result: EvaluationResult) -> dict:
+    return {
+        "precision": result.precision,
+        "recall": result.recall,
+        "f1": result.f1,
+        "true_positives": result.true_positives,
+        "false_positives": result.false_positives,
+        "false_negatives": result.false_negatives,
+    }
+
+
+def comparison_to_dict(report: ComparisonReport) -> dict:
+    """JSON-safe form of one comparison (the ``repro compare --json`` shape)."""
+    return {
+        "scenario": report.scenario,
+        "truth_machines": list(report.truth_machines),
+        "batchlens": _evaluation_to_dict(report.batchlens),
+        "threshold_monitor": _evaluation_to_dict(report.threshold_monitor),
+        "responsible_job": report.responsible_job,
+        "batchlens_names_job": report.batchlens_names_job,
+        "capabilities": [
+            {
+                "capability": row.capability,
+                "batchlens": row.batchlens,
+                "flat_dashboard": row.flat_dashboard,
+                "threshold_monitor": row.threshold_monitor,
+                "tabular_report": row.tabular_report,
+            }
+            for row in report.capabilities
+        ],
+    }
 
 
 def render_comparison(report: ComparisonReport) -> str:

@@ -1,0 +1,116 @@
+"""Rendering of pipeline run results: Markdown for humans, dicts for CI.
+
+The dict form (:func:`run_result_to_dict`) is the contract behind the
+``--json`` flag of ``repro detect`` — stable keys, plain JSON types, no
+pretty-printed table to regex apart.  The Markdown form
+(:func:`render_run_markdown`) backs the pipeline's ``report`` sink.
+"""
+
+from __future__ import annotations
+
+from repro.report.markdown import MarkdownBuilder
+
+
+def score_rows_to_dicts(scores) -> list[dict]:
+    """JSON rows of :class:`~repro.scenarios.scoring.ScoredEntry` records."""
+    rows = []
+    for scored in scores:
+        result = scored.result
+        rows.append({
+            "kind": scored.entry.kind,
+            "detector": scored.detector,
+            "precision": result.precision,
+            "recall": result.recall,
+            "f1": result.f1,
+            "true_positives": result.true_positives,
+            "false_positives": result.false_positives,
+            "false_negatives": result.false_negatives,
+            "predicted": list(scored.predicted),
+        })
+    return rows
+
+
+def run_result_to_dict(result) -> dict:
+    """JSON-safe summary of one :class:`~repro.pipeline.core.RunResult`."""
+    out: dict = {
+        "mode": result.mode,
+        "metrics": list(result.metrics),
+        "num_machines": len(result.machine_ids),
+        "num_samples": result.num_samples,
+        "detections": [
+            {
+                "label": run.label,
+                "detector": run.name,
+                "metric": run.metric,
+                "num_events": run.result.num_events,
+                "flagged_machines": sorted(run.result.flagged_machines()),
+            }
+            for run in result.detections
+        ],
+        "scores": score_rows_to_dicts(result.scores),
+        "timings": {key: float(value)
+                    for key, value in result.timings.items()},
+    }
+    if result.mode == "streaming":
+        out["alerts_by_kind"] = result.alerts_by_kind()
+        out["num_alerts"] = len(result.alerts)
+        if result.replay is not None:
+            out["alerts_by_kind"] = dict(result.replay.alerts_by_kind)
+            out["num_alerts"] = sum(result.replay.alerts_by_kind.values())
+            out["final_regime"] = result.replay.final_regime
+    return out
+
+
+def render_run_markdown(result, *, scenario: str | None = None) -> str:
+    """Render one run result as a Markdown report (the ``report`` sink)."""
+    title = "Pipeline run"
+    if scenario is not None:
+        title += f" — scenario `{scenario}`"
+    builder = MarkdownBuilder(title)
+    builder.paragraph(
+        f"Mode `{result.mode}` over {len(result.machine_ids)} machine(s), "
+        f"{result.num_samples} sample(s); metrics: "
+        f"{', '.join(result.metrics) if result.metrics else '—'}.")
+
+    if result.detections:
+        builder.heading("Detections", level=2)
+        builder.table(
+            ["detector", "metric", "events", "flagged machines"],
+            [[run.label, run.metric, str(run.result.num_events),
+              str(len(run.result.flagged_machines()))]
+             for run in result.detections])
+
+    if result.scores:
+        builder.heading("Ground-truth scores", level=2)
+        builder.table(
+            ["anomaly", "detector", "precision", "recall", "F1"],
+            [[scored.entry.kind, scored.detector,
+              f"{scored.result.precision:.2f}", f"{scored.result.recall:.2f}",
+              f"{scored.result.f1:.2f}"]
+             for scored in result.scores])
+
+    if result.mode == "streaming":
+        builder.heading("Alerts", level=2)
+        counts = result.alerts_by_kind()
+        if result.replay is not None:
+            counts = dict(result.replay.alerts_by_kind)
+        if counts:
+            builder.table(["kind", "count"],
+                          [[kind, str(count)]
+                           for kind, count in sorted(counts.items())])
+        else:
+            builder.paragraph("No alerts raised.")
+
+    timings = result.timings
+    if timings:
+        builder.paragraph(
+            "Timings: " + ", ".join(f"{key} {value * 1000:.1f} ms"
+                                    for key, value in sorted(timings.items())))
+    return builder.render()
+
+
+__all__ = [
+    "render_run_markdown",
+    "run_result_to_dict",
+    "score_rows_to_dicts",
+]

@@ -12,10 +12,10 @@ Detector runners are looked up by the entry's first ``detectors`` name; new
 injectors can ship their own runner via :func:`register_runner`.
 
 Mask-based runners (flatline, disk-burst, drain) sweep the whole cluster
-through the vectorized :class:`~repro.analysis.engine.DetectionEngine`
-instead of looping ``store.series`` machine by machine; the flagged-machine
-sets are identical to the legacy loop (both surfaces share one numerical
-path).
+through a single-plan batch :class:`~repro.pipeline.Pipeline` (which runs
+the vectorized :class:`~repro.analysis.engine.DetectionEngine`) instead of
+looping ``store.series`` machine by machine; the flagged-machine sets are
+identical to the legacy loop (every surface shares one numerical path).
 """
 
 from __future__ import annotations
@@ -26,7 +26,6 @@ from typing import Callable
 import numpy as np
 
 from repro.analysis.detectors import EwmaDetector, FlatlineDetector, ThresholdDetector
-from repro.analysis.engine import default_engine
 from repro.analysis.ensemble import EvaluationResult, evaluate_events, evaluate_machine_sets
 from repro.analysis.sla import SlaPolicy, cluster_sla_report
 from repro.analysis.spikes import detect_spikes
@@ -60,6 +59,25 @@ def _score_machines(entry: GroundTruthEntry, predicted: set[str],
     result = evaluate_machine_sets(predicted, set(entry.machines))
     return ScoredEntry(entry=entry, detector=detector,
                        predicted=tuple(sorted(predicted)), result=result)
+
+
+def _flag_machines(bundle: TraceBundle, detector, *, metric: str,
+                   window: tuple[float, float]) -> set[str]:
+    """Machines a detector flags, via a single-plan batch pipeline.
+
+    The full store is swept and the resulting events filtered by ``window``
+    overlap — the engine's ``flag_machines`` semantics, now routed through
+    the same :class:`~repro.pipeline.Pipeline` every other consumer uses.
+    """
+    from repro.analysis.engine import detector_kind
+    from repro.pipeline import DetectorPlan, Pipeline
+
+    kind = detector_kind(detector)
+    plan = DetectorPlan(label=kind, name=kind, metric=metric,
+                        detector=detector)
+    result = Pipeline.from_store(bundle.usage, plans=(plan,),
+                                 metrics=(metric,), sinks=()).run()
+    return result.flagged_machines(window=window)
 
 
 # -- runners ------------------------------------------------------------------
@@ -115,8 +133,7 @@ def _run_flatline(bundle: TraceBundle, entry: GroundTruthEntry) -> ScoredEntry:
     """Machines flatlining at zero inside the truth window."""
     t0, t1 = _window_of(entry, bundle)
     detector = FlatlineDetector(epsilon=0.5, min_samples=3)
-    predicted = default_engine().flag_machines(bundle.usage, detector,
-                                               metric="cpu", window=(t0, t1))
+    predicted = _flag_machines(bundle, detector, metric="cpu", window=(t0, t1))
     return _score_machines(entry, predicted, "flatline")
 
 
@@ -130,8 +147,8 @@ def _run_disk_burst(bundle: TraceBundle, entry: GroundTruthEntry) -> ScoredEntry
     t0, t1 = _window_of(entry, bundle)
     threshold = max(10.0, 0.5 * float(entry.params.get("disk_boost", 45.0)))
     detector = EwmaDetector(alpha=0.3, deviation_threshold=threshold)
-    predicted = default_engine().flag_machines(bundle.usage, detector,
-                                               metric="disk", window=(t0, t1))
+    predicted = _flag_machines(bundle, detector, metric="disk",
+                               window=(t0, t1))
     return _score_machines(entry, predicted, "disk-burst")
 
 
@@ -147,8 +164,8 @@ def _run_drain(bundle: TraceBundle, entry: GroundTruthEntry) -> ScoredEntry:
     t0, t1 = _window_of(entry, bundle)
     level = float(entry.params.get("drained_mem_level", 3.0))
     detector = FlatlineDetector(epsilon=max(1.0, 2.0 * level), min_samples=2)
-    predicted = default_engine().flag_machines(bundle.usage, detector,
-                                               metric="mem", window=(t0, t1))
+    predicted = _flag_machines(bundle, detector, metric="mem",
+                               window=(t0, t1))
     return _score_machines(entry, predicted, "drain")
 
 

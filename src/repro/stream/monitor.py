@@ -113,6 +113,12 @@ class OnlineMonitor:
         catch-up instead of per-sample flapping), which is the designed
         trade-off of a catch-up: the intermediate regimes were already
         history when the block arrived.
+
+        Degenerate blocks are valid input, never an error: an empty store
+        is a no-op returning no alerts, and a single-sample store folds
+        normally (the regime/thrashing checks simply stay below their
+        warm-up lengths).  The streaming pipeline's empty-``RunResult``
+        contract (:meth:`repro.pipeline.Pipeline.run`) builds on this.
         """
         if store.num_samples == 0:
             return []

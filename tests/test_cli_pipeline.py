@@ -1,0 +1,177 @@
+"""Tests for the pipeline-backed CLI: --json, --detectors, `repro pipeline`,
+and clean one-line errors for unknown scenario/detector names."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace.writer import write_trace
+
+
+class TestDetectJson:
+    def test_detect_json_is_machine_readable(self, tmp_path, thrashing_bundle,
+                                             capsys):
+        write_trace(thrashing_bundle, tmp_path)
+        assert main(["detect", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "batch"
+        assert payload["num_machines"] == len(
+            thrashing_bundle.usage.machine_ids)
+        labels = [row["label"] for row in payload["detections"]]
+        assert labels == ["ewma", "flatline", "threshold", "zscore"]
+        for row in payload["detections"]:
+            assert isinstance(row["num_events"], int)
+            assert isinstance(row["flagged_machines"], list)
+        assert "scores" in payload
+        assert "scenario" in payload
+
+    def test_detect_json_carries_scores(self, capsys):
+        assert main(["detect", "--synthetic", "--scenario", "machine-failure",
+                     "--seed", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "machine-failure"
+        (score,) = payload["scores"]
+        assert score["kind"] == "machine-failure"
+        assert score["detector"] == "flatline"
+        assert set(score) >= {"precision", "recall", "f1", "true_positives",
+                              "false_positives", "false_negatives"}
+
+    def test_detect_custom_detector_spec(self, tmp_path, thrashing_bundle,
+                                         capsys):
+        write_trace(thrashing_bundle, tmp_path)
+        assert main(["detect", str(tmp_path),
+                     "--detectors", "threshold(threshold=85)+flatline",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["label"] for row in payload["detections"]] \
+            == ["threshold", "flatline"]
+
+
+class TestCompareJson:
+    def test_compare_json_is_machine_readable(self, tmp_path, thrashing_bundle,
+                                              capsys):
+        write_trace(thrashing_bundle, tmp_path)
+        assert main(["compare", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for tool in ("batchlens", "threshold_monitor"):
+            assert set(payload[tool]) == {"precision", "recall", "f1",
+                                          "true_positives", "false_positives",
+                                          "false_negatives"}
+        assert isinstance(payload["truth_machines"], list)
+        assert payload["capabilities"][0]["capability"]
+
+    def test_compare_json_respects_output_flag(self, tmp_path,
+                                               thrashing_bundle, capsys):
+        write_trace(thrashing_bundle, tmp_path / "trace")
+        target = tmp_path / "comparison.json"
+        assert main(["compare", str(tmp_path / "trace"), "--json",
+                     "--output", str(target)]) == 0
+        assert "written to" in capsys.readouterr().out
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert "batchlens" in payload
+
+
+class TestPipelineSubcommand:
+    def test_runs_a_spec_file(self, tmp_path, capsys):
+        spec = {
+            "source": {"kind": "synthetic", "scenario": "machine-failure",
+                       "seed": 5,
+                       "config": {"num_machines": 12, "num_jobs": 10,
+                                  "horizon_s": 7200, "resolution_s": 120}},
+            "detectors": "flatline",
+            "sinks": ["score", "report"],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec), encoding="utf-8")
+        assert main(["pipeline", str(spec_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Pipeline run" in output
+        assert "machine-failure" in output
+
+    def test_json_output(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "source": {"kind": "synthetic", "scenario": "healthy", "seed": 3,
+                       "config": {"num_machines": 8, "num_jobs": 6,
+                                  "horizon_s": 3600, "resolution_s": 120}},
+            "detectors": "threshold",
+            "sinks": [],
+        }), encoding="utf-8")
+        assert main(["pipeline", str(spec_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "batch"
+        assert payload["num_machines"] == 8
+
+    def test_trace_dir_shorthand(self, tmp_path, thrashing_bundle, capsys):
+        write_trace(thrashing_bundle, tmp_path)
+        assert main(["pipeline", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_machines"] == len(
+            thrashing_bundle.usage.machine_ids)
+
+    def test_registered_in_help(self):
+        assert "pipeline" in build_parser().format_help()
+
+
+class TestCleanErrors:
+    """Unknown names exit nonzero with a one-line message listing what IS
+    registered — never a traceback."""
+
+    def test_unknown_detector_lists_registered(self, tmp_path,
+                                               thrashing_bundle, capsys):
+        write_trace(thrashing_bundle, tmp_path)
+        assert main(["detect", str(tmp_path), "--detectors", "wormhole"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+        for name in ("ewma", "flatline", "threshold", "zscore", "wormhole"):
+            assert name in err
+
+    def test_unknown_scenario_lists_registered(self, capsys):
+        assert main(["detect", "--synthetic", "--scenario",
+                     "wormhole+diurnal"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "wormhole" in err
+        assert "diurnal" in err          # the registered names are listed
+        assert "network-storm" in err
+
+    def test_unknown_sink_in_pipeline_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "source": {"kind": "synthetic", "scenario": "healthy"},
+            "sinks": ["telegram"]}), encoding="utf-8")
+        assert main(["pipeline", str(spec_path)]) == 2
+        err = capsys.readouterr().err
+        assert "telegram" in err
+        assert "score" in err
+
+    def test_malformed_pipeline_json(self, capsys):
+        assert main(["pipeline", "{broken json"]) == 2
+        assert "JSON" in capsys.readouterr().err
+
+    def test_monitor_unknown_scenario(self, capsys):
+        assert main(["monitor", "--synthetic", "--scenario", "wormhole"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestScenariosListsDetectorsAndSinks:
+    def test_scenarios_lists_pipeline_registries(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "registered detectors" in output
+        for name in ("threshold", "zscore", "ewma", "flatline"):
+            assert name in output
+        assert "registered pipeline sinks" in output
+        assert "score" in output
+
+
+class TestMonitorStillIdentical:
+    def test_monitor_output_shape_unchanged(self, tmp_path, thrashing_bundle,
+                                            capsys):
+        write_trace(thrashing_bundle, tmp_path)
+        assert main(["monitor", str(tmp_path), "--threshold", "85"]) == 0
+        output = capsys.readouterr().out
+        assert "replayed" in output
+        assert "final regime" in output

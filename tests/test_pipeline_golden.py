@@ -1,0 +1,164 @@
+"""Golden equivalence: ``Pipeline.run()`` must be a transparent wrapper.
+
+The pipeline replaced every hand-wired detection consumer; these tests pin
+the contract that made the rewiring safe:
+
+* for every registered detector × every registered scenario, the batch
+  pipeline's events are *identical* (same intervals, same scores, same
+  order) to calling :meth:`~repro.analysis.engine.DetectionEngine.run`
+  directly;
+* the pipeline's ``score`` sink is bit-identical to calling
+  :func:`repro.scenarios.scoring.score_bundle` directly;
+* streaming catch-up through the pipeline raises exactly the alerts of a
+  directly-driven :class:`~repro.stream.monitor.OnlineMonitor`;
+* specs round-trip: ``Pipeline.from_spec(p.to_spec()) == p``;
+* ``Pipeline.from_spec`` drives all three source modes end to end
+  (trace-dir batch, synthetic scored batch, streaming catch-up).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.engine import DetectionEngine
+from repro.pipeline import Pipeline, detector_names
+from repro.scenarios import scenario_names
+from repro.scenarios.scoring import score_bundle
+from repro.stream.monitor import MonitorConfig, OnlineMonitor
+from repro.trace.synthetic import generate_trace
+from repro.trace.writer import write_trace
+
+from tests.conftest import fast_config
+
+SEED = 404
+
+#: Scenarios whose manifests exercise several scoring runners at once.
+SCORED_SCENARIOS = (
+    "machine-failure+network-storm",
+    "maintenance-drain+load-imbalance",
+    "hot-job+memory-thrash",
+)
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    """One fast bundle per registered scenario (shared across tests)."""
+    return {scenario: generate_trace(fast_config(scenario, seed=SEED))
+            for scenario in scenario_names()}
+
+
+@pytest.mark.parametrize("scenario", scenario_names())
+def test_pipeline_events_identical_to_engine(scenario, bundles):
+    bundle = bundles[scenario]
+    store = bundle.usage
+    engine = DetectionEngine()
+    result = Pipeline.from_bundle(bundle, sinks=()).run()
+    assert [run.label for run in result.detections] == detector_names()
+    total = 0
+    for run in result.detections:
+        direct = engine.run(store, run.name, metric="cpu")
+        assert run.result.events() == direct.events(), (
+            f"{scenario}: {run.name} diverged from the raw engine")
+        assert run.result.flagged_machines() == direct.flagged_machines()
+        total += run.result.num_events
+    assert result.num_events == total
+
+
+@pytest.mark.parametrize("spec", SCORED_SCENARIOS)
+def test_pipeline_scores_identical_to_score_bundle(spec):
+    bundle = generate_trace(fast_config(spec, seed=SEED))
+    result = Pipeline.from_bundle(bundle, plans=(), sinks=("score",)).run()
+    direct = score_bundle(bundle)
+    assert list(result.scores) == direct
+    assert len(direct) >= 2, f"{spec}: scoring must not be vacuous"
+
+
+@pytest.mark.parametrize("scenario", ("thrashing", "network-storm"))
+def test_pipeline_streaming_identical_to_catch_up(scenario, bundles):
+    bundle = bundles[scenario]
+    result = Pipeline.from_bundle(bundle, mode="streaming", sinks=()).run()
+    monitor = OnlineMonitor(bundle.usage.machine_ids,
+                            config=MonitorConfig(utilisation_threshold=92.0),
+                            window_samples=128)
+    assert list(result.alerts) == monitor.catch_up(bundle.usage)
+
+
+# -- spec round-trips ---------------------------------------------------------
+ROUND_TRIP_SPECS = (
+    {"source": {"kind": "synthetic", "scenario": "hotjob", "seed": 7}},
+    {"source": {"kind": "synthetic", "scenario": "diurnal+network-storm",
+                "seed": 3, "config": {"num_machines": 8}},
+     "detectors": "threshold(threshold=85)+flatline",
+     "metrics": ["cpu", "disk"],
+     "sinks": ["score", {"kind": "report", "path": "out.md"}]},
+    {"source": {"kind": "trace-dir", "path": "some/trace"},
+     "mode": "streaming",
+     "streaming": {"threshold": 88.0, "window_samples": 64,
+                   "cadence": "sample"}},
+)
+
+
+@pytest.mark.parametrize("spec", ROUND_TRIP_SPECS,
+                         ids=("minimal", "batch-full", "streaming"))
+def test_spec_round_trip(spec):
+    pipeline = Pipeline.from_spec(spec)
+    respun = Pipeline.from_spec(pipeline.to_spec())
+    assert respun == pipeline
+    assert respun.to_spec() == pipeline.to_spec()
+
+
+def test_equality_distinguishes_specs():
+    base = Pipeline.from_spec({"source": {"kind": "synthetic",
+                                          "scenario": "hotjob"}})
+    other = Pipeline.from_spec({"source": {"kind": "synthetic",
+                                           "scenario": "thrashing"}})
+    assert base != other
+    assert base == Pipeline.from_spec(base.to_spec())
+
+
+# -- from_spec drives all three modes end to end ------------------------------
+class TestFromSpecEndToEnd:
+    def test_trace_dir_batch(self, tmp_path, thrashing_bundle):
+        write_trace(thrashing_bundle, tmp_path)
+        result = Pipeline.from_spec({
+            "source": {"kind": "trace-dir", "path": str(tmp_path)},
+            "detectors": "threshold(threshold=90)",
+            "sinks": [],
+        }).run()
+        engine_events = DetectionEngine().run(
+            thrashing_bundle.usage, "threshold").events()
+        # the written/reloaded trace quantises floats, so compare shape-level
+        assert result.num_events > 0
+        assert len(result.events()) == len(engine_events)
+        assert result.machine_ids \
+            == tuple(thrashing_bundle.usage.machine_ids)
+
+    def test_synthetic_scored_batch(self):
+        result = Pipeline.from_spec({
+            "source": {"kind": "synthetic",
+                       "scenario": "machine-failure+network-storm",
+                       "seed": 5,
+                       "config": {"num_machines": 12, "num_jobs": 10,
+                                  "horizon_s": 7200, "resolution_s": 120}},
+            "detectors": "flatline",
+            "sinks": ["score", "json"],
+        }).run()
+        assert result.num_events > 0
+        kinds = {scored.entry.kind for scored in result.scores}
+        assert kinds == {"machine-failure", "network-storm"}
+        assert result.outputs["json"]["scores"]
+
+    def test_streaming_catch_up(self):
+        result = Pipeline.from_spec({
+            "source": {"kind": "synthetic", "scenario": "memory-thrash",
+                       "seed": 5,
+                       "config": {"num_machines": 12, "num_jobs": 10,
+                                  "horizon_s": 7200, "resolution_s": 120}},
+            "mode": "streaming",
+            "streaming": {"threshold": 90.0},
+            "sinks": ["alerts"],
+        }).run()
+        assert result.mode == "streaming"
+        assert result.monitor is not None
+        assert result.alerts_by_kind() == result.outputs["alerts"]
+        assert result.monitor.current_regime is not None
