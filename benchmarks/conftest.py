@@ -8,10 +8,16 @@ full 1300-machine / 24-hour configuration instead.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
+import numpy as np
 import pytest
 
 from repro.app.batchlens import BatchLens
 from repro.config import ClusterConfig, TraceConfig, UsageConfig, WorkloadConfig
+from repro.metrics.store import MetricStore
 from repro.trace.synthetic import generate_trace
 
 
@@ -64,6 +70,59 @@ def mid_timestamp(bundle) -> float:
     return (start + end) / 2.0
 
 
+def bench_detectors() -> dict:
+    """The detector stack the perf benchmarks sweep (one shared parameter
+    set, so machine-sweeps/s rows in ``BENCH_results.json`` stay
+    comparable across modules)."""
+    from repro.analysis.detectors import (
+        EwmaDetector,
+        FlatlineDetector,
+        RollingZScoreDetector,
+        ThresholdDetector,
+    )
+
+    return {
+        "threshold": ThresholdDetector(90.0),
+        "zscore": RollingZScoreDetector(window=12, z_threshold=3.0),
+        "ewma": EwmaDetector(alpha=0.3, deviation_threshold=15.0),
+        "flatline": FlatlineDetector(epsilon=0.5, min_samples=3),
+    }
+
+
+def synthetic_cluster(num_machines: int, num_samples: int = 288,
+                      seed: int = 2022) -> MetricStore:
+    """A usage store with realistic structure (spikes, dead machines).
+
+    The one cluster shape the perf benchmarks share, so their
+    ``BENCH_results.json`` rows stay comparable across modules: a tenth of
+    the fleet spikes hard mid-trace and a handful of machines flatline.
+    """
+    rng = np.random.default_rng(seed)
+    ids = [f"machine_{i:04d}" for i in range(num_machines)]
+    store = MetricStore(ids, np.arange(num_samples) * 300.0)
+    base = rng.uniform(20.0, 60.0, (num_machines, 1))
+    noise = rng.normal(0.0, 6.0, (num_machines, 3, num_samples))
+    store.data[:] = base[:, None, :] + noise
+    hot = rng.choice(num_machines, num_machines // 10, replace=False)
+    store.data[hot, 0, 120:150] += 45.0
+    dead = rng.choice(num_machines, max(8, num_machines // 64), replace=False)
+    store.data[dead, :, 200:] = 0.0
+    store.clip(0.0, 100.0)
+    return store
+
+
+def best_of(callable_, rounds: int = 3) -> tuple[float, object]:
+    """Best-of-``rounds`` wall-clock of one callable (shared methodology —
+    change it here so every ``BENCH_results.json`` row stays comparable)."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
 #: The pytest capture manager, stashed by :func:`pytest_configure` so that
 #: :func:`report` can temporarily disable capture and emit its blocks to the
 #: real stdout even when every benchmark passes.
@@ -91,3 +150,38 @@ def report(title: str, rows: dict) -> None:
             print(text, flush=True)
     else:
         print(text, flush=True)
+
+
+#: Machine-readable rows collected by :func:`record_result`, flushed to
+#: ``BENCH_results.json`` at session end.  CI uploads the file as an
+#: artifact so future perf PRs have a trajectory to compare against.
+_BENCH_RESULTS: list[dict] = []
+
+BENCH_RESULTS_FILENAME = "BENCH_results.json"
+
+
+def record_result(benchmark: str, *, wall_clock_s: float,
+                  throughput: float | None = None,
+                  throughput_unit: str | None = None, **extra) -> None:
+    """Record one benchmark measurement for ``BENCH_results.json``.
+
+    ``benchmark`` names the measurement (stable across PRs so trajectories
+    line up), ``wall_clock_s`` is the best-of wall-clock, ``throughput`` an
+    optional rate in ``throughput_unit``; extra keyword arguments land in
+    the row verbatim (speedups, scale parameters, ...).
+    """
+    row: dict = {"benchmark": benchmark, "wall_clock_s": float(wall_clock_s)}
+    if throughput is not None:
+        row["throughput"] = float(throughput)
+        row["throughput_unit"] = throughput_unit or "items/s"
+    row.update(extra)
+    _BENCH_RESULTS.append(row)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush everything :func:`record_result` collected, if anything ran."""
+    if not _BENCH_RESULTS:
+        return
+    path = Path(str(session.config.rootpath)) / BENCH_RESULTS_FILENAME
+    path.write_text(json.dumps({"results": _BENCH_RESULTS}, indent=2) + "\n",
+                    encoding="utf-8")

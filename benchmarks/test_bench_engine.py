@@ -15,66 +15,33 @@ This benchmark pins the claim on a 256-machine cluster:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.analysis.detectors import (
-    EwmaDetector,
-    FlatlineDetector,
-    RollingZScoreDetector,
-    ThresholdDetector,
-)
+from repro.analysis.detectors import EwmaDetector, FlatlineDetector
 from repro.analysis.engine import DetectionEngine
 from repro.analysis.ensemble import evaluate_machine_sets
-from repro.metrics.store import MetricStore
 from repro.scenarios.scoring import score_bundle
 from repro.trace.synthetic import generate_trace
 
-from benchmarks.conftest import bench_config, report
+from benchmarks.conftest import (
+    bench_config,
+    bench_detectors,
+    best_of,
+    record_result,
+    report,
+    synthetic_cluster,
+)
 
 NUM_MACHINES = 256
 NUM_SAMPLES = 288  # 24 h at 300 s resolution
 MIN_SPEEDUP = 5.0
 
-BENCH_DETECTORS = {
-    "threshold": ThresholdDetector(90.0),
-    "zscore": RollingZScoreDetector(window=12, z_threshold=3.0),
-    "ewma": EwmaDetector(alpha=0.3, deviation_threshold=15.0),
-    "flatline": FlatlineDetector(epsilon=0.5, min_samples=3),
-}
-
-
-def synthetic_cluster(seed: int = 2022) -> MetricStore:
-    """A 256-machine store with realistic structure (spikes, dead machines)."""
-    rng = np.random.default_rng(seed)
-    ids = [f"machine_{i:04d}" for i in range(NUM_MACHINES)]
-    store = MetricStore(ids, np.arange(NUM_SAMPLES) * 300.0)
-    base = rng.uniform(20.0, 60.0, (NUM_MACHINES, 1))
-    noise = rng.normal(0.0, 6.0, (NUM_MACHINES, 3, NUM_SAMPLES))
-    store.data[:] = base[:, None, :] + noise
-    # a tenth of the fleet spikes hard mid-trace, a handful flatlines
-    hot = rng.choice(NUM_MACHINES, NUM_MACHINES // 10, replace=False)
-    store.data[hot, 0, 120:150] += 45.0
-    dead = rng.choice(NUM_MACHINES, 8, replace=False)
-    store.data[dead, :, 200:] = 0.0
-    store.clip(0.0, 100.0)
-    return store
-
-
-def best_of(callable_, rounds: int = 3) -> tuple[float, object]:
-    best = float("inf")
-    result = None
-    for _ in range(rounds):
-        started = time.perf_counter()
-        result = callable_()
-        best = min(best, time.perf_counter() - started)
-    return best, result
+BENCH_DETECTORS = bench_detectors()
 
 
 class TestEngineSpeedup:
     def test_engine_5x_faster_than_series_loop(self):
-        store = synthetic_cluster()
+        store = synthetic_cluster(NUM_MACHINES, NUM_SAMPLES)
         engine = DetectionEngine()
         rows = {}
         for name, detector in BENCH_DETECTORS.items():
@@ -95,6 +62,11 @@ class TestEngineSpeedup:
             assert sorted(engine_events, key=key) == sorted(loop_events, key=key)
             speedup = loop_s / engine_s
             rows[name] = (loop_s, engine_s, speedup, len(engine_events))
+            record_result(f"engine/{name}", wall_clock_s=engine_s,
+                          throughput=NUM_MACHINES / engine_s,
+                          throughput_unit="machine-sweeps/s",
+                          speedup_vs_series_loop=speedup,
+                          num_machines=NUM_MACHINES)
 
         report(f"E10: engine vs per-series loop ({NUM_MACHINES} machines, "
                f"{NUM_SAMPLES} samples)", {

@@ -10,63 +10,27 @@ the equivalent raw ``DetectionEngine.run`` calls, with identical events.
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from repro.analysis.detectors import (
-    EwmaDetector,
-    FlatlineDetector,
-    RollingZScoreDetector,
-    ThresholdDetector,
-)
 from repro.analysis.engine import DetectionEngine
-from repro.metrics.store import MetricStore
 from repro.pipeline import Pipeline
 
-from benchmarks.conftest import report
+from benchmarks.conftest import (
+    bench_detectors,
+    best_of,
+    record_result,
+    report,
+    synthetic_cluster,
+)
 
 NUM_MACHINES = 256
 NUM_SAMPLES = 288  # 24 h at 300 s resolution
 MAX_OVERHEAD = 0.10
 
-BENCH_DETECTORS = {
-    "threshold": ThresholdDetector(90.0),
-    "zscore": RollingZScoreDetector(window=12, z_threshold=3.0),
-    "ewma": EwmaDetector(alpha=0.3, deviation_threshold=15.0),
-    "flatline": FlatlineDetector(epsilon=0.5, min_samples=3),
-}
-
-
-def synthetic_cluster(seed: int = 2022) -> MetricStore:
-    """A 256-machine store with realistic structure (spikes, dead machines)."""
-    rng = np.random.default_rng(seed)
-    ids = [f"machine_{i:04d}" for i in range(NUM_MACHINES)]
-    store = MetricStore(ids, np.arange(NUM_SAMPLES) * 300.0)
-    base = rng.uniform(20.0, 60.0, (NUM_MACHINES, 1))
-    noise = rng.normal(0.0, 6.0, (NUM_MACHINES, 3, NUM_SAMPLES))
-    store.data[:] = base[:, None, :] + noise
-    hot = rng.choice(NUM_MACHINES, NUM_MACHINES // 10, replace=False)
-    store.data[hot, 0, 120:150] += 45.0
-    dead = rng.choice(NUM_MACHINES, 8, replace=False)
-    store.data[dead, :, 200:] = 0.0
-    store.clip(0.0, 100.0)
-    return store
-
-
-def best_of(callable_, rounds: int = 7) -> tuple[float, object]:
-    best = float("inf")
-    result = None
-    for _ in range(rounds):
-        started = time.perf_counter()
-        result = callable_()
-        best = min(best, time.perf_counter() - started)
-    return best, result
+BENCH_DETECTORS = bench_detectors()
 
 
 class TestPipelineOverhead:
     def test_pipeline_within_10pct_of_raw_engine(self):
-        store = synthetic_cluster()
+        store = synthetic_cluster(NUM_MACHINES, NUM_SAMPLES)
         engine = DetectionEngine(detectors={})
         pipeline = Pipeline.from_store(store, detectors=dict(BENCH_DETECTORS),
                                        sinks=())
@@ -75,8 +39,8 @@ class TestPipelineOverhead:
             return [engine.run(store, detector, metric="cpu")
                     for detector in BENCH_DETECTORS.values()]
 
-        raw_s, raw_results = best_of(raw)
-        run_s, run = best_of(pipeline.run)
+        raw_s, raw_results = best_of(raw, rounds=7)
+        run_s, run = best_of(pipeline.run, rounds=7)
 
         # identical verdicts, detector for detector
         assert len(run.detections) == len(raw_results)
@@ -84,6 +48,14 @@ class TestPipelineOverhead:
             assert detection.result.events() == raw_result.events()
 
         overhead = run_s / raw_s - 1.0
+        record_result("pipeline/raw_engine", wall_clock_s=raw_s,
+                      throughput=NUM_MACHINES * len(BENCH_DETECTORS) / raw_s,
+                      throughput_unit="machine-sweeps/s",
+                      num_machines=NUM_MACHINES)
+        record_result("pipeline/run", wall_clock_s=run_s,
+                      throughput=NUM_MACHINES * len(BENCH_DETECTORS) / run_s,
+                      throughput_unit="machine-sweeps/s",
+                      overhead_vs_raw=overhead, num_machines=NUM_MACHINES)
         report("E11: pipeline overhead over raw engine (256 machines)", {
             "raw engine sweep": f"{raw_s * 1000:.2f} ms",
             "pipeline run": f"{run_s * 1000:.2f} ms",

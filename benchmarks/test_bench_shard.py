@@ -1,0 +1,104 @@
+"""E12 — sharded parallel execution vs. the serial engine sweep.
+
+The ROADMAP reserved "sharded / multi-backend execution behind
+``Pipeline.run()``" as the next scale step; :mod:`repro.analysis.shard`
+delivers it.  This benchmark pins the claim on a 1024-machine cluster:
+
+* sweeping every registered detector through a parallel backend
+  (``threads`` — NumPy releases the GIL in the block kernels — with
+  ``process`` measured alongside) must be at least 2× faster than the
+  serial engine pass when 4+ workers are available;
+* the parallel verdicts stay bit-identical to the serial ones — the knob
+  only buys wall-clock time (asserted here too, on every backend).
+
+The speed assertion needs real cores; it skips on hosts with fewer than
+four.  Equivalence is asserted regardless of core count.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.engine import DetectionEngine
+from repro.analysis.shard import ShardExecutor
+
+from benchmarks.conftest import (
+    bench_detectors,
+    best_of,
+    record_result,
+    report,
+    synthetic_cluster,
+)
+
+NUM_MACHINES = 1024
+NUM_SAMPLES = 288  # 24 h at 300 s resolution
+WORKERS = max(4, min(8, os.cpu_count() or 1))
+MIN_PARALLEL_SPEEDUP = 2.0
+
+BENCH_DETECTORS = bench_detectors()
+
+WORK = tuple((detector, "cpu") for detector in BENCH_DETECTORS.values())
+
+
+def serial_sweep(store):
+    engine = DetectionEngine(detectors={})
+    return [engine.run(store, detector, metric=metric)
+            for detector, metric in WORK]
+
+
+def machine_sweeps_per_s(elapsed_s: float) -> float:
+    """Throughput: one machine × one detector = one machine-sweep."""
+    return NUM_MACHINES * len(WORK) / elapsed_s
+
+
+class TestShardedExecution:
+    def test_parallel_backends_bit_identical_to_serial(self):
+        store = synthetic_cluster(NUM_MACHINES, NUM_SAMPLES)
+        baseline = serial_sweep(store)
+        for backend in ("serial", "threads", "process"):
+            executor = ShardExecutor(backend, workers=WORKERS)
+            results = executor.run_many(store, WORK, shards=WORKERS)
+            for sharded, serial in zip(results, baseline):
+                assert sharded.events() == serial.events(), backend
+                assert sharded.flagged_machines() == serial.flagged_machines()
+                assert np.array_equal(sharded.mask, serial.mask)
+
+    @pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                        reason="parallel speedup needs at least 4 cores")
+    def test_parallel_backend_2x_serial_at_1024_machines(self):
+        store = synthetic_cluster(NUM_MACHINES, NUM_SAMPLES)
+        serial_s, _ = best_of(lambda: serial_sweep(store), rounds=5)
+        rows = {"serial": f"{serial_s * 1e3:.1f} ms "
+                          f"({machine_sweeps_per_s(serial_s):,.0f} "
+                          f"machine-sweeps/s)"}
+        record_result("shard/serial", wall_clock_s=serial_s,
+                      throughput=machine_sweeps_per_s(serial_s),
+                      throughput_unit="machine-sweeps/s",
+                      num_machines=NUM_MACHINES, num_samples=NUM_SAMPLES)
+
+        speedups = {}
+        for backend in ("threads", "process"):
+            executor = ShardExecutor(backend, workers=WORKERS)
+            parallel_s, _ = best_of(
+                lambda executor=executor: executor.run_many(store, WORK,
+                                                            shards=WORKERS),
+                rounds=5)
+            speedups[backend] = serial_s / parallel_s
+            rows[backend] = (f"{parallel_s * 1e3:.1f} ms "
+                             f"({speedups[backend]:.1f}x, {WORKERS} workers)")
+            record_result(f"shard/{backend}", wall_clock_s=parallel_s,
+                          throughput=machine_sweeps_per_s(parallel_s),
+                          throughput_unit="machine-sweeps/s",
+                          speedup_vs_serial=speedups[backend],
+                          workers=WORKERS, num_machines=NUM_MACHINES)
+
+        report(f"E12: sharded execution ({NUM_MACHINES} machines, "
+               f"{len(WORK)} detectors, {WORKERS} workers)", rows)
+        best_backend = max(speedups, key=speedups.get)
+        assert speedups[best_backend] >= MIN_PARALLEL_SPEEDUP, (
+            f"best parallel backend ({best_backend}) only "
+            f"{speedups[best_backend]:.2f}x over serial (need >= "
+            f"{MIN_PARALLEL_SPEEDUP}x with {WORKERS} workers)")

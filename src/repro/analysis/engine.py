@@ -33,7 +33,7 @@ of hand-rolled per-machine loops.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -213,6 +213,47 @@ class DetectionEngine:
                                         subject=machine_ids[row]))
 
 
+def merge_engine_results(results: "Sequence[EngineResult]") -> EngineResult:
+    """Merge machine-axis shard verdicts into one cluster-wide result.
+
+    ``results`` must come from the same detector and metric over disjoint
+    machine shards of one store, ordered by machine row (the order the
+    shard planner in :mod:`repro.analysis.shard` emits).  Because every
+    shard's runs are already row-major and shards arrive in row order, a
+    plain concatenation — with run row indices offset by the preceding
+    shards' machine counts — reproduces the unsharded sweep bit for bit:
+    same mask, same scores, same run order, hence identical events.
+    """
+    if not results:
+        raise SeriesError("merge_engine_results needs at least one result")
+    if len(results) == 1:
+        return results[0]
+    first = results[0]
+    for other in results[1:]:
+        if (other.detector, other.metric) != (first.detector, first.metric):
+            raise SeriesError(
+                f"cannot merge sweeps of different detectors/metrics: "
+                f"({first.detector!r}, {first.metric!r}) vs "
+                f"({other.detector!r}, {other.metric!r})")
+        if not np.array_equal(other.block.timestamps, first.block.timestamps):
+            raise SeriesError("cannot merge sweeps on different time grids")
+    machine_ids = tuple(mid for result in results
+                        for mid in result.machine_ids)
+    blocks = [result.block for result in results]
+    offsets = np.cumsum([0] + [block.mask.shape[0] for block in blocks[:-1]])
+    block = BlockDetection(
+        timestamps=first.block.timestamps,
+        mask=np.vstack([block.mask for block in blocks]),
+        scores=np.vstack([block.scores for block in blocks]),
+        rows=np.concatenate([block.rows + offset
+                             for block, offset in zip(blocks, offsets)]),
+        starts=np.concatenate([block.starts for block in blocks]),
+        ends=np.concatenate([block.ends for block in blocks]),
+        run_scores=np.concatenate([block.run_scores for block in blocks]))
+    return EngineResult(detector=first.detector, metric=first.metric,
+                        machine_ids=machine_ids, block=block)
+
+
 #: Shared default engine for the one-line call sites (scoring runners,
 #: baselines).  Engines are stateless apart from their detector instances,
 #: so one default-configured instance is safe to share.
@@ -241,4 +282,5 @@ __all__ = [
     "default_engine",
     "detect_cluster",
     "detector_kind",
+    "merge_engine_results",
 ]

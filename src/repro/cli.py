@@ -13,6 +13,7 @@ writing Python::
     python -m repro detect --synthetic --scenario "memory-thrash+network-storm"
     python -m repro detect --synthetic --scenario hotjob --json
     python -m repro detect trace/ --detectors "threshold(threshold=85)+flatline"
+    python -m repro detect trace/ --workers 8 --timings --cache
     python -m repro monitor --synthetic --scenario thrashing
     python -m repro monitor --synthetic --scenario "diurnal+network-storm"
     python -m repro compare --synthetic --scenario thrashing
@@ -60,16 +61,75 @@ def _add_trace_source(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2022)
     parser.add_argument("--paper-scale", action="store_true",
                         help="synthetic trace at 1300 machines / 24 h")
+    parser.add_argument("--cache", action="store_true",
+                        help="maintain the columnar binary sidecar cache of "
+                             "the trace directory (repeat loads skip CSV "
+                             "parsing; invalidated by content hash)")
 
 
 def _resolve_bundle(args: argparse.Namespace) -> TraceBundle:
     if args.trace_dir and not args.synthetic:
-        return load_trace(args.trace_dir)
+        return load_trace(args.trace_dir, cache=getattr(args, "cache", False))
     if args.paper_scale:
         config = paper_scale_config(scenario=args.scenario, seed=args.seed)
     else:
         config = TraceConfig(scenario=args.scenario, seed=args.seed)
     return generate_trace(config)
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """Sharded-execution knobs shared by `detect` and `pipeline`."""
+    parser.add_argument("--backend", default=None,
+                        choices=["serial", "threads", "process"],
+                        help="execution backend for the detector sweeps "
+                             "(default: serial; threads/process shard the "
+                             "store along the machine axis)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for a parallel backend (default: "
+                             "one per core; implies --backend threads when "
+                             "no backend is given)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="machine shards per sweep (default: the worker "
+                             "count)")
+    parser.add_argument("--timings", action="store_true",
+                        help="print the run's source/detect/sinks/total "
+                             "wall-clock timings")
+
+
+def _execution_from_args(args: argparse.Namespace, base=None):
+    """ExecutionOptions from CLI flags, or None when all flags defaulted.
+
+    With ``base`` (a spec's execution block), each given flag overrides
+    its field and ungiven flags keep the spec's choice — ``--shards 4``
+    must not silently swap a configured process pool for threads, and a
+    spec that explicitly pins ``"backend": "serial"`` keeps it.  Without a
+    base, the flags stand alone (``--workers``/``--shards`` without
+    ``--backend`` resolve to the threads backend, ExecutionOptions' own
+    defaulting — as does a base whose backend was itself only implied).
+    """
+    from repro.pipeline import ExecutionOptions
+
+    if args.backend is None and args.workers is None and args.shards is None:
+        return None
+    if base is None or (base == ExecutionOptions()
+                        and not base.explicit_backend):
+        return ExecutionOptions(backend=args.backend, shards=args.shards,
+                                workers=args.workers)
+    backend = args.backend
+    if backend is None and base.explicit_backend:
+        backend = base.backend
+    return ExecutionOptions(
+        backend=backend,
+        shards=args.shards if args.shards is not None else base.shards,
+        workers=args.workers if args.workers is not None else base.workers)
+
+
+def _print_timings(result) -> None:
+    """One-line `--timings` rendering of RunResult.timings."""
+    order = ("source_s", "detect_s", "sinks_s", "total_s")
+    parts = [f"{name[:-2]} {result.timings[name] * 1000:.1f} ms"
+             for name in order if name in result.timings]
+    print("timings: " + ", ".join(parts))
 
 
 def _default_timestamp(bundle: TraceBundle, timestamp: float | None) -> float:
@@ -249,7 +309,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
         raise BatchLensError("trace carries no server-usage data to sweep")
     run = Pipeline.from_bundle(bundle, detectors=args.detectors,
                                metrics=(args.metric,),
-                               sinks=({"kind": "score"},)).run()
+                               sinks=({"kind": "score"},),
+                               execution=_execution_from_args(args)).run()
     if args.json:
         payload = run.to_dict()
         payload["scenario"] = str(bundle.meta.get("scenario", "unknown"))
@@ -257,6 +318,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
         return 0
     print(f"engine sweep on {args.metric!r}: {store.num_machines} machine(s), "
           f"{store.num_samples} sample(s)")
+    if args.timings:
+        _print_timings(run)
     for detection in run.detections:
         flagged = detection.result.flagged_machines()
         print(f"  {detection.label}: {detection.result.num_events} event(s) on "
@@ -300,13 +363,25 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     path = Path(text)
     if path.is_file():
         text = path.read_text(encoding="utf-8")
-    result = Pipeline.from_spec(text).run()
+    pipeline = Pipeline.from_spec(text)
+    execution = _execution_from_args(args, base=pipeline.execution)
+    if execution is not None:
+        from repro.errors import PipelineError
+
+        if pipeline.mode == "streaming":
+            raise PipelineError(
+                "--backend/--workers/--shards apply to batch pipelines "
+                "only; this spec runs in streaming mode")
+        pipeline.execution = execution
+    result = pipeline.run()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     elif "report" in result.outputs:
         print(result.outputs["report"])
     else:
         print(render_run_markdown(result))
+    if args.timings and not args.json:
+        _print_timings(result)
     return 0
 
 
@@ -440,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: every registered detector)")
     detect.add_argument("--json", action="store_true",
                         help="emit the machine-readable run summary for CI")
+    _add_execution_flags(detect)
     detect.set_defaults(func=cmd_detect)
 
     pipeline = sub.add_parser(
@@ -451,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "for a synthetic source")
     pipeline.add_argument("--json", action="store_true",
                           help="emit the machine-readable run summary for CI")
+    _add_execution_flags(pipeline)
     pipeline.set_defaults(func=cmd_pipeline)
 
     scenarios = sub.add_parser(

@@ -26,20 +26,30 @@ from repro.errors import SeriesError, UnknownEntityError
 from repro.metrics.series import TimeSeries
 
 
+def _validate_axes(machine_ids: Sequence[str],
+                   timestamps: np.ndarray) -> tuple[list[str], np.ndarray]:
+    """Shared machine/time axis validation (constructor and
+    :meth:`MetricStore.from_dense`): unique ids, 1-D strictly increasing
+    timestamps.  Returns the normalised ``(ids, timestamps)`` pair."""
+    machine_ids = list(machine_ids)
+    if len(set(machine_ids)) != len(machine_ids):
+        raise SeriesError("machine ids must be unique")
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    if timestamps.ndim != 1:
+        raise SeriesError("timestamps must be one-dimensional")
+    if timestamps.shape[0] > 1 and np.any(np.diff(timestamps) <= 0):
+        raise SeriesError("timestamps must be strictly increasing")
+    return machine_ids, timestamps
+
+
 class MetricStore:
     """Dense ``(machine, metric, time)`` utilisation storage."""
 
     def __init__(self, machine_ids: Sequence[str], timestamps: np.ndarray,
                  metrics: Sequence[str] = METRICS) -> None:
-        self._machine_ids = list(machine_ids)
-        if len(set(self._machine_ids)) != len(self._machine_ids):
-            raise SeriesError("machine ids must be unique")
+        self._machine_ids, self._timestamps = _validate_axes(machine_ids,
+                                                             timestamps)
         self._metrics = tuple(metrics)
-        self._timestamps = np.asarray(timestamps, dtype=np.float64)
-        if self._timestamps.ndim != 1:
-            raise SeriesError("timestamps must be one-dimensional")
-        if self._timestamps.shape[0] > 1 and np.any(np.diff(self._timestamps) <= 0):
-            raise SeriesError("timestamps must be strictly increasing")
         self._machine_index = {mid: i for i, mid in enumerate(self._machine_ids)}
         self._metric_index = {name: i for i, name in enumerate(self._metrics)}
         self._data = np.zeros(
@@ -205,6 +215,25 @@ class MetricStore:
         data.setflags(write=False)
         return MetricStore._view(ids, self._timestamps, self._metrics, data)
 
+    def machine_slice(self, start: int, stop: int) -> "MetricStore":
+        """Zero-copy view of a contiguous run of machine rows.
+
+        This is the primitive the shard planner
+        (:mod:`repro.analysis.shard`) splits a store with: the returned
+        view shares this store's data (``np.shares_memory``) and is marked
+        read-only, mirroring :meth:`subset`'s contiguous fast path without
+        the id-list round trip.
+        """
+        start, stop = int(start), int(stop)
+        if start < 0 or stop > self.num_machines or stop < start:
+            raise SeriesError(
+                f"machine slice [{start}, {stop}) out of range for "
+                f"{self.num_machines} machine(s)")
+        data = self._data[start:stop]
+        data.setflags(write=False)
+        return MetricStore._view(self._machine_ids[start:stop],
+                                 self._timestamps, self._metrics, data)
+
     def window(self, start: float, end: float) -> "MetricStore":
         """Return a zero-copy view restricted to ``start <= t <= end``.
 
@@ -223,6 +252,27 @@ class MetricStore:
             raise SeriesError("store holds no samples")
         idx = int(np.searchsorted(self._timestamps, timestamp, side="right")) - 1
         return max(0, min(idx, self.num_samples - 1))
+
+    # -- dense conversion ------------------------------------------------------
+    @classmethod
+    def from_dense(cls, machine_ids: Sequence[str], timestamps: np.ndarray,
+                   metrics: Sequence[str],
+                   data: np.ndarray) -> "MetricStore":
+        """Adopt an existing dense ``(machines, metrics, samples)`` array.
+
+        The inverse of reading :attr:`data` out of a store — the columnar
+        trace cache (:mod:`repro.trace.cache`) round-trips stores through
+        it.  Ids/timestamps get the constructor's validation, but ``data``
+        is adopted without copying and no zero matrix is allocated (this
+        sits on the warm cache-load hot path).
+        """
+        machine_ids, timestamps = _validate_axes(machine_ids, timestamps)
+        data = np.asarray(data, dtype=np.float64)
+        expected = (len(machine_ids), len(metrics), timestamps.shape[0])
+        if data.shape != expected:
+            raise SeriesError(
+                f"dense block has shape {data.shape}, expected {expected}")
+        return cls._view(machine_ids, timestamps, tuple(metrics), data)
 
     # -- record conversion ----------------------------------------------------
     def iter_records(self) -> Iterator[tuple[float, str, dict[str, float]]]:

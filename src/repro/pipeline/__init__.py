@@ -39,12 +39,18 @@ from repro.pipeline.detectors import (
     resolve_detectors,
 )
 from repro.pipeline.sinks import register_sink, sink_names
-from repro.pipeline.spec import DetectorPlan, SourceSpec, StreamingOptions
+from repro.pipeline.spec import (
+    DetectorPlan,
+    ExecutionOptions,
+    SourceSpec,
+    StreamingOptions,
+)
 
 __all__ = [
     "DetectorInfo",
     "DetectorPlan",
     "DetectorRun",
+    "ExecutionOptions",
     "Pipeline",
     "RunResult",
     "SourceSpec",

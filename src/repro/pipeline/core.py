@@ -54,6 +54,7 @@ from repro.pipeline.detectors import (
 from repro.pipeline.spec import (
     MODES,
     DetectorPlan,
+    ExecutionOptions,
     SourceSpec,
     StreamingOptions,
     normalise_sinks,
@@ -162,7 +163,8 @@ class Pipeline:
                  metrics: "tuple[str, ...] | str" = ("cpu",),
                  mode: str = "batch",
                  sinks=("score",),
-                 streaming: StreamingOptions | None = None) -> None:
+                 streaming: StreamingOptions | None = None,
+                 execution: ExecutionOptions | None = None) -> None:
         if not isinstance(source, SourceSpec):
             raise PipelineError(
                 f"source must be a SourceSpec, got {source!r}; use "
@@ -176,6 +178,14 @@ class Pipeline:
         self.mode = mode
         self.metrics = tuple(metrics)
         self.streaming = streaming if streaming is not None else StreamingOptions()
+        self.execution = execution if execution is not None else ExecutionOptions()
+        if mode == "streaming" and self.execution != ExecutionOptions():
+            # Streaming folds the store through one sequential monitor;
+            # silently ignoring a requested parallel backend would be worse
+            # than saying so.
+            raise PipelineError(
+                "execution options (sharded backends/workers) apply to "
+                "batch mode only; streaming runs are sequential")
         self.sinks = normalise_sinks(sinks)
         from repro.pipeline.sinks import validate_sinks
 
@@ -237,7 +247,8 @@ class Pipeline:
         if not isinstance(spec, Mapping):
             raise PipelineError(
                 f"pipeline spec must be a mapping or string, got {spec!r}")
-        known = {"source", "mode", "detectors", "metrics", "sinks", "streaming"}
+        known = {"source", "mode", "detectors", "metrics", "sinks",
+                 "streaming", "execution"}
         unknown = set(spec) - known
         if unknown:
             raise PipelineError(
@@ -257,13 +268,16 @@ class Pipeline:
         if isinstance(metrics, str):
             metrics = (metrics,)
         streaming = spec.get("streaming")
+        execution = spec.get("execution")
         return cls(source,
                    detectors=detectors,
                    metrics=tuple(metrics),
                    mode=str(spec.get("mode", "batch")),
                    sinks=spec.get("sinks", ("score",)),
                    streaming=(StreamingOptions.from_dict(streaming)
-                              if streaming is not None else None))
+                              if streaming is not None else None),
+                   execution=(ExecutionOptions.from_dict(execution)
+                              if execution is not None else None))
 
     @classmethod
     def from_bundle(cls, bundle: "TraceBundle", **kwargs) -> "Pipeline":
@@ -297,6 +311,8 @@ class Pipeline:
         }
         if self.mode == "streaming":
             spec["streaming"] = self.streaming.to_dict()
+        if self.execution != ExecutionOptions():
+            spec["execution"] = self.execution.to_dict()
         return spec
 
     def __eq__(self, other: object) -> bool:
@@ -329,7 +345,7 @@ class Pipeline:
         if source.kind == "trace-dir":
             from repro.trace.loader import load_trace
 
-            bundle = load_trace(source.path)
+            bundle = load_trace(source.path, cache=source.cache)
             return bundle, bundle.usage
         # synthetic
         from repro.trace.synthetic import generate_trace
@@ -397,14 +413,28 @@ class Pipeline:
         return result
 
     def _run_batch(self, store: "MetricStore") -> RunResult:
-        from repro.analysis.engine import DetectionEngine
+        if self.execution.sharded and self.plans:
+            from repro.analysis.shard import ShardExecutor
 
-        engine = DetectionEngine(detectors={})
-        detections = tuple(
-            DetectorRun(label=plan.label, name=plan.name, metric=plan.metric,
-                        result=engine.run(store, plan.detector,
-                                          metric=plan.metric))
-            for plan in self.plans)
+            executor = ShardExecutor(self.execution.backend,
+                                     workers=self.execution.workers)
+            results = executor.run_many(
+                store, [(plan.detector, plan.metric) for plan in self.plans],
+                shards=self.execution.shards)
+            detections = tuple(
+                DetectorRun(label=plan.label, name=plan.name,
+                            metric=plan.metric, result=result)
+                for plan, result in zip(self.plans, results))
+        else:
+            from repro.analysis.engine import DetectionEngine
+
+            engine = DetectionEngine(detectors={})
+            detections = tuple(
+                DetectorRun(label=plan.label, name=plan.name,
+                            metric=plan.metric,
+                            result=engine.run(store, plan.detector,
+                                              metric=plan.metric))
+                for plan in self.plans)
         return RunResult(mode="batch", metrics=self.metrics,
                          machine_ids=tuple(store.machine_ids),
                          num_samples=store.num_samples,

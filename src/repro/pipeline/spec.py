@@ -40,6 +40,15 @@ Streaming options
 pass; ``cadence="sample"`` replays sample by sample through the
 :class:`~repro.stream.replay.TraceReplayer` (alert-for-alert identical to a
 live feed, used by ``repro monitor``).
+
+Execution options
+-----------------
+``{"backend": "threads", "shards": 8, "workers": 8}`` — how batch mode
+executes its detector sweeps.  The default is one serial pass; ``threads``
+/ ``process`` shard the store along the machine axis into zero-copy views
+and sweep them on a pool (:mod:`repro.analysis.shard`).  Shard verdicts
+merge deterministically, so every backend × shard count is bit-identical
+to the serial path; the knob only changes wall-clock time.
 """
 
 from __future__ import annotations
@@ -95,6 +104,9 @@ class SourceSpec:
     seed: int | None = None
     paper_scale: bool = False
     config: tuple[tuple[str, int], ...] = ()
+    #: trace-dir only: reuse/maintain the columnar binary sidecar cache
+    #: (:mod:`repro.trace.cache`), skipping CSV parsing on repeat loads.
+    cache: bool = False
     #: In-memory sources (not spec-serialisable).
     bundle: "TraceBundle | None" = field(default=None, compare=False)
     store: "MetricStore | None" = field(default=None, compare=False)
@@ -126,7 +138,10 @@ class SourceSpec:
                 f"a {self.kind!r} source holds in-memory data and cannot be "
                 f"serialised to a spec")
         if self.kind == "trace-dir":
-            return {"kind": "trace-dir", "path": str(self.path)}
+            out = {"kind": "trace-dir", "path": str(self.path)}
+            if self.cache:
+                out["cache"] = True
+            return out
         out: dict = {"kind": "synthetic",
                      "scenario": self.scenario or "healthy"}
         if self.seed is not None:
@@ -143,7 +158,8 @@ class SourceSpec:
             raise PipelineError(f"source spec must be a mapping, got {raw!r}")
         kind = raw.get("kind")
         if kind == "trace-dir":
-            return cls(kind="trace-dir", path=str(raw.get("path", "")) or None)
+            return cls(kind="trace-dir", path=str(raw.get("path", "")) or None,
+                       cache=bool(raw.get("cache", False)))
         if kind == "synthetic":
             config = raw.get("config", {})
             if not isinstance(config, Mapping):
@@ -210,6 +226,91 @@ class StreamingOptions:
 
 
 @dataclass(frozen=True)
+class ExecutionOptions:
+    """How a batch pipeline executes its detector sweeps.
+
+    The default (serial backend, no shards) is the classic one-pass sweep.
+    Anything else routes through the shard executor
+    (:class:`~repro.analysis.shard.ShardExecutor`): the store is split
+    along the machine axis into ``shards`` zero-copy views (default: one
+    per worker) and swept on ``backend`` with at most ``workers`` workers
+    (default: one per core).  Results are merged deterministically —
+    events, flagged machines and scores are bit-identical to the serial
+    path for every backend and shard count.
+
+    Asking for ``workers`` or ``shards`` without naming a backend is a
+    request for parallelism: the backend then resolves to ``threads``
+    (mirroring the CLI, where ``--workers`` alone implies ``--backend
+    threads``); an explicit ``backend="serial"`` always wins.
+    """
+
+    backend: str | None = None
+    shards: int | None = None
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        from repro.analysis.shard import BACKENDS
+
+        # Remember whether the caller named the backend: an explicitly
+        # pinned "serial" must survive CLI flag merging, while an absent
+        # backend resolves from the other fields (not a dataclass field,
+        # so it never affects equality).
+        object.__setattr__(self, "_backend_pinned", self.backend is not None)
+        if self.backend is None:
+            resolved = ("threads" if self.workers is not None
+                        or self.shards is not None else "serial")
+            object.__setattr__(self, "backend", resolved)
+        if self.backend not in BACKENDS:
+            raise PipelineError(
+                f"unknown execution backend {self.backend!r}; expected one "
+                f"of {list(BACKENDS)}")
+        if self.shards is not None and self.shards < 1:
+            raise PipelineError(
+                f"execution.shards must be at least 1, got {self.shards}")
+        if self.workers is not None and self.workers < 1:
+            raise PipelineError(
+                f"execution.workers must be at least 1, got {self.workers}")
+
+    @property
+    def sharded(self) -> bool:
+        """True when the sweep should go through the shard executor."""
+        return self.backend != "serial" or (self.shards or 1) > 1
+
+    @property
+    def explicit_backend(self) -> bool:
+        """True when the backend was named rather than resolved."""
+        return self._backend_pinned
+
+    def to_dict(self) -> dict:
+        out: dict = {"backend": self.backend}
+        if self.shards is not None:
+            out["shards"] = self.shards
+        if self.workers is not None:
+            out["workers"] = self.workers
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "ExecutionOptions":
+        if not isinstance(raw, Mapping):
+            raise PipelineError(
+                f"execution options must be a mapping, got {raw!r}")
+        known = {"backend", "shards", "workers"}
+        unknown = set(raw) - known
+        if unknown:
+            raise PipelineError(
+                f"unknown execution option(s) {sorted(unknown)}; expected "
+                f"{sorted(known)}")
+        shards = raw.get("shards")
+        workers = raw.get("workers")
+        backend = raw.get("backend")
+        return cls(backend=None if backend is None else str(backend),
+                   shards=(None if shards is None
+                           else _as_int(shards, "execution.shards")),
+                   workers=(None if workers is None
+                            else _as_int(workers, "execution.workers")))
+
+
+@dataclass(frozen=True)
 class DetectorPlan:
     """One resolved unit of batch work: a detector judging one metric."""
 
@@ -250,6 +351,7 @@ __all__ = [
     "SOURCE_KINDS",
     "SYNTHETIC_CONFIG_KEYS",
     "DetectorPlan",
+    "ExecutionOptions",
     "SourceSpec",
     "StreamingOptions",
     "normalise_sinks",

@@ -1,0 +1,249 @@
+"""Columnar binary sidecar cache for Alibaba-format trace directories.
+
+Parsing a trace directory goes row by row through Python string handling —
+fine once, wasteful every time the same immutable CSVs are re-analysed.
+This module persists a parsed :class:`~repro.trace.records.TraceBundle` as
+one uncompressed ``.npz`` next to the CSVs (``<dir>/.repro-cache/``):
+
+* every record table becomes one NumPy array per schema column (plus a
+  boolean null-mask per nullable column) — columnar, binary, no parsing on
+  reload;
+* the server-usage table is stored as the dense ``(machines, metrics,
+  samples)`` matrix of its :class:`~repro.metrics.store.MetricStore`, so a
+  warm load rebuilds the store with zero per-row work.
+
+The cache is keyed by a **content hash** of the table files
+(:func:`trace_fingerprint`): edit, replace or re-compress any CSV and the
+fingerprint changes, the stale cache is ignored, and the next parse
+rewrites it.  Corrupt or incompatible cache files are treated as absent —
+the cache can always be deleted (or the whole ``.repro-cache`` directory
+removed) without losing anything.
+
+Callers normally never touch this module directly:
+``load_trace(directory, cache=True)`` (or ``--cache`` on the CLI, or
+``{"kind": "trace-dir", "path": ..., "cache": true}`` in a pipeline spec)
+checks the cache first and maintains it after a cold parse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import SeriesError
+from repro.metrics.store import MetricStore
+from repro.trace import schema
+from repro.trace.records import (
+    BatchInstanceRecord,
+    BatchTaskRecord,
+    MachineEvent,
+    TraceBundle,
+)
+
+#: Bump when the array layout changes; old caches are silently re-built.
+CACHE_VERSION = 1
+CACHE_DIR_NAME = ".repro-cache"
+CACHE_FILENAME = "trace.npz"
+
+_FACTORIES: dict[str, Callable[[dict], object]] = {
+    "machine_events": MachineEvent.from_row,
+    "batch_task": BatchTaskRecord.from_row,
+    "batch_instance": BatchInstanceRecord.from_row,
+}
+
+_NULL_SUFFIX = "#null"
+
+
+def cache_path(directory: str | Path) -> Path:
+    """Where the sidecar cache of a trace directory lives."""
+    return Path(directory) / CACHE_DIR_NAME / CACHE_FILENAME
+
+
+def trace_fingerprint(paths: Mapping[str, Path | None]) -> str:
+    """Content hash of the table files backing one trace directory.
+
+    ``paths`` maps table name to the resolved file (or ``None`` when the
+    table is absent) — the shape :func:`repro.trace.loader.load_trace`
+    resolves.  The digest covers table name, file name and raw bytes, so
+    renaming ``x.csv`` to ``x.csv.gz`` (different bytes) or swapping a
+    table in or out always invalidates the cache.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(schema.SCHEMAS):
+        path = paths.get(name)
+        if path is None:
+            continue
+        digest.update(name.encode("utf-8") + b"\0")
+        digest.update(path.name.encode("utf-8") + b"\0")
+        # Stream the bytes: production tables run to gigabytes, and the
+        # fingerprint is computed on every cached load.
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _column_arrays(name: str, records: list) -> dict[str, np.ndarray]:
+    """Columnar arrays of one record table (one array per schema column)."""
+    table = schema.SCHEMAS[name]
+    rows = [record.to_row() for record in records]
+    arrays: dict[str, np.ndarray] = {}
+    for column in table.columns:
+        key = f"{name}:{column.name}"
+        values = [row[column.name] for row in rows]
+        if column.kind == "str":
+            arrays[key] = np.asarray(
+                ["" if value is None else str(value) for value in values],
+                dtype=np.str_)
+        else:
+            dtype = np.int64 if column.kind == "int" else np.float64
+            arrays[key] = np.asarray(
+                [0 if value is None else value for value in values],
+                dtype=dtype)
+        if column.nullable:
+            arrays[key + _NULL_SUFFIX] = np.asarray(
+                [value is None for value in values], dtype=bool)
+    return arrays
+
+
+def _records_from_arrays(name: str, data) -> list:
+    """Rebuild one table's typed records from its columnar arrays.
+
+    Raises :class:`ValueError` (read as "cache absent" by the caller) when
+    the column arrays disagree on row count — ``zip`` would otherwise
+    silently truncate a damaged cache to its shortest column.
+    """
+    table = schema.SCHEMAS[name]
+    columns: list[list] = []
+    for column in table.columns:
+        key = f"{name}:{column.name}"
+        values = data[key].tolist()
+        if column.nullable:
+            nulls = data[key + _NULL_SUFFIX].tolist()
+            if len(nulls) != len(values):
+                raise ValueError(f"cache table {name}: null-mask length "
+                                 f"mismatch on {column.name}")
+            values = [None if null else value
+                      for value, null in zip(values, nulls)]
+        columns.append(values)
+    if len({len(column) for column in columns}) > 1:
+        raise ValueError(f"cache table {name}: column lengths disagree")
+    factory = _FACTORIES[name]
+    names = table.column_names
+    return [factory(dict(zip(names, row))) for row in zip(*columns)]
+
+
+def save_trace_cache(bundle: TraceBundle, directory: str | Path,
+                     fingerprint: str, *,
+                     skip_malformed: bool = False) -> Path | None:
+    """Persist a parsed bundle as the directory's sidecar cache.
+
+    ``skip_malformed`` records the parse mode the bundle was produced
+    under: a lenient parse may have dropped rows a strict parse would
+    reject, so the two modes never share a cache entry.
+
+    Best-effort: a read-only directory, an unserialisable ``meta`` or any
+    other failure returns ``None`` instead of raising — caching must never
+    break a load that already succeeded.  The file is written atomically
+    (temp file + rename), so readers never observe a half-written cache.
+    """
+    path = cache_path(directory)
+    tmp: Path | None = None
+    try:
+        header = json.dumps({
+            "version": CACHE_VERSION,
+            "fingerprint": fingerprint,
+            "skip_malformed": bool(skip_malformed),
+            "meta": bundle.meta,
+        })
+        arrays: dict[str, np.ndarray] = {}
+        arrays.update(_column_arrays("machine_events", bundle.machine_events))
+        arrays.update(_column_arrays("batch_task", bundle.tasks))
+        arrays.update(_column_arrays("batch_instance", bundle.instances))
+        usage = bundle.usage
+        arrays["usage:present"] = np.asarray(usage is not None)
+        if usage is not None:
+            arrays["usage:machine_ids"] = np.asarray(usage.machine_ids,
+                                                     dtype=np.str_)
+            arrays["usage:metrics"] = np.asarray(list(usage.metrics),
+                                                 dtype=np.str_)
+            arrays["usage:timestamps"] = np.asarray(usage.timestamps,
+                                                    dtype=np.float64)
+            arrays["usage:data"] = np.ascontiguousarray(usage.data,
+                                                        dtype=np.float64)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # A unique temp name per writer keeps concurrent cold loads of the
+        # same directory from interleaving on one file; whichever replace
+        # lands last wins with a complete cache either way.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=path.name + ".", suffix=".tmp")
+        tmp = Path(tmp_name)
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, __header__=np.asarray(header), **arrays)
+        os.replace(tmp, path)
+    except (OSError, OverflowError, TypeError, ValueError):
+        # Column building can fail on values the row parser accepted (e.g.
+        # ints beyond int64); the load already succeeded, so skip caching.
+        try:
+            if tmp is not None:
+                tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return None
+    return path
+
+
+def load_trace_cache(directory: str | Path, fingerprint: str, *,
+                     skip_malformed: bool = False) -> TraceBundle | None:
+    """Load the sidecar cache, or ``None`` when absent, stale or corrupt.
+
+    A cache written under a different ``skip_malformed`` mode reads as
+    absent: a lenient parse may hold a partial bundle a strict load must
+    re-validate (and possibly reject) instead of serving.
+    """
+    path = cache_path(directory)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            header = json.loads(str(data["__header__"][()]))
+            if (header.get("version") != CACHE_VERSION
+                    or header.get("fingerprint") != fingerprint
+                    or header.get("skip_malformed") != bool(skip_malformed)):
+                return None
+            usage = None
+            if bool(data["usage:present"][()]):
+                usage = MetricStore.from_dense(
+                    data["usage:machine_ids"].tolist(),
+                    data["usage:timestamps"],
+                    tuple(data["usage:metrics"].tolist()),
+                    data["usage:data"])
+            return TraceBundle(
+                machine_events=_records_from_arrays("machine_events", data),
+                tasks=_records_from_arrays("batch_task", data),
+                instances=_records_from_arrays("batch_instance", data),
+                usage=usage,
+                meta=dict(header.get("meta", {})),
+            )
+    except (OSError, KeyError, ValueError, TypeError, SeriesError,
+            json.JSONDecodeError, zipfile.BadZipFile):
+        # SeriesError covers from_dense rejecting inconsistent cached
+        # arrays (shape/id/timestamp mismatches) — corrupt reads as absent.
+        return None
+
+
+__all__ = [
+    "CACHE_DIR_NAME",
+    "CACHE_FILENAME",
+    "CACHE_VERSION",
+    "cache_path",
+    "load_trace_cache",
+    "save_trace_cache",
+    "trace_fingerprint",
+]

@@ -17,8 +17,20 @@ from repro.trace.records import TraceBundle
 
 
 def _open_out(path: Path) -> io.TextIOBase:
+    """Open a (possibly gzip-compressed) table file for text writing.
+
+    The gzip handle is adopted by the returned :class:`io.TextIOWrapper`
+    (closing the wrapper flushes and closes it); if wrapper construction
+    itself fails, the handle is closed here instead of leaking a
+    half-open file.
+    """
     if path.suffix == ".gz":
-        return io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8", newline="")
+        raw = gzip.open(path, "wb")
+        try:
+            return io.TextIOWrapper(raw, encoding="utf-8", newline="")
+        except Exception:
+            raw.close()
+            raise
     return open(path, "w", encoding="utf-8", newline="")
 
 

@@ -1,0 +1,196 @@
+"""Unit and property tests for the shard planner and executor.
+
+The golden equivalence suite (``tests/test_shard_golden.py``) pins the
+end-to-end contract (sharded ``Pipeline.run()`` bit-identical to serial);
+these tests cover the pieces: plan shapes, zero-copy shard views
+(``np.shares_memory`` with the parent store), deterministic merging, and
+executor validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.engine import DetectionEngine, merge_engine_results
+from repro.analysis.shard import (
+    BACKENDS,
+    ShardExecutor,
+    plan_shards,
+    shard_store,
+)
+from repro.errors import SeriesError
+from repro.metrics.store import MetricStore
+
+
+def small_store(num_machines: int = 9, num_samples: int = 24,
+                seed: int = 7) -> MetricStore:
+    rng = np.random.default_rng(seed)
+    ids = [f"m{i:03d}" for i in range(num_machines)]
+    store = MetricStore(ids, np.arange(num_samples) * 300.0)
+    store.data[:] = rng.uniform(0.0, 100.0, store.data.shape)
+    if num_machines > 2:
+        store.data[1, :, num_samples // 2:] = 0.0   # a flatlined machine
+    return store
+
+
+class TestPlanShards:
+    def test_partitions_rows_in_order(self):
+        plan = plan_shards(10, 3)
+        assert [(s.start, s.stop) for s in plan] == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_shards_than_machines_degrades_to_one_each(self):
+        plan = plan_shards(3, 8)
+        assert [(s.start, s.stop) for s in plan] == [(0, 1), (1, 2), (2, 3)]
+
+    def test_zero_machines_plan_to_nothing(self):
+        assert plan_shards(0, 4) == []
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(SeriesError):
+            plan_shards(10, 0)
+
+    @given(num_machines=st.integers(min_value=0, max_value=200),
+           shards=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_always_a_contiguous_ascending_partition(self, num_machines,
+                                                     shards):
+        plan = plan_shards(num_machines, shards)
+        assert len(plan) == (min(shards, num_machines) if num_machines else 0)
+        cursor = 0
+        for piece in plan:
+            assert piece.start == cursor
+            assert piece.stop > piece.start
+            cursor = piece.stop
+        assert cursor == num_machines
+        sizes = [piece.stop - piece.start for piece in plan]
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestShardViews:
+    def test_views_partition_the_machine_ids(self):
+        store = small_store(11)
+        views = shard_store(store, 4)
+        ids = [mid for view in views for mid in view.machine_ids]
+        assert ids == store.machine_ids
+
+    @given(num_machines=st.integers(min_value=1, max_value=40),
+           shards=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_shard_views_share_memory_with_parent(self, num_machines, shards):
+        store = small_store(num_machines, num_samples=6)
+        for view in shard_store(store, shards):
+            assert np.shares_memory(view.data, store.data)
+            assert view.timestamps is store.timestamps
+
+    def test_machine_slice_bounds_checked(self):
+        store = small_store(5)
+        with pytest.raises(SeriesError):
+            store.machine_slice(2, 9)
+        with pytest.raises(SeriesError):
+            store.machine_slice(-1, 3)
+        with pytest.raises(SeriesError):
+            store.machine_slice(4, 2)
+
+    def test_machine_slice_is_read_only(self):
+        store = small_store(5)
+        view = store.machine_slice(1, 4)
+        with pytest.raises(ValueError):
+            view.data[0, 0, 0] = 1.0
+
+
+class TestMergeEngineResults:
+    def test_merge_of_shard_sweeps_equals_whole_sweep(self):
+        store = small_store(13)
+        engine = DetectionEngine()
+        whole = engine.run(store, "threshold")
+        parts = [engine.run(view, "threshold")
+                 for view in shard_store(store, 5)]
+        merged = merge_engine_results(parts)
+        assert merged.machine_ids == whole.machine_ids
+        assert np.array_equal(merged.mask, whole.mask)
+        assert np.array_equal(merged.scores, whole.scores)
+        assert merged.events() == whole.events()
+        assert merged.flagged_machines() == whole.flagged_machines()
+        assert merged.event_counts() == whole.event_counts()
+
+    def test_single_result_passes_through(self):
+        store = small_store(4)
+        result = DetectionEngine().run(store, "threshold")
+        assert merge_engine_results([result]) is result
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(SeriesError):
+            merge_engine_results([])
+
+    def test_mixed_sweeps_rejected(self):
+        store = small_store(6)
+        engine = DetectionEngine()
+        threshold = engine.run(store, "threshold")
+        flatline = engine.run(store, "flatline")
+        with pytest.raises(SeriesError):
+            merge_engine_results([threshold, flatline])
+
+    def test_mismatched_grids_rejected(self):
+        engine = DetectionEngine()
+        first = engine.run(small_store(4, num_samples=10), "threshold")
+        second = engine.run(small_store(4, num_samples=12), "threshold")
+        with pytest.raises(SeriesError):
+            merge_engine_results([first, second])
+
+
+class TestShardExecutor:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_matches_direct_engine(self, backend):
+        store = small_store(10)
+        direct = DetectionEngine().run(store, "flatline")
+        result = ShardExecutor(backend, workers=2).run(store, "flatline",
+                                                       shards=3)
+        assert result.events() == direct.events()
+        assert np.array_equal(result.mask, direct.mask)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_many_keeps_work_order(self, backend):
+        store = small_store(10)
+        executor = ShardExecutor(backend, workers=2)
+        results = executor.run_many(
+            store, (("threshold", "cpu"), ("flatline", "cpu"),
+                    ("threshold", "mem")), shards=3)
+        assert [r.detector for r in results] == ["threshold", "flatline",
+                                                 "threshold"]
+        assert [r.metric for r in results] == ["cpu", "cpu", "mem"]
+        engine = DetectionEngine()
+        assert results[2].events() \
+            == engine.run(store, "threshold", metric="mem").events()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_work_returns_empty_on_every_backend(self, backend):
+        store = small_store(6)
+        assert ShardExecutor(backend, workers=2).run_many(store, ()) == []
+
+    def test_single_shard_multi_work_still_parallel_and_identical(self):
+        """A one-shard plan must fan the detector units across the pool
+        (and stay bit-identical), not serialise them."""
+        store = small_store(8)
+        engine = DetectionEngine()
+        results = ShardExecutor("threads", workers=2).run_many(
+            store, (("threshold", "cpu"), ("flatline", "cpu")), shards=1)
+        assert results[0].events() == engine.run(store, "threshold").events()
+        assert results[1].events() == engine.run(store, "flatline").events()
+
+    def test_machine_less_store_yields_empty_result(self):
+        store = MetricStore([], np.arange(4, dtype=float))
+        result = ShardExecutor("threads").run(store, "threshold", shards=4)
+        assert result.num_events == 0
+        assert result.machine_ids == ()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SeriesError):
+            ShardExecutor("cluster")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(SeriesError):
+            ShardExecutor("threads", workers=0)

@@ -114,6 +114,105 @@ class TestPipelineSubcommand:
         assert "pipeline" in build_parser().format_help()
 
 
+class TestExecutionFlags:
+    """--backend/--workers/--shards shard the sweep; --timings surfaces
+    the run's wall-clock breakdown; verdicts never change."""
+
+    SYNTH = ["--synthetic", "--scenario", "machine-failure", "--seed", "5"]
+
+    def test_detect_timings_line(self, capsys):
+        assert main(["detect", *self.SYNTH, "--timings"]) == 0
+        output = capsys.readouterr().out
+        (line,) = [ln for ln in output.splitlines()
+                   if ln.startswith("timings:")]
+        for part in ("source", "detect", "sinks", "total"):
+            assert f"{part} " in line
+
+    def test_detect_parallel_flags_keep_verdict_identical(self, capsys):
+        assert main(["detect", *self.SYNTH, "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["detect", *self.SYNTH, "--json",
+                     "--backend", "threads", "--workers", "2",
+                     "--shards", "3"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded["detections"] == serial["detections"]
+        assert sharded["scores"] == serial["scores"]
+
+    def test_workers_alone_implies_threads_backend(self, capsys):
+        assert main(["detect", *self.SYNTH, "--json", "--workers", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["detections"]
+
+    def test_pipeline_flags_override_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "source": {"kind": "synthetic", "scenario": "healthy", "seed": 3,
+                       "config": {"num_machines": 8, "num_jobs": 6,
+                                  "horizon_s": 3600, "resolution_s": 120}},
+            "detectors": "threshold",
+            "sinks": [],
+        }), encoding="utf-8")
+        assert main(["pipeline", str(spec_path), "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["pipeline", str(spec_path), "--json",
+                     "--backend", "serial", "--shards", "3"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded["detections"] == serial["detections"]
+
+    def test_pipeline_flags_merge_with_spec_execution_block(self):
+        """`--shards 4` alone must keep the spec's backend/workers, not
+        silently swap a configured process pool for default threads."""
+        from repro.cli import _execution_from_args
+        from repro.pipeline import ExecutionOptions
+
+        args = build_parser().parse_args(["pipeline", "spec.json",
+                                          "--shards", "4"])
+        base = ExecutionOptions(backend="process", workers=6)
+        assert _execution_from_args(args, base=base) \
+            == ExecutionOptions(backend="process", shards=4, workers=6)
+        # no spec block: --shards alone implies the threads backend
+        assert _execution_from_args(args, base=ExecutionOptions()) \
+            == ExecutionOptions(backend="threads", shards=4)
+        # ... but an explicitly pinned serial backend survives the flags
+        pinned = _execution_from_args(
+            args, base=ExecutionOptions(backend="serial"))
+        assert pinned == ExecutionOptions(backend="serial", shards=4)
+        # a merely implied backend re-resolves from the merged fields
+        implied = _execution_from_args(
+            args, base=ExecutionOptions(workers=16))
+        assert implied == ExecutionOptions(backend="threads", shards=4,
+                                           workers=16)
+        # no flags at all: nothing to override
+        bare = build_parser().parse_args(["pipeline", "spec.json"])
+        assert _execution_from_args(bare, base=base) is None
+
+    def test_pipeline_timings_line(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "source": {"kind": "synthetic", "scenario": "healthy", "seed": 3,
+                       "config": {"num_machines": 8, "num_jobs": 6,
+                                  "horizon_s": 3600, "resolution_s": 120}},
+            "detectors": "threshold",
+            "sinks": [],
+        }), encoding="utf-8")
+        assert main(["pipeline", str(spec_path), "--timings"]) == 0
+        output = capsys.readouterr().out
+        assert any(line.startswith("timings:")
+                   for line in output.splitlines())
+
+    def test_detect_cache_flag_builds_and_reuses_sidecar(
+            self, tmp_path, thrashing_bundle, capsys):
+        from repro.trace.cache import cache_path
+
+        write_trace(thrashing_bundle, tmp_path)
+        assert main(["detect", str(tmp_path), "--cache", "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cache_path(tmp_path).exists()
+        assert main(["detect", str(tmp_path), "--cache", "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["detections"] == cold["detections"]
+
+
 class TestCleanErrors:
     """Unknown names exit nonzero with a one-line message listing what IS
     registered — never a traceback."""

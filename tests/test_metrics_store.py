@@ -166,6 +166,27 @@ class TestEdgeCases:
             store.machine_snapshot("m1", 0.0)
 
 
+class TestFromDense:
+    def test_adopts_data_without_copy(self):
+        data = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        store = MetricStore.from_dense(["a", "b"], np.arange(4, dtype=float),
+                                       ("cpu", "mem", "disk"), data)
+        assert np.shares_memory(store.data, data)
+        assert store.series("b", "disk").values.tolist() == [20, 21, 22, 23]
+
+    def test_validates_shape_and_ids_and_timestamps(self):
+        data = np.zeros((2, 3, 4))
+        with pytest.raises(SeriesError):
+            MetricStore.from_dense(["a", "a"], np.arange(4, dtype=float),
+                                   ("cpu", "mem", "disk"), data)
+        with pytest.raises(SeriesError):
+            MetricStore.from_dense(["a", "b"], np.array([3.0, 2.0, 1.0, 0.0]),
+                                   ("cpu", "mem", "disk"), data)
+        with pytest.raises(SeriesError):
+            MetricStore.from_dense(["a", "b"], np.arange(5, dtype=float),
+                                   ("cpu", "mem", "disk"), data)
+
+
 class TestRecordsRoundTrip:
     def test_iter_records_count(self, store):
         records = list(store.iter_records())

@@ -12,6 +12,7 @@ from repro.errors import BatchLensError, PipelineError
 from repro.metrics.store import MetricStore
 from repro.pipeline import (
     DetectorPlan,
+    ExecutionOptions,
     Pipeline,
     SourceSpec,
     StreamingOptions,
@@ -186,6 +187,57 @@ class TestSpecs:
             detectors={"threshold": ThresholdDetector(90.0)})
         with pytest.raises(PipelineError, match="spec-string"):
             pipeline.to_spec()
+
+    def test_execution_options_validated(self):
+        with pytest.raises(PipelineError, match="backend"):
+            ExecutionOptions(backend="quantum")
+        with pytest.raises(PipelineError, match="shards"):
+            ExecutionOptions(shards=0)
+        with pytest.raises(PipelineError, match="workers"):
+            ExecutionOptions.from_dict({"workers": "many"})
+        with pytest.raises(PipelineError, match="unknown execution option"):
+            ExecutionOptions.from_dict({"wrokers": 4})
+
+    def test_execution_spec_round_trip(self):
+        source = {"kind": "synthetic", "scenario": "healthy", "seed": 2}
+        pipeline = Pipeline.from_spec({
+            "source": source,
+            "execution": {"backend": "threads", "shards": 3, "workers": 2}})
+        assert pipeline.execution == ExecutionOptions(
+            backend="threads", shards=3, workers=2)
+        assert pipeline.to_spec()["execution"] \
+            == {"backend": "threads", "shards": 3, "workers": 2}
+        assert Pipeline.from_spec(pipeline.to_spec()) == pipeline
+        # the default execution stays out of the canonical spec
+        assert "execution" not in Pipeline.from_spec({"source": source}).to_spec()
+
+    def test_execution_workers_alone_implies_threads(self):
+        """Asking for workers IS asking for parallelism — on the spec path,
+        the programmatic constructor, and the CLI alike."""
+        assert ExecutionOptions.from_dict({"workers": 8}) \
+            == ExecutionOptions(backend="threads", workers=8)
+        assert ExecutionOptions.from_dict({"shards": 4}).backend == "threads"
+        assert ExecutionOptions.from_dict(
+            {"backend": "serial", "workers": 8}).backend == "serial"
+        assert ExecutionOptions.from_dict({}).backend == "serial"
+        assert ExecutionOptions(workers=8).backend == "threads"
+        assert ExecutionOptions(workers=8).sharded
+        assert ExecutionOptions(shards=2).backend == "threads"
+
+    def test_streaming_mode_rejects_execution_options(self):
+        with pytest.raises(PipelineError, match="batch mode only"):
+            Pipeline.from_spec({
+                "source": {"kind": "synthetic", "scenario": "healthy"},
+                "mode": "streaming",
+                "execution": {"workers": 4}})
+
+    def test_default_execution_is_serial_unsharded(self):
+        pipeline = Pipeline.from_spec(
+            {"source": {"kind": "synthetic", "scenario": "healthy"}})
+        assert pipeline.execution == ExecutionOptions()
+        assert not pipeline.execution.sharded
+        assert ExecutionOptions(backend="threads").sharded
+        assert ExecutionOptions(shards=4).sharded
 
     def test_plans_and_detectors_are_exclusive(self):
         plan = DetectorPlan(label="t", name="threshold", metric="cpu",

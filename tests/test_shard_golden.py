@@ -1,0 +1,98 @@
+"""Golden equivalence: sharded ``Pipeline.run()`` is bit-identical to serial.
+
+The shard executor's whole value proposition is that the ``execution``
+block of a pipeline spec only changes wall-clock time — never the verdict.
+This suite pins that contract:
+
+* for **every registered scenario**, a serial-backend sharded run (shard
+  counts 2 and 7) produces events identical to the unsharded pipeline for
+  every registered detector;
+* across **all three backends × shard counts 1/2/7**, events, flagged
+  machines and ground-truth scores stay bit-identical on representative
+  scenarios (including a composed, manifest-carrying one);
+* shard views are zero-copy (``np.shares_memory`` with the parent store).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pipeline import ExecutionOptions, Pipeline
+from repro.scenarios import scenario_names
+from repro.trace.synthetic import generate_trace
+
+from tests.conftest import fast_config
+
+SEED = 1306
+SHARD_COUNTS = (1, 2, 7)
+
+#: Scenarios for the full backend × shard matrix: the three paper regimes
+#: plus a composed spec whose manifest exercises the scoring runners.
+MATRIX_SCENARIOS = (
+    "healthy",
+    "thrashing",
+    "machine-failure+network-storm",
+)
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    """One fast bundle per scenario the suite touches (shared)."""
+    names = set(scenario_names()) | set(MATRIX_SCENARIOS)
+    return {scenario: generate_trace(fast_config(scenario, seed=SEED))
+            for scenario in sorted(names)}
+
+
+@pytest.fixture(scope="module")
+def serial_runs(bundles):
+    """The unsharded reference run of every bundle (all detectors, scored)."""
+    return {scenario: Pipeline.from_bundle(bundle, sinks=("score",)).run()
+            for scenario, bundle in bundles.items()}
+
+
+def assert_runs_identical(sharded, serial, context: str) -> None:
+    assert [run.label for run in sharded.detections] \
+        == [run.label for run in serial.detections], context
+    for shard_run, serial_run in zip(sharded.detections, serial.detections):
+        assert shard_run.result.events() == serial_run.result.events(), (
+            f"{context}: {shard_run.label} events diverged")
+        assert np.array_equal(shard_run.result.mask, serial_run.result.mask), (
+            f"{context}: {shard_run.label} mask diverged")
+        assert np.array_equal(shard_run.result.scores,
+                              serial_run.result.scores), (
+            f"{context}: {shard_run.label} scores diverged")
+        assert shard_run.result.flagged_machines() \
+            == serial_run.result.flagged_machines(), context
+    assert sharded.flagged_machines() == serial.flagged_machines(), context
+    assert list(sharded.scores) == list(serial.scores), (
+        f"{context}: ground-truth scores diverged")
+
+
+@pytest.mark.parametrize("shards", (2, 7))
+@pytest.mark.parametrize("scenario", scenario_names())
+def test_serial_backend_sharding_identical_for_every_scenario(
+        scenario, shards, bundles, serial_runs):
+    sharded = Pipeline.from_bundle(
+        bundles[scenario], sinks=("score",),
+        execution=ExecutionOptions(backend="serial", shards=shards)).run()
+    assert_runs_identical(sharded, serial_runs[scenario],
+                          f"{scenario} × {shards} shards")
+
+
+@pytest.mark.parametrize("backend", ("serial", "threads", "process"))
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("scenario", MATRIX_SCENARIOS)
+def test_backend_matrix_identical(scenario, shards, backend, bundles,
+                                  serial_runs):
+    sharded = Pipeline.from_bundle(
+        bundles[scenario], sinks=("score",),
+        execution=ExecutionOptions(backend=backend, shards=shards,
+                                   workers=3)).run()
+    assert_runs_identical(sharded, serial_runs[scenario],
+                          f"{scenario} × {backend} × {shards} shards")
+
+
+def test_scored_matrix_is_not_vacuous(serial_runs):
+    """The composed scenario really exercises the scoring runners."""
+    assert len(serial_runs["machine-failure+network-storm"].scores) >= 2

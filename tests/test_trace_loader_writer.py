@@ -1,10 +1,15 @@
 """Tests for CSV loading/writing round trips."""
 
+import gzip
+import io
+
 import numpy as np
 import pytest
 
 from repro.errors import TraceFormatError
+from repro.trace import loader as loader_module
 from repro.trace import schema
+from repro.trace import writer as writer_module
 from repro.trace.loader import (
     iter_table,
     load_batch_instances,
@@ -94,6 +99,63 @@ class TestPartialTables:
         assert bundle.usage is None
         assert len(load_batch_tasks(tmp_path / "batch_task.csv")) == 1
         assert len(load_batch_instances(tmp_path / "batch_instance.csv")) == 1
+
+
+class TestGzipHandleNotLeaked:
+    """Regression: a failing TextIOWrapper must not leak the gzip handle."""
+
+    @pytest.fixture()
+    def tracked_gzip_open(self, monkeypatch):
+        """Record every GzipFile the module under test opens."""
+        opened = []
+        real_open = gzip.open
+
+        def tracking_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            opened.append(handle)
+            return handle
+
+        monkeypatch.setattr(gzip, "open", tracking_open)
+        return opened
+
+    @pytest.fixture()
+    def broken_text_wrapper(self, monkeypatch):
+        def exploding_wrapper(*args, **kwargs):
+            raise RuntimeError("wrapper construction failed")
+
+        monkeypatch.setattr(io, "TextIOWrapper", exploding_wrapper)
+
+    def test_loader_closes_gzip_on_wrapper_failure(
+            self, tmp_path, tracked_gzip_open, broken_text_wrapper):
+        path = tmp_path / "server_usage.csv.gz"
+        # binary mode: gzip's own text mode would use the patched wrapper
+        with gzip.open(path, "wb") as handle:
+            handle.write(b"0,m_1,10,20,30\n")
+        tracked_gzip_open.clear()
+        with pytest.raises(RuntimeError):
+            loader_module._open_text(path)
+        assert len(tracked_gzip_open) == 1
+        assert tracked_gzip_open[0].closed
+
+    def test_writer_closes_gzip_on_wrapper_failure(
+            self, tmp_path, tracked_gzip_open, broken_text_wrapper):
+        path = tmp_path / "server_usage.csv.gz"
+        with pytest.raises(RuntimeError):
+            writer_module._open_out(path)
+        assert len(tracked_gzip_open) == 1
+        assert tracked_gzip_open[0].closed
+
+    def test_loader_closes_gzip_when_caller_raises(self, tmp_path,
+                                                   tracked_gzip_open):
+        """`with _open_text(...)` closes the gzip handle even on error."""
+        path = tmp_path / "server_usage.csv.gz"
+        with gzip.open(path, "wb") as handle:
+            handle.write(b"0,m_1,10,20,30\nbroken-line\n")
+        tracked_gzip_open.clear()
+        with pytest.raises(TraceFormatError):
+            list(iter_table(path, schema.SERVER_USAGE))
+        assert len(tracked_gzip_open) == 1
+        assert tracked_gzip_open[0].closed
 
 
 class TestHelpers:
