@@ -192,9 +192,19 @@ class BlockDetector:
     """Base class wiring the per-sample kernels into both detector surfaces.
 
     Subclasses implement :meth:`_block_mask` (per-sample flags and scores
-    over a 2-D block) and optionally :meth:`_keep_runs` (event-level
+    over a 2-D block) and optionally :meth:`_keep_run_spans` (event-level
     filtering such as a minimum duration); :meth:`detect` and
     :meth:`detect_block` then share the identical numerical path.
+
+    Detectors that can also judge a trace *incrementally* — chunk by chunk,
+    carrying their warm-up context across chunk boundaries — additionally
+    implement :meth:`make_stream_state` / :meth:`_stream_mask`.  The
+    contract (golden-pinned by the engine's incremental suite) is that
+    feeding any chunking of a trace through ``_stream_mask`` flags exactly
+    the samples a single :meth:`detect_block` over the whole trace would.
+    All built-in detectors implement it; per-series-only third-party
+    detectors simply raise, and the engine reports that they cannot
+    stream.
     """
 
     #: ``AnomalyEvent.kind`` value this detector emits.
@@ -204,10 +214,39 @@ class BlockDetector:
                     values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         raise NotImplementedError
 
+    def _keep_run_spans(self, durations: np.ndarray,
+                        lengths: np.ndarray) -> np.ndarray | None:
+        """Boolean keep-flag per run, or ``None`` to keep every run.
+
+        ``durations`` is each run's time span in seconds (last flagged
+        timestamp minus first), ``lengths`` its sample count.  This is the
+        one event-level filter hook both the batch path and the
+        incremental engine apply, so a detector's minimum-duration rule
+        cannot diverge between them.
+        """
+        return None
+
     def _keep_runs(self, timestamps: np.ndarray, rows: np.ndarray,
                    starts: np.ndarray, ends: np.ndarray) -> np.ndarray | None:
-        """Boolean keep-flag per run, or ``None`` to keep every run."""
-        return None
+        """Span-based keep flags resolved against a block's time axis."""
+        if rows.size == 0:
+            return None
+        return self._keep_run_spans(timestamps[ends - 1] - timestamps[starts],
+                                    ends - starts)
+
+    # -- incremental surface ---------------------------------------------------
+    def make_stream_state(self, num_rows: int) -> object:
+        """Fresh warm-up context for an incremental sweep of ``num_rows`` rows."""
+        raise SeriesError(
+            f"detector {type(self).__name__} does not support incremental "
+            f"streaming (no make_stream_state/_stream_mask)")
+
+    def _stream_mask(self, state: object, timestamps: np.ndarray,
+                     values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample flags/scores for one new chunk, updating ``state``."""
+        raise SeriesError(
+            f"detector {type(self).__name__} does not support incremental "
+            f"streaming (no make_stream_state/_stream_mask)")
 
     def detect_block(self, timestamps: np.ndarray,
                      values: np.ndarray) -> BlockDetection:
@@ -299,12 +338,37 @@ class ThresholdDetector(BlockDetector):
                     values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return values >= self.threshold, values - self.threshold
 
-    def _keep_runs(self, timestamps: np.ndarray, rows: np.ndarray,
-                   starts: np.ndarray, ends: np.ndarray) -> np.ndarray | None:
-        if self.min_duration_s <= 0.0 or rows.size == 0:
+    def _keep_run_spans(self, durations: np.ndarray,
+                        lengths: np.ndarray) -> np.ndarray | None:
+        if self.min_duration_s <= 0.0 or durations.size == 0:
             return None
-        duration = timestamps[ends - 1] - timestamps[starts]
-        return duration >= self.min_duration_s
+        return durations >= self.min_duration_s
+
+    # Thresholding is memoryless: a chunk's flags do not depend on earlier
+    # samples, so streaming needs no warm-up context at all.
+    def make_stream_state(self, num_rows: int) -> None:
+        return None
+
+    def _stream_mask(self, state: None, timestamps: np.ndarray,
+                     values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self._block_mask(timestamps, values)
+
+
+class _ZScoreStreamState:
+    """Tail context of an incremental z-score sweep.
+
+    ``tail`` holds the last ``window - 1`` values of every row — exactly
+    the context the next chunk's first full rolling window needs.  While
+    the trace is still shorter than that, the tail is the whole trace so
+    far, whose length doubles as the global warm-up tracker: a chunk
+    position only gets a full window (and may be flagged) once ``tail``
+    plus the samples before it span ``window`` samples.
+    """
+
+    __slots__ = ("tail",)
+
+    def __init__(self, num_rows: int) -> None:
+        self.tail = np.empty((num_rows, 0), dtype=np.float64)
 
 
 class RollingZScoreDetector(BlockDetector):
@@ -345,6 +409,49 @@ class RollingZScoreDetector(BlockDetector):
         mask[:, :self.window - 1] = False
         return mask, z
 
+    def make_stream_state(self, num_rows: int) -> _ZScoreStreamState:
+        return _ZScoreStreamState(num_rows)
+
+    def _stream_mask(self, state: _ZScoreStreamState, timestamps: np.ndarray,
+                     values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        num_rows, n = values.shape
+        mask = np.zeros((num_rows, n), dtype=bool)
+        scores = np.zeros((num_rows, n), dtype=np.float64)
+        if n == 0:
+            return mask, scores
+        tail = state.tail
+        joined = (np.concatenate([tail, values], axis=1)
+                  if tail.shape[1] else np.ascontiguousarray(values))
+        k = tail.shape[1]
+        m = joined.shape[1]
+        if m >= self.window:
+            # Rolling windows over tail + chunk cover exactly the trace
+            # windows ending inside the chunk; the same contiguous layout
+            # as the batch path keeps the statistics bit-identical.
+            windows = sliding_window_view(joined, self.window, axis=1)
+            mean = windows.mean(axis=2)
+            std = np.maximum(windows.std(axis=2), self.min_std)
+            first = max(self.window - 1, k)   # first full-window position
+            off = first - (self.window - 1)
+            z = np.abs(joined[:, first:] - mean[:, off:]) / std[:, off:]
+            mask[:, first - k:] = z >= self.z_threshold
+            scores[:, first - k:] = z
+        keep = min(self.window - 1, m)
+        state.tail = joined[:, m - keep:].copy()
+        return mask, scores
+
+
+class _EwmaStreamState:
+    """Tail context of an incremental EWMA sweep: the forecast carried into
+    the next chunk, plus the global sample count (the very first sample of
+    a trace is never flagged, whichever chunk it arrives in)."""
+
+    __slots__ = ("prev", "seen")
+
+    def __init__(self, num_rows: int) -> None:
+        self.prev = np.zeros(num_rows, dtype=np.float64)
+        self.seen = 0
+
 
 class EwmaDetector(BlockDetector):
     """Flags samples deviating strongly from an EWMA forecast."""
@@ -378,6 +485,35 @@ class EwmaDetector(BlockDetector):
         scores[:, 1:] = residual
         return mask, scores
 
+    def make_stream_state(self, num_rows: int) -> _EwmaStreamState:
+        return _EwmaStreamState(num_rows)
+
+    def _stream_mask(self, state: _EwmaStreamState, timestamps: np.ndarray,
+                     values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        num_rows, n = values.shape
+        mask = np.zeros((num_rows, n), dtype=bool)
+        scores = np.zeros((num_rows, n), dtype=np.float64)
+        if n == 0:
+            return mask, scores
+        prev = state.prev
+        start = 0
+        if state.seen == 0:
+            prev = values[:, 0].copy()
+            start = 1
+        alpha, decay = self.alpha, 1.0 - self.alpha
+        # Same per-column recurrence as the batch kernel (vectorized across
+        # rows), so the smoothed sequence — and hence every residual — is
+        # bit-identical however the trace is chunked.
+        for i in range(start, n):
+            column = values[:, i]
+            residual = np.abs(column - prev)
+            mask[:, i] = residual >= self.deviation_threshold
+            scores[:, i] = residual
+            prev = alpha * column + decay * prev
+        state.prev = np.asarray(prev, dtype=np.float64)
+        state.seen += n
+        return mask, scores
+
 
 class FlatlineDetector(BlockDetector):
     """Flags stretches where a series sits at (effectively) zero.
@@ -402,13 +538,23 @@ class FlatlineDetector(BlockDetector):
                     values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         return values <= self.epsilon, self.epsilon - values
 
-    def _keep_runs(self, timestamps: np.ndarray, rows: np.ndarray,
-                   starts: np.ndarray, ends: np.ndarray) -> np.ndarray | None:
-        if self.min_samples <= 1 or rows.size == 0:
+    def _keep_run_spans(self, durations: np.ndarray,
+                        lengths: np.ndarray) -> np.ndarray | None:
+        if self.min_samples <= 1 or lengths.size == 0:
             return None
         # Run length IS the sample count — no need to re-scan the timestamp
         # array per event.
-        return (ends - starts) >= self.min_samples
+        return lengths >= self.min_samples
+
+    # Like thresholding, flatline flags are memoryless per sample; only the
+    # run-length filter is stateful, and that lives in the engine's
+    # cross-chunk run tracking.
+    def make_stream_state(self, num_rows: int) -> None:
+        return None
+
+    def _stream_mask(self, state: None, timestamps: np.ndarray,
+                     values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self._block_mask(timestamps, values)
 
 
 DETECTORS = {

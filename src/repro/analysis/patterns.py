@@ -62,20 +62,32 @@ class RegimeAssessment:
 
 def classify_regime(store: MetricStore, timestamp: float, *,
                     thresholds: RegimeThresholds | None = None,
-                    thrash_config: ThrashingConfig | None = None) -> RegimeAssessment:
-    """Classify the cluster regime at one timestamp."""
+                    thrash_config: ThrashingConfig | None = None,
+                    thrash_report=None) -> RegimeAssessment:
+    """Classify the cluster regime at one timestamp.
+
+    The snapshot statistics come straight off the store's dense columns
+    (no per-machine dict round trip), so classifying a zero-copy window
+    view — the online monitor does this every sample — touches no Python
+    loops.  ``thrash_report`` optionally injects a precomputed
+    :func:`~repro.analysis.thrashing.cluster_thrashing_report` so one
+    window scan can serve several checks.
+    """
     thresholds = thresholds if thresholds is not None else RegimeThresholds()
-    cpu_snapshot = np.asarray(
-        list(store.snapshot(timestamp, metric="cpu").values()), dtype=np.float64)
-    mem_snapshot = np.asarray(
-        list(store.snapshot(timestamp, metric="mem").values()), dtype=np.float64)
+    idx = store.time_index(timestamp)
+    # Contiguous copies of the two (machines,) columns: NumPy's pairwise
+    # summation only kicks in on contiguous input, and the means must stay
+    # bit-identical to the historical dict-snapshot path.
+    cpu_snapshot = np.ascontiguousarray(store.metric_block("cpu")[:, idx])
+    mem_snapshot = np.ascontiguousarray(store.metric_block("mem")[:, idx])
 
     mean_cpu = float(cpu_snapshot.mean()) if cpu_snapshot.size else 0.0
     mean_mem = float(mem_snapshot.mean()) if mem_snapshot.size else 0.0
     p95_cpu = float(np.percentile(cpu_snapshot, 95)) if cpu_snapshot.size else 0.0
     hot = float(np.mean(np.maximum(cpu_snapshot, mem_snapshot)
                         >= thresholds.hot_machine_level)) if cpu_snapshot.size else 0.0
-    thrash = thrashing_fraction(store, timestamp, config=thrash_config)
+    thrash = thrashing_fraction(store, timestamp, config=thrash_config,
+                                report=thrash_report)
 
     load_proxy = max(mean_cpu, mean_mem)
     if (hot >= thresholds.hot_machine_fraction

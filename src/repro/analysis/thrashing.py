@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.detectors import mask_runs
 from repro.errors import SeriesError
 from repro.metrics.series import TimeSeries
 from repro.metrics.store import MetricStore
@@ -122,26 +123,138 @@ def _make_window(machine_id: str, timestamps: np.ndarray, cpu: np.ndarray,
     )
 
 
+def _chronological_sum(buffer: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Row sums of each row's first ``counts`` entries, reproducing NumPy's
+    pairwise summation order exactly.
+
+    The per-series reference loop computes ``np.mean(healthy_recent)`` on a
+    chronological Python list; ``np.add.reduce`` sums fewer than 8 elements
+    sequentially and 8..128 elements through 8 accumulators plus a fixed
+    combination tree.  Emulating that order (instead of a plain masked
+    ``np.sum``) is what keeps the vectorized cluster scan *bit-identical*
+    to the per-series detector for any ``reference_window`` up to 128.
+    """
+    num_rows, width = buffer.shape
+    # Accumulator phase: element i of a row with c >= 8 entries feeds
+    # accumulator i % 8 while i < c - (c % 8); shorter rows skip it.
+    full = np.where(counts >= 8, counts - (counts % 8), 0)
+    accumulators = np.zeros((num_rows, 8), dtype=np.float64)
+    for i in range(width):
+        accumulators[:, i % 8] += np.where(i < full, buffer[:, i], 0.0)
+    a = accumulators
+    result = (((a[:, 0] + a[:, 1]) + (a[:, 2] + a[:, 3]))
+              + ((a[:, 4] + a[:, 5]) + (a[:, 6] + a[:, 7])))
+    # Remainder phase: the rest (everything, for rows shorter than 8) is
+    # folded in sequentially — adding 0.0 where a row has no element leaves
+    # its partial sum unchanged exactly.
+    for i in range(width):
+        result = result + np.where((i >= full) & (i < counts),
+                                   buffer[:, i], 0.0)
+    return result
+
+
+def thrashing_mask_block(timestamps: np.ndarray, cpu_block: np.ndarray,
+                         mem_block: np.ndarray, *,
+                         config: ThrashingConfig | None = None,
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized per-sample thrashing flags for a whole machine block.
+
+    ``cpu_block`` / ``mem_block`` are ``(machines, samples)`` value blocks
+    (zero-copy :meth:`~repro.metrics.store.MetricStore.metric_block`
+    views).  Returns ``(mask, reference)`` where ``mask[row, i]`` is True
+    exactly when :func:`detect_thrashing` would flag machine ``row`` at
+    sample ``i`` — the sequential healthy-CPU reference recurrence runs
+    once over the samples, vectorized across every machine, instead of
+    once per machine in Python.
+
+    The bit-identity to :func:`detect_thrashing` holds for
+    ``reference_window`` up to 128 (see :func:`_chronological_sum`);
+    beyond NumPy's pairwise block size the reference means agree only to
+    float rounding — far past the default of 8 and any plausible tuning.
+    """
+    config = config if config is not None else ThrashingConfig()
+    config.validate()
+    num_rows, num_samples = cpu_block.shape
+    window = config.reference_window
+    buffer = np.zeros((num_rows, window), dtype=np.float64)
+    counts = np.zeros(num_rows, dtype=np.intp)
+    reference = np.empty((num_rows, num_samples), dtype=np.float64)
+    for i in range(num_samples):
+        cpu_col = cpu_block[:, i]
+        sums = _chronological_sum(buffer, counts)
+        reference[:, i] = np.where(counts > 0,
+                                   sums / np.maximum(counts, 1), cpu_col)
+        healthy = mem_block[:, i] < config.mem_watermark
+        shift = healthy & (counts == window)
+        if shift.any():
+            buffer[shift, :-1] = buffer[shift, 1:]
+            buffer[shift, -1] = cpu_col[shift]
+        grow = healthy & (counts < window)
+        if grow.any():
+            buffer[grow, counts[grow]] = cpu_col[grow]
+            counts[grow] += 1
+    mask = (mem_block >= config.mem_watermark) & (
+        cpu_block <= config.cpu_drop_fraction * np.maximum(reference, 1e-9))
+    return mask, reference
+
+
+def thrashing_windows_block(timestamps: np.ndarray, cpu_block: np.ndarray,
+                            mem_block: np.ndarray,
+                            machine_ids: "list[str] | tuple[str, ...]", *,
+                            config: ThrashingConfig | None = None,
+                            ) -> dict[str, list[ThrashingWindow]]:
+    """Cluster-wide thrashing windows from one vectorized block scan.
+
+    One :func:`thrashing_mask_block` pass plus a vectorized run-length
+    encoding replace the per-machine Python loops; the per-window summary
+    statistics reuse :func:`_make_window` on the few detected runs, so the
+    returned windows are bit-identical to per-series
+    :func:`detect_thrashing` calls.  Machines without windows are absent
+    from the result.
+    """
+    config = config if config is not None else ThrashingConfig()
+    mask, reference = thrashing_mask_block(timestamps, cpu_block, mem_block,
+                                           config=config)
+    rows, starts, ends = mask_runs(mask)
+    report: dict[str, list[ThrashingWindow]] = {}
+    for row, lo, hi in zip(rows.tolist(), starts.tolist(), ends.tolist()):
+        window = _make_window(machine_ids[row], timestamps, cpu_block[row],
+                              mem_block[row], reference[row], lo, hi)
+        if window.duration >= config.min_duration_s:
+            report.setdefault(machine_ids[row], []).append(window)
+    return report
+
+
 def cluster_thrashing_report(store: MetricStore, *,
                              config: ThrashingConfig | None = None) -> dict[str, list[ThrashingWindow]]:
     """Run the detector over every machine of a store.
 
-    Returns only machines with at least one detected window.
+    Returns only machines with at least one detected window.  The sweep is
+    one vectorized block scan (:func:`thrashing_windows_block`) over
+    zero-copy metric views — window-for-window identical to per-machine
+    :func:`detect_thrashing` calls, without the per-series loop or copies.
     """
-    report: dict[str, list[ThrashingWindow]] = {}
-    for machine_id in store.machine_ids:
-        windows = detect_thrashing(store.series(machine_id, "cpu"),
-                                   store.series(machine_id, "mem"),
-                                   machine_id=machine_id, config=config)
-        if windows:
-            report[machine_id] = windows
-    return report
+    if store.num_samples == 0 or store.num_machines == 0:
+        return {}
+    return thrashing_windows_block(store.timestamps,
+                                   store.metric_block("cpu"),
+                                   store.metric_block("mem"),
+                                   store.machine_ids, config=config)
 
 
 def thrashing_fraction(store: MetricStore, timestamp: float, *,
-                       config: ThrashingConfig | None = None) -> float:
-    """Fraction of machines thrashing at one timestamp (regime classification)."""
-    report = cluster_thrashing_report(store, config=config)
+                       config: ThrashingConfig | None = None,
+                       report: dict[str, list[ThrashingWindow]] | None = None,
+                       ) -> float:
+    """Fraction of machines thrashing at one timestamp (regime classification).
+
+    ``report`` optionally reuses an already-computed
+    :func:`cluster_thrashing_report` of the same store/config (the online
+    monitor shares one window scan between its regime and thrashing
+    checks).
+    """
+    if report is None:
+        report = cluster_thrashing_report(store, config=config)
     if store.num_machines == 0:
         return 0.0
     affected = sum(

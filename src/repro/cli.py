@@ -16,6 +16,7 @@ writing Python::
     python -m repro detect trace/ --workers 8 --timings --cache
     python -m repro monitor --synthetic --scenario thrashing
     python -m repro monitor --synthetic --scenario "diurnal+network-storm"
+    python -m repro monitor --synthetic --scenario thrashing --chunk 256
     python -m repro compare --synthetic --scenario thrashing
     python -m repro pipeline spec.json
     python -m repro sla trace/
@@ -217,11 +218,34 @@ def cmd_monitor(args: argparse.Namespace) -> int:
 
     A thin adapter over a streaming-mode :class:`~repro.pipeline.Pipeline`
     with sample cadence — alert-for-alert identical to the pre-pipeline
-    replay loop.
+    replay loop.  With ``--chunk N`` the trace is instead folded through
+    the incremental engine ``N`` samples at a time (threshold alerts are
+    identical to the sample cadence; regime/thrashing are assessed once
+    per chunk).
     """
     from repro.pipeline import Pipeline, StreamingOptions
 
     bundle = _resolve_bundle(args)
+    if args.chunk is not None:
+        result = Pipeline.from_bundle(
+            bundle, mode="streaming", plans=(), sinks=(),
+            streaming=StreamingOptions(threshold=args.threshold,
+                                       window_samples=args.window_samples,
+                                       cadence="catch-up",
+                                       chunk=args.chunk)).run()
+        print(f"folded {result.num_samples} samples through the incremental "
+              f"monitor ({args.chunk} per chunk)")
+        monitor = result.monitor
+        regime = monitor.current_regime if monitor is not None else None
+        print(f"final regime: {regime.value if regime is not None else None}")
+        counts = result.alerts_by_kind()
+        if counts:
+            print("alerts by kind:")
+            for kind, count in sorted(counts.items()):
+                print(f"  {kind}: {count}")
+        else:
+            print("no alerts raised")
+        return 0
     result = Pipeline.from_bundle(
         bundle, mode="streaming", plans=(), sinks=(),
         streaming=StreamingOptions(threshold=args.threshold,
@@ -373,6 +397,16 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
                 "--backend/--workers/--shards apply to batch pipelines "
                 "only; this spec runs in streaming mode")
         pipeline.execution = execution
+    if args.chunk is not None:
+        from dataclasses import replace
+
+        from repro.errors import PipelineError
+
+        if pipeline.mode != "streaming":
+            raise PipelineError(
+                "--chunk applies to streaming pipelines only; this spec "
+                "runs in batch mode")
+        pipeline.streaming = replace(pipeline.streaming, chunk=args.chunk)
     result = pipeline.run()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
@@ -481,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--window-samples", type=int, default=128)
     monitor.add_argument("--max-alerts", type=int, default=10,
                          help="how many pending alerts to print")
+    monitor.add_argument("--chunk", type=int, default=None,
+                         help="fold the trace through the incremental "
+                              "engine this many samples at a time instead "
+                              "of replaying sample by sample")
     monitor.set_defaults(func=cmd_monitor)
 
     compare = sub.add_parser("compare", help="BatchLens vs. baseline detection "
@@ -527,6 +565,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "for a synthetic source")
     pipeline.add_argument("--json", action="store_true",
                           help="emit the machine-readable run summary for CI")
+    pipeline.add_argument("--chunk", type=int, default=None,
+                          help="streaming mode: feed the monitor and "
+                               "detector streams this many samples at a "
+                               "time through the incremental engine")
     _add_execution_flags(pipeline)
     pipeline.set_defaults(func=cmd_pipeline)
 

@@ -234,6 +234,24 @@ class MetricStore:
         return MetricStore._view(self._machine_ids[start:stop],
                                  self._timestamps, self._metrics, data)
 
+    def sample_slice(self, start: int, stop: int) -> "MetricStore":
+        """Zero-copy view of a contiguous run of samples (by index).
+
+        The time-axis sibling of :meth:`machine_slice`: the chunked
+        streaming pipeline cuts a store into sample blocks with it, and
+        every chunk shares this store's data (``np.shares_memory``).
+        Unlike :meth:`window` (which resolves timestamps), the bounds are
+        plain sample indices.
+        """
+        start, stop = int(start), int(stop)
+        if start < 0 or stop > self.num_samples or stop < start:
+            raise SeriesError(
+                f"sample slice [{start}, {stop}) out of range for "
+                f"{self.num_samples} sample(s)")
+        return MetricStore._view(self._machine_ids,
+                                 self._timestamps[start:stop],
+                                 self._metrics, self._data[:, :, start:stop])
+
     def window(self, start: float, end: float) -> "MetricStore":
         """Return a zero-copy view restricted to ``start <= t <= end``.
 
@@ -247,11 +265,20 @@ class MetricStore:
         return MetricStore._view(self._machine_ids, self._timestamps[lo:hi],
                                  self._metrics, self._data[:, :, lo:hi])
 
-    def _time_index(self, timestamp: float) -> int:
+    def time_index(self, timestamp: float) -> int:
+        """Index of the newest sample at or before ``timestamp`` (clamped).
+
+        The lookup behind every snapshot query, public so array consumers
+        (the regime classifier, the online monitor) can address a dense
+        column directly instead of round-tripping through snapshot dicts.
+        """
         if self.num_samples == 0:
             raise SeriesError("store holds no samples")
         idx = int(np.searchsorted(self._timestamps, timestamp, side="right")) - 1
         return max(0, min(idx, self.num_samples - 1))
+
+    #: Backwards-compatible internal alias (pre-streaming-refactor name).
+    _time_index = time_index
 
     # -- dense conversion ------------------------------------------------------
     @classmethod

@@ -8,9 +8,11 @@ directory, synthetic scenario spec, or an in-memory bundle/store), a
 an execution **mode**, and **sinks** consuming the verdict.  Batch mode
 executes every detector × metric through the vectorized
 :class:`~repro.analysis.engine.DetectionEngine` in one array pass each;
-streaming mode folds the source through
-:meth:`~repro.stream.monitor.OnlineMonitor.catch_up` (or a sample-by-sample
-replay).  Either way :meth:`Pipeline.run` returns one :class:`RunResult`.
+streaming mode feeds the :class:`~repro.stream.monitor.OnlineMonitor` and
+the *same* detector stack block-wise through the engine's incremental
+protocol (``{"mode": "streaming", "chunk": 256}`` — detector events are
+bit-identical to batch for any chunk size) or replays sample by sample.
+Either way :meth:`Pipeline.run` returns one :class:`RunResult`.
 
 Typical use::
 
@@ -461,12 +463,32 @@ class Pipeline:
                              alerts=tuple(replayer.monitor.alerts),
                              replay=report, alert_manager=replayer.alerts,
                              monitor=replayer.monitor)
+        # Catch-up cadence: the monitor and every planned detector fold the
+        # source block-wise through the incremental engine.  Detector events
+        # are chunk-invariant (golden-pinned identical to a batch sweep);
+        # the monitor's regime/thrashing assessments run once per chunk.
         monitor = OnlineMonitor(store.machine_ids, config=config,
                                 window_samples=options.window_samples)
-        alerts = monitor.catch_up(store)
+        from repro.analysis.engine import DetectionEngine
+
+        engine = DetectionEngine(detectors={})
+        states = [engine.stream(store.machine_ids, plan.detector,
+                                metric=plan.metric) for plan in self.plans]
+        chunk = options.chunk or store.num_samples
+        alerts: list = []
+        for lo in range(0, store.num_samples, chunk):
+            piece = store.sample_slice(lo, min(lo + chunk, store.num_samples))
+            alerts.extend(monitor.catch_up(piece))
+            for state in states:
+                engine.run_incremental(state, piece)
+        detections = tuple(
+            DetectorRun(label=plan.label, name=plan.name, metric=plan.metric,
+                        result=state.result())
+            for plan, state in zip(self.plans, states))
         return RunResult(mode="streaming", metrics=self.metrics,
                          machine_ids=tuple(store.machine_ids),
                          num_samples=store.num_samples,
+                         detections=detections,
                          alerts=tuple(alerts), monitor=monitor)
 
     def _run_sinks(self, result: RunResult, bundle, store) -> None:

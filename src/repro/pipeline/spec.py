@@ -34,12 +34,14 @@ Sources
 
 Streaming options
 -----------------
-``{"threshold": 92.0, "window_samples": 128, "cadence": "catch-up"}`` —
-``cadence="catch-up"`` folds the whole source through
-:meth:`~repro.stream.monitor.OnlineMonitor.catch_up` in one vectorized
-pass; ``cadence="sample"`` replays sample by sample through the
-:class:`~repro.stream.replay.TraceReplayer` (alert-for-alert identical to a
-live feed, used by ``repro monitor``).
+``{"threshold": 92.0, "window_samples": 128, "cadence": "catch-up",
+"chunk": 256}`` — ``cadence="catch-up"`` folds the source through the
+incremental engine: the online monitor *and* the pipeline's detector
+stack judge ``chunk`` samples at a time (the whole trace at once when
+``chunk`` is absent), with detector events bit-identical to a batch run
+for any chunk size; ``cadence="sample"`` replays sample by sample through
+the :class:`~repro.stream.replay.TraceReplayer` (alert-for-alert identical
+to a live feed, used by ``repro monitor``).
 
 Execution options
 -----------------
@@ -188,11 +190,21 @@ class SourceSpec:
 
 @dataclass(frozen=True)
 class StreamingOptions:
-    """Tunables of a streaming-mode run."""
+    """Tunables of a streaming-mode run.
+
+    ``chunk`` feeds the source through the incremental engine
+    ``chunk`` samples at a time (catch-up cadence only): detector events
+    and threshold alerts are *chunk-invariant* — any chunk size, including
+    the whole trace at once, produces the identical verdict — while the
+    regime/thrashing assessments run once per chunk, so a smaller chunk
+    only tightens assessment latency and a larger one only buys
+    wall-clock time.
+    """
 
     threshold: float = 92.0
     window_samples: int = 128
     cadence: str = "catch-up"
+    chunk: int | None = None
 
     def __post_init__(self) -> None:
         if self.cadence not in CADENCES:
@@ -201,28 +213,42 @@ class StreamingOptions:
                 f"of {list(CADENCES)}")
         if self.window_samples < 1:
             raise PipelineError("window_samples must be at least 1")
+        if self.chunk is not None:
+            if self.chunk < 1:
+                raise PipelineError(
+                    f"streaming.chunk must be at least 1, got {self.chunk}")
+            if self.cadence != "catch-up":
+                raise PipelineError(
+                    "streaming.chunk applies to the catch-up cadence only; "
+                    "cadence='sample' already folds one sample at a time")
 
     def to_dict(self) -> dict:
-        return {"threshold": self.threshold,
-                "window_samples": self.window_samples,
-                "cadence": self.cadence}
+        out = {"threshold": self.threshold,
+               "window_samples": self.window_samples,
+               "cadence": self.cadence}
+        if self.chunk is not None:
+            out["chunk"] = self.chunk
+        return out
 
     @classmethod
     def from_dict(cls, raw: Mapping) -> "StreamingOptions":
         if not isinstance(raw, Mapping):
             raise PipelineError(
                 f"streaming options must be a mapping, got {raw!r}")
-        known = {"threshold", "window_samples", "cadence"}
+        known = {"threshold", "window_samples", "cadence", "chunk"}
         unknown = set(raw) - known
         if unknown:
             raise PipelineError(
                 f"unknown streaming option(s) {sorted(unknown)}; expected "
                 f"{sorted(known)}")
+        chunk = raw.get("chunk")
         return cls(threshold=_as_float(raw.get("threshold", 92.0),
                                        "streaming.threshold"),
                    window_samples=_as_int(raw.get("window_samples", 128),
                                           "streaming.window_samples"),
-                   cadence=str(raw.get("cadence", "catch-up")))
+                   cadence=str(raw.get("cadence", "catch-up")),
+                   chunk=(None if chunk is None
+                          else _as_int(chunk, "streaming.chunk")))
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,7 @@ from repro.stream.monitor import (
     MonitorAlert,
     MonitorConfig,
     OnlineMonitor,
+    iter_frames,
     iter_samples,
     replay_bundle,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "StreamingMetricStore",
     "TraceReplayer",
     "alert_timeline",
+    "iter_frames",
     "iter_samples",
     "replay_bundle",
     "replay_scenario",

@@ -7,6 +7,22 @@ when a machine crosses a utilisation threshold, or when a machine starts
 thrashing.  :func:`replay_bundle` feeds an offline trace through the monitor
 sample by sample, which is both the test harness and a demonstration of how
 a production deployment would wire a metrics pipeline into BatchLens.
+
+Internally the monitor is fully incremental and vectorized:
+
+* threshold alerts come from the detection engine's incremental protocol —
+  one :class:`~repro.analysis.engine.StreamState` per watched metric turns
+  newly-arrived samples into rising edges, with episode state carried
+  across chunk boundaries (no per-machine dict loops, no rescans);
+* regime and thrashing checks run on the ring buffer's zero-copy
+  :meth:`~repro.stream.store.StreamingMetricStore.window_view` through the
+  vectorized cluster thrashing scan
+  (:func:`~repro.analysis.thrashing.cluster_thrashing_report`), so a check
+  costs one array pass over the window instead of one Python loop per
+  machine.
+
+Alert-for-alert, the monitor is unchanged from the historical per-sample
+implementation — the incremental rewiring only buys wall-clock time.
 """
 
 from __future__ import annotations
@@ -16,9 +32,10 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
-from repro.analysis.detectors import mask_runs
+from repro.analysis.detectors import ThresholdDetector
+from repro.analysis.engine import StreamState
 from repro.analysis.patterns import Regime, RegimeThresholds, classify_regime
-from repro.analysis.thrashing import ThrashingConfig, detect_thrashing
+from repro.analysis.thrashing import ThrashingConfig, cluster_thrashing_report
 from repro.errors import SeriesError
 from repro.metrics.store import MetricStore
 from repro.stream.store import StreamingMetricStore
@@ -45,7 +62,8 @@ class MonitorConfig:
     threshold_metrics: tuple[str, ...] = ("cpu", "mem")
     regime_thresholds: RegimeThresholds = field(default_factory=RegimeThresholds)
     thrashing: ThrashingConfig = field(default_factory=ThrashingConfig)
-    #: Number of samples between full thrashing scans (they cost O(machines)).
+    #: Number of samples between full thrashing scans (they cost one
+    #: vectorized pass over the window).
     thrashing_scan_every: int = 4
     #: Consecutive clear scans before a machine's thrashing episode is
     #: considered over.  Noisy windows flap around the detection boundary;
@@ -75,29 +93,66 @@ class OnlineMonitor:
         self.alerts: list[MonitorAlert] = []
         self._on_alert = on_alert
         self._last_regime: Regime | None = None
-        self._over_threshold: set[tuple[str, str]] = set()
+        # One incremental threshold sweep per watched metric that the store
+        # actually carries; ``position`` keeps the metric's index in
+        # ``threshold_metrics`` so alert ordering matches the config order.
+        detector = ThresholdDetector(self.config.utilisation_threshold)
+        metrics = self.store.metrics
+        # archive_runs=False: the monitor reacts to rising edges and open
+        # state only, so closed episodes are not archived — a forever-lived
+        # monitor keeps O(machines) threshold state, not O(episodes).
+        self._threshold_streams: list[tuple[int, str, int, StreamState]] = [
+            (position, metric, metrics.index(metric),
+             StreamState(detector, metric=metric,
+                         machine_ids=self.store.machine_ids,
+                         archive_runs=False))
+            for position, metric in enumerate(self.config.threshold_metrics)
+            if metric in metrics
+        ]
         self._thrashing_machines: set[str] = set()
         #: Consecutive clear scans per machine, for episode cool-down.
         self._thrashing_clear: dict[str, int] = {}
         self._samples_seen = 0
         self._last_thrashing_scan: float | None = None
+        #: One-slot cache: the regime and thrashing checks of one ingest
+        #: share a single vectorized window scan when their configs agree.
+        self._thrash_cache: tuple[tuple, dict] | None = None
 
     # -- ingestion ---------------------------------------------------------------
     def observe(self, timestamp: float,
                 sample: dict[str, dict[str, float]]) -> list[MonitorAlert]:
         """Ingest one cluster-wide sample and return the alerts it triggered."""
         self.store.append(timestamp, sample)
+        return self._after_sample(timestamp)
+
+    def observe_frame(self, timestamp: float,
+                      frame: np.ndarray) -> list[MonitorAlert]:
+        """Ingest one dense ``(machines, metrics)`` frame (no dict round trip).
+
+        Alert-for-alert identical to :meth:`observe` on the equivalent
+        sample dict; the trace replayer feeds zero-copy store columns
+        through this.
+        """
+        self.store.append_frame(timestamp, frame)
+        return self._after_sample(timestamp)
+
+    def accepts_frames_of(self, store: MetricStore) -> bool:
+        """True when ``store`` columns can feed :meth:`observe_frame` as-is
+        (same machine order, same metric order) — the one layout predicate
+        the dense replay paths share."""
+        return (store.machine_ids == self.store.machine_ids
+                and store.metrics == self.store.metrics)
+
+    def _after_sample(self, timestamp: float) -> list[MonitorAlert]:
+        """The per-sample check cascade, after the store ingested a frame."""
         self._samples_seen += 1
-        new_alerts: list[MonitorAlert] = []
-        new_alerts.extend(self._check_thresholds(timestamp, sample))
+        frame = self.store.latest_frame()
+        ts_arr = np.asarray([timestamp], dtype=np.float64)
+        new_alerts = self._threshold_alerts(ts_arr, frame[:, :, np.newaxis])
         new_alerts.extend(self._check_regime(timestamp))
         if self._samples_seen % self.config.thrashing_scan_every == 0:
             new_alerts.extend(self._check_thrashing(timestamp))
-        for alert in new_alerts:
-            self.alerts.append(alert)
-            if self._on_alert is not None:
-                self._on_alert(alert)
-        return new_alerts
+        return self._dispatch(new_alerts)
 
     def catch_up(self, store: MetricStore) -> list[MonitorAlert]:
         """Ingest a whole offline block at once (vectorized batch catch-up).
@@ -106,13 +161,12 @@ class OnlineMonitor:
         historical window) would need one :meth:`observe` round-trip per
         sample to recover; ``catch_up`` folds the entire block in a single
         array pass instead.  Threshold alerts are identical to feeding the
-        samples one at a time — rising edges come from the same vectorized
-        run-length encoding the detection engine uses, seeded with the
-        monitor's pre-block over-threshold state.  Regime and thrashing are
-        checked once against the state *after* the block (one alert per
-        catch-up instead of per-sample flapping), which is the designed
-        trade-off of a catch-up: the intermediate regimes were already
-        history when the block arrived.
+        samples one at a time — rising edges come from the incremental
+        threshold sweeps, whose episode state spans the block boundary.
+        Regime and thrashing are checked once against the state *after*
+        the block (one alert per catch-up instead of per-sample flapping),
+        which is the designed trade-off of a catch-up: the intermediate
+        regimes were already history when the block arrived.
 
         Degenerate blocks are valid input, never an error: an empty store
         is a no-op returning no alerts, and a single-sample store folds
@@ -126,9 +180,13 @@ class OnlineMonitor:
         block = self._aligned_block(store)
         self.store.append_block(timestamps, block)
         self._samples_seen += store.num_samples
-        new_alerts = self._batch_threshold_alerts(timestamps, block)
+        new_alerts = self._threshold_alerts(
+            np.asarray(timestamps, dtype=np.float64), block)
         new_alerts.extend(self._check_regime(float(timestamps[-1])))
         new_alerts.extend(self._check_thrashing(float(timestamps[-1])))
+        return self._dispatch(new_alerts)
+
+    def _dispatch(self, new_alerts: list[MonitorAlert]) -> list[MonitorAlert]:
         for alert in new_alerts:
             self.alerts.append(alert)
             if self._on_alert is not None:
@@ -154,34 +212,28 @@ class OnlineMonitor:
         return np.stack([store.metric_block(metric)[rows]
                          for metric in stream.metrics], axis=1)
 
-    def _batch_threshold_alerts(self, timestamps: np.ndarray,
-                                block: np.ndarray) -> list[MonitorAlert]:
-        """Edge-triggered threshold alerts for a whole block at once."""
+    # -- checks ---------------------------------------------------------------------
+    def _threshold_alerts(self, timestamps: np.ndarray,
+                          block: np.ndarray) -> list[MonitorAlert]:
+        """Edge-triggered threshold alerts for newly-arrived samples.
+
+        Each watched metric's incremental sweep folds the new chunk and
+        reports the runs that *opened* inside it — continuations of an
+        episode already over the threshold never re-alert, exactly the
+        historical per-sample edge semantics.
+        """
         threshold = self.config.utilisation_threshold
         machine_ids = self.store.machine_ids
-        metrics = self.store.metrics
-        hits: list[tuple[int, int, int, float]] = []
-        for position, metric in enumerate(self.config.threshold_metrics):
-            if metric not in metrics:
-                continue
-            column = metrics.index(metric)
-            over = block[:, column, :] >= threshold
-            rows, starts, _ends = mask_runs(over)
-            for row, start in zip(rows.tolist(), starts.tolist()):
-                key = (machine_ids[row], metric)
-                if start == 0 and key in self._over_threshold:
-                    continue  # the run continues a pre-block episode
-                hits.append((start, row, position,
-                             float(block[row, column, start])))
-            final = over[:, -1]
-            for row, machine_id in enumerate(machine_ids):
-                key = (machine_id, metric)
-                if final[row]:
-                    self._over_threshold.add(key)
-                else:
-                    self._over_threshold.discard(key)
-        hits.sort()
         checked = list(self.config.threshold_metrics)
+        hits: list[tuple[int, int, int, float]] = []
+        for position, _metric, column, state in self._threshold_streams:
+            values = block[:, column, :]
+            chunk = state._advance(timestamps, np.asarray(values,
+                                                          dtype=np.float64))
+            for row, start in zip(chunk.opened_rows.tolist(),
+                                  chunk.opened_starts.tolist()):
+                hits.append((start, row, position, float(values[row, start])))
+        hits.sort()
         return [MonitorAlert(
             timestamp=float(timestamps[sample]), kind="threshold",
             subject=machine_ids[row],
@@ -190,33 +242,35 @@ class OnlineMonitor:
             severity="warning")
             for sample, row, position, value in hits]
 
-    # -- checks ---------------------------------------------------------------------
-    def _check_thresholds(self, timestamp: float,
-                          sample: dict[str, dict[str, float]]) -> list[MonitorAlert]:
-        alerts: list[MonitorAlert] = []
-        threshold = self.config.utilisation_threshold
-        for machine_id, values in sample.items():
-            for metric in self.config.threshold_metrics:
-                if metric not in values:
-                    continue
-                key = (machine_id, metric)
-                if values[metric] >= threshold and key not in self._over_threshold:
-                    self._over_threshold.add(key)
-                    alerts.append(MonitorAlert(
-                        timestamp=timestamp, kind="threshold", subject=machine_id,
-                        detail=f"{metric} reached {values[metric]:.0f}% "
-                               f"(threshold {threshold:.0f}%)",
-                        severity="warning"))
-                elif values[metric] < threshold and key in self._over_threshold:
-                    self._over_threshold.discard(key)
-        return alerts
+    @property
+    def _over_threshold(self) -> set[tuple[str, str]]:
+        """Machine/metric pairs currently above the threshold (open episodes)."""
+        machine_ids = self.store.machine_ids
+        return {(machine_ids[row], metric)
+                for _position, metric, _column, state in self._threshold_streams
+                for row in np.flatnonzero(state.open_mask).tolist()}
+
+    def _thrashing_report(self, view: MetricStore, timestamp: float,
+                          config: ThrashingConfig) -> dict:
+        """Window thrashing scan, shared across the checks of one ingest."""
+        key = (timestamp, config)
+        if self._thrash_cache is not None and self._thrash_cache[0] == key:
+            return self._thrash_cache[1]
+        report = cluster_thrashing_report(view, config=config)
+        self._thrash_cache = (key, report)
+        return report
 
     def _check_regime(self, timestamp: float) -> list[MonitorAlert]:
         if len(self.store) < 2:
             return []
-        snapshot = self.store.snapshot_store()
-        assessment = classify_regime(snapshot, timestamp,
-                                     thresholds=self.config.regime_thresholds)
+        view = self.store.window_view()
+        # The classifier's thrashing evidence historically uses the default
+        # ThrashingConfig (not the monitor's own thrashing tuning) — keep
+        # that, but share the scan when the two configs agree.
+        assessment = classify_regime(
+            view, timestamp, thresholds=self.config.regime_thresholds,
+            thrash_report=self._thrashing_report(view, timestamp,
+                                                 ThrashingConfig()))
         if self._last_regime is None:
             self._last_regime = assessment.regime
             return []
@@ -235,18 +289,16 @@ class OnlineMonitor:
     def _check_thrashing(self, timestamp: float) -> list[MonitorAlert]:
         if len(self.store) < 8:
             return []
-        snapshot = self.store.snapshot_store()
+        view = self.store.window_view()
+        report = self._thrashing_report(view, timestamp, self.config.thrashing)
         alerts: list[MonitorAlert] = []
         # A machine counts as thrashing when a detected window reaches past the
         # previous scan — scans run every ``thrashing_scan_every`` samples, and
         # only checking the very latest sample would miss windows whose noisy
         # edges dip below the watermark exactly at the scan instant.
         since = self._last_thrashing_scan
-        for machine_id in snapshot.machine_ids:
-            windows = detect_thrashing(snapshot.series(machine_id, "cpu"),
-                                       snapshot.series(machine_id, "mem"),
-                                       machine_id=machine_id,
-                                       config=self.config.thrashing)
+        for machine_id in view.machine_ids:
+            windows = report.get(machine_id, ())
             recent = [w for w in windows if since is None or w.end >= since]
             if recent:
                 # Still (or again) inside an episode: reset the cool-down and
@@ -289,15 +341,29 @@ class OnlineMonitor:
         return counts
 
 
+def sample_dict(store: MetricStore, index: int) -> dict[str, dict[str, float]]:
+    """The ``{machine: {metric: value}}`` dict form of one store column."""
+    return {machine_id: {metric: float(store.data[m_idx, j, index])
+                         for j, metric in enumerate(store.metrics)}
+            for m_idx, machine_id in enumerate(store.machine_ids)}
+
+
 def iter_samples(store: MetricStore) -> Iterator[tuple[float, dict[str, dict[str, float]]]]:
     """Yield ``(timestamp, {machine: {metric: value}})`` frames from a store."""
     for index, timestamp in enumerate(store.timestamps):
-        frame: dict[str, dict[str, float]] = {}
-        for m_idx, machine_id in enumerate(store.machine_ids):
-            frame[machine_id] = {
-                metric: float(store.data[m_idx, j, index])
-                for j, metric in enumerate(store.metrics)}
-        yield float(timestamp), frame
+        yield float(timestamp), sample_dict(store, index)
+
+
+def iter_frames(store: MetricStore) -> Iterator[tuple[float, np.ndarray]]:
+    """Yield ``(timestamp, (machines, metrics) column view)`` frames.
+
+    The dense, zero-copy sibling of :func:`iter_samples` — the trace
+    replayer drives :meth:`OnlineMonitor.observe_frame` with it, skipping
+    the per-machine dict construction entirely.
+    """
+    data = store.data
+    for index, timestamp in enumerate(store.timestamps):
+        yield float(timestamp), data[:, :, index]
 
 
 def replay_bundle(bundle: TraceBundle, *, monitor: OnlineMonitor | None = None,
@@ -320,6 +386,10 @@ def replay_bundle(bundle: TraceBundle, *, monitor: OnlineMonitor | None = None,
     if batch:
         monitor.catch_up(bundle.usage)
         return monitor
-    for timestamp, frame in iter_samples(bundle.usage):
-        monitor.observe(timestamp, frame)
+    if monitor.accepts_frames_of(bundle.usage):
+        for timestamp, frame in iter_frames(bundle.usage):
+            monitor.observe_frame(timestamp, frame)
+    else:
+        for timestamp, frame in iter_samples(bundle.usage):
+            monitor.observe(timestamp, frame)
     return monitor

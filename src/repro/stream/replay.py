@@ -17,11 +17,13 @@ keeps the harness deterministic and test-friendly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable
+
+import numpy as np
 
 from repro.errors import SeriesError
 from repro.stream.alerts import AlertManager, ManagedAlert
-from repro.stream.monitor import MonitorAlert, MonitorConfig, OnlineMonitor, iter_samples
+from repro.stream.monitor import MonitorAlert, MonitorConfig, OnlineMonitor
 from repro.stream.online_stats import P2Quantile, RunningStats
 from repro.trace.records import TraceBundle
 
@@ -72,7 +74,12 @@ class TraceReplayer:
         self.alerts = alert_manager if alert_manager is not None else AlertManager()
         self.samples_per_step = samples_per_step
         self._on_sample = on_sample
-        self._frames: Iterator[tuple[float, dict]] = iter_samples(bundle.usage)
+        self._store = bundle.usage
+        self._cursor = 0
+        # Dense columns feed the monitor directly when the layouts line up
+        # (the normal case: the monitor was just built from this store);
+        # otherwise fall back to the dict-sample path.
+        self._dense = self.monitor.accepts_frames_of(self._store)
         self._samples_replayed = 0
         self._last_timestamp: float | None = None
         self._cpu_stats = RunningStats()
@@ -95,26 +102,40 @@ class TraceReplayer:
         return self._exhausted
 
     # -- stepping ---------------------------------------------------------------
+    def _sample_dict(self, index: int) -> dict:
+        """The dict form of one trace column (callbacks, fallback path)."""
+        from repro.stream.monitor import sample_dict
+
+        return sample_dict(self._store, index)
+
     def step(self) -> list[MonitorAlert]:
         """Replay up to ``samples_per_step`` samples; returns the new alerts."""
         new_alerts: list[MonitorAlert] = []
+        store = self._store
+        has_cpu = "cpu" in store.metrics
         for _ in range(self.samples_per_step):
-            try:
-                timestamp, frame = next(self._frames)
-            except StopIteration:
+            if self._cursor >= store.num_samples:
                 self._exhausted = True
                 break
+            index = self._cursor
+            self._cursor += 1
+            timestamp = float(store.timestamps[index])
             self._samples_replayed += 1
             self._last_timestamp = timestamp
-            for values in frame.values():
-                cpu = values.get("cpu", 0.0)
-                self._cpu_stats.update(cpu)
-                self._cpu_p95.update(cpu)
-            alerts = self.monitor.observe(timestamp, frame)
+            cpu_column = (store.metric_block("cpu")[:, index] if has_cpu
+                          else np.zeros(store.num_machines))
+            self._cpu_stats.update_many(cpu_column)
+            self._cpu_p95.update_many(cpu_column)
+            if self._dense:
+                alerts = self.monitor.observe_frame(timestamp,
+                                                    store.data[:, :, index])
+            else:
+                alerts = self.monitor.observe(timestamp,
+                                              self._sample_dict(index))
             self.alerts.ingest_many(alerts)
             new_alerts.extend(alerts)
             if self._on_sample is not None:
-                self._on_sample(timestamp, frame)
+                self._on_sample(timestamp, self._sample_dict(index))
         return new_alerts
 
     def run_until(self, timestamp: float) -> list[MonitorAlert]:

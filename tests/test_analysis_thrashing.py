@@ -94,3 +94,61 @@ class TestClusterReport:
         before = thrashing_fraction(thrashing_bundle.usage, t0 - (t1 - t0))
         assert inside >= before
         assert 0.0 <= inside <= 1.0
+
+
+class TestBlockScanParity:
+    """The vectorized cluster scan is bit-identical to per-series calls."""
+
+    def _random_store(self, seed, num_machines, num_samples):
+        from repro.metrics.store import MetricStore
+
+        rng = np.random.default_rng(seed)
+        ids = [f"m{i}" for i in range(num_machines)]
+        store = MetricStore(ids, np.arange(num_samples) * 60.0)
+        store.data[:] = rng.uniform(0.0, 100.0, store.data.shape)
+        for row in range(num_machines):
+            if rng.random() < 0.6 and num_samples > 8:
+                lo = int(rng.integers(0, num_samples - 6))
+                span = int(rng.integers(3, 6))
+                store.data[row, 1, lo:lo + span] = 96.0
+                store.data[row, 0, lo:lo + span] = 4.0
+        return store
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_report_equals_per_series_detection(self, seed):
+        store = self._random_store(seed, num_machines=9,
+                                   num_samples=10 + seed * 13)
+        config = ThrashingConfig(reference_window=(seed % 3) * 5 + 1)
+        report = cluster_thrashing_report(store, config=config)
+        for machine_id in store.machine_ids:
+            direct = detect_thrashing(store.series(machine_id, "cpu"),
+                                      store.series(machine_id, "mem"),
+                                      machine_id=machine_id, config=config)
+            assert report.get(machine_id, []) == direct, machine_id
+
+    def test_min_duration_filter_matches(self):
+        store = self._random_store(3, num_machines=6, num_samples=40)
+        config = ThrashingConfig(min_duration_s=120.0)
+        report = cluster_thrashing_report(store, config=config)
+        for machine_id in store.machine_ids:
+            direct = detect_thrashing(store.series(machine_id, "cpu"),
+                                      store.series(machine_id, "mem"),
+                                      machine_id=machine_id, config=config)
+            assert report.get(machine_id, []) == direct
+
+    def test_empty_store_reports_nothing(self):
+        from repro.metrics.store import MetricStore
+
+        assert cluster_thrashing_report(MetricStore(["a"], np.array([]))) == {}
+        assert cluster_thrashing_report(MetricStore([], np.array([0.0]))) == {}
+
+    def test_mask_block_shape(self):
+        from repro.analysis.thrashing import thrashing_mask_block
+
+        store = self._random_store(1, num_machines=4, num_samples=20)
+        mask, reference = thrashing_mask_block(store.timestamps,
+                                               store.metric_block("cpu"),
+                                               store.metric_block("mem"))
+        assert mask.shape == (4, 20)
+        assert reference.shape == (4, 20)
+        assert mask.dtype == bool

@@ -70,15 +70,17 @@ class TestAppendBlock:
         assert stream.latest_timestamp == 9 * 60.0
 
     def test_oversized_block_does_not_pin_full_history(self):
-        # the kept frames must not hold the whole catch-up block alive:
-        # their shared base is at most window_samples frames
+        # the store must not hold the whole catch-up block alive: its
+        # storage is a preallocated mirrored ring of 2 x window frames,
+        # and the window it serves shares that ring, not the input block
         stream = StreamingMetricStore(["a", "b"], window_samples=4)
-        stream.append_block(np.arange(1000) * 60.0,
-                            np.zeros((2, 3, 1000)))
-        max_base = 4 * 2 * 3 * 8  # window frames of float64
-        for frame in stream._frames:
-            base = frame.base if frame.base is not None else frame
-            assert base.nbytes <= max_base
+        block = np.zeros((2, 3, 1000))
+        stream.append_block(np.arange(1000) * 60.0, block)
+        max_ring = 2 * 4 * 2 * 3 * 8  # mirrored window frames of float64
+        assert stream._buffer.nbytes <= max_ring
+        view = stream.window_view()
+        assert np.shares_memory(view.data, stream._buffer)
+        assert not np.shares_memory(view.data, block)
 
     def test_oversized_block_values_correct(self):
         stream = StreamingMetricStore(["a"], window_samples=3)

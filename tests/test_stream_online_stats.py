@@ -178,3 +178,72 @@ class TestOnlineZScore:
             scorer.update(value)
         assert scorer.count == 3
         assert scorer.mean == pytest.approx(2.0)
+
+
+class TestBulkUpdates:
+    """The vectorized bulk paths agree with the scalar folding loops."""
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=0, max_size=300),
+           st.lists(st.integers(min_value=0, max_value=40),
+                    min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_running_stats_bulk_matches_scalar_loop(self, values, cuts):
+        scalar = RunningStats()
+        for value in values:
+            scalar.update(value)
+        bulk = RunningStats()
+        cursor = 0
+        for cut in cuts:   # fold in several arbitrary batches
+            bulk.update_many(values[cursor:cursor + cut])
+            cursor += cut
+        bulk.update_many(values[cursor:])
+        assert bulk.count == scalar.count
+        if scalar.count:
+            assert bulk.minimum == scalar.minimum
+            assert bulk.maximum == scalar.maximum
+            assert bulk.mean == pytest.approx(scalar.mean, rel=1e-12, abs=1e-12)
+            assert bulk.variance == pytest.approx(scalar.variance,
+                                                  rel=1e-9, abs=1e-8)
+
+    def test_running_stats_bulk_accepts_arrays_and_generators(self):
+        stats = RunningStats()
+        stats.update_many(np.array([1.0, 2.0, 3.0]))
+        stats.update_many(float(x) for x in (4.0, 5.0))
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(3.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=250),
+           st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_ewma_bulk_matches_scalar_loop(self, values, alpha):
+        scalar = OnlineEwma(alpha=alpha)
+        scalar_residuals = [scalar.update(value) for value in values]
+        bulk = OnlineEwma(alpha=alpha)
+        split = len(values) // 2
+        residuals = list(bulk.update_many(values[:split]))
+        residuals.extend(bulk.update_many(values[split:]))
+        assert bulk.mean == pytest.approx(scalar.mean, rel=1e-8, abs=1e-8)
+        assert bulk.deviation == pytest.approx(scalar.deviation,
+                                               rel=1e-8, abs=1e-8)
+        assert residuals == pytest.approx(scalar_residuals,
+                                          rel=1e-8, abs=1e-8)
+
+    def test_ewma_bulk_empty_and_single(self):
+        ewma = OnlineEwma(alpha=0.3)
+        assert ewma.update_many([]).size == 0
+        residuals = ewma.update_many([42.0])
+        assert residuals.tolist() == [0.0]
+        assert ewma.mean == 42.0
+
+    def test_p2_bulk_matches_scalar_loop(self):
+        rng = np.random.default_rng(5)
+        values = rng.uniform(0.0, 100.0, 400)
+        scalar = P2Quantile(0.95)
+        for value in values:
+            scalar.update(value)
+        bulk = P2Quantile(0.95)
+        bulk.update_many(values)
+        assert bulk.count == scalar.count
+        assert bulk.value == scalar.value

@@ -1,0 +1,185 @@
+"""Property suite: the mirrored ring buffer equals a deque-of-frames model.
+
+The streaming store's storage was rewritten from a deque of per-sample
+frames to a preallocated mirrored NumPy ring; these tests pin the rewrite
+bit-identical to the original semantics across interleaved ``append`` /
+``append_block`` / ``snapshot_store`` sequences — including window
+overflow, oversized blocks and the ``is_full()`` transition — via a
+reference model implementing the old deque behaviour verbatim.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import METRICS
+from repro.errors import SeriesError
+from repro.stream.store import StreamingMetricStore
+
+MACHINES = ("m0", "m1", "m2")
+
+
+class DequeReference:
+    """The pre-refactor deque-of-frames store, kept as the test oracle."""
+
+    def __init__(self, machine_ids, window_samples):
+        self.machine_ids = list(machine_ids)
+        self.window = window_samples
+        self.timestamps: deque[float] = deque(maxlen=window_samples)
+        self.frames: deque[np.ndarray] = deque(maxlen=window_samples)
+
+    def append(self, timestamp, sample):
+        frame = (self.frames[-1].copy() if self.frames
+                 else np.zeros((len(self.machine_ids), len(METRICS))))
+        for machine_id, values in sample.items():
+            row = self.machine_ids.index(machine_id)
+            for metric, value in values.items():
+                frame[row, METRICS.index(metric)] = float(value)
+        self.timestamps.append(float(timestamp))
+        self.frames.append(frame)
+
+    def append_block(self, timestamps, block):
+        self.timestamps.extend(np.asarray(timestamps, dtype=float).tolist())
+        for i in range(block.shape[2]):
+            self.frames.append(np.array(block[:, :, i], dtype=float))
+
+    @property
+    def data(self):
+        stacked = np.stack(list(self.frames), axis=0)
+        return np.transpose(stacked, (1, 2, 0))
+
+
+def values_strategy():
+    return st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+def sample_op():
+    return st.tuples(
+        st.just("sample"),
+        st.dictionaries(
+            st.sampled_from(MACHINES),
+            st.dictionaries(st.sampled_from(METRICS), values_strategy(),
+                            min_size=1, max_size=len(METRICS)),
+            min_size=1, max_size=len(MACHINES)))
+
+
+def block_op():
+    return st.tuples(
+        st.just("block"),
+        st.lists(st.lists(values_strategy(), min_size=len(MACHINES) * len(METRICS),
+                          max_size=len(MACHINES) * len(METRICS)),
+                 min_size=1, max_size=9))
+
+
+@settings(max_examples=60, deadline=None)
+@given(window=st.integers(min_value=2, max_value=6),
+       steps=st.lists(st.integers(min_value=1, max_value=100), min_size=1,
+                      max_size=12),
+       ops=st.lists(st.one_of(sample_op(), block_op()), min_size=1,
+                    max_size=12))
+def test_ring_matches_deque_reference(window, steps, ops):
+    store = StreamingMetricStore(MACHINES, window_samples=window)
+    reference = DequeReference(MACHINES, window)
+    clock = 0.0
+    for op, step in zip(ops, steps + steps * (len(ops) // len(steps))):
+        kind, payload = op
+        if kind == "sample":
+            clock += step
+            store.append(clock, payload)
+            reference.append(clock, payload)
+        else:
+            timestamps = clock + np.arange(1, len(payload) + 1) * float(step)
+            clock = float(timestamps[-1])
+            block = np.asarray(payload, dtype=float).reshape(
+                len(payload), len(MACHINES), len(METRICS))
+            block = np.transpose(block, (1, 2, 0))
+            store.append_block(timestamps, block)
+            reference.append_block(timestamps, block)
+        # bit-identical window content, length and overflow state after
+        # every single operation — wrap-around has no grace period
+        assert len(store) == len(reference.timestamps)
+        assert store.is_full() == (len(reference.timestamps) == window)
+        snapshot = store.snapshot_store()
+        assert snapshot.timestamps.tolist() == list(reference.timestamps)
+        np.testing.assert_array_equal(snapshot.data, reference.data)
+        assert store.latest_timestamp == reference.timestamps[-1]
+        for row, machine_id in enumerate(MACHINES):
+            assert store.latest(machine_id, "cpu") \
+                == reference.frames[-1][row, METRICS.index("cpu")]
+
+
+class TestWindowView:
+    def test_zero_copy_and_read_only(self):
+        store = StreamingMetricStore(["a", "b"], window_samples=4)
+        for i in range(6):   # force wrap-around
+            store.append(float(i), {"a": {"cpu": float(i * 10)}})
+        view = store.window_view()
+        assert np.shares_memory(view.data, store._buffer)
+        assert not view.data.flags.writeable
+        assert view.timestamps.tolist() == [2.0, 3.0, 4.0, 5.0]
+        np.testing.assert_array_equal(view.metric_block("cpu")[0],
+                                      [20.0, 30.0, 40.0, 50.0])
+
+    def test_view_matches_snapshot_after_every_append(self):
+        store = StreamingMetricStore(["a"], window_samples=3)
+        for i in range(8):
+            store.append(float(i), {"a": {"cpu": float(i)}})
+            view = store.window_view()
+            snapshot = store.snapshot_store()
+            np.testing.assert_array_equal(view.data, snapshot.data)
+            np.testing.assert_array_equal(view.timestamps,
+                                          snapshot.timestamps)
+
+    def test_snapshot_is_independent_copy(self):
+        store = StreamingMetricStore(["a"], window_samples=3)
+        store.append(0.0, {"a": {"cpu": 10.0}})
+        snapshot = store.snapshot_store()
+        store.append(60.0, {"a": {"cpu": 99.0}})
+        assert snapshot.num_samples == 1
+        assert snapshot.series("a", "cpu").values.tolist() == [10.0]
+
+    def test_empty_store_view_raises(self):
+        store = StreamingMetricStore(["a"], window_samples=3)
+        with pytest.raises(SeriesError):
+            store.window_view()
+
+
+class TestLatestAccessorErrors:
+    def test_unknown_machine_raises_series_error(self):
+        store = StreamingMetricStore(["a"], window_samples=4)
+        store.append(0.0, {"a": {"cpu": 5.0}})
+        with pytest.raises(SeriesError, match="unknown machine"):
+            store.latest("ghost", "cpu")
+
+    def test_unknown_metric_raises_series_error(self):
+        store = StreamingMetricStore(["a"], window_samples=4)
+        store.append(0.0, {"a": {"cpu": 5.0}})
+        with pytest.raises(SeriesError, match="unknown metric"):
+            store.latest("a", "gpu")
+
+    def test_append_frame_validations(self):
+        store = StreamingMetricStore(["a"], window_samples=4)
+        with pytest.raises(SeriesError):
+            store.append_frame(0.0, np.zeros((2, 3)))
+        with pytest.raises(SeriesError):
+            store.append_frame(0.0, np.full((1, 3), 120.0))
+        store.append_frame(0.0, np.full((1, 3), 50.0))
+        with pytest.raises(SeriesError):
+            store.append_frame(0.0, np.full((1, 3), 50.0))  # not after
+        assert store.latest("a", "cpu") == 50.0
+
+    def test_append_frame_rejects_nan(self):
+        # `min() < 0 or max() > 100` is False for NaN — the dense path must
+        # reject NaN exactly like the dict path does
+        store = StreamingMetricStore(["a"], window_samples=4)
+        frame = np.full((1, 3), 50.0)
+        frame[0, 0] = np.nan
+        with pytest.raises(SeriesError):
+            store.append_frame(0.0, frame)
+        with pytest.raises(SeriesError):
+            store.append_block(np.array([0.0]), frame[:, :, np.newaxis])
