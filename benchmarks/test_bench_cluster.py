@@ -1,0 +1,102 @@
+"""E11 — vectorized cluster-topology analyses vs. their legacy loops.
+
+The cluster-detector refactor replaced the O(n²) per-pair correlation loop
+and the per-timestamp scalar CV loop with single block passes.  This
+benchmark pins both claims on the shared 256-machine cluster shape:
+
+* ``correlation_matrix`` (one stacking-invariant kernel call) must run at
+  least 5x faster than the pairwise ``pearson`` double loop, with
+  bit-identical numbers;
+* ``imbalance_sweep`` (one axis reduction over the transposed block) must
+  run at least 5x faster than the per-timestamp scalar
+  ``coefficient_of_variation`` loop, with bit-identical numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.balance import imbalance_sweep
+from repro.analysis.correlation import correlation_matrix, pearson
+from repro.metrics.stats import coefficient_of_variation
+
+from benchmarks.conftest import (
+    best_of,
+    record_result,
+    report,
+    synthetic_cluster,
+)
+
+NUM_MACHINES = 256
+NUM_SAMPLES = 288  # 24 h at 300 s resolution
+MIN_SPEEDUP = 5.0
+
+
+class TestClusterAnalysisSpeedup:
+    def test_correlation_matrix_5x_faster_than_pairwise_loop(self):
+        store = synthetic_cluster(NUM_MACHINES, NUM_SAMPLES)
+        series = [store.series(mid, "cpu") for mid in store.machine_ids]
+
+        def pairwise_loop():
+            n = len(series)
+            matrix = np.eye(n)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    matrix[i, j] = matrix[j, i] = pearson(series[i], series[j])
+            return matrix
+
+        def block_pass():
+            return correlation_matrix(series)
+
+        loop_s, loop_matrix = best_of(pairwise_loop)
+        block_s, block_matrix = best_of(block_pass)
+        assert np.array_equal(block_matrix, loop_matrix)
+        speedup = loop_s / block_s
+        pairs = NUM_MACHINES * (NUM_MACHINES - 1) // 2
+        record_result("cluster/correlation", wall_clock_s=block_s,
+                      throughput=pairs / block_s,
+                      throughput_unit="machine-pairs/s",
+                      speedup_vs_pairwise_loop=speedup,
+                      num_machines=NUM_MACHINES)
+        report(f"E11: correlation matrix ({NUM_MACHINES} machines, "
+               f"{pairs} pairs)", {
+                   "pairwise loop": f"{loop_s * 1e3:.1f} ms",
+                   "block kernel": f"{block_s * 1e3:.1f} ms",
+                   "speedup": f"{speedup:.1f}x",
+                   "bit-identical": True,
+               })
+        assert speedup >= MIN_SPEEDUP, (
+            f"correlation kernel only {speedup:.1f}x faster "
+            f"(need >= {MIN_SPEEDUP}x)")
+
+    def test_imbalance_sweep_5x_faster_than_scalar_cv_loop(self):
+        store = synthetic_cluster(NUM_MACHINES, NUM_SAMPLES)
+        block = store.metric_block("cpu")
+
+        def scalar_loop():
+            return np.asarray(
+                [coefficient_of_variation(np.ascontiguousarray(block[:, idx]))
+                 for idx in range(store.num_samples)])
+
+        def vector_sweep():
+            return imbalance_sweep(store, "cpu")
+
+        loop_s, loop_curve = best_of(scalar_loop)
+        sweep_s, sweep_curve = best_of(vector_sweep)
+        assert np.array_equal(sweep_curve, loop_curve)
+        speedup = loop_s / sweep_s
+        record_result("cluster/imbalance", wall_clock_s=sweep_s,
+                      throughput=NUM_SAMPLES / sweep_s,
+                      throughput_unit="timestamps/s",
+                      speedup_vs_scalar_loop=speedup,
+                      num_machines=NUM_MACHINES)
+        report(f"E11: imbalance sweep ({NUM_MACHINES} machines, "
+               f"{NUM_SAMPLES} timestamps)", {
+                   "scalar CV loop": f"{loop_s * 1e3:.1f} ms",
+                   "vectorized sweep": f"{sweep_s * 1e3:.1f} ms",
+                   "speedup": f"{speedup:.1f}x",
+                   "bit-identical": True,
+               })
+        assert speedup >= MIN_SPEEDUP, (
+            f"imbalance sweep only {speedup:.1f}x faster "
+            f"(need >= {MIN_SPEEDUP}x)")

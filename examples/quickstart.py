@@ -20,7 +20,9 @@ This walks through the basic public API in under a minute:
    as ``"threshold+flatline"``, exactly like scenario specs) and its
    sinks, then executes every detector as one vectorized engine pass and
    scores the verdict against the injected ground truth — new detection
-   work is a config change, not new glue code;
+   work is a config change, not new glue code; the cluster-topology
+   detectors (``sync_break``/``imbalance``/``sla_risk``) join the same
+   spec grammar but judge the whole store at once;
 5. show that the very same run is reachable from pure data via
    ``Pipeline.from_spec`` (what ``python -m repro pipeline spec.json``
    executes), and that ``"mode": "streaming"`` folds the identical
@@ -102,6 +104,25 @@ def main() -> None:
             print(f"  {scored.entry.kind}: "
                   f"precision {scored.result.precision:.2f}, "
                   f"recall {scored.result.recall:.2f}")
+
+    # The cluster-topology detectors — the paper's cross-machine payload —
+    # are opt-in parts of the same spec grammar: `sync_break` flags machines
+    # decoupling from their peer group's shared utilisation rhythm (the
+    # Fig. 3(b) synchronisation observation, inverted), `imbalance`
+    # attributes load-balance excursions to the outlier machines driving
+    # them, and `sla_risk` paints SLA-violating jobs over their execution
+    # windows.  Unlike the per-machine detectors above, each sees the WHOLE
+    # store in one block pass and declares itself non-shardable; a sharded
+    # execution block routes them around the shard plan (they sweep the
+    # full store once, in-process), so stacks mixing both kinds stay
+    # bit-identical to an unsharded run on every backend × shard count.
+    print("\nCluster-topology detectors (whole-store, non-shardable):")
+    cluster_run = lens.pipeline(detectors="flatline+sync_break+imbalance",
+                                sinks=()).run()
+    for detection in cluster_run.detections:
+        flagged = detection.result.flagged_machines()
+        print(f"  {detection.label}: {detection.result.num_events} event(s) "
+              f"on {len(flagged)} machine(s)")
 
     # The same run as pure data — this dict could live in a JSON file and
     # run via `python -m repro pipeline spec.json`.

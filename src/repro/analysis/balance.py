@@ -58,16 +58,24 @@ def cluster_balance(store: MetricStore, timestamp: float) -> dict[str, BalanceRe
             for metric in METRICS if metric in store.metrics}
 
 
+def imbalance_sweep(store: MetricStore, metric: str) -> np.ndarray:
+    """Per-timestamp cross-machine CV of one metric as a ``(samples,)`` array.
+
+    One vectorized ``std/|mean|`` pass over the transposed block, sharing
+    :func:`~repro.metrics.stats.coefficient_of_variation` with the scalar
+    callers — the transpose copy makes each timestamp's column contiguous so
+    the reduction is bit-identical to the old per-column loop.
+    """
+    columns = np.ascontiguousarray(store.metric_block(metric).T)
+    return np.asarray(coefficient_of_variation(columns, axis=1),
+                      dtype=np.float64).reshape(store.num_samples)
+
+
 def imbalance_over_time(store: MetricStore, metric: str) -> list[tuple[float, float]]:
     """Coefficient of variation across machines at every stored timestamp."""
-    block = store.data[:, list(store.metrics).index(metric), :]
-    out: list[tuple[float, float]] = []
-    for index, timestamp in enumerate(store.timestamps):
-        column = block[:, index]
-        mean = float(column.mean())
-        cv = float(column.std() / abs(mean)) if mean else 0.0
-        out.append((float(timestamp), cv))
-    return out
+    sweep = imbalance_sweep(store, metric)
+    return [(float(timestamp), float(cv))
+            for timestamp, cv in zip(store.timestamps, sweep)]
 
 
 def outlier_machines(store: MetricStore, metric: str, timestamp: float,

@@ -114,6 +114,57 @@ def detect_changepoints(series: TimeSeries, *, max_changepoints: int = 5,
     return sorted(found, key=lambda cp: cp.index)
 
 
+def cusum_block(timestamps: np.ndarray, block: np.ndarray, *,
+                threshold: float = 25.0,
+                drift: float = 2.0) -> list[list[ChangePoint]]:
+    """Two-sided CUSUM over every row of a ``(machines, samples)`` block.
+
+    One sequential sweep over the sample axis, vectorized across rows.  The
+    accumulators are elementwise float64 updates, so each row's change points
+    are bit-identical to running :func:`cusum_changepoints` on that row alone
+    (and the scalar function indeed delegates here with a one-row block).
+    Returns one ``ChangePoint`` list per row.
+    """
+    if threshold <= 0:
+        raise SeriesError("threshold must be positive")
+    if drift < 0:
+        raise SeriesError("drift must be non-negative")
+    values = np.asarray(block, dtype=np.float64)
+    if values.ndim != 2:
+        raise SeriesError("cusum_block expects a (machines, samples) block")
+    num_rows, num_samples = values.shape
+    found: list[list[ChangePoint]] = [[] for _ in range(num_rows)]
+    if num_samples < 2:
+        return found
+
+    reference = values[:, 0].copy()
+    positive = np.zeros(num_rows)
+    negative = np.zeros(num_rows)
+
+    for index in range(1, num_samples):
+        deviation = values[:, index] - reference
+        np.maximum(0.0, positive + deviation - drift, out=positive)
+        np.maximum(0.0, negative - deviation - drift, out=negative)
+        triggered = np.flatnonzero((positive >= threshold)
+                                   | (negative >= threshold))
+        for row in triggered:
+            # the observed level delta, not the accumulated CUSUM statistic
+            shift = float(values[row, index] - reference[row])
+            found[row].append(ChangePoint(
+                timestamp=float(timestamps[index]),
+                index=index,
+                shift=shift,
+                score=float(max(positive[row], negative[row])),
+            ))
+        if triggered.size:
+            # restart the triggered rows' detectors from the new level
+            reference[triggered] = values[triggered, index]
+            positive[triggered] = 0.0
+            negative[triggered] = 0.0
+
+    return found
+
+
 def cusum_changepoints(series: TimeSeries, *, threshold: float = 25.0,
                        drift: float = 2.0) -> list[ChangePoint]:
     """Two-sided CUSUM change detection.
@@ -122,38 +173,15 @@ def cusum_changepoints(series: TimeSeries, *, threshold: float = 25.0,
     triggers a detection; ``drift`` is the per-sample slack subtracted before
     accumulating, which suppresses slow wander and measurement noise.
     """
-    if threshold <= 0:
-        raise SeriesError("threshold must be positive")
-    if drift < 0:
-        raise SeriesError("drift must be non-negative")
     if len(series) < 2:
+        # still validate the parameters before short-circuiting
+        if threshold <= 0:
+            raise SeriesError("threshold must be positive")
+        if drift < 0:
+            raise SeriesError("drift must be non-negative")
         return []
-
-    values = series.values
-    timestamps = series.timestamps
-    reference = float(values[0])
-    positive = 0.0
-    negative = 0.0
-    found: list[ChangePoint] = []
-
-    for index in range(1, len(values)):
-        deviation = float(values[index]) - reference
-        positive = max(0.0, positive + deviation - drift)
-        negative = max(0.0, negative - deviation - drift)
-        if positive >= threshold or negative >= threshold:
-            shift = positive if positive >= threshold else -negative
-            found.append(ChangePoint(
-                timestamp=float(timestamps[index]),
-                index=index,
-                shift=shift,
-                score=max(positive, negative),
-            ))
-            # restart the detector from the new level
-            reference = float(values[index])
-            positive = 0.0
-            negative = 0.0
-
-    return found
+    return cusum_block(series.timestamps, series.values[None, :],
+                       threshold=threshold, drift=drift)[0]
 
 
 def segment_means(series: TimeSeries,

@@ -1,0 +1,224 @@
+"""Cluster-topology detectors: whole-store analyses behind the engine surface.
+
+The paper's analytical payload is cross-machine: synchronised utilisation of
+a job's nodes (Fig. 3(b)), load-balance uniformity, and SLA breaches rooted
+in co-allocation.  A :class:`BlockDetector` judges each machine row
+independently, which is exactly what makes it shardable — and exactly what
+these analyses cannot be.  A :class:`ClusterDetector` therefore sees the
+**whole** :class:`~repro.metrics.store.MetricStore` (plus optional
+:class:`~repro.cluster.hierarchy.BatchHierarchy` / bundle context), declares
+``shardable = False``, and returns the same :class:`BlockDetection` verdict
+shape, so events, flagged machines and scoring flow through the unchanged
+``EngineResult``/``RunResult`` surfaces.  The shard executor routes around
+the flag: non-shardable detectors are swept once, unsharded, on the full
+store, and their verdicts merge into the same run result.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+import numpy as np
+
+from repro.analysis.balance import imbalance_sweep
+from repro.analysis.detectors import BlockDetection, mask_runs
+from repro.analysis.sla import SlaPolicy, _job_instances, cluster_sla_report
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.errors import UnknownEntityError
+from repro.metrics.store import MetricStore
+from repro.trace.records import TraceBundle
+
+
+def _finalize(timestamps: np.ndarray, mask: np.ndarray, scores: np.ndarray,
+              min_run: int = 1) -> BlockDetection:
+    """Assemble a verdict, dropping runs shorter than ``min_run`` samples.
+
+    Mirrors ``BlockDetector.detect_block``'s keep-filter so cluster
+    detectors apply event-level filtering through the identical mechanism.
+    """
+    detection = BlockDetection.from_mask(timestamps, mask, scores)
+    if min_run <= 1 or detection.num_runs == 0:
+        return detection
+    keep = (detection.ends - detection.starts) >= min_run
+    if np.all(keep):
+        return detection
+    flat = mask.reshape(-1)
+    flat[np.flatnonzero(flat)] = np.repeat(keep,
+                                           detection.ends - detection.starts)
+    return BlockDetection.from_mask(timestamps, mask, scores)
+
+
+class ClusterDetector:
+    """Base class for detectors that judge the cluster as a whole.
+
+    Subclasses implement :meth:`detect_cluster`.  The ``shardable`` flag is
+    the routing contract: ``ShardExecutor`` must never hand such a detector
+    a machine-slice of the store, because its verdict on machine *i* depends
+    on machines it would no longer see.
+    """
+
+    kind: str = "cluster-anomaly"
+    shardable: ClassVar[bool] = False
+
+    def detect_cluster(self, store: MetricStore, *, metric: str = "cpu",
+                       hierarchy: BatchHierarchy | None = None,
+                       bundle: TraceBundle | None = None) -> BlockDetection:
+        raise NotImplementedError
+
+
+class SyncBreakDetector(ClusterDetector):
+    """Flags machines whose utilisation decouples from their peer group.
+
+    The Fig. 3(b) observation is that "the CPU utilisation of corresponding
+    nodes is synchronised"; a machine that stops tracking its group (crash,
+    drain, thrash) breaks that synchronisation.  For every peer group — the
+    machines of each multi-machine job when a hierarchy is supplied, else
+    the whole cluster — the detector computes each member's rolling
+    correlation against the group-mean series and flags windows where it
+    collapses below ``break_threshold``.  A dead (constant) machine
+    correlates 0 with everything and is therefore flagged too.
+
+    The defaults are calibrated against the cascading-failure manifests: a
+    dead machine's correlation is *exactly* zero (its window has no
+    variance), so a tight ``break_threshold`` with a long ``min_run``
+    separates genuine decoupling from transient dips on healthy machines.
+    """
+
+    kind = "sync-break"
+
+    def __init__(self, window: int = 8, break_threshold: float = 0.05,
+                 min_run: int = 10) -> None:
+        self.window = int(window)
+        self.break_threshold = float(break_threshold)
+        self.min_run = int(min_run)
+
+    def _groups(self, store: MetricStore,
+                hierarchy: BatchHierarchy | None) -> list[list[int]]:
+        groups: list[list[int]] = []
+        if hierarchy is not None:
+            for job in hierarchy.jobs:
+                rows = sorted({store._machine_row(mid)
+                               for mid in set(job.machine_ids())
+                               if mid in store})
+                if len(rows) >= 2:
+                    groups.append(rows)
+        if not groups and store.num_machines >= 2:
+            groups.append(list(range(store.num_machines)))
+        return groups
+
+    def detect_cluster(self, store: MetricStore, *, metric: str = "cpu",
+                       hierarchy: BatchHierarchy | None = None,
+                       bundle: TraceBundle | None = None) -> BlockDetection:
+        block = store.metric_block(metric)
+        num_machines, num_samples = block.shape
+        mask = np.zeros(block.shape, dtype=bool)
+        scores = np.zeros(block.shape, dtype=np.float64)
+        w = self.window
+        if num_samples <= w:
+            return _finalize(store.timestamps, mask, scores)
+        for rows in self._groups(store, hierarchy):
+            group = block[rows]
+            group_mean = group.mean(axis=0)
+            windows = np.lib.stride_tricks.sliding_window_view(group, w,
+                                                               axis=1)
+            mean_windows = np.lib.stride_tricks.sliding_window_view(
+                group_mean, w)
+            dev = windows - windows.mean(axis=2, keepdims=True)
+            mean_dev = mean_windows - mean_windows.mean(axis=1, keepdims=True)
+            cov = (dev * mean_dev[None, :, :]).mean(axis=2)
+            denom = windows.std(axis=2) * mean_windows.std(axis=1)[None, :]
+            corr = np.where(denom > 1e-9,
+                            cov / np.maximum(denom, 1e-30), 0.0)
+            broken = corr < self.break_threshold
+            group_scores = np.where(broken, 1.0 - corr, 0.0)
+            # window ending at sample i judges sample i (trailing window)
+            mask[rows, w - 1:] |= broken
+            scores[rows, w - 1:] = np.maximum(scores[rows, w - 1:],
+                                              group_scores)
+        return _finalize(store.timestamps, mask, scores, self.min_run)
+
+
+class ImbalanceDetector(ClusterDetector):
+    """Flags load-balance excursions and attributes them to outlier machines.
+
+    The excursion test is the cluster-wide per-timestamp coefficient of
+    variation (one :func:`~repro.analysis.balance.imbalance_sweep` pass)
+    crossing ``cv_threshold`` — "uniform in colour distribution due to the
+    load balance", inverted.  Within excursion samples, machines whose
+    utilisation sits ``z_threshold`` standard deviations above the cluster
+    mean carry the blame (and the event score is their z-score).
+    """
+
+    kind = "imbalance"
+
+    def __init__(self, cv_threshold: float = 0.35,
+                 z_threshold: float = 1.5) -> None:
+        self.cv_threshold = float(cv_threshold)
+        self.z_threshold = float(z_threshold)
+
+    def detect_cluster(self, store: MetricStore, *, metric: str = "cpu",
+                       hierarchy: BatchHierarchy | None = None,
+                       bundle: TraceBundle | None = None) -> BlockDetection:
+        block = store.metric_block(metric)
+        mask = np.zeros(block.shape, dtype=bool)
+        scores = np.zeros(block.shape, dtype=np.float64)
+        if block.shape[0] < 2 or block.shape[1] == 0:
+            return _finalize(store.timestamps, mask, scores)
+        excursion = imbalance_sweep(store, metric) >= self.cv_threshold
+        means = block.mean(axis=0)
+        stds = block.std(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = np.where(stds[None, :] > 1e-9,
+                         (block - means[None, :]) / stds[None, :], 0.0)
+        mask[:] = excursion[None, :] & (z >= self.z_threshold)
+        scores[:] = np.where(excursion[None, :], np.maximum(z, 0.0), 0.0)
+        return _finalize(store.timestamps, mask, scores)
+
+
+class SlaRiskDetector(ClusterDetector):
+    """Paints each SLA-violating job's machines over its execution window.
+
+    Wraps :func:`~repro.analysis.sla.cluster_sla_report`: every violated job
+    contributes one flagged span per machine it ran on, scored by the worst
+    violation severity.  Without a :class:`TraceBundle` (a store-only
+    pipeline) there is nothing to evaluate and the verdict is empty.
+    """
+
+    kind = "sla-risk"
+
+    def __init__(self, policy: SlaPolicy | None = None) -> None:
+        self.policy = policy
+
+    def detect_cluster(self, store: MetricStore, *, metric: str = "cpu",
+                       hierarchy: BatchHierarchy | None = None,
+                       bundle: TraceBundle | None = None) -> BlockDetection:
+        timestamps = store.timestamps
+        mask = np.zeros((store.num_machines, store.num_samples), dtype=bool)
+        scores = np.zeros(mask.shape, dtype=np.float64)
+        if bundle is None or store.num_samples == 0:
+            return _finalize(timestamps, mask, scores)
+        reports = cluster_sla_report(bundle, policy=self.policy)
+        for job_id, report in sorted(reports.items()):
+            if not report.violated:
+                continue
+            instances = _job_instances(bundle, job_id)
+            if not instances:
+                continue
+            start = float(min(i.start_timestamp for i in instances))
+            end = float(max(i.end_timestamp for i in instances))
+            lo = int(np.searchsorted(timestamps, start, side="left"))
+            hi = int(np.searchsorted(timestamps, end, side="right"))
+            if hi <= lo:
+                continue
+            severity = max(v.severity for v in report.violations)
+            try:
+                machines = bundle.machines_of_job(job_id)
+            except UnknownEntityError:
+                continue
+            rows = [store._machine_row(mid) for mid in machines
+                    if mid in store]
+            if not rows:
+                continue
+            mask[rows, lo:hi] = True
+            scores[rows, lo:hi] = np.maximum(scores[rows, lo:hi], severity)
+        return _finalize(timestamps, mask, scores)

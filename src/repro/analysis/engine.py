@@ -378,7 +378,8 @@ class DetectionEngine:
     # -- core pass -------------------------------------------------------------
     def run(self, store: MetricStore, detector="threshold", *,
             metric: str = "cpu",
-            window: tuple[float, float] | None = None) -> EngineResult:
+            window: tuple[float, float] | None = None,
+            hierarchy=None, bundle=None) -> EngineResult:
         """One detector, one metric, every machine — in a single pass.
 
         ``detector`` is a name (looked up in this engine's detectors, then
@@ -389,6 +390,11 @@ class DetectionEngine:
         full history and merely *filter* the resulting events by a window
         (the scoring semantics), use :meth:`flag_machines` or
         ``run(...).flagged_machines(window)`` instead.
+
+        ``hierarchy`` / ``bundle`` are optional cluster context, forwarded
+        to detectors implementing ``detect_cluster`` (whole-store
+        :class:`~repro.analysis.cluster_detectors.ClusterDetector`
+        analyses); row-independent block detectors never see them.
 
         An empty or single-sample store is a valid input: the sweep simply
         returns an event-less result (never an error), which is what the
@@ -409,6 +415,10 @@ class DetectionEngine:
                 store.timestamps,
                 np.zeros(block_values.shape, dtype=bool),
                 np.zeros(block_values.shape, dtype=np.float64))
+        elif hasattr(detector, "detect_cluster"):
+            block = detector.detect_cluster(store, metric=metric,
+                                            hierarchy=hierarchy,
+                                            bundle=bundle)
         elif hasattr(detector, "detect_block"):
             block = detector.detect_block(store.timestamps, block_values)
         else:

@@ -59,12 +59,10 @@ def _mean_utilisation(store: MetricStore, machine_ids: list[str],
     if not known:
         return 0.0
     windowed = store.window(window[0], window[1])
-    means = []
-    for machine_id in known:
-        series = windowed.series(machine_id, metric)
-        if len(series):
-            means.append(series.mean())
-    return float(np.mean(means)) if means else 0.0
+    if windowed.num_samples == 0:
+        return 0.0
+    rows = [windowed._machine_row(machine_id) for machine_id in known]
+    return float(np.mean(windowed.metric_block(metric)[rows].mean(axis=1)))
 
 
 def interference_score(hierarchy: BatchHierarchy, store: MetricStore,

@@ -56,6 +56,15 @@ def rank_root_causes(bundle: TraceBundle, hierarchy: BatchHierarchy,
     machine_set = set(anomalous_machines)
     window_length = window[1] - window[0]
 
+    # one pass over the record table instead of an O(instances × records)
+    # rescan per hierarchy instance; first record wins, like the old
+    # ``next(...)`` scan did on duplicates
+    record_index: dict[tuple, object] = {}
+    for record in bundle.instances:
+        record_index.setdefault(
+            (record.job_id, record.task_id, record.seq_no, record.machine_id),
+            record)
+
     candidates: list[RootCauseCandidate] = []
     for job in hierarchy.jobs:
         job_machines = set(job.machine_ids()) & machine_set
@@ -71,11 +80,8 @@ def rank_root_causes(bundle: TraceBundle, hierarchy: BatchHierarchy,
                     continue
                 overlap = _interval_overlap(inst.start, inst.end, *window)
                 overlaps.append(overlap / window_length)
-                record = next(
-                    (r for r in bundle.instances
-                     if r.job_id == inst.job_id and r.task_id == inst.task_id
-                     and r.seq_no == inst.seq_no
-                     and r.machine_id == inst.machine_id), None)
+                record = record_index.get(
+                    (inst.job_id, inst.task_id, inst.seq_no, inst.machine_id))
                 if record is not None and record.cpu_avg is not None:
                     demands.append(record.cpu_avg)
         temporal = float(np.mean(overlaps)) if overlaps else 0.0
@@ -99,9 +105,9 @@ def anomalous_machines_in_window(store: MetricStore, window: tuple[float, float]
                                  threshold: float = 85.0) -> list[str]:
     """Machines whose mean utilisation inside the window exceeds a threshold."""
     windowed = store.window(window[0], window[1])
-    out = []
-    for machine_id in windowed.machine_ids:
-        series = windowed.series(machine_id, metric)
-        if len(series) and series.mean() >= threshold:
-            out.append(machine_id)
-    return out
+    if windowed.num_samples == 0:
+        return []
+    means = windowed.metric_block(metric).mean(axis=1)
+    return [machine_id
+            for machine_id, mean in zip(windowed.machine_ids, means)
+            if mean >= threshold]

@@ -34,7 +34,12 @@ flagged machines, same scores (``tests/test_shard_golden.py`` pins this
 for every registered detector × scenario).  Sharding along machines
 assumes the detector judges rows independently, which holds for every
 registered :class:`~repro.analysis.detectors.BlockDetector`; a detector
-mixing statistics *across* machines must be swept unsharded.
+mixing statistics *across* machines declares ``shardable = False``
+(:class:`~repro.analysis.cluster_detectors.ClusterDetector`) and the
+executor routes it around the shard plan: it is swept once, in-process,
+on the **full** store, and its verdict lands in the same result list as
+the sharded units — so mixing shardable and non-shardable detectors in
+one stack still yields results bit-identical to a fully unsharded run.
 
 The declarative way in is the pipeline spec
 (``{"execution": {"backend": "threads", "workers": 8}}`` — see
@@ -146,14 +151,17 @@ class ShardExecutor:
 
     # -- execution -------------------------------------------------------------
     def run(self, store: MetricStore, detector, *, metric: str = "cpu",
-            shards: int | None = None) -> EngineResult:
+            shards: int | None = None,
+            hierarchy=None, bundle=None) -> EngineResult:
         """Sharded equivalent of :meth:`DetectionEngine.run` (bit-identical)."""
-        (result,) = self.run_many(store, ((detector, metric),), shards=shards)
+        (result,) = self.run_many(store, ((detector, metric),), shards=shards,
+                                  hierarchy=hierarchy, bundle=bundle)
         return result
 
     def run_many(self, store: MetricStore,
                  work: Sequence[tuple[object, str]], *,
-                 shards: int | None = None) -> list[EngineResult]:
+                 shards: int | None = None,
+                 hierarchy=None, bundle=None) -> list[EngineResult]:
         """Sweep several ``(detector, metric)`` units over one sharded store.
 
         The ``threads`` backend pools all ``len(work) × shards`` shard
@@ -164,10 +172,39 @@ class ShardExecutor:
         exactly once.  Per unit, shard verdicts are merged in machine row
         order — results are deterministic and bit-identical to unsharded
         sweeps regardless of completion order.
+
+        Units whose detector declares ``shardable = False`` (cluster
+        detectors) never enter the shard plan: each is swept once,
+        in-process, over the full store with the ``hierarchy``/``bundle``
+        context, and its verdict is returned in the unit's original
+        position.  The context objects are therefore never pickled — the
+        process backend only ever ships shardable units.
         """
         work = tuple(work)
         if not work:
             return []
+        results: list[EngineResult | None] = [None] * len(work)
+        sharded_units = [index for index, (detector, _) in enumerate(work)
+                         if getattr(detector, "shardable", True)]
+        if len(sharded_units) < len(work):
+            engine = DetectionEngine(detectors={})
+            for index, (detector, metric) in enumerate(work):
+                if index in sharded_units:
+                    continue
+                results[index] = engine.run(store, detector, metric=metric,
+                                            hierarchy=hierarchy, bundle=bundle)
+            work = tuple(work[index] for index in sharded_units)
+            if not work:
+                return results
+        merged = self._run_sharded(store, work, shards)
+        for index, result in zip(sharded_units, merged):
+            results[index] = result
+        return results
+
+    def _run_sharded(self, store: MetricStore,
+                     work: tuple[tuple[object, str], ...],
+                     shards: int | None) -> list[EngineResult]:
+        """The shard-plan sweep of row-independent units (all backends)."""
         shards = self.effective_workers if shards is None else shards
         # A machine-less store plans to no shards; sweep it whole — the
         # engine short-circuits it to an event-less verdict per unit.

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.hierarchy import BatchHierarchy
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnknownEntityError
 from repro.metrics.store import MetricStore
 from repro.trace.records import TraceBundle
 
@@ -82,11 +82,30 @@ class JobSlaReport:
         return bool(self.violations)
 
 
+def _job_instances(bundle: TraceBundle, job_id: str) -> list:
+    """Instance records of a job, tolerating jobs with zero instances.
+
+    A job can legitimately appear in the task table with no instance records
+    (e.g. it never got scheduled before the trace horizon); such jobs get an
+    empty list here instead of the :class:`UnknownEntityError` the raw lookup
+    raises.  Jobs absent from the bundle entirely still raise.
+    """
+    try:
+        return bundle.instances_of_job(job_id)
+    except UnknownEntityError:
+        if job_id in bundle.job_ids():
+            return []
+        raise
+
+
 def _runtime_stretch(bundle: TraceBundle, job_id: str) -> float:
     """Worst instance-duration / task-median-duration ratio of one job."""
     worst = 1.0
     for task_id in bundle.task_ids(job_id):
-        instances = bundle.instances_of_task(job_id, task_id)
+        try:
+            instances = bundle.instances_of_task(job_id, task_id)
+        except UnknownEntityError:
+            continue
         durations = np.asarray([inst.duration for inst in instances], dtype=np.float64)
         if durations.size == 0:
             continue
@@ -107,18 +126,18 @@ def _saturated_fraction(store: MetricStore | None, machine_ids: list[str],
     if not known:
         return 0.0
     windowed = store.window(window[0], window[1])
-    fractions: list[float] = []
-    for machine_id in known:
-        saturated = None
-        for metric in policy.saturation_metrics:
-            if metric not in windowed.metrics:
-                continue
-            values = windowed.series(machine_id, metric).values
-            flag = values >= policy.saturation_level
-            saturated = flag if saturated is None else (saturated | flag)
-        if saturated is not None and saturated.size:
-            fractions.append(float(np.mean(saturated)))
-    return float(np.mean(fractions)) if fractions else 0.0
+    if windowed.num_samples == 0:
+        return 0.0
+    rows = [windowed._machine_row(machine_id) for machine_id in known]
+    saturated = None
+    for metric in policy.saturation_metrics:
+        if metric not in windowed.metrics:
+            continue
+        flags = windowed.metric_block(metric)[rows] >= policy.saturation_level
+        saturated = flags if saturated is None else (saturated | flags)
+    if saturated is None:
+        return 0.0
+    return float(np.mean(saturated.mean(axis=1)))
 
 
 def evaluate_job_sla(bundle: TraceBundle, job_id: str, *,
@@ -128,12 +147,17 @@ def evaluate_job_sla(bundle: TraceBundle, job_id: str, *,
     policy = policy if policy is not None else SlaPolicy()
     policy.validate()
 
-    instances = bundle.instances_of_job(job_id)
+    instances = _job_instances(bundle, job_id)
     stretch = _runtime_stretch(bundle, job_id)
 
-    window = (float(min(i.start_timestamp for i in instances)),
-              float(max(i.end_timestamp for i in instances)))
-    machines = bundle.machines_of_job(job_id)
+    if instances:
+        window = (float(min(i.start_timestamp for i in instances)),
+                  float(max(i.end_timestamp for i in instances)))
+        machines = bundle.machines_of_job(job_id)
+    else:
+        # instance-less job: clean report with a zero execution window
+        window = (0.0, 0.0)
+        machines = []
     saturated = _saturated_fraction(bundle.usage, machines, window, policy)
 
     if horizon_s is None:

@@ -319,11 +319,16 @@ def cmd_detect(args: argparse.Namespace) -> int:
     """Sweep the cluster with the detection engine and score the manifest.
 
     A thin adapter over a batch :class:`~repro.pipeline.Pipeline`: every
-    detector of ``--detectors`` (default: all registered) judges every
-    machine in one vectorized array pass, and when the trace carries a
-    ground-truth manifest the ``score`` sink turns every entry into a
-    precision/recall row.  ``--json`` emits the machine-readable run
-    summary instead of the pretty-printed tables.
+    detector of ``--detectors`` (default: the per-machine stack
+    ``ewma+flatline+threshold+zscore``) judges every machine in one
+    vectorized array pass, and when the trace carries a ground-truth
+    manifest the ``score`` sink turns every entry into a precision/recall
+    row.  The cluster-topology detectors (``sync_break``, ``imbalance``,
+    ``sla_risk``) are opt-in via the spec — they sweep the whole store at
+    once and are routed around any ``--backend``/``--shards`` plan, so
+    mixed stacks still match an unsharded run bit for bit.  ``--json``
+    emits the machine-readable run summary instead of the pretty-printed
+    tables.
     """
     from repro.pipeline import Pipeline
 
@@ -442,7 +447,8 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     print("\nregistered detectors (composable with '+', see `repro detect "
           "--detectors`):")
     for info in list_detectors():
-        print(f"  {info.name}: {info.summary}")
+        marker = "" if info.in_default else " [cluster detector, opt-in]"
+        print(f"  {info.name}: {info.summary}{marker}")
     print("\nregistered pipeline sinks (for `repro pipeline` specs):")
     print(f"  {', '.join(sink_names())}")
     return 0
@@ -549,8 +555,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="metric the engine sweep judges (default: cpu)")
     detect.add_argument("--detectors", default=None,
                         help="composed detector spec such as "
-                             "'threshold(threshold=85)+flatline' "
-                             "(default: every registered detector)")
+                             "'threshold(threshold=85)+flatline' or "
+                             "'flatline+sync_break+imbalance' "
+                             "(default: every default-stack detector; "
+                             "cluster detectors are opt-in)")
     detect.add_argument("--json", action="store_true",
                         help="emit the machine-readable run summary for CI")
     _add_execution_flags(detect)

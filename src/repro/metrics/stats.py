@@ -98,9 +98,25 @@ def summarize(values: Sequence[float] | np.ndarray) -> DistributionSummary:
     )
 
 
-def coefficient_of_variation(values: Sequence[float] | np.ndarray) -> float:
-    """Standard deviation divided by mean; 0 for constant or empty samples."""
+def coefficient_of_variation(values: Sequence[float] | np.ndarray, *,
+                             axis: int | None = None) -> float | np.ndarray:
+    """Standard deviation divided by mean; 0 for constant or empty samples.
+
+    With ``axis`` the same rule is applied along one axis of a block and an
+    array of per-slice coefficients is returned (zero wherever the slice mean
+    is exactly zero, matching the scalar short-circuit).
+    """
     arr = np.asarray(values, dtype=np.float64)
+    if axis is not None:
+        if arr.size == 0:
+            reduced = tuple(extent for dim, extent in enumerate(arr.shape)
+                            if dim != axis % max(arr.ndim, 1))
+            return np.zeros(reduced, dtype=np.float64)
+        means = arr.mean(axis=axis)
+        stds = arr.std(axis=axis)
+        out = np.zeros_like(means)
+        np.divide(stds, np.abs(means), out=out, where=means != 0.0)
+        return out
     if arr.size == 0:
         return 0.0
     mean = float(arr.mean())

@@ -31,6 +31,8 @@ from repro.pipeline.core import DetectorRun, Pipeline, RunResult
 from repro.pipeline.detectors import (
     DetectorInfo,
     canonical_detector_spec,
+    default_detector_names,
+    default_detector_spec,
     detector_names,
     get_detector,
     list_detectors,
@@ -56,6 +58,8 @@ __all__ = [
     "SourceSpec",
     "StreamingOptions",
     "canonical_detector_spec",
+    "default_detector_names",
+    "default_detector_spec",
     "detector_names",
     "get_detector",
     "list_detectors",

@@ -50,7 +50,7 @@ from typing import TYPE_CHECKING, Mapping
 from repro.errors import PipelineError
 from repro.pipeline.detectors import (
     canonical_detector_spec,
-    detector_names,
+    default_detector_spec,
     resolve_detectors,
 )
 from repro.pipeline.spec import (
@@ -204,7 +204,7 @@ class Pipeline:
     def _compile(self, detectors) -> tuple[DetectorPlan, ...]:
         """Cross detector stack × metrics into concrete plans."""
         if detectors is None:
-            detectors = "+".join(detector_names())
+            detectors = default_detector_spec()
         if isinstance(detectors, str):
             self._detector_spec = canonical_detector_spec(detectors)
             stack = resolve_detectors(self._detector_spec)
@@ -403,7 +403,7 @@ class Pipeline:
                                machine_ids=(tuple(store.machine_ids)
                                             if store is not None else ()))
         elif self.mode == "batch":
-            result = self._run_batch(store)
+            result = self._run_batch(bundle, store)
         else:
             result = self._run_streaming(bundle, store)
         detect_s = time.perf_counter() - started - source_s
@@ -414,7 +414,17 @@ class Pipeline:
         result.timings["total_s"] = time.perf_counter() - started
         return result
 
-    def _run_batch(self, store: "MetricStore") -> RunResult:
+    def _run_batch(self, bundle, store: "MetricStore") -> RunResult:
+        # Cluster detectors (detect_cluster) receive the bundle plus a
+        # hierarchy built once per run; row-independent detectors never
+        # see either, so store-only pipelines keep working unchanged.
+        hierarchy = None
+        if bundle is not None and any(
+                hasattr(plan.detector, "detect_cluster")
+                for plan in self.plans):
+            from repro.cluster.hierarchy import BatchHierarchy
+
+            hierarchy = BatchHierarchy.from_bundle(bundle)
         if self.execution.sharded and self.plans:
             from repro.analysis.shard import ShardExecutor
 
@@ -422,7 +432,8 @@ class Pipeline:
                                      workers=self.execution.workers)
             results = executor.run_many(
                 store, [(plan.detector, plan.metric) for plan in self.plans],
-                shards=self.execution.shards)
+                shards=self.execution.shards,
+                hierarchy=hierarchy, bundle=bundle)
             detections = tuple(
                 DetectorRun(label=plan.label, name=plan.name,
                             metric=plan.metric, result=result)
@@ -435,7 +446,9 @@ class Pipeline:
                 DetectorRun(label=plan.label, name=plan.name,
                             metric=plan.metric,
                             result=engine.run(store, plan.detector,
-                                              metric=plan.metric))
+                                              metric=plan.metric,
+                                              hierarchy=hierarchy,
+                                              bundle=bundle))
                 for plan in self.plans)
         return RunResult(mode="batch", metrics=self.metrics,
                          machine_ids=tuple(store.machine_ids),

@@ -37,27 +37,47 @@ class DetectorInfo:
     name: str
     factory: Callable[..., object]
     summary: str
+    #: Whether a pipeline with no explicit ``detectors`` spec runs this
+    #: detector.  Cluster detectors register with ``in_default=False``:
+    #: they are opt-in via spec strings, so adding one never silently
+    #: changes what a default pipeline reports.
+    in_default: bool = True
 
 
 _DETECTORS: dict[str, DetectorInfo] = {}
 
 
 def register_detector(name: str, factory: Callable[..., object],
-                      summary: str = "") -> None:
+                      summary: str = "", *, in_default: bool = True) -> None:
     """Register (or replace) a detector factory under ``name``.
 
     ``factory(**kwargs)`` must return a detector exposing ``detect`` /
     ``detect_block`` (subclassing
-    :class:`~repro.analysis.detectors.BlockDetector` gives both for free).
+    :class:`~repro.analysis.detectors.BlockDetector` gives both for free)
+    or ``detect_cluster`` (a whole-store
+    :class:`~repro.analysis.cluster_detectors.ClusterDetector`).  Pass
+    ``in_default=False`` to keep the detector out of the implicit
+    all-detectors stack while remaining addressable from specs.
     """
     if not name or "+" in name or "(" in name:
         raise PipelineError(f"invalid detector name {name!r}")
-    _DETECTORS[name] = DetectorInfo(name=name, factory=factory, summary=summary)
+    _DETECTORS[name] = DetectorInfo(name=name, factory=factory,
+                                    summary=summary, in_default=in_default)
 
 
 def detector_names() -> list[str]:
     """Registered detector names, sorted."""
     return sorted(_DETECTORS)
+
+
+def default_detector_names() -> list[str]:
+    """Names a no-spec pipeline runs (``in_default`` registrations), sorted."""
+    return [name for name in detector_names() if _DETECTORS[name].in_default]
+
+
+def default_detector_spec() -> str:
+    """The composed spec equivalent to "run every default detector"."""
+    return "+".join(default_detector_names())
 
 
 def list_detectors() -> list[DetectorInfo]:
@@ -92,6 +112,35 @@ register_detector(
 register_detector(
     "flatline", DETECTORS["flatline"],
     "sustained stretches at (effectively) zero — dead machines")
+
+
+def _register_cluster_detectors() -> None:
+    """Register the whole-store topology detectors (opt-in, non-default).
+
+    Imported lazily to keep this module importable before the analysis
+    subpackage finishes initialising.
+    """
+    from repro.analysis.cluster_detectors import (
+        ImbalanceDetector,
+        SlaRiskDetector,
+        SyncBreakDetector,
+    )
+
+    register_detector(
+        "sync_break", SyncBreakDetector,
+        "machines decoupling from their job/cluster peer group "
+        "(job-synchronisation collapse)", in_default=False)
+    register_detector(
+        "imbalance", ImbalanceDetector,
+        "cluster-wide load-balance excursions, attributed to outlier "
+        "machines", in_default=False)
+    register_detector(
+        "sla_risk", SlaRiskDetector,
+        "machines executing SLA-violating jobs over their execution "
+        "windows", in_default=False)
+
+
+_register_cluster_detectors()
 
 
 def parse_detector_spec(spec: str) -> list[tuple[str, dict]]:
@@ -140,6 +189,8 @@ def canonical_detector_spec(spec: str) -> str:
 __all__ = [
     "DetectorInfo",
     "canonical_detector_spec",
+    "default_detector_names",
+    "default_detector_spec",
     "detector_names",
     "get_detector",
     "list_detectors",

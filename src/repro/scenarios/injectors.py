@@ -341,6 +341,16 @@ class NetworkStormInjector(FaultInjector):
             detectors=self.detectors,
             params={"disk_boost": self.disk_boost, "bursts": self.bursts},
         ))
+        # Cross-machine attribution truth: the storm skews the fleet's disk
+        # distribution, so the cluster-wide imbalance detector should pin the
+        # affected machines as the high-side outliers.
+        self.record(ctx, GroundTruthEntry(
+            kind=self.kind,
+            machines=tuple(affected),
+            window=(t0, t1),
+            detectors=("imbalance",),
+            params={"metric": "disk"},
+        ))
 
 
 @dataclass
@@ -421,6 +431,16 @@ class CascadingFailureInjector(FaultInjector):
             window=(first, horizon),
             detectors=self.detectors,
             params={"waves": self.waves, "spread_factor": self.spread_factor},
+        ))
+        # Cross-machine attribution truth: a dead machine decorrelates from
+        # the surviving fleet, so the synchronisation-break detector should
+        # recover exactly the failed set from the peer-group correlation.
+        self.record(ctx, GroundTruthEntry(
+            kind=self.kind,
+            machines=tuple(sorted(mid for mid, _ in failures)),
+            window=(first, horizon),
+            detectors=("sync_break",),
+            params={"window": 8, "break_threshold": 0.05, "min_run": 10},
         ))
 
 

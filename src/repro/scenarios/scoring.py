@@ -218,6 +218,48 @@ def _run_aggregate_threshold(bundle: TraceBundle,
                        predicted=(), result=result)
 
 
+def _run_sync_break(bundle: TraceBundle, entry: GroundTruthEntry) -> ScoredEntry:
+    """Machines decoupling from the fleet's shared rhythm in the window.
+
+    The entry carries the calibrated detector parameters: a failed machine's
+    rolling correlation against the cluster mean collapses to exactly zero
+    (dead rows have no variance), so a tight ``break_threshold`` with a long
+    ``min_run`` separates genuine decoupling from transient dips on healthy
+    machines.  ``min_run`` is a sample count, so it is rescaled to the truth
+    window: a failed machine stays decorrelated for essentially the whole
+    window while healthy dips stay short relative to it, which keeps the
+    separation independent of trace resolution and horizon.
+    """
+    from repro.analysis.cluster_detectors import SyncBreakDetector
+
+    store = bundle.usage
+    t0, t1 = _window_of(entry, bundle)
+    in_window = int(np.sum((store.timestamps >= t0) & (store.timestamps <= t1)))
+    detector = SyncBreakDetector(
+        window=int(entry.params.get("window", 8)),
+        break_threshold=float(entry.params.get("break_threshold", 0.05)),
+        min_run=max(int(entry.params.get("min_run", 10)), in_window // 4))
+    predicted = _flag_machines(bundle, detector, metric="cpu", window=(t0, t1))
+    return _score_machines(entry, predicted, "sync_break")
+
+
+def _run_imbalance(bundle: TraceBundle, entry: GroundTruthEntry) -> ScoredEntry:
+    """Machines driving cluster-wide load-imbalance excursions in the window.
+
+    Scores on the metric the entry names (a network storm skews ``disk``):
+    the detector flags samples where the cross-machine coefficient of
+    variation spikes AND attributes them to the machines sitting z-sigma
+    above the fleet at those instants.
+    """
+    from repro.analysis.cluster_detectors import ImbalanceDetector
+
+    t0, t1 = _window_of(entry, bundle)
+    metric = str(entry.params.get("metric", "disk"))
+    predicted = _flag_machines(bundle, ImbalanceDetector(), metric=metric,
+                               window=(t0, t1))
+    return _score_machines(entry, predicted, "imbalance")
+
+
 _RUNNERS: dict[str, Callable[[TraceBundle, GroundTruthEntry], ScoredEntry]] = {
     "spike": _run_spike,
     "thrashing": _run_thrashing,
@@ -227,6 +269,8 @@ _RUNNERS: dict[str, Callable[[TraceBundle, GroundTruthEntry], ScoredEntry]] = {
     "drain": _run_drain,
     "outlier": _run_outlier,
     "aggregate-threshold": _run_aggregate_threshold,
+    "sync_break": _run_sync_break,
+    "imbalance": _run_imbalance,
 }
 
 

@@ -1,0 +1,405 @@
+"""Golden suite: the vectorized cluster-topology analyses equal their loops.
+
+The cluster-detector refactor ported the cross-machine analyses
+(correlation, balance, CUSUM, synchronisation) onto block-level NumPy
+passes.  These tests pin the contract that made the port safe, PR-2 style:
+
+* every vectorized path produces **bit-identical** numbers to the legacy
+  per-pair / per-series loop over the retained public API, for every
+  registered scenario × three seeds;
+* a pipeline stack mixing shardable ``BlockDetector``s with non-shardable
+  ``ClusterDetector``s is bit-identical across every shard backend × shard
+  count to the fully unsharded run (the executor's routing invariant);
+* degenerate inputs (empty store, single machine, constant series, jobs
+  whose machines are absent from the store, instance-less jobs) yield
+  clean, empty-ish results instead of crashes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.balance import imbalance_over_time, imbalance_sweep
+from repro.analysis.changepoint import cusum_block, cusum_changepoints
+from repro.analysis.cluster_detectors import (
+    ImbalanceDetector,
+    SlaRiskDetector,
+    SyncBreakDetector,
+)
+from repro.analysis.correlation import (
+    correlation_matrix,
+    job_synchronisation,
+    pearson,
+)
+from repro.analysis.rootcause import (
+    RootCauseCandidate,
+    anomalous_machines_in_window,
+    rank_root_causes,
+)
+from repro.analysis.sla import (
+    cluster_sla_report,
+    evaluate_job_sla,
+    jobs_at_risk,
+)
+from repro.cluster.hierarchy import BatchHierarchy
+from repro.metrics.series import TimeSeries
+from repro.metrics.stats import coefficient_of_variation
+from repro.metrics.store import MetricStore
+from repro.pipeline import ExecutionOptions, Pipeline
+from repro.scenarios import scenario_names
+from repro.trace.records import BatchInstanceRecord, BatchTaskRecord, TraceBundle
+from repro.trace.synthetic import generate_trace
+
+from tests.conftest import fast_config, mid_timestamp
+
+SEEDS = (101, 202, 303)
+
+#: A stack interleaving shardable block detectors with non-shardable
+#: cluster detectors — the case the executor's routing must get right.
+MIXED_SPEC = "threshold+flatline+sync_break+imbalance+sla_risk"
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    """One fast bundle per (scenario, seed) the golden sweeps touch."""
+    return {(scenario, seed): generate_trace(fast_config(scenario, seed=seed))
+            for scenario in scenario_names() for seed in SEEDS}
+
+
+# -- vectorized ports == legacy loops, bit for bit ----------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", scenario_names())
+def test_correlation_matrix_identical_to_pairwise_loop(scenario, seed, bundles):
+    store = bundles[(scenario, seed)].usage
+    series = [store.series(mid, "cpu") for mid in store.machine_ids]
+    matrix = correlation_matrix(series)
+    n = len(series)
+    legacy = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            legacy[i, j] = legacy[j, i] = pearson(series[i], series[j])
+    assert np.array_equal(matrix, legacy), (
+        f"{scenario}/{seed}: block correlation diverged from pairwise pearson")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", scenario_names())
+def test_imbalance_sweep_identical_to_scalar_cv_loop(scenario, seed, bundles):
+    store = bundles[(scenario, seed)].usage
+    for metric in store.metrics:
+        curve = imbalance_over_time(store, metric)
+        block = store.metric_block(metric)
+        legacy = [(float(t), coefficient_of_variation(
+            np.ascontiguousarray(block[:, idx])))
+            for idx, t in enumerate(store.timestamps)]
+        assert curve == legacy, (
+            f"{scenario}/{seed}: imbalance sweep on {metric} diverged from "
+            f"the per-timestamp scalar CV loop")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", scenario_names())
+def test_cusum_block_identical_to_per_series(scenario, seed, bundles):
+    store = bundles[(scenario, seed)].usage
+    block = store.metric_block("cpu")
+    rows = cusum_block(store.timestamps, block)
+    assert len(rows) == store.num_machines
+    for row, machine_id in enumerate(store.machine_ids):
+        scalar = cusum_changepoints(store.series(machine_id, "cpu"))
+        assert rows[row] == scalar, (
+            f"{scenario}/{seed}: CUSUM row {machine_id} diverged from the "
+            f"per-series sweep")
+
+
+def test_cusum_golden_sweep_is_not_vacuous(bundles):
+    """At least one scenario actually produces change points."""
+    total = 0
+    for (scenario, seed), bundle in bundles.items():
+        store = bundle.usage
+        total += sum(len(points) for points
+                     in cusum_block(store.timestamps, store.metric_block("cpu")))
+    assert total > 0
+
+
+def test_cusum_shift_is_the_level_delta():
+    """The reported shift is the observed level change, not the statistic."""
+    timestamps = np.arange(20.0)
+    values = np.concatenate([np.full(10, 10.0), np.full(10, 70.0)])
+    (point,) = cusum_changepoints(
+        TimeSeries(timestamps, values), threshold=30.0, drift=2.0)
+    # level rose 10 -> 70: the shift must be the 60-unit delta, while the
+    # accumulated CUSUM statistic at trigger time is 58 (one drift step)
+    assert point.shift == pytest.approx(60.0)
+    assert point.direction == "up"
+    assert point.score != point.shift
+
+
+def legacy_job_synchronisation(store, machine_ids, metric, window):
+    """The pre-port O(n²) pairwise body of ``job_synchronisation``."""
+    known = [mid for mid in machine_ids if mid in store]
+    if len(known) < 2:
+        return 1.0
+    series = []
+    for mid in known:
+        s = store.series(mid, metric)
+        if window is not None:
+            s = s.slice(window[0], window[1])
+        series.append(s)
+    if len(series[0]) < 2:
+        return 1.0
+    correlations = [pearson(series[i], series[j])
+                    for i in range(len(series))
+                    for j in range(i + 1, len(series))]
+    return float(np.mean(correlations))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", scenario_names())
+def test_job_synchronisation_identical_to_pairwise_loop(scenario, seed,
+                                                        bundles):
+    bundle = bundles[(scenario, seed)]
+    store = bundle.usage
+    mid = mid_timestamp(bundle)
+    cases = [(list(store.machine_ids), None),
+             (list(store.machine_ids)[:5], (float(store.timestamps[0]), mid)),
+             (["not-a-machine"] + list(store.machine_ids)[:3], None)]
+    hierarchy = BatchHierarchy.from_bundle(bundle)
+    for job in hierarchy.jobs[:3]:
+        cases.append((sorted(set(job.machine_ids())), None))
+    for machine_ids, window in cases:
+        fast = job_synchronisation(store, machine_ids, "cpu", window)
+        slow = legacy_job_synchronisation(store, machine_ids, "cpu", window)
+        assert fast == slow, (
+            f"{scenario}/{seed}: job_synchronisation({machine_ids}, "
+            f"{window}) diverged from the pairwise loop")
+
+
+# -- mixed shardable / non-shardable stacks stay shard-invariant --------------
+@pytest.fixture(scope="module")
+def mixed_bundle():
+    return generate_trace(
+        fast_config("machine-failure+network-storm", seed=1306))
+
+
+@pytest.fixture(scope="module")
+def mixed_serial_run(mixed_bundle):
+    return Pipeline.from_bundle(mixed_bundle, detectors=MIXED_SPEC,
+                                sinks=()).run()
+
+
+@pytest.mark.parametrize("backend", ("serial", "threads", "process"))
+@pytest.mark.parametrize("shards", (1, 2, 7))
+def test_mixed_stack_sharding_identical(backend, shards, mixed_bundle,
+                                        mixed_serial_run):
+    sharded = Pipeline.from_bundle(
+        mixed_bundle, detectors=MIXED_SPEC, sinks=(),
+        execution=ExecutionOptions(backend=backend, shards=shards,
+                                   workers=3)).run()
+    serial = mixed_serial_run
+    context = f"{MIXED_SPEC} × {backend} × {shards} shards"
+    assert [run.label for run in sharded.detections] \
+        == [run.label for run in serial.detections], context
+    for shard_run, serial_run in zip(sharded.detections, serial.detections):
+        assert shard_run.result.events() == serial_run.result.events(), (
+            f"{context}: {shard_run.label} events diverged")
+        assert np.array_equal(shard_run.result.mask, serial_run.result.mask), (
+            f"{context}: {shard_run.label} mask diverged")
+        assert np.array_equal(shard_run.result.scores,
+                              serial_run.result.scores), (
+            f"{context}: {shard_run.label} scores diverged")
+        assert shard_run.result.flagged_machines() \
+            == serial_run.result.flagged_machines(), context
+    assert sharded.flagged_machines() == serial.flagged_machines(), context
+
+
+def test_mixed_stack_is_not_vacuous(mixed_serial_run):
+    """The cluster detectors really fire on the failure+storm scenario."""
+    cluster_events = sum(
+        run.result.num_events for run in mixed_serial_run.detections
+        if run.name in ("sync_break", "imbalance", "sla_risk"))
+    assert cluster_events > 0
+
+
+def test_cluster_detectors_are_not_shardable():
+    from repro.pipeline import get_detector
+
+    for name in ("sync_break", "imbalance", "sla_risk"):
+        assert getattr(get_detector(name), "shardable", True) is False
+
+
+# -- degenerate inputs --------------------------------------------------------
+class TestDegenerateInputs:
+    def empty_store(self):
+        return MetricStore([], np.array([]))
+
+    def single_machine_store(self):
+        store = MetricStore(["solo"], np.arange(16) * 60.0)
+        store.data[:] = 42.0
+        return store
+
+    def constant_store(self):
+        store = MetricStore(["a", "b", "c"], np.arange(32) * 60.0)
+        store.data[:] = 55.0
+        return store
+
+    @pytest.mark.parametrize("detector", [
+        SyncBreakDetector(), ImbalanceDetector(), SlaRiskDetector()])
+    def test_cluster_detectors_on_degenerate_stores(self, detector):
+        for store in (self.empty_store(), self.single_machine_store()):
+            detection = detector.detect_cluster(store)
+            assert detection.num_runs == 0
+            assert not detection.mask.any()
+
+    @pytest.mark.parametrize("detector", [
+        ImbalanceDetector(), SlaRiskDetector()])
+    def test_constant_store_is_balanced(self, detector):
+        detection = detector.detect_cluster(self.constant_store())
+        assert detection.num_runs == 0
+
+    def test_constant_store_reads_as_dead_cluster(self):
+        # a zero-variance machine correlates 0 with everything — a cluster
+        # of them is, by design, flagged wholesale as desynchronised
+        detection = SyncBreakDetector().detect_cluster(self.constant_store())
+        assert detection.mask[:, SyncBreakDetector().window:].all()
+
+    def test_balance_and_correlation_on_degenerate_stores(self):
+        empty = self.empty_store()
+        assert imbalance_over_time(empty, "cpu") == []
+        assert imbalance_sweep(empty, "cpu").shape == (0,)
+        assert correlation_matrix([]).shape == (0, 0)
+        assert job_synchronisation(empty, [], "cpu") == 1.0
+
+        solo = self.single_machine_store()
+        sweep = imbalance_sweep(solo, "cpu")
+        assert np.all(sweep == 0.0)   # one machine: zero cross-machine spread
+        assert job_synchronisation(solo, ["solo"], "cpu") == 1.0
+
+        const = self.constant_store()
+        series = [const.series(mid, "cpu") for mid in const.machine_ids]
+        matrix = correlation_matrix(series)
+        # constant rows are degenerate: identity matrix, zero off-diagonal
+        assert np.array_equal(matrix, np.eye(3))
+        assert pearson(series[0], series[1]) == 0.0
+        assert np.all(imbalance_sweep(const, "cpu") == 0.0)
+
+    def test_cusum_on_degenerate_blocks(self):
+        assert cusum_block(np.array([]), np.zeros((0, 0))) == []
+        assert cusum_block(np.arange(1.0), np.zeros((3, 1))) == [[], [], []]
+        constant = cusum_block(np.arange(16.0), np.full((2, 16), 9.0))
+        assert constant == [[], []]
+
+    def test_job_synchronisation_with_absent_machines(self, bundles):
+        store = bundles[("healthy", 101)].usage
+        assert job_synchronisation(store, ["ghost-1", "ghost-2"], "cpu") == 1.0
+        known = list(store.machine_ids)[:3]
+        with_ghosts = job_synchronisation(store, known + ["ghost"], "cpu")
+        assert with_ghosts == job_synchronisation(store, known, "cpu")
+
+    def test_anomalous_machines_empty_window(self, bundles):
+        store = bundles[("healthy", 101)].usage
+        end = float(store.timestamps[-1])
+        assert anomalous_machines_in_window(store, (end + 10, end + 20)) == []
+
+
+# -- SLA instance-less-job regression -----------------------------------------
+def make_sparse_bundle():
+    """A bundle whose task table names a job with zero instance records."""
+    instances = [BatchInstanceRecord(
+        start_timestamp=0.0, end_timestamp=600.0, job_id="j1", task_id="t1",
+        machine_id="m1", status="Terminated", seq_no=0, total_seq_no=1,
+        cpu_avg=50.0)]
+    tasks = [
+        BatchTaskRecord(create_timestamp=0.0, modify_timestamp=600.0,
+                        job_id="j1", task_id="t1", instance_num=1,
+                        status="Terminated"),
+        # j9 was admitted but never scheduled: no instance rows at all
+        BatchTaskRecord(create_timestamp=100.0, modify_timestamp=100.0,
+                        job_id="j9", task_id="t1", instance_num=0,
+                        status="Waiting"),
+    ]
+    return TraceBundle(tasks=tasks, instances=instances)
+
+
+class TestInstancelessJobSla:
+    def test_evaluate_job_sla_survives_instanceless_job(self):
+        bundle = make_sparse_bundle()
+        report = evaluate_job_sla(bundle, "j9")
+        assert report.job_id == "j9"
+        assert report.runtime_stretch == 1.0
+        assert report.saturated_fraction == 0.0
+        assert report.incomplete_instances == 0
+        assert not report.violated
+
+    def test_cluster_report_and_jobs_at_risk_survive(self):
+        bundle = make_sparse_bundle()
+        reports = cluster_sla_report(bundle)
+        assert set(reports) == {"j1", "j9"}
+        assert not reports["j9"].violated
+        hierarchy = BatchHierarchy.from_bundle(bundle)
+        at_risk = jobs_at_risk(bundle, hierarchy, 300.0)
+        assert all(isinstance(r.job_id, str) for r in at_risk)
+
+    def test_sla_risk_detector_skips_instanceless_jobs(self):
+        bundle = make_sparse_bundle()
+        store = MetricStore(["m1"], np.arange(12) * 60.0)
+        store.data[:] = 10.0
+        detection = SlaRiskDetector().detect_cluster(store, bundle=bundle)
+        assert not detection.mask.any()
+
+
+# -- rank_root_causes: indexed lookup == legacy rescan ------------------------
+def legacy_rank_root_causes(bundle, hierarchy, anomalous_machines, window,
+                            top_n=5):
+    """The pre-index body: an O(instances × records) ``next()`` rescan."""
+    if not anomalous_machines or window[1] <= window[0]:
+        return []
+    machine_set = set(anomalous_machines)
+    window_length = window[1] - window[0]
+    candidates = []
+    for job in hierarchy.jobs:
+        job_machines = set(job.machine_ids()) & machine_set
+        if not job_machines:
+            continue
+        coverage = len(job_machines) / len(machine_set)
+        overlaps, demands = [], []
+        for task in job.tasks:
+            for inst in task.instances:
+                if inst.machine_id not in job_machines:
+                    continue
+                overlap = max(0.0, min(inst.end, window[1])
+                              - max(inst.start, window[0]))
+                overlaps.append(overlap / window_length)
+                record = next(
+                    (r for r in bundle.instances
+                     if r.job_id == inst.job_id and r.task_id == inst.task_id
+                     and r.seq_no == inst.seq_no
+                     and r.machine_id == inst.machine_id), None)
+                if record is not None and record.cpu_avg is not None:
+                    demands.append(record.cpu_avg)
+        temporal = float(np.mean(overlaps)) if overlaps else 0.0
+        demand = float(np.mean(demands)) if demands else 0.0
+        score = coverage * 0.45 + temporal * 0.35 + (demand / 100.0) * 0.20
+        candidates.append(RootCauseCandidate(
+            job_id=job.job_id, score=score, coverage=coverage,
+            mean_demand=demand, temporal_overlap=temporal,
+            machines=tuple(sorted(job_machines))))
+    candidates.sort(key=lambda c: (-c.score, c.job_id))
+    return candidates[:top_n]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", ("hotjob", "load-imbalance"))
+def test_rank_root_causes_identical_to_legacy_rescan(scenario, seed, bundles):
+    bundle = bundles[(scenario, seed)]
+    hierarchy = BatchHierarchy.from_bundle(bundle)
+    store = bundle.usage
+    t0, t1 = (float(store.timestamps[0]), float(store.timestamps[-1]))
+    machines = anomalous_machines_in_window(store, (t0, t1), threshold=50.0) \
+        or list(store.machine_ids)[:4]
+    ranked = rank_root_causes(bundle, hierarchy, machines, (t0, t1))
+    legacy = legacy_rank_root_causes(bundle, hierarchy, machines, (t0, t1))
+    assert ranked, f"{scenario}/{seed}: ranking is vacuous"
+    assert ranked == legacy, (
+        f"{scenario}/{seed}: indexed root-cause ranking diverged from the "
+        f"legacy record rescan")

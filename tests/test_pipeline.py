@@ -17,6 +17,7 @@ from repro.pipeline import (
     SourceSpec,
     StreamingOptions,
     canonical_detector_spec,
+    default_detector_names,
     detector_names,
     get_detector,
     parse_detector_spec,
@@ -41,7 +42,13 @@ def make_store(num_machines: int = 4, num_samples: int = 24,
 
 class TestDetectorRegistry:
     def test_default_names(self):
-        assert detector_names() == ["ewma", "flatline", "threshold", "zscore"]
+        assert detector_names() == ["ewma", "flatline", "imbalance",
+                                    "sla_risk", "sync_break", "threshold",
+                                    "zscore"]
+        # the no-spec pipeline stack stays the per-machine quartet; the
+        # cluster detectors are opt-in via spec strings
+        assert default_detector_names() == ["ewma", "flatline", "threshold",
+                                            "zscore"]
 
     def test_parse_spec_with_params(self):
         parts = parse_detector_spec("threshold(threshold=85)+flatline")
@@ -314,7 +321,9 @@ class TestEmptyAndTinyStores:
         store = MetricStore(["a", "b"], np.arange(num_samples) * 60.0)
         engine = DetectionEngine()
         for name in detector_names():
-            result = engine.run(store, name)
+            # cluster detectors are registered only with the pipeline, so
+            # hand the engine an instance rather than a name
+            result = engine.run(store, get_detector(name))
             assert result.num_events == 0
             assert result.events() == []
             assert result.flagged_machines() == set()

@@ -21,7 +21,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.engine import DetectionEngine
-from repro.pipeline import Pipeline, detector_names
+from repro.pipeline import Pipeline, default_detector_names
 from repro.scenarios import scenario_names
 from repro.scenarios.scoring import score_bundle
 from repro.stream.monitor import MonitorConfig, OnlineMonitor
@@ -53,7 +53,7 @@ def test_pipeline_events_identical_to_engine(scenario, bundles):
     store = bundle.usage
     engine = DetectionEngine()
     result = Pipeline.from_bundle(bundle, sinks=()).run()
-    assert [run.label for run in result.detections] == detector_names()
+    assert [run.label for run in result.detections] == default_detector_names()
     total = 0
     for run in result.detections:
         direct = engine.run(store, run.name, metric="cpu")

@@ -122,8 +122,14 @@ class TestEnginePlumbing:
     def test_generate_trace_accepts_scenario_object(self):
         scenario = resolve_scenario("network-storm(disk_boost=55)")
         bundle = generate_trace(fast_config(), scenario=scenario, seed=5)
-        (entry,) = bundle.ground_truth().entries
-        assert entry.params["disk_boost"] == 55
+        # the storm records a per-machine entry plus a cluster-wide
+        # imbalance-attribution entry over the same machines and window
+        burst, imbalance = bundle.ground_truth().entries
+        assert burst.params["disk_boost"] == 55
+        assert burst.detectors == ("disk-burst",)
+        assert imbalance.detectors == ("imbalance",)
+        assert imbalance.machines == burst.machines
+        assert imbalance.window == burst.window
 
     def test_ground_truth_key_always_present(self):
         bundle = generate_trace(fast_config("healthy"), seed=4)
@@ -156,7 +162,8 @@ class TestEnginePlumbing:
     def test_duplicate_injectors_draw_independent_streams(self):
         bundle = generate_trace(fast_config(),
                                 scenario="network-storm+network-storm", seed=3)
-        first, second = bundle.ground_truth().entries
+        first, second = [entry for entry in bundle.ground_truth().entries
+                         if entry.detectors == ("disk-burst",)]
         assert set(first.machines) != set(second.machines)
 
     def test_multi_cycle_diurnal_records_one_window_per_peak(self):

@@ -16,7 +16,7 @@ import pytest
 
 from repro.analysis.engine import DetectionEngine
 from repro.errors import SeriesError
-from repro.pipeline import Pipeline, StreamingOptions, detector_names
+from repro.pipeline import Pipeline, StreamingOptions, default_detector_names
 from repro.stream.monitor import MonitorConfig, OnlineMonitor
 from repro.trace.synthetic import generate_trace
 
@@ -42,7 +42,7 @@ def chunk_bounds(num_samples: int, chunk: int | None):
 
 class TestEngineIncrementalGolden:
     @pytest.mark.parametrize("scenario", SCENARIOS)
-    @pytest.mark.parametrize("detector", detector_names())
+    @pytest.mark.parametrize("detector", default_detector_names())
     @pytest.mark.parametrize("chunk", CHUNKS)
     def test_incremental_equals_batch(self, scenario, detector, chunk, stores):
         store = stores[scenario]
@@ -56,7 +56,7 @@ class TestEngineIncrementalGolden:
         assert state.flagged_machines() == batch.flagged_machines()
         assert state.num_events == batch.num_events
 
-    @pytest.mark.parametrize("detector", detector_names())
+    @pytest.mark.parametrize("detector", default_detector_names())
     def test_every_boundary_is_a_valid_prefix(self, detector, stores):
         """At ANY chunk boundary the stream equals a batch run of the prefix."""
         store = stores["thrashing"]
