@@ -9,6 +9,8 @@ full 1300-machine / 24-hour configuration instead.
 from __future__ import annotations
 
 import json
+import multiprocessing
+import sys
 import time
 from pathlib import Path
 
@@ -162,20 +164,94 @@ BENCH_RESULTS_FILENAME = "BENCH_results.json"
 
 def record_result(benchmark: str, *, wall_clock_s: float,
                   throughput: float | None = None,
-                  throughput_unit: str | None = None, **extra) -> None:
+                  throughput_unit: str | None = None,
+                  peak_rss_mb: float | None = None, **extra) -> None:
     """Record one benchmark measurement for ``BENCH_results.json``.
 
     ``benchmark`` names the measurement (stable across PRs so trajectories
     line up), ``wall_clock_s`` is the best-of wall-clock, ``throughput`` an
-    optional rate in ``throughput_unit``; extra keyword arguments land in
-    the row verbatim (speedups, scale parameters, ...).
+    optional rate in ``throughput_unit``, ``peak_rss_mb`` an optional
+    peak-resident-set high-water mark (see :func:`run_with_peak_rss`);
+    extra keyword arguments land in the row verbatim (speedups, scale
+    parameters, ...).
     """
     row: dict = {"benchmark": benchmark, "wall_clock_s": float(wall_clock_s)}
     if throughput is not None:
         row["throughput"] = float(throughput)
         row["throughput_unit"] = throughput_unit or "items/s"
+    if peak_rss_mb is not None:
+        row["peak_rss_mb"] = float(peak_rss_mb)
     row.update(extra)
     _BENCH_RESULTS.append(row)
+
+
+def _maxrss_mb(raw: int) -> float:
+    """``ru_maxrss`` in MB: kilobytes on Linux, bytes on macOS."""
+    return raw / (1 << 20) if sys.platform == "darwin" else raw / 1024.0
+
+
+def _self_peak_mb() -> float:
+    """This process's own peak RSS in MB.
+
+    Prefers ``VmHWM`` from ``/proc/self/status``: some kernels carry the
+    ``ru_maxrss`` counter across ``exec`` unreset, which would report the
+    *spawning* parent's peak for a freshly exec'd child.  Falls back to
+    ``getrusage`` where /proc is unavailable.
+    """
+    import resource
+
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    return _maxrss_mb(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _rss_probe(target, args, conn) -> None:
+    """Spawn-child body of :func:`run_with_peak_rss`."""
+    import resource
+
+    try:
+        result = target(*args)
+        peak = max(
+            _self_peak_mb(),
+            _maxrss_mb(
+                resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss))
+        conn.send(("ok", result, peak))
+    except BaseException as exc:   # noqa: BLE001 — reported to the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}", 0.0))
+    finally:
+        conn.close()
+
+
+def run_with_peak_rss(target, *args) -> tuple[object, float]:
+    """Run ``target(*args)`` in a fresh process; return ``(result, peak_mb)``.
+
+    ``ru_maxrss`` is a sticky per-process high-water mark, so measuring a
+    code path inside the long-lived pytest process (or a forked child
+    inheriting its pages) would report the session's historical peak, not
+    the path's.  A **spawned** interpreter starts from a clean baseline;
+    the probe reports ``max(self, children)`` so process-pool workers the
+    target spawns are accounted for too.  ``target`` must be picklable
+    (module-level).  Compare deltas against an imports-only baseline run
+    to cancel the interpreter + NumPy floor.
+    """
+    ctx = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_rss_probe, args=(target, args, child_conn))
+    proc.start()
+    child_conn.close()
+    try:
+        status, payload, peak_mb = parent_conn.recv()
+    finally:
+        proc.join()
+        parent_conn.close()
+    if status != "ok":
+        raise RuntimeError(f"peak-RSS probe failed: {payload}")
+    return payload, peak_mb
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -1,0 +1,158 @@
+"""E14 — out-of-core memory-mapped traces: bounded peak RSS at 4096 machines.
+
+The mmap backing format exists so detection can run on clusters whose
+dense ``(machines, metrics, samples)`` matrix does not fit in memory.
+This benchmark pins that claim with real process-level numbers at 4096
+machines × 8 metric channels × 512 samples (a 128 MB float64 matrix —
+small enough to run anywhere, big enough that the RSS signal dwarfs
+measurement noise; the sweep reads only the ``cpu`` channel, which is
+exactly the out-of-core win: untouched channels never page in):
+
+* **peak RSS**: an in-RAM warm load + detection sweep must exceed the
+  matrix size in resident memory (it materialises the matrix and the
+  score block), while the mmap-backed sharded run (process backend —
+  workers reopen the sidecar by path and page in only their rows) must
+  stay **under the matrix size** and at least **2× below** the in-RAM
+  peak.  Each path runs in a freshly *spawned* interpreter because
+  ``ru_maxrss`` is a sticky per-process high-water mark; deltas are taken
+  against an imports-only baseline child;
+* **warm open**: opening the matrix memory-mapped skips reading it, so
+  the warm ``load_trace`` gets faster still (recorded, not asserted —
+  the page cache makes it noisy).
+
+Setup note: the sidecar is planted directly from an in-memory bundle via
+``save_trace_cache`` keyed by a stub CSV's content hash — writing and
+re-parsing a 2M-row CSV is E13's subject, not this benchmark's, and both
+measured paths are exactly the production *warm* paths.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.metrics.store import MetricStore
+from repro.pipeline import ExecutionOptions, Pipeline
+from repro.trace import cache as trace_cache
+from repro.trace.loader import load_trace
+from repro.trace.records import TraceBundle
+
+from benchmarks.conftest import (
+    best_of,
+    record_result,
+    report,
+    run_with_peak_rss,
+)
+
+NUM_MACHINES = 4096
+NUM_SAMPLES = 512
+#: ``cpu`` plus seven bystander counters nobody sweeps — real fleets track
+#: many channels, and mmap means the untouched ones never go resident.
+METRICS = ("cpu", "mem", "disk", "net_in", "net_out", "iops", "load", "swap")
+SEED = 2022
+MATRIX_MB = NUM_MACHINES * len(METRICS) * NUM_SAMPLES * 8 / float(1 << 20)
+#: The in-RAM path must need at least this much more resident memory than
+#: the mmap path (the acceptance bar; measured ratios run well above it).
+MIN_RSS_RATIO = 2.0
+
+
+def _plant_trace(directory) -> None:
+    """Build the 4096-machine sidecar directly (see module docstring)."""
+    rng = np.random.default_rng(SEED)
+    ids = [f"machine_{i:04d}" for i in range(NUM_MACHINES)]
+    store = MetricStore(ids, np.arange(NUM_SAMPLES) * 300.0, metrics=METRICS)
+    base = rng.uniform(20.0, 60.0, (NUM_MACHINES, 1))
+    store.data[:] = base[:, None, :] + rng.normal(
+        0.0, 6.0, (NUM_MACHINES, len(METRICS), NUM_SAMPLES))
+    hot = rng.choice(NUM_MACHINES, NUM_MACHINES // 10, replace=False)
+    store.data[hot, 0, 120:150] += 45.0
+    store.clip(0.0, 100.0)
+    bundle = TraceBundle(machine_events=[], tasks=[], instances=[],
+                         usage=store, meta={})
+    (directory / "server_usage.csv").write_text("0,m_stub,1,2,3\n")
+    paths = {"server_usage": directory / "server_usage.csv"}
+    fingerprint = trace_cache.trace_fingerprint(paths)
+    written = trace_cache.save_trace_cache(bundle, directory, fingerprint)
+    assert written is not None
+
+
+def _baseline(directory: str) -> int:
+    """Imports-only floor: this module's imports pull NumPy + repro."""
+    return 0
+
+
+def _detect_inram(directory: str) -> tuple[int, float]:
+    bundle = load_trace(directory, cache=True)
+    started = time.perf_counter()
+    result = Pipeline.from_bundle(bundle, detectors="threshold",
+                                  sinks=()).run()
+    return result.num_events, time.perf_counter() - started
+
+
+def _detect_mmap(directory: str) -> tuple[int, float]:
+    bundle = load_trace(directory, cache=True, mmap=True)
+    started = time.perf_counter()
+    result = Pipeline.from_bundle(
+        bundle, detectors="threshold", sinks=(),
+        execution=ExecutionOptions(backend="process", shards=8,
+                                   workers=2)).run()
+    return result.num_events, time.perf_counter() - started
+
+
+def test_mmap_detection_bounds_peak_rss(tmp_path):
+    _plant_trace(tmp_path)
+    directory = str(tmp_path)
+
+    _, floor_mb = run_with_peak_rss(_baseline, directory)
+    (inram_events, inram_detect_s), inram_mb = run_with_peak_rss(
+        _detect_inram, directory)
+    (mmap_events, mmap_detect_s), mmap_mb = run_with_peak_rss(
+        _detect_mmap, directory)
+
+    # Same verdict at scale, different residency.
+    assert mmap_events == inram_events
+
+    inram_delta = inram_mb - floor_mb
+    mmap_delta = mmap_mb - floor_mb
+    assert inram_delta > MATRIX_MB, (
+        f"in-RAM path resident delta {inram_delta:.0f} MB does not even "
+        f"cover the {MATRIX_MB:.0f} MB matrix — measurement is broken")
+    assert mmap_delta < MATRIX_MB, (
+        f"mmap path went resident beyond the matrix size "
+        f"({mmap_delta:.0f} MB >= {MATRIX_MB:.0f} MB): the matrix was "
+        f"materialised somewhere")
+    assert inram_delta >= MIN_RSS_RATIO * mmap_delta, (
+        f"expected ≥{MIN_RSS_RATIO}× RSS headroom, got "
+        f"{inram_delta:.0f} MB vs {mmap_delta:.0f} MB")
+
+    # Warm-open wall clock: mmap skips reading the 48 MB matrix.
+    inram_open_s, _ = best_of(lambda: load_trace(directory, cache=True))
+    mmap_open_s, _ = best_of(
+        lambda: load_trace(directory, cache=True, mmap=True))
+    open_speedup = inram_open_s / mmap_open_s if mmap_open_s > 0 else 0.0
+
+    report("E14: out-of-core mmap detection (4096 machines)", {
+        "matrix size": f"{MATRIX_MB:.0f} MB float64",
+        "baseline child RSS": f"{floor_mb:.0f} MB",
+        "in-RAM peak RSS delta": f"{inram_delta:.0f} MB "
+                                 f"(detect {inram_detect_s * 1e3:.0f} ms)",
+        "mmap peak RSS delta": f"{mmap_delta:.0f} MB "
+                               f"(detect {mmap_detect_s * 1e3:.0f} ms, "
+                               f"process × 8 shards)",
+        "RSS headroom": f"{inram_delta / max(mmap_delta, 1e-9):.1f}×",
+        "warm open": f"{inram_open_s * 1e3:.1f} ms in-RAM vs "
+                     f"{mmap_open_s * 1e3:.1f} ms mmap "
+                     f"({open_speedup:.1f}×)",
+    })
+    record_result("mmap_detect_rss_inram", wall_clock_s=inram_detect_s,
+                  peak_rss_mb=inram_mb, rss_delta_mb=inram_delta,
+                  num_machines=NUM_MACHINES, num_samples=NUM_SAMPLES)
+    record_result("mmap_detect_rss_mmap", wall_clock_s=mmap_detect_s,
+                  peak_rss_mb=mmap_mb, rss_delta_mb=mmap_delta,
+                  rss_headroom=inram_delta / max(mmap_delta, 1e-9),
+                  backend="process", shards=8,
+                  num_machines=NUM_MACHINES, num_samples=NUM_SAMPLES)
+    record_result("mmap_warm_open", wall_clock_s=mmap_open_s,
+                  speedup_vs_inram=open_speedup,
+                  num_machines=NUM_MACHINES, num_samples=NUM_SAMPLES)

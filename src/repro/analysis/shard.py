@@ -25,7 +25,13 @@ pieces:
       zero serialisation cost;
   ``process``
       a process pool — sidesteps the GIL entirely at the cost of pickling
-      each shard view (a copy) to the workers.
+      each shard view (a copy) to the workers.  When the store is
+      **memory-mapped** (``load_trace(dir, cache=True, mmap=True)``) no
+      copy crosses the pipe at all: a shard view pickles as a
+      :class:`~repro.metrics.store.MmapBacking` path + row-range
+      descriptor, each worker reopens the sidecar file and pages in only
+      the rows it sweeps — the full matrix is never resident in any
+      process, so peak RSS stays bounded on clusters bigger than RAM.
 
 Because shards are swept in machine-row order and merged by plain
 concatenation, **every backend and every shard count produces results

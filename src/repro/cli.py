@@ -14,6 +14,7 @@ writing Python::
     python -m repro detect --synthetic --scenario hotjob --json
     python -m repro detect trace/ --detectors "threshold(threshold=85)+flatline"
     python -m repro detect trace/ --workers 8 --timings --cache
+    python -m repro detect trace/ --mmap --backend process --shards 8
     python -m repro monitor --synthetic --scenario thrashing
     python -m repro monitor --synthetic --scenario "diurnal+network-storm"
     python -m repro monitor --synthetic --scenario thrashing --chunk 256
@@ -66,11 +67,27 @@ def _add_trace_source(parser: argparse.ArgumentParser) -> None:
                         help="maintain the columnar binary sidecar cache of "
                              "the trace directory (repeat loads skip CSV "
                              "parsing; invalidated by content hash)")
+    parser.add_argument("--mmap", action="store_true",
+                        help="open the cached dense usage matrix "
+                             "memory-mapped: read-only windows into the "
+                             "sidecar file instead of RAM, so peak RSS "
+                             "stays bounded on clusters bigger than memory "
+                             "(implies --cache)")
+    parser.add_argument("--storage", choices=("float64", "float32"),
+                        default="float64",
+                        help="dtype the sidecar cache stores the dense "
+                             "usage matrix in; float32 halves the file and "
+                             "page-cache footprint (implies --cache)")
 
 
 def _resolve_bundle(args: argparse.Namespace) -> TraceBundle:
     if args.trace_dir and not args.synthetic:
-        return load_trace(args.trace_dir, cache=getattr(args, "cache", False))
+        mmap = getattr(args, "mmap", False)
+        storage = getattr(args, "storage", "float64")
+        cache = (getattr(args, "cache", False) or mmap
+                 or storage != "float64")
+        return load_trace(args.trace_dir, cache=cache, mmap=mmap,
+                          storage=storage)
     if args.paper_scale:
         config = paper_scale_config(scenario=args.scenario, seed=args.seed)
     else:

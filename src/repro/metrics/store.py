@@ -17,6 +17,8 @@ allows, so engine queries never duplicate the usage matrix.
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -42,6 +44,48 @@ def _validate_axes(machine_ids: Sequence[str],
     return machine_ids, timestamps
 
 
+@dataclass(frozen=True)
+class MmapBacking:
+    """Where a memory-mapped store's dense matrix lives on disk.
+
+    A store opened from the trace cache with ``mmap=True`` carries one of
+    these: pickling the store then ships this descriptor instead of the
+    array bytes, and the receiving process reopens the file with
+    ``np.load(mmap_mode="r")`` and re-slices its machine rows — so a
+    process-pool shard worker pages in only the rows it sweeps, never the
+    whole matrix.  ``size``/``mtime_ns`` pin the file as observed at open
+    time: a store must never silently reattach to different bytes.
+    """
+
+    path: str
+    dtype: str
+    shape: tuple[int, int, int]
+    row_start: int
+    row_stop: int
+    size: int
+    mtime_ns: int
+
+    def reopen(self) -> np.ndarray:
+        """Re-mmap the backing file (read-only) and slice our rows."""
+        try:
+            stat = os.stat(self.path)
+        except OSError as exc:
+            raise SeriesError(
+                f"mmap backing file is gone: {self.path} ({exc}); "
+                f"reload the trace") from exc
+        if (stat.st_size, stat.st_mtime_ns) != (self.size, self.mtime_ns):
+            raise SeriesError(
+                f"mmap backing file changed since the store was opened: "
+                f"{self.path}; reload the trace")
+        data = np.load(self.path, mmap_mode="r", allow_pickle=False)
+        if tuple(data.shape) != self.shape or str(data.dtype) != self.dtype:
+            raise SeriesError(
+                f"mmap backing file changed layout: {self.path} holds "
+                f"{data.shape}/{data.dtype}, expected "
+                f"{self.shape}/{self.dtype}")
+        return data[self.row_start:self.row_stop]
+
+
 class MetricStore:
     """Dense ``(machine, metric, time)`` utilisation storage."""
 
@@ -55,6 +99,7 @@ class MetricStore:
         self._data = np.zeros(
             (len(self._machine_ids), len(self._metrics), self._timestamps.shape[0]),
             dtype=np.float64)
+        self._backing: MmapBacking | None = None
 
     @classmethod
     def _view(cls, machine_ids: Sequence[str], timestamps: np.ndarray,
@@ -72,7 +117,31 @@ class MetricStore:
         store._machine_index = {mid: i for i, mid in enumerate(store._machine_ids)}
         store._metric_index = {name: i for i, name in enumerate(store._metrics)}
         store._data = data
+        store._backing = None
         return store
+
+    # -- mmap backing --------------------------------------------------------
+    @property
+    def mmap_backed(self) -> bool:
+        """Whether the dense matrix is a read-only window into a file."""
+        return self._backing is not None
+
+    def _attach_backing(self, backing: MmapBacking) -> None:
+        """Adopt an on-disk backing descriptor (trace-cache internal)."""
+        self._backing = backing
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        if self._backing is not None:
+            # Ship the descriptor, not the bytes: the receiving process
+            # reopens the mmap by path and pages in only its rows.
+            state["_data"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._data is None and self._backing is not None:
+            self._data = self._backing.reopen()
 
     # -- accessors ----------------------------------------------------------
     @property
@@ -116,9 +185,26 @@ class MetricStore:
             raise UnknownEntityError("metric", metric) from None
 
     # -- mutation -----------------------------------------------------------
+    def _require_writable(self, operation: str) -> None:
+        """Fail mutations of read-only stores with a clear error.
+
+        Without this, NumPy raises an opaque ``ValueError: assignment
+        destination is read-only`` from deep inside the assignment.
+        """
+        if not self._data.flags.writeable:
+            origin = ("it is memory-mapped from the trace cache"
+                      if self._backing is not None else
+                      "it is a read-only view (subset / shard slice)")
+            raise SeriesError(
+                f"cannot {operation} on a read-only store: {origin}; "
+                f"materialise a writable copy first, e.g. "
+                f"MetricStore.from_dense(store.machine_ids, "
+                f"store.timestamps, store.metrics, store.data.copy())")
+
     def set_series(self, machine_id: str, metric: str,
                    values: np.ndarray | Sequence[float]) -> None:
         """Overwrite the full series for one machine/metric pair."""
+        self._require_writable("set_series")
         values = np.asarray(values, dtype=np.float64)
         if values.shape[0] != self.num_samples:
             raise SeriesError(
@@ -128,6 +214,7 @@ class MetricStore:
     def add_to_series(self, machine_id: str, metric: str,
                       values: np.ndarray | Sequence[float]) -> None:
         """Accumulate values onto an existing series (used by the simulator)."""
+        self._require_writable("add_to_series")
         values = np.asarray(values, dtype=np.float64)
         if values.shape[0] != self.num_samples:
             raise SeriesError(
@@ -136,6 +223,7 @@ class MetricStore:
 
     def clip(self, lower: float = 0.0, upper: float = 100.0) -> None:
         """Clip every stored value into ``[lower, upper]`` in place."""
+        self._require_writable("clip")
         np.clip(self._data, lower, upper, out=self._data)
 
     # -- queries ------------------------------------------------------------
@@ -231,8 +319,17 @@ class MetricStore:
                 f"{self.num_machines} machine(s)")
         data = self._data[start:stop]
         data.setflags(write=False)
-        return MetricStore._view(self._machine_ids[start:stop],
+        view = MetricStore._view(self._machine_ids[start:stop],
                                  self._timestamps, self._metrics, data)
+        if self._backing is not None:
+            # The shard keeps a window descriptor into the same file, so
+            # pickling it (process backend) ships a path + row range, not
+            # the rows themselves.
+            view._backing = replace(
+                self._backing,
+                row_start=self._backing.row_start + start,
+                row_stop=self._backing.row_start + stop)
+        return view
 
     def sample_slice(self, start: int, stop: int) -> "MetricStore":
         """Zero-copy view of a contiguous run of samples (by index).
@@ -283,18 +380,22 @@ class MetricStore:
     # -- dense conversion ------------------------------------------------------
     @classmethod
     def from_dense(cls, machine_ids: Sequence[str], timestamps: np.ndarray,
-                   metrics: Sequence[str],
-                   data: np.ndarray) -> "MetricStore":
+                   metrics: Sequence[str], data: np.ndarray, *,
+                   dtype: np.dtype | type | None = np.float64) -> "MetricStore":
         """Adopt an existing dense ``(machines, metrics, samples)`` array.
 
         The inverse of reading :attr:`data` out of a store — the columnar
         trace cache (:mod:`repro.trace.cache`) round-trips stores through
         it.  Ids/timestamps get the constructor's validation, but ``data``
         is adopted without copying and no zero matrix is allocated (this
-        sits on the warm cache-load hot path).
+        sits on the warm cache-load hot path).  ``dtype=None`` adopts the
+        array exactly as passed — the cache uses it so a ``float32`` or
+        memory-mapped matrix is not silently materialised as a fresh
+        ``float64`` copy.
         """
         machine_ids, timestamps = _validate_axes(machine_ids, timestamps)
-        data = np.asarray(data, dtype=np.float64)
+        data = np.asarray(data) if dtype is None else np.asarray(data,
+                                                                 dtype=dtype)
         expected = (len(machine_ids), len(metrics), timestamps.shape[0])
         if data.shape != expected:
             raise SeriesError(

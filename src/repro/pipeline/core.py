@@ -347,7 +347,8 @@ class Pipeline:
         if source.kind == "trace-dir":
             from repro.trace.loader import load_trace
 
-            bundle = load_trace(source.path, cache=source.cache)
+            bundle = load_trace(source.path, cache=source.cache,
+                                mmap=source.mmap, storage=source.storage)
             return bundle, bundle.usage
         # synthetic
         from repro.trace.synthetic import generate_trace

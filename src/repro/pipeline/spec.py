@@ -109,6 +109,12 @@ class SourceSpec:
     #: trace-dir only: reuse/maintain the columnar binary sidecar cache
     #: (:mod:`repro.trace.cache`), skipping CSV parsing on repeat loads.
     cache: bool = False
+    #: trace-dir only, requires ``cache``: serve the dense usage matrix as
+    #: a read-only memory map of the sidecar instead of materialising it.
+    mmap: bool = False
+    #: trace-dir only, ``"float32"`` requires ``cache``: the dtype the
+    #: sidecar stores the dense usage matrix in.
+    storage: str = "float64"
     #: In-memory sources (not spec-serialisable).
     bundle: "TraceBundle | None" = field(default=None, compare=False)
     store: "MetricStore | None" = field(default=None, compare=False)
@@ -129,6 +135,21 @@ class SourceSpec:
                 raise PipelineError(
                     f"unknown synthetic config key {key!r}; expected one of "
                     f"{list(SYNTHETIC_CONFIG_KEYS)}")
+        if self.storage not in ("float64", "float32"):
+            raise PipelineError(
+                f"unknown source storage dtype {self.storage!r}; expected "
+                f"'float64' or 'float32'")
+        if self.mmap or self.storage != "float64":
+            option = "mmap" if self.mmap else "storage"
+            if self.kind != "trace-dir":
+                raise PipelineError(
+                    f"source option {option!r} applies to trace-dir "
+                    f"sources only")
+            if not self.cache:
+                raise PipelineError(
+                    f"source option {option!r} requires \"cache\": true — "
+                    f"the memory-mapped/converted matrix lives in the "
+                    f"sidecar cache")
 
     @property
     def serialisable(self) -> bool:
@@ -143,6 +164,10 @@ class SourceSpec:
             out = {"kind": "trace-dir", "path": str(self.path)}
             if self.cache:
                 out["cache"] = True
+            if self.mmap:
+                out["mmap"] = True
+            if self.storage != "float64":
+                out["storage"] = self.storage
             return out
         out: dict = {"kind": "synthetic",
                      "scenario": self.scenario or "healthy"}
@@ -161,7 +186,9 @@ class SourceSpec:
         kind = raw.get("kind")
         if kind == "trace-dir":
             return cls(kind="trace-dir", path=str(raw.get("path", "")) or None,
-                       cache=bool(raw.get("cache", False)))
+                       cache=bool(raw.get("cache", False)),
+                       mmap=bool(raw.get("mmap", False)),
+                       storage=str(raw.get("storage", "float64")))
         if kind == "synthetic":
             config = raw.get("config", {})
             if not isinstance(config, Mapping):

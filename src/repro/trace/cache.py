@@ -2,27 +2,39 @@
 
 Parsing a trace directory goes row by row through Python string handling —
 fine once, wasteful every time the same immutable CSVs are re-analysed.
-This module persists a parsed :class:`~repro.trace.records.TraceBundle` as
-one uncompressed ``.npz`` next to the CSVs (``<dir>/.repro-cache/``):
+This module persists a parsed :class:`~repro.trace.records.TraceBundle`
+under ``<dir>/.repro-cache/`` as three files:
 
-* every record table becomes one NumPy array per schema column (plus a
-  boolean null-mask per nullable column) — columnar, binary, no parsing on
-  reload;
-* the server-usage table is stored as the dense ``(machines, metrics,
-  samples)`` matrix of its :class:`~repro.metrics.store.MetricStore`, so a
-  warm load rebuilds the store with zero per-row work.
+* ``trace.npz`` — every record table as one NumPy array per schema column
+  (plus a boolean null-mask per nullable column), the usage axes, and the
+  authoritative JSON header (version, fingerprint, storage dtype);
+* ``usage.npy`` — the dense ``(machines, metrics, samples)`` matrix of the
+  server-usage :class:`~repro.metrics.store.MetricStore`, as a **plain
+  npy sibling** so it can be opened memory-mapped (``np.load`` cannot mmap
+  a zip member).  ``load_trace_cache(..., mmap=True)`` opens it with
+  ``mmap_mode="r"`` and attaches a
+  :class:`~repro.metrics.store.MmapBacking` descriptor, making every
+  zero-copy store view a read-only window into the file instead of RAM —
+  detection on clusters bigger than memory pages rows in on demand.  An
+  opt-in ``storage="float32"`` dtype halves the file and page-cache
+  footprint;
+* ``stats.json`` — a git-style stat ledger mapping each table file to the
+  ``(name, size, mtime_ns)`` it had when its content hash was last
+  computed, so warm loads skip re-reading gigabytes just to prove nothing
+  changed (:func:`resolve_fingerprint`).
 
 The cache is keyed by a **content hash** of the table files
 (:func:`trace_fingerprint`): edit, replace or re-compress any CSV and the
 fingerprint changes, the stale cache is ignored, and the next parse
-rewrites it.  Corrupt or incompatible cache files are treated as absent —
-the cache can always be deleted (or the whole ``.repro-cache`` directory
-removed) without losing anything.
+rewrites it.  Corrupt, truncated or incompatible cache files are treated
+as absent — the cache can always be deleted (or the whole ``.repro-cache``
+directory removed) without losing anything.
 
 Callers normally never touch this module directly:
-``load_trace(directory, cache=True)`` (or ``--cache`` on the CLI, or
-``{"kind": "trace-dir", "path": ..., "cache": true}`` in a pipeline spec)
-checks the cache first and maintains it after a cold parse.
+``load_trace(directory, cache=True, mmap=True)`` (or ``--cache --mmap`` on
+the CLI, or ``{"kind": "trace-dir", "path": ..., "cache": true, "mmap":
+true}`` in a pipeline spec) checks the cache first and maintains it after
+a cold parse.
 """
 
 from __future__ import annotations
@@ -38,7 +50,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.errors import SeriesError
-from repro.metrics.store import MetricStore
+from repro.metrics.store import MetricStore, MmapBacking
 from repro.trace import schema
 from repro.trace.records import (
     BatchInstanceRecord,
@@ -48,9 +60,18 @@ from repro.trace.records import (
 )
 
 #: Bump when the array layout changes; old caches are silently re-built.
-CACHE_VERSION = 1
+#: v2 moved the dense usage matrix out of the npz into a mmap-able
+#: ``usage.npy`` sibling and added the storage dtype to the header.
+CACHE_VERSION = 2
 CACHE_DIR_NAME = ".repro-cache"
 CACHE_FILENAME = "trace.npz"
+USAGE_FILENAME = "usage.npy"
+LEDGER_FILENAME = "stats.json"
+
+#: Dtypes the sidecar can store the dense usage matrix in.  ``float32``
+#: halves the file and page-cache footprint; the goldens pin verdict
+#: parity on the registered scenarios.
+STORAGE_DTYPES = {"float64": np.float64, "float32": np.float32}
 
 _FACTORIES: dict[str, Callable[[dict], object]] = {
     "machine_events": MachineEvent.from_row,
@@ -64,6 +85,16 @@ _NULL_SUFFIX = "#null"
 def cache_path(directory: str | Path) -> Path:
     """Where the sidecar cache of a trace directory lives."""
     return Path(directory) / CACHE_DIR_NAME / CACHE_FILENAME
+
+
+def usage_path(directory: str | Path) -> Path:
+    """Where the dense usage matrix sidecar (mmap-able ``.npy``) lives."""
+    return Path(directory) / CACHE_DIR_NAME / USAGE_FILENAME
+
+
+def ledger_path(directory: str | Path) -> Path:
+    """Where the table-file stat ledger lives."""
+    return Path(directory) / CACHE_DIR_NAME / LEDGER_FILENAME
 
 
 def trace_fingerprint(paths: Mapping[str, Path | None]) -> str:
@@ -89,6 +120,75 @@ def trace_fingerprint(paths: Mapping[str, Path | None]) -> str:
                 digest.update(chunk)
         digest.update(b"\0")
     return digest.hexdigest()
+
+
+def _file_stats(paths: Mapping[str, Path | None]) -> dict[str, dict]:
+    """``{table: {file, size, mtime_ns}}`` for every present table file."""
+    stats: dict[str, dict] = {}
+    for name in sorted(schema.SCHEMAS):
+        path = paths.get(name)
+        if path is None:
+            continue
+        st = os.stat(path)
+        stats[name] = {"file": path.name, "size": st.st_size,
+                       "mtime_ns": st.st_mtime_ns}
+    return stats
+
+
+def _write_ledger(directory: str | Path, fingerprint: str,
+                  stats: dict[str, dict]) -> None:
+    """Best-effort atomic rewrite of the stat ledger."""
+    path = ledger_path(directory)
+    tmp: Path | None = None
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=path.name + ".", suffix=".tmp")
+        tmp = Path(tmp_name)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump({"version": CACHE_VERSION, "fingerprint": fingerprint,
+                       "files": stats}, handle)
+        os.replace(tmp, path)
+    except (OSError, TypeError, ValueError):
+        try:
+            if tmp is not None:
+                tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+
+def resolve_fingerprint(directory: str | Path,
+                        paths: Mapping[str, Path | None]) -> str:
+    """Content hash of the table files, via the stat ledger when possible.
+
+    ``trace_fingerprint`` re-reads every byte of every table — the right
+    source of truth, but wasteful on every warm load of a multi-gigabyte
+    trace that has not changed.  Like git's index, the sidecar keeps a
+    ledger recording each table file's ``(name, size, mtime_ns)`` as of
+    the last full hash: when every stat still matches, the recorded
+    fingerprint is returned without opening a single table file.  Any
+    difference — size, mtime, a table swapped in or out, a missing or
+    damaged ledger — falls back to the full hash and rewrites the ledger.
+    (A same-size rewrite landing inside one mtime tick could in principle
+    fool the stats, but with nanosecond mtimes that takes a deliberate
+    ``os.utime``; content-addressed correctness is restored by deleting
+    ``stats.json``.)
+    """
+    stats: dict[str, dict] | None = None
+    try:
+        stats = _file_stats(paths)
+        raw = json.loads(ledger_path(directory).read_text(encoding="utf-8"))
+        if (raw.get("version") == CACHE_VERSION
+                and raw.get("files") == stats
+                and isinstance(raw.get("fingerprint"), str)):
+            return raw["fingerprint"]
+    except (OSError, TypeError, ValueError, AttributeError,
+            json.JSONDecodeError):
+        pass
+    fingerprint = trace_fingerprint(paths)
+    if stats is not None:
+        _write_ledger(directory, fingerprint, stats)
+    return fingerprint
 
 
 def _column_arrays(name: str, records: list) -> dict[str, np.ndarray]:
@@ -143,25 +243,37 @@ def _records_from_arrays(name: str, data) -> list:
 
 def save_trace_cache(bundle: TraceBundle, directory: str | Path,
                      fingerprint: str, *,
-                     skip_malformed: bool = False) -> Path | None:
+                     skip_malformed: bool = False,
+                     storage: str = "float64") -> Path | None:
     """Persist a parsed bundle as the directory's sidecar cache.
 
     ``skip_malformed`` records the parse mode the bundle was produced
     under: a lenient parse may have dropped rows a strict parse would
-    reject, so the two modes never share a cache entry.
+    reject, so the two modes never share a cache entry.  ``storage`` picks
+    the dtype the dense usage matrix is written in (``usage.npy``); a
+    cache written under one dtype never serves a load requesting another.
 
     Best-effort: a read-only directory, an unserialisable ``meta`` or any
     other failure returns ``None`` instead of raising — caching must never
-    break a load that already succeeded.  The file is written atomically
-    (temp file + rename), so readers never observe a half-written cache.
+    break a load that already succeeded.  Both files are written
+    atomically (temp file + rename), the matrix sidecar strictly before
+    the npz: the npz holds the authoritative fingerprinted header, so its
+    rename is the commit point and a reader never observes a header
+    pointing at a missing or older matrix.
     """
+    if storage not in STORAGE_DTYPES:
+        raise ValueError(f"unknown storage dtype {storage!r}; expected one "
+                         f"of {sorted(STORAGE_DTYPES)}")
     path = cache_path(directory)
+    matrix_path = usage_path(directory)
     tmp: Path | None = None
+    usage_tmp: Path | None = None
     try:
         header = json.dumps({
             "version": CACHE_VERSION,
             "fingerprint": fingerprint,
             "skip_malformed": bool(skip_malformed),
+            "storage": storage,
             "meta": bundle.meta,
         })
         arrays: dict[str, np.ndarray] = {}
@@ -177,8 +289,6 @@ def save_trace_cache(bundle: TraceBundle, directory: str | Path,
                                                  dtype=np.str_)
             arrays["usage:timestamps"] = np.asarray(usage.timestamps,
                                                     dtype=np.float64)
-            arrays["usage:data"] = np.ascontiguousarray(usage.data,
-                                                        dtype=np.float64)
         path.parent.mkdir(parents=True, exist_ok=True)
         # A unique temp name per writer keeps concurrent cold loads of the
         # same directory from interleaving on one file; whichever replace
@@ -188,26 +298,74 @@ def save_trace_cache(bundle: TraceBundle, directory: str | Path,
         tmp = Path(tmp_name)
         with os.fdopen(fd, "wb") as handle:
             np.savez(handle, __header__=np.asarray(header), **arrays)
+        if usage is not None:
+            ufd, usage_tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=matrix_path.name + ".", suffix=".tmp")
+            usage_tmp = Path(usage_tmp_name)
+            with os.fdopen(ufd, "wb") as handle:
+                np.save(handle, np.ascontiguousarray(
+                    usage.data, dtype=STORAGE_DTYPES[storage]))
+            os.replace(usage_tmp, matrix_path)
+            usage_tmp = None
+        else:
+            matrix_path.unlink(missing_ok=True)
         os.replace(tmp, path)
+        tmp = None
     except (OSError, OverflowError, TypeError, ValueError):
         # Column building can fail on values the row parser accepted (e.g.
         # ints beyond int64); the load already succeeded, so skip caching.
-        try:
-            if tmp is not None:
-                tmp.unlink(missing_ok=True)
-        except OSError:
-            pass
+        for leftover in (tmp, usage_tmp):
+            try:
+                if leftover is not None:
+                    leftover.unlink(missing_ok=True)
+            except OSError:
+                pass
         return None
     return path
 
 
+def _open_usage_matrix(directory: str | Path, storage: str,
+                       mmap: bool) -> tuple[np.ndarray, MmapBacking | None]:
+    """Open the ``usage.npy`` matrix sidecar (optionally memory-mapped).
+
+    Raises ``OSError``/``ValueError`` on a missing, truncated or
+    wrong-dtype file — the caller's corrupt-reads-as-absent net.
+    """
+    path = usage_path(directory)
+    stat = os.stat(path)
+    matrix = np.load(path, mmap_mode="r" if mmap else None,
+                     allow_pickle=False)
+    if str(matrix.dtype) != storage or matrix.ndim != 3:
+        raise ValueError(
+            f"usage sidecar holds {matrix.dtype}/{matrix.ndim}d, expected "
+            f"{storage}/3d")
+    backing = None
+    if mmap:
+        backing = MmapBacking(
+            path=str(path), dtype=storage,
+            shape=tuple(int(n) for n in matrix.shape),
+            row_start=0, row_stop=int(matrix.shape[0]),
+            size=stat.st_size, mtime_ns=stat.st_mtime_ns)
+    return matrix, backing
+
+
 def load_trace_cache(directory: str | Path, fingerprint: str, *,
-                     skip_malformed: bool = False) -> TraceBundle | None:
+                     skip_malformed: bool = False, mmap: bool = False,
+                     storage: str = "float64") -> TraceBundle | None:
     """Load the sidecar cache, or ``None`` when absent, stale or corrupt.
 
     A cache written under a different ``skip_malformed`` mode reads as
     absent: a lenient parse may hold a partial bundle a strict load must
-    re-validate (and possibly reject) instead of serving.
+    re-validate (and possibly reject) instead of serving.  Likewise a
+    cache written under a different ``storage`` dtype — the caller
+    re-parses and rewrites it in the dtype actually requested.
+
+    With ``mmap=True`` the dense usage matrix is opened with
+    ``np.load(mmap_mode="r")`` instead of materialised: the returned
+    store's views are read-only windows into ``usage.npy``, and the store
+    pickles as a path descriptor (:class:`~repro.metrics.store.MmapBacking`)
+    so process-pool shard workers reopen the file rather than receiving
+    array bytes.
     """
     path = cache_path(directory)
     try:
@@ -215,15 +373,19 @@ def load_trace_cache(directory: str | Path, fingerprint: str, *,
             header = json.loads(str(data["__header__"][()]))
             if (header.get("version") != CACHE_VERSION
                     or header.get("fingerprint") != fingerprint
-                    or header.get("skip_malformed") != bool(skip_malformed)):
+                    or header.get("skip_malformed") != bool(skip_malformed)
+                    or header.get("storage") != storage):
                 return None
             usage = None
             if bool(data["usage:present"][()]):
+                matrix, backing = _open_usage_matrix(directory, storage, mmap)
                 usage = MetricStore.from_dense(
                     data["usage:machine_ids"].tolist(),
                     data["usage:timestamps"],
                     tuple(data["usage:metrics"].tolist()),
-                    data["usage:data"])
+                    matrix, dtype=None)
+                if backing is not None:
+                    usage._attach_backing(backing)
             return TraceBundle(
                 machine_events=_records_from_arrays("machine_events", data),
                 tasks=_records_from_arrays("batch_task", data),
@@ -242,8 +404,14 @@ __all__ = [
     "CACHE_DIR_NAME",
     "CACHE_FILENAME",
     "CACHE_VERSION",
+    "LEDGER_FILENAME",
+    "STORAGE_DTYPES",
+    "USAGE_FILENAME",
     "cache_path",
+    "ledger_path",
     "load_trace_cache",
+    "resolve_fingerprint",
     "save_trace_cache",
     "trace_fingerprint",
+    "usage_path",
 ]

@@ -16,7 +16,14 @@ runs:
   ``skip_malformed`` mode);
 * ``load_trace(directory, cache=True)`` maintains a columnar **binary
   sidecar cache** (:mod:`repro.trace.cache`) keyed by a content hash of
-  the CSVs, so repeat loads skip parsing entirely.
+  the CSVs, so repeat loads skip parsing entirely; a stat ledger skips
+  even the re-hash when the table files' ``(size, mtime_ns)`` are
+  unchanged.
+
+Beyond fast, the cache is also the **out-of-core backing format**:
+``load_trace(directory, cache=True, mmap=True)`` opens the dense usage
+matrix memory-mapped (read-only windows into the sidecar file instead of
+RAM), and ``storage="float32"`` halves its on-disk/page-cache footprint.
 """
 
 from __future__ import annotations
@@ -222,7 +229,8 @@ def _load_usage_store(path: Path | None,
 
 
 def load_trace(directory: str | Path, *, skip_malformed: bool = False,
-               cache: bool = False) -> TraceBundle:
+               cache: bool = False, mmap: bool = False,
+               storage: str = "float64") -> TraceBundle:
     """Load every available table under ``directory`` into a bundle.
 
     Missing table files simply produce empty sections; an entirely empty
@@ -235,7 +243,24 @@ def load_trace(directory: str | Path, *, skip_malformed: bool = False,
     skipped entirely; otherwise the trace is parsed once and the cache
     (re)written.  The flag never changes the returned bundle — only how
     fast repeat loads are.
+
+    ``mmap=True`` (requires ``cache=True``) serves the dense usage matrix
+    as a read-only memory map of the sidecar instead of materialising it:
+    every zero-copy store view becomes a window into the file, pickled
+    shard views reopen it by path, and peak RSS stays bounded by what the
+    detectors touch, not by the cluster size.  ``storage="float32"``
+    (also cache-backed) halves the sidecar's footprint; both options
+    still return verdict-identical bundles on the registered scenarios
+    (golden-pinned), modulo the float32 rounding of the stored samples.
     """
+    if storage not in ("float64", "float32"):
+        raise TraceFormatError(
+            f"unknown storage dtype {storage!r}; expected 'float64' or "
+            f"'float32'")
+    if (mmap or storage != "float64") and not cache:
+        raise TraceFormatError(
+            "mmap/storage options require cache=True: the memory-mapped "
+            "backing and the converted matrix live in the sidecar cache")
     directory = Path(directory)
     if not directory.is_dir():
         raise TraceFormatError(f"trace directory does not exist: {directory}")
@@ -253,13 +278,14 @@ def load_trace(directory: str | Path, *, skip_malformed: bool = False,
     if cache:
         from repro.trace.cache import (
             load_trace_cache,
+            resolve_fingerprint,
             save_trace_cache,
-            trace_fingerprint,
         )
 
-        fingerprint = trace_fingerprint(paths)
+        fingerprint = resolve_fingerprint(directory, paths)
         cached = load_trace_cache(directory, fingerprint,
-                                  skip_malformed=skip_malformed)
+                                  skip_malformed=skip_malformed,
+                                  mmap=mmap, storage=storage)
         if cached is not None:
             # The sidecar travels with the directory (copy/move keeps the
             # fingerprint valid), so the recorded source path may be stale
@@ -283,6 +309,24 @@ def load_trace(directory: str | Path, *, skip_malformed: bool = False,
         meta={"source": str(directory)},
     )
     if cache:
-        save_trace_cache(bundle, directory, fingerprint,
-                         skip_malformed=skip_malformed)
+        written = save_trace_cache(bundle, directory, fingerprint,
+                                   skip_malformed=skip_malformed,
+                                   storage=storage)
+        if written is not None and (mmap or storage != "float64"):
+            # Serve the representation actually requested (memory-mapped
+            # and/or down-converted) by reopening the cache just written,
+            # so a cold load returns the same thing every warm load will.
+            cached = load_trace_cache(directory, fingerprint,
+                                      skip_malformed=skip_malformed,
+                                      mmap=mmap, storage=storage)
+            if cached is not None:
+                cached.meta["source"] = str(directory)
+                return cached
+        if storage == "float32" and bundle.usage is not None:
+            # The sidecar could not be (re)read — still honour the dtype
+            # in RAM so the verdict never depends on cache writability.
+            usage = bundle.usage
+            bundle.usage = MetricStore.from_dense(
+                usage.machine_ids, usage.timestamps, usage.metrics,
+                usage.data, dtype=np.float32)
     return bundle

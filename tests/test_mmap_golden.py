@@ -1,0 +1,299 @@
+"""Golden equivalence: memory-mapped trace loads are bit-identical to RAM.
+
+``load_trace(dir, cache=True, mmap=True)`` promotes the columnar sidecar
+cache to an out-of-core backing format: the dense usage matrix stays on
+disk and every store view becomes a read-only window into the file.  The
+whole value proposition is that this — like sharding and caching before it
+— only changes memory/wall-clock, never the verdict.  This suite pins:
+
+* for **every registered scenario**, an unsharded mmap-backed pipeline run
+  produces events/masks/scores identical to the in-RAM load for every
+  registered detector (block + cluster);
+* across **all three backends × shard counts 1/2/7**, the mmap-backed run
+  stays bit-identical on representative scenarios — including the process
+  backend, where shard views cross the pipe as path + row-range
+  descriptors (:class:`~repro.metrics.store.MmapBacking`) instead of
+  array bytes;
+* the invalidation contract survives the new layout: a byte change to any
+  CSV invalidates, a truncated/corrupt ``usage.npy`` reads as absent, and
+  a pickled mmap view refuses to reattach to a changed file;
+* opt-in ``storage="float32"`` pins verdict parity (same flagged windows
+  and machines) against the float64 reference, and float32-mmap equals
+  float32-in-RAM bit-for-bit;
+* mutating a read-only (mmap-backed or view) store raises a clear
+  :class:`SeriesError`, not NumPy's opaque ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError, SeriesError, TraceFormatError
+from repro.pipeline import Pipeline
+from repro.scenarios import scenario_names
+from repro.trace import cache as trace_cache
+from repro.trace.loader import load_trace
+from repro.trace.synthetic import generate_trace
+from repro.trace.writer import write_trace
+
+from tests.conftest import fast_config
+
+SEED = 1306
+SHARD_COUNTS = (1, 2, 7)
+
+#: Every registered detector: the four default block detectors plus the
+#: three non-shardable cluster-topology detectors.
+ALL_DETECTORS = "ewma+flatline+threshold+zscore+sync_break+imbalance+sla_risk"
+
+#: Scenarios for the full backend × shard matrix.
+MATRIX_SCENARIOS = (
+    "healthy",
+    "thrashing",
+    "machine-failure+network-storm",
+)
+
+
+def _source(trace_dir, **options) -> dict:
+    return {"kind": "trace-dir", "path": str(trace_dir), **options}
+
+
+def _run(trace_dir, source_options=None, execution=None):
+    spec = {"source": _source(trace_dir, **(source_options or {})),
+            "detectors": ALL_DETECTORS, "sinks": []}
+    if execution is not None:
+        spec["execution"] = execution
+    return Pipeline.from_spec(spec).run()
+
+
+@pytest.fixture(scope="module")
+def trace_dirs(tmp_path_factory):
+    """One on-disk trace directory per scenario the suite touches."""
+    root = tmp_path_factory.mktemp("mmap-golden")
+    dirs = {}
+    for scenario in sorted(set(scenario_names()) | set(MATRIX_SCENARIOS)):
+        directory = root / scenario.replace("+", "_").replace("(", "_")
+        directory.mkdir()
+        write_trace(generate_trace(fast_config(scenario, seed=SEED)),
+                    directory)
+        dirs[scenario] = directory
+    return dirs
+
+
+@pytest.fixture(scope="module")
+def inram_runs(trace_dirs):
+    """The in-RAM (cached, unmapped) reference run of every scenario."""
+    return {scenario: _run(directory, {"cache": True})
+            for scenario, directory in trace_dirs.items()}
+
+
+def assert_runs_identical(mmap_run, ref_run, context: str) -> None:
+    assert [run.label for run in mmap_run.detections] \
+        == [run.label for run in ref_run.detections], context
+    for got, want in zip(mmap_run.detections, ref_run.detections):
+        assert got.result.events() == want.result.events(), (
+            f"{context}: {got.label} events diverged")
+        assert np.array_equal(got.result.mask, want.result.mask), (
+            f"{context}: {got.label} mask diverged")
+        assert np.array_equal(got.result.scores, want.result.scores), (
+            f"{context}: {got.label} scores diverged")
+        assert got.result.flagged_machines() \
+            == want.result.flagged_machines(), context
+    assert mmap_run.flagged_machines() == ref_run.flagged_machines(), context
+
+
+@pytest.mark.parametrize("scenario", scenario_names())
+def test_mmap_identical_for_every_scenario(scenario, trace_dirs, inram_runs):
+    mmap_run = _run(trace_dirs[scenario], {"cache": True, "mmap": True})
+    assert_runs_identical(mmap_run, inram_runs[scenario], f"{scenario} mmap")
+
+
+@pytest.mark.parametrize("backend", ("serial", "threads", "process"))
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("scenario", MATRIX_SCENARIOS)
+def test_mmap_backend_matrix_identical(scenario, shards, backend, trace_dirs,
+                                       inram_runs):
+    mmap_run = _run(trace_dirs[scenario], {"cache": True, "mmap": True},
+                    execution={"backend": backend, "shards": shards,
+                               "workers": 3})
+    assert_runs_identical(mmap_run, inram_runs[scenario],
+                          f"{scenario} × {backend} × {shards} shards (mmap)")
+
+
+class TestMmapStoreSemantics:
+    def test_views_are_readonly_windows_into_the_file(self, trace_dirs):
+        directory = trace_dirs["thrashing"]
+        store = load_trace(directory, cache=True, mmap=True).usage
+        assert store.mmap_backed
+        assert not store.data.flags.writeable
+        view = store.machine_slice(2, 7)
+        assert view.mmap_backed
+        assert np.shares_memory(view.data, store.data)
+        # Time-axis views stay zero-copy windows too.
+        window = store.sample_slice(0, store.num_samples // 2)
+        assert np.shares_memory(window.data, store.data)
+
+    def test_inram_load_is_not_backed(self, trace_dirs):
+        store = load_trace(trace_dirs["thrashing"], cache=True).usage
+        assert not store.mmap_backed
+
+    def test_pickle_ships_descriptor_not_bytes(self, trace_dirs):
+        directory = trace_dirs["thrashing"]
+        store = load_trace(directory, cache=True, mmap=True).usage
+        shard = store.machine_slice(1, store.num_machines - 1)
+        blob = pickle.dumps(shard)
+        # The payload is a path + row range, not the matrix.
+        assert len(blob) < shard.data.nbytes / 4
+        clone = pickle.loads(blob)
+        assert clone.machine_ids == shard.machine_ids
+        assert np.array_equal(clone.data, np.asarray(shard.data))
+        assert not clone.data.flags.writeable
+
+    def test_pickle_refuses_changed_backing_file(self, trace_dirs):
+        directory = trace_dirs["healthy"]
+        store = load_trace(directory, cache=True, mmap=True).usage
+        blob = pickle.dumps(store.machine_slice(0, 2))
+        matrix_path = trace_cache.usage_path(directory)
+        np.save(matrix_path, np.zeros_like(np.asarray(store.data)))
+        with pytest.raises(SeriesError):
+            pickle.loads(blob)
+        # Restore a consistent sidecar for the other tests.
+        load_trace(directory, cache=True, mmap=True)
+
+    def test_mutation_guard_raises_series_error(self, trace_dirs):
+        store = load_trace(trace_dirs["thrashing"], cache=True,
+                           mmap=True).usage
+        values = np.zeros(store.num_samples)
+        machine = store.machine_ids[0]
+        with pytest.raises(SeriesError, match="read-only.*memory-mapped"):
+            store.set_series(machine, "cpu", values)
+        with pytest.raises(SeriesError, match="read-only"):
+            store.add_to_series(machine, "cpu", values)
+        with pytest.raises(SeriesError, match="read-only"):
+            store.clip()
+
+    def test_mutation_guard_covers_plain_views_too(self):
+        from repro.metrics.store import MetricStore
+
+        store = MetricStore(["m0", "m1", "m2"], np.arange(4.0))
+        view = store.subset(["m1", "m2"])
+        with pytest.raises(SeriesError, match="read-only.*view"):
+            view.set_series("m1", "cpu", np.zeros(4))
+        # The parent stays writable.
+        store.set_series("m0", "cpu", np.ones(4))
+
+
+class TestMmapInvalidation:
+    def test_byte_change_invalidates(self, tmp_path):
+        write_trace(generate_trace(fast_config("thrashing", seed=SEED)),
+                    tmp_path)
+        first = load_trace(tmp_path, cache=True, mmap=True)
+        with open(tmp_path / "server_usage.csv", "a",
+                  encoding="utf-8") as handle:
+            handle.write("9999,machine_zz,50,50,50\n")
+        fresh = load_trace(tmp_path, cache=True, mmap=True)
+        assert "machine_zz" in fresh.usage.machine_ids
+        assert "machine_zz" not in first.usage.machine_ids
+
+    def test_truncated_usage_sidecar_reads_as_absent(self, tmp_path):
+        write_trace(generate_trace(fast_config("thrashing", seed=SEED)),
+                    tmp_path)
+        reference = load_trace(tmp_path, cache=True)
+        matrix_path = trace_cache.usage_path(tmp_path)
+        raw = matrix_path.read_bytes()
+        matrix_path.write_bytes(raw[:len(raw) // 2])
+        reloaded = load_trace(tmp_path, cache=True, mmap=True)
+        assert reloaded.usage.machine_ids == reference.usage.machine_ids
+        assert np.array_equal(np.asarray(reloaded.usage.data),
+                              reference.usage.data)
+
+    def test_garbage_usage_sidecar_reads_as_absent(self, tmp_path):
+        write_trace(generate_trace(fast_config("healthy", seed=SEED)),
+                    tmp_path)
+        reference = load_trace(tmp_path, cache=True)
+        trace_cache.usage_path(tmp_path).write_bytes(b"not an npy file")
+        reloaded = load_trace(tmp_path, cache=True, mmap=True)
+        assert np.array_equal(np.asarray(reloaded.usage.data),
+                              reference.usage.data)
+
+
+class TestFloat32Storage:
+    @pytest.mark.parametrize("scenario", MATRIX_SCENARIOS)
+    def test_float32_pins_verdict_parity(self, scenario, tmp_path,
+                                         inram_runs):
+        directory = tmp_path / "trace"
+        directory.mkdir()
+        write_trace(generate_trace(fast_config(scenario, seed=SEED)),
+                    directory)
+        run32 = _run(directory, {"cache": True, "storage": "float32"})
+        reference = inram_runs[scenario]
+        assert [r.label for r in run32.detections] \
+            == [r.label for r in reference.detections]
+        for got, want in zip(run32.detections, reference.detections):
+            got_windows = [(e.subject, e.start, e.end, e.kind)
+                           for e in got.result.events()]
+            want_windows = [(e.subject, e.start, e.end, e.kind)
+                            for e in want.result.events()]
+            assert got_windows == want_windows, (
+                f"{scenario}: {got.label} float32 verdicts diverged")
+            assert got.result.flagged_machines() \
+                == want.result.flagged_machines()
+
+    def test_float32_mmap_equals_float32_inram(self, tmp_path):
+        write_trace(generate_trace(fast_config("thrashing", seed=SEED)),
+                    tmp_path)
+        inram = _run(tmp_path, {"cache": True, "storage": "float32"})
+        mapped = _run(tmp_path, {"cache": True, "storage": "float32",
+                                 "mmap": True})
+        assert_runs_identical(mapped, inram, "float32 mmap vs in-RAM")
+
+    def test_float32_store_dtype(self, tmp_path):
+        write_trace(generate_trace(fast_config("healthy", seed=SEED)),
+                    tmp_path)
+        bundle = load_trace(tmp_path, cache=True, storage="float32",
+                            mmap=True)
+        assert bundle.usage.data.dtype == np.float32
+        # Cold and warm float32 loads serve the same representation.
+        warm = load_trace(tmp_path, cache=True, storage="float32")
+        assert warm.usage.data.dtype == np.float32
+        assert np.array_equal(np.asarray(bundle.usage.data), warm.usage.data)
+
+
+class TestOptionValidation:
+    def test_mmap_without_cache_is_rejected_by_loader(self, tmp_path):
+        write_trace(generate_trace(fast_config("healthy", seed=SEED)),
+                    tmp_path)
+        with pytest.raises(TraceFormatError, match="cache"):
+            load_trace(tmp_path, mmap=True)
+        with pytest.raises(TraceFormatError, match="storage"):
+            load_trace(tmp_path, cache=True, storage="float16")
+
+    def test_spec_round_trip_and_validation(self, tmp_path):
+        from repro.pipeline import SourceSpec
+
+        spec = SourceSpec.from_dict({"kind": "trace-dir", "path": "t",
+                                     "cache": True, "mmap": True,
+                                     "storage": "float32"})
+        assert spec.to_dict() == {"kind": "trace-dir", "path": "t",
+                                  "cache": True, "mmap": True,
+                                  "storage": "float32"}
+        with pytest.raises(PipelineError, match="cache"):
+            SourceSpec(kind="trace-dir", path="t", mmap=True)
+        with pytest.raises(PipelineError, match="trace-dir"):
+            SourceSpec(kind="synthetic", scenario="healthy", cache=True,
+                       mmap=True)
+        with pytest.raises(PipelineError, match="storage"):
+            SourceSpec(kind="trace-dir", path="t", cache=True,
+                       storage="float16")
+
+    def test_cli_mmap_implies_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        write_trace(generate_trace(fast_config("thrashing", seed=SEED)),
+                    tmp_path)
+        assert main(["detect", str(tmp_path), "--mmap"]) == 0
+        assert trace_cache.cache_path(tmp_path).exists()
+        assert trace_cache.usage_path(tmp_path).exists()
+        capsys.readouterr()

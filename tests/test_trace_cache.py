@@ -182,6 +182,74 @@ class TestCacheInvalidation:
         assert not trace_cache.cache_path(trace_dir).exists()
 
 
+class TestStatLedger:
+    """The warm-path hashing fix: unchanged stats skip the full re-hash."""
+
+    def test_warm_hit_skips_rehash_entirely(self, trace_dir, monkeypatch):
+        cold = load_trace(trace_dir, cache=True)
+        assert trace_cache.ledger_path(trace_dir).exists()
+
+        def boom(paths):
+            raise AssertionError("warm hit must not re-hash table files")
+
+        monkeypatch.setattr(trace_cache, "trace_fingerprint", boom)
+        warm = load_trace(trace_dir, cache=True)
+        assert_bundles_identical(warm, cold)
+
+    def test_stat_change_falls_back_to_full_hash(self, trace_dir,
+                                                 monkeypatch):
+        import os
+
+        cold = load_trace(trace_dir, cache=True)
+        usage_csv = trace_dir / "server_usage.csv"
+        st = os.stat(usage_csv)
+        os.utime(usage_csv, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+
+        calls = []
+        real = trace_cache.trace_fingerprint
+
+        def counting(paths):
+            calls.append(1)
+            return real(paths)
+
+        monkeypatch.setattr(trace_cache, "trace_fingerprint", counting)
+        warm = load_trace(trace_dir, cache=True)
+        # mtime changed, content did not: full hash ran, cache still valid.
+        assert calls
+        assert_bundles_identical(warm, cold)
+        # The rewritten ledger serves the next load without hashing again.
+        calls.clear()
+        again = load_trace(trace_dir, cache=True)
+        assert not calls
+        assert_bundles_identical(again, cold)
+
+    def test_corrupt_ledger_falls_back_to_full_hash(self, trace_dir):
+        cold = load_trace(trace_dir, cache=True)
+        trace_cache.ledger_path(trace_dir).write_text("{not json",
+                                                      encoding="utf-8")
+        warm = load_trace(trace_dir, cache=True)
+        assert_bundles_identical(warm, cold)
+
+    def test_byte_change_invalidates_through_the_ledger(self, trace_dir):
+        """Appending a row changes size+mtime — the ledger must not mask
+        the content change (full hash is the source of truth)."""
+        load_trace(trace_dir, cache=True)
+        with open(trace_dir / "server_usage.csv", "a",
+                  encoding="utf-8") as handle:
+            handle.write("999999,ledger_fresh_machine,1.00,2.00,3.00\n")
+        fresh = load_trace(trace_dir, cache=True)
+        assert "ledger_fresh_machine" in fresh.usage.machine_ids
+
+    def test_table_membership_change_invalidates(self, tmp_path):
+        (tmp_path / "server_usage.csv").write_text("0,m_1,10,20,30\n")
+        before = load_trace(tmp_path, cache=True)
+        assert before.machine_events == []
+        (tmp_path / "machine_events.csv").write_text(
+            "0,m_1,add,,96,512,4096\n")
+        after = load_trace(tmp_path, cache=True)
+        assert len(after.machine_events) == 1
+
+
 class TestBulkIngest:
     def test_bit_identical_to_row_wise_parser(self, trace_dir):
         path = trace_dir / "server_usage.csv"
