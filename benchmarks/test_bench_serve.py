@@ -1,0 +1,183 @@
+"""Soak benchmark: the detection service under sustained multi-tenant load.
+
+N tenants (each its own machine fleet and detector stack) are fed frame
+batches concurrently from N client threads over real HTTP — the
+deployment shape the serve layer exists for.  Measured: end-to-end ingest
+throughput in machine-samples/s and the round-trip latency percentiles of
+ingest requests, split out for the requests that surfaced alerts (alerts
+ride the ingest response, so that round trip *is* the alert latency).
+Results land in ``BENCH_results.json`` via ``record_result``.
+
+Correctness is asserted alongside the numbers: every tenant must end with
+exactly its own sample count and its own verdicts (cross-tenant leakage
+would show up as wrong totals or missing/foreign alerts).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from benchmarks.conftest import record_result, report, synthetic_cluster
+from repro.serve import DetectionServer, ServeClient
+from repro.serve.wire import store_to_payloads
+
+NUM_TENANTS = 8
+NUM_MACHINES = 32
+#: Long enough to cover synthetic_cluster's hot-spike window (120-150).
+NUM_SAMPLES = 160
+BATCH_SIZE = 8
+#: Spikes push hot machines to base+45 (clipped at 100); 85% catches them.
+THRESHOLD = 85.0
+
+
+def percentile(samples: "list[float]", q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q)) if samples else 0.0
+
+
+def test_serve_soak_multi_tenant():
+    stores = {f"soak-{i}": synthetic_cluster(NUM_MACHINES, NUM_SAMPLES,
+                                             seed=3000 + i)
+              for i in range(NUM_TENANTS)}
+    latencies: dict[str, list[float]] = {tid: [] for tid in stores}
+    alert_latencies: list[float] = []
+    alert_counts: dict[str, int] = {}
+    errors: list = []
+
+    with DetectionServer(port=0, backend="threads", workers=4) as server:
+        with ServeClient(server.host, server.port) as admin:
+            for tenant_id, store in stores.items():
+                admin.create_tenant({"id": tenant_id,
+                                     "machines": store.machine_ids,
+                                     "streaming": {"threshold": THRESHOLD}})
+        assert len(server.registry) == NUM_TENANTS
+
+        barrier = threading.Barrier(NUM_TENANTS)
+
+        def feed(tenant_id: str) -> None:
+            try:
+                payloads = store_to_payloads(stores[tenant_id], BATCH_SIZE)
+                with ServeClient(server.host, server.port,
+                                 timeout=60.0) as client:
+                    barrier.wait()   # line every tenant up before the clock
+                    count = 0
+                    for payload in payloads:
+                        started = time.perf_counter()
+                        reply = client._request(
+                            "POST", f"/tenants/{tenant_id}/frames", payload)
+                        elapsed = time.perf_counter() - started
+                        latencies[tenant_id].append(elapsed)
+                        if reply["alerts"]:
+                            alert_latencies.append(elapsed)
+                            count += len(reply["alerts"])
+                    alert_counts[tenant_id] = count
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                errors.append((tenant_id, exc))
+
+        threads = [threading.Thread(target=feed, args=(tid,))
+                   for tid in stores]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        assert errors == [], f"soak feeders failed: {errors}"
+
+        # Per-tenant isolation: exact totals, own alert log, no bleed.
+        with ServeClient(server.host, server.port) as admin:
+            for tenant_id, store in stores.items():
+                summary = admin.summary(tenant_id)
+                assert summary["num_samples"] == NUM_SAMPLES
+                assert summary["machines"] == NUM_MACHINES
+                assert summary["num_alerts"] == alert_counts[tenant_id]
+
+    total_machine_samples = NUM_TENANTS * NUM_MACHINES * NUM_SAMPLES
+    all_latencies = [value for per_tenant in latencies.values()
+                     for value in per_tenant]
+    rows = {
+        "tenants": NUM_TENANTS,
+        "machines_per_tenant": NUM_MACHINES,
+        "samples_per_tenant": NUM_SAMPLES,
+        "frame_batch_size": BATCH_SIZE,
+        "wall_clock_s": round(wall, 3),
+        "machine_samples_per_s": round(total_machine_samples / wall, 1),
+        "requests": len(all_latencies),
+        "ingest_p50_ms": round(percentile(all_latencies, 50) * 1e3, 2),
+        "ingest_p95_ms": round(percentile(all_latencies, 95) * 1e3, 2),
+        "ingest_p99_ms": round(percentile(all_latencies, 99) * 1e3, 2),
+        "alerts": sum(alert_counts.values()),
+        "alert_p50_ms": round(percentile(alert_latencies, 50) * 1e3, 2),
+        "alert_p95_ms": round(percentile(alert_latencies, 95) * 1e3, 2),
+    }
+    report("serve soak: 8 concurrent tenants over HTTP", rows)
+    record_result(
+        "serve_soak_multi_tenant",
+        wall_clock_s=wall,
+        throughput=total_machine_samples / wall,
+        throughput_unit="machine-samples/s",
+        tenants=NUM_TENANTS,
+        machines_per_tenant=NUM_MACHINES,
+        samples_per_tenant=NUM_SAMPLES,
+        frame_batch_size=BATCH_SIZE,
+        ingest_p50_ms=rows["ingest_p50_ms"],
+        ingest_p95_ms=rows["ingest_p95_ms"],
+        ingest_p99_ms=rows["ingest_p99_ms"],
+        alert_p50_ms=rows["alert_p50_ms"],
+        alert_p95_ms=rows["alert_p95_ms"],
+        alerts=rows["alerts"],
+    )
+    assert sum(alert_counts.values()) > 0, (
+        "soak scenario must raise alerts (hot machines are injected)")
+
+
+def test_serve_shared_pool_detect_across_tenants():
+    """Batch /detect from many tenants multiplexes one persistent pool."""
+    with DetectionServer(port=0, backend="threads", workers=4) as server:
+        stores = {f"pool-{i}": synthetic_cluster(NUM_MACHINES, NUM_SAMPLES,
+                                                 seed=4000 + i)
+                  for i in range(4)}
+        with ServeClient(server.host, server.port) as admin:
+            for tenant_id, store in stores.items():
+                # Ring sized to the whole feed, so /detect sweeps it all.
+                admin.create_tenant({
+                    "id": tenant_id, "machines": store.machine_ids,
+                    "streaming": {"window_samples": NUM_SAMPLES}})
+                admin.stream_store(tenant_id, store, batch_size=32)
+        pool_before = server.executor._pool
+        assert pool_before is not None, "server pool must be persistent"
+        results: dict[str, dict] = {}
+        errors: list = []
+
+        def sweep(tenant_id: str) -> None:
+            try:
+                with ServeClient(server.host, server.port,
+                                 timeout=60.0) as client:
+                    results[tenant_id] = client.detect(tenant_id,
+                                                       timeout=60.0)
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                errors.append((tenant_id, exc))
+
+        threads = [threading.Thread(target=sweep, args=(tid,))
+                   for tid in stores]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        assert errors == []
+        assert server.executor._pool is pool_before, (
+            "/detect must reuse the shared pool, not respawn one")
+        for tenant_id in stores:
+            assert results[tenant_id]["num_samples"] == NUM_SAMPLES
+    record_result(
+        "serve_detect_shared_pool",
+        wall_clock_s=wall,
+        throughput=len(stores) / wall,
+        throughput_unit="detect-requests/s",
+        tenants=len(stores),
+        machines_per_tenant=NUM_MACHINES,
+    )

@@ -28,7 +28,11 @@ This walks through the basic public API in under a minute:
    executes), and that ``"mode": "streaming"`` folds the identical
    detector stack through the incremental engine chunk by chunk — same
    events, chunk size only buys wall-clock time;
-6. render the hierarchical bubble chart, a per-job line chart and the
+6. stand the same streaming fold up as a resident service
+   (:mod:`repro.serve`, CLI ``repro serve``): a tenant registered over
+   JSON-HTTP and fed the trace in frame batches reaches the identical
+   verdicts over the wire;
+7. render the hierarchical bubble chart, a per-job line chart and the
    timeline, and assemble everything into a self-contained interactive
    HTML dashboard.
 """
@@ -202,6 +206,34 @@ def main() -> None:
     print(f"\nStreaming run (chunk=64): {live.num_events} event(s) — same "
           f"verdict as batch; alerts by kind: "
           f"{live.outputs['alerts'] or 'none'}")
+
+    # Detection-as-a-service: the same streaming fold, resident.  `repro
+    # serve` keeps one multi-tenant server process up (stdlib JSON over
+    # HTTP); each tenant is its own ring buffer + incremental detector
+    # states + alert log, created from a PR-3-style spec dict.  The wire
+    # is pure transport: frames POSTed in any batching produce verdicts
+    # bit-identical to the local streaming run above (tests/
+    # test_serve_golden.py pins this per detector × scenario × batch
+    # size), and ?cursor=N&wait=S long-polls resume from monotonic alert
+    # seq ids without re-delivery.  In production you would run
+    # `repro serve --port 8377` and point ServeClient at it; here the
+    # server lives in-process on an ephemeral port.
+    from repro.serve import DetectionServer, ServeClient
+
+    with DetectionServer(port=0) as server:
+        with ServeClient(server.host, server.port) as client:
+            client.create_tenant({"id": "quickstart",
+                                  "machines": lens.store.machine_ids,
+                                  "detectors": spec["detectors"],
+                                  "streaming": {"threshold": 92.0}})
+            client.stream_store("quickstart", lens.store, batch_size=64)
+            summary = client.summary("quickstart")
+            print(f"\nServed tenant 'quickstart': "
+                  f"{summary['num_samples']} sample(s) over "
+                  f"{summary['machines']} machine(s), "
+                  f"{summary['num_alerts']} alert(s), "
+                  f"{summary['num_events']} event(s) — same verdicts as "
+                  f"the local streaming run, over HTTP")
 
     jobs = lens.active_jobs(timestamp)
     print(f"\n{len(jobs)} job(s) active at t={timestamp:.0f}s; the busiest:")

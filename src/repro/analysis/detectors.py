@@ -53,6 +53,28 @@ class AnomalyEvent:
         """True when this event overlaps the interval ``[start, end]``."""
         return self.start <= end and self.end >= start
 
+    def to_dict(self) -> dict:
+        """The canonical JSON encoding (the detection service's wire form).
+
+        ``from_dict(to_dict())`` round-trips bit-identically: JSON float
+        text is the shortest repr, which parses back to the same double.
+        """
+        return {"start": self.start, "end": self.end, "metric": self.metric,
+                "subject": self.subject, "kind": self.kind,
+                "score": self.score, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "AnomalyEvent":
+        """Rebuild an event from its :meth:`to_dict` encoding."""
+        try:
+            return cls(start=float(raw["start"]), end=float(raw["end"]),
+                       metric=str(raw["metric"]), subject=str(raw["subject"]),
+                       kind=str(raw["kind"]), score=float(raw["score"]),
+                       detail=str(raw.get("detail", "")))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SeriesError(
+                f"malformed anomaly-event dict {raw!r}: {exc}") from None
+
 
 # -- vectorized run-length encoding ------------------------------------------
 def mask_runs(mask: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

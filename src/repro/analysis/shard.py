@@ -146,6 +146,7 @@ class ShardExecutor:
             raise SeriesError(f"workers must be at least 1, got {workers}")
         self.backend = backend
         self.workers = workers
+        self._pool = None
 
     @property
     def effective_workers(self) -> int:
@@ -154,6 +155,65 @@ class ShardExecutor:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ShardExecutor(backend={self.backend!r}, "
                 f"workers={self.effective_workers})")
+
+    # -- pool lifecycle --------------------------------------------------------
+    def start(self) -> "ShardExecutor":
+        """Create a persistent worker pool reused across ``run_many`` calls.
+
+        Without ``start()`` the executor behaves as before: each sharded
+        call spins an ephemeral pool up and tears it down — fine for a
+        one-shot sweep, wasteful for a resident service multiplexing many
+        requests (process workers in particular cost a fork + interpreter
+        start each).  After ``start()``, sweeps share one pool until
+        :meth:`shutdown`; the ``serial`` backend has no pool and both
+        calls are no-ops.  Idempotent; returns ``self`` for chaining.
+        """
+        if self._pool is not None or self.backend == "serial":
+            return self
+        if self.backend == "process":
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.effective_workers)
+        else:  # threads
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(max_workers=self.effective_workers)
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear the persistent pool down (no-op when none was started).
+
+        With ``wait=True`` every queued sweep finishes and — crucially for
+        the process backend — every worker process is joined, so a caller
+        draining at exit leaks nothing.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ShardExecutor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    def _acquire_pool(self, task_count: int):
+        """``(pool, owned)`` — the persistent pool, or an ephemeral one.
+
+        ``owned`` tells the caller to shut the pool down when the call
+        completes.  Ephemeral pools are sized to the task count; the
+        persistent pool keeps its configured width.
+        """
+        if self._pool is not None:
+            return self._pool, False
+        max_workers = min(self.effective_workers, task_count)
+        if self.backend == "process":
+            from concurrent.futures import ProcessPoolExecutor
+
+            return ProcessPoolExecutor(max_workers=max_workers), True
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=max_workers), True
 
     # -- execution -------------------------------------------------------------
     def run(self, store: MetricStore, detector, *, metric: str = "cpu",
@@ -216,33 +276,36 @@ class ShardExecutor:
         # engine short-circuits it to an event-less verdict per unit.
         views = shard_store(store, shards) or [store]
         verdicts: dict[tuple[int, int], EngineResult] = {}
-        if self.backend == "serial" or len(work) * len(views) == 1:
+        if self.backend == "serial" or (self._pool is None
+                                        and len(work) * len(views) == 1):
             for shard, view in enumerate(views):
                 for unit, result in enumerate(_sweep_units(view, work)):
                     verdicts[(unit, shard)] = result
         elif self.backend == "process":
-            from concurrent.futures import ProcessPoolExecutor
-
-            max_workers = min(self.effective_workers, len(views))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            pool, owned = self._acquire_pool(len(views))
+            try:
                 futures = {pool.submit(_sweep_units, view, work): shard
                            for shard, view in enumerate(views)}
                 for future, shard in futures.items():
                     for unit, result in enumerate(future.result()):
                         verdicts[(unit, shard)] = result
+            finally:
+                if owned:
+                    pool.shutdown(wait=True)
         else:  # threads
-            from concurrent.futures import ThreadPoolExecutor
-
             tasks = [(unit, shard, views[shard], detector, metric)
                      for unit, (detector, metric) in enumerate(work)
                      for shard in range(len(views))]
-            max_workers = min(self.effective_workers, len(tasks))
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            pool, owned = self._acquire_pool(len(tasks))
+            try:
                 futures = {
                     pool.submit(_sweep, view, detector, metric): (unit, shard)
                     for unit, shard, view, detector, metric in tasks}
                 for future, key in futures.items():
                     verdicts[key] = future.result()
+            finally:
+                if owned:
+                    pool.shutdown(wait=True)
         return [
             merge_engine_results([verdicts[(unit, shard)]
                                   for shard in range(len(views))])

@@ -20,6 +20,7 @@ writing Python::
     python -m repro monitor --synthetic --scenario thrashing --chunk 256
     python -m repro compare --synthetic --scenario thrashing
     python -m repro pipeline spec.json
+    python -m repro serve --host 127.0.0.1 --port 8377 --backend threads
     python -m repro sla trace/
     python -m repro experiments --seed 2022 --output EXPERIMENTS_generated.md
 
@@ -441,6 +442,47 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident multi-tenant detection service until signalled.
+
+    Binds immediately (``--port 0`` picks an ephemeral port, printed on
+    the ``serving on`` line), then blocks until SIGTERM or SIGINT.  Either
+    signal drains gracefully: tenants close (waking long-poll
+    subscribers), in-flight requests finish, the shared worker pool joins
+    every worker — no leaked processes — and the command exits 0.
+    """
+    import signal
+    import threading
+
+    from repro.serve import DetectionServer
+
+    server = DetectionServer(args.host, args.port, backend=args.backend,
+                             workers=args.workers,
+                             max_tenants=args.max_tenants)
+    stop = threading.Event()
+    previous = {}
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal signature
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _on_signal)
+    try:
+        server.start()
+        print(f"serving on {server.host}:{server.port} "
+              f"(backend={args.backend}, max_tenants={args.max_tenants})",
+              flush=True)
+        stop.wait()
+        print("draining...", flush=True)
+        server.close()
+        print("shutdown complete", flush=True)
+    finally:
+        server.close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0
+
+
 def cmd_scenarios(args: argparse.Namespace) -> int:
     """List registered scenarios, fault injectors and composition syntax."""
     from repro.scenarios import SCENARIO_ALIASES, list_injectors
@@ -596,6 +638,24 @@ def build_parser() -> argparse.ArgumentParser:
                                "time through the incremental engine")
     _add_execution_flags(pipeline)
     pipeline.set_defaults(func=cmd_pipeline)
+
+    serve = sub.add_parser(
+        "serve", help="run the resident multi-tenant detection service "
+                      "(JSON over HTTP; SIGTERM/SIGINT drain gracefully)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377,
+                       help="listen port; 0 picks an ephemeral port "
+                            "(printed on startup)")
+    serve.add_argument("--backend", default="threads",
+                       choices=["serial", "threads", "process"],
+                       help="shared worker-pool backend for batch /detect "
+                            "requests (default: threads)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker count for the shared pool (default: one "
+                            "per core)")
+    serve.add_argument("--max-tenants", type=int, default=64,
+                       help="tenant capacity (default: 64)")
+    serve.set_defaults(func=cmd_serve)
 
     scenarios = sub.add_parser(
         "scenarios", help="list registered scenarios and fault injectors")

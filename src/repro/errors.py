@@ -65,6 +65,37 @@ class ConfigError(BatchLensError):
     """A configuration object carries out-of-range or inconsistent values."""
 
 
+class ServeError(BatchLensError):
+    """A detection-service request is invalid, or the service is draining.
+
+    Raised by :mod:`repro.serve` for malformed wire payloads, duplicate
+    tenant ids, and requests arriving while the server shuts down.  The
+    HTTP layer maps it (like every :class:`BatchLensError`) to a 400
+    response carrying the message verbatim.
+    """
+
+
+class UnknownTenantError(ServeError):
+    """A request named a tenant the registry does not hold.
+
+    Mapped to a 404 response; like the pipeline registry errors, the
+    message lists the registered ids so a typo is a one-line fix.
+    """
+
+    def __init__(self, tenant_id: str, registered: "list[str]") -> None:
+        self.tenant_id = tenant_id
+        super().__init__(
+            f"unknown tenant {tenant_id!r}; registered: {sorted(registered)}")
+
+    @classmethod
+    def from_message(cls, message: str) -> "UnknownTenantError":
+        """Rebuild from a server-side message (the client's 404 path)."""
+        exc = cls.__new__(cls)
+        exc.tenant_id = None
+        ServeError.__init__(exc, message)
+        return exc
+
+
 class PipelineError(BatchLensError):
     """A pipeline spec is malformed or names unknown components.
 

@@ -27,7 +27,7 @@ runners and the ``repro detect`` / ``monitor`` / ``compare`` sub-commands
 are all thin adapters over :class:`Pipeline`.
 """
 
-from repro.pipeline.core import DetectorRun, Pipeline, RunResult
+from repro.pipeline.core import DetectorRun, Pipeline, RunResult, compile_plans
 from repro.pipeline.detectors import (
     DetectorInfo,
     canonical_detector_spec,
@@ -58,6 +58,7 @@ __all__ = [
     "SourceSpec",
     "StreamingOptions",
     "canonical_detector_spec",
+    "compile_plans",
     "default_detector_names",
     "default_detector_spec",
     "detector_names",

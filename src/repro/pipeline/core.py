@@ -69,6 +69,45 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.trace.records import TraceBundle
 
 
+def compile_plans(detectors, metrics: "tuple[str, ...]",
+                  ) -> "tuple[tuple[DetectorPlan, ...], str | None]":
+    """Cross a detector stack × metrics into concrete plans.
+
+    ``detectors`` is a composed spec string (``"ewma+threshold"``), a
+    ``{name: instance}`` mapping, or ``None`` for the registry default.
+    Returns ``(plans, spec_string)`` where ``spec_string`` is the canonical
+    detector spec when one was given (else ``None``).  Labels follow the
+    pipeline convention — ``name``, ``name#2`` for repeats, ``label@metric``
+    when more than one metric is planned — so any consumer using this
+    helper (``Pipeline``, the detection service) produces identical labels
+    for identical specs.
+    """
+    spec_string: str | None = None
+    if detectors is None:
+        detectors = default_detector_spec()
+    if isinstance(detectors, str):
+        spec_string = canonical_detector_spec(detectors)
+        stack = resolve_detectors(spec_string)
+    elif isinstance(detectors, Mapping):
+        stack = list(detectors.items())
+    else:
+        raise PipelineError(
+            f"detectors must be a composed spec string or a "
+            f"{{name: instance}} mapping, got {detectors!r}")
+    plans: list[DetectorPlan] = []
+    seen: dict[str, int] = {}
+    for name, instance in stack:
+        occurrence = seen.get(name, 0)
+        seen[name] = occurrence + 1
+        for metric in metrics:
+            label = name if occurrence == 0 else f"{name}#{occurrence + 1}"
+            if len(metrics) > 1:
+                label = f"{label}@{metric}"
+            plans.append(DetectorPlan(label=label, name=name,
+                                      metric=metric, detector=instance))
+    return tuple(plans), spec_string
+
+
 @dataclass(frozen=True)
 class DetectorRun:
     """One detector's cluster-wide verdict inside a pipeline run."""
@@ -203,29 +242,8 @@ class Pipeline:
     # -- construction ---------------------------------------------------------
     def _compile(self, detectors) -> tuple[DetectorPlan, ...]:
         """Cross detector stack × metrics into concrete plans."""
-        if detectors is None:
-            detectors = default_detector_spec()
-        if isinstance(detectors, str):
-            self._detector_spec = canonical_detector_spec(detectors)
-            stack = resolve_detectors(self._detector_spec)
-        elif isinstance(detectors, Mapping):
-            stack = list(detectors.items())
-        else:
-            raise PipelineError(
-                f"detectors must be a composed spec string or a "
-                f"{{name: instance}} mapping, got {detectors!r}")
-        plans: list[DetectorPlan] = []
-        seen: dict[str, int] = {}
-        for name, instance in stack:
-            occurrence = seen.get(name, 0)
-            seen[name] = occurrence + 1
-            for metric in self.metrics:
-                label = name if occurrence == 0 else f"{name}#{occurrence + 1}"
-                if len(self.metrics) > 1:
-                    label = f"{label}@{metric}"
-                plans.append(DetectorPlan(label=label, name=name,
-                                          metric=metric, detector=instance))
-        return tuple(plans)
+        plans, self._detector_spec = compile_plans(detectors, self.metrics)
+        return plans
 
     @classmethod
     def from_spec(cls, spec: "dict | str") -> "Pipeline":
@@ -516,4 +534,5 @@ __all__ = [
     "DetectorRun",
     "Pipeline",
     "RunResult",
+    "compile_plans",
 ]

@@ -1,0 +1,42 @@
+"""``repro.serve`` — detection as a resident multi-tenant service.
+
+The paper's §VI future work ("extend BatchLens into a real-time online
+system") gets its serving layer here: a stdlib-only JSON-over-HTTP server
+that holds many independent **tenants**, each one a live streaming
+pipeline — sliding-window ring, incremental detector states, online
+monitor, alert manager — fed sample frames over the wire and queried for
+alerts (cursor-based, long-pollable), events and summaries.  Ingest is
+chunk-invariant, so agents batch frames freely without changing a single
+verdict; heavyweight batch sweeps multiplex one shared worker pool across
+tenants.
+
+::
+
+    from repro.serve import DetectionServer, ServeClient
+
+    with DetectionServer(port=0) as server:          # ephemeral port
+        client = ServeClient(server.host, server.port)
+        client.create_tenant({"id": "prod",
+                              "machines": ["m-0", "m-1", "m-2"]})
+        client.stream_store("prod", bundle.usage, batch_size=32)
+        print(client.alerts("prod")["alerts"])
+
+The CLI front-end is ``repro serve`` (graceful SIGTERM/SIGINT drain);
+:mod:`repro.serve.client` is the programmatic agent side.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.server import DetectionServer
+from repro.serve.tenants import Tenant, TenantRegistry, TenantSpec
+from repro.serve.wire import block_to_payload, payload_to_block, store_to_payloads
+
+__all__ = [
+    "DetectionServer",
+    "ServeClient",
+    "Tenant",
+    "TenantRegistry",
+    "TenantSpec",
+    "block_to_payload",
+    "payload_to_block",
+    "store_to_payloads",
+]

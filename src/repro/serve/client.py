@@ -1,0 +1,160 @@
+"""Thin stdlib client for the detection service.
+
+One :class:`ServeClient` wraps one keep-alive
+:class:`http.client.HTTPConnection` and mirrors the endpoint table of
+:mod:`repro.serve.server` as plain methods returning the decoded JSON
+bodies.  Error responses re-raise server-side
+:class:`~repro.errors.BatchLensError` messages as
+:class:`~repro.errors.ServeError` (or :class:`UnknownTenantError` for
+404s), so test assertions and CLI error handling see the same text either
+side of the wire.
+
+The client is deliberately dependency-free and single-connection; it is
+**not** thread-safe — the soak benchmark gives each tenant thread its own
+instance, which also exercises the server's one-connection-per-client
+concurrency the way real agents would.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection, HTTPException
+
+import numpy as np
+
+from repro.errors import ServeError, UnknownTenantError
+from repro.metrics.store import MetricStore
+from repro.serve.wire import block_to_payload, store_to_payloads
+
+
+class ServeClient:
+    """JSON-over-HTTP client for one :class:`DetectionServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8377, *,
+                 timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: HTTPConnection | None = None
+
+    # -- transport -------------------------------------------------------------
+    def _connect(self, timeout: float) -> HTTPConnection:
+        conn = HTTPConnection(self.host, self.port, timeout=timeout)
+        conn.connect()
+        return conn
+
+    def _request(self, method: str, path: str, payload: dict | None = None, *,
+                 timeout: float | None = None) -> dict:
+        timeout = self.timeout if timeout is None else timeout
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        # One reconnect retry: the server may have reaped an idle
+        # keep-alive connection between calls.
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = self._connect(timeout)
+            else:
+                self._conn.timeout = timeout
+                if self._conn.sock is not None:
+                    self._conn.sock.settimeout(timeout)
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                raw = response.read()
+                break
+            except (HTTPException, ConnectionError, BrokenPipeError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"server returned non-JSON body for {method} {path}: "
+                f"{exc}") from None
+        if response.status >= 400:
+            message = decoded.get("error", f"HTTP {response.status}")
+            if response.status == 404:
+                raise UnknownTenantError.from_message(message)
+            raise ServeError(message)
+        return decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- service ---------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    # -- tenant lifecycle ------------------------------------------------------
+    def create_tenant(self, spec: dict) -> dict:
+        """Register a tenant; returns its validated spec dict."""
+        return self._request("POST", "/tenants", spec)["tenant"]
+
+    def tenants(self) -> "list[str]":
+        return self._request("GET", "/tenants")["tenants"]
+
+    def delete_tenant(self, tenant_id: str) -> dict:
+        return self._request("DELETE", f"/tenants/{tenant_id}")
+
+    # -- per-tenant ------------------------------------------------------------
+    def ingest_frames(self, tenant_id: str, timestamps, frames) -> dict:
+        """Send a batch of samples: ``frames`` is (samples, machines, metrics)."""
+        payload = {"timestamps": np.asarray(timestamps,
+                                            dtype=np.float64).tolist(),
+                   "frames": np.asarray(frames, dtype=np.float64).tolist()}
+        return self._request("POST", f"/tenants/{tenant_id}/frames", payload)
+
+    def ingest_block(self, tenant_id: str, timestamps, block) -> dict:
+        """Send a store-layout ``(machines, metrics, samples)`` block."""
+        return self._request("POST", f"/tenants/{tenant_id}/frames",
+                             block_to_payload(timestamps, block))
+
+    def stream_store(self, tenant_id: str, store: MetricStore, *,
+                     batch_size: int = 16) -> "list[dict]":
+        """Replay an offline store into a tenant, ``batch_size`` at a time."""
+        return [self._request("POST", f"/tenants/{tenant_id}/frames", payload)
+                for payload in store_to_payloads(store, batch_size)]
+
+    def alerts(self, tenant_id: str, *, cursor: int = 0,
+               wait: float | None = None, view: str = "log") -> dict:
+        query = f"cursor={cursor}&view={view}"
+        timeout = self.timeout
+        if wait is not None:
+            query += f"&wait={wait}"
+            timeout = max(self.timeout, wait + 5.0)
+        return self._request("GET", f"/tenants/{tenant_id}/alerts?{query}",
+                             timeout=timeout)
+
+    def events(self, tenant_id: str) -> dict:
+        return self._request("GET", f"/tenants/{tenant_id}/events")
+
+    def summary(self, tenant_id: str) -> dict:
+        return self._request("GET", f"/tenants/{tenant_id}/summary")
+
+    def detect(self, tenant_id: str, *, detectors: str | None = None,
+               metrics=None, timeout: float | None = None) -> dict:
+        body: dict = {}
+        if detectors is not None:
+            body["detectors"] = detectors
+        if metrics is not None:
+            body["metrics"] = (list(metrics)
+                               if not isinstance(metrics, str) else metrics)
+        return self._request("POST", f"/tenants/{tenant_id}/detect", body,
+                             timeout=timeout)
+
+
+__all__ = ["ServeClient"]

@@ -1,0 +1,280 @@
+"""The resident detection service: JSON over HTTP in front of tenants.
+
+:class:`DetectionServer` binds a :class:`ThreadingHTTPServer` (stdlib —
+no new dependencies) the moment it is constructed, so readiness is the
+bound socket itself: tests and tooling pass ``port=0``, read the
+ephemeral port back from :attr:`DetectionServer.port`, and never sleep.
+``start()`` spins the accept loop up on a background thread; ``close()``
+drains — close every tenant (waking long-polls), stop accepting, join the
+in-flight handler threads, then shut the shared worker pool down with
+``wait=True`` so no process worker outlives the server.
+
+Routes (all bodies JSON)::
+
+    GET    /health                     liveness + tenant count
+    GET    /tenants                    registered tenant ids
+    POST   /tenants                    create tenant from a spec dict
+    GET    /tenants/<id>               == /tenants/<id>/summary
+    DELETE /tenants/<id>               close + forget the tenant
+    POST   /tenants/<id>/frames        ingest samples (single or batched)
+    GET    /tenants/<id>/alerts        ?cursor=N&wait=S&view=log|managed|pending
+    GET    /tenants/<id>/events        accumulated detector events
+    GET    /tenants/<id>/summary       counts, flagged machines, digest
+    POST   /tenants/<id>/detect        batch sweep over the ring window
+
+Error mapping: :class:`UnknownTenantError` → 404,
+any other :class:`BatchLensError` (bad spec, malformed payload, draining)
+→ 400, everything else → 500; the body is always ``{"error": message}``
+with the exception text verbatim — the same actionable messages the CLI
+prints at exit code 2.
+
+Heavy batch sweeps (``POST /detect``) multiplex one **shared**
+:class:`~repro.analysis.shard.ShardExecutor` pool across all tenants
+(``ShardExecutor.start()`` makes the pool persistent), so N tenants cost
+one pool, not N.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.analysis.shard import ShardExecutor
+from repro.errors import BatchLensError, ServeError, UnknownTenantError
+from repro.pipeline.core import compile_plans
+from repro.serve.tenants import Tenant, TenantRegistry
+
+#: Upper bound on one long-poll wait; clients re-arm with their cursor.
+MAX_POLL_WAIT_S = 30.0
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    # Non-daemon handler threads + block_on_close: server_close() joins
+    # every in-flight request — that IS the drain.
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+    app: "DetectionServer" = None  # type: ignore[assignment]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Keep-alive with explicit Content-Length on every response.
+    protocol_version = "HTTP/1.1"
+    # Idle keep-alive connections release their handler thread after this
+    # many seconds, so a drain never waits on a client that merely kept
+    # its socket open.
+    timeout = 5.0
+
+    server: _ServeHTTPServer
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the service is quiet; operators watch /health and alerts
+
+    # -- plumbing --------------------------------------------------------------
+    def _send_json(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_json(self) -> dict:
+        # Always consume the body (keep-alive would otherwise read it as
+        # the next request line), then parse.
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise ServeError(
+                f"request body must be a JSON object, got {type(body).__name__}")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        query = {key: values[-1]
+                 for key, values in parse_qs(split.query).items()}
+        try:
+            # The body is consumed even when parsing fails, so keep-alive
+            # never reads a stale payload as the next request line.
+            body = self._read_json() if method in ("POST", "DELETE") else {}
+            status, payload = self.server.app.handle(method, parts, query,
+                                                     body)
+        except UnknownTenantError as exc:
+            status, payload = 404, {"error": str(exc)}
+        except BatchLensError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - wire boundary
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self._send_json(status, payload)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+
+class DetectionServer:
+    """One multi-tenant detection service bound to one socket."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 backend: str = "threads", workers: int | None = None,
+                 max_tenants: int = 64) -> None:
+        self.registry = TenantRegistry(max_tenants=max_tenants)
+        # Persistent pool shared by every tenant's /detect requests.
+        self.executor = ShardExecutor(backend, workers=workers).start()
+        self.httpd = _ServeHTTPServer((host, port), _Handler)
+        self.httpd.app = self
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the ephemeral one when constructed with 0)."""
+        return self.httpd.server_address[1]
+
+    def start(self) -> "DetectionServer":
+        """Run the accept loop on a background thread; returns ``self``."""
+        if self._closed:
+            raise ServeError("server already closed")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever,
+                name=f"repro-serve:{self.port}", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Drain and shut down; idempotent, safe even if never started.
+
+        Order matters: closing tenants first wakes parked long-polls so
+        handler threads can finish; ``shutdown`` stops the accept loop
+        (only valid once ``serve_forever`` ran); ``server_close`` joins
+        the remaining handler threads; the shared pool goes last, after
+        no request can submit to it — ``wait=True`` reaps every worker
+        process.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.registry.close_all()
+        if self._thread is not None:
+            self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.executor.shutdown(wait=True)
+
+    def __enter__(self) -> "DetectionServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- routing ---------------------------------------------------------------
+    def handle(self, method: str, parts: "list[str]", query: dict,
+               body: dict) -> "tuple[int, dict]":
+        """Route one request; returns ``(status, json_payload)``."""
+        if parts == ["health"] and method == "GET":
+            return 200, {"status": "draining" if self._closed else "ok",
+                         "tenants": len(self.registry)}
+        if parts == ["tenants"]:
+            if method == "GET":
+                return 200, {"tenants": self.registry.ids()}
+            if method == "POST":
+                tenant = self.registry.create(body)
+                return 201, {"tenant": tenant.spec.to_dict()}
+        if len(parts) >= 2 and parts[0] == "tenants":
+            tenant_id = parts[1]
+            if len(parts) == 2:
+                if method == "GET":
+                    return 200, self.registry.get(tenant_id).summary()
+                if method == "DELETE":
+                    self.registry.delete(tenant_id)
+                    return 200, {"deleted": tenant_id}
+            elif len(parts) == 3:
+                tenant = self.registry.get(tenant_id)
+                action = parts[2]
+                if action == "frames" and method == "POST":
+                    return 200, tenant.ingest(body)
+                if action == "alerts" and method == "GET":
+                    return 200, self._alerts(tenant, query)
+                if action == "events" and method == "GET":
+                    return 200, tenant.events()
+                if action == "summary" and method == "GET":
+                    return 200, tenant.summary()
+                if action == "detect" and method == "POST":
+                    return 200, self._detect(tenant, body)
+        raise ServeError(
+            f"no route {method} /{'/'.join(parts)}; see repro.serve.server "
+            f"for the endpoint table")
+
+    # -- endpoint bodies -------------------------------------------------------
+    def _alerts(self, tenant: Tenant, query: dict) -> dict:
+        try:
+            cursor = int(query.get("cursor", 0))
+            wait = float(query["wait"]) if "wait" in query else None
+        except ValueError as exc:
+            raise ServeError(f"bad alert query parameter: {exc}") from None
+        view = query.get("view", "log")
+        if wait is not None and wait > 0 and view != "pending":
+            tenant.wait_for_alerts(cursor, min(wait, MAX_POLL_WAIT_S))
+        return tenant.alerts(cursor=cursor, view=view)
+
+    def _detect(self, tenant: Tenant, body: dict) -> dict:
+        """One batch sweep over the tenant's ring window.
+
+        Defaults to the tenant's own detectors × metrics; the body may
+        override either (``{"detectors": "ewma", "metrics": ["mem"]}``)
+        to run ad-hoc stacks — including batch-only detectors the
+        incremental path cannot host — against the live window.  The
+        sweep runs on the server-wide shared pool, outside the tenant
+        lock, so ingest continues while it computes.
+        """
+        unknown = set(body) - {"detectors", "metrics"}
+        if unknown:
+            raise ServeError(
+                f"unknown detect key(s) {sorted(unknown)}; expected "
+                f"['detectors', 'metrics']")
+        detectors = body.get("detectors", tenant.spec.detectors)
+        if isinstance(detectors, (list, tuple)):
+            detectors = "+".join(detectors)
+        metrics = body.get("metrics", tenant.spec.metrics)
+        if isinstance(metrics, str):
+            metrics = (metrics,)
+        plans, _ = compile_plans(detectors, tuple(metrics))
+        snapshot = tenant.snapshot()   # copy — sweep needs no tenant lock
+        results = self.executor.run_many(
+            snapshot, [(plan.detector, plan.metric) for plan in plans])
+        return {"tenant": tenant.spec.tenant_id,
+                "num_samples": snapshot.num_samples,
+                "detections": [
+                    {"label": plan.label, "name": plan.name,
+                     "metric": plan.metric,
+                     "events": [e.to_dict() for e in result.events()],
+                     "flagged_machines": sorted(result.flagged_machines())}
+                    for plan, result in zip(plans, results)]}
+
+
+__all__ = [
+    "DetectionServer",
+    "MAX_POLL_WAIT_S",
+]

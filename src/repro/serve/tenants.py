@@ -1,0 +1,364 @@
+"""Tenant state for the detection service: spec, live state, registry.
+
+One **tenant** is one independent monitored cluster: its own machine
+population, detector stack, sliding-window ring and alert history.  The
+server holds many of them behind a :class:`TenantRegistry`; requests for
+different tenants run concurrently, requests for the same tenant are
+serialized by its condition lock — exactly the ingest-ordering guarantee
+a single :class:`~repro.stream.monitor.OnlineMonitor` needs.
+
+A tenant's ingest path is deliberately the same code the local streaming
+pipeline runs (``monitor.catch_up(chunk)`` then
+``engine.run_incremental(state, chunk)`` per compiled plan, with plans
+from the same :func:`~repro.pipeline.core.compile_plans`), so a scenario
+fed over the wire in any batching produces bit-identical detector events
+and threshold alerts to ``Pipeline(mode="streaming")`` on the same spec —
+the golden tests pin this.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.analysis.engine import DetectionEngine
+from repro.config import METRICS
+from repro.errors import ServeError, UnknownTenantError
+from repro.metrics.store import MetricStore
+from repro.pipeline.core import compile_plans
+from repro.pipeline.detectors import canonical_detector_spec, default_detector_spec
+from repro.pipeline.spec import StreamingOptions
+from repro.serve.wire import payload_to_block
+from repro.stream.alerts import AlertManager, AlertPolicy
+from repro.stream.monitor import MonitorConfig, OnlineMonitor
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Validated declarative description of one tenant.
+
+    The wire form (``POST /tenants``) is the PR-3 pipeline spec dialect
+    restricted to what a resident stream can honour: machines + detectors
+    + detection metrics + streaming options.  Batch-only keys (``source``,
+    ``sinks``, ``execution``) are rejected by name so a pasted pipeline
+    spec fails with an actionable message instead of silently dropping
+    keys.
+    """
+
+    tenant_id: str
+    machines: tuple[str, ...]
+    detectors: str
+    metrics: tuple[str, ...]
+    streaming: StreamingOptions
+
+    @classmethod
+    def from_dict(cls, raw: dict, *, default_id: str) -> "TenantSpec":
+        if not isinstance(raw, dict):
+            raise ServeError(f"tenant spec must be an object, got {raw!r}")
+        known = {"id", "machines", "detectors", "metrics", "streaming", "mode"}
+        unknown = set(raw) - known
+        if unknown:
+            pipeline_only = unknown & {"source", "sinks", "execution"}
+            if pipeline_only:
+                raise ServeError(
+                    f"tenant spec key(s) {sorted(pipeline_only)} are "
+                    f"batch-pipeline options; a tenant is its own source "
+                    f"(frames arrive over the wire) and has no sinks or "
+                    f"sharded batch execution — expected keys {sorted(known)}")
+            raise ServeError(
+                f"unknown tenant spec key(s) {sorted(unknown)}; expected "
+                f"{sorted(known)}")
+        mode = raw.get("mode", "streaming")
+        if mode != "streaming":
+            raise ServeError(
+                f"tenant mode must be 'streaming' (a resident tenant is "
+                f"always a stream), got {mode!r}")
+        machines = raw.get("machines")
+        if (not isinstance(machines, (list, tuple)) or not machines
+                or not all(isinstance(m, str) and m for m in machines)):
+            raise ServeError(
+                "tenant spec needs 'machines': a non-empty list of "
+                "machine-id strings")
+        if len(set(machines)) != len(machines):
+            raise ServeError("tenant machine ids must be unique")
+        detectors = raw.get("detectors")
+        if detectors is None:
+            detectors = default_detector_spec()
+        if isinstance(detectors, (list, tuple)):
+            detectors = "+".join(detectors)
+        if not isinstance(detectors, str):
+            raise ServeError(
+                f"tenant detectors must be a composed spec string, got "
+                f"{detectors!r}")
+        detectors = canonical_detector_spec(detectors)
+        metrics = raw.get("metrics", ("cpu",))
+        if isinstance(metrics, str):
+            metrics = (metrics,)
+        metrics = tuple(metrics)
+        bad = [m for m in metrics if m not in METRICS]
+        if not metrics or bad:
+            raise ServeError(
+                f"tenant metrics must be drawn from {list(METRICS)}, got "
+                f"{list(metrics)}")
+        streaming = raw.get("streaming")
+        streaming = (StreamingOptions.from_dict(streaming)
+                     if streaming is not None else StreamingOptions())
+        if streaming.cadence != "catch-up":
+            raise ServeError(
+                f"tenant streaming cadence must be 'catch-up' (sample "
+                f"cadence replays a trace bundle, which never crosses the "
+                f"wire), got {streaming.cadence!r}")
+        if streaming.chunk is not None:
+            raise ServeError(
+                "tenant streaming must not set 'chunk': the server folds "
+                "each ingest request as one chunk, so chunking is the "
+                "client's batch size (and cannot change detector verdicts)")
+        tenant_id = raw.get("id", default_id)
+        if not isinstance(tenant_id, str) or not tenant_id or "/" in tenant_id:
+            raise ServeError(
+                f"tenant id must be a non-empty string without '/', got "
+                f"{tenant_id!r}")
+        return cls(tenant_id=tenant_id, machines=tuple(machines),
+                   detectors=detectors, metrics=metrics, streaming=streaming)
+
+    def to_dict(self) -> dict:
+        return {"id": self.tenant_id, "machines": list(self.machines),
+                "detectors": self.detectors, "metrics": list(self.metrics),
+                "streaming": self.streaming.to_dict()}
+
+
+class Tenant:
+    """Live detection state of one registered tenant.
+
+    All mutable state is guarded by ``self.cond`` (a condition around one
+    lock): ingest, queries and snapshots take it, and ingest notifies it
+    so long-poll alert subscribers wake the moment their cursor is
+    satisfiable.
+    """
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.plans, _ = compile_plans(spec.detectors, spec.metrics)
+        config = MonitorConfig(utilisation_threshold=spec.streaming.threshold)
+        self.monitor = OnlineMonitor(
+            spec.machines, config=config,
+            window_samples=spec.streaming.window_samples)
+        self.engine = DetectionEngine(detectors={})
+        self.states = [self.engine.stream(list(spec.machines), plan.detector,
+                                          metric=plan.metric)
+                       for plan in self.plans]
+        # min_severity="info": the service's raw log must carry every
+        # monitor alert (golden-comparable with a local run); operators
+        # filter via the managed/pending views instead.
+        self.manager = AlertManager(policy=AlertPolicy(min_severity="info"))
+        #: Every monitor alert in arrival order; entry i has seq i + 1.
+        #: The default alert subscription cursor walks this log, so
+        #: delivery is gap-free and duplicate-free by construction.
+        self.alert_log: list = []
+        self.cond = threading.Condition()
+        self.closed = False
+        self.num_samples = 0
+
+    # -- ingest ----------------------------------------------------------------
+    def ingest(self, payload: dict) -> dict:
+        """Fold one frames payload into the ring + every detector state."""
+        timestamps, block = payload_to_block(payload,
+                                             len(self.spec.machines))
+        with self.cond:
+            self._check_open()
+            chunk = MetricStore.from_dense(list(self.spec.machines),
+                                           timestamps, METRICS, block)
+            # Same order as Pipeline._run_streaming: monitor first (ring
+            # append + threshold/regime/thrashing), then detector states.
+            new_alerts = self.monitor.catch_up(chunk)
+            for state in self.states:
+                self.engine.run_incremental(state, chunk)
+            base = len(self.alert_log)
+            self.alert_log.extend(new_alerts)
+            self.manager.ingest_many(new_alerts)
+            self.num_samples += chunk.num_samples
+            self.cond.notify_all()
+            return {"tenant": self.spec.tenant_id,
+                    "ingested": chunk.num_samples,
+                    "total_samples": self.num_samples,
+                    "cursor": len(self.alert_log),
+                    "alerts": [{"seq": base + i + 1, "alert": a.to_dict()}
+                               for i, a in enumerate(new_alerts)]}
+
+    # -- queries ---------------------------------------------------------------
+    def alerts(self, *, cursor: int = 0, view: str = "log") -> dict:
+        """Alerts after ``cursor``, in one of three views.
+
+        ``log``
+            the raw monitor-alert log (every alert, exactly as a local
+            streaming run would collect them) — entry seqs are dense, so
+            a subscriber resuming from its last seen seq never misses or
+            re-reads one;
+        ``managed``
+            the :class:`AlertManager` history (deduplicated records with
+            manager seqs) via :meth:`AlertManager.alerts_since`;
+        ``pending``
+            the manager's unacknowledged records, most urgent first
+            (cursor ignored).
+        """
+        if cursor < 0:
+            raise ServeError(f"alert cursor must be non-negative, got {cursor}")
+        with self.cond:
+            if view == "log":
+                entries = [{"seq": i + 1, "alert": a.to_dict()}
+                           for i, a in enumerate(
+                               self.alert_log[cursor:], start=cursor)]
+                new_cursor = len(self.alert_log)
+            elif view == "managed":
+                records = self.manager.alerts_since(cursor)
+                entries = [r.to_dict() for r in records]
+                new_cursor = (records[-1].seq if records
+                              else max(cursor, self.manager.last_seq))
+            elif view == "pending":
+                entries = [r.to_dict() for r in self.manager.pending()]
+                new_cursor = cursor
+            else:
+                raise ServeError(
+                    f"unknown alert view {view!r}; expected one of "
+                    f"['log', 'managed', 'pending']")
+            return {"tenant": self.spec.tenant_id, "view": view,
+                    "cursor": new_cursor, "alerts": entries,
+                    "closed": self.closed}
+
+    def wait_for_alerts(self, cursor: int, timeout_s: float) -> None:
+        """Block until the log grows past ``cursor``, closes, or times out."""
+        deadline = (threading.TIMEOUT_MAX if timeout_s is None
+                    else timeout_s)
+        with self.cond:
+            self.cond.wait_for(
+                lambda: self.closed or len(self.alert_log) > cursor,
+                timeout=deadline)
+
+    def events(self) -> dict:
+        """Every plan's accumulated detector events (batch-identical)."""
+        with self.cond:
+            detections = [
+                {"label": plan.label, "name": plan.name,
+                 "metric": plan.metric,
+                 "events": [e.to_dict() for e in state.events()]}
+                for plan, state in zip(self.plans, self.states)]
+        return {"tenant": self.spec.tenant_id, "detections": detections}
+
+    def summary(self) -> dict:
+        with self.cond:
+            flagged: set[str] = set()
+            for state in self.states:
+                flagged |= state.flagged_machines()
+            info = {"tenant": self.spec.tenant_id,
+                    "machines": len(self.spec.machines),
+                    "detectors": [plan.label for plan in self.plans],
+                    "metrics": list(self.spec.metrics),
+                    "num_samples": self.num_samples,
+                    "window_samples": self.spec.streaming.window_samples,
+                    "num_alerts": len(self.alert_log),
+                    "alerts_by_kind": self.manager.digest(),
+                    "num_events": sum(
+                        len(state.events()) for state in self.states),
+                    "flagged_machines": sorted(flagged),
+                    "closed": self.closed}
+            if self.num_samples:
+                info["latest_timestamp"] = self.monitor.store.latest_timestamp
+            return info
+
+    def snapshot(self) -> MetricStore:
+        """Independent copy of the ring window (for batch ``/detect``)."""
+        with self.cond:
+            self._check_open()
+            if not self.num_samples:
+                raise ServeError(
+                    f"tenant {self.spec.tenant_id!r} has no samples yet; "
+                    f"ingest frames before requesting a batch detect")
+            return self.monitor.store.snapshot_store()
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Mark the tenant dead and wake every long-poll subscriber."""
+        with self.cond:
+            self.closed = True
+            self.cond.notify_all()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ServeError(
+                f"tenant {self.spec.tenant_id!r} is closed (deleted or "
+                f"server draining)")
+
+
+class TenantRegistry:
+    """Thread-safe id → :class:`Tenant` map with a capacity bound.
+
+    The registry lock only guards the map itself — per-tenant work happens
+    under each tenant's own condition, so ingest for different tenants
+    never contends here beyond the dictionary lookup.
+    """
+
+    def __init__(self, *, max_tenants: int = 64) -> None:
+        if max_tenants < 1:
+            raise ServeError(
+                f"max_tenants must be at least 1, got {max_tenants}")
+        self.max_tenants = max_tenants
+        self._lock = threading.Lock()
+        self._tenants: dict[str, Tenant] = {}
+        self._next_id = 1
+        self._closed = False
+
+    def create(self, raw_spec: dict) -> Tenant:
+        with self._lock:
+            if self._closed:
+                raise ServeError("server is draining; no new tenants")
+            spec = TenantSpec.from_dict(raw_spec,
+                                        default_id=f"t{self._next_id}")
+            if spec.tenant_id in self._tenants:
+                raise ServeError(
+                    f"tenant {spec.tenant_id!r} already exists; delete it "
+                    f"first or pick another id")
+            if len(self._tenants) >= self.max_tenants:
+                raise ServeError(
+                    f"tenant capacity {self.max_tenants} reached")
+            tenant = Tenant(spec)
+            self._tenants[spec.tenant_id] = tenant
+            self._next_id += 1
+            return tenant
+
+    def get(self, tenant_id: str) -> Tenant:
+        with self._lock:
+            tenant = self._tenants.get(tenant_id)
+            if tenant is None:
+                raise UnknownTenantError(tenant_id, list(self._tenants))
+            return tenant
+
+    def delete(self, tenant_id: str) -> Tenant:
+        with self._lock:
+            tenant = self._tenants.pop(tenant_id, None)
+            if tenant is None:
+                raise UnknownTenantError(tenant_id, list(self._tenants))
+        tenant.close()
+        return tenant
+
+    def ids(self) -> "list[str]":
+        with self._lock:
+            return sorted(self._tenants)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def close_all(self) -> None:
+        """Drain: refuse new tenants, close (and wake) every live one."""
+        with self._lock:
+            self._closed = True
+            tenants = list(self._tenants.values())
+        for tenant in tenants:
+            tenant.close()
+
+
+__all__ = [
+    "Tenant",
+    "TenantRegistry",
+    "TenantSpec",
+]

@@ -29,6 +29,12 @@ class ManagedAlert:
     #: Timestamp of the most recent occurrence.
     last_seen: float = 0.0
     acknowledged: bool = False
+    #: Monotonically increasing delivery sequence id, assigned by the
+    #: manager when the record enters the history (1, 2, 3, ... with no
+    #: gaps).  Occurrence bumps keep the original seq — a cursor-based
+    #: subscriber (:meth:`AlertManager.alerts_since`) therefore never sees
+    #: the same record twice and never skips one.
+    seq: int = 0
 
     @property
     def key(self) -> tuple[str, str]:
@@ -37,6 +43,25 @@ class ManagedAlert:
     @property
     def severity_rank(self) -> int:
         return SEVERITY_ORDER.get(self.alert.severity, 0)
+
+    def to_dict(self) -> dict:
+        """The canonical JSON encoding (the detection service's wire form)."""
+        return {"alert": self.alert.to_dict(), "seq": self.seq,
+                "occurrences": self.occurrences, "last_seen": self.last_seen,
+                "acknowledged": self.acknowledged}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ManagedAlert":
+        """Rebuild a managed record from its :meth:`to_dict` encoding."""
+        try:
+            return cls(alert=MonitorAlert.from_dict(raw["alert"]),
+                       occurrences=int(raw.get("occurrences", 1)),
+                       last_seen=float(raw.get("last_seen", 0.0)),
+                       acknowledged=bool(raw.get("acknowledged", False)),
+                       seq=int(raw.get("seq", 0)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SeriesError(
+                f"malformed managed-alert dict {raw!r}: {exc}") from None
 
 
 @dataclass
@@ -72,6 +97,10 @@ class AlertManager:
     history: list[ManagedAlert] = field(default_factory=list)
     #: Alerts dropped because they fell below ``min_severity``.
     suppressed_count: int = 0
+    #: Sequence id handed to the most recent history record; the next new
+    #: record gets ``last_seq + 1``, so history seqs are 1..last_seq with
+    #: no gaps.
+    last_seq: int = 0
 
     def __post_init__(self) -> None:
         self.policy.validate()
@@ -97,8 +126,9 @@ class AlertManager:
                 self.active[key] = updated
                 return updated
 
+        self.last_seq += 1
         managed = ManagedAlert(alert=alert, occurrences=1,
-                               last_seen=alert.timestamp)
+                               last_seen=alert.timestamp, seq=self.last_seq)
         self.active[key] = managed
         self.history.append(managed)
         self._enforce_capacity()
@@ -159,6 +189,29 @@ class AlertManager:
                and (severity is None or managed.alert.severity == severity)]
         return sorted(out, key=lambda m: (-m.severity_rank, -m.last_seen,
                                           m.alert.subject))
+
+    def alerts_since(self, cursor: int) -> list[ManagedAlert]:
+        """History records with ``seq > cursor``, in delivery order.
+
+        The cursor contract for subscribers: start from 0, remember the
+        highest ``seq`` seen, pass it back on the next call.  Because seqs
+        are assigned densely at ingest time and occurrence bumps keep the
+        original record's seq, a resumed subscriber sees every record
+        exactly once — no duplicates, no gaps.
+        """
+        if cursor < 0:
+            raise SeriesError(f"alert cursor must be non-negative, got {cursor}")
+        if cursor >= self.last_seq:
+            return []
+        # History is append-ordered by seq; binary-search the resume point.
+        lo, hi = 0, len(self.history)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.history[mid].seq <= cursor:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.history[lo:]
 
     def digest(self) -> dict[str, int]:
         """Counts by kind over the full (deduplicated) history."""

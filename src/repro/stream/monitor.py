@@ -52,6 +52,25 @@ class MonitorAlert:
     detail: str
     severity: str = "warning"
 
+    def to_dict(self) -> dict:
+        """The canonical JSON encoding (the detection service's wire form)."""
+        return {"timestamp": self.timestamp, "kind": self.kind,
+                "subject": self.subject, "detail": self.detail,
+                "severity": self.severity}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "MonitorAlert":
+        """Rebuild an alert from its :meth:`to_dict` encoding (round-trips
+        bit-identically — JSON float text parses back to the same double)."""
+        try:
+            return cls(timestamp=float(raw["timestamp"]),
+                       kind=str(raw["kind"]), subject=str(raw["subject"]),
+                       detail=str(raw["detail"]),
+                       severity=str(raw.get("severity", "warning")))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SeriesError(
+                f"malformed monitor-alert dict {raw!r}: {exc}") from None
+
 
 @dataclass
 class MonitorConfig:

@@ -1,0 +1,141 @@
+"""Golden suite: the wire is invisible — server verdicts == local pipeline.
+
+A tenant fed an offline scenario over HTTP, in any frame batching, must
+produce **bit-identical** alerts and detector events to a local
+``Pipeline(mode="streaming")`` run of the same spec with the matching
+chunk size (detector events are furthermore chunk-invariant, so they are
+also pinned identical *across* batch sizes).  JSON's shortest-repr float
+encoding round-trips every IEEE double exactly, so "bit-identical" here
+is literal equality of the decoded dicts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.pipeline import Pipeline, StreamingOptions, default_detector_spec
+from repro.serve import DetectionServer, ServeClient
+from repro.trace.synthetic import generate_trace
+
+from tests.conftest import fast_config
+
+SEED = 808
+SCENARIOS = ("thrashing", "machine-failure+network-storm")
+BATCH_SIZES = (1, 16)
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    return {scenario: generate_trace(fast_config(scenario, seed=SEED))
+            for scenario in SCENARIOS}
+
+
+@pytest.fixture(scope="module")
+def server():
+    with DetectionServer(port=0, backend="threads", workers=2) as srv:
+        yield srv
+
+
+def local_streaming_run(bundle, chunk: int):
+    """The reference: a local streaming pipeline at the given chunk size."""
+    result = Pipeline.from_bundle(
+        bundle, mode="streaming", sinks=(),
+        streaming=StreamingOptions(chunk=chunk)).run()
+    return {
+        "alerts": [alert.to_dict() for alert in result.alerts],
+        "events": {run.label: [e.to_dict() for e in run.result.events()]
+                   for run in result.detections},
+    }
+
+
+def wire_run(server, bundle, tenant_id: str, batch_size: int):
+    """The same spec × scenario, fed frame batches through the server."""
+    store = bundle.usage
+    with ServeClient(server.host, server.port) as client:
+        client.create_tenant({"id": tenant_id,
+                              "machines": store.machine_ids,
+                              "detectors": default_detector_spec()})
+        client.stream_store(tenant_id, store, batch_size=batch_size)
+        alerts = [entry["alert"]
+                  for entry in client.alerts(tenant_id)["alerts"]]
+        events = {d["label"]: d["events"]
+                  for d in client.events(tenant_id)["detections"]}
+        client.delete_tenant(tenant_id)
+    return {"alerts": alerts, "events": events}
+
+
+class TestWireEqualsLocal:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_alerts_and_events_bit_identical(self, scenario, batch_size,
+                                             bundles, server):
+        bundle = bundles[scenario]
+        local = local_streaming_run(bundle, batch_size)
+        wire = wire_run(server, bundle, f"g-{scenario}-{batch_size}",
+                        batch_size)
+        assert wire["alerts"] == local["alerts"], (
+            f"{scenario}@batch={batch_size}: wire alerts diverged from the "
+            f"local streaming pipeline")
+        assert wire["events"] == local["events"], (
+            f"{scenario}@batch={batch_size}: wire events diverged from the "
+            f"local streaming pipeline")
+        # Every registered default detector must actually be covered.
+        assert set(wire["events"]) == set(
+            default_detector_spec().split("+"))
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_events_invariant_across_batch_sizes(self, scenario, bundles,
+                                                 server):
+        """Request batching is pure transport: detector verdicts identical."""
+        bundle = bundles[scenario]
+        runs = [wire_run(server, bundle, f"inv-{scenario}-{size}", size)
+                for size in BATCH_SIZES]
+        for other in runs[1:]:
+            assert other["events"] == runs[0]["events"], (
+                f"{scenario}: batch size changed detector events")
+
+
+class TestConcurrentTenantIsolation:
+    def test_interleaved_ingest_matches_serial_local_runs(self, bundles,
+                                                          server):
+        """N tenants fed from N threads: each verdict == its serial run.
+
+        Tenants get different scenarios and batch sizes, so any
+        cross-tenant state bleed (shared ring, shared detector state,
+        mixed-up alert logs) breaks at least one golden comparison.
+        """
+        jobs = [(f"iso-{scenario}-{size}", scenario, size)
+                for scenario in SCENARIOS for size in BATCH_SIZES]
+        errors: list = []
+
+        def feed(tenant_id: str, scenario: str, batch_size: int) -> None:
+            try:
+                store = bundles[scenario].usage
+                with ServeClient(server.host, server.port) as client:
+                    client.create_tenant({"id": tenant_id,
+                                          "machines": store.machine_ids})
+                    client.stream_store(tenant_id, store,
+                                        batch_size=batch_size)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append((tenant_id, exc))
+
+        threads = [threading.Thread(target=feed, args=job) for job in jobs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        with ServeClient(server.host, server.port) as client:
+            for tenant_id, scenario, batch_size in jobs:
+                local = local_streaming_run(bundles[scenario], batch_size)
+                alerts = [entry["alert"]
+                          for entry in client.alerts(tenant_id)["alerts"]]
+                events = {d["label"]: d["events"]
+                          for d in client.events(tenant_id)["detections"]}
+                assert alerts == local["alerts"], (
+                    f"{tenant_id}: concurrent ingest changed alerts")
+                assert events == local["events"], (
+                    f"{tenant_id}: concurrent ingest changed events")
+                client.delete_tenant(tenant_id)

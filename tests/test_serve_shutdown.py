@@ -1,0 +1,119 @@
+"""Graceful-shutdown regression tests for ``repro serve``.
+
+The dangerous leak is the **process** backend: ``ProcessPoolExecutor``
+workers are non-daemon processes, so a server that fails to shut its
+shared pool down leaves children that keep the interpreter (and CI) alive
+past SIGTERM.  The test is therefore the real thing — a ``repro serve``
+subprocess on the process backend, exercised over HTTP so workers
+actually spawn, then SIGTERMed: a clean exit code 0 within the timeout
+*is* the no-leaked-workers proof, because leaked workers would hang the
+child's interpreter exit.  No fixed ports (``--port 0``; the bound port
+is read from the startup line) and no sleeps (readiness is that line).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeClient
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def start_serve(*extra_args: str) -> "tuple[subprocess.Popen, int]":
+    """Launch ``repro serve --port 0 ...``; returns (process, bound port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    line = proc.stdout.readline()
+    if "serving on" not in line:
+        proc.kill()
+        rest = proc.stdout.read()
+        raise AssertionError(f"server failed to start: {line!r}{rest!r}")
+    port = int(line.split("serving on ")[1].split()[0].rsplit(":", 1)[1])
+    return proc, port
+
+
+def finish(proc: subprocess.Popen, timeout: float = 30.0) -> str:
+    """Wait for exit (killing on overrun) and return remaining output."""
+    try:
+        output, _ = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+        raise AssertionError(
+            "serve did not exit after SIGTERM — leaked worker processes "
+            "keep a non-daemon pool (and the interpreter) alive")
+    assert proc.returncode == 0, f"serve exited {proc.returncode}: {output!r}"
+    return output
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_idle_server_drains_on_signal(signum):
+    proc, _port = start_serve("--backend", "threads", "--workers", "2")
+    proc.send_signal(signum)
+    output = finish(proc)
+    assert "draining" in output
+    assert "shutdown complete" in output
+
+
+def test_sigterm_reaps_process_pool_workers():
+    """The leak regression: spawn real pool workers, then SIGTERM."""
+    proc, port = start_serve("--backend", "process", "--workers", "2")
+    rng = np.random.default_rng(0)
+    with ServeClient("127.0.0.1", port, timeout=60.0) as client:
+        client.create_tenant({"id": "t", "machines": ["a", "b", "c", "d"]})
+        ts = 60.0 * np.arange(1, 41, dtype=np.float64)
+        frames = rng.uniform(5.0, 95.0, size=(40, 4, 3))
+        client.ingest_frames("t", ts, frames)
+        # /detect runs on the shared persistent pool → workers fork here.
+        body = client.detect("t", timeout=60.0)
+        assert body["num_samples"] == 40
+    proc.send_signal(signal.SIGTERM)
+    output = finish(proc)
+    assert "shutdown complete" in output
+
+
+def test_inflight_request_finishes_during_drain():
+    """A long-poll parked at SIGTERM time is woken and answered, not cut."""
+    proc, port = start_serve("--backend", "threads", "--workers", "2")
+    import threading
+
+    with ServeClient("127.0.0.1", port) as client:
+        client.create_tenant({"id": "t", "machines": ["a", "b"]})
+    result: dict = {}
+    connected = threading.Event()
+
+    def poll():
+        with ServeClient("127.0.0.1", port, timeout=60.0) as sub:
+            try:
+                # First round trip establishes the keep-alive connection;
+                # its handler thread then serves the long-poll even while
+                # the accept loop is already draining.
+                sub.health()
+                connected.set()
+                result.update(sub.alerts("t", cursor=0, wait=25.0))
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                result["error"] = exc
+                connected.set()
+
+    thread = threading.Thread(target=poll)
+    thread.start()
+    assert connected.wait(timeout=20.0), "subscriber never connected"
+    proc.send_signal(signal.SIGTERM)
+    output = finish(proc)
+    thread.join(timeout=30.0)
+    assert not thread.is_alive()
+    assert "error" not in result, f"drain cut the long-poll: {result['error']}"
+    assert result["closed"] is True
+    assert "shutdown complete" in output

@@ -112,6 +112,68 @@ class TestOperatorActions:
         assert len(manager.history) == 2
 
 
+class TestSequenceIds:
+    """The cursor contract: dense seqs, no re-delivery, no gaps."""
+
+    def test_seqs_are_dense_from_one(self):
+        manager = AlertManager()
+        for index in range(5):
+            manager.ingest(make_alert(subject=f"m_{index:04d}"))
+        assert [m.seq for m in manager.history] == [1, 2, 3, 4, 5]
+        assert manager.last_seq == 5
+
+    def test_dedup_bump_keeps_original_seq(self):
+        manager = AlertManager(policy=AlertPolicy(dedup_window_s=600.0))
+        first = manager.ingest(make_alert(timestamp=0.0))
+        bumped = manager.ingest(make_alert(timestamp=60.0))
+        assert bumped.occurrences == 2
+        assert bumped.seq == first.seq == 1
+        assert manager.last_seq == 1
+
+    def test_alerts_since_resumes_without_redelivery_or_gaps(self):
+        manager = AlertManager(policy=AlertPolicy(dedup_window_s=100.0))
+        delivered: list[int] = []
+        cursor = 0
+        for round_no in range(4):
+            # Each round: two fresh subjects plus a duplicate of one of
+            # them (inside the window, so it only bumps occurrences).
+            base = round_no * 1000.0
+            manager.ingest(make_alert(timestamp=base, subject=f"a{round_no}"))
+            manager.ingest(make_alert(timestamp=base + 1,
+                                      subject=f"b{round_no}"))
+            manager.ingest(make_alert(timestamp=base + 2,
+                                      subject=f"a{round_no}"))
+            fresh = manager.alerts_since(cursor)
+            seqs = [m.seq for m in fresh]
+            assert not set(seqs) & set(delivered), "re-delivered a record"
+            delivered.extend(seqs)
+            cursor = max(seqs)
+        assert delivered == list(range(1, manager.last_seq + 1)), (
+            "delivery missed a seq or broke ordering")
+        assert manager.alerts_since(cursor) == []
+
+    def test_alerts_since_rejects_negative_cursor(self):
+        with pytest.raises(SeriesError):
+            AlertManager().alerts_since(-1)
+
+    def test_suppressed_alerts_consume_no_seq(self):
+        manager = AlertManager(policy=AlertPolicy(min_severity="critical"))
+        manager.ingest(make_alert(severity="warning"))
+        managed = manager.ingest(make_alert(severity="critical", subject="x"))
+        assert managed.seq == 1
+
+    def test_managed_alert_round_trips_through_dict(self):
+        manager = AlertManager(policy=AlertPolicy(dedup_window_s=600.0))
+        manager.ingest(make_alert(timestamp=0.0))
+        manager.ingest(make_alert(timestamp=60.0))
+        record = manager.active[("threshold", "m_0001")]
+        assert ManagedAlert.from_dict(record.to_dict()) == record
+
+    def test_malformed_managed_dict_rejected(self):
+        with pytest.raises(SeriesError):
+            ManagedAlert.from_dict({"seq": 1})
+
+
 class TestQueries:
     def test_pending_sorted_by_severity(self):
         manager = AlertManager()
