@@ -1,0 +1,103 @@
+"""Benchmark: what durability costs, and what recovery buys.
+
+Two measurements on the same single-tenant ingest workload:
+
+* **journal overhead** — frame-batch ingest throughput of a durable
+  tenant (WAL append + periodic snapshot on every batch) against an
+  in-memory one.  The journal writes small binary records on the ingest
+  path while detection dominates, so the contract asserted here is that
+  durability costs at most 20% of throughput;
+* **recovery time** — how long ``TenantRegistry.recover()`` takes to
+  bring the tenant back (snapshot restore + journal-tail replay), and
+  that the recovered tenant's summary is identical to the live one's.
+
+Results land in ``BENCH_results.json`` via ``record_result``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import record_result, report, synthetic_cluster
+from repro.serve.persist import ServerStateDir
+from repro.serve.tenants import TenantRegistry
+from repro.serve.wire import store_to_payloads
+
+NUM_MACHINES = 32
+NUM_SAMPLES = 160
+BATCH_SIZE = 8
+SNAPSHOT_EVERY = 64
+THRESHOLD = 85.0
+ROUNDS = 3
+#: Durable ingest must keep at least this fraction of in-memory throughput.
+MIN_THROUGHPUT_RATIO = 0.8
+
+
+def ingest_run(payloads, state_root=None):
+    """Feed the whole store into a fresh tenant; returns (seconds, tenant)."""
+    state = (None if state_root is None else
+             ServerStateDir(state_root, snapshot_every=SNAPSHOT_EVERY))
+    registry = TenantRegistry(state=state)
+    tenant = registry.create(
+        {"id": "bench", "machines": [f"machine_{i:04d}"
+                                     for i in range(NUM_MACHINES)],
+         "streaming": {"threshold": THRESHOLD}})
+    started = time.perf_counter()
+    for payload in payloads:
+        tenant.ingest(payload)
+    return time.perf_counter() - started, tenant
+
+
+def test_journaled_ingest_overhead_and_recovery(tmp_path):
+    store = synthetic_cluster(NUM_MACHINES, NUM_SAMPLES)
+    payloads = list(store_to_payloads(store, BATCH_SIZE))
+    total_samples = NUM_MACHINES * NUM_SAMPLES
+
+    memory_s = durable_s = float("inf")
+    live = None
+    state_root = None
+    for round_no in range(ROUNDS):
+        elapsed, _ = ingest_run(payloads)
+        memory_s = min(memory_s, elapsed)
+        root = tmp_path / f"state-{round_no}"
+        elapsed, tenant = ingest_run(payloads, state_root=root)
+        if elapsed < durable_s:
+            durable_s, live, state_root = elapsed, tenant, root
+
+    started = time.perf_counter()
+    recovered_registry = TenantRegistry(
+        state=ServerStateDir(state_root, snapshot_every=SNAPSHOT_EVERY))
+    assert recovered_registry.recover() == ["bench"]
+    recovery_s = time.perf_counter() - started
+    recovered = recovered_registry.get("bench")
+
+    # Durability must not have changed a single verdict — and recovery
+    # must reconstruct the identical tenant.
+    assert live.num_samples == NUM_SAMPLES
+    assert recovered.summary() == live.summary()
+    assert recovered.events() == live.events()
+
+    ratio = memory_s / durable_s
+    memory_tput = total_samples / memory_s
+    durable_tput = total_samples / durable_s
+    record_result("persist_journaled_ingest", wall_clock_s=durable_s,
+                  throughput=durable_tput,
+                  throughput_unit="machine-samples/s",
+                  in_memory_wall_clock_s=memory_s,
+                  throughput_ratio=ratio,
+                  num_machines=NUM_MACHINES, num_samples=NUM_SAMPLES,
+                  batch_size=BATCH_SIZE, snapshot_every=SNAPSHOT_EVERY)
+    record_result("persist_recovery", wall_clock_s=recovery_s,
+                  num_machines=NUM_MACHINES, num_samples=NUM_SAMPLES,
+                  snapshot_every=SNAPSHOT_EVERY)
+    report("Durable tenant: journal overhead and recovery", {
+        "in-memory ingest": f"{memory_tput:,.0f} machine-samples/s",
+        "journaled ingest": f"{durable_tput:,.0f} machine-samples/s",
+        "throughput kept": f"{ratio:.1%}",
+        "recovery": f"{recovery_s * 1e3:.1f} ms "
+                    f"({NUM_SAMPLES} samples, snapshot every "
+                    f"{SNAPSHOT_EVERY})",
+    })
+    assert ratio >= MIN_THROUGHPUT_RATIO, (
+        f"journaling kept only {ratio:.1%} of in-memory ingest throughput "
+        f"(budget: {MIN_THROUGHPUT_RATIO:.0%})")

@@ -68,7 +68,7 @@ from repro.analysis.engine import (
     EngineResult,
     merge_engine_results,
 )
-from repro.errors import SeriesError
+from repro.errors import ExecutionError, SeriesError
 from repro.metrics.store import MetricStore
 
 #: Supported execution backends, in increasing isolation order.
@@ -137,16 +137,35 @@ class ShardExecutor:
     """
 
     def __init__(self, backend: str = "serial", *,
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 unit_timeout_s: float | None = None,
+                 unit_retries: int = 1) -> None:
         if backend not in BACKENDS:
             raise SeriesError(
                 f"unknown shard backend {backend!r}; expected one of "
                 f"{list(BACKENDS)}")
         if workers is not None and workers < 1:
             raise SeriesError(f"workers must be at least 1, got {workers}")
+        if unit_timeout_s is not None and unit_timeout_s <= 0:
+            raise SeriesError(
+                f"unit_timeout_s must be positive, got {unit_timeout_s}")
+        if unit_retries < 0:
+            raise SeriesError(
+                f"unit_retries must be non-negative, got {unit_retries}")
         self.backend = backend
         self.workers = workers
+        #: Per-unit wall-clock budget for one pooled shard sweep; a hung
+        #: worker surfaces as an :class:`ExecutionError` naming the
+        #: detector and shard instead of wedging the sweep forever.
+        self.unit_timeout_s = unit_timeout_s
+        #: How many extra pooled passes a failed unit gets (worker crash,
+        #: broken pool) before the executor degrades it to an in-process
+        #: serial sweep.  Robustness only buys availability: the fallback
+        #: runs the same kernels on the same views, so verdicts stay
+        #: bit-identical however the work ended up executing.
+        self.unit_retries = unit_retries
         self._pool = None
+        self._started = False
 
     @property
     def effective_workers(self) -> int:
@@ -167,7 +186,13 @@ class ShardExecutor:
         start each).  After ``start()``, sweeps share one pool until
         :meth:`shutdown`; the ``serial`` backend has no pool and both
         calls are no-ops.  Idempotent; returns ``self`` for chaining.
+
+        A started executor also *self-heals*: when a pooled pass discards
+        a broken pool (worker crash, hung unit), the next
+        :meth:`_acquire_pool` recreates it transparently instead of
+        falling back to ephemeral pools forever.
         """
+        self._started = True
         if self._pool is not None or self.backend == "serial":
             return self
         if self.backend == "process":
@@ -187,6 +212,7 @@ class ShardExecutor:
         the process backend — every worker process is joined, so a caller
         draining at exit leaks nothing.
         """
+        self._started = False
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait)
@@ -204,6 +230,11 @@ class ShardExecutor:
         completes.  Ephemeral pools are sized to the task count; the
         persistent pool keeps its configured width.
         """
+        if self._pool is None and self._started and self.backend != "serial":
+            # Self-heal: the previous persistent pool broke and was
+            # discarded mid-pass; recreate it rather than degrading every
+            # future call to ephemeral pools.
+            self.start()
         if self._pool is not None:
             return self._pool, False
         max_workers = min(self.effective_workers, task_count)
@@ -281,36 +312,115 @@ class ShardExecutor:
             for shard, view in enumerate(views):
                 for unit, result in enumerate(_sweep_units(view, work)):
                     verdicts[(unit, shard)] = result
-        elif self.backend == "process":
-            pool, owned = self._acquire_pool(len(views))
-            try:
-                futures = {pool.submit(_sweep_units, view, work): shard
-                           for shard, view in enumerate(views)}
-                for future, shard in futures.items():
-                    for unit, result in enumerate(future.result()):
-                        verdicts[(unit, shard)] = result
-            finally:
-                if owned:
-                    pool.shutdown(wait=True)
-        else:  # threads
-            tasks = [(unit, shard, views[shard], detector, metric)
-                     for unit, (detector, metric) in enumerate(work)
-                     for shard in range(len(views))]
-            pool, owned = self._acquire_pool(len(tasks))
-            try:
-                futures = {
-                    pool.submit(_sweep, view, detector, metric): (unit, shard)
-                    for unit, shard, view, detector, metric in tasks}
-                for future, key in futures.items():
-                    verdicts[key] = future.result()
-            finally:
-                if owned:
-                    pool.shutdown(wait=True)
+        else:
+            pending = [(unit, shard) for unit in range(len(work))
+                       for shard in range(len(views))]
+            for _attempt in range(self.unit_retries + 1):
+                pending = self._pooled_pass(views, work, pending, verdicts)
+                if not pending:
+                    break
+            # Graceful degradation: units the pool could not deliver
+            # within the retry budget are swept serially in-process.
+            # Same kernels, same views, same merge — the verdicts are
+            # bit-identical; the pool failure only cost latency.
+            for unit, shard in pending:
+                detector, metric = work[unit]
+                verdicts[(unit, shard)] = _sweep(views[shard], detector,
+                                                 metric)
         return [
             merge_engine_results([verdicts[(unit, shard)]
                                   for shard in range(len(views))])
             for unit in range(len(work))
         ]
+
+    def _pooled_pass(self, views: list[MetricStore],
+                     work: tuple[tuple[object, str], ...],
+                     pending: list[tuple[int, int]],
+                     verdicts: "dict[tuple[int, int], EngineResult]",
+                     ) -> list[tuple[int, int]]:
+        """One pooled attempt at the ``pending`` ``(unit, shard)`` keys.
+
+        Fills ``verdicts`` for the keys that succeed and returns the keys
+        that failed *retryably* — a worker crash (``BrokenExecutor``) or
+        an injected infrastructure fault.  Any other exception is a
+        genuine detector error and propagates unchanged.  A per-unit
+        timeout is not retryable: a worker that hangs once will hang
+        again, so it surfaces immediately as :class:`ExecutionError`
+        naming the detector, metric and shard, and the (possibly wedged)
+        pool is discarded without joining its workers so the caller is
+        never blocked behind the hang.
+        """
+        from concurrent.futures import BrokenExecutor
+        from concurrent.futures import TimeoutError as PoolTimeout
+
+        from repro.testing.faults import InjectedFault
+
+        pool, owned = self._acquire_pool(len(pending))
+        failed: list[tuple[int, int]] = []
+        broken = False
+        try:
+            if self.backend == "process":
+                # One task per shard: each view crosses the process
+                # boundary exactly once however many units sweep it.
+                by_shard: dict[int, list[int]] = {}
+                for unit, shard in pending:
+                    by_shard.setdefault(shard, []).append(unit)
+                futures = {
+                    pool.submit(_sweep_units, views[shard],
+                                tuple(work[unit] for unit in units)):
+                        (shard, units)
+                    for shard, units in sorted(by_shard.items())}
+                for future, (shard, units) in futures.items():
+                    try:
+                        results = future.result(self.unit_timeout_s)
+                    except PoolTimeout:
+                        broken = True
+                        raise self._timeout_error(work[units[0]], shard,
+                                                  len(views)) from None
+                    except (BrokenExecutor, InjectedFault) as exc:
+                        broken = broken or isinstance(exc, BrokenExecutor)
+                        failed.extend((unit, shard) for unit in units)
+                    else:
+                        for unit, result in zip(units, results):
+                            verdicts[(unit, shard)] = result
+            else:  # threads
+                futures = {
+                    pool.submit(_sweep, views[shard], *work[unit]):
+                        (unit, shard)
+                    for unit, shard in pending}
+                for future, key in futures.items():
+                    try:
+                        verdicts[key] = future.result(self.unit_timeout_s)
+                    except PoolTimeout:
+                        broken = True
+                        raise self._timeout_error(work[key[0]], key[1],
+                                                  len(views)) from None
+                    except (BrokenExecutor, InjectedFault) as exc:
+                        broken = broken or isinstance(exc, BrokenExecutor)
+                        failed.append(key)
+        finally:
+            if owned:
+                pool.shutdown(wait=not broken, cancel_futures=broken)
+            elif broken:
+                # The persistent pool is unusable (dead workers or a
+                # hung unit holding a thread); discard it so the next
+                # _acquire_pool self-heals with a fresh pool.
+                if self._pool is pool:
+                    self._pool = None
+                pool.shutdown(wait=False, cancel_futures=True)
+        return failed
+
+    def _timeout_error(self, unit: tuple[object, str], shard: int,
+                       num_shards: int) -> ExecutionError:
+        detector, metric = unit
+        name = detector if isinstance(detector, str) \
+            else type(detector).__name__
+        return ExecutionError(
+            f"shard sweep exceeded its {self.unit_timeout_s:g}s budget: "
+            f"detector {name!r} on metric {metric!r}, shard "
+            f"{shard + 1}/{num_shards} ({self.backend} backend) — the "
+            f"worker is hung, the pool was discarded and will be "
+            f"recreated on the next call")
 
 
 __all__ = [

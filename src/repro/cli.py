@@ -455,10 +455,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from repro.serve import DetectionServer
+    from repro.serve.persist import DEFAULT_SNAPSHOT_EVERY
 
+    snapshot_every = (DEFAULT_SNAPSHOT_EVERY if args.snapshot_every is None
+                      else args.snapshot_every)
     server = DetectionServer(args.host, args.port, backend=args.backend,
                              workers=args.workers,
-                             max_tenants=args.max_tenants)
+                             max_tenants=args.max_tenants,
+                             state_dir=args.state_dir, fsync=args.fsync,
+                             snapshot_every=snapshot_every,
+                             detect_timeout_s=args.detect_timeout)
     stop = threading.Event()
     previous = {}
 
@@ -469,6 +475,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         previous[signum] = signal.signal(signum, _on_signal)
     try:
         server.start()
+        if args.state_dir is not None:
+            print(f"recovered {len(server.recovered)} tenant(s) from "
+                  f"{args.state_dir}", flush=True)
         print(f"serving on {server.host}:{server.port} "
               f"(backend={args.backend}, max_tenants={args.max_tenants})",
               flush=True)
@@ -655,6 +664,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "per core)")
     serve.add_argument("--max-tenants", type=int, default=64,
                        help="tenant capacity (default: 64)")
+    serve.add_argument("--state-dir", type=Path, default=None,
+                       help="directory for durable tenant state (spec + "
+                            "frame journal + snapshots); a restarted server "
+                            "recovers every tenant from it bit-identically")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync journal appends and snapshots (survives "
+                            "power loss, not just process crashes)")
+    serve.add_argument("--snapshot-every", type=int, default=None,
+                       help="ring-snapshot cadence in ingested samples "
+                            "(default: 1024); smaller means faster recovery, "
+                            "more write amplification")
+    serve.add_argument("--detect-timeout", type=float, default=120.0,
+                       help="per-unit wall-clock budget for batch /detect "
+                            "sweeps; a hung worker returns an error instead "
+                            "of wedging the request (default: 120s)")
     serve.set_defaults(func=cmd_serve)
 
     scenarios = sub.add_parser(

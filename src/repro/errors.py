@@ -75,6 +75,33 @@ class ServeError(BatchLensError):
     """
 
 
+class ServiceUnavailableError(ServeError):
+    """The service cannot take the request *right now* — retry later.
+
+    Raised while the server drains (shutdown in progress) or when its
+    shared worker pool is gone: unlike a plain :class:`ServeError` the
+    request itself was fine, so the HTTP layer maps this to **503** with
+    a ``Retry-After`` header instead of 400 — a well-behaved client backs
+    off and retries against the restarted server rather than treating the
+    drain as a hard failure or seeing a connection reset.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(message)
+
+
+class ExecutionError(BatchLensError):
+    """A sharded execution unit failed or exceeded its time budget.
+
+    Raised by :class:`~repro.analysis.shard.ShardExecutor` when a sweep
+    unit times out (a hung worker) or keeps failing after the retry
+    budget and serial degradation cannot apply; the message names the
+    detector, metric and shard so the failing unit is identifiable
+    without a debugger.
+    """
+
+
 class UnknownTenantError(ServeError):
     """A request named a tenant the registry does not hold.
 

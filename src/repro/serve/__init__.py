@@ -21,19 +21,34 @@ tenants.
         client.stream_store("prod", bundle.usage, batch_size=32)
         print(client.alerts("prod")["alerts"])
 
+Tenants are durable when the server is given a ``state_dir``
+(:mod:`repro.serve.persist`): every ingested frame batch is journaled
+before it is applied and the live pipeline state is snapshotted
+periodically, so a crashed-and-restarted ``repro serve --state-dir D``
+recovers every tenant **bit-identical** to a server that never crashed —
+same alerts (sequence ids included), same events, same detector states.
+
 The CLI front-end is ``repro serve`` (graceful SIGTERM/SIGINT drain);
 :mod:`repro.serve.client` is the programmatic agent side.
 """
 
 from repro.serve.client import ServeClient
+from repro.serve.persist import (
+    FrameJournal,
+    ServerStateDir,
+    TenantPersistence,
+)
 from repro.serve.server import DetectionServer
 from repro.serve.tenants import Tenant, TenantRegistry, TenantSpec
 from repro.serve.wire import block_to_payload, payload_to_block, store_to_payloads
 
 __all__ = [
     "DetectionServer",
+    "FrameJournal",
     "ServeClient",
+    "ServerStateDir",
     "Tenant",
+    "TenantPersistence",
     "TenantRegistry",
     "TenantSpec",
     "block_to_payload",

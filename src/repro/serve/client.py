@@ -13,16 +13,26 @@ The client is deliberately dependency-free and single-connection; it is
 **not** thread-safe — the soak benchmark gives each tenant thread its own
 instance, which also exercises the server's one-connection-per-client
 concurrency the way real agents would.
+
+Transient failures — a reaped keep-alive connection, a server mid-restart,
+a 503 from a draining server — are retried with bounded exponential
+backoff (``retries`` attempts beyond the first, delays ``backoff_s × 1,
+2, 4, ...``).  The sleep is injectable (``sleep=`` constructor hook), so
+tests drive the schedule with a fake clock and never block; when the
+budget is exhausted the client raises one clear
+:class:`~repro.errors.ServeError` naming the attempt count and the last
+underlying failure.
 """
 
 from __future__ import annotations
 
 import json
-from http.client import HTTPConnection, HTTPException
+import time
+from http.client import HTTPConnection, HTTPException, HTTPResponse
 
 import numpy as np
 
-from repro.errors import ServeError, UnknownTenantError
+from repro.errors import ServeError, ServiceUnavailableError, UnknownTenantError
 from repro.metrics.store import MetricStore
 from repro.serve.wire import block_to_payload, store_to_payloads
 
@@ -31,10 +41,19 @@ class ServeClient:
     """JSON-over-HTTP client for one :class:`DetectionServer`."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8377, *,
-                 timeout: float = 10.0) -> None:
+                 timeout: float = 10.0, retries: int = 3,
+                 backoff_s: float = 0.05, sleep=None) -> None:
+        if retries < 0:
+            raise ServeError(f"retries must be non-negative, got {retries}")
+        if backoff_s < 0:
+            raise ServeError(
+                f"backoff_s must be non-negative, got {backoff_s}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._sleep = time.sleep if sleep is None else sleep
         self._conn: HTTPConnection | None = None
 
     # -- transport -------------------------------------------------------------
@@ -51,30 +70,53 @@ class ServeClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        # One reconnect retry: the server may have reaped an idle
-        # keep-alive connection between calls.
-        for attempt in (0, 1):
-            if self._conn is None:
-                self._conn = self._connect(timeout)
-            else:
-                self._conn.timeout = timeout
-                if self._conn.sock is not None:
-                    self._conn.sock.settimeout(timeout)
+        # Bounded exponential backoff over transient failures: a reaped
+        # keep-alive connection, a refused connect while the server
+        # restarts, or a 503 from a draining server.  Attempt 0 runs
+        # immediately; attempt k sleeps backoff_s * 2**(k-1) first.
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self._sleep(self.backoff_s * (2 ** (attempt - 1)))
             try:
+                if self._conn is None:
+                    self._conn = self._connect(timeout)
+                else:
+                    self._conn.timeout = timeout
+                    if self._conn.sock is not None:
+                        self._conn.sock.settimeout(timeout)
                 self._conn.request(method, path, body=body, headers=headers)
                 response = self._conn.getresponse()
                 raw = response.read()
-                break
-            except (HTTPException, ConnectionError, BrokenPipeError, OSError):
+            except (HTTPException, ConnectionError, BrokenPipeError,
+                    OSError) as exc:
                 self.close()
-                if attempt:
-                    raise
+                last_error = exc
+                continue
+            if response.status == 503:
+                decoded = self._decode_body(method, path, raw)
+                header = response.getheader("Retry-After")
+                last_error = ServiceUnavailableError(
+                    decoded.get("error", "HTTP 503"),
+                    retry_after_s=float(header) if header else 1.0)
+                continue
+            return self._finish(method, path, response, raw)
+        raise ServeError(
+            f"{method} {path} against {self.host}:{self.port} failed after "
+            f"{self.retries + 1} attempt(s); last error: "
+            f"{last_error}") from last_error
+
+    def _decode_body(self, method: str, path: str, raw: bytes) -> dict:
         try:
-            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            return json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ServeError(
                 f"server returned non-JSON body for {method} {path}: "
                 f"{exc}") from None
+
+    def _finish(self, method: str, path: str, response: HTTPResponse,
+                raw: bytes) -> dict:
+        decoded = self._decode_body(method, path, raw)
         if response.status >= 400:
             message = decoded.get("error", f"HTTP {response.status}")
             if response.status == 404:
@@ -124,10 +166,48 @@ class ServeClient:
                              block_to_payload(timestamps, block))
 
     def stream_store(self, tenant_id: str, store: MetricStore, *,
-                     batch_size: int = 16) -> "list[dict]":
-        """Replay an offline store into a tenant, ``batch_size`` at a time."""
-        return [self._request("POST", f"/tenants/{tenant_id}/frames", payload)
-                for payload in store_to_payloads(store, batch_size)]
+                     batch_size: int = 16, start: int = 0) -> "list[dict]":
+        """Replay an offline store into a tenant, ``batch_size`` at a time.
+
+        ``start`` skips samples the tenant already holds — the resume
+        protocol after a server crash.  It must land on a batch boundary
+        of this replay (it always does when the crashed run used the same
+        ``batch_size``: the server applies each request atomically, so
+        its recovered ``num_samples`` is a whole number of batches).
+        Keeping the boundaries identical matters: assessments run once
+        per ingested chunk, so a resumed replay only matches a
+        never-crashed one bit-for-bit if it re-sends the same chunks.
+        """
+        responses: "list[dict]" = []
+        done = 0
+        for payload in store_to_payloads(store, batch_size):
+            size = len(payload["timestamps"])
+            if done + size <= start:
+                done += size
+                continue
+            if done < start:
+                raise ServeError(
+                    f"cannot resume stream at sample {start}: not a batch "
+                    f"boundary (batch {done}..{done + size} straddles it); "
+                    f"resume with the batch_size of the original run")
+            responses.append(
+                self._request("POST", f"/tenants/{tenant_id}/frames",
+                              payload))
+            done += size
+        return responses
+
+    def resume_stream_store(self, tenant_id: str, store: MetricStore, *,
+                            batch_size: int = 16) -> "list[dict]":
+        """Continue a crashed :meth:`stream_store` replay where it stopped.
+
+        Asks the (recovered) tenant how many samples it durably holds and
+        re-feeds only the remainder — samples the server journaled before
+        the crash are never sent twice, so alert sequence ids stay dense
+        and monotonic across the restart.
+        """
+        done = int(self.summary(tenant_id)["num_samples"])
+        return self.stream_store(tenant_id, store, batch_size=batch_size,
+                                 start=done)
 
     def alerts(self, tenant_id: str, *, cursor: int = 0,
                wait: float | None = None, view: str = "log") -> dict:

@@ -23,10 +23,18 @@ Routes (all bodies JSON)::
     POST   /tenants/<id>/detect        batch sweep over the ring window
 
 Error mapping: :class:`UnknownTenantError` → 404,
-any other :class:`BatchLensError` (bad spec, malformed payload, draining)
-→ 400, everything else → 500; the body is always ``{"error": message}``
-with the exception text verbatim — the same actionable messages the CLI
-prints at exit code 2.
+:class:`ServiceUnavailableError` (draining, worker pool gone) → **503
+with a ``Retry-After`` header** — transient conditions a client should
+retry, not argue with — any other :class:`BatchLensError` (bad spec,
+malformed payload) → 400, everything else → 500; the body is always
+``{"error": message}`` with the exception text verbatim — the same
+actionable messages the CLI prints at exit code 2.
+
+With ``state_dir`` set, every tenant is **durable**
+(:mod:`repro.serve.persist`): specs, a write-ahead frame journal and
+periodic snapshots live under the directory, recovery runs before the
+socket binds, and a SIGKILLed server restarted on the same state dir
+serves bit-identical alerts, events and seq ids.
 
 Heavy batch sweeps (``POST /detect``) multiplex one **shared**
 :class:`~repro.analysis.shard.ShardExecutor` pool across all tenants
@@ -42,8 +50,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.analysis.shard import ShardExecutor
-from repro.errors import BatchLensError, ServeError, UnknownTenantError
+from repro.errors import (
+    BatchLensError,
+    ServeError,
+    ServiceUnavailableError,
+    UnknownTenantError,
+)
 from repro.pipeline.core import compile_plans
+from repro.serve.persist import DEFAULT_SNAPSHOT_EVERY, ServerStateDir
 from repro.serve.tenants import Tenant, TenantRegistry
 
 #: Upper bound on one long-poll wait; clients re-arm with their cursor.
@@ -73,11 +87,14 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # the service is quiet; operators watch /health and alerts
 
     # -- plumbing --------------------------------------------------------------
-    def _send_json(self, status: int, body: dict) -> None:
+    def _send_json(self, status: int, body: dict,
+                   headers: dict | None = None) -> None:
         data = json.dumps(body).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -102,6 +119,7 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in split.path.split("/") if p]
         query = {key: values[-1]
                  for key, values in parse_qs(split.query).items()}
+        headers: dict | None = None
         try:
             # The body is consumed even when parsing fails, so keep-alive
             # never reads a stale payload as the next request line.
@@ -110,11 +128,17 @@ class _Handler(BaseHTTPRequestHandler):
                                                      body)
         except UnknownTenantError as exc:
             status, payload = 404, {"error": str(exc)}
+        except ServiceUnavailableError as exc:
+            # The request was fine, the moment was not: 503 + Retry-After
+            # tells a draining-time caller to back off, where a closed
+            # socket would read as a hard connection reset.
+            status, payload = 503, {"error": str(exc)}
+            headers = {"Retry-After": str(max(1, round(exc.retry_after_s)))}
         except BatchLensError as exc:
             status, payload = 400, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - wire boundary
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        self._send_json(status, payload)
+        self._send_json(status, payload, headers)
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -131,10 +155,21 @@ class DetectionServer:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  backend: str = "threads", workers: int | None = None,
-                 max_tenants: int = 64) -> None:
-        self.registry = TenantRegistry(max_tenants=max_tenants)
-        # Persistent pool shared by every tenant's /detect requests.
-        self.executor = ShardExecutor(backend, workers=workers).start()
+                 max_tenants: int = 64, state_dir=None, fsync: bool = False,
+                 snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+                 detect_timeout_s: float | None = 120.0) -> None:
+        state = (ServerStateDir(state_dir, fsync=fsync,
+                                snapshot_every=snapshot_every)
+                 if state_dir is not None else None)
+        self.registry = TenantRegistry(max_tenants=max_tenants, state=state)
+        #: Tenant ids resumed from ``state_dir`` before the socket bound —
+        #: recovery is complete (and bit-identical) before the first
+        #: request can observe partial state.
+        self.recovered = self.registry.recover() if state is not None else []
+        # Persistent pool shared by every tenant's /detect requests; the
+        # per-unit timeout keeps one hung worker from wedging the service.
+        self.executor = ShardExecutor(backend, workers=workers,
+                                      unit_timeout_s=detect_timeout_s).start()
         self.httpd = _ServeHTTPServer((host, port), _Handler)
         self.httpd.app = self
         self._thread: threading.Thread | None = None
@@ -249,6 +284,10 @@ class DetectionServer:
         sweep runs on the server-wide shared pool, outside the tenant
         lock, so ingest continues while it computes.
         """
+        if self._closed:
+            raise ServiceUnavailableError(
+                "server is draining; the shared worker pool is shutting "
+                "down — retry after the restart", retry_after_s=1.0)
         unknown = set(body) - {"detectors", "metrics"}
         if unknown:
             raise ServeError(

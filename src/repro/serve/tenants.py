@@ -14,6 +14,14 @@ from the same :func:`~repro.pipeline.core.compile_plans`), so a scenario
 fed over the wire in any batching produces bit-identical detector events
 and threshold alerts to ``Pipeline(mode="streaming")`` on the same spec —
 the golden tests pin this.
+
+Tenants can be **durable**: constructed with a
+:class:`~repro.serve.persist.TenantPersistence` handle, every ingest is
+write-ahead journaled before it is applied and periodically snapshotted,
+and :meth:`Tenant.recover` rebuilds the identical live state after a
+crash by restoring the snapshot and replaying the journal tail through
+the very same apply path — recovery *is* ingest, so bit-identity is the
+chunk-preservation of the journal, not a parallel code path.
 """
 
 from __future__ import annotations
@@ -23,7 +31,12 @@ from dataclasses import dataclass
 
 from repro.analysis.engine import DetectionEngine
 from repro.config import METRICS
-from repro.errors import ServeError, UnknownTenantError
+from repro.errors import (
+    BatchLensError,
+    ServeError,
+    ServiceUnavailableError,
+    UnknownTenantError,
+)
 from repro.metrics.store import MetricStore
 from repro.pipeline.core import compile_plans
 from repro.pipeline.detectors import canonical_detector_spec, default_detector_spec
@@ -136,7 +149,7 @@ class Tenant:
     satisfiable.
     """
 
-    def __init__(self, spec: TenantSpec) -> None:
+    def __init__(self, spec: TenantSpec, *, persist=None) -> None:
         self.spec = spec
         self.plans, _ = compile_plans(spec.detectors, spec.metrics)
         config = MonitorConfig(utilisation_threshold=spec.streaming.threshold)
@@ -157,33 +170,98 @@ class Tenant:
         self.alert_log: list = []
         self.cond = threading.Condition()
         self.closed = False
+        self._close_reason: str | None = None
         self.num_samples = 0
+        #: Durable state handle (:class:`TenantPersistence`), or ``None``
+        #: for a memory-only tenant (no ``--state-dir``).
+        self.persist = persist
+        self._ingest_seq = 0
+        self._samples_since_snapshot = 0
 
     # -- ingest ----------------------------------------------------------------
     def ingest(self, payload: dict) -> dict:
-        """Fold one frames payload into the ring + every detector state."""
+        """Fold one frames payload into the ring + every detector state.
+
+        Durable tenants journal the decoded batch **before** applying it
+        (write-ahead), so every acknowledged batch survives any kill
+        point; the batch boundary itself is preserved in the journal
+        because the regime/thrashing assessments run once per chunk —
+        replay must re-chunk exactly as the live server did.
+        """
         timestamps, block = payload_to_block(payload,
                                              len(self.spec.machines))
         with self.cond:
             self._check_open()
-            chunk = MetricStore.from_dense(list(self.spec.machines),
-                                           timestamps, METRICS, block)
-            # Same order as Pipeline._run_streaming: monitor first (ring
-            # append + threshold/regime/thrashing), then detector states.
-            new_alerts = self.monitor.catch_up(chunk)
-            for state in self.states:
-                self.engine.run_incremental(state, chunk)
-            base = len(self.alert_log)
-            self.alert_log.extend(new_alerts)
-            self.manager.ingest_many(new_alerts)
-            self.num_samples += chunk.num_samples
+            if self.persist is not None:
+                self.persist.append(self._ingest_seq + 1, timestamps, block)
+            response = self._apply(timestamps, block)
+            if (self.persist is not None
+                    and self.persist.snapshot_due(
+                        self._samples_since_snapshot)):
+                self.persist.write_snapshot(self._snapshot_state())
+                self._samples_since_snapshot = 0
             self.cond.notify_all()
-            return {"tenant": self.spec.tenant_id,
-                    "ingested": chunk.num_samples,
-                    "total_samples": self.num_samples,
-                    "cursor": len(self.alert_log),
-                    "alerts": [{"seq": base + i + 1, "alert": a.to_dict()}
-                               for i, a in enumerate(new_alerts)]}
+            return response
+
+    def _apply(self, timestamps, block) -> dict:
+        """The deterministic ingest step (shared by the wire and replay)."""
+        chunk = MetricStore.from_dense(list(self.spec.machines),
+                                       timestamps, METRICS, block)
+        # Same order as Pipeline._run_streaming: monitor first (ring
+        # append + threshold/regime/thrashing), then detector states.
+        new_alerts = self.monitor.catch_up(chunk)
+        for state in self.states:
+            self.engine.run_incremental(state, chunk)
+        base = len(self.alert_log)
+        self.alert_log.extend(new_alerts)
+        self.manager.ingest_many(new_alerts)
+        self.num_samples += chunk.num_samples
+        self._ingest_seq += 1
+        self._samples_since_snapshot += chunk.num_samples
+        return {"tenant": self.spec.tenant_id,
+                "ingested": chunk.num_samples,
+                "total_samples": self.num_samples,
+                "cursor": len(self.alert_log),
+                "alerts": [{"seq": base + i + 1, "alert": a.to_dict()}
+                           for i, a in enumerate(new_alerts)]}
+
+    # -- durability ------------------------------------------------------------
+    def _snapshot_state(self) -> dict:
+        """Everything a restarted server needs, as one picklable dict."""
+        return {"version": 1, "seq": self._ingest_seq,
+                "num_samples": self.num_samples, "monitor": self.monitor,
+                "states": self.states, "manager": self.manager,
+                "alert_log": self.alert_log}
+
+    def _restore_state(self, state: dict) -> None:
+        self.monitor = state["monitor"]
+        self.states = state["states"]
+        self.manager = state["manager"]
+        self.alert_log = state["alert_log"]
+        self.num_samples = int(state["num_samples"])
+        self._ingest_seq = int(state["seq"])
+
+    @classmethod
+    def recover(cls, spec: TenantSpec, persist) -> "Tenant":
+        """Rebuild a tenant from its state dir: snapshot + journal replay.
+
+        Replay feeds each journal record — one original ingest batch —
+        through the exact :meth:`_apply` path live ingest uses, so the
+        recovered tenant is bit-identical to one that never crashed.
+        Recovery ends by committing a fresh snapshot and truncating the
+        journal, so a torn tail (which read as absent) cannot sit in
+        front of future appends.
+        """
+        tenant = cls(spec, persist=persist)
+        state, tail = persist.load(len(spec.machines), len(METRICS))
+        if state is not None:
+            tenant._restore_state(state)
+        for _seq, timestamps, block in tail:
+            tenant._apply(timestamps, block)
+        if state is not None or tail or persist.journal.path.exists():
+            persist.write_snapshot(tenant._snapshot_state())
+        tenant._samples_since_snapshot = 0
+        return tenant
 
     # -- queries ---------------------------------------------------------------
     def alerts(self, *, cursor: int = 0, view: str = "log") -> dict:
@@ -276,14 +354,27 @@ class Tenant:
             return self.monitor.store.snapshot_store()
 
     # -- lifecycle -------------------------------------------------------------
-    def close(self) -> None:
-        """Mark the tenant dead and wake every long-poll subscriber."""
+    def close(self, *, reason: str = "deleted") -> None:
+        """Mark the tenant dead and wake every long-poll subscriber.
+
+        ``reason`` shapes the error later requests see: ``"deleted"`` is
+        a client mistake (400), ``"draining"`` is the server's own
+        shutdown — mapped to 503 + ``Retry-After`` so well-behaved
+        agents back off and retry the restarted server.
+        """
         with self.cond:
             self.closed = True
+            self._close_reason = reason
             self.cond.notify_all()
+        if self.persist is not None:
+            self.persist.close()
 
     def _check_open(self) -> None:
         if self.closed:
+            if self._close_reason == "draining":
+                raise ServiceUnavailableError(
+                    f"tenant {self.spec.tenant_id!r} is draining with the "
+                    f"server; retry after the restart", retry_after_s=1.0)
             raise ServeError(
                 f"tenant {self.spec.tenant_id!r} is closed (deleted or "
                 f"server draining)")
@@ -297,20 +388,55 @@ class TenantRegistry:
     never contends here beyond the dictionary lookup.
     """
 
-    def __init__(self, *, max_tenants: int = 64) -> None:
+    def __init__(self, *, max_tenants: int = 64, state=None) -> None:
         if max_tenants < 1:
             raise ServeError(
                 f"max_tenants must be at least 1, got {max_tenants}")
         self.max_tenants = max_tenants
+        #: Durable mirror (:class:`~repro.serve.persist.ServerStateDir`),
+        #: or ``None`` for a memory-only registry.
+        self.state = state
         self._lock = threading.Lock()
         self._tenants: dict[str, Tenant] = {}
         self._next_id = 1
         self._closed = False
 
+    def recover(self) -> "list[str]":
+        """Resume every tenant stored in the state dir; returns their ids.
+
+        Tenants whose spec no longer validates (e.g. a detector renamed
+        between versions) are skipped, not fatal — recovery brings back
+        everything it can prove and reports the rest via
+        :attr:`skipped`, mirroring the corrupt-reads-as-absent rule of
+        the journal itself.
+        """
+        self.skipped: list[str] = []
+        if self.state is None:
+            return []
+        with self._lock:
+            for spec_raw, persist in self.state.stored_tenants():
+                try:
+                    spec = TenantSpec.from_dict(
+                        spec_raw, default_id=spec_raw.get("id", ""))
+                    tenant = Tenant.recover(spec, persist)
+                except BatchLensError:
+                    self.skipped.append(str(spec_raw.get("id")))
+                    continue
+                self._tenants[spec.tenant_id] = tenant
+            self.skipped.extend(getattr(self.state, "skipped", []))
+            # Default ids must not collide with recovered ones.
+            for tenant_id in self._tenants:
+                if tenant_id.startswith("t") and tenant_id[1:].isdigit():
+                    self._next_id = max(self._next_id,
+                                        int(tenant_id[1:]) + 1)
+            return sorted(self._tenants)
+
     def create(self, raw_spec: dict) -> Tenant:
         with self._lock:
             if self._closed:
-                raise ServeError("server is draining; no new tenants")
+                raise ServiceUnavailableError(
+                    "server is draining; no new tenants — retry after the "
+                    "restart", retry_after_s=1.0)
             spec = TenantSpec.from_dict(raw_spec,
                                         default_id=f"t{self._next_id}")
             if spec.tenant_id in self._tenants:
@@ -320,7 +446,9 @@ class TenantRegistry:
             if len(self._tenants) >= self.max_tenants:
                 raise ServeError(
                     f"tenant capacity {self.max_tenants} reached")
-            tenant = Tenant(spec)
+            persist = (self.state.create(spec.to_dict())
+                       if self.state is not None else None)
+            tenant = Tenant(spec, persist=persist)
             self._tenants[spec.tenant_id] = tenant
             self._next_id += 1
             return tenant
@@ -337,7 +465,9 @@ class TenantRegistry:
             tenant = self._tenants.pop(tenant_id, None)
             if tenant is None:
                 raise UnknownTenantError(tenant_id, list(self._tenants))
-        tenant.close()
+        tenant.close(reason="deleted")
+        if self.state is not None:
+            self.state.remove(tenant_id)
         return tenant
 
     def ids(self) -> "list[str]":
@@ -349,12 +479,16 @@ class TenantRegistry:
             return len(self._tenants)
 
     def close_all(self) -> None:
-        """Drain: refuse new tenants, close (and wake) every live one."""
+        """Drain: refuse new tenants, close (and wake) every live one.
+
+        Durable tenants stay on disk — a drain is a restart in waiting,
+        and the next ``repro serve --state-dir`` resumes the fleet.
+        """
         with self._lock:
             self._closed = True
             tenants = list(self._tenants.values())
         for tenant in tenants:
-            tenant.close()
+            tenant.close(reason="draining")
 
 
 __all__ = [

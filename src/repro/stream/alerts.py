@@ -84,6 +84,24 @@ class AlertPolicy:
         if self.max_active < 1:
             raise SeriesError("max_active must be at least 1")
 
+    def to_dict(self) -> dict:
+        """JSON encoding, mirrored by :meth:`from_dict`."""
+        return {"dedup_window_s": self.dedup_window_s,
+                "min_severity": self.min_severity,
+                "max_active": self.max_active}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "AlertPolicy":
+        try:
+            policy = cls(dedup_window_s=float(raw["dedup_window_s"]),
+                         min_severity=str(raw["min_severity"]),
+                         max_active=int(raw["max_active"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SeriesError(
+                f"malformed alert-policy dict {raw!r}: {exc}") from None
+        policy.validate()
+        return policy
+
 
 @dataclass
 class AlertManager:
@@ -212,6 +230,49 @@ class AlertManager:
             else:
                 hi = mid
         return self.history[lo:]
+
+    # -- persistence --------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Full manager state as one JSON-safe dict.
+
+        Captures everything :meth:`from_dict` needs to resume alerting
+        exactly where this manager stopped: policy, deduplicated history
+        (seq ids included), the active set with its occurrence bumps and
+        acknowledgements, the suppression counter and ``last_seq``.
+        Sinks are callables and deliberately not serialised — a recovered
+        manager starts with an empty sink list and the owner re-attaches
+        routing.
+        """
+        return {"policy": self.policy.to_dict(),
+                "history": [managed.to_dict() for managed in self.history],
+                "active": [managed.to_dict()
+                           for managed in self.active.values()],
+                "suppressed_count": self.suppressed_count,
+                "last_seq": self.last_seq}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "AlertManager":
+        """Rebuild a manager from :meth:`to_dict` output.
+
+        The round-trip preserves the cursor contract: history seqs stay
+        dense and monotonic and ``last_seq`` resumes where it stopped, so
+        an :meth:`alerts_since` subscriber crossing the round-trip sees
+        every record exactly once — no duplicates, no gaps.
+        """
+        try:
+            manager = cls(
+                policy=AlertPolicy.from_dict(raw["policy"]),
+                history=[ManagedAlert.from_dict(entry)
+                         for entry in raw["history"]],
+                suppressed_count=int(raw["suppressed_count"]),
+                last_seq=int(raw["last_seq"]))
+            for entry in raw["active"]:
+                managed = ManagedAlert.from_dict(entry)
+                manager.active[managed.key] = managed
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SeriesError(
+                f"malformed alert-manager dict: {exc}") from None
+        return manager
 
     def digest(self) -> dict[str, int]:
         """Counts by kind over the full (deduplicated) history."""

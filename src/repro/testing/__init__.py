@@ -1,0 +1,25 @@
+"""``repro.testing`` — reusable test harnesses shipped with the library.
+
+The modules here are imported by production code only through cheap,
+no-op-by-default hooks (:func:`repro.testing.faults.fault_point`), so the
+package costs nothing in a deployment that never injects a fault.  The
+chaos suites (`tests/test_serve_recovery_golden.py`,
+`tests/test_shard_faults.py`) and any downstream integration harness
+drive the same injection points.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    fault_point,
+    inject,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "fault_point",
+    "inject",
+]

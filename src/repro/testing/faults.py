@@ -1,0 +1,298 @@
+"""Deterministic fault injection for chaos-testing the durability layer.
+
+Production code marks its failure-prone seams with **fault points** —
+named call sites such as ``persist.journal.append`` (the WAL write),
+``persist.snapshot.rename`` (the snapshot commit point) or
+``client.request.send`` (the wire) — via :func:`fault_point`.  With no
+injector installed the hook is a single ``is None`` check, so shipping
+the seams costs nothing.  A test installs a :class:`FaultInjector` built
+from a plan mapping point names to :class:`FaultSpec`\\ s::
+
+    from repro.testing import faults
+
+    with faults.inject({"persist.journal.append": {"at": 3}}):
+        tenant.ingest(payload)          # 3rd journal write raises
+
+Injection is **deterministic**: a spec either names the exact 1-based
+hit indices that fail (``at``) or draws per hit from a ``random.Random``
+seeded with ``(seed, point name)`` (``p``), so the same plan and the
+same call sequence always fail at the same places — chaos tests are
+replayable, never flaky.
+
+Actions:
+
+``raise``
+    raise the configured exception class at the fault point —
+    :class:`InjectedFault` (infrastructure failure), ``OSError`` (disk),
+    or ``ConnectionError`` (wire);
+``kill``
+    ``SIGKILL`` the current process — the real crash, for subprocess
+    recovery tests.  Combined with the ``REPRO_FAULTS`` environment
+    variable (a JSON plan installed on import), a ``repro serve``
+    subprocess can be killed at an exact journal write, which no amount
+    of signal timing from the outside can reproduce deterministically.
+
+:class:`FaultyDetector` is the executor-facing half of the harness: a
+:class:`~repro.analysis.detectors.ThresholdDetector` that fails (or
+kills its worker process) when swept off the thread or process that
+built it, so :class:`~repro.analysis.shard.ShardExecutor`'s retry and
+serial-degradation paths can be driven without ever breaking a real
+workload — the serial fallback, running on the constructing thread,
+computes the genuine verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+from dataclasses import dataclass, field
+from random import Random
+from typing import Iterable, Mapping
+
+from repro.analysis.detectors import ThresholdDetector
+
+#: Environment variable holding a JSON fault plan, installed on import so
+#: subprocesses (``repro serve``) pick it up with zero wiring.
+FAULTS_ENV = "REPRO_FAULTS"
+
+_ACTIONS = ("raise", "kill")
+_ERRORS = {"injected": None, "os": OSError, "conn": ConnectionError}
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by the fault-injection harness.
+
+    Deliberately *not* a :class:`~repro.errors.BatchLensError`: an
+    injected fault models infrastructure breaking underneath the library
+    (a dying worker, a failing disk), not a request the library judged
+    invalid — so it takes the same paths a real crash would.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """When and how one named fault point fails."""
+
+    #: Exact 1-based hit indices that fail (deterministic schedule).
+    at: tuple[int, ...] = ()
+    #: Per-hit failure probability, drawn from a seeded per-point rng.
+    p: float = 0.0
+    #: Maximum number of firings (``None`` = unbounded).
+    times: int | None = None
+    #: ``raise`` or ``kill`` (SIGKILL the current process).
+    action: str = "raise"
+    #: Exception family for ``raise``: ``injected``, ``os`` or ``conn``.
+    error: str = "injected"
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"fault action must be one of {list(_ACTIONS)}, got "
+                f"{self.action!r}")
+        if self.error not in _ERRORS:
+            raise ValueError(
+                f"fault error must be one of {sorted(_ERRORS)}, got "
+                f"{self.error!r}")
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1], got {self.p}")
+
+    @classmethod
+    def from_dict(cls, raw: Mapping | "FaultSpec") -> "FaultSpec":
+        if isinstance(raw, FaultSpec):
+            return raw
+        if not isinstance(raw, Mapping):
+            raise ValueError(f"fault spec must be a mapping, got {raw!r}")
+        unknown = set(raw) - {"at", "p", "times", "action", "error"}
+        if unknown:
+            raise ValueError(f"unknown fault spec key(s) {sorted(unknown)}")
+        at = raw.get("at", ())
+        if isinstance(at, int):
+            at = (at,)
+        return cls(at=tuple(int(n) for n in at), p=float(raw.get("p", 0.0)),
+                   times=(None if raw.get("times") is None
+                          else int(raw["times"])),
+                   action=str(raw.get("action", "raise")),
+                   error=str(raw.get("error", "injected")))
+
+    def make_error(self, point: str, hit: int) -> Exception:
+        exc_type = _ERRORS[self.error] or InjectedFault
+        return exc_type(f"injected fault at {point!r} (hit {hit})")
+
+
+@dataclass
+class FaultInjector:
+    """Fires the faults of one plan; counts every hit, records every firing."""
+
+    plan: dict[str, FaultSpec] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.plan = {str(name): FaultSpec.from_dict(spec)
+                     for name, spec in dict(self.plan).items()}
+        self._lock = threading.Lock()
+        self._hits: dict[str, int] = {}
+        self._fired_count: dict[str, int] = {}
+        self._rngs: dict[str, Random] = {}
+        #: Every firing as ``(point, hit_index)``, for test assertions.
+        self.fired: list[tuple[str, int]] = []
+
+    def hits(self, point: str) -> int:
+        """How many times ``point`` has been reached (fired or not)."""
+        with self._lock:
+            return self._hits.get(point, 0)
+
+    def hit(self, point: str) -> None:
+        """Register one arrival at ``point``; fail if the plan says so."""
+        spec = self.plan.get(point)
+        if spec is None:
+            return
+        with self._lock:
+            count = self._hits.get(point, 0) + 1
+            self._hits[point] = count
+            fired = self._fired_count.get(point, 0)
+            if spec.times is not None and fired >= spec.times:
+                return
+            fire = count in spec.at
+            if not fire and spec.p > 0.0:
+                rng = self._rngs.get(point)
+                if rng is None:
+                    rng = self._rngs[point] = Random(f"{self.seed}:{point}")
+                fire = rng.random() < spec.p
+            if not fire:
+                return
+            self._fired_count[point] = fired + 1
+            self.fired.append((point, count))
+        if spec.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise spec.make_error(point, count)
+
+
+_ACTIVE: FaultInjector | None = None
+
+#: Guards FaultyDetector failure counters (a lock attribute would make the
+#: detector unpicklable for the process backend).
+_COUNTER_LOCK = threading.Lock()
+
+
+def fault_point(name: str) -> None:
+    """Mark a failure-prone seam; no-op unless an injector is installed."""
+    injector = _ACTIVE
+    if injector is not None:
+        injector.hit(name)
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Make ``injector`` the process-wide active injector."""
+    global _ACTIVE
+    _ACTIVE = injector
+    return injector
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+class inject:
+    """Context manager: install a plan, uninstall on exit.
+
+    ``plan`` maps fault-point names to :class:`FaultSpec`\\ s (or their
+    dict form).  The constructed injector is available as the ``as``
+    target for hit/firing assertions.
+    """
+
+    def __init__(self, plan: Mapping, *, seed: int = 0) -> None:
+        self.injector = FaultInjector(dict(plan), seed=seed)
+
+    def __enter__(self) -> FaultInjector:
+        return install(self.injector)
+
+    def __exit__(self, *exc_info) -> None:
+        uninstall()
+
+
+def install_from_env(environ: Mapping[str, str] | None = None) -> FaultInjector | None:
+    """Install the plan in ``$REPRO_FAULTS`` (JSON), if any.
+
+    Called at import time so a chaos test can point a ``repro serve``
+    subprocess at an exact crash site::
+
+        REPRO_FAULTS='{"persist.journal.append": {"at": 5, "action": "kill"}}'
+
+    A malformed plan raises immediately — a chaos run silently testing
+    nothing is worse than a loud one.
+    """
+    raw = (os.environ if environ is None else environ).get(FAULTS_ENV)
+    if not raw:
+        return None
+    try:
+        plan = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"${FAULTS_ENV} is not valid JSON: {exc}") from None
+    return install(FaultInjector(plan))
+
+
+class FaultyDetector(ThresholdDetector):
+    """A threshold detector that fails when swept away from home.
+
+    ``fail_in="thread"`` raises :class:`InjectedFault` whenever
+    ``detect_block`` runs on a thread other than the one that constructed
+    the detector (a stand-in for a crashing thread-pool worker);
+    ``fail_in="process"`` hard-kills any *other* process that sweeps it
+    (``os._exit``), which breaks a :class:`ProcessPoolExecutor` exactly
+    the way a segfaulting worker does.  The constructing thread/process
+    always computes the real verdict, so an executor that degrades to
+    in-process serial execution still produces bit-identical results.
+    ``times`` bounds thread-mode failures (per process), letting tests
+    exercise the transient-failure retry path.
+    """
+
+    def __init__(self, threshold: float = 85.0, *, fail_in: str = "thread",
+                 times: int | None = None) -> None:
+        super().__init__(threshold)
+        if fail_in not in ("thread", "process"):
+            raise ValueError(
+                f"fail_in must be 'thread' or 'process', got {fail_in!r}")
+        self.fail_in = fail_in
+        self.times = times
+        self._home_pid = os.getpid()
+        self._home_thread = threading.get_ident()
+        self._failures = 0
+
+    def _maybe_fail(self) -> None:
+        if self.fail_in == "process":
+            if os.getpid() != self._home_pid:
+                os._exit(17)   # kill the pool worker, not a clean raise
+            return
+        if threading.get_ident() == self._home_thread:
+            return
+        with _COUNTER_LOCK:
+            if self.times is not None and self._failures >= self.times:
+                return
+            self._failures += 1
+            count = self._failures
+        raise InjectedFault(
+            f"injected worker failure #{count} in FaultyDetector")
+
+    def _block_mask(self, timestamps, values):
+        self._maybe_fail()
+        return super()._block_mask(timestamps, values)
+
+
+install_from_env()
+
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultyDetector",
+    "InjectedFault",
+    "fault_point",
+    "inject",
+    "install",
+    "install_from_env",
+    "uninstall",
+]

@@ -1,0 +1,163 @@
+"""Tests for :class:`ServeClient`'s bounded-backoff retry transport.
+
+The transport contract: transient failures (refused connects, reaped
+keep-alive sockets, 503s from a draining server) are retried with
+exponential backoff on an injectable clock, and an exhausted budget
+raises one clear :class:`ServeError` naming the attempt count and the
+last underlying failure.  A stub HTTP server scripts the status
+sequences; the connection-failure path uses a port that is provably
+closed.  No test ever sleeps for real.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError, ServiceUnavailableError
+from repro.metrics.store import MetricStore
+from repro.serve.client import ServeClient
+
+
+def closed_port() -> int:
+    """A port nothing is listening on (bound, then released)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Serves a scripted sequence of statuses, then 200s forever."""
+
+    script: "list[int]" = []
+    retry_after: str | None = None
+    hits = 0
+
+    def do_GET(self) -> None:
+        cls = type(self)
+        cls.hits += 1
+        status = cls.script.pop(0) if cls.script else 200
+        body = (json.dumps({"status": "ok"}) if status == 200 else
+                json.dumps({"error": "draining: try later"}))
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 503 and cls.retry_after is not None:
+            self.send_header("Retry-After", cls.retry_after)
+        self.end_headers()
+        self.wfile.write(body.encode("utf-8"))
+
+    def log_message(self, *args) -> None:   # keep pytest output clean
+        pass
+
+
+@pytest.fixture
+def scripted_server():
+    """Yields a factory: script a status sequence, get (host, port)."""
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def scripted(statuses, retry_after=None):
+        _ScriptedHandler.script = list(statuses)
+        _ScriptedHandler.retry_after = retry_after
+        _ScriptedHandler.hits = 0
+        return server.server_address
+
+    yield scripted
+    server.shutdown()
+    server.server_close()
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.slept: "list[float]" = []
+
+    def __call__(self, seconds: float) -> None:
+        self.slept.append(seconds)
+
+
+class TestBackoffSchedule:
+    def test_connection_failures_back_off_exponentially(self):
+        clock = FakeClock()
+        client = ServeClient("127.0.0.1", closed_port(), retries=3,
+                             backoff_s=0.05, sleep=clock)
+        with pytest.raises(ServeError) as excinfo:
+            client.health()
+        assert clock.slept == [0.05, 0.1, 0.2]
+        message = str(excinfo.value)
+        assert "failed after 4 attempt(s)" in message
+        assert "last error" in message
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_zero_retries_means_exactly_one_attempt(self):
+        clock = FakeClock()
+        client = ServeClient("127.0.0.1", closed_port(), retries=0,
+                             sleep=clock)
+        with pytest.raises(ServeError, match=r"failed after 1 attempt"):
+            client.health()
+        assert clock.slept == []
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ServeError):
+            ServeClient(retries=-1)
+        with pytest.raises(ServeError):
+            ServeClient(backoff_s=-0.1)
+
+
+class TestServiceUnavailable:
+    def test_503_is_retried_until_the_server_recovers(self, scripted_server):
+        host, port = scripted_server([503, 503, 200])
+        clock = FakeClock()
+        client = ServeClient(host, port, retries=3, backoff_s=0.01,
+                             sleep=clock)
+        assert client._request("GET", "/health") == {"status": "ok"}
+        assert _ScriptedHandler.hits == 3
+        assert clock.slept == [0.01, 0.02]
+
+    def test_exhausted_503s_raise_with_the_server_reason(self,
+                                                         scripted_server):
+        host, port = scripted_server([503] * 10, retry_after="2")
+        client = ServeClient(host, port, retries=2, backoff_s=0.01,
+                             sleep=FakeClock())
+        with pytest.raises(ServeError) as excinfo:
+            client._request("GET", "/health")
+        assert "failed after 3 attempt(s)" in str(excinfo.value)
+        assert "draining: try later" in str(excinfo.value)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, ServiceUnavailableError)
+        assert cause.retry_after_s == 2.0
+
+    def test_other_http_errors_are_not_retried(self, scripted_server):
+        host, port = scripted_server([404])
+        client = ServeClient(host, port, retries=3, sleep=FakeClock())
+        with pytest.raises(ServeError):
+            client._request("GET", "/nope")
+        assert _ScriptedHandler.hits == 1, "4xx must fail fast, not retry"
+
+
+class TestResumeBoundaries:
+    def make_store(self, num_samples: int = 10) -> MetricStore:
+        store = MetricStore(["a", "b"],
+                            np.arange(num_samples, dtype=np.float64) * 60.0)
+        store.data[:] = 1.0
+        return store
+
+    def test_start_off_batch_boundary_is_loud(self):
+        client = ServeClient("127.0.0.1", closed_port(), retries=0,
+                             sleep=FakeClock())
+        with pytest.raises(ServeError, match="not a batch boundary"):
+            client.stream_store("t", self.make_store(), batch_size=4,
+                                start=2)
+
+    def test_start_past_the_store_sends_nothing(self):
+        client = ServeClient("127.0.0.1", closed_port(), retries=0,
+                             sleep=FakeClock())
+        responses = client.stream_store("t", self.make_store(8),
+                                        batch_size=4, start=8)
+        assert responses == [], "a fully-durable replay must be a no-op"

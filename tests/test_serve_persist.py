@@ -1,0 +1,238 @@
+"""Unit tests for the durable-tenant storage layer (``repro.serve.persist``).
+
+The crash-consistency contract under test: **anything torn reads as
+absent**.  A journal truncated at any byte offset, a corrupted record, a
+mangled snapshot — recovery must silently fall back to the longest state
+it can prove, never error, never invent samples.  The end-to-end
+bit-identity of recovery itself is pinned by
+``tests/test_serve_recovery_golden.py``; this file pins the storage
+primitives those goldens rest on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.persist import (
+    FrameJournal,
+    ServerStateDir,
+    TenantPersistence,
+    read_snapshot,
+    write_snapshot,
+)
+
+MACHINES = 3
+METRICS = 3
+
+
+def make_batch(seq: int, nsamples: int):
+    """A deterministic (timestamps, block) ingest batch for record ``seq``."""
+    rng = np.random.default_rng(seq)
+    ts = 60.0 * np.arange(seq * 100, seq * 100 + nsamples, dtype=np.float64)
+    block = rng.uniform(0.0, 100.0, size=(MACHINES, METRICS, nsamples))
+    return ts, block
+
+
+class TestFrameJournal:
+    def test_round_trips_records_in_order(self, tmp_path):
+        journal = FrameJournal(tmp_path / "j.wal")
+        batches = [make_batch(seq, n) for seq, n in ((1, 4), (2, 1), (3, 16))]
+        for seq, (ts, block) in enumerate(batches, start=1):
+            journal.append(seq, ts, block)
+        journal.close()
+        records = FrameJournal.read_records(tmp_path / "j.wal",
+                                            MACHINES, METRICS)
+        assert [seq for seq, _, _ in records] == [1, 2, 3]
+        for (_, ts, block), (ref_ts, ref_block) in zip(records, batches):
+            np.testing.assert_array_equal(ts, ref_ts)
+            np.testing.assert_array_equal(block, ref_block)
+
+    def test_missing_file_is_empty_journal(self, tmp_path):
+        assert FrameJournal.read_records(tmp_path / "absent.wal",
+                                         MACHINES, METRICS) == []
+
+    def test_truncate_drops_all_records(self, tmp_path):
+        journal = FrameJournal(tmp_path / "j.wal")
+        ts, block = make_batch(1, 4)
+        journal.append(1, ts, block)
+        journal.truncate()
+        journal.append(2, ts, block)
+        journal.close()
+        records = FrameJournal.read_records(tmp_path / "j.wal",
+                                            MACHINES, METRICS)
+        assert [seq for seq, _, _ in records] == [2]
+
+    def test_torn_tail_at_every_byte_offset_reads_as_absent(self, tmp_path):
+        """The kill-anywhere core: cutting the file anywhere only ever
+        loses the *last* record, and never produces an error or a phantom
+        record."""
+        path = tmp_path / "j.wal"
+        journal = FrameJournal(path)
+        boundaries = [0]
+        for seq, n in ((1, 4), (2, 2), (3, 7)):
+            ts, block = make_batch(seq, n)
+            journal.append(seq, ts, block)
+            boundaries.append(path.stat().st_size)
+        journal.close()
+        raw = path.read_bytes()
+        for cut in range(len(raw) + 1):
+            torn = tmp_path / "torn.wal"
+            torn.write_bytes(raw[:cut])
+            records = FrameJournal.read_records(torn, MACHINES, METRICS)
+            complete = sum(1 for b in boundaries[1:] if b <= cut)
+            assert [seq for seq, _, _ in records] == list(
+                range(1, complete + 1)), f"cut at byte {cut}"
+
+    def test_corrupt_byte_ends_the_scan_at_the_defect(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal = FrameJournal(path)
+        for seq, n in ((1, 4), (2, 4), (3, 4)):
+            ts, block = make_batch(seq, n)
+            journal.append(seq, ts, block)
+        journal.close()
+        raw = bytearray(path.read_bytes())
+        # Flip one payload byte inside the second record.
+        record_bytes = len(raw) // 3
+        raw[record_bytes + record_bytes // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        records = FrameJournal.read_records(path, MACHINES, METRICS)
+        assert [seq for seq, _, _ in records] == [1]
+
+    def test_impossible_length_field_reads_as_absent(self, tmp_path):
+        path = tmp_path / "j.wal"
+        import struct
+
+        path.write_bytes(struct.pack("<IIQI", 0, (1 << 31) + 8, 1, 1) + b"x")
+        assert FrameJournal.read_records(path, MACHINES, METRICS) == []
+
+
+class TestSnapshot:
+    def test_round_trip(self, tmp_path):
+        state = {"seq": 7, "payload": np.arange(5.0)}
+        write_snapshot(tmp_path / "s.bin", state, fsync=False)
+        loaded = read_snapshot(tmp_path / "s.bin")
+        assert loaded["seq"] == 7
+        np.testing.assert_array_equal(loaded["payload"], np.arange(5.0))
+
+    def test_absent_reads_as_none(self, tmp_path):
+        assert read_snapshot(tmp_path / "nope.bin") is None
+
+    @pytest.mark.parametrize("mangle", ["truncate", "flip", "magic"])
+    def test_corrupt_reads_as_none(self, tmp_path, mangle):
+        path = tmp_path / "s.bin"
+        write_snapshot(path, {"seq": 1}, fsync=False)
+        raw = bytearray(path.read_bytes())
+        if mangle == "truncate":
+            raw = raw[:len(raw) - 3]
+        elif mangle == "flip":
+            raw[-1] ^= 0xFF
+        else:
+            raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert read_snapshot(path) is None
+
+    def test_commit_is_atomic_no_tmp_left_behind(self, tmp_path):
+        write_snapshot(tmp_path / "s.bin", {"seq": 1}, fsync=False)
+        write_snapshot(tmp_path / "s.bin", {"seq": 2}, fsync=False)
+        assert read_snapshot(tmp_path / "s.bin")["seq"] == 2
+        assert list(tmp_path.iterdir()) == [tmp_path / "s.bin"]
+
+
+class TestTenantPersistence:
+    def test_load_skips_records_the_snapshot_covers(self, tmp_path):
+        """A crash between snapshot rename and journal truncate leaves
+        already-snapshotted records in the journal; replay must skip them."""
+        persist = TenantPersistence(tmp_path / "t", snapshot_every=0)
+        persist.root.mkdir(parents=True)
+        for seq in (1, 2, 3):
+            ts, block = make_batch(seq, 4)
+            persist.append(seq, ts, block)
+        # Snapshot covering seq<=2 without the truncate (the crash window).
+        write_snapshot(persist.snapshot_path, {"seq": 2}, fsync=False)
+        state, tail = persist.load(MACHINES, METRICS)
+        assert state["seq"] == 2
+        assert [seq for seq, _, _ in tail] == [3]
+
+    def test_load_stops_at_a_sequence_gap(self, tmp_path):
+        persist = TenantPersistence(tmp_path / "t", snapshot_every=0)
+        persist.root.mkdir(parents=True)
+        for seq in (1, 2, 4):
+            ts, block = make_batch(seq, 4)
+            persist.append(seq, ts, block)
+        state, tail = persist.load(MACHINES, METRICS)
+        assert state is None
+        assert [seq for seq, _, _ in tail] == [1, 2]
+
+    def test_write_snapshot_truncates_journal(self, tmp_path):
+        persist = TenantPersistence(tmp_path / "t", snapshot_every=0)
+        persist.root.mkdir(parents=True)
+        ts, block = make_batch(1, 4)
+        persist.append(1, ts, block)
+        persist.write_snapshot({"seq": 1})
+        assert FrameJournal.read_records(persist.journal.path,
+                                         MACHINES, METRICS) == []
+        state, tail = persist.load(MACHINES, METRICS)
+        assert state["seq"] == 1 and tail == []
+
+    def test_snapshot_due_cadence(self, tmp_path):
+        persist = TenantPersistence(tmp_path / "t", snapshot_every=8)
+        assert not persist.snapshot_due(7)
+        assert persist.snapshot_due(8)
+        disabled = TenantPersistence(tmp_path / "u", snapshot_every=0)
+        assert not disabled.snapshot_due(10_000)
+
+
+class TestServerStateDir:
+    SPEC = {"id": "alpha", "machines": ["a", "b"], "detectors": "threshold",
+            "metrics": ["cpu"], "streaming": {}}
+
+    def test_create_then_stored_tenants_round_trip(self, tmp_path):
+        state = ServerStateDir(tmp_path)
+        state.create(dict(self.SPEC, id="alpha"))
+        state.create(dict(self.SPEC, id="beta"))
+        stored = ServerStateDir(tmp_path).stored_tenants()
+        assert [spec["id"] for spec, _ in stored] == ["alpha", "beta"]
+
+    def test_create_purges_stale_remnants(self, tmp_path):
+        state = ServerStateDir(tmp_path)
+        persist = state.create(dict(self.SPEC))
+        ts = np.arange(4, dtype=np.float64)
+        block = np.zeros((2, 3, 4))
+        persist.append(1, ts, block)
+        persist.close()
+        fresh = state.create(dict(self.SPEC))
+        _, tail = fresh.load(2, 3)
+        assert tail == [], "a recreated tenant inherited a stale journal"
+
+    def test_remove_forgets_durably(self, tmp_path):
+        state = ServerStateDir(tmp_path)
+        state.create(dict(self.SPEC))
+        state.remove("alpha")
+        assert ServerStateDir(tmp_path).stored_tenants() == []
+
+    def test_corrupt_spec_is_skipped_not_fatal(self, tmp_path):
+        state = ServerStateDir(tmp_path)
+        state.create(dict(self.SPEC))
+        (state.tenant_root("alpha") / "spec.json").write_text("{broken")
+        reopened = ServerStateDir(tmp_path)
+        assert reopened.stored_tenants() == []
+        assert reopened.skipped == ["alpha"]
+
+    def test_mismatched_spec_id_is_skipped(self, tmp_path):
+        state = ServerStateDir(tmp_path)
+        state.create(dict(self.SPEC))
+        (state.tenant_root("alpha") / "spec.json").write_text(
+            json.dumps(dict(self.SPEC, id="other")))
+        reopened = ServerStateDir(tmp_path)
+        assert reopened.stored_tenants() == []
+        assert reopened.skipped == ["alpha"]
+
+    def test_unsupported_format_version_is_loud(self, tmp_path):
+        ServerStateDir(tmp_path)
+        (tmp_path / "STATE").write_text(json.dumps({"version": 99}))
+        with pytest.raises(ServeError, match="unsupported format"):
+            ServerStateDir(tmp_path)

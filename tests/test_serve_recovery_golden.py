@@ -1,0 +1,366 @@
+"""Golden suite: crash recovery is invisible — restarted == never crashed.
+
+The durability contract of ``repro serve --state-dir``: kill the server at
+*any* point — mid journal append, mid snapshot write, at the snapshot
+commit rename, between rename and journal truncate, or with plain SIGKILL
+from outside — restart it on the same state dir, resume the feed, and the
+final tenant state (alerts including seq ids, detector events, summary)
+is **bit-identical** to a server that never crashed.
+
+Three layers pin this:
+
+* kill-anywhere goldens drive the registry's durable ingest path directly
+  with :mod:`repro.testing.faults` raising at every persistence fault
+  point in turn — deterministic, exhaustive over crash sites, no
+  subprocesses;
+* torn-tail goldens physically truncate the journal mid-record before
+  recovery — the torn record reads as absent and the resume re-feeds it;
+* the subprocess test SIGKILLs a real ``repro serve`` process at an exact
+  journal write (via the ``REPRO_FAULTS`` environment plan), restarts it,
+  and resumes over HTTP — no fixed ports, no sleeps.
+
+The resume protocol is the client's: ask the recovered tenant for
+``num_samples`` and re-feed from that offset with the original batch size
+(:meth:`ServeClient.resume_stream_store`).  Batches the journal kept are
+never sent twice; the batch the crash swallowed is sent again.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServeError
+from repro.pipeline import default_detector_spec
+from repro.serve import DetectionServer, ServeClient
+from repro.serve.persist import ServerStateDir
+from repro.serve.tenants import TenantRegistry
+from repro.serve.wire import store_to_payloads
+from repro.testing import faults
+from repro.testing.faults import FAULTS_ENV, InjectedFault
+from repro.trace.synthetic import generate_trace
+
+from tests.conftest import fast_config
+from tests.test_serve_golden import local_streaming_run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SEED = 808
+SCENARIOS = ("thrashing", "machine-failure+network-storm")
+BATCH = 4
+#: Snapshot cadence chosen so a fast-config scenario crosses several
+#: snapshot commits mid-stream — every crash window (append before apply,
+#: rename before truncate, ...) actually occurs during the feed.
+SNAPSHOT_EVERY = 24
+
+FAULT_POINTS = (
+    "persist.journal.append",
+    "persist.snapshot.write",
+    "persist.snapshot.rename",
+    "persist.journal.truncate",
+)
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    return {scenario: generate_trace(fast_config(scenario, seed=SEED))
+            for scenario in SCENARIOS}
+
+
+def reference_run(bundle):
+    """Final alerts/events/summary of a never-crashed durable-less tenant."""
+    registry = TenantRegistry()
+    tenant = registry.create({"id": "ref",
+                              "machines": bundle.usage.machine_ids})
+    alerts = []
+    for payload in store_to_payloads(bundle.usage, BATCH):
+        alerts.extend(tenant.ingest(payload)["alerts"])
+    return {"alerts": alerts, "events": tenant.events(),
+            "summary": tenant.summary()}
+
+
+def feed_until_crash(registry, tenant, payloads):
+    """Feed batches until an injected fault aborts one; returns the acks."""
+    acked = []
+    for payload in payloads:
+        try:
+            acked.append(tenant.ingest(payload))
+        except InjectedFault:
+            return acked, True
+    return acked, False
+
+
+def recover_and_resume(state_root, bundle):
+    """The restart: recover the registry, resume the feed by num_samples."""
+    registry = TenantRegistry(
+        state=ServerStateDir(state_root, snapshot_every=SNAPSHOT_EVERY))
+    assert registry.recover() == ["ref"]
+    assert registry.skipped == []
+    tenant = registry.get("ref")
+    target = tenant.num_samples   # durable batches; resume after them
+    alerts = []
+    done = 0
+    for payload in store_to_payloads(bundle.usage, BATCH):
+        size = len(payload["timestamps"])
+        if done + size <= target:
+            done += size
+            continue
+        assert done >= target, (
+            "recovered sample count is not a batch boundary")
+        alerts.extend(tenant.ingest(payload)["alerts"])
+    return tenant, alerts
+
+
+class TestKillAnywhere:
+    """Injected crashes at every persistence seam, several hits each."""
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("point", FAULT_POINTS)
+    @pytest.mark.parametrize("hit", (1, 2))
+    def test_recovery_is_bit_identical(self, tmp_path, bundles, scenario,
+                                       point, hit, request):
+        bundle = bundles[scenario]
+        reference = reference_run(bundle)
+        payloads = list(store_to_payloads(bundle.usage, BATCH))
+
+        registry = TenantRegistry(
+            state=ServerStateDir(tmp_path, snapshot_every=SNAPSHOT_EVERY))
+        tenant = registry.create({"id": "ref",
+                                  "machines": bundle.usage.machine_ids})
+        with faults.inject({point: {"at": hit}}) as injector:
+            acked, crashed = feed_until_crash(registry, tenant, payloads)
+        if not crashed:
+            pytest.skip(f"{point} is reached fewer than {hit} times at this "
+                        f"scenario scale")
+        assert injector.fired == [(point, hit)]
+
+        # The crash: the old objects are abandoned, the disk is the truth.
+        recovered, resumed_alerts = recover_and_resume(tmp_path, bundle)
+
+        # The durable alert log is the contract: bit-identical to a run
+        # that never crashed, dense seqs included.  (The ack of the very
+        # batch that crashed may be lost even though the batch itself is
+        # journaled — that is exactly why subscribers use log cursors.)
+        log = recovered.alerts(cursor=0, view="log")["alerts"]
+        assert log == reference["alerts"], (
+            f"{scenario} killed at {point}#{hit}: alert stream diverged")
+        # Every ack the client *did* receive must agree with the log, and
+        # the post-recovery acks must form its tail.
+        for entry in (e for ack in acked for e in ack["alerts"]):
+            assert log[entry["seq"] - 1] == entry
+        if resumed_alerts:
+            assert log[-len(resumed_alerts):] == resumed_alerts
+        assert recovered.events() == reference["events"], (
+            f"{scenario} killed at {point}#{hit}: detector events diverged")
+        assert recovered.summary() == reference["summary"], (
+            f"{scenario} killed at {point}#{hit}: summary diverged")
+        # The golden covers every default detector, not a lucky subset.
+        covered = {d["label"] for d in recovered.events()["detections"]}
+        assert covered == set(default_detector_spec().split("+"))
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_torn_journal_tail_reads_as_absent(self, tmp_path, bundles,
+                                               scenario):
+        """Physically tear the last journal record; recovery must fall
+        back to the previous batch boundary and the resume must heal it."""
+        bundle = bundles[scenario]
+        reference = reference_run(bundle)
+        payloads = list(store_to_payloads(bundle.usage, BATCH))
+
+        registry = TenantRegistry(
+            state=ServerStateDir(tmp_path, snapshot_every=0))
+        tenant = registry.create({"id": "ref",
+                                  "machines": bundle.usage.machine_ids})
+        sizes = []
+        journal_path = registry.state.tenant_root("ref") / "journal.wal"
+        for payload in payloads[:5]:
+            tenant.ingest(payload)
+            sizes.append(journal_path.stat().st_size)
+        # Cut mid-way through the 5th record (crash mid-write).
+        torn_size = (sizes[3] + sizes[4]) // 2
+        raw = journal_path.read_bytes()
+        journal_path.write_bytes(raw[:torn_size])
+
+        recovered, resumed_alerts = recover_and_resume(tmp_path, bundle)
+        assert recovered.events() == reference["events"]
+        assert recovered.summary() == reference["summary"]
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_recovery_without_any_crash_is_identity(self, tmp_path, bundles,
+                                                    scenario):
+        """A clean drain + restart (no kill at all) is also bit-identical."""
+        bundle = bundles[scenario]
+        reference = reference_run(bundle)
+        payloads = list(store_to_payloads(bundle.usage, BATCH))
+
+        registry = TenantRegistry(
+            state=ServerStateDir(tmp_path, snapshot_every=SNAPSHOT_EVERY))
+        tenant = registry.create({"id": "ref",
+                                  "machines": bundle.usage.machine_ids})
+        for payload in payloads:
+            tenant.ingest(payload)
+        registry.close_all()
+
+        recovered, resumed = recover_and_resume(tmp_path, bundle)
+        assert resumed == []
+        assert recovered.events() == reference["events"]
+        assert recovered.summary() == reference["summary"]
+
+
+class TestAlertCursorAcrossRecovery:
+    def test_managed_seq_ids_stay_dense_across_restart(self, tmp_path,
+                                                       bundles):
+        """An ``alerts_since`` subscriber crossing a crash sees every
+        managed record exactly once: seqs stay dense and monotonic, the
+        pre-crash cursor resumes re-delivery-free."""
+        bundle = bundles["thrashing"]
+        payloads = list(store_to_payloads(bundle.usage, BATCH))
+        registry = TenantRegistry(
+            state=ServerStateDir(tmp_path, snapshot_every=SNAPSHOT_EVERY))
+        tenant = registry.create({"id": "ref",
+                                  "machines": bundle.usage.machine_ids})
+        for payload in payloads[:8]:
+            tenant.ingest(payload)
+        before = tenant.alerts(cursor=0, view="managed")
+        cursor = before["cursor"]
+        assert before["alerts"], "scenario produced no managed alerts"
+
+        recovered, _ = recover_and_resume(tmp_path, bundle)
+        after = recovered.alerts(cursor=cursor, view="managed")
+        seqs = ([entry["seq"] for entry in before["alerts"]]
+                + [entry["seq"] for entry in after["alerts"]])
+        full = recovered.alerts(cursor=0, view="managed")
+        assert seqs == [entry["seq"] for entry in full["alerts"]], (
+            "resumed subscriber missed or re-read managed records")
+        assert seqs == list(range(1, len(seqs) + 1)), (
+            "managed seq ids are not dense and monotonic across recovery")
+
+
+class TestServerRestartOverHTTP:
+    def test_drain_restart_resume_matches_local_pipeline(self, tmp_path,
+                                                         bundles):
+        """Real servers, real wire: feed half, drain, restart on the same
+        state dir, resume with the client's resume protocol; the final
+        alerts and events match the local streaming pipeline golden."""
+        bundle = bundles["thrashing"]
+        store = bundle.usage
+        local = local_streaming_run(bundle, BATCH)
+        payloads = list(store_to_payloads(store, BATCH))
+
+        with DetectionServer(port=0, state_dir=tmp_path,
+                             snapshot_every=SNAPSHOT_EVERY) as server:
+            with ServeClient(server.host, server.port) as client:
+                client.create_tenant({"id": "t", "machines":
+                                      store.machine_ids})
+                for payload in payloads[:len(payloads) // 2]:
+                    client._request("POST", "/tenants/t/frames", payload)
+
+        with DetectionServer(port=0, state_dir=tmp_path,
+                             snapshot_every=SNAPSHOT_EVERY) as server:
+            assert server.recovered == ["t"]
+            with ServeClient(server.host, server.port) as client:
+                client.resume_stream_store("t", store, batch_size=BATCH)
+                alerts = [entry["alert"]
+                          for entry in client.alerts("t")["alerts"]]
+                events = {d["label"]: d["events"]
+                          for d in client.events("t")["detections"]}
+        assert alerts == local["alerts"]
+        assert events == local["events"]
+
+    def test_deleted_tenant_stays_deleted_across_restart(self, tmp_path,
+                                                         bundles):
+        store = bundles["thrashing"].usage
+        with DetectionServer(port=0, state_dir=tmp_path) as server:
+            with ServeClient(server.host, server.port) as client:
+                client.create_tenant({"id": "gone",
+                                      "machines": store.machine_ids})
+                client.create_tenant({"id": "kept",
+                                      "machines": store.machine_ids})
+                client.delete_tenant("gone")
+        with DetectionServer(port=0, state_dir=tmp_path) as server:
+            assert server.recovered == ["kept"]
+
+
+def start_serve(*extra_args: str, extra_env: dict | None = None):
+    """Launch ``repro serve --port 0 ...``; returns (proc, port, banner)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    env.pop(FAULTS_ENV, None)
+    env.update(extra_env or {})
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    banner = []
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            proc.kill()
+            raise AssertionError(
+                f"server failed to start: {''.join(banner)!r}")
+        banner.append(line)
+        if "serving on" in line:
+            break
+    port = int(line.split("serving on ")[1].split()[0].rsplit(":", 1)[1])
+    return proc, port, "".join(banner)
+
+
+class TestSubprocessSigkill:
+    def test_sigkill_mid_ingest_then_restart_resumes_golden(self, tmp_path,
+                                                            bundles):
+        """The real crash: a ``repro serve`` subprocess is SIGKILLed *by
+        itself* at an exact journal append (REPRO_FAULTS kill action — no
+        signal-timing races), restarted on the same state dir, and the
+        resumed feed must land bit-identical to the local pipeline."""
+        bundle = bundles["thrashing"]
+        store = bundle.usage
+        local = local_streaming_run(bundle, BATCH)
+        state_dir = tmp_path / "state"
+
+        plan = '{"persist.journal.append": {"at": 6, "action": "kill"}}'
+        proc, port, _ = start_serve(
+            "--state-dir", str(state_dir), "--backend", "threads",
+            "--workers", "2", extra_env={FAULTS_ENV: plan})
+        try:
+            with ServeClient("127.0.0.1", port) as client:
+                client.create_tenant({"id": "t",
+                                      "machines": store.machine_ids})
+                with pytest.raises(ServeError):
+                    client.stream_store("t", store, batch_size=BATCH)
+            assert proc.wait(timeout=30.0) == -signal.SIGKILL
+        finally:
+            proc.kill()
+            proc.communicate()
+
+        proc, port, banner = start_serve(
+            "--state-dir", str(state_dir), "--backend", "threads",
+            "--workers", "2")
+        try:
+            assert "recovered 1 tenant(s)" in banner
+            with ServeClient("127.0.0.1", port) as client:
+                assert client.tenants() == ["t"]
+                done = client.summary("t")["num_samples"]
+                # The killed append (hit 6) was never applied; exactly the
+                # five journaled batches survive.
+                assert done == 5 * BATCH
+                client.resume_stream_store("t", store, batch_size=BATCH)
+                alerts = [entry["alert"]
+                          for entry in client.alerts("t")["alerts"]]
+                events = {d["label"]: d["events"]
+                          for d in client.events("t")["detections"]}
+            assert alerts == local["alerts"]
+            assert events == local["events"]
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                output, _ = proc.communicate(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.communicate()
+                raise
+        assert proc.returncode == 0, f"restarted serve exited: {output!r}"

@@ -1,0 +1,176 @@
+"""Chaos tests for the :class:`ShardExecutor` robustness seams.
+
+The executor's contract under failure is *availability without
+divergence*: a crashing worker is retried, a persistently failing unit
+degrades to an in-process serial sweep, a hung worker surfaces as a
+bounded :class:`ExecutionError` naming the exact unit — and wherever the
+work ended up executing, the verdicts are bit-identical to a plain
+serial ``DetectionEngine.run``.  :class:`FaultyDetector` (from
+``repro.testing.faults``) drives every path without ever touching a real
+workload: it misbehaves only off its constructing thread/process, so the
+serial fallback always computes the genuine verdict.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.detectors import ThresholdDetector
+from repro.analysis.engine import DetectionEngine
+from repro.analysis.shard import ShardExecutor
+from repro.errors import ExecutionError, SeriesError
+from repro.testing.faults import FaultyDetector
+
+
+def small_store(num_machines: int = 9, num_samples: int = 24, seed: int = 7):
+    from repro.metrics.store import MetricStore
+
+    rng = np.random.default_rng(seed)
+    ids = [f"m{i:03d}" for i in range(num_machines)]
+    store = MetricStore(ids, np.arange(num_samples) * 300.0)
+    store.data[:] = rng.uniform(0.0, 100.0, store.data.shape)
+    return store
+
+
+class HangingDetector(ThresholdDetector):
+    """Blocks off-home-thread sweeps until ``release`` is set.
+
+    Thread-backend only (an ``Event`` does not pickle); the home thread
+    computes the real verdict so serial comparisons stay meaningful.
+    """
+
+    def __init__(self, threshold: float = 85.0) -> None:
+        super().__init__(threshold)
+        self._home_thread = threading.get_ident()
+        self.release = threading.Event()
+
+    def _block_mask(self, timestamps, values):
+        if threading.get_ident() != self._home_thread:
+            self.release.wait()
+        return super()._block_mask(timestamps, values)
+
+
+class TestUnitTimeout:
+    def test_hung_worker_surfaces_as_actionable_error(self):
+        store = small_store()
+        detector = HangingDetector()
+        executor = ShardExecutor("threads", workers=2, unit_timeout_s=0.1)
+        try:
+            with pytest.raises(ExecutionError) as excinfo:
+                executor.run(store, detector, shards=2)
+        finally:
+            detector.release.set()   # unwedge the pool threads
+        message = str(excinfo.value)
+        assert "HangingDetector" in message, "error must name the detector"
+        assert "'cpu'" in message, "error must name the metric"
+        assert "shard 1/2" in message, "error must name the shard"
+        assert "0.1s" in message, "error must state the budget"
+
+    def test_timeout_is_not_retried(self):
+        """A hang is not transient: even with retries budgeted, the first
+        timeout must surface immediately instead of hanging N more times."""
+        store = small_store()
+        detector = HangingDetector()
+        executor = ShardExecutor("threads", workers=2,
+                                 unit_timeout_s=0.1, unit_retries=5)
+        try:
+            with pytest.raises(ExecutionError):
+                executor.run(store, detector, shards=2)
+        finally:
+            detector.release.set()
+
+    def test_started_pool_self_heals_after_a_hang(self):
+        """A hung unit costs the persistent pool, not the executor: the
+        next call transparently rebuilds the pool and sweeps normally."""
+        store = small_store()
+        detector = HangingDetector()
+        with ShardExecutor("threads", workers=2,
+                           unit_timeout_s=0.1) as executor:
+            try:
+                with pytest.raises(ExecutionError):
+                    executor.run(store, detector, shards=2)
+            finally:
+                detector.release.set()
+            assert executor._pool is None, "the wedged pool must be discarded"
+            reference = DetectionEngine().run(store, "threshold")
+            healed = executor.run(store, "threshold", shards=3)
+            assert executor._pool is not None, "the pool must be recreated"
+            assert healed.events() == reference.events()
+            assert np.array_equal(healed.mask, reference.mask)
+
+    def test_invalid_timeout_and_retries_rejected(self):
+        with pytest.raises(SeriesError):
+            ShardExecutor("threads", unit_timeout_s=0.0)
+        with pytest.raises(SeriesError):
+            ShardExecutor("threads", unit_retries=-1)
+
+
+class TestRetryAndDegradation:
+    def test_transient_worker_failure_is_retried_bit_identical(self):
+        """One injected worker crash, one retry pass — and the verdict is
+        indistinguishable from a run where nothing ever failed."""
+        store = small_store()
+        reference = DetectionEngine().run(store, ThresholdDetector(85.0))
+        detector = FaultyDetector(85.0, fail_in="thread", times=1)
+        executor = ShardExecutor("threads", workers=2, unit_retries=1)
+        result = executor.run(store, detector, shards=3)
+        assert detector._failures == 1, "the fault must actually have fired"
+        assert result.events() == reference.events()
+        assert np.array_equal(result.mask, reference.mask)
+        assert np.array_equal(result.scores, reference.scores)
+
+    def test_persistent_failure_degrades_to_serial_bit_identical(self):
+        """A unit that fails on *every* pooled attempt is swept serially
+        in-process — same kernels, same views, same verdict."""
+        store = small_store()
+        reference = DetectionEngine().run(store, ThresholdDetector(85.0))
+        detector = FaultyDetector(85.0, fail_in="thread")   # always fails
+        executor = ShardExecutor("threads", workers=2, unit_retries=1)
+        result = executor.run(store, detector, shards=3)
+        assert detector._failures >= 3, "every pooled attempt must have failed"
+        assert result.events() == reference.events()
+        assert np.array_equal(result.mask, reference.mask)
+        assert np.array_equal(result.scores, reference.scores)
+
+    def test_healthy_units_survive_a_failing_neighbour(self):
+        """run_many with one poisoned unit: the healthy unit's verdict is
+        untouched and the poisoned one still lands via the fallback."""
+        store = small_store()
+        engine = DetectionEngine()
+        poisoned = FaultyDetector(85.0, fail_in="thread")
+        results = ShardExecutor("threads", workers=2, unit_retries=0).run_many(
+            store, ((poisoned, "cpu"), ("flatline", "cpu")), shards=2)
+        assert results[0].events() == engine.run(
+            store, ThresholdDetector(85.0)).events()
+        assert results[1].events() == engine.run(store, "flatline").events()
+
+    def test_dead_process_pool_degrades_to_serial_bit_identical(self):
+        """``fail_in='process'`` hard-kills every worker that sweeps the
+        detector (``os._exit``), breaking the ProcessPoolExecutor the way
+        a segfault does; the executor must absorb the BrokenExecutor and
+        still produce the genuine verdict serially."""
+        store = small_store(num_machines=6, num_samples=12)
+        reference = DetectionEngine().run(store, ThresholdDetector(85.0))
+        detector = FaultyDetector(85.0, fail_in="process")
+        executor = ShardExecutor("process", workers=2, unit_retries=1)
+        result = executor.run(store, detector, shards=2)
+        assert result.events() == reference.events()
+        assert np.array_equal(result.mask, reference.mask)
+
+    def test_started_process_pool_self_heals_after_breakage(self):
+        store = small_store(num_machines=6, num_samples=12)
+        with ShardExecutor("process", workers=2,
+                           unit_retries=0) as executor:
+            broken = executor.run(store, FaultyDetector(85.0,
+                                                        fail_in="process"),
+                                  shards=2)
+            assert executor._pool is None, "the broken pool must be discarded"
+            healthy = executor.run(store, "threshold", shards=2)
+            assert executor._pool is not None, "the pool must be recreated"
+        reference = DetectionEngine().run(store, "threshold")
+        assert healthy.events() == reference.events()
+        assert broken.events() == DetectionEngine().run(
+            store, ThresholdDetector(85.0)).events()

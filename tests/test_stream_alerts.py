@@ -1,5 +1,7 @@
 """Tests for the alert manager."""
 
+import json
+
 import pytest
 
 from repro.errors import SeriesError
@@ -211,3 +213,100 @@ class TestQueries:
         for index in range(5):
             manager.ingest(make_alert(subject=f"m_{index:04d}"))
         assert len(manager.summary_lines(limit=3)) == 3
+
+
+class TestJsonRoundTrip:
+    """Persistence contract: full manager state survives a JSON round-trip
+    (it is what the serve layer snapshots), and recovery never breaks the
+    dense-seq cursor guarantee."""
+
+    def busy_manager(self) -> AlertManager:
+        manager = AlertManager(policy=AlertPolicy(dedup_window_s=600.0,
+                                                  min_severity="warning",
+                                                  max_active=50))
+        manager.ingest(make_alert(timestamp=0.0, subject="a"))
+        manager.ingest(make_alert(timestamp=60.0, subject="a"))    # bump x2
+        manager.ingest(make_alert(timestamp=5.0, subject="b",
+                                  kind="thrashing", severity="critical"))
+        manager.ingest(make_alert(timestamp=9.0, severity="info"))  # dropped
+        manager.acknowledge("thrashing", "b")
+        return manager
+
+    def test_policy_round_trips(self):
+        policy = AlertPolicy(dedup_window_s=120.0, min_severity="critical",
+                             max_active=7)
+        restored = AlertPolicy.from_dict(
+            json.loads(json.dumps(policy.to_dict())))
+        assert restored == policy
+
+    @pytest.mark.parametrize("raw", [
+        {},
+        {"dedup_window_s": "soon", "min_severity": "warning",
+         "max_active": 10},
+        {"dedup_window_s": 1.0, "min_severity": "panic", "max_active": 10},
+    ])
+    def test_malformed_policy_rejected(self, raw):
+        with pytest.raises(SeriesError):
+            AlertPolicy.from_dict(raw)
+
+    def test_manager_round_trips_bit_identical(self):
+        manager = self.busy_manager()
+        encoded = json.dumps(manager.to_dict())          # truly JSON-safe
+        restored = AlertManager.from_dict(json.loads(encoded))
+        assert restored.to_dict() == manager.to_dict()
+        assert restored.policy == manager.policy
+        assert restored.history == manager.history
+        assert restored.suppressed_count == manager.suppressed_count
+        assert restored.last_seq == manager.last_seq
+        assert restored.digest() == manager.digest()
+        assert restored.pending() == manager.pending()
+
+    def test_round_trip_preserves_dense_monotonic_seqs(self):
+        manager = self.busy_manager()
+        restored = AlertManager.from_dict(manager.to_dict())
+        assert [m.seq for m in restored.history] == list(
+            range(1, restored.last_seq + 1))
+        # New ingests continue the sequence with no gap and no reuse.
+        fresh = restored.ingest(make_alert(timestamp=2000.0, subject="c"))
+        assert fresh.seq == manager.last_seq + 1
+
+    def test_cursor_subscriber_survives_the_round_trip(self):
+        """A subscriber that read part of the stream before recovery sees
+        exactly the rest afterwards — no duplicates, no gaps."""
+        manager = self.busy_manager()
+        seen = [m.seq for m in manager.alerts_since(0)]
+        cursor = max(seen)
+        restored = AlertManager.from_dict(manager.to_dict())
+        restored.ingest(make_alert(timestamp=2000.0, subject="c"))
+        restored.ingest(make_alert(timestamp=2001.0, subject="d",
+                                   kind="thrashing", severity="critical"))
+        tail = [m.seq for m in restored.alerts_since(cursor)]
+        assert seen + tail == list(range(1, restored.last_seq + 1))
+
+    def test_dedup_state_survives_recovery(self):
+        """An occurrence bump lands on the restored record, not a new seq."""
+        manager = self.busy_manager()
+        restored = AlertManager.from_dict(manager.to_dict())
+        bumped = restored.ingest(make_alert(timestamp=120.0, subject="a"))
+        assert bumped.occurrences == 3
+        assert bumped.seq == 1
+        assert restored.last_seq == manager.last_seq
+
+    def test_sinks_are_not_serialised(self):
+        manager = AlertManager(sinks=[lambda managed: None])
+        manager.ingest(make_alert())
+        encoded = manager.to_dict()
+        assert "sinks" not in encoded
+        assert AlertManager.from_dict(encoded).sinks == []
+
+    @pytest.mark.parametrize("mangle", [
+        lambda raw: raw.pop("last_seq"),
+        lambda raw: raw.pop("history"),
+        lambda raw: raw["history"].append({"seq": "x"}),
+        lambda raw: raw.update(policy={"min_severity": "panic"}),
+    ])
+    def test_malformed_manager_dict_rejected(self, mangle):
+        raw = self.busy_manager().to_dict()
+        mangle(raw)
+        with pytest.raises(SeriesError):
+            AlertManager.from_dict(raw)

@@ -1,0 +1,121 @@
+"""Tests for the deterministic fault-injection harness (``repro.testing``).
+
+The harness is itself test infrastructure, so its guarantees need pinning
+hardest of all: a chaos suite built on a non-deterministic injector is a
+flaky suite, and one built on an injector that silently fails to fire
+tests nothing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.testing import faults
+from repro.testing.faults import (
+    FAULTS_ENV,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    fault_point,
+)
+
+
+class TestFaultSpec:
+    def test_from_dict_accepts_scalar_at(self):
+        spec = FaultSpec.from_dict({"at": 3})
+        assert spec.at == (3,)
+
+    @pytest.mark.parametrize("bad", [
+        {"action": "explode"},
+        {"error": "nuclear"},
+        {"p": 1.5},
+        {"unknown_key": 1},
+    ])
+    def test_invalid_specs_are_loud(self, bad):
+        with pytest.raises(ValueError):
+            FaultSpec.from_dict(bad)
+
+    def test_error_families(self):
+        assert isinstance(
+            FaultSpec.from_dict({}).make_error("x", 1), InjectedFault)
+        assert isinstance(FaultSpec.from_dict({"error": "os"})
+                          .make_error("x", 1), OSError)
+        assert isinstance(FaultSpec.from_dict({"error": "conn"})
+                          .make_error("x", 1), ConnectionError)
+
+
+class TestInjector:
+    def test_uninstalled_points_are_no_ops(self):
+        fault_point("nowhere")  # must not raise
+
+    def test_fires_at_exact_hit_indices(self):
+        with faults.inject({"disk.write": {"at": (2, 4)}}) as injector:
+            hits = []
+            for index in range(1, 6):
+                try:
+                    fault_point("disk.write")
+                    hits.append(index)
+                except InjectedFault:
+                    pass
+            assert hits == [1, 3, 5]
+            assert injector.fired == [("disk.write", 2), ("disk.write", 4)]
+            assert injector.hits("disk.write") == 5
+
+    def test_unplanned_points_never_fire(self):
+        with faults.inject({"disk.write": {"at": 1}}) as injector:
+            fault_point("other.point")
+            assert injector.fired == []
+
+    def test_probability_draws_are_seed_deterministic(self):
+        def firings(seed: int) -> list:
+            with faults.inject({"flaky": {"p": 0.3}},
+                               seed=seed) as injector:
+                for _ in range(50):
+                    try:
+                        fault_point("flaky")
+                    except InjectedFault:
+                        pass
+                return list(injector.fired)
+
+        run_a, run_b = firings(7), firings(7)
+        assert run_a == run_b, "same seed must reproduce the same chaos"
+        assert run_a, "p=0.3 over 50 hits fired nothing — harness is inert"
+        assert firings(8) != run_a, "seed is not actually feeding the rng"
+
+    def test_times_bounds_total_firings(self):
+        with faults.inject({"flaky": {"at": (1, 2, 3), "times": 2}}) as inj:
+            failures = 0
+            for _ in range(5):
+                try:
+                    fault_point("flaky")
+                except InjectedFault:
+                    failures += 1
+            assert failures == 2
+            assert [hit for _, hit in inj.fired] == [1, 2]
+
+    def test_uninstall_on_context_exit(self):
+        with faults.inject({"disk.write": {"at": 1}}):
+            pass
+        fault_point("disk.write")  # must not raise
+
+
+class TestEnvInstall:
+    def test_env_plan_installs(self):
+        plan = {"persist.journal.append": {"at": 5, "action": "kill"}}
+        injector = faults.install_from_env(
+            {FAULTS_ENV: json.dumps(plan)})
+        try:
+            assert isinstance(injector, FaultInjector)
+            assert injector.plan["persist.journal.append"].action == "kill"
+        finally:
+            faults.uninstall()
+
+    def test_absent_env_is_none(self):
+        assert faults.install_from_env({}) is None
+
+    def test_malformed_env_is_loud(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            faults.install_from_env({FAULTS_ENV: "{nope"})
+        faults.uninstall()
