@@ -68,7 +68,7 @@ from repro.analysis.engine import (
     EngineResult,
     merge_engine_results,
 )
-from repro.errors import ExecutionError, SeriesError
+from repro.errors import ExecutionError, SeriesError, TransientWorkerError
 from repro.metrics.store import MetricStore
 
 #: Supported execution backends, in increasing isolation order.
@@ -342,7 +342,8 @@ class ShardExecutor:
 
         Fills ``verdicts`` for the keys that succeed and returns the keys
         that failed *retryably* — a worker crash (``BrokenExecutor``) or
-        an injected infrastructure fault.  Any other exception is a
+        a :class:`~repro.errors.TransientWorkerError` (the marker the
+        fault-injection harness raises).  Any other exception is a
         genuine detector error and propagates unchanged.  A per-unit
         timeout is not retryable: a worker that hangs once will hang
         again, so it surfaces immediately as :class:`ExecutionError`
@@ -352,8 +353,6 @@ class ShardExecutor:
         """
         from concurrent.futures import BrokenExecutor
         from concurrent.futures import TimeoutError as PoolTimeout
-
-        from repro.testing.faults import InjectedFault
 
         pool, owned = self._acquire_pool(len(pending))
         failed: list[tuple[int, int]] = []
@@ -377,7 +376,7 @@ class ShardExecutor:
                         broken = True
                         raise self._timeout_error(work[units[0]], shard,
                                                   len(views)) from None
-                    except (BrokenExecutor, InjectedFault) as exc:
+                    except (BrokenExecutor, TransientWorkerError) as exc:
                         broken = broken or isinstance(exc, BrokenExecutor)
                         failed.extend((unit, shard) for unit in units)
                     else:
@@ -395,7 +394,7 @@ class ShardExecutor:
                         broken = True
                         raise self._timeout_error(work[key[0]], key[1],
                                                   len(views)) from None
-                    except (BrokenExecutor, InjectedFault) as exc:
+                    except (BrokenExecutor, TransientWorkerError) as exc:
                         broken = broken or isinstance(exc, BrokenExecutor)
                         failed.append(key)
         finally:

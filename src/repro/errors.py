@@ -91,6 +91,21 @@ class ServiceUnavailableError(ServeError):
         super().__init__(message)
 
 
+class TransientWorkerError(RuntimeError):
+    """Marker: an infrastructure failure a sharded sweep may retry.
+
+    Deliberately *not* a :class:`BatchLensError` — it models machinery
+    breaking underneath the library (a dying pool worker, a failing
+    disk), not a request the library judged invalid.
+    :class:`~repro.analysis.shard.ShardExecutor` treats it like
+    ``concurrent.futures.BrokenExecutor``: the unit is retried and, past
+    the retry budget, degraded to in-process serial execution.  The test
+    harness's :class:`~repro.testing.faults.InjectedFault` inherits this
+    marker, so production code never needs to import the testing package
+    to recognise an injected chaos failure as retryable.
+    """
+
+
 class ExecutionError(BatchLensError):
     """A sharded execution unit failed or exceeded its time budget.
 

@@ -14,12 +14,19 @@ The client is deliberately dependency-free and single-connection; it is
 instance, which also exercises the server's one-connection-per-client
 concurrency the way real agents would.
 
-Transient failures — a reaped keep-alive connection, a server mid-restart,
-a 503 from a draining server — are retried with bounded exponential
-backoff (``retries`` attempts beyond the first, delays ``backoff_s × 1,
-2, 4, ...``).  The sleep is injectable (``sleep=`` constructor hook), so
-tests drive the schedule with a fake clock and never block; when the
-budget is exhausted the client raises one clear
+Transient failures — a refused connect while the server restarts, a 503
+from a draining server — are retried with bounded exponential backoff
+(``retries`` attempts beyond the first, delays ``backoff_s × 1, 2, 4,
+...``).  Auto-retry never risks double-applying a request: only 503s,
+pre-transmission failures and idempotent (GET) requests are retried.  A
+connection that drops after a non-idempotent send (``POST /frames``
+ingest, tenant create) fails immediately — the server may already have
+applied the request, and resending it blind would double-ingest the
+batch; :meth:`ServeClient.resume_stream_store` is the safe way to
+continue, because it re-checks the tenant's durable ``num_samples``
+before sending anything.  The sleep is injectable (``sleep=`` constructor
+hook), so tests drive the schedule with a fake clock and never block;
+when the budget is exhausted the client raises one clear
 :class:`~repro.errors.ServeError` naming the attempt count and the last
 underlying failure.
 """
@@ -70,14 +77,25 @@ class ServeClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        # Bounded exponential backoff over transient failures: a reaped
-        # keep-alive connection, a refused connect while the server
-        # restarts, or a 503 from a draining server.  Attempt 0 runs
-        # immediately; attempt k sleeps backoff_s * 2**(k-1) first.
+        # Bounded exponential backoff over transient failures: a refused
+        # connect while the server restarts, or a 503 from a draining
+        # server.  Attempt 0 runs immediately; attempt k sleeps
+        # backoff_s * 2**(k-1) first.  Auto-retry is limited to failures
+        # that provably cannot double-apply the request: a 503 (the
+        # server refused without acting), a failure before any request
+        # bytes were transmitted, or an idempotent (GET) request.  A
+        # connection that died after a non-idempotent send — including
+        # after the server applied it but before the response was read —
+        # surfaces immediately: blindly resending an ingest would
+        # double-apply the batch and break the dense alert-seq contract,
+        # so the caller must re-check server state first (the
+        # resume_stream_store protocol).
+        idempotent = method in ("GET", "HEAD")
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
                 self._sleep(self.backoff_s * (2 ** (attempt - 1)))
+            transmitted = False
             try:
                 if self._conn is None:
                     self._conn = self._connect(timeout)
@@ -85,6 +103,7 @@ class ServeClient:
                     self._conn.timeout = timeout
                     if self._conn.sock is not None:
                         self._conn.sock.settimeout(timeout)
+                transmitted = True
                 self._conn.request(method, path, body=body, headers=headers)
                 response = self._conn.getresponse()
                 raw = response.read()
@@ -92,6 +111,15 @@ class ServeClient:
                     OSError) as exc:
                 self.close()
                 last_error = exc
+                if transmitted and not idempotent:
+                    raise ServeError(
+                        f"{method} {path} against {self.host}:{self.port}: "
+                        f"connection failed after the request may have been "
+                        f"transmitted; not auto-retrying a non-idempotent "
+                        f"request (the server may already have applied it) "
+                        f"— re-check tenant state and resume (e.g. "
+                        f"resume_stream_store); underlying error: "
+                        f"{exc}") from exc
                 continue
             if response.status == 503:
                 decoded = self._decode_body(method, path, raw)

@@ -87,6 +87,26 @@ _RECORD = struct.Struct("<IIQI")
 _MAX_RECORD_BYTES = 1 << 31
 
 
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename/creation inside it survives power loss.
+
+    Durability of ``os.replace`` (and of newly created files) needs the
+    *parent directory's* entry flushed too, not just the file contents —
+    without this, a post-crash filesystem may resurface the old name.
+    Best-effort: platforms that cannot fsync a directory are skipped.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _write_atomic(path: Path, data: bytes, *, fsync: bool) -> None:
     """Write ``data`` to ``path`` via tmp + rename (the commit point)."""
     tmp = path.parent / (path.name + ".tmp")
@@ -97,6 +117,8 @@ def _write_atomic(path: Path, data: bytes, *, fsync: bool) -> None:
             os.fsync(handle.fileno())
     fault_point("persist.snapshot.rename")
     os.replace(tmp, path)
+    if fsync:
+        _fsync_dir(path.parent)
 
 
 class FrameJournal:
@@ -118,8 +140,29 @@ class FrameJournal:
 
     def _ensure_open(self):
         if self._handle is None:
+            created = not self.path.exists()
             self._handle = open(self.path, "ab")
+            if created and self.fsync:
+                _fsync_dir(self.path.parent)
         return self._handle
+
+    def size(self) -> int:
+        """Current journal length in bytes (the next append offset)."""
+        return os.fstat(self._ensure_open().fileno()).st_size
+
+    def rewind(self, size: int) -> None:
+        """Drop everything appended after offset ``size`` (WAL rollback).
+
+        Used when applying a just-journaled batch fails: the record must
+        not stay ahead of the in-memory state, or its sequence number
+        would be duplicated by the next append and recovery's contiguity
+        scan would silently drop every later acknowledged batch.
+        """
+        handle = self._ensure_open()
+        handle.truncate(size)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
 
     def append(self, seq: int, timestamps: np.ndarray,
                block: np.ndarray) -> None:
@@ -248,7 +291,10 @@ class TenantPersistence:
 
     def write_spec(self, spec_dict: dict) -> None:
         fault_point("persist.spec.write")
+        created = not self.root.exists()
         self.root.mkdir(parents=True, exist_ok=True)
+        if created and self.fsync:
+            _fsync_dir(self.root.parent)
         _write_atomic(self.spec_path,
                       json.dumps(spec_dict, indent=2).encode("utf-8"),
                       fsync=self.fsync)
@@ -337,7 +383,23 @@ class ServerStateDir:
             marker.write_text(json.dumps({"version": STATE_VERSION}))
 
     def tenant_root(self, tenant_id: str) -> Path:
-        return self.root / TENANTS_DIRNAME / tenant_id
+        """The tenant's directory — guaranteed strictly inside ``tenants/``.
+
+        Defense in depth behind :class:`~repro.serve.tenants.TenantSpec`'s
+        charset validation: ids like ``..``, ``.``, absolute paths or
+        anything containing a separator would resolve *outside* the
+        tenants directory, turning :meth:`create`'s stale-remnant rmtree
+        (or :meth:`remove`) into deletion of the whole state dir.  Such
+        ids fail loudly here, before any mkdir or rmtree can run.
+        """
+        base = self.root / TENANTS_DIRNAME
+        candidate = base / tenant_id
+        if (not tenant_id or tenant_id in (".", "..")
+                or candidate.parent != base or candidate.name != tenant_id):
+            raise ServeError(
+                f"unsafe tenant id {tenant_id!r}: must be a single path "
+                f"component other than '.' and '..'")
+        return candidate
 
     def create(self, spec_dict: dict) -> TenantPersistence:
         """Open (and durably record) a fresh tenant's state directory."""

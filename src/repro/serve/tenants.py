@@ -26,6 +26,7 @@ chunk-preservation of the journal, not a parallel code path.
 
 from __future__ import annotations
 
+import re
 import threading
 from dataclasses import dataclass
 
@@ -44,6 +45,14 @@ from repro.pipeline.spec import StreamingOptions
 from repro.serve.wire import payload_to_block
 from repro.stream.alerts import AlertManager, AlertPolicy
 from repro.stream.monitor import MonitorConfig, OnlineMonitor
+
+#: A tenant id doubles as its on-disk directory name under the server's
+#: ``--state-dir``, so the charset is locked down hard: one path-safe
+#: component, never ``.`` or ``..`` (which would resolve *outside* the
+#: tenants directory and turn create/delete into an rmtree of the whole
+#: state dir).  The dot-only forms are excluded by requiring at least one
+#: non-dot character.
+_TENANT_ID_RE = re.compile(r"^(?=.*[A-Za-z0-9_+-])[A-Za-z0-9._+-]{1,128}$")
 
 
 @dataclass(frozen=True)
@@ -127,9 +136,12 @@ class TenantSpec:
                 "each ingest request as one chunk, so chunking is the "
                 "client's batch size (and cannot change detector verdicts)")
         tenant_id = raw.get("id", default_id)
-        if not isinstance(tenant_id, str) or not tenant_id or "/" in tenant_id:
+        if not isinstance(tenant_id, str) or not _TENANT_ID_RE.match(tenant_id):
             raise ServeError(
-                f"tenant id must be a non-empty string without '/', got "
+                f"tenant id must be 1-128 characters drawn from letters, "
+                f"digits, '.', '_', '+' and '-' (with at least one non-dot "
+                f"character — ids double as state-dir directory names, so "
+                f"'.', '..' and path separators are rejected), got "
                 f"{tenant_id!r}")
         return cls(tenant_id=tenant_id, machines=tuple(machines),
                    detectors=detectors, metrics=metrics, streaming=streaming)
@@ -187,14 +199,33 @@ class Tenant:
         point; the batch boundary itself is preserved in the journal
         because the regime/thrashing assessments run once per chunk —
         replay must re-chunk exactly as the live server did.
+
+        The WAL invariant is *journal == applied batches, unique seqs*:
+        if applying the batch fails after its record was appended, the
+        record is rolled back (journal truncated to its pre-append size)
+        so the unacknowledged batch never resurfaces on recovery and its
+        seq is free for the retry.  If even the rollback fails, the
+        tenant is closed — appending again would duplicate the orphan
+        record's seq, and recovery's contiguity scan would then silently
+        drop every later acknowledged batch.
         """
         timestamps, block = payload_to_block(payload,
                                              len(self.spec.machines))
         with self.cond:
             self._check_open()
             if self.persist is not None:
+                mark = self.persist.journal.size()
                 self.persist.append(self._ingest_seq + 1, timestamps, block)
-            response = self._apply(timestamps, block)
+                try:
+                    response = self._apply(timestamps, block)
+                except BaseException:
+                    try:
+                        self.persist.journal.rewind(mark)
+                    except Exception:
+                        self.close(reason="journal rollback failed")
+                    raise
+            else:
+                response = self._apply(timestamps, block)
             if (self.persist is not None
                     and self.persist.snapshot_due(
                         self._samples_since_snapshot)):
@@ -376,8 +407,8 @@ class Tenant:
                     f"tenant {self.spec.tenant_id!r} is draining with the "
                     f"server; retry after the restart", retry_after_s=1.0)
             raise ServeError(
-                f"tenant {self.spec.tenant_id!r} is closed (deleted or "
-                f"server draining)")
+                f"tenant {self.spec.tenant_id!r} is closed "
+                f"({self._close_reason})")
 
 
 class TenantRegistry:

@@ -52,6 +52,7 @@ from random import Random
 from typing import Iterable, Mapping
 
 from repro.analysis.detectors import ThresholdDetector
+from repro.errors import TransientWorkerError
 
 #: Environment variable holding a JSON fault plan, installed on import so
 #: subprocesses (``repro serve``) pick it up with zero wiring.
@@ -61,13 +62,16 @@ _ACTIONS = ("raise", "kill")
 _ERRORS = {"injected": None, "os": OSError, "conn": ConnectionError}
 
 
-class InjectedFault(RuntimeError):
+class InjectedFault(TransientWorkerError):
     """An artificial failure raised by the fault-injection harness.
 
     Deliberately *not* a :class:`~repro.errors.BatchLensError`: an
     injected fault models infrastructure breaking underneath the library
     (a dying worker, a failing disk), not a request the library judged
-    invalid — so it takes the same paths a real crash would.
+    invalid — so it takes the same paths a real crash would.  Inheriting
+    :class:`~repro.errors.TransientWorkerError` is what makes the shard
+    executor's retry path treat it as retryable without ever importing
+    this testing module.
     """
 
 

@@ -130,7 +130,12 @@ class TestTenantSpec:
         ({"machines": MACHINES, "mode": "batch"}, "streaming"),
         ({"machines": MACHINES, "metrics": ["gpu"]}, "gpu"),
         ({"machines": MACHINES, "detectors": 7}, "spec string"),
-        ({"machines": MACHINES, "id": "a/b"}, "without '/'"),
+        ({"machines": MACHINES, "id": "a/b"}, "path separators"),
+        ({"machines": MACHINES, "id": ".."}, "path separators"),
+        ({"machines": MACHINES, "id": "."}, "path separators"),
+        ({"machines": MACHINES, "id": ""}, "path separators"),
+        ({"machines": MACHINES, "id": "a\\b"}, "path separators"),
+        ({"machines": MACHINES, "id": "x" * 129}, "path separators"),
         ({"machines": MACHINES, "bogus": 1}, "bogus"),
         ({"machines": MACHINES,
           "streaming": {"cadence": "sample"}}, "cadence"),

@@ -52,6 +52,14 @@ class _ScriptedHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body.encode("utf-8"))
 
+    def do_POST(self) -> None:
+        # 503s are safe to retry for any method (the server refused
+        # without acting), so POST shares GET's scripted behaviour.
+        length = int(self.headers.get("Content-Length", 0))
+        if length:
+            self.rfile.read(length)
+        self.do_GET()
+
     def log_message(self, *args) -> None:   # keep pytest output clean
         pass
 
@@ -139,6 +147,91 @@ class TestServiceUnavailable:
         with pytest.raises(ServeError):
             client._request("GET", "/nope")
         assert _ScriptedHandler.hits == 1, "4xx must fail fast, not retry"
+
+
+@pytest.fixture
+def slam_server():
+    """A server that reads each request, then closes without replying.
+
+    Models a connection dropped *after* the request reached the server —
+    the case where the server may already have applied it.  Yields
+    ``((host, port), hits)``; ``hits`` grows by one per accepted
+    connection.
+    """
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(8)
+    hits: "list[int]" = []
+
+    def serve() -> None:
+        while True:
+            try:
+                conn, _ = sock.accept()
+            except OSError:
+                return
+            hits.append(1)
+            try:
+                conn.recv(65536)
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    yield sock.getsockname(), hits
+    sock.close()
+
+
+class TestNonIdempotentSafety:
+    """Auto-retry must never risk double-applying a request.
+
+    A POST resent after a drop that happened *post-transmission* could
+    double-ingest a batch the server already applied (duplicating alerts
+    and breaking the dense-seq contract), so only provably-unsent
+    failures, 503s and idempotent GETs are retried.
+    """
+
+    def test_post_refused_connect_is_retried(self):
+        """The failure happened before any bytes were sent, so retrying a
+        POST is provably safe."""
+        clock = FakeClock()
+        client = ServeClient("127.0.0.1", closed_port(), retries=2,
+                             backoff_s=0.05, sleep=clock)
+        with pytest.raises(ServeError, match="failed after 3 attempt"):
+            client._request("POST", "/tenants", {"id": "x"})
+        assert clock.slept == [0.05, 0.1]
+
+    def test_post_dropped_after_send_fails_immediately(self, slam_server):
+        (host, port), hits = slam_server
+        clock = FakeClock()
+        client = ServeClient(host, port, retries=5, backoff_s=0.05,
+                             sleep=clock)
+        with pytest.raises(ServeError, match="non-idempotent") as excinfo:
+            client._request("POST", "/tenants/t/frames",
+                            {"timestamps": [0.0], "frames": [[[1.0]]]})
+        assert len(hits) == 1, "a non-idempotent request was resent"
+        assert clock.slept == []
+        assert "resume" in str(excinfo.value)
+
+    def test_get_dropped_after_send_is_still_retried(self, slam_server):
+        (host, port), hits = slam_server
+        client = ServeClient(host, port, retries=2, backoff_s=0.01,
+                             sleep=FakeClock())
+        with pytest.raises(ServeError, match="failed after 3 attempt"):
+            client._request("GET", "/health")
+        assert len(hits) == 3, "an idempotent GET should use its budget"
+
+    def test_post_503_is_retried_until_the_server_recovers(
+            self, scripted_server):
+        """A 503 means the server refused without acting, so resending a
+        POST cannot double-apply it."""
+        host, port = scripted_server([503, 200])
+        client = ServeClient(host, port, retries=2, backoff_s=0.01,
+                             sleep=FakeClock())
+        assert client._request("POST", "/tenants", {"id": "x"}) == {
+            "status": "ok"}
+        assert _ScriptedHandler.hits == 2
 
 
 class TestResumeBoundaries:

@@ -109,6 +109,36 @@ class TestFrameJournal:
         path.write_bytes(struct.pack("<IIQI", 0, (1 << 31) + 8, 1, 1) + b"x")
         assert FrameJournal.read_records(path, MACHINES, METRICS) == []
 
+    def test_rewind_drops_appends_after_the_mark(self, tmp_path):
+        """WAL rollback: a record whose apply failed is removed, freeing
+        its sequence number for the retry."""
+        journal = FrameJournal(tmp_path / "j.wal")
+        ts1, block1 = make_batch(1, 4)
+        journal.append(1, ts1, block1)
+        mark = journal.size()
+        ts2, block2 = make_batch(2, 3)
+        journal.append(2, ts2, block2)
+        journal.rewind(mark)
+        journal.append(2, ts2, block2)  # the seq is free for reuse
+        journal.close()
+        records = FrameJournal.read_records(tmp_path / "j.wal",
+                                            MACHINES, METRICS)
+        assert [seq for seq, _, _ in records] == [1, 2]
+        np.testing.assert_array_equal(records[1][1], ts2)
+
+    def test_fsync_mode_smoke(self, tmp_path):
+        """fsync=True exercises the directory-fsync paths (file creation,
+        atomic rename); behaviour must be identical to fsync=False."""
+        journal = FrameJournal(tmp_path / "j.wal", fsync=True)
+        ts, block = make_batch(1, 4)
+        journal.append(1, ts, block)
+        journal.rewind(journal.size())
+        journal.close()
+        assert [seq for seq, _, _ in FrameJournal.read_records(
+            tmp_path / "j.wal", MACHINES, METRICS)] == [1]
+        write_snapshot(tmp_path / "s.bin", {"seq": 1}, fsync=True)
+        assert read_snapshot(tmp_path / "s.bin")["seq"] == 1
+
 
 class TestSnapshot:
     def test_round_trip(self, tmp_path):
@@ -236,3 +266,85 @@ class TestServerStateDir:
         (tmp_path / "STATE").write_text(json.dumps({"version": 99}))
         with pytest.raises(ServeError, match="unsupported format"):
             ServerStateDir(tmp_path)
+
+    @pytest.mark.parametrize("bad_id", [
+        "..", ".", "", "a/b", "/abs", "../../escape", "a/..",
+    ])
+    def test_unsafe_tenant_ids_never_reach_the_filesystem(self, tmp_path,
+                                                          bad_id):
+        """An id like ``..`` resolves to the state dir itself — create's
+        stale-remnant rmtree (or remove) on it would wipe every tenant.
+        Such ids must fail loudly before any mkdir or rmtree runs."""
+        state = ServerStateDir(tmp_path)
+        state.create(dict(self.SPEC))
+        for attack in (lambda: state.tenant_root(bad_id),
+                       lambda: state.create(dict(self.SPEC, id=bad_id)),
+                       lambda: state.remove(bad_id)):
+            with pytest.raises(ServeError, match="unsafe tenant id"):
+                attack()
+        survivors = ServerStateDir(tmp_path).stored_tenants()
+        assert [spec["id"] for spec, _ in survivors] == ["alpha"], \
+            "an unsafe tenant id damaged other tenants' durable state"
+
+
+class TestIngestRollback:
+    """The WAL invariant: journal == applied batches, unique seqs.
+
+    If applying a just-journaled batch fails, the record must be rolled
+    back — otherwise the next ingest appends a duplicate seq, and after a
+    crash the recovery contiguity scan stops at it, silently dropping
+    every later *acknowledged* batch.
+    """
+
+    def make_tenant(self, tmp_path):
+        from repro.serve.tenants import Tenant, TenantSpec
+
+        spec = TenantSpec.from_dict(
+            {"id": "alpha", "machines": ["a", "b", "c"]}, default_id="alpha")
+        persist = ServerStateDir(tmp_path).create(spec.to_dict())
+        return Tenant(spec, persist=persist)
+
+    def payload(self, seq, nsamples=4):
+        from repro.serve.wire import block_to_payload
+
+        ts, block = make_batch(seq, nsamples)
+        return block_to_payload(ts, block)
+
+    def journal_seqs(self, tenant):
+        records = FrameJournal.read_records(tenant.persist.journal.path,
+                                            MACHINES, METRICS)
+        return [seq for seq, _, _ in records]
+
+    def test_failed_apply_rolls_back_the_journal_record(self, tmp_path):
+        tenant = self.make_tenant(tmp_path)
+        tenant.ingest(self.payload(1))
+        tenant.monitor.catch_up = lambda chunk: (_ for _ in ()).throw(
+            RuntimeError("injected apply failure"))
+        with pytest.raises(RuntimeError, match="injected apply failure"):
+            tenant.ingest(self.payload(2))
+        assert self.journal_seqs(tenant) == [1], \
+            "a never-applied batch stayed in the journal"
+        del tenant.monitor.catch_up   # restore the real bound method
+        tenant.ingest(self.payload(2))
+        assert self.journal_seqs(tenant) == [1, 2]
+        assert tenant._ingest_seq == 2
+        # Recovery replays exactly the applied batches.
+        tenant.persist.close()
+        state, tail = TenantPersistence(tenant.persist.root).load(
+            MACHINES, METRICS)
+        assert state is None and [seq for seq, _, _ in tail] == [1, 2]
+
+    def test_unrollbackable_failure_poisons_the_tenant(self, tmp_path):
+        """If even the rollback fails, appending again would duplicate the
+        orphan record's seq — the tenant must refuse further ingests."""
+        tenant = self.make_tenant(tmp_path)
+        tenant.ingest(self.payload(1))
+        tenant.monitor.catch_up = lambda chunk: (_ for _ in ()).throw(
+            RuntimeError("injected apply failure"))
+        tenant.persist.journal.rewind = lambda size: (_ for _ in ()).throw(
+            OSError("injected rollback failure"))
+        with pytest.raises(RuntimeError, match="injected apply failure"):
+            tenant.ingest(self.payload(2))
+        assert tenant.closed
+        with pytest.raises(ServeError, match="journal rollback failed"):
+            tenant.ingest(self.payload(3))

@@ -119,3 +119,36 @@ class TestEnvInstall:
         with pytest.raises(ValueError, match="not valid JSON"):
             faults.install_from_env({FAULTS_ENV: "{nope"})
         faults.uninstall()
+
+
+class TestTransientWorkerMarker:
+    """Production retry semantics must not depend on the testing package."""
+
+    def test_injected_fault_is_a_transient_worker_error(self):
+        from repro.errors import BatchLensError, TransientWorkerError
+
+        assert issubclass(InjectedFault, TransientWorkerError)
+        # Still an infrastructure failure, not a request-level error.
+        assert not issubclass(InjectedFault, BatchLensError)
+
+    def test_shard_module_never_imports_the_testing_package(self):
+        """The shard executor recognises retryable failures via the
+        TransientWorkerError marker in repro.errors; importing it must
+        not drag repro.testing into a production process."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        code = (
+            "import sys\n"
+            "import repro.analysis.shard\n"
+            "bad = [m for m in sys.modules if m.startswith('repro.testing')]\n"
+            "sys.exit(1 if bad else 0)\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+        env.pop(FAULTS_ENV, None)
+        result = subprocess.run([sys.executable, "-c", code], env=env,
+                                check=False)
+        assert result.returncode == 0, \
+            "importing repro.analysis.shard pulled in repro.testing"
