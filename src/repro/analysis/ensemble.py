@@ -103,6 +103,23 @@ class EvaluationResult:
             return 0.0
         return 2 * self.precision * self.recall / (self.precision + self.recall)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (result-cache entries, sweep summaries)."""
+        return {"precision": self.precision, "recall": self.recall,
+                "true_positives": self.true_positives,
+                "false_positives": self.false_positives,
+                "false_negatives": self.false_negatives}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "EvaluationResult":
+        """Inverse of :meth:`to_dict`; raises ``KeyError``/``ValueError``
+        on malformed rows (a corrupt cache entry must read as absent)."""
+        return cls(precision=float(raw["precision"]),
+                   recall=float(raw["recall"]),
+                   true_positives=int(raw["true_positives"]),
+                   false_positives=int(raw["false_positives"]),
+                   false_negatives=int(raw["false_negatives"]))
+
 
 def evaluate_machine_sets(predicted: set[str], truth: set[str]) -> EvaluationResult:
     """Machine-level detection quality: which machines were flagged."""

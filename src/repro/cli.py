@@ -15,6 +15,9 @@ writing Python::
     python -m repro detect trace/ --detectors "threshold(threshold=85)+flatline"
     python -m repro detect trace/ --workers 8 --timings --cache
     python -m repro detect trace/ --mmap --backend process --shards 8
+    python -m repro detect trace/ --result-cache results/ --timings
+    python -m repro cache stats results/
+    python -m repro cache prune results/ --max-bytes 50000000
     python -m repro monitor --synthetic --scenario thrashing
     python -m repro monitor --synthetic --scenario "diurnal+network-storm"
     python -m repro monitor --synthetic --scenario thrashing --chunk 256
@@ -96,6 +99,35 @@ def _resolve_bundle(args: argparse.Namespace) -> TraceBundle:
     return generate_trace(config)
 
 
+def _source_spec_from_args(args: argparse.Namespace):
+    """The declarative :class:`~repro.pipeline.SourceSpec` of the CLI flags.
+
+    Unlike :func:`_resolve_bundle` this does not load or generate anything:
+    the pipeline resolves the source itself, which lets a result-cache hit
+    skip the load entirely.
+    """
+    from repro.pipeline import SourceSpec
+
+    if args.trace_dir and not args.synthetic:
+        mmap = getattr(args, "mmap", False)
+        storage = getattr(args, "storage", "float64")
+        cache = (getattr(args, "cache", False) or mmap
+                 or storage != "float64")
+        return SourceSpec(kind="trace-dir", path=str(args.trace_dir),
+                          cache=cache, mmap=mmap, storage=storage)
+    return SourceSpec(kind="synthetic", scenario=args.scenario,
+                      seed=args.seed, paper_scale=args.paper_scale)
+
+
+def _result_cache_from_args(args: argparse.Namespace):
+    """ResultCacheOptions for ``--result-cache DIR``, or None."""
+    from repro.pipeline import ResultCacheOptions
+
+    if getattr(args, "result_cache", None) is None:
+        return None
+    return ResultCacheOptions(dir=str(args.result_cache))
+
+
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     """Sharded-execution knobs shared by `detect` and `pipeline`."""
     parser.add_argument("--backend", default=None,
@@ -112,7 +144,13 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
                              "count)")
     parser.add_argument("--timings", action="store_true",
                         help="print the run's source/detect/sinks/total "
-                             "wall-clock timings")
+                             "wall-clock timings (and the result-cache "
+                             "state when one is configured)")
+    parser.add_argument("--result-cache", type=Path, default=None,
+                        help="content-hashed run-result cache directory: a "
+                             "rerun over an unchanged trace with the same "
+                             "detectors restores the stored result instead "
+                             "of sweeping the engine (see `repro cache`)")
 
 
 def _execution_from_args(args: argparse.Namespace, base=None):
@@ -145,9 +183,12 @@ def _execution_from_args(args: argparse.Namespace, base=None):
 
 def _print_timings(result) -> None:
     """One-line `--timings` rendering of RunResult.timings."""
-    order = ("source_s", "detect_s", "sinks_s", "total_s")
+    order = ("source_s", "detect_s", "sinks_s", "cache_s", "total_s")
     parts = [f"{name[:-2]} {result.timings[name] * 1000:.1f} ms"
              for name in order if name in result.timings]
+    state = result.timings.get("result_cache")
+    if state is not None:
+        parts.append(f"result_cache {state}")
     print("timings: " + ", ".join(parts))
 
 
@@ -296,14 +337,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     A thin adapter over a :class:`~repro.pipeline.Pipeline` whose
     ``comparison`` sink produces the report; ``--json`` emits the
-    machine-readable form for CI.
+    machine-readable form for CI.  ``--result-cache`` is accepted for
+    flag symmetry with ``detect``/``pipeline``, but a plans-built
+    pipeline carries no detector spec so comparison runs always bypass
+    the cache (the comparison itself re-sweeps inside its sink).
     """
     from repro.pipeline import Pipeline
 
-    bundle = _resolve_bundle(args)
-    result = Pipeline.from_bundle(
-        bundle, plans=(),
-        sinks=({"kind": "comparison", "threshold": args.threshold},)).run()
+    result = Pipeline(
+        _source_spec_from_args(args), plans=(),
+        sinks=({"kind": "comparison", "threshold": args.threshold},),
+        result_cache=_result_cache_from_args(args)).run()
     comparison = result.outputs["comparison"]
     text = (json.dumps(comparison_to_dict(comparison), indent=2) if args.json
             else result.outputs["comparison_markdown"])
@@ -346,25 +390,30 @@ def cmd_detect(args: argparse.Namespace) -> int:
     once and are routed around any ``--backend``/``--shards`` plan, so
     mixed stacks still match an unsharded run bit for bit.  ``--json``
     emits the machine-readable run summary instead of the pretty-printed
-    tables.
+    tables.  With ``--result-cache DIR`` a rerun over an unchanged trace
+    restores the stored result without loading the trace or sweeping the
+    engine (the summary line notes ``(cached)``).
     """
     from repro.pipeline import Pipeline
 
-    bundle = _resolve_bundle(args)
-    store = bundle.usage
-    if store is None or store.num_samples == 0:
+    source = _source_spec_from_args(args)
+    run = Pipeline(source, detectors=args.detectors,
+                   metrics=(args.metric,),
+                   sinks=({"kind": "score"},),
+                   execution=_execution_from_args(args),
+                   result_cache=_result_cache_from_args(args)).run()
+    if run.empty:
         raise BatchLensError("trace carries no server-usage data to sweep")
-    run = Pipeline.from_bundle(bundle, detectors=args.detectors,
-                               metrics=(args.metric,),
-                               sinks=({"kind": "score"},),
-                               execution=_execution_from_args(args)).run()
+    cached = run.timings.get("result_cache") == "hit"
     if args.json:
         payload = run.to_dict()
-        payload["scenario"] = str(bundle.meta.get("scenario", "unknown"))
+        payload["scenario"] = (str(args.scenario)
+                               if source.kind == "synthetic" else "unknown")
         print(json.dumps(payload, indent=2))
         return 0
-    print(f"engine sweep on {args.metric!r}: {store.num_machines} machine(s), "
-          f"{store.num_samples} sample(s)")
+    print(f"engine sweep on {args.metric!r}: {len(run.machine_ids)} "
+          f"machine(s), {run.num_samples} sample(s)"
+          + (" (cached)" if cached else ""))
     if args.timings:
         _print_timings(run)
     for detection in run.detections:
@@ -430,6 +479,9 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
                 "--chunk applies to streaming pipelines only; this spec "
                 "runs in batch mode")
         pipeline.streaming = replace(pipeline.streaming, chunk=args.chunk)
+    override = _result_cache_from_args(args)
+    if override is not None:
+        pipeline.result_cache = override
     result = pipeline.run()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
@@ -439,6 +491,28 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         print(render_run_markdown(result))
     if args.timings and not args.json:
         _print_timings(result)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or prune a run-result cache directory.
+
+    ``stats`` prints the entry count and byte total; ``prune --max-bytes N``
+    evicts least-recently-used entries (hits refresh recency) until the
+    ledger fits the budget.
+    """
+    from repro.pipeline import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "prune":
+        stats = cache.prune(args.max_bytes)
+        print(f"evicted {stats['evicted']} entr"
+              f"{'y' if stats['evicted'] == 1 else 'ies'}; "
+              f"{stats['entries']} left ({stats['bytes']} bytes)")
+        return 0
+    stats = cache.stats()
+    print(f"{stats['entries']} entr{'y' if stats['entries'] == 1 else 'ies'}, "
+          f"{stats['bytes']} bytes in {args.cache_dir}")
     return 0
 
 
@@ -456,15 +530,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import DetectionServer
     from repro.serve.persist import DEFAULT_SNAPSHOT_EVERY
+    from repro.serve.server import DEFAULT_DETECT_CACHE_SIZE
 
     snapshot_every = (DEFAULT_SNAPSHOT_EVERY if args.snapshot_every is None
                       else args.snapshot_every)
+    detect_cache_size = (DEFAULT_DETECT_CACHE_SIZE
+                         if args.detect_cache_size is None
+                         else args.detect_cache_size)
     server = DetectionServer(args.host, args.port, backend=args.backend,
                              workers=args.workers,
                              max_tenants=args.max_tenants,
                              state_dir=args.state_dir, fsync=args.fsync,
                              snapshot_every=snapshot_every,
-                             detect_timeout_s=args.detect_timeout)
+                             snapshot_bytes=args.snapshot_bytes,
+                             detect_timeout_s=args.detect_timeout,
+                             detect_cache_size=detect_cache_size)
     stop = threading.Event()
     previous = {}
 
@@ -604,6 +684,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the Markdown report here instead of stdout")
     compare.add_argument("--json", action="store_true",
                          help="emit the machine-readable comparison for CI")
+    compare.add_argument("--result-cache", type=Path, default=None,
+                         help="accepted for symmetry with detect/pipeline; "
+                              "comparison runs carry no detector spec and "
+                              "always bypass the result cache")
     compare.set_defaults(func=cmd_compare)
 
     sla = sub.add_parser("sla", help="evaluate every job against the SLA policy")
@@ -675,11 +759,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ring-snapshot cadence in ingested samples "
                             "(default: 1024); smaller means faster recovery, "
                             "more write amplification")
+    serve.add_argument("--snapshot-bytes", type=int, default=0,
+                       help="also snapshot (and truncate the journal) as "
+                            "soon as a tenant's journal file crosses this "
+                            "many bytes, whatever the sample cadence says "
+                            "(default: 0 = size trigger off); bounds journal "
+                            "growth for wide tenants")
+    serve.add_argument("--detect-cache-size", type=int, default=None,
+                       help="per-server LRU capacity for cached /detect "
+                            "responses keyed on the ring window's content "
+                            "hash (default: 128; 0 disables caching)")
     serve.add_argument("--detect-timeout", type=float, default=120.0,
                        help="per-unit wall-clock budget for batch /detect "
                             "sweeps; a hung worker returns an error instead "
                             "of wedging the request (default: 120s)")
     serve.set_defaults(func=cmd_serve)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune a run-result cache directory")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="print the cache's entry count and byte total")
+    cache_stats.add_argument("cache_dir", type=Path,
+                             help="the --result-cache directory")
+    cache_stats.set_defaults(func=cmd_cache)
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict least-recently-used entries until the cache "
+                      "fits a byte budget")
+    cache_prune.add_argument("cache_dir", type=Path,
+                             help="the --result-cache directory")
+    cache_prune.add_argument("--max-bytes", type=int, required=True,
+                             help="byte budget the cache must fit after "
+                                  "pruning")
+    cache_prune.set_defaults(func=cmd_cache)
+    cache.set_defaults(func=cmd_cache)
 
     scenarios = sub.add_parser(
         "scenarios", help="list registered scenarios and fault injectors")

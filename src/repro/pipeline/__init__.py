@@ -28,6 +28,7 @@ are all thin adapters over :class:`Pipeline`.
 """
 
 from repro.pipeline.core import DetectorRun, Pipeline, RunResult, compile_plans
+from repro.pipeline.resultcache import ResultCache, run_key, source_key
 from repro.pipeline.detectors import (
     DetectorInfo,
     canonical_detector_spec,
@@ -40,10 +41,11 @@ from repro.pipeline.detectors import (
     register_detector,
     resolve_detectors,
 )
-from repro.pipeline.sinks import register_sink, sink_names
+from repro.pipeline.sinks import register_sink, sink_names, sink_needs_source
 from repro.pipeline.spec import (
     DetectorPlan,
     ExecutionOptions,
+    ResultCacheOptions,
     SourceSpec,
     StreamingOptions,
 )
@@ -54,6 +56,8 @@ __all__ = [
     "DetectorRun",
     "ExecutionOptions",
     "Pipeline",
+    "ResultCache",
+    "ResultCacheOptions",
     "RunResult",
     "SourceSpec",
     "StreamingOptions",
@@ -68,5 +72,8 @@ __all__ = [
     "register_detector",
     "register_sink",
     "resolve_detectors",
+    "run_key",
     "sink_names",
+    "sink_needs_source",
+    "source_key",
 ]

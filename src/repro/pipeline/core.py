@@ -57,6 +57,7 @@ from repro.pipeline.spec import (
     MODES,
     DetectorPlan,
     ExecutionOptions,
+    ResultCacheOptions,
     SourceSpec,
     StreamingOptions,
     normalise_sinks,
@@ -195,6 +196,30 @@ class RunResult:
         return run_result_to_dict(self)
 
 
+class _LazySource:
+    """Deferred ``(bundle, store)`` resolution for the sink pass.
+
+    On a result-cache hit the engine never runs, and most sinks (score
+    restored from the entry, json, alerts) never read the source either —
+    so the trace is only loaded/generated the moment a sink that declared
+    ``needs_source`` actually runs.  On a miss the source is already
+    materialised and simply wrapped.
+    """
+
+    def __init__(self, pipeline: "Pipeline", bundle=None, store=None,
+                 resolved: bool = False) -> None:
+        self._pipeline = pipeline
+        self._bundle = bundle
+        self._store = store
+        self._resolved = resolved
+
+    def get(self):
+        if not self._resolved:
+            self._bundle, self._store = self._pipeline._resolve_source()
+            self._resolved = True
+        return self._bundle, self._store
+
+
 class Pipeline:
     """One spec-driven detection workflow: source → detectors → sinks."""
 
@@ -205,7 +230,8 @@ class Pipeline:
                  mode: str = "batch",
                  sinks=("score",),
                  streaming: StreamingOptions | None = None,
-                 execution: ExecutionOptions | None = None) -> None:
+                 execution: ExecutionOptions | None = None,
+                 result_cache: ResultCacheOptions | None = None) -> None:
         if not isinstance(source, SourceSpec):
             raise PipelineError(
                 f"source must be a SourceSpec, got {source!r}; use "
@@ -231,6 +257,7 @@ class Pipeline:
         from repro.pipeline.sinks import validate_sinks
 
         validate_sinks(self.sinks)
+        self.result_cache = result_cache
         self._detector_spec: str | None = None
         if plans is not None:
             if detectors is not None:
@@ -268,7 +295,7 @@ class Pipeline:
             raise PipelineError(
                 f"pipeline spec must be a mapping or string, got {spec!r}")
         known = {"source", "mode", "detectors", "metrics", "sinks",
-                 "streaming", "execution"}
+                 "streaming", "execution", "result_cache"}
         unknown = set(spec) - known
         if unknown:
             raise PipelineError(
@@ -289,6 +316,7 @@ class Pipeline:
             metrics = (metrics,)
         streaming = spec.get("streaming")
         execution = spec.get("execution")
+        result_cache = spec.get("result_cache")
         return cls(source,
                    detectors=detectors,
                    metrics=tuple(metrics),
@@ -297,7 +325,9 @@ class Pipeline:
                    streaming=(StreamingOptions.from_dict(streaming)
                               if streaming is not None else None),
                    execution=(ExecutionOptions.from_dict(execution)
-                              if execution is not None else None))
+                              if execution is not None else None),
+                   result_cache=(ResultCacheOptions.from_dict(result_cache)
+                                 if result_cache is not None else None))
 
     @classmethod
     def from_bundle(cls, bundle: "TraceBundle", **kwargs) -> "Pipeline":
@@ -333,6 +363,8 @@ class Pipeline:
             spec["streaming"] = self.streaming.to_dict()
         if self.execution != ExecutionOptions():
             spec["execution"] = self.execution.to_dict()
+        if self.result_cache is not None:
+            spec["result_cache"] = self.result_cache.to_dict()
         return spec
 
     def __eq__(self, other: object) -> bool:
@@ -402,6 +434,32 @@ class Pipeline:
             kwargs["horizon_s"] = overrides["horizon_s"]
         return TraceConfig(**kwargs)
 
+    # -- result cache ---------------------------------------------------------
+    def _wants_scores(self) -> bool:
+        """Whether a ``score`` sink is attached (part of the cache key)."""
+        return any(sink["kind"] == "score" for sink in self.sinks)
+
+    def _cache_key(self) -> "str | None":
+        """This run's content-addressed cache key, or ``None`` for bypass.
+
+        Only deterministic, spec-expressible batch runs cache: streaming
+        runs re-derive alerts live, instance-built detectors
+        (``_detector_spec is None``) have no canonical spelling, and
+        in-memory bundle/store sources have no durable identity.
+        Execution options are deliberately absent — backend/workers/
+        shards/mmap are golden-pinned to change wall-clock only.
+        """
+        if self.mode != "batch" or self._detector_spec is None:
+            return None
+        from repro.pipeline.resultcache import run_key, source_key
+
+        identity = source_key(self.source)
+        if identity is None:
+            return None
+        return run_key(identity, detectors=self._detector_spec,
+                       metrics=self.metrics, mode=self.mode,
+                       scored=self._wants_scores())
+
     # -- execution ------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the pipeline end to end and return one :class:`RunResult`.
@@ -409,27 +467,80 @@ class Pipeline:
         An empty source (no usage table, or zero samples) yields an empty
         result — callers never special-case "trace too small".  Sinks run
         either way, so every spec-requested output is produced.
+
+        With a ``result_cache`` configured, the run first derives its
+        content-addressed key (:meth:`_cache_key`): a **hit** restores
+        the full verdict from the ledger — the source is not resolved,
+        the engine never runs, and a scored entry also skips the
+        ``score`` sink — while a **miss** runs normally and then writes
+        the entry (best-effort).  Runs the cache cannot key (streaming
+        mode, in-memory sources, instance-built detectors) **bypass** it.
+        ``result.timings`` records the outcome (``result_cache:
+        hit|miss|bypass`` and ``cache_s``); the cache never changes
+        results — cached and uncached runs are bit-identical
+        (golden-pinned).
         """
         started = time.perf_counter()
-        bundle, store = self._resolve_source()
-        source_s = time.perf_counter() - started
-        if store is None or store.num_samples == 0:
-            # Degenerate source: no detections/alerts, but the sinks still
-            # run so spec-requested outputs (report, json, ...) are always
-            # produced — sinks that genuinely need samples say so.
-            result = RunResult(mode=self.mode,
-                               metrics=self.metrics,
-                               machine_ids=(tuple(store.machine_ids)
-                                            if store is not None else ()))
-        elif self.mode == "batch":
-            result = self._run_batch(bundle, store)
+        cache = key = None
+        restored = None
+        cache_state: str | None = None
+        cache_s = 0.0
+        if self.result_cache is not None and self.result_cache.enabled:
+            from repro.pipeline.resultcache import ResultCache
+
+            cache_started = time.perf_counter()
+            key = self._cache_key()
+            if key is None:
+                cache_state = "bypass"
+            else:
+                cache = ResultCache(self.result_cache.dir)
+                restored = cache.load(key)
+                cache_state = "hit" if restored is not None else "miss"
+            cache_s = time.perf_counter() - cache_started
+
+        if restored is not None:
+            result = restored
+            result.timings.update({"source_s": 0.0, "detect_s": 0.0})
+            skip: tuple[str, ...] = ()
+            if self._wants_scores():
+                # The entry carried the precision/recall rows (scored is
+                # in the key), so the expensive score_bundle pass is
+                # skipped; the sink's output contract still holds.
+                result.outputs["score"] = result.scores
+                skip = ("score",)
+            sink_started = time.perf_counter()
+            self._run_sinks(result, _LazySource(self), skip=skip)
+            result.timings["sinks_s"] = time.perf_counter() - sink_started
         else:
-            result = self._run_streaming(bundle, store)
-        detect_s = time.perf_counter() - started - source_s
-        result.timings.update({"source_s": source_s, "detect_s": detect_s})
-        sink_started = time.perf_counter()
-        self._run_sinks(result, bundle, store)
-        result.timings["sinks_s"] = time.perf_counter() - sink_started
+            bundle, store = self._resolve_source()
+            source_s = time.perf_counter() - started - cache_s
+            if store is None or store.num_samples == 0:
+                # Degenerate source: no detections/alerts, but the sinks
+                # still run so spec-requested outputs (report, json, ...)
+                # are always produced — sinks that genuinely need samples
+                # say so.
+                result = RunResult(mode=self.mode,
+                                   metrics=self.metrics,
+                                   machine_ids=(tuple(store.machine_ids)
+                                                if store is not None else ()))
+            elif self.mode == "batch":
+                result = self._run_batch(bundle, store)
+            else:
+                result = self._run_streaming(bundle, store)
+            detect_s = time.perf_counter() - started - cache_s - source_s
+            result.timings.update({"source_s": source_s,
+                                   "detect_s": detect_s})
+            sink_started = time.perf_counter()
+            self._run_sinks(result, _LazySource(self, bundle=bundle,
+                                                store=store, resolved=True))
+            result.timings["sinks_s"] = time.perf_counter() - sink_started
+            if cache is not None and key is not None:
+                store_started = time.perf_counter()
+                cache.store(key, result, scored=self._wants_scores())
+                cache_s += time.perf_counter() - store_started
+        if cache_state is not None:
+            result.timings["result_cache"] = cache_state
+            result.timings["cache_s"] = cache_s
         result.timings["total_s"] = time.perf_counter() - started
         return result
 
@@ -523,10 +634,16 @@ class Pipeline:
                          detections=detections,
                          alerts=tuple(alerts), monitor=monitor)
 
-    def _run_sinks(self, result: RunResult, bundle, store) -> None:
-        from repro.pipeline.sinks import run_sink
+    def _run_sinks(self, result: RunResult, source: _LazySource, *,
+                   skip: "tuple[str, ...]" = ()) -> None:
+        from repro.pipeline.sinks import run_sink, sink_needs_source
 
         for sink in self.sinks:
+            if sink["kind"] in skip:
+                continue
+            bundle, store = (source.get()
+                             if sink_needs_source(sink["kind"])
+                             else (None, None))
             run_sink(sink, result, bundle=bundle, store=store, pipeline=self)
 
 

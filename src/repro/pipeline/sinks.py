@@ -42,18 +42,34 @@ from repro.errors import PipelineError
 
 #: ``{name: sink(result, bundle, store, options)}``
 _SINKS: dict[str, Callable] = {}
+#: ``{name: bool}`` — whether the sink reads the resolved bundle/store.
+_NEEDS_SOURCE: dict[str, bool] = {}
 
 
-def register_sink(name: str, sink: Callable) -> None:
+def register_sink(name: str, sink: Callable, *,
+                  needs_source: bool = True) -> None:
     """Register (or replace) a sink under ``name``.
 
     ``sink(result, bundle, store, options)`` must store anything it
     produces in ``result.outputs``; ``options`` is the sink's spec entry
     minus the ``kind`` key.
+
+    ``needs_source=False`` declares that the sink never reads ``bundle``
+    or ``store`` — it works purely off the finished result.  On a
+    result-cache hit the pipeline only materialises the source when some
+    attached sink needs it, so declaring independence keeps warm runs
+    from loading gigabytes just to re-render a summary.  The default
+    (``True``) is the safe choice for third-party sinks.
     """
     if not name:
         raise PipelineError("sink name must be non-empty")
     _SINKS[name] = sink
+    _NEEDS_SOURCE[name] = bool(needs_source)
+
+
+def sink_needs_source(name: str) -> bool:
+    """Whether a registered sink reads the resolved bundle/store."""
+    return _NEEDS_SOURCE.get(name, True)
 
 
 def sink_names() -> list[str]:
@@ -156,11 +172,16 @@ def _dashboard_sink(result, *, bundle, store, options) -> None:
     result.outputs["dashboard"] = lens.save_dashboard(float(timestamp), path)
 
 
+# ``score`` needs the bundle's ground-truth manifest on a cold run — but
+# a scored result-cache hit restores ``result.scores`` directly and skips
+# the sink entirely, so the flag only matters on misses.  ``json`` and
+# ``alerts`` work purely off the result; ``report`` reads only the
+# bundle's scenario name, which still requires the bundle.
 register_sink("score", _score_sink)
 register_sink("report", _report_sink)
-register_sink("json", _json_sink)
+register_sink("json", _json_sink, needs_source=False)
 register_sink("comparison", _comparison_sink)
-register_sink("alerts", _alerts_sink)
+register_sink("alerts", _alerts_sink, needs_source=False)
 register_sink("dashboard", _dashboard_sink)
 
 
@@ -168,5 +189,6 @@ __all__ = [
     "register_sink",
     "run_sink",
     "sink_names",
+    "sink_needs_source",
     "validate_sinks",
 ]

@@ -364,6 +364,52 @@ class ExecutionOptions:
 
 
 @dataclass(frozen=True)
+class ResultCacheOptions:
+    """Where (and whether) finished run results are cached on disk.
+
+    ``{"result_cache": {"dir": "...", "enabled": true}}`` in a pipeline
+    spec points :meth:`Pipeline.run` at a content-addressed ledger
+    (:mod:`repro.pipeline.resultcache`): a rerun whose source bytes,
+    detector spec and metrics are unchanged restores its verdict from
+    disk instead of sweeping the engine.  ``enabled: false`` keeps the
+    directory in the spec while forcing every run to recompute (and stop
+    writing entries) — useful for A/B-ing the cache itself.
+    """
+
+    dir: str
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.dir or not isinstance(self.dir, (str, Path)):
+            raise PipelineError(
+                f"result_cache needs a 'dir' (the cache directory), got "
+                f"{self.dir!r}")
+        object.__setattr__(self, "dir", str(self.dir))
+
+    def to_dict(self) -> dict:
+        out: dict = {"dir": self.dir}
+        if not self.enabled:
+            out["enabled"] = False
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "ResultCacheOptions":
+        if not isinstance(raw, Mapping):
+            raise PipelineError(
+                f"result_cache options must be a mapping, got {raw!r}")
+        known = {"dir", "enabled"}
+        unknown = set(raw) - known
+        if unknown:
+            raise PipelineError(
+                f"unknown result_cache option(s) {sorted(unknown)}; "
+                f"expected {sorted(known)}")
+        if "dir" not in raw:
+            raise PipelineError("result_cache needs a 'dir'")
+        return cls(dir=str(raw["dir"]),
+                   enabled=bool(raw.get("enabled", True)))
+
+
+@dataclass(frozen=True)
 class DetectorPlan:
     """One resolved unit of batch work: a detector judging one metric."""
 
@@ -405,6 +451,7 @@ __all__ = [
     "SYNTHETIC_CONFIG_KEYS",
     "DetectorPlan",
     "ExecutionOptions",
+    "ResultCacheOptions",
     "SourceSpec",
     "StreamingOptions",
     "normalise_sinks",

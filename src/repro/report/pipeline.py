@@ -48,7 +48,9 @@ def run_result_to_dict(result) -> dict:
             for run in result.detections
         ],
         "scores": score_rows_to_dicts(result.scores),
-        "timings": {key: float(value)
+        # ``result_cache`` is a state string (hit/miss/bypass), the rest
+        # are seconds — keep both JSON-safe.
+        "timings": {key: (value if isinstance(value, str) else float(value))
                     for key, value in result.timings.items()},
     }
     if result.mode == "streaming":
@@ -104,8 +106,10 @@ def render_run_markdown(result, *, scenario: str | None = None) -> str:
     timings = result.timings
     if timings:
         builder.paragraph(
-            "Timings: " + ", ".join(f"{key} {value * 1000:.1f} ms"
-                                    for key, value in sorted(timings.items())))
+            "Timings: " + ", ".join(
+                (f"{key} {value}" if isinstance(value, str)
+                 else f"{key} {value * 1000:.1f} ms")
+                for key, value in sorted(timings.items())))
     return builder.render()
 
 

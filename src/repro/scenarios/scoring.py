@@ -45,6 +45,21 @@ class ScoredEntry:
     predicted: tuple[str, ...]
     result: EvaluationResult
 
+    def to_dict(self) -> dict:
+        """JSON-safe round-trip form (result-cache entries carry these)."""
+        return {"entry": self.entry.to_dict(), "detector": self.detector,
+                "predicted": list(self.predicted),
+                "result": self.result.to_dict()}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ScoredEntry":
+        """Inverse of :meth:`to_dict`; malformed rows raise (callers treat
+        that as "cache entry absent")."""
+        return cls(entry=GroundTruthEntry.from_dict(raw["entry"]),
+                   detector=str(raw["detector"]),
+                   predicted=tuple(str(p) for p in raw["predicted"]),
+                   result=EvaluationResult.from_dict(raw["result"]))
+
 
 def _window_of(entry: GroundTruthEntry,
                bundle: TraceBundle) -> tuple[float, float]:
@@ -312,6 +327,64 @@ def score_bundle(bundle: TraceBundle, *,
     return [score_entry(bundle, entry) for entry in manifest]
 
 
+@dataclass(frozen=True)
+class SweepCell:
+    """One finished cell of a detector × scenario scoring sweep."""
+
+    scenario: str
+    seed: int
+    #: True when the cell was restored from the result-cache ledger
+    #: instead of recomputed — a resumed sweep shows its completed
+    #: prefix as cached.
+    cached: bool
+    scores: tuple[ScoredEntry, ...]
+
+    @property
+    def worst_f1(self) -> float:
+        return min((s.result.f1 for s in self.scores), default=1.0)
+
+
+def sweep_scenarios(scenarios, *, seeds=(2022,), detectors=None,
+                    metrics=("cpu",), cache_dir=None,
+                    progress=None) -> "list[SweepCell]":
+    """Score a detector stack over a scenario × seed grid, resumably.
+
+    Each cell runs one scored batch :class:`~repro.pipeline.Pipeline`
+    over the synthetic scenario.  With ``cache_dir`` every finished cell
+    is one result-cache ledger entry keyed on its generative spec —
+    interrupt the sweep anywhere and the rerun restores every completed
+    cell from disk (``cell.cached``) and resumes computing at the first
+    uncomputed one; no cell is ever recomputed.  ``detectors`` is a
+    composed spec string (``None`` uses the registry default stack);
+    ``progress``, when given, receives each :class:`SweepCell` as it
+    finishes (raise from it to interrupt the sweep).
+    """
+    from repro.pipeline import Pipeline
+
+    cells: list[SweepCell] = []
+    for scenario in scenarios:
+        for seed in seeds:
+            spec: dict = {
+                "source": {"kind": "synthetic", "scenario": str(scenario),
+                           "seed": int(seed)},
+                "metrics": list(metrics),
+                "sinks": ["score"],
+            }
+            if detectors is not None:
+                spec["detectors"] = detectors
+            if cache_dir is not None:
+                spec["result_cache"] = {"dir": str(cache_dir)}
+            result = Pipeline.from_spec(spec).run()
+            cell = SweepCell(
+                scenario=str(scenario), seed=int(seed),
+                cached=result.timings.get("result_cache") == "hit",
+                scores=tuple(result.scores))
+            cells.append(cell)
+            if progress is not None:
+                progress(cell)
+    return cells
+
+
 def scorecard(bundle: TraceBundle) -> dict[str, EvaluationResult]:
     """Precision/recall per injected anomaly kind (worst entry per kind)."""
     out: dict[str, EvaluationResult] = {}
@@ -324,9 +397,11 @@ def scorecard(bundle: TraceBundle) -> dict[str, EvaluationResult]:
 
 __all__ = [
     "ScoredEntry",
+    "SweepCell",
     "register_runner",
     "runner_names",
     "score_bundle",
     "score_entry",
     "scorecard",
+    "sweep_scenarios",
 ]

@@ -15,7 +15,9 @@ the classic write-ahead contract — so at any kill point the journal
 holds at least every batch a client ever got an ack for.  Journal
 records are binary (raw float64 bytes, not JSON): appending is a CRC and
 a ``write``, which is how journaled ingest stays within a few percent of
-in-memory throughput.  Every ``snapshot_every`` ingested samples the
+in-memory throughput.  Every ``snapshot_every`` ingested samples — or as
+soon as the journal file crosses ``snapshot_bytes``, whichever trigger
+fires first — the
 tenant's full live state (ring, incremental detector states, alert
 manager, alert log) is pickled to ``snapshot.bin.tmp``, fsynced, and
 **atomically renamed** over the previous snapshot — the rename is the
@@ -271,13 +273,18 @@ class TenantPersistence:
     """The durable half of one tenant: its spec, journal and snapshot."""
 
     def __init__(self, root: Path, *, fsync: bool = False,
-                 snapshot_every: int = DEFAULT_SNAPSHOT_EVERY) -> None:
+                 snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+                 snapshot_bytes: int = 0) -> None:
         if snapshot_every < 0:
             raise ServeError(
                 f"snapshot_every must be non-negative, got {snapshot_every}")
+        if snapshot_bytes < 0:
+            raise ServeError(
+                f"snapshot_bytes must be non-negative, got {snapshot_bytes}")
         self.root = Path(root)
         self.fsync = fsync
         self.snapshot_every = snapshot_every
+        self.snapshot_bytes = snapshot_bytes
         self.journal = FrameJournal(self.root / JOURNAL_FILENAME, fsync=fsync)
 
     # -- spec ------------------------------------------------------------------
@@ -314,8 +321,26 @@ class TenantPersistence:
         self.journal.append(seq, timestamps, block)
 
     def snapshot_due(self, samples_since_snapshot: int) -> bool:
-        return (self.snapshot_every > 0
-                and samples_since_snapshot >= self.snapshot_every)
+        """Whether the next snapshot should be taken now.
+
+        Two independent triggers, either sufficient: a **sample** cadence
+        (``snapshot_every`` ingested samples — bounded recovery *work*)
+        and a **byte** cadence (the journal file crossing
+        ``snapshot_bytes`` — bounded recovery *read volume* and disk
+        footprint, which the sample cadence cannot bound when batch
+        sizes vary).  Either set to 0 disables that trigger; the byte
+        trigger only fires once something was journaled since the last
+        snapshot, so an idle tenant never loops on a large stale size.
+        """
+        if (self.snapshot_every > 0
+                and samples_since_snapshot >= self.snapshot_every):
+            return True
+        if self.snapshot_bytes > 0 and samples_since_snapshot > 0:
+            try:
+                return self.journal.size() >= self.snapshot_bytes
+            except OSError:
+                return False
+        return False
 
     def write_snapshot(self, state: dict) -> None:
         """Commit a snapshot (atomic rename), then truncate the journal."""
@@ -361,10 +386,12 @@ class ServerStateDir:
     """One server's ``--state-dir``: the registry's durable mirror."""
 
     def __init__(self, root: str | Path, *, fsync: bool = False,
-                 snapshot_every: int = DEFAULT_SNAPSHOT_EVERY) -> None:
+                 snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+                 snapshot_bytes: int = 0) -> None:
         self.root = Path(root)
         self.fsync = fsync
         self.snapshot_every = snapshot_every
+        self.snapshot_bytes = snapshot_bytes
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / TENANTS_DIRNAME).mkdir(exist_ok=True)
         marker = self.root / MARKER_FILENAME
@@ -410,7 +437,8 @@ class ServerStateDir:
             # recovery); a fresh tenant must not inherit its journal.
             shutil.rmtree(root)
         persist = TenantPersistence(root, fsync=self.fsync,
-                                    snapshot_every=self.snapshot_every)
+                                    snapshot_every=self.snapshot_every,
+                                    snapshot_bytes=self.snapshot_bytes)
         persist.write_spec(spec_dict)
         return persist
 
@@ -430,7 +458,8 @@ class ServerStateDir:
             if not entry.is_dir():
                 continue
             persist = TenantPersistence(entry, fsync=self.fsync,
-                                        snapshot_every=self.snapshot_every)
+                                        snapshot_every=self.snapshot_every,
+                                        snapshot_bytes=self.snapshot_bytes)
             spec = persist.load_spec()
             if spec is None or spec.get("id") != entry.name:
                 self.skipped.append(entry.name)

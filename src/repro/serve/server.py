@@ -44,10 +44,14 @@ one pool, not N.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
 
 from repro.analysis.shard import ShardExecutor
 from repro.errors import (
@@ -62,6 +66,66 @@ from repro.serve.tenants import Tenant, TenantRegistry
 
 #: Upper bound on one long-poll wait; clients re-arm with their cursor.
 MAX_POLL_WAIT_S = 30.0
+
+#: Default bound on the in-memory ``/detect`` response cache (entries).
+DEFAULT_DETECT_CACHE_SIZE = 128
+
+
+def _detect_window_key(tenant_id: str, detectors: str,
+                       metrics: "tuple[str, ...]", snapshot) -> str:
+    """Content hash of one ``/detect`` request against one ring window.
+
+    The run-result-cache idiom applied to the serve hot path: the key is
+    a sha256 over the *request* (tenant, canonical detector spec,
+    metrics) and the *window content* (machine ids, store metrics,
+    timestamp bytes, sample bytes).  A repeated sweep over an unchanged
+    window hits; any ingested frame changes the ring bytes and misses —
+    there is no invalidation bookkeeping to get wrong.
+    """
+    digest = hashlib.sha256()
+    digest.update(json.dumps(
+        {"tenant": tenant_id, "detectors": detectors,
+         "metrics": list(metrics)}, sort_keys=True).encode("utf-8"))
+    digest.update(b"\0")
+    for machine_id in snapshot.machine_ids:
+        digest.update(str(machine_id).encode("utf-8") + b"\0")
+    digest.update(",".join(snapshot.metrics).encode("utf-8") + b"\0")
+    digest.update(np.ascontiguousarray(snapshot.timestamps).tobytes())
+    digest.update(np.ascontiguousarray(snapshot.data).tobytes())
+    return digest.hexdigest()
+
+
+class _DetectCache:
+    """Bounded LRU of ``/detect`` responses, keyed by window content hash.
+
+    Entries never go stale — ingest changes the window bytes and thereby
+    the key — so eviction is purely a size bound: least recently *hit*
+    first.  Thread-safe (handler threads share it)."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+
+    def get(self, key: str) -> dict | None:
+        with self._lock:
+            try:
+                value = self._entries.pop(key)
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries[key] = value   # re-insert: most recently used
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value: dict) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = value
+            while len(self._entries) > self.size:
+                self._entries.popitem(last=False)
 
 
 class _ServeHTTPServer(ThreadingHTTPServer):
@@ -157,10 +221,20 @@ class DetectionServer:
                  backend: str = "threads", workers: int | None = None,
                  max_tenants: int = 64, state_dir=None, fsync: bool = False,
                  snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
-                 detect_timeout_s: float | None = 120.0) -> None:
+                 snapshot_bytes: int = 0,
+                 detect_timeout_s: float | None = 120.0,
+                 detect_cache_size: int = DEFAULT_DETECT_CACHE_SIZE) -> None:
         state = (ServerStateDir(state_dir, fsync=fsync,
-                                snapshot_every=snapshot_every)
+                                snapshot_every=snapshot_every,
+                                snapshot_bytes=snapshot_bytes)
                  if state_dir is not None else None)
+        if detect_cache_size < 0:
+            raise ServeError(f"detect_cache_size must be non-negative, got "
+                             f"{detect_cache_size}")
+        #: Window-content-hashed ``/detect`` response cache (``None``
+        #: when disabled with ``detect_cache_size=0``).
+        self.detect_cache = (_DetectCache(detect_cache_size)
+                             if detect_cache_size > 0 else None)
         self.registry = TenantRegistry(max_tenants=max_tenants, state=state)
         #: Tenant ids resumed from ``state_dir`` before the socket bound —
         #: recovery is complete (and bit-identical) before the first
@@ -283,6 +357,13 @@ class DetectionServer:
         incremental path cannot host — against the live window.  The
         sweep runs on the server-wide shared pool, outside the tenant
         lock, so ingest continues while it computes.
+
+        Responses are cached keyed on the **content hash of the ring
+        window** plus the request (canonical detector spec × metrics): a
+        repeated sweep over an unchanged window skips the
+        :class:`~repro.analysis.shard.ShardExecutor` round-trip entirely
+        and is marked ``"cached": true``.  Any ingested frame changes
+        the window bytes, so stale hits are impossible by construction.
         """
         if self._closed:
             raise ServiceUnavailableError(
@@ -299,18 +380,34 @@ class DetectionServer:
         metrics = body.get("metrics", tenant.spec.metrics)
         if isinstance(metrics, str):
             metrics = (metrics,)
-        plans, _ = compile_plans(detectors, tuple(metrics))
+        plans, spec_string = compile_plans(detectors, tuple(metrics))
         snapshot = tenant.snapshot()   # copy — sweep needs no tenant lock
+        key = None
+        if self.detect_cache is not None and spec_string is not None:
+            key = _detect_window_key(tenant.spec.tenant_id, spec_string,
+                                     tuple(metrics), snapshot)
+            cached = self.detect_cache.get(key)
+            if cached is not None:
+                # Shallow copy: the nested lists are never mutated (the
+                # handler only serialises them), only the flag differs.
+                response = dict(cached)
+                response["cached"] = True
+                return response
         results = self.executor.run_many(
             snapshot, [(plan.detector, plan.metric) for plan in plans])
-        return {"tenant": tenant.spec.tenant_id,
-                "num_samples": snapshot.num_samples,
-                "detections": [
-                    {"label": plan.label, "name": plan.name,
-                     "metric": plan.metric,
-                     "events": [e.to_dict() for e in result.events()],
-                     "flagged_machines": sorted(result.flagged_machines())}
-                    for plan, result in zip(plans, results)]}
+        response = {"tenant": tenant.spec.tenant_id,
+                    "num_samples": snapshot.num_samples,
+                    "cached": False,
+                    "detections": [
+                        {"label": plan.label, "name": plan.name,
+                         "metric": plan.metric,
+                         "events": [e.to_dict() for e in result.events()],
+                         "flagged_machines": sorted(
+                             result.flagged_machines())}
+                        for plan, result in zip(plans, results)]}
+        if key is not None:
+            self.detect_cache.put(key, response)
+        return response
 
 
 __all__ = [

@@ -97,6 +97,46 @@ def ledger_path(directory: str | Path) -> Path:
     return Path(directory) / CACHE_DIR_NAME / LEDGER_FILENAME
 
 
+def resolve_table_paths(directory: str | Path) -> dict[str, Path | None]:
+    """Locate every schema table file under ``directory`` (``.gz`` accepted).
+
+    The single source of the ``{table: path}`` shape every fingerprint
+    helper and the loader consume — a fingerprint computed through this
+    mapping keys exactly the bytes :func:`~repro.trace.loader.load_trace`
+    would parse.
+    """
+    directory = Path(directory)
+    paths: dict[str, Path | None] = {}
+    for name, table in schema.SCHEMAS.items():
+        plain = directory / table.filename
+        if plain.exists():
+            paths[name] = plain
+            continue
+        compressed = directory / (table.filename + ".gz")
+        paths[name] = compressed if compressed.exists() else None
+    return paths
+
+
+def directory_fingerprint(directory: str | Path) -> str:
+    """Content hash of a trace directory's table files.
+
+    Resolves the table files and routes through the stat ledger
+    (:func:`resolve_fingerprint`), so an unchanged directory costs four
+    ``stat`` calls, not a re-read.  This is the source identity the
+    run-result cache (:mod:`repro.pipeline.resultcache`) keys trace-dir
+    pipelines on: same bytes ⇒ same key wherever the directory lives,
+    any byte change ⇒ a different key.  A directory with no table files
+    at all (missing, empty, or just not a trace) has **no** identity and
+    raises ``FileNotFoundError`` — otherwise every such directory would
+    share the empty hash.
+    """
+    paths = resolve_table_paths(directory)
+    if all(path is None for path in paths.values()):
+        raise FileNotFoundError(
+            f"no trace table files under {directory!s}")
+    return resolve_fingerprint(directory, paths)
+
+
 def trace_fingerprint(paths: Mapping[str, Path | None]) -> str:
     """Content hash of the table files backing one trace directory.
 
@@ -408,9 +448,11 @@ __all__ = [
     "STORAGE_DTYPES",
     "USAGE_FILENAME",
     "cache_path",
+    "directory_fingerprint",
     "ledger_path",
     "load_trace_cache",
     "resolve_fingerprint",
+    "resolve_table_paths",
     "save_trace_cache",
     "trace_fingerprint",
     "usage_path",

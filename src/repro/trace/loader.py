@@ -78,6 +78,18 @@ def _resolve(directory: Path, filename: str) -> Path | None:
     return None
 
 
+def resolve_table_paths(directory: str | Path) -> "dict[str, Path | None]":
+    """Locate every schema table under ``directory`` (``.gz`` accepted).
+
+    Re-exported from :mod:`repro.trace.cache`, the single owner of the
+    ``{table: path}`` shape, so loader fingerprints and result-cache
+    fingerprints always key the same files.
+    """
+    from repro.trace.cache import resolve_table_paths as _resolve_table_paths
+
+    return _resolve_table_paths(directory)
+
+
 def iter_table(path: Path, table: schema.TableSchema,
                *, skip_malformed: bool = False) -> Iterator[dict]:
     """Stream parsed rows from one table file.
@@ -265,10 +277,7 @@ def load_trace(directory: str | Path, *, skip_malformed: bool = False,
     if not directory.is_dir():
         raise TraceFormatError(f"trace directory does not exist: {directory}")
 
-    paths = {
-        name: _resolve(directory, table.filename)
-        for name, table in schema.SCHEMAS.items()
-    }
+    paths = resolve_table_paths(directory)
     if all(path is None for path in paths.values()):
         raise TraceFormatError(
             f"no Alibaba trace tables found under {directory} "

@@ -1,0 +1,60 @@
+"""Golden pins: cached runs are bit-identical to uncached runs.
+
+The result cache's one non-negotiable invariant is that it never changes
+a verdict.  This grid pins it across detector stacks × scenarios ×
+execution backends: for every cell the uncached run, the cache-miss run
+(which computes then stores) and the cache-hit run (restored from disk)
+must agree on every block array, every flagged machine and every
+precision/recall row — not approximately, bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import Pipeline
+from tests.test_resultcache import assert_runs_identical, spec_for
+
+SCENARIOS = ("hotjob", "memory-thrash+network-storm")
+STACKS = (None, "ewma+threshold(threshold=80)+zscore")
+BACKENDS = ("serial", "threads")
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("stack", STACKS, ids=("default-stack", "custom-stack"))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cached_equals_uncached(tmp_path, scenario, stack, backend):
+    extra = {}
+    if stack is not None:
+        extra["detectors"] = stack
+    if backend != "serial":
+        extra["execution"] = {"backend": backend, "workers": 2}
+    spec = spec_for(tmp_path / "cache", scenario=scenario, seed=9, **extra)
+
+    uncached_spec = dict(spec)
+    del uncached_spec["result_cache"]
+    uncached = Pipeline.from_spec(uncached_spec).run()
+    miss = Pipeline.from_spec(spec).run()
+    hit = Pipeline.from_spec(spec).run()
+
+    assert "result_cache" not in uncached.timings
+    assert miss.timings["result_cache"] == "miss"
+    assert hit.timings["result_cache"] == "hit"
+    assert_runs_identical(uncached, miss)
+    assert_runs_identical(uncached, hit)
+    for run in hit.detections:
+        assert run.result.flagged_machines() == \
+            uncached.detection(run.label).result.flagged_machines()
+
+
+def test_hit_is_stable_across_processes_shape(tmp_path):
+    """A second Pipeline object (fresh parse of the same spec text) hits."""
+    import json
+
+    spec = spec_for(tmp_path / "cache", scenario="thrashing", seed=3)
+    text = json.dumps(spec)
+    first = Pipeline.from_spec(text).run()
+    second = Pipeline.from_spec(json.dumps(json.loads(text))).run()
+    assert first.timings["result_cache"] == "miss"
+    assert second.timings["result_cache"] == "hit"
+    assert_runs_identical(first, second)
